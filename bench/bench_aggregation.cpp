@@ -1,0 +1,57 @@
+// Appendix B: completeness (and hence correctness) of aggregate query
+// answers — counting cities per country over the Wikipedia data.
+//
+// An incomplete base table makes aggregate answers not just incomplete
+// but *incorrect* (France's count would be a silent undercount); the
+// pattern algebra's aggregation operator identifies exactly the groups
+// whose counts are guaranteed exact.
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "pattern/annotated_eval.h"
+#include "sql/planner.h"
+#include "workloads/wikipedia.h"
+
+int main() {
+  using namespace pcdb;
+  using namespace pcdb::bench;
+
+  Banner("Appendix B", "aggregate answers with correctness guarantees");
+
+  AnnotatedDatabase adb = MakeWikipediaDatabase({});
+  const char* queries[] = {
+      "SELECT country, COUNT(*) AS cities FROM city GROUP BY country",
+      "SELECT country, state, COUNT(*) AS cities FROM city "
+      "GROUP BY country, state",
+      "SELECT country, COUNT(*) AS schools FROM school GROUP BY country",
+      "SELECT country, MIN(name) AS first_city, MAX(name) AS last_city "
+      "FROM city GROUP BY country",
+  };
+  std::printf("%-70s %9s %9s %8s %10s\n", "query", "query ms", "meta ms",
+              "groups", "guaranteed");
+  for (const char* sql : queries) {
+    auto plan = PlanSql(sql, adb.database());
+    if (!plan.ok()) {
+      std::printf("planning failed: %s\n", plan.status().ToString().c_str());
+      return 1;
+    }
+    AnnotatedEvalInfo info;
+    auto result = EvaluateAnnotated(*plan, adb, AnnotatedEvalOptions{}, &info);
+    if (!result.ok()) {
+      std::printf("evaluation failed: %s\n",
+                  result.status().ToString().c_str());
+      return 1;
+    }
+    size_t guaranteed = 0;
+    for (const Tuple& row : result->data.rows()) {
+      if (result->patterns.AnySubsumesTuple(row)) ++guaranteed;
+    }
+    std::printf("%-70.70s %9.1f %9.1f %8zu %10zu\n", sql, info.data_millis,
+                info.pattern_millis, result->data.num_rows(), guaranteed);
+  }
+  std::printf("\nGroups covered by a completeness pattern have exact\n"
+              "(complete AND correct) aggregate values; the rest are lower\n"
+              "bounds / unreliable, exactly the France-vs-Bulgaria contrast\n"
+              "of the paper's Appendix B.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 2: pattern counts under *systematic* data loss — dropping
+// network elements that share a name prefix (prefixes carry semantics:
+// same-prefix elements have correlated attribute values).
+//
+// Paper's finding: for all three tested prefixes the pattern count
+// converges faster and to smaller values than under random drops.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+
+namespace {
+
+using namespace pcdb;
+using namespace pcdb::bench;
+
+void RunPrefixSeries(const NetworkElementsData& data,
+                     const std::string& prefix, size_t max_drops) {
+  DropSimulator sim(data.table, data.dimension_columns,
+                    data.dimension_domains);
+  std::printf("prefix '%s': dropped_records -> num_patterns\n",
+              prefix.c_str());
+  size_t dropped = 0;
+  for (size_t row = 0; row < data.table.num_rows() && dropped < max_drops;
+       ++row) {
+    if (!StartsWith(data.table.row(row)[0].str(), prefix)) continue;
+    sim.DropRow(row);
+    ++dropped;
+    if (dropped % (max_drops / 10) == 0) {
+      std::printf("  %6zu -> %zu\n", dropped, sim.num_patterns());
+    }
+  }
+  std::printf("  (total dropped: %zu, final patterns: %zu)\n\n", dropped,
+              sim.num_patterns());
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 2",
+         "pattern counts under systematic data loss (same-prefix drops)");
+
+  NetworkElementsConfig config;
+  config.num_rows = 100000;
+  NetworkElementsData data = GenerateNetworkElements(config);
+
+  // Random baseline for comparison (the Fig. 1 curve).
+  DropSimulator random_sim(data.table, data.dimension_columns,
+                           data.dimension_domains);
+  Rng rng(42);
+  size_t dropped = 0;
+  while (dropped < 500) {
+    size_t row = rng.UniformUint64(data.table.num_rows());
+    if (random_sim.IsDropped(row)) continue;
+    random_sim.DropRow(row);
+    ++dropped;
+  }
+  std::printf("random drops baseline: 500 drops -> %zu patterns\n\n",
+              random_sim.num_patterns());
+
+  // The paper drops three prefixes (Cnu, Dxu, Clu); we use the first
+  // three realized prefixes of the generated table.
+  size_t shown = 0;
+  for (const std::string& prefix : data.name_prefixes) {
+    if (shown == 3) break;
+    RunPrefixSeries(data, prefix, 500);
+    ++shown;
+  }
+  std::printf("Expected shape (paper): all prefix curves converge more\n"
+              "quickly and to fewer patterns than the random baseline;\n"
+              "curves rise when violated patterns can be specialized and\n"
+              "fall when they cannot.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 7: promotion runtime as a function of the number of attributes
+// used in completeness patterns (random attribute sets and join values,
+// 100 runs per point in the paper).
+//
+// Paper's finding to reproduce: runtime grows polynomially with the
+// number of attributes.
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "pattern/minimize.h"
+#include "pattern/promotion.h"
+
+namespace {
+
+using namespace pcdb;
+using namespace pcdb::bench;
+
+/// Restricts `p` to the attribute subset `attrs`: every other position
+/// becomes a wildcard (patterns then "use" only `attrs`).
+Pattern RestrictTo(const Pattern& p, const std::vector<size_t>& attrs) {
+  Pattern out = Pattern::AllWildcards(p.arity());
+  for (size_t a : attrs) {
+    if (!p.IsWildcard(a)) out = out.WithValue(a, p.value(a));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 7",
+         "promotion runtime vs number of attributes used in patterns");
+
+  NetworkElementsConfig config;
+  config.num_rows = 1000;
+  NetworkElementsData data = GenerateNetworkElements(config);
+  Table fact = DimensionProjection(data);
+  PatternSet pool = NetworkPatterns(data, 600, /*seed=*/55);
+  std::printf("pattern pool: %zu patterns, 1000 tuples, 60 runs per point\n\n",
+              pool.size());
+
+  std::printf("%11s %12s %12s\n", "#attributes", "median ms", "p95 ms");
+  Rng rng(17);
+  for (size_t k = 2; k <= 6; ++k) {
+    std::vector<double> millis;
+    for (int run = 0; run < 60; ++run) {
+      // Random attribute subset of size k; the join attribute is always
+      // among them.
+      std::vector<size_t> attrs = {0, 1, 2, 3, 4, 5};
+      rng.Shuffle(&attrs);
+      attrs.resize(k);
+      size_t join_attr = attrs[rng.UniformUint64(k)];
+      PatternSet left;
+      PatternSet right;
+      for (size_t i = 0; i < 80; ++i) {
+        left.Add(RestrictTo(pool[rng.UniformUint64(pool.size())], attrs));
+        right.Add(RestrictTo(pool[rng.UniformUint64(pool.size())], attrs));
+      }
+      WallTimer timer;
+      PatternSet joined = InstanceAwarePatternJoin(left, join_attr, fact,
+                                                   right, join_attr, fact);
+      Minimize(joined);
+      millis.push_back(timer.ElapsedMillis());
+    }
+    std::printf("%11zu %12.2f %12.2f\n", k, Median(millis),
+                Quantile(millis, 0.95));
+  }
+  std::printf("\nExpected shape (paper): polynomial growth in the number of "
+              "attributes.\n");
+  return 0;
+}

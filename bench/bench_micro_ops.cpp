@@ -1,0 +1,128 @@
+// Microbenchmarks (google-benchmark) for the primitive operations the
+// experiments are built from: subsumption checks, index insert/search,
+// the pattern join strategies, and the minimization methods at fixed
+// input size.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "pattern/algebra.h"
+#include "pattern/minimize.h"
+#include "pattern/pattern_index.h"
+
+namespace {
+
+using namespace pcdb;
+
+Pattern RandomPattern(Rng* rng, size_t arity, int values,
+                      double wild_prob) {
+  std::vector<Pattern::Cell> cells;
+  cells.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    if (rng->Bernoulli(wild_prob)) {
+      cells.push_back(Pattern::Wildcard());
+    } else {
+      cells.push_back(
+          Value("v" + std::to_string(rng->UniformInt(0, values - 1))));
+    }
+  }
+  return Pattern(std::move(cells));
+}
+
+PatternSet RandomPatterns(size_t n, size_t arity, uint64_t seed) {
+  Rng rng(seed);
+  PatternSet out;
+  out.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.Add(RandomPattern(&rng, arity, 8, 0.5));
+  }
+  return out;
+}
+
+void BM_SubsumptionCheck(benchmark::State& state) {
+  Rng rng(1);
+  Pattern a = RandomPattern(&rng, 12, 8, 0.5);
+  Pattern b = RandomPattern(&rng, 12, 8, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Subsumes(b));
+  }
+}
+BENCHMARK(BM_SubsumptionCheck);
+
+void BM_Unification(benchmark::State& state) {
+  Rng rng(2);
+  Pattern a = RandomPattern(&rng, 12, 8, 0.7);
+  Pattern b = RandomPattern(&rng, 12, 8, 0.7);
+  for (auto _ : state) {
+    if (a.UnifiableWith(b)) {
+      benchmark::DoNotOptimize(a.UnifyWith(b));
+    }
+  }
+}
+BENCHMARK(BM_Unification);
+
+void BM_IndexInsert(benchmark::State& state) {
+  auto kind = static_cast<PatternIndexKind>(state.range(0));
+  PatternSet patterns = RandomPatterns(4096, 6, 3);
+  for (auto _ : state) {
+    auto index = MakePatternIndex(kind, 6);
+    for (const Pattern& p : patterns) index->Insert(p);
+    benchmark::DoNotOptimize(index->size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(patterns.size()));
+}
+BENCHMARK(BM_IndexInsert)
+    ->Arg(static_cast<int>(PatternIndexKind::kHashTable))
+    ->Arg(static_cast<int>(PatternIndexKind::kPathIndex))
+    ->Arg(static_cast<int>(PatternIndexKind::kDiscriminationTree));
+
+void BM_IndexSubsumerCheck(benchmark::State& state) {
+  auto kind = static_cast<PatternIndexKind>(state.range(0));
+  PatternSet patterns = RandomPatterns(4096, 6, 3);
+  auto index = MakePatternIndex(kind, 6);
+  for (const Pattern& p : patterns) index->Insert(p);
+  Rng rng(4);
+  std::vector<Pattern> probes;
+  for (int i = 0; i < 64; ++i) probes.push_back(RandomPattern(&rng, 6, 8, 0.4));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index->HasSubsumer(probes[i++ % probes.size()], /*strict=*/true));
+  }
+}
+BENCHMARK(BM_IndexSubsumerCheck)
+    ->Arg(static_cast<int>(PatternIndexKind::kLinearList))
+    ->Arg(static_cast<int>(PatternIndexKind::kHashTable))
+    ->Arg(static_cast<int>(PatternIndexKind::kPathIndex))
+    ->Arg(static_cast<int>(PatternIndexKind::kDiscriminationTree));
+
+void BM_PatternJoin(benchmark::State& state) {
+  auto strategy = static_cast<PatternJoinStrategy>(state.range(0));
+  PatternSet left = RandomPatterns(256, 4, 5);
+  PatternSet right = RandomPatterns(256, 3, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PatternJoin(left, 1, right, 0, strategy));
+  }
+}
+BENCHMARK(BM_PatternJoin)
+    ->Arg(static_cast<int>(PatternJoinStrategy::kCrossProductSelect))
+    ->Arg(static_cast<int>(PatternJoinStrategy::kPartitionedHashJoin));
+
+void BM_Minimize(benchmark::State& state) {
+  auto kind = static_cast<PatternIndexKind>(state.range(0));
+  auto approach = static_cast<MinimizeApproach>(state.range(1));
+  PatternSet input = RandomPatterns(8192, 6, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Minimize(input, approach, kind));
+  }
+}
+BENCHMARK(BM_Minimize)
+    ->ArgsProduct({{static_cast<int>(PatternIndexKind::kHashTable),
+                    static_cast<int>(PatternIndexKind::kDiscriminationTree)},
+                   {static_cast<int>(MinimizeApproach::kAllAtOnce),
+                    static_cast<int>(MinimizeApproach::kSortedIncremental)}});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// §6 "Plan Generation and Execution" (future work, implemented here):
+// the optimal plan for query computation need not be optimal for
+// completeness calculation, because metadata differs from data in size
+// and distribution. This ablation scores every join order of the 3-way
+// Wikipedia query Q5 under both cost models and measures the actual
+// data/metadata computation times per plan.
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "pattern/annotated_eval.h"
+#include "sql/plan_optimizer.h"
+#include "workloads/wikipedia.h"
+
+int main() {
+  using namespace pcdb;
+  using namespace pcdb::bench;
+
+  Banner("§6 plan ablation",
+         "data-optimal vs metadata-optimal join orders (Q5)");
+
+  WikipediaConfig config;
+  config.num_cities = 20000;
+  config.num_schools = 5000;
+  AnnotatedDatabase adb = MakeWikipediaDatabase(config);
+  const std::string sql =
+      "SELECT * FROM country, city, school WHERE "
+      "country.capital=city.name AND city.state=school.state";
+  std::printf("query: %s\n\n", sql.c_str());
+
+  auto data_opt = OptimizeSql(sql, adb, PlanObjective::kData);
+  auto meta_opt = OptimizeSql(sql, adb, PlanObjective::kMetadata);
+  if (!data_opt.ok() || !meta_opt.ok()) {
+    std::printf("optimization failed: %s %s\n",
+                data_opt.status().ToString().c_str(),
+                meta_opt.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-14s %14s %14s %12s %12s\n", "join order", "est data cost",
+              "pattern cost", "data ms", "metadata ms");
+  const char* table_names[] = {"country", "city", "school"};
+  for (const PlanChoice& choice : data_opt->candidates) {
+    // Measure actual times for this candidate.
+    AnnotatedEvalInfo info;
+    auto result = EvaluateAnnotated(choice.plan, adb,
+                                    AnnotatedEvalOptions{}, &info);
+    if (!result.ok()) {
+      std::printf("evaluation failed: %s\n",
+                  result.status().ToString().c_str());
+      return 1;
+    }
+    size_t pattern_cost = 0;
+    (void)ComputeQueryPatterns(choice.plan, adb, AnnotatedEvalOptions{},
+                               &pattern_cost);
+    std::string order_str;
+    for (size_t i : choice.join_order) {
+      if (!order_str.empty()) order_str += "-";
+      order_str += table_names[i];
+    }
+    std::printf("%-14.14s %14.0f %14zu %12.1f %12.2f\n", order_str.c_str(),
+                choice.cost, pattern_cost, info.data_millis,
+                info.pattern_millis);
+  }
+
+  auto order_str = [&](const std::vector<size_t>& order) {
+    std::string out;
+    for (size_t i : order) {
+      if (!out.empty()) out += "-";
+      out += table_names[i];
+    }
+    return out;
+  };
+  std::printf("\ndata-optimal order:     %s\n",
+              order_str(data_opt->best.join_order).c_str());
+  std::printf("metadata-optimal order: %s\n",
+              order_str(meta_opt->best.join_order).c_str());
+  std::printf("\nThe paper's observation: because pattern sets are small and\n"
+              "differently distributed than the data, the two objectives can\n"
+              "pick different orders — motivating a dedicated cost model for\n"
+              "the metadata plan (here: exact pattern-algebra replay).\n");
+  return 0;
+}

@@ -1,0 +1,219 @@
+// Table 10 / Appendix E: cost and benefit of zombie patterns.
+//
+// Paper's findings to reproduce:
+//   (a) in a join of a 1000-pattern fact table with a complete dimension
+//       table, the zombie share before minimization tracks the attribute
+//       cardinality and settles around ~66% after minimization;
+//   (b) in a self-join with 100 patterns over 500 tuples, about a third
+//       of the resulting patterns are zombies;
+//   (c) zombie generation increases runtime by ~250% (minimization of
+//       the larger sets dominates);
+//   (d) zombie patterns in the intermediate result of a 3-way join only
+//       rarely enable additional final inferences (paper: 2 of 200 runs,
+//       ~0.08% extra patterns overall).
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "pattern/minimize.h"
+#include "pattern/promotion.h"
+#include "pattern/zombie.h"
+
+namespace {
+
+using namespace pcdb;
+using namespace pcdb::bench;
+
+PatternSet RandomSubset(const PatternSet& pool, size_t n, Rng* rng) {
+  PatternSet out;
+  std::vector<size_t> indices(pool.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng->Shuffle(&indices);
+  for (size_t i = 0; i < n && i < indices.size(); ++i) {
+    out.Add(pool[indices[i]]);
+  }
+  return out;
+}
+
+size_t CountMembers(const PatternSet& set, const PatternSet& among) {
+  std::unordered_set<Pattern, PatternHash> lookup(among.begin(),
+                                                  among.end());
+  size_t count = 0;
+  for (const Pattern& p : set) {
+    if (lookup.count(p) > 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Table 10 / Appendix E", "overhead and impact of zombie patterns");
+
+  NetworkElementsConfig config;
+  config.num_rows = 20000;
+  NetworkElementsData data = GenerateNetworkElements(config);
+  Table fact = DimensionProjection(data);
+  PatternSet fact_patterns = NetworkPatterns(data, 1000, /*seed=*/77);
+  Rng rng(7);
+
+  // --- (a) zombies in the dimension join, per attribute ----------------
+  std::printf("(a) fact (%zu patterns) ⋈ complete dimension table:\n",
+              fact_patterns.size());
+  std::printf("%-24s %7s %14s %14s %14s\n", "join attribute", "card",
+              "zombies before", "zombies after", "after share");
+  const char* names[] = {"region_name", "technology", "vendor",
+                         "tech_capability_type", "sector", "state"};
+  for (size_t a = 0; a < 6; ++a) {
+    Table dim = RandomDimensionTable(fact, a, 0.6, &rng);
+    PatternSet dim_patterns;
+    dim_patterns.Add(Pattern::AllWildcards(1));
+    PatternSet joined = InstanceAwarePatternJoin(fact_patterns, a, fact,
+                                                 dim_patterns, 0, dim);
+    PatternSet zombies = ZombiesForJoin(fact_patterns, a, fact,
+                                        data.dimension_domains[a],
+                                        /*other_arity=*/1,
+                                        /*side_is_left=*/true);
+    PatternSet dim_zombies =
+        ZombiesForJoin(dim_patterns, 0, dim, data.dimension_domains[a],
+                       /*other_arity=*/fact.schema().arity(),
+                       /*side_is_left=*/false);
+    // Right-side zombies are (padding · p); fold into one set.
+    PatternSet all_zombies = zombies;
+    for (const Pattern& p : dim_zombies) all_zombies.AddUnique(p);
+    PatternSet combined = joined;
+    for (const Pattern& p : all_zombies) combined.AddUnique(p);
+    PatternSet minimized = Minimize(combined);
+    size_t zombies_after = CountMembers(minimized, all_zombies);
+    std::printf("%-24s %7zu %14zu %14zu %13.1f%%\n", names[a],
+                data.dimension_domains[a].size(), all_zombies.size(),
+                zombies_after,
+                minimized.empty()
+                    ? 0.0
+                    : 100.0 * static_cast<double>(zombies_after) /
+                          static_cast<double>(minimized.size()));
+  }
+
+  // --- (b) + (c): self-join share and runtime overhead ------------------
+  NetworkElementsConfig small_config;
+  small_config.num_rows = 500;  // paper: fewer tuples → more zombies
+  // A 500-tuple warehouse realizes only a fraction of the combination
+  // space (and hence of the per-attribute domains) — that scarcity is
+  // what makes zombies plentiful.
+  small_config.target_combos = 60;
+  NetworkElementsData small = GenerateNetworkElements(small_config);
+  Table small_fact = DimensionProjection(small);
+  PatternSet small_pool = NetworkPatterns(small, 400, /*seed=*/12);
+  const size_t join_attr = 5;  // state: highest cardinality
+
+  std::vector<double> plain_ms;
+  std::vector<double> zombie_ms;
+  double zombie_share_sum = 0;
+  const int kRuns = 10;
+  for (int run = 0; run < kRuns; ++run) {
+    PatternSet left = RandomSubset(small_pool, 100, &rng);
+    PatternSet right = RandomSubset(small_pool, 100, &rng);
+
+    WallTimer timer;
+    PatternSet plain = Minimize(InstanceAwarePatternJoin(
+        left, join_attr, small_fact, right, join_attr, small_fact));
+    plain_ms.push_back(timer.ElapsedMillis());
+
+    timer.Reset();
+    PatternSet joined = InstanceAwarePatternJoin(
+        left, join_attr, small_fact, right, join_attr, small_fact);
+    PatternSet zombies = ZombiesForJoin(
+        left, join_attr, small_fact, small.dimension_domains[join_attr],
+        small_fact.schema().arity(), /*side_is_left=*/true);
+    PatternSet right_zombies = ZombiesForJoin(
+        right, join_attr, small_fact, small.dimension_domains[join_attr],
+        small_fact.schema().arity(), /*side_is_left=*/false);
+    for (const Pattern& p : right_zombies) zombies.AddUnique(p);
+    PatternSet combined = joined;
+    for (const Pattern& p : zombies) combined.AddUnique(p);
+    PatternSet minimized = Minimize(combined);
+    zombie_ms.push_back(timer.ElapsedMillis());
+    size_t zombie_members = CountMembers(minimized, zombies);
+    if (!minimized.empty()) {
+      zombie_share_sum += static_cast<double>(zombie_members) /
+                          static_cast<double>(minimized.size());
+    }
+  }
+  std::printf("\n(b) self-join, 100 patterns, 500 tuples (%d runs):\n"
+              "    zombie share of the minimized output: %.1f%% "
+              "(paper: ~33%%)\n",
+              kRuns, 100.0 * zombie_share_sum / kRuns);
+  double plain_median = Median(plain_ms);
+  double zombie_median = Median(zombie_ms);
+  std::printf("(c) runtime: without zombies %.2f ms, with zombies %.2f ms "
+              "-> +%.0f%% (paper: ~250%%)\n",
+              plain_median, zombie_median,
+              100.0 * (zombie_median - plain_median) /
+                  (plain_median > 0 ? plain_median : 1));
+
+  // --- (d): additional inferences in a 3-way join -----------------------
+  size_t runs_with_extra = 0;
+  size_t extra_patterns = 0;
+  size_t total_patterns = 0;
+  const int kThreeWayRuns = 10;
+  const size_t attr1 = 1;  // technology
+  const size_t attr2 = 3;  // capability type
+  // The middle result's data: the actual self-join of the fact table on
+  // attr1 (promotion reads allowable domains from it, so it must be the
+  // real join output).
+  Table mid_data(small_fact.schema().Concat(small_fact.schema()));
+  {
+    std::unordered_multimap<Value, const Tuple*, ValueHash> by_key;
+    for (const Tuple& t : small_fact.rows()) by_key.emplace(t[attr1], &t);
+    for (const Tuple& t : small_fact.rows()) {
+      auto [begin, end] = by_key.equal_range(t[attr1]);
+      for (auto it = begin; it != end; ++it) {
+        Tuple joined = t;
+        joined.insert(joined.end(), it->second->begin(), it->second->end());
+        mid_data.AppendUnchecked(std::move(joined));
+      }
+    }
+  }
+  for (int run = 0; run < kThreeWayRuns; ++run) {
+    PatternSet p1 = RandomSubset(small_pool, 70, &rng);
+    PatternSet p2 = RandomSubset(small_pool, 70, &rng);
+    PatternSet p3 = RandomSubset(small_pool, 70, &rng);
+
+    auto three_way = [&](bool with_zombies) {
+      PatternSet mid = InstanceAwarePatternJoin(p1, attr1, small_fact, p2,
+                                                attr1, small_fact);
+      if (with_zombies) {
+        PatternSet z = ZombiesForJoin(p1, attr1, small_fact,
+                                      small.dimension_domains[attr1],
+                                      small_fact.schema().arity(), true);
+        for (const Pattern& p : z) mid.AddUnique(p);
+      }
+      mid = Minimize(mid);
+      PatternSet final_set = InstanceAwarePatternJoin(
+          mid, attr2, mid_data, p3, attr2, small_fact);
+      return Minimize(final_set);
+    };
+    PatternSet without = three_way(false);
+    PatternSet with = three_way(true);
+    size_t extra = 0;
+    for (const Pattern& p : with) {
+      if (!without.AnySubsumes(p)) ++extra;
+    }
+    if (extra > 0) ++runs_with_extra;
+    extra_patterns += extra;
+    total_patterns += with.size();
+  }
+  std::printf("(d) 3-way join, %d runs with 70 patterns per table:\n"
+              "    runs with additional inferences thanks to intermediate "
+              "zombies: %zu\n"
+              "    additional patterns overall: %zu of %zu (%.2f%%; paper: "
+              "0.08%%)\n",
+              kThreeWayRuns, runs_with_extra, extra_patterns, total_patterns,
+              total_patterns == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(extra_patterns) /
+                        static_cast<double>(total_patterns));
+  return 0;
+}

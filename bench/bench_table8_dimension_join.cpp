@@ -1,0 +1,99 @@
+// Table 8 / Appendix D: promotion cost and effect when joining a
+// partially complete fact table (1000 completeness patterns from the
+// §4.3 drop simulation) with a complete dimension table, once per
+// dimension attribute.
+//
+// Paper's findings to reproduce: the number of naively enumerable choice
+// sets is astronomical but the optimized search tests only a tiny
+// fraction (40–99% reduction); median runtimes are milliseconds versus
+// ~37 s for a table scan; the two highest-cardinality attributes
+// (sector, state) hit occasional timeouts; promoted patterns *shrink*
+// the minimized output instead of growing it.
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "pattern/minimize.h"
+#include "pattern/promotion.h"
+
+namespace {
+
+using namespace pcdb;
+using namespace pcdb::bench;
+
+constexpr double kTimeoutMillis = 5000;
+constexpr int kRunsPerAttribute = 10;
+
+}  // namespace
+
+int main() {
+  Banner("Table 8 / Appendix D",
+         "join of a 1000-pattern fact table with a complete dimension "
+         "table");
+
+  NetworkElementsConfig config;
+  config.num_rows = 20000;
+  NetworkElementsData data = GenerateNetworkElements(config);
+  Table fact = DimensionProjection(data);
+  PatternSet fact_patterns =
+      NetworkPatterns(data, 1000, /*seed=*/77, /*drops=*/600);
+  std::printf("fact table: %zu rows over the 6 dimension attributes, "
+              "%zu patterns\n",
+              fact.num_rows(), fact_patterns.size());
+  std::printf("(each row: %d runs with random complete dimension tables, "
+              "%.0f ms timeout)\n\n",
+              kRunsPerAttribute, kTimeoutMillis);
+
+  std::printf("%-28s %7s %12s %12s %9s %9s %8s %9s %9s\n", "join attribute",
+              "card", "naive sets", "tested sets", "med ms", "p95 ms",
+              "timeout", "out pats", "promoted");
+  Rng rng(99);
+  const char* names[] = {"region_name",  "technology", "vendor",
+                         "tech_capability_type", "sector", "state"};
+  for (size_t a = 0; a < 6; ++a) {
+    std::vector<double> millis;
+    size_t timeouts = 0;
+    double naive_sets = 0;
+    double tested_sets = 0;
+    double out_patterns = 0;
+    double promoted = 0;
+    for (int run = 0; run < kRunsPerAttribute; ++run) {
+      Table dim = RandomDimensionTable(fact, a, 0.7, &rng);
+      PatternSet dim_patterns;
+      dim_patterns.Add(Pattern::AllWildcards(1));  // dimension is complete
+      PromotionOptions options;
+      options.timeout_millis = kTimeoutMillis;
+      PromotionStats stats;
+      WallTimer timer;
+      PatternSet joined =
+          InstanceAwarePatternJoin(fact_patterns, a, fact, dim_patterns, 0,
+                                   dim, options, &stats);
+      PatternSet minimized = Minimize(joined);
+      double elapsed = timer.ElapsedMillis();
+      if (stats.timed_out) {
+        ++timeouts;
+      } else {
+        millis.push_back(elapsed);
+        naive_sets += static_cast<double>(stats.naive_choice_sets);
+        tested_sets += static_cast<double>(stats.choice_sets_tested +
+                                           stats.unification_steps);
+        out_patterns += static_cast<double>(minimized.size());
+        promoted += static_cast<double>(stats.promoted);
+      }
+    }
+    double completed =
+        static_cast<double>(kRunsPerAttribute) - static_cast<double>(timeouts);
+    if (completed == 0) completed = 1;
+    std::printf("%-28s %7zu %12.0f %12.0f %9.1f %9.1f %5zu/%-2d %9.0f %9.0f\n",
+                names[a], data.dimension_domains[a].size(),
+                naive_sets / completed, tested_sets / completed,
+                Median(millis), Quantile(millis, 0.95), timeouts,
+                kRunsPerAttribute, out_patterns / completed,
+                promoted / completed);
+  }
+  std::printf("\nReference points (paper, 760k-row table): median runtimes "
+              "91–661 ms vs a 37 s\ntable scan; 5–10%% timeouts for the two "
+              "highest-cardinality attributes; output\nalways smaller than "
+              "the 1000-pattern input because promoted patterns subsume\n"
+              "others.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table 9 / Appendix D: growth of completeness patterns in a self-join
+// of two partially complete fact tables, with promotion.
+//
+// Paper's findings to reproduce: the raw join output grows roughly
+// quadratically in the input pattern count, but after removing patterns
+// subsumed by promoted ones the minimized output is *smaller* — the
+// reduction is 80–95% and promotion never increases the output. Per-
+// attribute variation is large: low-cardinality attributes (e.g.
+// technology capability) promote almost everything; the 53-value state
+// attribute promotes rarely.
+
+#include "bench_util.h"
+#include "pattern/minimize.h"
+#include "pattern/promotion.h"
+
+namespace {
+
+using namespace pcdb;
+using namespace pcdb::bench;
+
+PatternSet RandomSubset(const PatternSet& pool, size_t n, Rng* rng) {
+  PatternSet out;
+  std::vector<size_t> indices(pool.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng->Shuffle(&indices);
+  for (size_t i = 0; i < n && i < indices.size(); ++i) {
+    out.Add(pool[indices[i]]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Table 9 / Appendix D",
+         "pattern growth in a promoted self-join of fact tables");
+
+  NetworkElementsConfig config;
+  config.num_rows = 1000;
+  NetworkElementsData data = GenerateNetworkElements(config);
+  Table fact = DimensionProjection(data);
+  PatternSet pool = NetworkPatterns(data, 1200, /*seed=*/31);
+  Rng rng(23);
+
+  const char* names[] = {"region_name", "technology", "vendor",
+                         "tech_capability_type", "sector", "state"};
+  std::printf("%-24s %9s %10s %10s %10s %10s\n", "join attribute",
+              "patterns", "raw join", "minimized", "promoted",
+              "reduction");
+  for (size_t a = 0; a < 6; ++a) {
+    for (size_t n : {50u, 100u, 150u}) {
+      PatternSet left = RandomSubset(pool, n, &rng);
+      PatternSet right = RandomSubset(pool, n, &rng);
+      PromotionStats stats;
+      PatternSet joined = InstanceAwarePatternJoin(
+          left, a, fact, right, a, fact, PromotionOptions{}, &stats);
+      PatternSet minimized = Minimize(joined);
+      // Baseline: schema-level join without promotion, minimized.
+      PatternSet plain = Minimize(PatternJoin(left, a, right, a));
+      double reduction =
+          plain.empty()
+              ? 0
+              : 100.0 * (1.0 - static_cast<double>(minimized.size()) /
+                                   static_cast<double>(plain.size()));
+      std::printf("%-24s %9zu %10zu %10zu %10zu %9.1f%%\n", names[a], n,
+                  joined.size(), minimized.size(), stats.promoted,
+                  reduction);
+    }
+    std::printf("\n");
+  }
+  std::printf("Reference (paper): output grows quadratically before\n"
+              "minimization; promoted patterns subsume others, shrinking\n"
+              "the final output by 80–95%%, most strongly for attributes\n"
+              "with few distinct values.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Constraint-strengthened completeness (§7 future work, implemented):
+// key constraints turn point lookups into provably complete answers,
+// and inclusion dependencies against complete reference tables bound
+// attribute domains for zombie generation.
+
+#include <iostream>
+
+#include "pattern/annotated_eval.h"
+#include "pattern/constraints.h"
+#include "pattern/summary.h"
+#include "sql/planner.h"
+#include "workloads/maintenance_example.h"
+
+namespace {
+
+using namespace pcdb;
+
+void Run(const AnnotatedDatabase& adb, const std::string& sql,
+         const AnnotatedEvalOptions& options = {}) {
+  auto plan = PlanSql(sql, adb.database());
+  PCDB_CHECK(plan.ok()) << plan.status().ToString();
+  auto result = EvaluateAnnotated(*plan, adb, options);
+  PCDB_CHECK(result.ok()) << result.status().ToString();
+  std::cout << "SQL> " << sql << "\n"
+            << result->ToString() << Summarize(*result).ToString() << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+
+  std::cout << "=== Keyed lookups before and after the key constraint ===\n";
+  // Maintenance has no pattern covering tw59 (team D does not export its
+  // data), so a lookup for tw59 carries no guarantee...
+  const std::string lookup =
+      "SELECT * FROM Maintenance WHERE ID='tw59'";
+  Run(adb, lookup);
+
+  // ... but (ID, reason) is a key of Maintenance: at most one record per
+  // maintenance event exists, and it is already stored. Deriving key
+  // patterns makes every stored event's slice complete.
+  PCDB_CHECK(
+      ApplyKeyConstraint(&adb, {"Maintenance", {"ID", "reason"}}).ok());
+  std::cout << "--- after ApplyKeyConstraint(Maintenance, {ID, reason}) "
+               "---\n";
+  Run(adb, "SELECT * FROM Maintenance WHERE ID='tw59' AND "
+           "reason='software crash'");
+
+  std::cout << "=== Inclusion dependency feeding zombie generation ===\n";
+  // Maintenance.responsible ⊆ Teams.name, and the Teams table is fully
+  // complete — so A, B, C, D are the only possible responsible teams.
+  PCDB_CHECK(ApplyInclusionConstraint(
+                 &adb, {"Maintenance", "responsible", "Teams", "name"})
+                 .ok());
+  const std::vector<Value>* domain = adb.domains().Lookup("responsible");
+  std::cout << "derived domain for Maintenance.responsible: ";
+  for (const Value& v : *domain) std::cout << v << " ";
+  std::cout << "\n\n";
+
+  AnnotatedEvalOptions zombie_options;
+  zombie_options.zombies = true;
+  zombie_options.minimize_each_step = false;
+  std::cout << "with zombies enabled, a selection on responsible='A' also\n"
+               "asserts (vacuous) completeness for the other teams:\n\n";
+  Run(adb, "SELECT * FROM Maintenance WHERE responsible='A'",
+      zombie_options);
+  return 0;
+}

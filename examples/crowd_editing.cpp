@@ -1,0 +1,67 @@
+// Collaborative editing (§1's Wikipedia scenario): in a crowd-sourced
+// database anyone can add records at any time, so completeness claims
+// made by the community (the {{Complete list}} template) can be
+// invalidated by later edits. The FeedManager's retract policy keeps the
+// metadata honest: an edit inside a claimed-complete slice withdraws the
+// claim, and query guarantees degrade gracefully instead of lying.
+
+#include <iostream>
+
+#include "pattern/annotated_eval.h"
+#include "pattern/feed.h"
+#include "pattern/summary.h"
+#include "sql/planner.h"
+#include "workloads/wikipedia.h"
+
+namespace {
+
+using namespace pcdb;
+
+void CountCities(const AnnotatedDatabase& adb, const std::string& country) {
+  auto plan = PlanSql(
+      "SELECT country, COUNT(*) AS cities FROM city WHERE country='" +
+          country + "' GROUP BY country",
+      adb.database());
+  PCDB_CHECK(plan.ok()) << plan.status().ToString();
+  auto result = EvaluateAnnotated(*plan, adb);
+  PCDB_CHECK(result.ok()) << result.status().ToString();
+  for (const Tuple& row : result->data.rows()) {
+    bool exact = result->patterns.AnySubsumesTuple(row);
+    std::cout << "  cities in " << country << ": " << row[1]
+              << (exact ? "  [exact: community claims the list complete]"
+                        : "  [lower bound: no completeness claim]")
+              << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  WikipediaConfig config;
+  config.num_cities = 8000;
+  AnnotatedDatabase adb = MakeWikipediaDatabase(config);
+  // Crowd edits are trusted over stale claims: retract on violation.
+  FeedManager feed(&adb, FeedViolationPolicy::kRetractPatterns);
+
+  std::cout << "The German Wikipedia community maintains a "
+               "{{Complete list}} template on its city list:\n";
+  CountCities(adb, "Germany");
+  CountCities(adb, "France");  // no claim exists for France
+
+  std::cout << "\nAn editor discovers a missing German city and adds "
+               "it:\n";
+  PCDB_CHECK(
+      feed.Ingest("city", {"Neustadt-an-der-Lücke", "Germany",
+                           "State_7", "County_3"})
+          .ok());
+  std::cout << "  edit accepted; " << feed.stats().patterns_retracted
+            << " completeness claim(s) retracted\n\n";
+
+  std::cout << "The count is now reported as a lower bound again:\n";
+  CountCities(adb, "Germany");
+
+  std::cout << "\nAfter review, the community re-asserts the template:\n";
+  PCDB_CHECK(feed.Punctuate("city", {"*", "Germany", "*", "*"}).ok());
+  CountCities(adb, "Germany");
+  return 0;
+}

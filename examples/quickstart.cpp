@@ -1,0 +1,65 @@
+// Quickstart: the paper's running example end to end.
+//
+// Builds the network-maintenance database D_maint (Table 1), runs the
+// query Q_hw ("all week-2 warnings for elements maintained by a hardware
+// team") and prints the answer annotated with completeness patterns —
+// first with the schema-level pattern algebra (Table 3), then with the
+// instance-aware algebra whose promotion summarizes the patterns
+// (Table 5).
+
+#include <iostream>
+
+#include "pattern/annotated_eval.h"
+#include "pattern/diagnosis.h"
+#include "workloads/maintenance_example.h"
+
+int main() {
+  using namespace pcdb;
+
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  std::cout << "=== Base tables with completeness patterns (Table 1) ===\n";
+  for (const std::string& name : adb.database().TableNames()) {
+    auto annotated = adb.GetAnnotated(name);
+    std::cout << name << ":\n" << annotated->ToString() << "\n";
+  }
+
+  ExprPtr query = MakeHardwareWarningsQuery();
+  std::cout << "=== Query Q_hw ===\n" << query->ToString() << "\n\n";
+
+  // Schema-level pattern algebra (§4).
+  auto result = EvaluateAnnotated(query, adb);
+  if (!result.ok()) {
+    std::cerr << "evaluation failed: " << result.status() << "\n";
+    return 1;
+  }
+  std::cout << "=== Annotated answer, schema-level algebra (Table 3) ===\n"
+            << result->ToString() << "\n";
+
+  // Instance-aware algebra (§5): promotion inspects the data and infers
+  // that A and B are the only hardware teams, so the per-team patterns
+  // summarize to '*'.
+  AnnotatedEvalOptions options;
+  options.instance_aware = true;
+  auto aware = EvaluateAnnotated(query, adb, options);
+  if (!aware.ok()) {
+    std::cerr << "evaluation failed: " << aware.status() << "\n";
+    return 1;
+  }
+  std::cout << "=== Annotated answer, instance-aware algebra (Table 5) ===\n"
+            << aware->ToString() << "\n";
+
+  std::cout
+      << "Reading the patterns: on Monday and Wednesday the retrieved\n"
+         "warnings are guaranteed to be ALL warnings that occurred; for\n"
+         "Tuesday no such guarantee exists (the Tuesday feed has not\n"
+         "fully loaded), so the tw83 warning shown may have company.\n\n";
+
+  // Why-provenance pinpoints the source to consult (§1: "users can then
+  // try to consult specific additional data sources").
+  auto report = DiagnoseIncompleteness(query, adb);
+  if (report.ok()) {
+    std::cout << "=== Incompleteness diagnosis ===\n"
+              << report->ToString();
+  }
+  return 0;
+}

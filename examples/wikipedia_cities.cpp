@@ -1,0 +1,73 @@
+// The Wikipedia use case (§1, §4.2, Appendix B): counting cities per
+// country over crowd-sourced data that is only complete for some
+// countries.
+//
+// Runs SELECT country, COUNT(*) FROM city GROUP BY country over the
+// synthetic Wikipedia database and shows which counts are guaranteed
+// complete AND correct — the countries for which Wikipedia carries a
+// "complete list of cities" statement — and which counts are mere lower
+// bounds.
+
+#include <algorithm>
+#include <iostream>
+
+#include "pattern/annotated_eval.h"
+#include "sql/planner.h"
+#include "workloads/wikipedia.h"
+
+int main() {
+  using namespace pcdb;
+
+  WikipediaConfig config;
+  config.num_cities = 20000;  // keep the demo snappy
+  AnnotatedDatabase adb = MakeWikipediaDatabase(config);
+
+  std::cout << "City completeness statements scraped from Wikipedia:\n"
+            << adb.patterns("city").ToString() << "\n";
+
+  const std::string sql =
+      "SELECT country, COUNT(*) AS cities FROM city GROUP BY country";
+  std::cout << "Query: " << sql << "\n\n";
+  auto plan = PlanSql(sql, adb.database());
+  if (!plan.ok()) {
+    std::cerr << "planning failed: " << plan.status() << "\n";
+    return 1;
+  }
+  auto result = EvaluateAnnotated(*plan, adb);
+  if (!result.ok()) {
+    std::cerr << "evaluation failed: " << result.status() << "\n";
+    return 1;
+  }
+
+  // Split the answer rows into guaranteed-correct counts and lower
+  // bounds, by checking which rows the computed query patterns cover.
+  Table sorted = result->data;
+  sorted.Sort();
+  std::cout << "country                count   guarantee\n"
+            << "-----------------------------------------------\n";
+  size_t guaranteed = 0;
+  size_t shown = 0;
+  for (const Tuple& row : sorted.rows()) {
+    bool complete = result->patterns.AnySubsumesTuple(row);
+    if (complete) ++guaranteed;
+    // Print the guaranteed rows and a few of the rest.
+    if (complete || shown < 8) {
+      std::string name = row[0].ToString();
+      name.resize(22, ' ');
+      std::string count = row[1].ToString();
+      count.resize(7, ' ');
+      std::cout << name << " " << count << " "
+                << (complete ? "exact (complete & correct)"
+                             : "lower bound only")
+                << "\n";
+      if (!complete) ++shown;
+    }
+  }
+  std::cout << "...\n\n"
+            << guaranteed << " of " << sorted.num_rows()
+            << " country counts are guaranteed exact by the completeness\n"
+               "statements; for the rest, users should consult additional\n"
+               "sources (e.g. the Mondial database or the CIA world "
+               "factbook).\n";
+  return 0;
+}

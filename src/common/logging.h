@@ -1,0 +1,55 @@
+#ifndef PCDB_COMMON_LOGGING_H_
+#define PCDB_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace pcdb {
+namespace internal_logging {
+
+/// Accumulates a fatal-error message and aborts the process when
+/// destroyed. Used by the PCDB_CHECK macro below; never instantiate
+/// directly.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) {
+    stream_ << file << ":" << line << ": check failed: ";
+  }
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns the streamed fatal message into a void expression so that
+/// PCDB_CHECK can appear in a ternary operator (the glog idiom).
+/// operator& binds less tightly than operator<<.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace pcdb
+
+/// Aborts with a message if `condition` is false; additional context may
+/// be streamed: PCDB_CHECK(x > 0) << "x was " << x. For internal
+/// invariants only (programming errors); recoverable errors use Status.
+#define PCDB_CHECK(condition)                                        \
+  (condition) ? (void)0                                              \
+              : ::pcdb::internal_logging::Voidify() &                \
+                    ::pcdb::internal_logging::FatalLogMessage(       \
+                        __FILE__, __LINE__)                          \
+                            .stream()                                \
+                        << #condition << " "
+
+#endif  // PCDB_COMMON_LOGGING_H_

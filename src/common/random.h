@@ -1,0 +1,117 @@
+#ifndef PCDB_COMMON_RANDOM_H_
+#define PCDB_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pcdb {
+
+/// \brief Deterministic pseudo-random generator (xoshiro256**).
+///
+/// All workload generators and experiments draw from this generator so
+/// that runs are reproducible given a seed; we never touch global RNG
+/// state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x1234567890abcdefULL) {
+    // SplitMix64 seeding, recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit output.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t UniformUint64(uint64_t bound) {
+    PCDB_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    PCDB_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    UniformUint64(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Exponentially distributed double with the given rate (mean 1/rate).
+  double Exponential(double rate) {
+    PCDB_CHECK(rate > 0);
+    double u = UniformDouble();
+    if (u >= 1.0) u = 0.9999999999;
+    return -std::log(1.0 - u) / rate;
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  size_t Weighted(const std::vector<double>& weights) {
+    PCDB_CHECK(!weights.empty());
+    double total = 0;
+    for (double w : weights) total += w;
+    double x = UniformDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x <= 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = UniformUint64(i);
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element; `items` must be non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    PCDB_CHECK(!items.empty());
+    return items[UniformUint64(items.size())];
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_COMMON_RANDOM_H_

@@ -1,0 +1,82 @@
+#ifndef PCDB_COMMON_RESULT_H_
+#define PCDB_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace pcdb {
+
+/// \brief Holds either a value of type T or a non-OK Status explaining why
+/// no value is available (the arrow::Result idiom).
+///
+/// Accessing the value of a failed Result is a programming error and
+/// aborts the process with the status message.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a programming error.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : storage_(std::move(status)) {
+    PCDB_CHECK(!std::get<Status>(storage_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  /// Returns the error status, or OK if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(storage_);
+  }
+
+  const T& ValueOrDie() const& {
+    PCDB_CHECK(ok()) << "Result::ValueOrDie on error: "
+                     << std::get<Status>(storage_).ToString();
+    return std::get<T>(storage_);
+  }
+
+  T& ValueOrDie() & {
+    PCDB_CHECK(ok()) << "Result::ValueOrDie on error: "
+                     << std::get<Status>(storage_).ToString();
+    return std::get<T>(storage_);
+  }
+
+  T&& ValueOrDie() && {
+    PCDB_CHECK(ok()) << "Result::ValueOrDie on error: "
+                     << std::get<Status>(storage_).ToString();
+    return std::move(std::get<T>(storage_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> storage_;
+};
+
+/// Propagates the error of a failed Result expression; otherwise assigns
+/// the contained value to `lhs`.
+#define PCDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define PCDB_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define PCDB_ASSIGN_OR_RETURN_NAME(a, b) PCDB_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define PCDB_ASSIGN_OR_RETURN(lhs, expr)                                    \
+  PCDB_ASSIGN_OR_RETURN_IMPL(PCDB_ASSIGN_OR_RETURN_NAME(_res_, __COUNTER__), \
+                             lhs, expr)
+
+}  // namespace pcdb
+
+#endif  // PCDB_COMMON_RESULT_H_

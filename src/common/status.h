@@ -1,0 +1,98 @@
+#ifndef PCDB_COMMON_STATUS_H_
+#define PCDB_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace pcdb {
+
+/// \brief Error category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kTypeError,
+  kParseError,
+  kTimeout,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Returns a human-readable name for a status code ("OK",
+/// "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation that may fail, in the Arrow/RocksDB
+/// idiom: library code reports errors via Status return values instead of
+/// exceptions.
+///
+/// A default-constructed Status is OK and carries no message. Failure
+/// statuses carry a code and a message describing the error.
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Formats the status as "<code name>: <message>", or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK Status from the enclosing function.
+#define PCDB_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::pcdb::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+}  // namespace pcdb
+
+#endif  // PCDB_COMMON_STATUS_H_

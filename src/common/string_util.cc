@@ -1,0 +1,68 @@
+#include "common/string_util.h"
+
+#include <cctype>
+
+namespace pcdb {
+
+std::vector<std::string> SplitString(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    if (c == sep) {
+      out.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  out.push_back(std::move(current));
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string TrimString(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string ToLower(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::string ToUpper(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace pcdb

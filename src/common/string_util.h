@@ -1,0 +1,30 @@
+#ifndef PCDB_COMMON_STRING_UTIL_H_
+#define PCDB_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace pcdb {
+
+/// Splits `text` on `sep`; adjacent separators yield empty fields.
+std::vector<std::string> SplitString(const std::string& text, char sep);
+
+/// Joins `parts` with `sep` between elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string TrimString(const std::string& text);
+
+/// ASCII lower-casing.
+std::string ToLower(const std::string& text);
+
+/// ASCII upper-casing.
+std::string ToUpper(const std::string& text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(const std::string& text, const std::string& prefix);
+
+}  // namespace pcdb
+
+#endif  // PCDB_COMMON_STRING_UTIL_H_

@@ -1,0 +1,34 @@
+#ifndef PCDB_COMMON_TIMER_H_
+#define PCDB_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace pcdb {
+
+/// \brief Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_COMMON_TIMER_H_

@@ -1,0 +1,110 @@
+#include "common/value.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace pcdb {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+Result<ValueType> ValueTypeFromString(const std::string& name) {
+  std::string upper;
+  upper.reserve(name.size());
+  for (char c : name) upper.push_back(static_cast<char>(std::toupper(c)));
+  if (upper == "INT64" || upper == "INT" || upper == "BIGINT") {
+    return ValueType::kInt64;
+  }
+  if (upper == "DOUBLE" || upper == "FLOAT" || upper == "REAL") {
+    return ValueType::kDouble;
+  }
+  if (upper == "STRING" || upper == "TEXT" || upper == "VARCHAR") {
+    return ValueType::kString;
+  }
+  return Status::ParseError("unknown value type: " + name);
+}
+
+double Value::AsDouble() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(int64());
+    case ValueType::kDouble:
+      return dbl();
+    case ValueType::kString:
+      break;
+  }
+  PCDB_CHECK(false) << "Value::AsDouble on string value '" << str() << "'";
+  return 0.0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(int64());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", dbl());
+      return buf;
+    }
+    case ValueType::kString:
+      return str();
+  }
+  return "";
+}
+
+Result<Value> Value::Parse(const std::string& text, ValueType type) {
+  switch (type) {
+    case ValueType::kInt64: {
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return Status::ParseError("not an integer: '" + text + "'");
+      }
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      // std::from_chars for double is not available on all libstdc++
+      // versions used here; strtod with full-consumption check suffices.
+      char* end = nullptr;
+      errno = 0;
+      double v = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size() || text.empty()) {
+        return Status::ParseError("not a double: '" + text + "'");
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(text);
+  }
+  return Status::Internal("unhandled value type");
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(type()) * 0x9e3779b97f4a7c15ULL;
+  switch (type()) {
+    case ValueType::kInt64:
+      return HashCombine(seed, std::hash<int64_t>{}(int64()));
+    case ValueType::kDouble:
+      return HashCombine(seed, std::hash<double>{}(dbl()));
+    case ValueType::kString:
+      return HashCombine(seed, std::hash<std::string>{}(str()));
+  }
+  return seed;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace pcdb

@@ -1,0 +1,94 @@
+#ifndef PCDB_COMMON_VALUE_H_
+#define PCDB_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace pcdb {
+
+/// \brief Runtime type of a Value / table column.
+enum class ValueType {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+/// Returns "INT64", "DOUBLE" or "STRING".
+const char* ValueTypeToString(ValueType type);
+
+/// Parses a type name as produced by ValueTypeToString (case-insensitive).
+Result<ValueType> ValueTypeFromString(const std::string& name);
+
+/// \brief A dynamically typed database constant: 64-bit integer, double,
+/// or string.
+///
+/// Values of different types never compare equal; ordering is by type
+/// first, then by value, which gives a total order usable for sorting and
+/// map keys. Columns are schema-typed, so in practice comparisons are
+/// always within one type.
+class Value {
+ public:
+  /// Default-constructs the integer 0.
+  Value() : data_(int64_t{0}) {}
+  Value(int64_t v) : data_(v) {}          // NOLINT(runtime/explicit)
+  Value(int v) : data_(int64_t{v}) {}     // NOLINT(runtime/explicit)
+  Value(double v) : data_(v) {}           // NOLINT(runtime/explicit)
+  Value(std::string v)                    // NOLINT(runtime/explicit)
+      : data_(std::move(v)) {}
+  Value(const char* v)                    // NOLINT(runtime/explicit)
+      : data_(std::string(v)) {}
+
+  ValueType type() const { return static_cast<ValueType>(data_.index()); }
+
+  bool is_int64() const { return type() == ValueType::kInt64; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+
+  int64_t int64() const { return std::get<int64_t>(data_); }
+  double dbl() const { return std::get<double>(data_); }
+  const std::string& str() const { return std::get<std::string>(data_); }
+
+  /// Numeric content as a double; aborts on strings. Used by SUM/AVG.
+  double AsDouble() const;
+
+  /// Renders the value for display: integers in decimal, doubles with
+  /// minimal digits, strings verbatim.
+  std::string ToString() const;
+
+  /// Parses `text` as a value of type `type`. Fails with ParseError on
+  /// malformed numeric input.
+  static Result<Value> Parse(const std::string& text, ValueType type);
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return data_ < other.data_; }
+  bool operator<=(const Value& other) const { return !(other < *this); }
+  bool operator>(const Value& other) const { return other < *this; }
+  bool operator>=(const Value& other) const { return !(*this < other); }
+
+  /// Hash consistent with operator==.
+  size_t Hash() const;
+
+ private:
+  std::variant<int64_t, double, std::string> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+/// Combines a new hash into a running seed (boost::hash_combine recipe).
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_COMMON_VALUE_H_

@@ -1,0 +1,131 @@
+#include "pattern/annotated.h"
+
+namespace pcdb {
+
+std::string AnnotatedTable::ToString(size_t max_rows) const {
+  // Render data rows and pattern rows in one grid, the paper's Table 1/3
+  // presentation: records first, then a separator, then the completeness
+  // patterns with '*' cells.
+  const Schema& schema = data.schema();
+  const size_t arity = schema.arity();
+  std::vector<size_t> widths(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    widths[i] = schema.column(i).name.size();
+  }
+  size_t shown = std::min(max_rows, data.num_rows());
+  std::vector<std::vector<std::string>> data_cells;
+  data_cells.reserve(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row;
+    row.reserve(arity);
+    for (size_t i = 0; i < arity; ++i) {
+      row.push_back(data.row(r)[i].ToString());
+      widths[i] = std::max(widths[i], row.back().size());
+    }
+    data_cells.push_back(std::move(row));
+  }
+  std::vector<std::vector<std::string>> pattern_cells;
+  pattern_cells.reserve(patterns.size());
+  for (const Pattern& p : patterns) {
+    std::vector<std::string> row;
+    row.reserve(arity);
+    for (size_t i = 0; i < arity && i < p.arity(); ++i) {
+      row.push_back(p.IsWildcard(i) ? "*" : p.value(i).ToString());
+      widths[i] = std::max(widths[i], row.back().size());
+    }
+    pattern_cells.push_back(std::move(row));
+  }
+
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out += "|";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      out += " ";
+      out += cells[i];
+      out.append(widths[i] - cells[i].size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+  };
+  auto emit_separator = [&] {
+    out += "|";
+    for (size_t i = 0; i < arity; ++i) {
+      out.append(widths[i] + 2, '-');
+      out += "|";
+    }
+    out += "\n";
+  };
+  std::vector<std::string> header;
+  header.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) header.push_back(schema.column(i).name);
+  emit_row(header);
+  emit_separator();
+  for (const auto& row : data_cells) emit_row(row);
+  if (shown < data.num_rows()) {
+    out += "... (" + std::to_string(data.num_rows() - shown) +
+           " more rows)\n";
+  }
+  if (!pattern_cells.empty()) {
+    out += "complete for:\n";
+    emit_separator();
+    for (const auto& row : pattern_cells) emit_row(row);
+  }
+  return out;
+}
+
+Status AnnotatedDatabase::CreateTable(const std::string& name,
+                                      Schema schema) {
+  return db_.CreateTable(name, std::move(schema));
+}
+
+Status AnnotatedDatabase::AddRow(const std::string& name, Tuple row) {
+  PCDB_ASSIGN_OR_RETURN(Table * table, db_.GetMutableTable(name));
+  return table->Append(std::move(row));
+}
+
+Status AnnotatedDatabase::AddPattern(const std::string& name,
+                                     Pattern pattern) {
+  PCDB_ASSIGN_OR_RETURN(const Table* table, db_.GetTable(name));
+  if (pattern.arity() != table->schema().arity()) {
+    return Status::InvalidArgument(
+        "pattern arity " + std::to_string(pattern.arity()) +
+        " does not match schema of table '" + name + "'");
+  }
+  for (size_t i = 0; i < pattern.arity(); ++i) {
+    if (!pattern.IsWildcard(i) &&
+        pattern.value(i).type() != table->schema().column(i).type) {
+      return Status::TypeError(
+          "pattern constant '" + pattern.value(i).ToString() +
+          "' does not match the type of column '" +
+          table->schema().column(i).name + "' in table '" + name + "'");
+    }
+  }
+  patterns_[name].AddUnique(std::move(pattern));
+  return Status::OK();
+}
+
+Status AnnotatedDatabase::AddPattern(const std::string& name,
+                                     const std::vector<std::string>& fields) {
+  PCDB_ASSIGN_OR_RETURN(const Table* table, db_.GetTable(name));
+  PCDB_ASSIGN_OR_RETURN(Pattern p, Pattern::Parse(fields, table->schema()));
+  patterns_[name].AddUnique(std::move(p));
+  return Status::OK();
+}
+
+const PatternSet& AnnotatedDatabase::patterns(const std::string& name) const {
+  auto it = patterns_.find(name);
+  return it == patterns_.end() ? empty_ : it->second;
+}
+
+void AnnotatedDatabase::SetPatterns(const std::string& name,
+                                    PatternSet patterns) {
+  patterns_[name] = std::move(patterns);
+}
+
+Result<AnnotatedTable> AnnotatedDatabase::GetAnnotated(
+    const std::string& name) const {
+  PCDB_ASSIGN_OR_RETURN(const Table* table, db_.GetTable(name));
+  return AnnotatedTable{*table, patterns(name)};
+}
+
+}  // namespace pcdb

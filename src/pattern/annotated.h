@@ -1,0 +1,72 @@
+#ifndef PCDB_PATTERN_ANNOTATED_H_
+#define PCDB_PATTERN_ANNOTATED_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pattern/domain.h"
+#include "pattern/pattern.h"
+#include "relational/database.h"
+#include "relational/table.h"
+
+namespace pcdb {
+
+/// \brief A relation together with the completeness patterns that hold
+/// for it — a data table annotated with its metadata table, as in
+/// Tables 1–3 of the paper.
+struct AnnotatedTable {
+  Table data;
+  PatternSet patterns;
+
+  /// Renders rows followed by pattern rows, the paper's presentation
+  /// (rows r1..rn, then patterns p1..pm with '*' cells).
+  std::string ToString(size_t max_rows = 50) const;
+};
+
+/// \brief A partially complete database: an instance plus, for each
+/// table, a set of base completeness patterns (§3.2), plus optional
+/// attribute domains for zombie generation.
+class AnnotatedDatabase {
+ public:
+  Database& database() { return db_; }
+  const Database& database() const { return db_; }
+
+  /// Registers a new empty table.
+  Status CreateTable(const std::string& name, Schema schema);
+
+  /// Appends a data row (type-checked against the schema).
+  Status AddRow(const std::string& name, Tuple row);
+
+  /// Asserts a base completeness pattern for `name`; the pattern arity
+  /// must match the table schema.
+  Status AddPattern(const std::string& name, Pattern pattern);
+
+  /// Parses and asserts a pattern from display fields, e.g.
+  /// {"Mon", "2", "*", "*"}; "*" is the wildcard.
+  Status AddPattern(const std::string& name,
+                    const std::vector<std::string>& fields);
+
+  /// The base patterns of `name` (the empty set for unknown tables or
+  /// tables without assertions — everything open-world).
+  const PatternSet& patterns(const std::string& name) const;
+
+  /// Replaces the pattern set of `name`.
+  void SetPatterns(const std::string& name, PatternSet patterns);
+
+  /// The annotated view of a base table.
+  Result<AnnotatedTable> GetAnnotated(const std::string& name) const;
+
+  DomainRegistry& domains() { return domains_; }
+  const DomainRegistry& domains() const { return domains_; }
+
+ private:
+  Database db_;
+  std::map<std::string, PatternSet> patterns_;
+  PatternSet empty_;
+  DomainRegistry domains_;
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_PATTERN_ANNOTATED_H_

@@ -1,0 +1,303 @@
+#include "pattern/annotated_eval.h"
+
+#include "common/timer.h"
+#include "pattern/algebra.h"
+#include "pattern/zombie.h"
+#include "relational/evaluator.h"
+
+namespace pcdb {
+namespace {
+
+/// Appends `extra` to `base` without duplicating patterns.
+void UnionInto(PatternSet* base, const PatternSet& extra) {
+  for (const Pattern& p : extra) base->AddUnique(p);
+}
+
+class AnnotatedEvaluator {
+ public:
+  AnnotatedEvaluator(const AnnotatedDatabase& adb,
+                     const AnnotatedEvalOptions& options,
+                     AnnotatedEvalInfo* info)
+      : adb_(adb), options_(options), info_(info) {}
+
+  Result<AnnotatedTable> Eval(const Expr& expr) {
+    AnnotatedTable left;
+    AnnotatedTable right;
+    if (expr.left() != nullptr) {
+      PCDB_ASSIGN_OR_RETURN(left, Eval(*expr.left()));
+    }
+    if (expr.right() != nullptr) {
+      PCDB_ASSIGN_OR_RETURN(right, Eval(*expr.right()));
+    }
+
+    // Metadata first: the pattern operators (promotion, zombies) read
+    // the children's data, which the data step consumes afterwards.
+    WallTimer timer;
+    PCDB_ASSIGN_OR_RETURN(PatternSet patterns,
+                          ComputePatterns(expr, left, right));
+    if (info_ != nullptr) {
+      info_->max_intermediate_patterns =
+          std::max(info_->max_intermediate_patterns, patterns.size());
+    }
+    if (options_.minimize_each_step) {
+      patterns = Minimize(patterns);
+    }
+    if (info_ != nullptr) info_->pattern_millis += timer.ElapsedMillis();
+
+    timer.Reset();
+    PCDB_ASSIGN_OR_RETURN(
+        Table data, ApplyRootOperator(expr, adb_.database(),
+                                      std::move(left.data),
+                                      std::move(right.data)));
+    if (info_ != nullptr) info_->data_millis += timer.ElapsedMillis();
+    return AnnotatedTable{std::move(data), std::move(patterns)};
+  }
+
+ private:
+  Result<PatternSet> ComputePatterns(const Expr& expr,
+                                     const AnnotatedTable& left,
+                                     const AnnotatedTable& right) {
+    switch (expr.kind()) {
+      case ExprKind::kScan:
+        return adb_.patterns(expr.table_name());
+      case ExprKind::kSelectConst: {
+        const Schema& in = left.data.schema();
+        PCDB_ASSIGN_OR_RETURN(size_t idx, in.Resolve(expr.attr()));
+        PatternSet out =
+            PatternSelectConst(left.patterns, idx, expr.constant());
+        if (options_.zombies) {
+          const std::vector<Value>* domain =
+              adb_.domains().Lookup(in.column(idx).name);
+          if (domain != nullptr) {
+            PatternSet zombies = ZombiesForSelectConst(
+                in.arity(), idx, expr.constant(), *domain);
+            if (info_ != nullptr) info_->zombies_added += zombies.size();
+            UnionInto(&out, zombies);
+          }
+        }
+        return out;
+      }
+      case ExprKind::kSelectAttrEq: {
+        const Schema& in = left.data.schema();
+        PCDB_ASSIGN_OR_RETURN(size_t a, in.Resolve(expr.attr()));
+        PCDB_ASSIGN_OR_RETURN(size_t b, in.Resolve(expr.attr2()));
+        return PatternSelectAttrEq(left.patterns, a, b);
+      }
+      case ExprKind::kProjectOut: {
+        PCDB_ASSIGN_OR_RETURN(size_t idx,
+                              left.data.schema().Resolve(expr.attr()));
+        return PatternProjectOut(left.patterns, idx);
+      }
+      case ExprKind::kRearrange: {
+        std::vector<size_t> indices;
+        indices.reserve(expr.attrs().size());
+        for (const std::string& a : expr.attrs()) {
+          PCDB_ASSIGN_OR_RETURN(size_t idx,
+                                left.data.schema().Resolve(a));
+          indices.push_back(idx);
+        }
+        return PatternRearrange(left.patterns, indices);
+      }
+      case ExprKind::kJoin: {
+        if (expr.attr().empty()) {
+          return PatternCross(left.patterns, right.patterns);
+        }
+        PCDB_ASSIGN_OR_RETURN(size_t a,
+                              left.data.schema().Resolve(expr.attr()));
+        PCDB_ASSIGN_OR_RETURN(size_t b,
+                              right.data.schema().Resolve(expr.attr2()));
+        PatternSet out;
+        if (options_.instance_aware) {
+          PromotionStats stats;
+          out = InstanceAwarePatternJoin(
+              left.patterns, a, left.data, right.patterns, b, right.data,
+              options_.promotion, &stats, options_.join_strategy);
+          if (info_ != nullptr) info_->promotion.MergeFrom(stats);
+        } else {
+          out = PatternJoin(left.patterns, a, right.patterns, b,
+                            options_.join_strategy);
+        }
+        if (options_.zombies) {
+          const std::vector<Value>* left_domain =
+              adb_.domains().Lookup(left.data.schema().column(a).name);
+          if (left_domain != nullptr) {
+            PatternSet zombies = ZombiesForJoin(
+                left.patterns, a, left.data, *left_domain,
+                right.data.schema().arity(), /*side_is_left=*/true);
+            if (info_ != nullptr) info_->zombies_added += zombies.size();
+            UnionInto(&out, zombies);
+          }
+          const std::vector<Value>* right_domain =
+              adb_.domains().Lookup(right.data.schema().column(b).name);
+          if (right_domain != nullptr) {
+            PatternSet zombies = ZombiesForJoin(
+                right.patterns, b, right.data, *right_domain,
+                left.data.schema().arity(), /*side_is_left=*/false);
+            if (info_ != nullptr) info_->zombies_added += zombies.size();
+            UnionInto(&out, zombies);
+          }
+        }
+        return out;
+      }
+      case ExprKind::kAggregate: {
+        std::vector<size_t> group_idx;
+        group_idx.reserve(expr.attrs().size());
+        for (const std::string& g : expr.attrs()) {
+          PCDB_ASSIGN_OR_RETURN(size_t idx,
+                                left.data.schema().Resolve(g));
+          group_idx.push_back(idx);
+        }
+        return PatternAggregate(left.patterns, group_idx,
+                                expr.aggs().size());
+      }
+      case ExprKind::kSort:
+        // Sorting is a bag bijection; the metadata is order-free.
+        return left.patterns;
+      case ExprKind::kLimit:
+        return PatternLimit(left.patterns);
+      case ExprKind::kUnion:
+        return PatternUnion(left.patterns, right.patterns);
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  const AnnotatedDatabase& adb_;
+  const AnnotatedEvalOptions& options_;
+  AnnotatedEvalInfo* info_;
+};
+
+/// Schema-only recursion: computes (output schema, pattern set) per node
+/// without evaluating any data.
+class SchemaOnlyEvaluator {
+ public:
+  SchemaOnlyEvaluator(const AnnotatedDatabase& adb,
+                      const AnnotatedEvalOptions& options, size_t* cost)
+      : adb_(adb), options_(options), cost_(cost) {}
+
+  struct Node {
+    Schema schema;
+    PatternSet patterns;
+  };
+
+  Result<Node> Eval(const Expr& expr) {
+    Node left;
+    Node right;
+    if (expr.left() != nullptr) {
+      PCDB_ASSIGN_OR_RETURN(left, Eval(*expr.left()));
+    }
+    if (expr.right() != nullptr) {
+      PCDB_ASSIGN_OR_RETURN(right, Eval(*expr.right()));
+    }
+    PCDB_ASSIGN_OR_RETURN(Node node, Apply(expr, left, right));
+    if (cost_ != nullptr) *cost_ += node.patterns.size();
+    if (options_.minimize_each_step) {
+      node.patterns = Minimize(node.patterns);
+    }
+    return node;
+  }
+
+ private:
+  Result<Node> Apply(const Expr& expr, const Node& left, const Node& right) {
+    switch (expr.kind()) {
+      case ExprKind::kScan: {
+        PCDB_ASSIGN_OR_RETURN(Schema schema,
+                              expr.OutputSchema(adb_.database()));
+        return Node{std::move(schema), adb_.patterns(expr.table_name())};
+      }
+      case ExprKind::kSelectConst: {
+        PCDB_ASSIGN_OR_RETURN(size_t idx, left.schema.Resolve(expr.attr()));
+        return Node{left.schema, PatternSelectConst(left.patterns, idx,
+                                                    expr.constant())};
+      }
+      case ExprKind::kSelectAttrEq: {
+        PCDB_ASSIGN_OR_RETURN(size_t a, left.schema.Resolve(expr.attr()));
+        PCDB_ASSIGN_OR_RETURN(size_t b, left.schema.Resolve(expr.attr2()));
+        return Node{left.schema, PatternSelectAttrEq(left.patterns, a, b)};
+      }
+      case ExprKind::kProjectOut: {
+        PCDB_ASSIGN_OR_RETURN(size_t idx, left.schema.Resolve(expr.attr()));
+        return Node{left.schema.WithoutColumn(idx),
+                    PatternProjectOut(left.patterns, idx)};
+      }
+      case ExprKind::kRearrange: {
+        std::vector<size_t> indices;
+        indices.reserve(expr.attrs().size());
+        for (const std::string& a : expr.attrs()) {
+          PCDB_ASSIGN_OR_RETURN(size_t idx, left.schema.Resolve(a));
+          indices.push_back(idx);
+        }
+        return Node{left.schema.Select(indices),
+                    PatternRearrange(left.patterns, indices)};
+      }
+      case ExprKind::kJoin: {
+        Schema schema = left.schema.Concat(right.schema);
+        if (expr.attr().empty()) {
+          return Node{std::move(schema),
+                      PatternCross(left.patterns, right.patterns)};
+        }
+        PCDB_ASSIGN_OR_RETURN(size_t a, left.schema.Resolve(expr.attr()));
+        PCDB_ASSIGN_OR_RETURN(size_t b, right.schema.Resolve(expr.attr2()));
+        return Node{std::move(schema),
+                    PatternJoin(left.patterns, a, right.patterns, b,
+                                options_.join_strategy)};
+      }
+      case ExprKind::kAggregate: {
+        std::vector<size_t> group_idx;
+        group_idx.reserve(expr.attrs().size());
+        for (const std::string& g : expr.attrs()) {
+          PCDB_ASSIGN_OR_RETURN(size_t idx, left.schema.Resolve(g));
+          group_idx.push_back(idx);
+        }
+        PCDB_ASSIGN_OR_RETURN(Schema schema,
+                              expr.OutputSchema(adb_.database()));
+        // OutputSchema recomputes the whole subtree, which is redundant
+        // but cheap; only the aggregate's column list is needed here.
+        return Node{std::move(schema),
+                    PatternAggregate(left.patterns, group_idx,
+                                     expr.aggs().size())};
+      }
+      case ExprKind::kSort:
+        return Node{left.schema, left.patterns};
+      case ExprKind::kLimit:
+        return Node{left.schema, PatternLimit(left.patterns)};
+      case ExprKind::kUnion:
+        return Node{left.schema,
+                    PatternUnion(left.patterns, right.patterns)};
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  const AnnotatedDatabase& adb_;
+  const AnnotatedEvalOptions& options_;
+  size_t* cost_;
+};
+
+}  // namespace
+
+Result<AnnotatedTable> EvaluateAnnotated(const Expr& expr,
+                                         const AnnotatedDatabase& adb,
+                                         const AnnotatedEvalOptions& options,
+                                         AnnotatedEvalInfo* info) {
+  AnnotatedEvaluator evaluator(adb, options, info);
+  return evaluator.Eval(expr);
+}
+
+Result<PatternSet> ComputeQueryPatterns(const Expr& expr,
+                                        const AnnotatedDatabase& adb,
+                                        const AnnotatedEvalOptions& options,
+                                        size_t* total_intermediate_patterns) {
+  if (options.instance_aware || options.zombies) {
+    return Status::InvalidArgument(
+        "ComputeQueryPatterns is schema-level only: the instance-aware "
+        "algebra and zombie generation read the data; use "
+        "EvaluateAnnotated instead");
+  }
+  if (total_intermediate_patterns != nullptr) {
+    *total_intermediate_patterns = 0;
+  }
+  SchemaOnlyEvaluator evaluator(adb, options, total_intermediate_patterns);
+  PCDB_ASSIGN_OR_RETURN(SchemaOnlyEvaluator::Node node, evaluator.Eval(expr));
+  return std::move(node.patterns);
+}
+
+}  // namespace pcdb

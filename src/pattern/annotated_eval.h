@@ -1,0 +1,92 @@
+#ifndef PCDB_PATTERN_ANNOTATED_EVAL_H_
+#define PCDB_PATTERN_ANNOTATED_EVAL_H_
+
+#include "pattern/annotated.h"
+#include "pattern/minimize.h"
+#include "pattern/promotion.h"
+#include "relational/expr.h"
+
+namespace pcdb {
+
+/// \brief Configuration for annotated query evaluation.
+struct AnnotatedEvalOptions {
+  /// Use the instance-aware algebra (§5): joins run pattern promotion
+  /// against the join inputs, producing more general patterns at
+  /// potentially exponential cost (mitigated by PromotionOptions).
+  bool instance_aware = false;
+  /// Generate zombie patterns (Appendix E) at constant selections and
+  /// joins. Requires attribute domains in the database's DomainRegistry;
+  /// attributes without a registered domain are skipped.
+  bool zombies = false;
+  /// Minimize the pattern set after every operator. Keeps intermediate
+  /// sets small; promotion and zombies in particular produce many
+  /// subsumed patterns (Tables 9, 10).
+  bool minimize_each_step = true;
+  PatternJoinStrategy join_strategy =
+      PatternJoinStrategy::kPartitionedHashJoin;
+  PromotionOptions promotion;
+};
+
+/// \brief Counters and timings from one annotated evaluation.
+struct AnnotatedEvalInfo {
+  /// Time spent computing the data result (query evaluation).
+  double data_millis = 0;
+  /// Time spent computing the metadata result (completeness
+  /// calculation) — the paper's headline comparison (Table 7).
+  double pattern_millis = 0;
+  /// Largest intermediate pattern set (before minimization).
+  size_t max_intermediate_patterns = 0;
+  /// Zombie patterns generated (before minimization).
+  size_t zombies_added = 0;
+  PromotionStats promotion;
+};
+
+/// \brief Evaluates `expr` over a partially complete database, computing
+/// both the query answer and the completeness patterns entailed for it.
+///
+/// This is the paper's end-to-end pipeline: the metadata is computed by
+/// running, for each algebra operator applied to the data, the analogous
+/// pattern operator on the metadata (§4.1), optionally strengthened by
+/// instance-aware promotion (§5) and zombie patterns (Appendix E).
+/// The returned patterns are sound: every completion of the database
+/// consistent with the base patterns agrees with the answer on every
+/// returned pattern's slice (Proposition 5).
+Result<AnnotatedTable> EvaluateAnnotated(
+    const Expr& expr, const AnnotatedDatabase& adb,
+    const AnnotatedEvalOptions& options = {},
+    AnnotatedEvalInfo* info = nullptr);
+
+inline Result<AnnotatedTable> EvaluateAnnotated(
+    const ExprPtr& expr, const AnnotatedDatabase& adb,
+    const AnnotatedEvalOptions& options = {},
+    AnnotatedEvalInfo* info = nullptr) {
+  return EvaluateAnnotated(*expr, adb, options, info);
+}
+
+/// \brief Computes the completeness patterns of a query answer *without
+/// touching the data* — the pattern algebra is purely schema-level
+/// (§4.1), so the reasoner can run outside the DBMS (§6, "Placement of
+/// Reasoner").
+///
+/// Only the schema-level algebra is available here: the instance-aware
+/// extension (§5) and zombie generation read tuples, so
+/// options.instance_aware and options.zombies must be false
+/// (InvalidArgument otherwise). If `total_intermediate_patterns` is
+/// given, it receives the summed sizes of all intermediate pattern sets
+/// — the cost measure the metadata plan optimizer minimizes.
+Result<PatternSet> ComputeQueryPatterns(
+    const Expr& expr, const AnnotatedDatabase& adb,
+    const AnnotatedEvalOptions& options = {},
+    size_t* total_intermediate_patterns = nullptr);
+
+inline Result<PatternSet> ComputeQueryPatterns(
+    const ExprPtr& expr, const AnnotatedDatabase& adb,
+    const AnnotatedEvalOptions& options = {},
+    size_t* total_intermediate_patterns = nullptr) {
+  return ComputeQueryPatterns(*expr, adb, options,
+                              total_intermediate_patterns);
+}
+
+}  // namespace pcdb
+
+#endif  // PCDB_PATTERN_ANNOTATED_EVAL_H_

@@ -1,0 +1,76 @@
+#include "pattern/constraints.h"
+
+#include <unordered_set>
+
+#include "pattern/minimize.h"
+
+namespace pcdb {
+
+Result<PatternSet> DeriveKeyPatterns(const AnnotatedDatabase& adb,
+                                     const KeyConstraint& key) {
+  PCDB_ASSIGN_OR_RETURN(const Table* table,
+                        adb.database().GetTable(key.table));
+  if (key.columns.empty()) {
+    return Status::InvalidArgument("key constraint without columns");
+  }
+  std::vector<size_t> key_cols;
+  key_cols.reserve(key.columns.size());
+  for (const std::string& name : key.columns) {
+    PCDB_ASSIGN_OR_RETURN(size_t idx, table->schema().Resolve(name));
+    key_cols.push_back(idx);
+  }
+  PatternSet out;
+  std::unordered_set<Pattern, PatternHash> seen;
+  for (const Tuple& t : table->rows()) {
+    Pattern p = Pattern::AllWildcards(table->schema().arity());
+    for (size_t c : key_cols) p = p.WithValue(c, t[c]);
+    if (seen.insert(p).second) out.Add(std::move(p));
+  }
+  return out;
+}
+
+Status ApplyKeyConstraint(AnnotatedDatabase* adb, const KeyConstraint& key) {
+  PCDB_ASSIGN_OR_RETURN(PatternSet derived, DeriveKeyPatterns(*adb, key));
+  PatternSet combined = adb->patterns(key.table);
+  for (const Pattern& p : derived) combined.AddUnique(p);
+  adb->SetPatterns(key.table, Minimize(combined));
+  return Status::OK();
+}
+
+Result<std::vector<Value>> DeriveInclusionDomain(
+    const AnnotatedDatabase& adb, const InclusionConstraint& inclusion) {
+  PCDB_ASSIGN_OR_RETURN(const Table* ref_table,
+                        adb.database().GetTable(inclusion.ref_table));
+  PCDB_ASSIGN_OR_RETURN(size_t ref_col,
+                        ref_table->schema().Resolve(inclusion.ref_column));
+  // The stored values of ref_column bound the real-world values of
+  // table.column only if the referenced table can gain no new rows at
+  // all — conservatively, if its pattern set asserts full completeness.
+  bool ref_closed = false;
+  for (const Pattern& p : adb.patterns(inclusion.ref_table)) {
+    if (p.IsAllWildcards()) {
+      ref_closed = true;
+      break;
+    }
+  }
+  if (!ref_closed) {
+    return Status::NotFound(
+        "referenced table '" + inclusion.ref_table +
+        "' is not asserted fully complete; no domain bound derivable");
+  }
+  return ref_table->DistinctValues(ref_col);
+}
+
+Status ApplyInclusionConstraint(AnnotatedDatabase* adb,
+                                const InclusionConstraint& inclusion) {
+  // Validate the constrained column exists.
+  PCDB_ASSIGN_OR_RETURN(const Table* table,
+                        adb->database().GetTable(inclusion.table));
+  PCDB_RETURN_NOT_OK(table->schema().Resolve(inclusion.column).status());
+  PCDB_ASSIGN_OR_RETURN(std::vector<Value> domain,
+                        DeriveInclusionDomain(*adb, inclusion));
+  adb->domains().SetDomain(inclusion.column, std::move(domain));
+  return Status::OK();
+}
+
+}  // namespace pcdb

@@ -1,0 +1,82 @@
+#ifndef PCDB_PATTERN_CONSTRAINTS_H_
+#define PCDB_PATTERN_CONSTRAINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "pattern/annotated.h"
+
+namespace pcdb {
+
+/// \brief Schema constraints that strengthen completeness reasoning —
+/// the extension the paper's conclusion names as future work ("take into
+/// account constraints such as keys, foreign keys, inclusion or
+/// functional dependencies").
+///
+/// Two inference rules are implemented:
+///
+/// 1. *Key-based patterns* — if K is a key of R, then for every tuple t
+///    already present in R the slice σ_{K = t[K]}(R) is complete: the
+///    key admits at most one tuple with those key values and it is
+///    already here. DeriveKeyPatterns materializes these assertions.
+///
+/// 2. *Inclusion-based domains* — an inclusion dependency R.A ⊆ S.B
+///    together with a base pattern making the relevant part of S.B
+///    closed-world bounds the possible values of R.A by the values
+///    currently in S.B. DeriveInclusionDomain feeds this bound into the
+///    DomainRegistry, where zombie generation (Appendix E) picks it up;
+///    attributes whose domains were previously unknown become eligible.
+
+/// \brief A key (uniqueness) constraint: `columns` of `table` determine
+/// the whole tuple; no two distinct real-world tuples share them.
+struct KeyConstraint {
+  std::string table;
+  std::vector<std::string> columns;
+};
+
+/// \brief An inclusion dependency: every value of `table.column` that
+/// can exist in the real world also appears in `ref_table.ref_column`.
+/// (Foreign keys are the enforced special case.)
+struct InclusionConstraint {
+  std::string table;
+  std::string column;
+  std::string ref_table;
+  std::string ref_column;
+};
+
+/// Patterns derivable from a key constraint and the instance: one
+/// pattern per distinct key value present in the table, with constants
+/// at the key columns and '*' elsewhere. Sound under the constraint:
+/// the pattern's slice holds at most the tuples already present.
+/// Returns InvalidArgument if a key column cannot be resolved.
+Result<PatternSet> DeriveKeyPatterns(const AnnotatedDatabase& adb,
+                                     const KeyConstraint& key);
+
+/// Adds the key-derived patterns of `key` to its table's pattern set
+/// (minimized together with the existing assertions).
+Status ApplyKeyConstraint(AnnotatedDatabase* adb, const KeyConstraint& key);
+
+/// The domain bound implied by an inclusion dependency whose referenced
+/// column is covered by completeness assertions: the distinct values of
+/// ref_table.ref_column, provided some base pattern of ref_table with
+/// '*' (or any value) at ref_column... Specifically, the bound is sound
+/// iff the referenced column is *closed*: every real-world value of
+/// ref_column occurs in the stored ref_table. That holds when the
+/// all-wildcard projection of ref_table onto ref_column is complete,
+/// i.e. some base pattern with '*' at every position except possibly
+/// ref_column subsumes all candidate rows — conservatively, when the
+/// pattern set contains a pattern that is all-'*'. Returns NotFound when
+/// the bound cannot be established.
+Result<std::vector<Value>> DeriveInclusionDomain(
+    const AnnotatedDatabase& adb, const InclusionConstraint& inclusion);
+
+/// Registers the inclusion-derived domain bound for `table.column` in
+/// the database's DomainRegistry (no-op with NotFound if the bound
+/// cannot be established).
+Status ApplyInclusionConstraint(AnnotatedDatabase* adb,
+                                const InclusionConstraint& inclusion);
+
+}  // namespace pcdb
+
+#endif  // PCDB_PATTERN_CONSTRAINTS_H_

@@ -1,0 +1,81 @@
+#include "pattern/diagnosis.h"
+
+#include <algorithm>
+
+#include "pattern/annotated_eval.h"
+#include "relational/lineage.h"
+
+namespace pcdb {
+
+std::string IncompletenessReport::ToString(size_t max_rows) const {
+  std::string out;
+  out += std::to_string(guaranteed_rows) + "/" +
+         std::to_string(answer.num_rows()) +
+         " answer rows guaranteed final\n";
+  size_t shown = 0;
+  for (const RowDiagnosis& d : rows) {
+    if (d.guaranteed) continue;
+    if (shown++ == max_rows) {
+      out += "  ...\n";
+      break;
+    }
+    out += "  row " + TupleToString(answer.row(d.row)) + ": unguaranteed";
+    if (d.suspect_tables.empty()) {
+      out += " (sources covered; guarantee lost through operators)";
+    } else {
+      out += "; consult:";
+      for (const std::string& t : d.suspect_tables) out += " " + t;
+    }
+    out += "\n";
+  }
+  if (!suspect_counts.empty()) {
+    out += "suspect tables:";
+    for (const auto& [table, count] : suspect_counts) {
+      out += " " + table + "(" + std::to_string(count) + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<IncompletenessReport> DiagnoseIncompleteness(
+    const Expr& expr, const AnnotatedDatabase& adb) {
+  // Query patterns are a set — row order independent — so they can be
+  // computed schema-level while the rows come from the lineage run.
+  PCDB_ASSIGN_OR_RETURN(PatternSet patterns,
+                        ComputeQueryPatterns(expr, adb));
+  PCDB_ASSIGN_OR_RETURN(LineageTable lineage,
+                        EvaluateWithLineage(expr, adb.database()));
+
+  IncompletenessReport report;
+  report.answer = std::move(lineage.data);
+  report.rows.reserve(report.answer.num_rows());
+  for (size_t r = 0; r < report.answer.num_rows(); ++r) {
+    RowDiagnosis diagnosis;
+    diagnosis.row = r;
+    diagnosis.guaranteed = patterns.AnySubsumesTuple(report.answer.row(r));
+    if (diagnosis.guaranteed) {
+      ++report.guaranteed_rows;
+    } else {
+      for (size_t s = 0; s < lineage.scans.size(); ++s) {
+        const std::string& table_name = lineage.scans[s];
+        PCDB_ASSIGN_OR_RETURN(const Table* table,
+                              adb.database().GetTable(table_name));
+        const Tuple& source = table->row(lineage.lineage[r][s]);
+        if (!adb.patterns(table_name).AnySubsumesTuple(source)) {
+          // Avoid duplicate table names (self-joins).
+          if (std::find(diagnosis.suspect_tables.begin(),
+                        diagnosis.suspect_tables.end(),
+                        table_name) == diagnosis.suspect_tables.end()) {
+            diagnosis.suspect_tables.push_back(table_name);
+            ++report.suspect_counts[table_name];
+          }
+        }
+      }
+    }
+    report.rows.push_back(std::move(diagnosis));
+  }
+  return report;
+}
+
+}  // namespace pcdb

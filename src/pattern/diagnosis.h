@@ -1,0 +1,59 @@
+#ifndef PCDB_PATTERN_DIAGNOSIS_H_
+#define PCDB_PATTERN_DIAGNOSIS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "pattern/annotated.h"
+#include "relational/expr.h"
+
+namespace pcdb {
+
+/// \brief Diagnosis of one answer row's completeness.
+struct RowDiagnosis {
+  /// Row index into the report's answer table.
+  size_t row = 0;
+  /// The row's slice is covered by a query completeness pattern: its
+  /// neighbourhood is guaranteed final.
+  bool guaranteed = false;
+  /// For unguaranteed rows: the base tables whose contributing tuple
+  /// lies outside every asserted completeness pattern — the "specific
+  /// additional data sources" (§1) a user should consult or re-load.
+  /// Empty for unguaranteed rows whose sources are all covered (the
+  /// guarantee was lost through operators, e.g. projection).
+  std::vector<std::string> suspect_tables;
+};
+
+/// \brief Why-provenance-based incompleteness report for a query answer.
+struct IncompletenessReport {
+  Table answer;
+  std::vector<RowDiagnosis> rows;  // parallel to answer rows
+  /// How many unguaranteed answer rows implicate each base table.
+  std::map<std::string, size_t> suspect_counts;
+  size_t guaranteed_rows = 0;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// \brief Explains which parts of a query answer lack completeness
+/// guarantees and which sources are responsible.
+///
+/// Combines the computed query completeness patterns (which rows are
+/// guaranteed) with why-provenance (which base tuples produced each
+/// row): an unguaranteed row is attributed to the base tables whose
+/// contributing tuple is not covered by any base completeness pattern.
+/// Supports the SPJ fragment plus sort/limit (lineage restriction).
+Result<IncompletenessReport> DiagnoseIncompleteness(
+    const Expr& expr, const AnnotatedDatabase& adb);
+
+inline Result<IncompletenessReport> DiagnoseIncompleteness(
+    const ExprPtr& expr, const AnnotatedDatabase& adb) {
+  return DiagnoseIncompleteness(*expr, adb);
+}
+
+}  // namespace pcdb
+
+#endif  // PCDB_PATTERN_DIAGNOSIS_H_

@@ -1,0 +1,212 @@
+#include "pattern/discrimination_tree.h"
+
+#include "common/logging.h"
+
+namespace pcdb {
+
+namespace {
+constexpr size_t kBytesPerNode = 80;      // node + parent map entry
+constexpr size_t kBytesPerCell = sizeof(Pattern::Cell);
+}  // namespace
+
+struct DiscriminationTree::Node {
+  struct CellHash {
+    size_t operator()(const Pattern::Cell& c) const {
+      return c.has_value() ? c->Hash() : 0x5bd1e995u;
+    }
+  };
+  std::unordered_map<Pattern::Cell, std::unique_ptr<Node>, CellHash> children;
+  /// Number of patterns ending at this node (0 or 1 under set semantics;
+  /// only ever non-zero at depth == arity).
+  size_t terminal = 0;
+};
+
+DiscriminationTree::DiscriminationTree(size_t arity)
+    : arity_(arity), root_(std::make_unique<Node>()) {
+  node_count_ = 1;
+}
+
+DiscriminationTree::~DiscriminationTree() = default;
+
+void DiscriminationTree::Insert(const Pattern& p) {
+  PCDB_CHECK(p.arity() == arity_);
+  Node* node = root_.get();
+  for (size_t i = 0; i < arity_; ++i) {
+    std::unique_ptr<Node>& child = node->children[p.cell(i)];
+    if (child == nullptr) {
+      child = std::make_unique<Node>();
+      ++node_count_;
+    }
+    node = child.get();
+  }
+  if (node->terminal == 0) {
+    node->terminal = 1;
+    ++size_;
+  }
+}
+
+bool DiscriminationTree::Remove(const Pattern& p) {
+  // Walk down recording the path, then unlink empty nodes bottom-up.
+  std::vector<Node*> path = {root_.get()};
+  for (size_t i = 0; i < arity_; ++i) {
+    auto it = path.back()->children.find(p.cell(i));
+    if (it == path.back()->children.end()) return false;
+    path.push_back(it->second.get());
+  }
+  if (path.back()->terminal == 0) return false;
+  path.back()->terminal = 0;
+  --size_;
+  for (size_t i = arity_; i > 0; --i) {
+    Node* child = path[i];
+    if (child->terminal > 0 || !child->children.empty()) break;
+    path[i - 1]->children.erase(p.cell(i - 1));
+    --node_count_;
+  }
+  return true;
+}
+
+bool DiscriminationTree::SearchSubsumer(const Node& node, const Pattern& p,
+                                        size_t depth, bool strict,
+                                        bool equal_so_far) const {
+  if (depth == arity_) {
+    return node.terminal > 0 && !(strict && equal_so_far);
+  }
+  // A subsumer q has q[i] == '*', or q[i] == p[i] when p has a constant.
+  auto wild_it = node.children.find(Pattern::Wildcard());
+  if (wild_it != node.children.end()) {
+    const bool still_equal = equal_so_far && p.IsWildcard(depth);
+    if (SearchSubsumer(*wild_it->second, p, depth + 1, strict, still_equal)) {
+      return true;
+    }
+  }
+  if (!p.IsWildcard(depth)) {
+    auto exact_it = node.children.find(p.cell(depth));
+    if (exact_it != node.children.end() &&
+        SearchSubsumer(*exact_it->second, p, depth + 1, strict,
+                       equal_so_far)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DiscriminationTree::HasSubsumer(const Pattern& p, bool strict) const {
+  PCDB_CHECK(p.arity() == arity_);
+  return SearchSubsumer(*root_, p, 0, strict, /*equal_so_far=*/true);
+}
+
+namespace {
+
+/// Shared DFS scratch: the cells of the branch currently being explored.
+struct PrefixGuard {
+  explicit PrefixGuard(std::vector<Pattern::Cell>* prefix,
+                       const Pattern::Cell& cell)
+      : prefix_(prefix) {
+    prefix_->push_back(cell);
+  }
+  ~PrefixGuard() { prefix_->pop_back(); }
+  std::vector<Pattern::Cell>* prefix_;
+};
+
+}  // namespace
+
+void DiscriminationTree::SearchSubsumers(const Node& node, const Pattern& p,
+                                         size_t depth, bool strict,
+                                         bool equal_so_far,
+                                         std::vector<Pattern::Cell>* prefix,
+                                         std::vector<Pattern>* out) const {
+  if (depth == arity_) {
+    if (node.terminal > 0 && !(strict && equal_so_far)) {
+      out->push_back(Pattern(*prefix));
+    }
+    return;
+  }
+  // A subsumer has '*' here, or the probe's constant when there is one.
+  auto wild_it = node.children.find(Pattern::Wildcard());
+  if (wild_it != node.children.end()) {
+    PrefixGuard guard(prefix, Pattern::Wildcard());
+    const bool still_equal = equal_so_far && p.IsWildcard(depth);
+    SearchSubsumers(*wild_it->second, p, depth + 1, strict, still_equal,
+                    prefix, out);
+  }
+  if (!p.IsWildcard(depth)) {
+    auto exact_it = node.children.find(p.cell(depth));
+    if (exact_it != node.children.end()) {
+      PrefixGuard guard(prefix, p.cell(depth));
+      SearchSubsumers(*exact_it->second, p, depth + 1, strict, equal_so_far,
+                      prefix, out);
+    }
+  }
+}
+
+void DiscriminationTree::CollectSubsumers(const Pattern& p, bool strict,
+                                          std::vector<Pattern>* out) const {
+  PCDB_CHECK(p.arity() == arity_);
+  std::vector<Pattern::Cell> prefix;
+  prefix.reserve(arity_);
+  SearchSubsumers(*root_, p, 0, strict, /*equal_so_far=*/true, &prefix, out);
+}
+
+void DiscriminationTree::SearchSubsumed(const Node& node, const Pattern& p,
+                                        size_t depth, bool strict,
+                                        bool equal_so_far,
+                                        std::vector<Pattern::Cell>* prefix,
+                                        std::vector<Pattern>* out) const {
+  if (depth == arity_) {
+    if (node.terminal > 0 && !(strict && equal_so_far)) {
+      out->push_back(Pattern(*prefix));
+    }
+    return;
+  }
+  if (p.IsWildcard(depth)) {
+    // All branches qualify: with '*' in the probe, the stored pattern may
+    // have any symbol here.
+    for (const auto& [cell, child] : node.children) {
+      PrefixGuard guard(prefix, cell);
+      const bool still_equal = equal_so_far && !cell.has_value();
+      SearchSubsumed(*child, p, depth + 1, strict, still_equal, prefix, out);
+    }
+  } else {
+    auto it = node.children.find(p.cell(depth));
+    if (it != node.children.end()) {
+      PrefixGuard guard(prefix, p.cell(depth));
+      SearchSubsumed(*it->second, p, depth + 1, strict, equal_so_far, prefix,
+                     out);
+    }
+  }
+}
+
+void DiscriminationTree::CollectSubsumed(const Pattern& p, bool strict,
+                                         std::vector<Pattern>* out) const {
+  PCDB_CHECK(p.arity() == arity_);
+  std::vector<Pattern::Cell> prefix;
+  prefix.reserve(arity_);
+  SearchSubsumed(*root_, p, 0, strict, /*equal_so_far=*/true, &prefix, out);
+}
+
+void DiscriminationTree::Collect(const Node& node,
+                                 std::vector<Pattern::Cell>* prefix,
+                                 std::vector<Pattern>* out) const {
+  if (node.terminal > 0 && prefix->size() == arity_) {
+    out->push_back(Pattern(*prefix));
+  }
+  for (const auto& [cell, child] : node.children) {
+    PrefixGuard guard(prefix, cell);
+    Collect(*child, prefix, out);
+  }
+}
+
+std::vector<Pattern> DiscriminationTree::Contents() const {
+  std::vector<Pattern> out;
+  out.reserve(size_);
+  std::vector<Pattern::Cell> prefix;
+  prefix.reserve(arity_);
+  Collect(*root_, &prefix, &out);
+  return out;
+}
+
+size_t DiscriminationTree::ApproxMemoryBytes() const {
+  return node_count_ * (kBytesPerNode + kBytesPerCell);
+}
+
+}  // namespace pcdb

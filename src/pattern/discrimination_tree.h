@@ -1,0 +1,65 @@
+#ifndef PCDB_PATTERN_DISCRIMINATION_TREE_H_
+#define PCDB_PATTERN_DISCRIMINATION_TREE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "pattern/pattern_index.h"
+
+namespace pcdb {
+
+/// \brief Structure D of §4.4: a discrimination tree — a trie over
+/// pattern cells that treats the wildcard like any other symbol (Fig. 3).
+///
+/// Subsumption checking searches from the root, at level i always
+/// following the '*' branch and, when the probe has constant d at i, also
+/// the d branch — a branching factor of at most 2. Supersumption
+/// retrieval follows the d branch when the probe has constant d, and all
+/// branches when the probe has '*'. The paper finds this the fastest
+/// structure, consistently ~25% faster than hashing.
+class DiscriminationTree : public PatternIndex {
+ public:
+  explicit DiscriminationTree(size_t arity);
+  ~DiscriminationTree() override;
+
+  DiscriminationTree(const DiscriminationTree&) = delete;
+  DiscriminationTree& operator=(const DiscriminationTree&) = delete;
+
+  void Insert(const Pattern& p) override;
+  bool Remove(const Pattern& p) override;
+  bool HasSubsumer(const Pattern& p, bool strict) const override;
+  void CollectSubsumed(const Pattern& p, bool strict,
+                       std::vector<Pattern>* out) const override;
+  void CollectSubsumers(const Pattern& p, bool strict,
+                        std::vector<Pattern>* out) const override;
+  size_t size() const override { return size_; }
+  std::vector<Pattern> Contents() const override;
+  size_t ApproxMemoryBytes() const override;
+  const char* name() const override { return "D"; }
+
+ private:
+  struct Node;
+
+  bool SearchSubsumer(const Node& node, const Pattern& p, size_t depth,
+                      bool strict, bool equal_so_far) const;
+  void SearchSubsumers(const Node& node, const Pattern& p, size_t depth,
+                       bool strict, bool equal_so_far,
+                       std::vector<Pattern::Cell>* prefix,
+                       std::vector<Pattern>* out) const;
+  void SearchSubsumed(const Node& node, const Pattern& p, size_t depth,
+                      bool strict, bool equal_so_far,
+                      std::vector<Pattern::Cell>* prefix,
+                      std::vector<Pattern>* out) const;
+  void Collect(const Node& node, std::vector<Pattern::Cell>* prefix,
+               std::vector<Pattern>* out) const;
+
+  size_t arity_;
+  size_t size_ = 0;
+  size_t node_count_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_PATTERN_DISCRIMINATION_TREE_H_

@@ -1,0 +1,22 @@
+#include "pattern/domain.h"
+
+namespace pcdb {
+
+void DomainRegistry::SetDomain(const std::string& column,
+                               std::vector<Value> values) {
+  domains_.insert_or_assign(column, std::move(values));
+}
+
+const std::vector<Value>* DomainRegistry::Lookup(
+    const std::string& column) const {
+  auto it = domains_.find(column);
+  if (it != domains_.end()) return &it->second;
+  size_t dot = column.rfind('.');
+  if (dot != std::string::npos) {
+    it = domains_.find(column.substr(dot + 1));
+    if (it != domains_.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+}  // namespace pcdb

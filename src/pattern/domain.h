@@ -1,0 +1,39 @@
+#ifndef PCDB_PATTERN_DOMAIN_H_
+#define PCDB_PATTERN_DOMAIN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace pcdb {
+
+/// \brief Known attribute domains, required for zombie pattern
+/// generation (Appendix E).
+///
+/// Zombie patterns assert completeness for values that can currently not
+/// appear in a result; enumerating those values requires the attribute's
+/// domain to be known and finite (e.g. month or state — the paper notes
+/// generation is only feasible for such attributes). Domains are keyed
+/// by column name; lookups first try the exact (possibly qualified)
+/// name, then the unqualified base name, so a domain registered for
+/// "day" also covers "W.day" in a join output schema.
+class DomainRegistry {
+ public:
+  /// Registers (or replaces) the domain of `column`.
+  void SetDomain(const std::string& column, std::vector<Value> values);
+
+  /// The registered domain, or nullptr if the attribute's domain is
+  /// unknown (no zombies will be generated for it).
+  const std::vector<Value>* Lookup(const std::string& column) const;
+
+  bool empty() const { return domains_.empty(); }
+
+ private:
+  std::map<std::string, std::vector<Value>> domains_;
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_PATTERN_DOMAIN_H_

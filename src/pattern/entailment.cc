@@ -1,0 +1,247 @@
+#include "pattern/entailment.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "relational/evaluator.h"
+
+namespace pcdb {
+
+Result<Table> AnswerSlice(const Expr& expr, const Database& db,
+                          const Pattern& p) {
+  PCDB_ASSIGN_OR_RETURN(Table answer, Evaluate(expr, db));
+  if (p.arity() != answer.schema().arity()) {
+    return Status::InvalidArgument(
+        "pattern arity " + std::to_string(p.arity()) +
+        " does not match query result arity " +
+        std::to_string(answer.schema().arity()));
+  }
+  Table out(answer.schema());
+  for (const Tuple& row : answer.rows()) {
+    if (p.SubsumesTuple(row)) out.AppendUnchecked(row);
+  }
+  return out;
+}
+
+namespace {
+
+void CollectExprConstants(const Expr& expr, std::set<Value>* out) {
+  if (expr.kind() == ExprKind::kSelectConst) out->insert(expr.constant());
+  if (expr.left() != nullptr) CollectExprConstants(*expr.left(), out);
+  if (expr.right() != nullptr) CollectExprConstants(*expr.right(), out);
+}
+
+/// One candidate insertion: a tuple that a completion may add to a table.
+struct Addition {
+  std::string table;
+  Tuple tuple;
+};
+
+constexpr size_t kMaxAdditions = 4096;
+constexpr size_t kMaxCompletions = 4'000'000;
+
+}  // namespace
+
+Result<bool> EntailsWrtInstance(const AnnotatedDatabase& adb,
+                                const Expr& expr, const Pattern& p,
+                                const EntailmentOptions& options) {
+  const Database& db = adb.database();
+  PCDB_ASSIGN_OR_RETURN(Table reference, AnswerSlice(expr, db, p));
+
+  // Assemble the relevant constants: active domain plus constants from
+  // the query, the probe pattern, the base patterns, and fresh values
+  // (genericity: only comparisons matter, so a small number of fresh
+  // constants per type covers all "unseen value" behaviours).
+  std::set<Value> constants;
+  for (const std::string& name : db.TableNames()) {
+    PCDB_ASSIGN_OR_RETURN(const Table* table, db.GetTable(name));
+    for (const Tuple& t : table->rows()) {
+      for (const Value& v : t) constants.insert(v);
+    }
+    for (const Pattern& bp : adb.patterns(name)) {
+      for (size_t i = 0; i < bp.arity(); ++i) {
+        if (!bp.IsWildcard(i)) constants.insert(bp.value(i));
+      }
+    }
+  }
+  CollectExprConstants(expr, &constants);
+  for (size_t i = 0; i < p.arity(); ++i) {
+    if (!p.IsWildcard(i)) constants.insert(p.value(i));
+  }
+  int64_t max_int = 0;
+  double max_double = 0;
+  for (const Value& v : constants) {
+    if (v.is_int64()) max_int = std::max(max_int, v.int64());
+    if (v.is_double()) max_double = std::max(max_double, v.dbl());
+  }
+  std::vector<Value> int_domain;
+  std::vector<Value> double_domain;
+  std::vector<Value> string_domain;
+  for (const Value& v : constants) {
+    switch (v.type()) {
+      case ValueType::kInt64:
+        int_domain.push_back(v);
+        break;
+      case ValueType::kDouble:
+        double_domain.push_back(v);
+        break;
+      case ValueType::kString:
+        string_domain.push_back(v);
+        break;
+    }
+  }
+  for (size_t k = 0; k < options.fresh_constants; ++k) {
+    int_domain.push_back(Value(max_int + 1 + static_cast<int64_t>(k)));
+    double_domain.push_back(Value(max_double + 1.5 + static_cast<double>(k)));
+    string_domain.push_back(Value("~fresh" + std::to_string(k)));
+  }
+
+  auto domain_for = [&](ValueType type) -> const std::vector<Value>& {
+    switch (type) {
+      case ValueType::kInt64:
+        return int_domain;
+      case ValueType::kDouble:
+        return double_domain;
+      case ValueType::kString:
+        return string_domain;
+    }
+    return string_domain;
+  };
+
+  // Candidate insertions per table: every domain tuple not subsumed by a
+  // base pattern (subsumed tuples are frozen by the pattern's
+  // completeness assertion and may not appear in any completion beyond
+  // what D already holds).
+  std::vector<Addition> additions;
+  for (const std::string& name : db.TableNames()) {
+    PCDB_ASSIGN_OR_RETURN(const Table* table, db.GetTable(name));
+    const Schema& schema = table->schema();
+    const PatternSet& base = adb.patterns(name);
+    Tuple current(schema.arity());
+    // Odometer enumeration of the domain product.
+    std::vector<size_t> cursor(schema.arity(), 0);
+    bool done = schema.arity() == 0;
+    while (!done) {
+      for (size_t i = 0; i < schema.arity(); ++i) {
+        current[i] = domain_for(schema.column(i).type)[cursor[i]];
+      }
+      if (!base.AnySubsumesTuple(current)) {
+        additions.push_back(Addition{name, current});
+        if (additions.size() > kMaxAdditions) {
+          return Status::OutOfRange(
+              "entailment check: too many candidate insertions; shrink the "
+              "instance or the domains");
+        }
+      }
+      size_t pos = 0;
+      for (; pos < schema.arity(); ++pos) {
+        if (++cursor[pos] < domain_for(schema.column(pos).type).size()) {
+          break;
+        }
+        cursor[pos] = 0;
+      }
+      if (pos == schema.arity()) done = true;
+    }
+  }
+
+  // Enumerate completions: all subsets of additions of size ≤ k.
+  // (Monotone SPJ queries need at most one added tuple per scan to
+  // produce a new answer row, so bounded subsets are a complete search
+  // for reasonable k.)
+  size_t completions = 1;
+  for (size_t i = 0; i < options.max_added_tuples && i < additions.size();
+       ++i) {
+    completions *= (additions.size() - i);
+    if (completions > kMaxCompletions) {
+      return Status::OutOfRange(
+          "entailment check: too many candidate completions");
+    }
+  }
+
+  // Resolve key-constraint columns once.
+  struct ResolvedKey {
+    std::string table;
+    std::vector<size_t> columns;
+  };
+  std::vector<ResolvedKey> keys;
+  for (const KeyConstraint& key : options.keys) {
+    PCDB_ASSIGN_OR_RETURN(const Table* table, db.GetTable(key.table));
+    ResolvedKey resolved{key.table, {}};
+    for (const std::string& name : key.columns) {
+      PCDB_ASSIGN_OR_RETURN(size_t idx, table->schema().Resolve(name));
+      resolved.columns.push_back(idx);
+    }
+    keys.push_back(std::move(resolved));
+  }
+
+  // DFS over index-increasing subsets.
+  struct Searcher {
+    const std::vector<Addition>& additions;
+    const Database& db;
+    const Expr& expr;
+    const Pattern& p;
+    const Table& reference;
+    size_t max_size;
+    const std::vector<ResolvedKey>& keys;
+    bool violated = false;
+    Status error = Status::OK();
+    std::vector<size_t> chosen;
+
+    bool SatisfiesKeys(const Database& dc) const {
+      for (const ResolvedKey& key : keys) {
+        const Table* table = *dc.GetTable(key.table);
+        std::unordered_set<Tuple, TupleHash> seen;
+        for (const Tuple& t : table->rows()) {
+          Tuple projection;
+          projection.reserve(key.columns.size());
+          for (size_t c : key.columns) projection.push_back(t[c]);
+          if (!seen.insert(projection).second) return false;
+        }
+      }
+      return true;
+    }
+
+    void Check() {
+      if (chosen.empty()) return;  // D itself trivially agrees
+      Database dc = db;
+      for (size_t idx : chosen) {
+        const Addition& add = additions[idx];
+        Table* table = *dc.GetMutableTable(add.table);
+        table->AppendUnchecked(add.tuple);
+      }
+      // Completions violating a known key constraint are not candidate
+      // states of the real world.
+      if (!SatisfiesKeys(dc)) return;
+      auto slice = AnswerSlice(expr, dc, p);
+      if (!slice.ok()) {
+        error = slice.status();
+        violated = true;  // stop search
+        return;
+      }
+      if (!slice->BagEquals(reference)) violated = true;
+    }
+
+    void Recurse(size_t start) {
+      if (violated) return;
+      Check();
+      if (violated || chosen.size() == max_size) return;
+      for (size_t i = start; i < additions.size(); ++i) {
+        chosen.push_back(i);
+        Recurse(i + 1);
+        chosen.pop_back();
+        if (violated) return;
+      }
+    }
+  };
+  Searcher searcher{additions, db,
+                    expr,      p,
+                    reference, options.max_added_tuples,
+                    keys,      false,
+                    Status::OK(), {}};
+  searcher.Recurse(0);
+  if (!searcher.error.ok()) return searcher.error;
+  return !searcher.violated;
+}
+
+}  // namespace pcdb

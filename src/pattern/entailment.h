@@ -1,0 +1,56 @@
+#ifndef PCDB_PATTERN_ENTAILMENT_H_
+#define PCDB_PATTERN_ENTAILMENT_H_
+
+#include "pattern/annotated.h"
+#include "pattern/constraints.h"
+#include "relational/expr.h"
+
+namespace pcdb {
+
+/// \brief Configuration for the naive entailment checker.
+struct EntailmentOptions {
+  /// Candidate completions add at most this many tuples to the database.
+  /// For monotone SPJ queries a minimal violation witness adds at most
+  /// one tuple per scanned table, so set this to the number of scans (or
+  /// leave the default for ≤3-table queries).
+  size_t max_added_tuples = 3;
+  /// Fresh constants injected per value type beyond the active domain,
+  /// so completions can introduce values the database has never seen.
+  size_t fresh_constants = 1;
+  /// Key constraints the real world is known to satisfy: candidate
+  /// completions violating one are excluded (the semantics under which
+  /// key-derived patterns, constraints.h, are entailed).
+  std::vector<KeyConstraint> keys;
+};
+
+/// \brief Ground-truth decision procedure for entailment (Definition 4):
+/// does the set of base completeness patterns of `adb` entail the query
+/// completeness pattern (p, expr) with respect to the instance?
+///
+/// Enumerates candidate completions D_c ⊇ D over a finite domain (the
+/// active domain plus constants from the query, the patterns, and a few
+/// fresh values) and checks Q_p(D_c) = Q_p(D) for each. Tuples subsumed
+/// by a base pattern may not be added (they would violate the pattern);
+/// all other domain tuples may.
+///
+/// The enumeration is exponential in the schema size and domain — this
+/// exists to validate the pattern algebra (Propositions 5 and 6) on tiny
+/// instances in tests, not for production use.
+Result<bool> EntailsWrtInstance(const AnnotatedDatabase& adb,
+                                const Expr& expr, const Pattern& p,
+                                const EntailmentOptions& options = {});
+
+inline Result<bool> EntailsWrtInstance(const AnnotatedDatabase& adb,
+                                       const ExprPtr& expr, const Pattern& p,
+                                       const EntailmentOptions& options = {}) {
+  return EntailsWrtInstance(adb, *expr, p, options);
+}
+
+/// Q_p(D): the rows of expr's answer over `db` that match `p`
+/// (σ_{attr(Q)=p}(Q(D)), Definition 3).
+Result<Table> AnswerSlice(const Expr& expr, const Database& db,
+                          const Pattern& p);
+
+}  // namespace pcdb
+
+#endif  // PCDB_PATTERN_ENTAILMENT_H_

@@ -1,0 +1,52 @@
+#include "pattern/feed.h"
+
+#include "pattern/minimize.h"
+
+namespace pcdb {
+
+Status FeedManager::Ingest(const std::string& table, Tuple row) {
+  PCDB_ASSIGN_OR_RETURN(const Table* stored, adb_->database().GetTable(table));
+  // Type-check before the violation check so malformed rows fail fast.
+  if (row.size() != stored->schema().arity()) {
+    return Status::InvalidArgument("row arity mismatch for table '" + table +
+                                   "'");
+  }
+  const PatternSet& patterns = adb_->patterns(table);
+  if (patterns.AnySubsumesTuple(row)) {
+    ++stats_.violations;
+    if (policy_ == FeedViolationPolicy::kRejectRecord) {
+      ++stats_.records_rejected;
+      return Status::InvalidArgument(
+          "record arrived inside a slice already punctuated as complete");
+    }
+    // Retract every violated pattern: the punctuation was premature.
+    PatternSet kept;
+    for (const Pattern& p : patterns) {
+      if (p.SubsumesTuple(row)) {
+        ++stats_.patterns_retracted;
+      } else {
+        kept.Add(p);
+      }
+    }
+    adb_->SetPatterns(table, std::move(kept));
+  }
+  PCDB_RETURN_NOT_OK(adb_->AddRow(table, std::move(row)));
+  ++stats_.records_ingested;
+  return Status::OK();
+}
+
+Status FeedManager::Punctuate(const std::string& table, Pattern pattern) {
+  PCDB_RETURN_NOT_OK(adb_->AddPattern(table, std::move(pattern)));
+  adb_->SetPatterns(table, Minimize(adb_->patterns(table)));
+  ++stats_.punctuations;
+  return Status::OK();
+}
+
+Status FeedManager::Punctuate(const std::string& table,
+                              const std::vector<std::string>& fields) {
+  PCDB_ASSIGN_OR_RETURN(const Table* stored, adb_->database().GetTable(table));
+  PCDB_ASSIGN_OR_RETURN(Pattern p, Pattern::Parse(fields, stored->schema()));
+  return Punctuate(table, std::move(p));
+}
+
+}  // namespace pcdb

@@ -1,0 +1,108 @@
+#include "pattern/gaps.h"
+
+#include "pattern/discrimination_tree.h"
+
+namespace pcdb {
+namespace {
+
+/// DFS specialization: find the maximal patterns non-unifiable with
+/// every asserted pattern. From the current candidate, pick the first
+/// asserted pattern still unifiable with it and branch over all ways of
+/// blocking it (a domain value different from its constant, substituted
+/// into a wildcard position of the candidate).
+class GapSearch {
+ public:
+  GapSearch(const PatternSet& asserted,
+            const std::vector<std::vector<Value>>& domains, size_t max_gaps)
+      : asserted_(asserted),
+        domains_(domains),
+        max_gaps_(max_gaps),
+        gaps_(domains.size()) {}
+
+  Status Run() {
+    PCDB_RETURN_NOT_OK(Descend(Pattern::AllWildcards(domains_.size())));
+    return Status::OK();
+  }
+
+  PatternSet TakeGaps() { return PatternSet(gaps_.Contents()); }
+
+ private:
+  Status Descend(const Pattern& candidate) {
+    if (++visited_ > max_gaps_ * 64) {
+      return Status::OutOfRange("coverage-gap enumeration budget exceeded");
+    }
+    // Already inside a known maximal gap: nothing new below.
+    if (gaps_.HasSubsumer(candidate, /*strict=*/false)) return Status::OK();
+    const Pattern* blocker = nullptr;
+    for (const Pattern& q : asserted_) {
+      if (q.UnifiableWith(candidate)) {
+        blocker = &q;
+        break;
+      }
+    }
+    if (blocker == nullptr) {
+      // Disjoint from every asserted pattern: a gap. Keep the set
+      // minimal (maximal gaps only).
+      if (gaps_.size() >= max_gaps_) {
+        return Status::OutOfRange(
+            "more than max_gaps maximal coverage gaps");
+      }
+      std::vector<Pattern> covered;
+      gaps_.CollectSubsumed(candidate, /*strict=*/true, &covered);
+      for (const Pattern& g : covered) gaps_.Remove(g);
+      gaps_.Insert(candidate);
+      return Status::OK();
+    }
+    // Block the blocker at one of its constant positions where the
+    // candidate still has a wildcard. If there is no such position, the
+    // blocker's constants all coincide with the candidate's — every
+    // specialization stays unifiable and this branch is dead.
+    for (size_t i = 0; i < candidate.arity(); ++i) {
+      if (!candidate.IsWildcard(i) || blocker->IsWildcard(i)) continue;
+      for (const Value& d : domains_[i]) {
+        if (d == blocker->value(i)) continue;
+        PCDB_RETURN_NOT_OK(Descend(candidate.WithValue(i, d)));
+      }
+    }
+    return Status::OK();
+  }
+
+  const PatternSet& asserted_;
+  const std::vector<std::vector<Value>>& domains_;
+  size_t max_gaps_;
+  size_t visited_ = 0;
+  DiscriminationTree gaps_;
+};
+
+}  // namespace
+
+Result<PatternSet> CoverageGaps(const PatternSet& asserted,
+                                const std::vector<std::vector<Value>>& domains,
+                                size_t max_gaps) {
+  for (const Pattern& p : asserted) {
+    if (p.arity() != domains.size()) {
+      return Status::InvalidArgument(
+          "pattern arity does not match the number of domains");
+    }
+  }
+  GapSearch search(asserted, domains, max_gaps);
+  PCDB_RETURN_NOT_OK(search.Run());
+  return search.TakeGaps();
+}
+
+Result<PatternSet> TableCoverageGaps(const AnnotatedDatabase& adb,
+                                     const std::string& table,
+                                     size_t max_gaps) {
+  PCDB_ASSIGN_OR_RETURN(const Table* stored, adb.database().GetTable(table));
+  std::vector<std::vector<Value>> domains;
+  domains.reserve(stored->schema().arity());
+  for (size_t c = 0; c < stored->schema().arity(); ++c) {
+    const std::vector<Value>* registered =
+        adb.domains().Lookup(stored->schema().column(c).name);
+    domains.push_back(registered != nullptr ? *registered
+                                            : stored->DistinctValues(c));
+  }
+  return CoverageGaps(adb.patterns(table), domains, max_gaps);
+}
+
+}  // namespace pcdb

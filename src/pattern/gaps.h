@@ -1,0 +1,44 @@
+#ifndef PCDB_PATTERN_GAPS_H_
+#define PCDB_PATTERN_GAPS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "pattern/annotated.h"
+
+namespace pcdb {
+
+/// \brief Coverage-gap analysis: the maximal slices of a table that no
+/// completeness pattern touches.
+///
+/// The dual of the metadata: while patterns describe where data is
+/// guaranteed final, the gaps describe where *nothing* is guaranteed —
+/// the slices an operator should prioritize when adding sources or
+/// punctuations. A pattern g is a gap iff its slice is disjoint from
+/// every asserted pattern's slice, i.e. g is non-unifiable with each of
+/// them; CoverageGaps returns the minimal set of maximal such patterns.
+///
+/// Requires finite domains for the attributes used to block asserted
+/// patterns (like zombie generation, Appendix E); attributes without a
+/// registered domain cannot be specialized, which may make some gaps
+/// unrepresentable — those are simply not reported (the result is
+/// always sound: every reported slice is fully uncovered).
+///
+/// The gap set can be exponential in the worst case; enumeration stops
+/// with OutOfRange after `max_gaps` results.
+Result<PatternSet> CoverageGaps(const PatternSet& asserted,
+                                const std::vector<std::vector<Value>>& domains,
+                                size_t max_gaps = 10000);
+
+/// Convenience overload for a table of `adb`: domains are looked up in
+/// the DomainRegistry by column name; columns without a registered
+/// domain fall back to their active domain (the values present in the
+/// data) — sound for reporting, though gaps involving never-seen values
+/// are then missed.
+Result<PatternSet> TableCoverageGaps(const AnnotatedDatabase& adb,
+                                     const std::string& table,
+                                     size_t max_gaps = 10000);
+
+}  // namespace pcdb
+
+#endif  // PCDB_PATTERN_GAPS_H_

@@ -1,0 +1,91 @@
+#include "pattern/hash_index.h"
+
+#include "common/logging.h"
+
+namespace pcdb {
+
+namespace {
+constexpr size_t kBytesPerCell = sizeof(Pattern::Cell);
+// Hash-set nodes carry bucket/pointer overhead on top of the pattern.
+constexpr size_t kBytesPerPattern = sizeof(Pattern) + 48;
+}  // namespace
+
+void HashIndex::Insert(const Pattern& p) {
+  PCDB_CHECK(p.arity() == arity_);
+  patterns_.insert(p);
+}
+
+bool HashIndex::Remove(const Pattern& p) { return patterns_.erase(p) > 0; }
+
+bool HashIndex::HasSubsumer(const Pattern& p, bool strict) const {
+  std::vector<size_t> constant_positions;
+  for (size_t i = 0; i < p.arity(); ++i) {
+    if (!p.IsWildcard(i)) constant_positions.push_back(i);
+  }
+  const size_t c = constant_positions.size();
+  if (c > kMaxEnumeratedConstants) {
+    for (const Pattern& q : patterns_) {
+      if (strict ? q.StrictlySubsumes(p) : q.Subsumes(p)) return true;
+    }
+    return false;
+  }
+  // Enumerate the 2^c generalizations of p: for each subset of constant
+  // positions, the pattern with those constants replaced by wildcards.
+  // mask == 0 is p itself, which only counts for non-strict checks.
+  const uint64_t limit = uint64_t{1} << c;
+  for (uint64_t mask = strict ? 1 : 0; mask < limit; ++mask) {
+    Pattern g = p;
+    for (size_t bit = 0; bit < c; ++bit) {
+      if (mask & (uint64_t{1} << bit)) {
+        g = g.WithWildcard(constant_positions[bit]);
+      }
+    }
+    if (patterns_.count(g) > 0) return true;
+  }
+  return false;
+}
+
+void HashIndex::CollectSubsumed(const Pattern& p, bool strict,
+                                std::vector<Pattern>* out) const {
+  // Specialization enumeration would require the attribute domains;
+  // scan instead (the paper notes hash tables only speed up subsumption
+  // *checks*).
+  for (const Pattern& q : patterns_) {
+    if (strict ? p.StrictlySubsumes(q) : p.Subsumes(q)) out->push_back(q);
+  }
+}
+
+void HashIndex::CollectSubsumers(const Pattern& p, bool strict,
+                                 std::vector<Pattern>* out) const {
+  std::vector<size_t> constant_positions;
+  for (size_t i = 0; i < p.arity(); ++i) {
+    if (!p.IsWildcard(i)) constant_positions.push_back(i);
+  }
+  const size_t c = constant_positions.size();
+  if (c > kMaxEnumeratedConstants) {
+    for (const Pattern& q : patterns_) {
+      if (strict ? q.StrictlySubsumes(p) : q.Subsumes(p)) out->push_back(q);
+    }
+    return;
+  }
+  const uint64_t limit = uint64_t{1} << c;
+  for (uint64_t mask = strict ? 1 : 0; mask < limit; ++mask) {
+    Pattern g = p;
+    for (size_t bit = 0; bit < c; ++bit) {
+      if (mask & (uint64_t{1} << bit)) {
+        g = g.WithWildcard(constant_positions[bit]);
+      }
+    }
+    if (patterns_.count(g) > 0) out->push_back(g);
+  }
+}
+
+std::vector<Pattern> HashIndex::Contents() const {
+  return std::vector<Pattern>(patterns_.begin(), patterns_.end());
+}
+
+size_t HashIndex::ApproxMemoryBytes() const {
+  return patterns_.size() * (kBytesPerPattern + arity_ * kBytesPerCell);
+}
+
+}  // namespace pcdb

@@ -1,0 +1,46 @@
+#ifndef PCDB_PATTERN_HASH_INDEX_H_
+#define PCDB_PATTERN_HASH_INDEX_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "pattern/pattern_index.h"
+
+namespace pcdb {
+
+/// \brief Structure B of §4.4: a hash table over whole patterns.
+///
+/// Subsumption checking enumerates all generalizations of the probe
+/// pattern (each subset of its constants replaced by wildcards — 2^c
+/// probes for c constants) and looks each up in the table. Supersumption
+/// retrieval has no sub-linear implementation on a hash table and falls
+/// back to scanning, which is why the paper pairs hashing with the
+/// all-at-once and sorted-incremental approaches (B1, B3).
+class HashIndex : public PatternIndex {
+ public:
+  explicit HashIndex(size_t arity) : arity_(arity) {}
+
+  void Insert(const Pattern& p) override;
+  bool Remove(const Pattern& p) override;
+  bool HasSubsumer(const Pattern& p, bool strict) const override;
+  void CollectSubsumed(const Pattern& p, bool strict,
+                       std::vector<Pattern>* out) const override;
+  void CollectSubsumers(const Pattern& p, bool strict,
+                        std::vector<Pattern>* out) const override;
+  size_t size() const override { return patterns_.size(); }
+  std::vector<Pattern> Contents() const override;
+  size_t ApproxMemoryBytes() const override;
+  const char* name() const override { return "B"; }
+
+ private:
+  /// Above this many constants, 2^c generalization probes would exceed a
+  /// linear scan; fall back to scanning.
+  static constexpr size_t kMaxEnumeratedConstants = 20;
+
+  size_t arity_;
+  std::unordered_set<Pattern, PatternHash> patterns_;
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_PATTERN_HASH_INDEX_H_

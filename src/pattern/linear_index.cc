@@ -1,0 +1,57 @@
+#include "pattern/linear_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pcdb {
+
+namespace {
+// Uniform cost model shared by all indexes (see PatternIndex docs): a
+// stored pattern cell costs the size of its optional<Value> plus vector
+// bookkeeping.
+constexpr size_t kBytesPerCell = sizeof(Pattern::Cell);
+constexpr size_t kBytesPerPattern = sizeof(Pattern) + 16;
+}  // namespace
+
+void LinearIndex::Insert(const Pattern& p) {
+  PCDB_CHECK(p.arity() == arity_);
+  if (std::find(patterns_.begin(), patterns_.end(), p) == patterns_.end()) {
+    patterns_.push_back(p);
+  }
+}
+
+bool LinearIndex::Remove(const Pattern& p) {
+  auto it = std::find(patterns_.begin(), patterns_.end(), p);
+  if (it == patterns_.end()) return false;
+  *it = std::move(patterns_.back());
+  patterns_.pop_back();
+  return true;
+}
+
+bool LinearIndex::HasSubsumer(const Pattern& p, bool strict) const {
+  for (const Pattern& q : patterns_) {
+    if (strict ? q.StrictlySubsumes(p) : q.Subsumes(p)) return true;
+  }
+  return false;
+}
+
+void LinearIndex::CollectSubsumed(const Pattern& p, bool strict,
+                                  std::vector<Pattern>* out) const {
+  for (const Pattern& q : patterns_) {
+    if (strict ? p.StrictlySubsumes(q) : p.Subsumes(q)) out->push_back(q);
+  }
+}
+
+void LinearIndex::CollectSubsumers(const Pattern& p, bool strict,
+                                   std::vector<Pattern>* out) const {
+  for (const Pattern& q : patterns_) {
+    if (strict ? q.StrictlySubsumes(p) : q.Subsumes(p)) out->push_back(q);
+  }
+}
+
+size_t LinearIndex::ApproxMemoryBytes() const {
+  return patterns_.size() * (kBytesPerPattern + arity_ * kBytesPerCell);
+}
+
+}  // namespace pcdb

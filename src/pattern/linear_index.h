@@ -1,0 +1,37 @@
+#ifndef PCDB_PATTERN_LINEAR_INDEX_H_
+#define PCDB_PATTERN_LINEAR_INDEX_H_
+
+#include <vector>
+
+#include "pattern/pattern_index.h"
+
+namespace pcdb {
+
+/// \brief Structure A of §4.4: a plain list of patterns.
+///
+/// Every operation is a linear scan; with pairwise comparison this yields
+/// the quadratic baseline minimization algorithm (method A1).
+class LinearIndex : public PatternIndex {
+ public:
+  explicit LinearIndex(size_t arity) : arity_(arity) {}
+
+  void Insert(const Pattern& p) override;
+  bool Remove(const Pattern& p) override;
+  bool HasSubsumer(const Pattern& p, bool strict) const override;
+  void CollectSubsumed(const Pattern& p, bool strict,
+                       std::vector<Pattern>* out) const override;
+  void CollectSubsumers(const Pattern& p, bool strict,
+                        std::vector<Pattern>* out) const override;
+  size_t size() const override { return patterns_.size(); }
+  std::vector<Pattern> Contents() const override { return patterns_; }
+  size_t ApproxMemoryBytes() const override;
+  const char* name() const override { return "A"; }
+
+ private:
+  size_t arity_;
+  std::vector<Pattern> patterns_;
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_PATTERN_LINEAR_INDEX_H_

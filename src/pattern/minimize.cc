@@ -1,0 +1,124 @@
+#include "pattern/minimize.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/timer.h"
+
+namespace pcdb {
+
+std::string MinimizeMethodName(PatternIndexKind kind,
+                               MinimizeApproach approach) {
+  return std::string(PatternIndexKindLetter(kind)) +
+         std::to_string(static_cast<int>(approach));
+}
+
+namespace {
+
+void TrackPeaks(const PatternIndex& index, MinimizeStats* stats) {
+  if (stats == nullptr) return;
+  stats->peak_index_size = std::max(stats->peak_index_size, index.size());
+  stats->peak_memory_bytes =
+      std::max(stats->peak_memory_bytes, index.ApproxMemoryBytes());
+}
+
+PatternSet MinimizeAllAtOnce(const PatternSet& input, PatternIndexKind kind,
+                             MinimizeStats* stats) {
+  if (input.empty()) return PatternSet();
+  auto index = MakePatternIndex(kind, input[0].arity());
+  // Indexes have set semantics, so loading also deduplicates.
+  for (const Pattern& p : input) {
+    index->Insert(p);
+    TrackPeaks(*index, stats);
+  }
+  PatternSet out;
+  for (const Pattern& p : index->Contents()) {
+    if (!index->HasSubsumer(p, /*strict=*/true)) out.Add(p);
+  }
+  return out;
+}
+
+PatternSet MinimizeIncremental(const PatternSet& input, PatternIndexKind kind,
+                               MinimizeStats* stats) {
+  if (input.empty()) return PatternSet();
+  auto index = MakePatternIndex(kind, input[0].arity());
+  std::vector<Pattern> subsumed;
+  for (const Pattern& p : input) {
+    // Subsumption check: p contributes nothing if some maximal pattern
+    // already subsumes it (or duplicates it).
+    if (index->HasSubsumer(p, /*strict=*/false)) continue;
+    // Supersumption retrieval: p displaces every stored pattern it
+    // strictly subsumes.
+    subsumed.clear();
+    index->CollectSubsumed(p, /*strict=*/true, &subsumed);
+    for (const Pattern& q : subsumed) index->Remove(q);
+    index->Insert(p);
+    TrackPeaks(*index, stats);
+  }
+  return PatternSet(index->Contents());
+}
+
+PatternSet MinimizeSortedIncremental(const PatternSet& input,
+                                     PatternIndexKind kind,
+                                     MinimizeStats* stats) {
+  if (input.empty()) return PatternSet();
+  std::vector<Pattern> sorted = input.patterns();
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Pattern& a, const Pattern& b) {
+                     return a.NumWildcards() > b.NumWildcards();
+                   });
+  auto index = MakePatternIndex(kind, input[0].arity());
+  for (const Pattern& p : sorted) {
+    // A strict subsumer has strictly more wildcards, so it was processed
+    // earlier; equal patterns are caught by the non-strict check. No
+    // supersumption retrieval is needed.
+    if (index->HasSubsumer(p, /*strict=*/false)) continue;
+    index->Insert(p);
+    TrackPeaks(*index, stats);
+  }
+  return PatternSet(index->Contents());
+}
+
+}  // namespace
+
+PatternSet Minimize(const PatternSet& input, MinimizeApproach approach,
+                    PatternIndexKind kind, MinimizeStats* stats) {
+  WallTimer timer;
+  PatternSet out;
+  switch (approach) {
+    case MinimizeApproach::kAllAtOnce:
+      out = MinimizeAllAtOnce(input, kind, stats);
+      break;
+    case MinimizeApproach::kIncremental:
+      out = MinimizeIncremental(input, kind, stats);
+      break;
+    case MinimizeApproach::kSortedIncremental:
+      out = MinimizeSortedIncremental(input, kind, stats);
+      break;
+  }
+  if (stats != nullptr) {
+    stats->output_size = out.size();
+    stats->millis = timer.ElapsedMillis();
+  }
+  return out;
+}
+
+PatternSet Minimize(const PatternSet& input) {
+  return Minimize(input, MinimizeApproach::kAllAtOnce,
+                  PatternIndexKind::kDiscriminationTree);
+}
+
+bool IsMinimal(const PatternSet& set) {
+  std::unordered_set<Pattern, PatternHash> seen;
+  for (const Pattern& p : set) {
+    if (!seen.insert(p).second) return false;  // duplicate
+  }
+  for (const Pattern& p : set) {
+    for (const Pattern& q : set) {
+      if (q.StrictlySubsumes(p)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pcdb

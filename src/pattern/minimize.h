@@ -1,0 +1,60 @@
+#ifndef PCDB_PATTERN_MINIMIZE_H_
+#define PCDB_PATTERN_MINIMIZE_H_
+
+#include <string>
+
+#include "pattern/pattern.h"
+#include "pattern/pattern_index.h"
+
+namespace pcdb {
+
+/// \brief Processing approaches for pattern set minimization (§4.4).
+enum class MinimizeApproach {
+  /// 1: load everything, then test each pattern for a strict subsumer.
+  kAllAtOnce = 1,
+  /// 2: maintain the maximal set while streaming patterns in; needs both
+  /// subsumption checking and supersumption retrieval.
+  kIncremental = 2,
+  /// 3: sort by wildcard count (descending) first; later patterns can
+  /// never subsume earlier ones, so supersumption retrieval is not
+  /// needed.
+  kSortedIncremental = 3,
+};
+
+/// The paper's method label, e.g. "D1" for all-at-once over a
+/// discrimination tree.
+std::string MinimizeMethodName(PatternIndexKind kind,
+                               MinimizeApproach approach);
+
+/// \brief Observability for the minimization experiments (Figs. 4, 5).
+struct MinimizeStats {
+  /// Patterns in the minimized output.
+  size_t output_size = 0;
+  /// Largest number of patterns held by the index at any point.
+  size_t peak_index_size = 0;
+  /// Largest ApproxMemoryBytes() of the index at any point.
+  size_t peak_memory_bytes = 0;
+  /// Wall-clock time.
+  double millis = 0;
+};
+
+/// \brief Removes all non-maximal (strictly subsumed) patterns and
+/// duplicates from `input` (§3.2: a set is minimal iff all its elements
+/// are maximal).
+///
+/// `approach` and `kind` select the §4.4 method; `stats` (optional)
+/// receives runtime/space counters. The output order is unspecified.
+PatternSet Minimize(const PatternSet& input, MinimizeApproach approach,
+                    PatternIndexKind kind, MinimizeStats* stats = nullptr);
+
+/// Minimizes with the best-performing method from the paper's
+/// experiments (all-at-once over a discrimination tree, D1).
+PatternSet Minimize(const PatternSet& input);
+
+/// True if no element of `set` is strictly subsumed by another and there
+/// are no duplicate patterns.
+bool IsMinimal(const PatternSet& set);
+
+}  // namespace pcdb
+
+#endif  // PCDB_PATTERN_MINIMIZE_H_

@@ -1,0 +1,160 @@
+#include "pattern/path_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pcdb {
+
+namespace {
+constexpr size_t kBytesPerCell = sizeof(Pattern::Cell);
+constexpr size_t kBytesPerPattern = sizeof(Pattern) + 16;
+constexpr size_t kBytesPerPostingEntry = sizeof(uint32_t);
+constexpr size_t kBytesPerPostingList = 64;  // map node + vector header
+}  // namespace
+
+void PathIndex::Insert(const Pattern& p) {
+  PCDB_CHECK(p.arity() == arity_);
+  if (slot_of_.count(p) > 0) return;
+  uint32_t id = static_cast<uint32_t>(slots_.size());
+  slots_.push_back(p);
+  live_.push_back(true);
+  ++live_count_;
+  slot_of_.emplace(p, id);
+  for (size_t i = 0; i < arity_; ++i) {
+    postings_[i][p.cell(i)].push_back(id);
+    ++posting_entries_;
+  }
+}
+
+bool PathIndex::Remove(const Pattern& p) {
+  auto it = slot_of_.find(p);
+  if (it == slot_of_.end()) return false;
+  live_[it->second] = false;
+  --live_count_;
+  slot_of_.erase(it);
+  // Posting lists keep the stale id; reads filter through live_.
+  return true;
+}
+
+std::vector<uint32_t> PathIndex::SubsumerCandidates(const Pattern& p,
+                                                    size_t position) const {
+  const PostingMap& map = postings_[position];
+  const std::vector<uint32_t>* wild = nullptr;
+  const std::vector<uint32_t>* exact = nullptr;
+  auto wit = map.find(Pattern::Wildcard());
+  if (wit != map.end()) wild = &wit->second;
+  if (!p.IsWildcard(position)) {
+    auto eit = map.find(p.cell(position));
+    if (eit != map.end()) exact = &eit->second;
+  }
+  std::vector<uint32_t> merged;
+  if (wild != nullptr && exact != nullptr) {
+    merged.reserve(wild->size() + exact->size());
+    std::merge(wild->begin(), wild->end(), exact->begin(), exact->end(),
+               std::back_inserter(merged));
+  } else if (wild != nullptr) {
+    merged = *wild;
+  } else if (exact != nullptr) {
+    merged = *exact;
+  }
+  return merged;
+}
+
+bool PathIndex::HasSubsumer(const Pattern& p, bool strict) const {
+  if (arity_ == 0) return live_count_ > 0 && !strict;
+  std::vector<uint32_t> candidates = SubsumerCandidates(p, 0);
+  for (size_t i = 1; i < arity_ && !candidates.empty(); ++i) {
+    std::vector<uint32_t> next = SubsumerCandidates(p, i);
+    std::vector<uint32_t> intersection;
+    std::set_intersection(candidates.begin(), candidates.end(), next.begin(),
+                          next.end(), std::back_inserter(intersection));
+    candidates = std::move(intersection);
+  }
+  for (uint32_t id : candidates) {
+    if (!live_[id]) continue;
+    if (strict && slots_[id] == p) continue;
+    return true;
+  }
+  return false;
+}
+
+void PathIndex::CollectSubsumers(const Pattern& p, bool strict,
+                                 std::vector<Pattern>* out) const {
+  if (arity_ == 0) {
+    if (live_count_ > 0 && !strict) out->push_back(p);
+    return;
+  }
+  std::vector<uint32_t> candidates = SubsumerCandidates(p, 0);
+  for (size_t i = 1; i < arity_ && !candidates.empty(); ++i) {
+    std::vector<uint32_t> next = SubsumerCandidates(p, i);
+    std::vector<uint32_t> intersection;
+    std::set_intersection(candidates.begin(), candidates.end(), next.begin(),
+                          next.end(), std::back_inserter(intersection));
+    candidates = std::move(intersection);
+  }
+  for (uint32_t id : candidates) {
+    if (!live_[id]) continue;
+    if (strict && slots_[id] == p) continue;
+    out->push_back(slots_[id]);
+  }
+}
+
+void PathIndex::CollectSubsumed(const Pattern& p, bool strict,
+                                std::vector<Pattern>* out) const {
+  // q is subsumed by p iff q agrees with p on every constant position of
+  // p; intersect those positions' exact posting lists.
+  std::vector<size_t> constant_positions;
+  for (size_t i = 0; i < arity_; ++i) {
+    if (!p.IsWildcard(i)) constant_positions.push_back(i);
+  }
+  if (constant_positions.empty()) {
+    for (size_t id = 0; id < slots_.size(); ++id) {
+      if (!live_[id]) continue;
+      if (strict && slots_[id] == p) continue;
+      out->push_back(slots_[id]);
+    }
+    return;
+  }
+  std::vector<uint32_t> candidates;
+  bool first = true;
+  for (size_t i : constant_positions) {
+    auto it = postings_[i].find(p.cell(i));
+    if (it == postings_[i].end()) return;  // no pattern has this constant
+    if (first) {
+      candidates = it->second;
+      first = false;
+    } else {
+      std::vector<uint32_t> intersection;
+      std::set_intersection(candidates.begin(), candidates.end(),
+                            it->second.begin(), it->second.end(),
+                            std::back_inserter(intersection));
+      candidates = std::move(intersection);
+    }
+    if (candidates.empty()) return;
+  }
+  for (uint32_t id : candidates) {
+    if (!live_[id]) continue;
+    if (strict && slots_[id] == p) continue;
+    out->push_back(slots_[id]);
+  }
+}
+
+std::vector<Pattern> PathIndex::Contents() const {
+  std::vector<Pattern> out;
+  out.reserve(live_count_);
+  for (size_t id = 0; id < slots_.size(); ++id) {
+    if (live_[id]) out.push_back(slots_[id]);
+  }
+  return out;
+}
+
+size_t PathIndex::ApproxMemoryBytes() const {
+  size_t list_count = 0;
+  for (const PostingMap& map : postings_) list_count += map.size();
+  return slots_.size() * (kBytesPerPattern + arity_ * kBytesPerCell) +
+         posting_entries_ * kBytesPerPostingEntry +
+         list_count * kBytesPerPostingList;
+}
+
+}  // namespace pcdb

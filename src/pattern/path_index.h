@@ -1,0 +1,63 @@
+#ifndef PCDB_PATTERN_PATH_INDEX_H_
+#define PCDB_PATTERN_PATH_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "pattern/pattern_index.h"
+
+namespace pcdb {
+
+/// \brief Structure C of §4.4: a path index (per-position inverted
+/// lists), borrowed from term indexing in theorem proving [McCune '92].
+///
+/// For every (position, symbol) pair — the wildcard is a symbol — the
+/// index keeps a sorted posting list of pattern ids. A subsumption check
+/// intersects, across all positions, the union of the lists for the
+/// wildcard and the probe's constant; supersumption retrieval intersects
+/// the constant-position lists. The intersections are expensive, which
+/// matches the paper's finding that path indexing performs poorly on
+/// data with few distinct attribute values.
+class PathIndex : public PatternIndex {
+ public:
+  explicit PathIndex(size_t arity)
+      : arity_(arity), postings_(arity) {}
+
+  void Insert(const Pattern& p) override;
+  bool Remove(const Pattern& p) override;
+  bool HasSubsumer(const Pattern& p, bool strict) const override;
+  void CollectSubsumed(const Pattern& p, bool strict,
+                       std::vector<Pattern>* out) const override;
+  void CollectSubsumers(const Pattern& p, bool strict,
+                        std::vector<Pattern>* out) const override;
+  size_t size() const override { return live_count_; }
+  std::vector<Pattern> Contents() const override;
+  size_t ApproxMemoryBytes() const override;
+  const char* name() const override { return "C"; }
+
+ private:
+  struct CellHash {
+    size_t operator()(const Pattern::Cell& c) const {
+      return c.has_value() ? c->Hash() : 0x5bd1e995u;
+    }
+  };
+  using PostingMap =
+      std::unordered_map<Pattern::Cell, std::vector<uint32_t>, CellHash>;
+
+  /// Sorted union of the posting lists relevant for subsumers of `p` at
+  /// `position` (wildcard list, plus the constant's list if p has one).
+  std::vector<uint32_t> SubsumerCandidates(const Pattern& p,
+                                           size_t position) const;
+
+  size_t arity_;
+  std::vector<Pattern> slots_;
+  std::vector<bool> live_;
+  size_t live_count_ = 0;
+  size_t posting_entries_ = 0;
+  std::unordered_map<Pattern, uint32_t, PatternHash> slot_of_;
+  std::vector<PostingMap> postings_;  // one map per position
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_PATTERN_PATH_INDEX_H_

@@ -1,0 +1,201 @@
+#include "pattern/pattern.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace pcdb {
+
+Result<Pattern> Pattern::Parse(const std::vector<std::string>& fields,
+                               const Schema& schema) {
+  if (fields.size() != schema.arity()) {
+    return Status::InvalidArgument(
+        "pattern arity " + std::to_string(fields.size()) +
+        " does not match schema arity " + std::to_string(schema.arity()));
+  }
+  std::vector<Cell> cells;
+  cells.reserve(fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i] == "*") {
+      cells.push_back(Wildcard());
+    } else {
+      PCDB_ASSIGN_OR_RETURN(Value v,
+                            Value::Parse(fields[i], schema.column(i).type));
+      cells.push_back(std::move(v));
+    }
+  }
+  return Pattern(std::move(cells));
+}
+
+Pattern Pattern::FromTuple(const Tuple& t) {
+  std::vector<Cell> cells;
+  cells.reserve(t.size());
+  for (const Value& v : t) cells.push_back(v);
+  return Pattern(std::move(cells));
+}
+
+size_t Pattern::NumWildcards() const {
+  size_t n = 0;
+  for (const Cell& c : cells_) {
+    if (!c.has_value()) ++n;
+  }
+  return n;
+}
+
+Pattern Pattern::WithWildcard(size_t i) const {
+  PCDB_CHECK(i < cells_.size());
+  Pattern p = *this;
+  p.cells_[i] = Wildcard();
+  return p;
+}
+
+Pattern Pattern::WithValue(size_t i, Value v) const {
+  PCDB_CHECK(i < cells_.size());
+  Pattern p = *this;
+  p.cells_[i] = std::move(v);
+  return p;
+}
+
+Pattern Pattern::WithSwapped(size_t i, size_t j) const {
+  PCDB_CHECK(i < cells_.size() && j < cells_.size());
+  Pattern p = *this;
+  std::swap(p.cells_[i], p.cells_[j]);
+  return p;
+}
+
+Pattern Pattern::WithoutPosition(size_t i) const {
+  PCDB_CHECK(i < cells_.size());
+  std::vector<Cell> cells;
+  cells.reserve(cells_.size() - 1);
+  for (size_t j = 0; j < cells_.size(); ++j) {
+    if (j != i) cells.push_back(cells_[j]);
+  }
+  return Pattern(std::move(cells));
+}
+
+Pattern Pattern::Concat(const Pattern& other) const {
+  std::vector<Cell> cells = cells_;
+  cells.insert(cells.end(), other.cells_.begin(), other.cells_.end());
+  return Pattern(std::move(cells));
+}
+
+bool Pattern::Subsumes(const Pattern& other) const {
+  PCDB_CHECK(arity() == other.arity())
+      << "subsumption between arities " << arity() << " and "
+      << other.arity();
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (!cells_[i].has_value()) continue;
+    if (!other.cells_[i].has_value() || *cells_[i] != *other.cells_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Pattern::SubsumesTuple(const Tuple& t) const {
+  PCDB_CHECK(arity() == t.size());
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].has_value() && *cells_[i] != t[i]) return false;
+  }
+  return true;
+}
+
+bool Pattern::UnifiableWith(const Pattern& other) const {
+  PCDB_CHECK(arity() == other.arity());
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].has_value() && other.cells_[i].has_value() &&
+        *cells_[i] != *other.cells_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Pattern Pattern::UnifyWith(const Pattern& other) const {
+  PCDB_CHECK(UnifiableWith(other));
+  std::vector<Cell> cells;
+  cells.reserve(cells_.size());
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cells.push_back(cells_[i].has_value() ? cells_[i] : other.cells_[i]);
+  }
+  return Pattern(std::move(cells));
+}
+
+std::string Pattern::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += cells_[i].has_value() ? cells_[i]->ToString() : "*";
+  }
+  out += ")";
+  return out;
+}
+
+bool Pattern::operator<(const Pattern& other) const {
+  if (arity() != other.arity()) return arity() < other.arity();
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    const bool a_wild = !cells_[i].has_value();
+    const bool b_wild = !other.cells_[i].has_value();
+    if (a_wild != b_wild) return a_wild;  // wildcard sorts first
+    if (!a_wild && *cells_[i] != *other.cells_[i]) {
+      return *cells_[i] < *other.cells_[i];
+    }
+  }
+  return false;
+}
+
+size_t Pattern::Hash() const {
+  size_t seed = 0xa1b2c3d4e5f60718ULL;
+  for (const Cell& c : cells_) {
+    seed = HashCombine(seed, c.has_value() ? c->Hash() : 0x5bd1e995u);
+  }
+  return seed;
+}
+
+std::ostream& operator<<(std::ostream& os, const Pattern& p) {
+  return os << p.ToString();
+}
+
+void PatternSet::AddUnique(Pattern p) {
+  if (!Contains(p)) patterns_.push_back(std::move(p));
+}
+
+bool PatternSet::Contains(const Pattern& p) const {
+  return std::find(patterns_.begin(), patterns_.end(), p) != patterns_.end();
+}
+
+bool PatternSet::AnySubsumes(const Pattern& p) const {
+  for (const Pattern& q : patterns_) {
+    if (q.Subsumes(p)) return true;
+  }
+  return false;
+}
+
+bool PatternSet::AnySubsumesTuple(const Tuple& t) const {
+  for (const Pattern& q : patterns_) {
+    if (q.SubsumesTuple(t)) return true;
+  }
+  return false;
+}
+
+void PatternSet::Sort() { std::sort(patterns_.begin(), patterns_.end()); }
+
+bool PatternSet::SetEquals(const PatternSet& other) const {
+  std::unordered_set<Pattern, PatternHash> mine(patterns_.begin(),
+                                                patterns_.end());
+  std::unordered_set<Pattern, PatternHash> theirs(other.patterns_.begin(),
+                                                  other.patterns_.end());
+  return mine == theirs;
+}
+
+std::string PatternSet::ToString() const {
+  std::string out;
+  for (const Pattern& p : patterns_) {
+    out += p.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace pcdb

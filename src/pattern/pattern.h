@@ -1,0 +1,170 @@
+#ifndef PCDB_PATTERN_PATTERN_H_
+#define PCDB_PATTERN_PATTERN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace pcdb {
+
+/// \brief A completeness pattern (§3.2): a tuple of constants and the
+/// wildcard symbol "*".
+///
+/// A base completeness pattern (p, R) asserts that every real-world tuple
+/// of R that matches p is present in the database: the p-part of R is
+/// closed-world, the rest open-world. Cells are std::optional<Value>;
+/// std::nullopt is the wildcard.
+class Pattern {
+ public:
+  using Cell = std::optional<Value>;
+
+  /// The wildcard cell.
+  static Cell Wildcard() { return std::nullopt; }
+
+  Pattern() = default;
+  explicit Pattern(std::vector<Cell> cells) : cells_(std::move(cells)) {}
+
+  /// The most general pattern (*, *, ..., *) of the given arity.
+  static Pattern AllWildcards(size_t arity) {
+    return Pattern(std::vector<Cell>(arity));
+  }
+
+  /// Builds a pattern from display strings: "*" becomes the wildcard, any
+  /// other field is parsed as a constant of the column's type. This is
+  /// how metadata rows such as (Mon, 2, *, *) are written in tables.
+  static Result<Pattern> Parse(const std::vector<std::string>& fields,
+                               const Schema& schema);
+
+  /// A pattern matching exactly one tuple (tuples are a special case of
+  /// patterns, §3.2).
+  static Pattern FromTuple(const Tuple& t);
+
+  size_t arity() const { return cells_.size(); }
+  bool IsWildcard(size_t i) const { return !cells_[i].has_value(); }
+  /// The constant at position i; call only when !IsWildcard(i).
+  const Value& value(size_t i) const { return *cells_[i]; }
+  const Cell& cell(size_t i) const { return cells_[i]; }
+  const std::vector<Cell>& cells() const { return cells_; }
+
+  size_t NumWildcards() const;
+  size_t NumConstants() const { return arity() - NumWildcards(); }
+
+  /// True if every cell is the wildcard.
+  bool IsAllWildcards() const { return NumWildcards() == arity(); }
+
+  /// p[A/∗] — copy with position i replaced by the wildcard (§4.1.1).
+  Pattern WithWildcard(size_t i) const;
+
+  /// Copy with position i replaced by a constant.
+  Pattern WithValue(size_t i, Value v) const;
+
+  /// p[A ↔ B] — copy with the cells at i and j swapped (§4.1.3).
+  Pattern WithSwapped(size_t i, size_t j) const;
+
+  /// Copy with position i removed (the π_{¬A} projection of a pattern).
+  Pattern WithoutPosition(size_t i) const;
+
+  /// Concatenation p · q (used by the pattern join and promotion).
+  Pattern Concat(const Pattern& other) const;
+
+  /// Subsumption (§3.2): this pattern subsumes `other` if at every
+  /// position they agree or this pattern has the wildcard. Subsumption
+  /// coincides with the "more general than" order on patterns.
+  bool Subsumes(const Pattern& other) const;
+
+  /// True if `Subsumes(other)` and the patterns differ.
+  bool StrictlySubsumes(const Pattern& other) const {
+    return Subsumes(other) && !(*this == other);
+  }
+
+  /// True if the data tuple `t` matches this pattern (t is subsumed).
+  bool SubsumesTuple(const Tuple& t) const;
+
+  /// True if some tuple can match both patterns, i.e. they agree on every
+  /// position where both have constants. The unifier of compatible
+  /// patterns keeps each position's constant if either side has one.
+  bool UnifiableWith(const Pattern& other) const;
+
+  /// Most general pattern subsumed by both (defined when UnifiableWith).
+  Pattern UnifyWith(const Pattern& other) const;
+
+  /// "(Mon, 2, *, *)".
+  std::string ToString() const;
+
+  bool operator==(const Pattern& other) const {
+    return cells_ == other.cells_;
+  }
+  bool operator!=(const Pattern& other) const { return !(*this == other); }
+  /// Arbitrary total order (for sorted containers and deterministic
+  /// output): wildcard sorts before any constant.
+  bool operator<(const Pattern& other) const;
+
+  size_t Hash() const;
+
+ private:
+  std::vector<Cell> cells_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Pattern& p);
+
+struct PatternHash {
+  size_t operator()(const Pattern& p) const { return p.Hash(); }
+};
+
+/// \brief A set of completeness patterns over one (implicit) schema: the
+/// metadata relation P accompanying a data relation R (§4.1).
+///
+/// Stored as a vector for cheap iteration; Add does not deduplicate (use
+/// AddUnique or Minimize from minimize.h). All patterns in a set must
+/// have the same arity.
+class PatternSet {
+ public:
+  PatternSet() = default;
+  explicit PatternSet(std::vector<Pattern> patterns)
+      : patterns_(std::move(patterns)) {}
+
+  size_t size() const { return patterns_.size(); }
+  bool empty() const { return patterns_.empty(); }
+  const Pattern& operator[](size_t i) const { return patterns_[i]; }
+  const std::vector<Pattern>& patterns() const { return patterns_; }
+
+  std::vector<Pattern>::const_iterator begin() const {
+    return patterns_.begin();
+  }
+  std::vector<Pattern>::const_iterator end() const { return patterns_.end(); }
+
+  void Add(Pattern p) { patterns_.push_back(std::move(p)); }
+  /// Adds `p` unless an identical pattern is already present. Linear.
+  void AddUnique(Pattern p);
+  void Reserve(size_t n) { patterns_.reserve(n); }
+  void Clear() { patterns_.clear(); }
+
+  bool Contains(const Pattern& p) const;
+
+  /// p ⪯ P (§4.1): true if some member subsumes `p`.
+  bool AnySubsumes(const Pattern& p) const;
+
+  /// True if the data tuple matches some member.
+  bool AnySubsumesTuple(const Tuple& t) const;
+
+  /// Stable sort for deterministic comparison/output.
+  void Sort();
+
+  /// True if both sets contain the same patterns (as sets).
+  bool SetEquals(const PatternSet& other) const;
+
+  /// Multi-line rendering, one pattern per line.
+  std::string ToString() const;
+
+ private:
+  std::vector<Pattern> patterns_;
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_PATTERN_PATTERN_H_

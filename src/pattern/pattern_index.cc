@@ -1,0 +1,55 @@
+#include "pattern/pattern_index.h"
+
+#include "common/logging.h"
+#include "pattern/discrimination_tree.h"
+#include "pattern/hash_index.h"
+#include "pattern/linear_index.h"
+#include "pattern/path_index.h"
+
+namespace pcdb {
+
+const char* PatternIndexKindName(PatternIndexKind kind) {
+  switch (kind) {
+    case PatternIndexKind::kLinearList:
+      return "linear list";
+    case PatternIndexKind::kHashTable:
+      return "hash table";
+    case PatternIndexKind::kPathIndex:
+      return "path index";
+    case PatternIndexKind::kDiscriminationTree:
+      return "discrimination tree";
+  }
+  return "?";
+}
+
+const char* PatternIndexKindLetter(PatternIndexKind kind) {
+  switch (kind) {
+    case PatternIndexKind::kLinearList:
+      return "A";
+    case PatternIndexKind::kHashTable:
+      return "B";
+    case PatternIndexKind::kPathIndex:
+      return "C";
+    case PatternIndexKind::kDiscriminationTree:
+      return "D";
+  }
+  return "?";
+}
+
+std::unique_ptr<PatternIndex> MakePatternIndex(PatternIndexKind kind,
+                                               size_t arity) {
+  switch (kind) {
+    case PatternIndexKind::kLinearList:
+      return std::make_unique<LinearIndex>(arity);
+    case PatternIndexKind::kHashTable:
+      return std::make_unique<HashIndex>(arity);
+    case PatternIndexKind::kPathIndex:
+      return std::make_unique<PathIndex>(arity);
+    case PatternIndexKind::kDiscriminationTree:
+      return std::make_unique<DiscriminationTree>(arity);
+  }
+  PCDB_CHECK(false) << "unknown index kind";
+  return nullptr;
+}
+
+}  // namespace pcdb

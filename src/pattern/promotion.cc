@@ -1,0 +1,271 @@
+#include "pattern/promotion.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "pattern/discrimination_tree.h"
+#include "pattern/minimize.h"
+
+namespace pcdb {
+
+void PromotionStats::MergeFrom(const PromotionStats& other) {
+  attempts += other.attempts;
+  trivial_failures += other.trivial_failures;
+  choice_sets_tested += other.choice_sets_tested;
+  naive_choice_sets += other.naive_choice_sets;
+  unification_steps += other.unification_steps;
+  promoted += other.promoted;
+  timed_out = timed_out || other.timed_out;
+}
+
+namespace {
+
+/// Depth-first enumeration of choice sets for one initial pattern p0.
+class ChoiceSetSearch {
+ public:
+  ChoiceSetSearch(const std::vector<std::vector<Pattern>>& a_sets,
+                  size_t target_arity, const PromotionOptions& options,
+                  const WallTimer& timer, PromotionStats* stats)
+      : a_sets_(a_sets),
+        target_arity_(target_arity),
+        options_(options),
+        timer_(timer),
+        stats_(stats),
+        result_index_(target_arity) {}
+
+  /// Runs the search; returns the unifiers of all unifiable choice sets
+  /// (with the join attribute already wildcarded by the caller's A-set
+  /// preparation). Unifiers subsumed by earlier ones are skipped when
+  /// subsumption detection is on.
+  std::vector<Pattern> Run() {
+    if (options_.enable_pruning) {
+      Descend(0, Pattern::AllWildcards(target_arity_));
+    } else {
+      std::vector<const Pattern*> choice;
+      DescendUnpruned(0, &choice);
+    }
+    return std::move(results_);
+  }
+
+  bool timed_out() const { return timed_out_; }
+
+ private:
+  bool CheckTimeout() {
+    if (options_.timeout_millis <= 0) return false;
+    if (++timeout_probe_ % 64 != 0) return false;
+    if (timer_.ElapsedMillis() > options_.timeout_millis) {
+      timed_out_ = true;
+    }
+    return timed_out_;
+  }
+
+  void Emit(const Pattern& unifier) {
+    if (options_.enable_subsumption_detection) {
+      // Redundant results were pruned already; still guard against
+      // duplicates and subsumption from sibling branches.
+      if (result_index_.HasSubsumer(unifier, /*strict=*/false)) return;
+    } else {
+      // Baseline mode keeps every distinct unifier (exact dedupe only).
+      if (std::find(results_.begin(), results_.end(), unifier) !=
+          results_.end()) {
+        return;
+      }
+    }
+    result_index_.Insert(unifier);
+    results_.push_back(unifier);
+  }
+
+  void Descend(size_t level, const Pattern& unifier) {
+    if (timed_out_ || CheckTimeout()) return;
+    if (level == a_sets_.size()) {
+      if (stats_ != nullptr) ++stats_->choice_sets_tested;
+      Emit(unifier);
+      return;
+    }
+    for (const Pattern& candidate : a_sets_[level]) {
+      if (stats_ != nullptr) ++stats_->unification_steps;
+      if (!unifier.UnifiableWith(candidate)) continue;
+      Pattern next = unifier.UnifyWith(candidate);
+      if (options_.enable_subsumption_detection &&
+          result_index_.HasSubsumer(next, /*strict=*/false)) {
+        // A promoted pattern already subsumes the intermediate unifier:
+        // every completion of this branch is redundant.
+        continue;
+      }
+      Descend(level + 1, next);
+      if (timed_out_) return;
+    }
+  }
+
+  void DescendUnpruned(size_t level, std::vector<const Pattern*>* choice) {
+    if (timed_out_ || CheckTimeout()) return;
+    if (level == a_sets_.size()) {
+      if (stats_ != nullptr) ++stats_->choice_sets_tested;
+      // Unifiability test over the complete set.
+      Pattern unifier = Pattern::AllWildcards(target_arity_);
+      for (const Pattern* p : *choice) {
+        if (stats_ != nullptr) ++stats_->unification_steps;
+        if (!unifier.UnifiableWith(*p)) return;
+        unifier = unifier.UnifyWith(*p);
+      }
+      Emit(unifier);
+      return;
+    }
+    for (const Pattern& candidate : a_sets_[level]) {
+      choice->push_back(&candidate);
+      DescendUnpruned(level + 1, choice);
+      choice->pop_back();
+      if (timed_out_) return;
+    }
+  }
+
+  const std::vector<std::vector<Pattern>>& a_sets_;
+  size_t target_arity_;
+  const PromotionOptions& options_;
+  const WallTimer& timer_;
+  PromotionStats* stats_;
+  std::vector<Pattern> results_;
+  /// Mirror of results_ supporting fast subsumption checks for pruning.
+  DiscriminationTree result_index_;
+  size_t timeout_probe_ = 0;
+  bool timed_out_ = false;
+};
+
+}  // namespace
+
+std::vector<std::pair<Pattern, size_t>> PromoteOneDirection(
+    const PatternSet& source_patterns, size_t source_attr,
+    const Table& source_data, const PatternSet& target_patterns,
+    size_t target_attr, const PromotionOptions& options,
+    PromotionStats* stats) {
+  std::vector<std::pair<Pattern, size_t>> promoted;
+  if (target_patterns.empty()) return promoted;
+  const size_t target_arity = target_patterns[0].arity();
+  WallTimer timer;
+
+  // Allowable domains only need the distinct source rows; join results
+  // in particular repeat rows heavily.
+  std::unordered_set<Tuple, TupleHash> distinct_rows(
+      source_data.rows().begin(), source_data.rows().end());
+
+  // Split the target patterns into A-sets keyed by their join-attribute
+  // constant; wildcard patterns can stand in for any value. The join
+  // attribute is wildcarded up front: choice-set members are compared on
+  // the remaining positions only. Each A-set is then reduced to its
+  // maximal remainders — choosing a strictly subsumed remainder can only
+  // produce a strictly subsumed unifier, so non-maximal members never
+  // contribute maximal promoted patterns. (This also deduplicates
+  // remainders that differed only in the join constant, which collapses
+  // the choice-set space by orders of magnitude.)
+  std::unordered_map<Value, PatternSet, ValueHash> raw_a_sets;
+  PatternSet wildcard_set;
+  for (const Pattern& p : target_patterns) {
+    PCDB_CHECK(target_attr < p.arity());
+    if (p.IsWildcard(target_attr)) {
+      if (options.include_wildcard_patterns) wildcard_set.Add(p);
+    } else {
+      raw_a_sets[p.value(target_attr)].Add(p.WithWildcard(target_attr));
+    }
+  }
+  std::unordered_map<Value, std::vector<Pattern>, ValueHash> a_sets;
+  for (auto& [value, set] : raw_a_sets) {
+    for (const Pattern& w : wildcard_set) set.Add(w);
+    a_sets.emplace(value, Minimize(set).patterns());
+  }
+  std::vector<Pattern> wildcard_only = Minimize(wildcard_set).patterns();
+
+  for (size_t p0_index = 0; p0_index < source_patterns.size(); ++p0_index) {
+    const Pattern& p0 = source_patterns[p0_index];
+    PCDB_CHECK(source_attr < p0.arity());
+    // Promotion attempts start from source patterns with '*' at the join
+    // position: only those bound the domain of the join attribute.
+    if (!p0.IsWildcard(source_attr)) continue;
+    if (stats != nullptr) ++stats->attempts;
+
+    // Allowable domain Δ: all join-attribute values of source rows
+    // matching p0 — by p0's completeness, no other value can ever join.
+    std::unordered_set<Value, ValueHash> delta;
+    for (const Tuple& t : distinct_rows) {
+      if (p0.SubsumesTuple(t)) delta.insert(t[source_attr]);
+    }
+
+    // Assemble the required A-sets. A domain value without constant
+    // patterns is covered by the wildcard stand-ins alone (when
+    // enabled).
+    std::vector<std::vector<Pattern>> required;
+    required.reserve(delta.size());
+    bool trivially_failed = false;
+    size_t naive = 1;
+    for (const Value& d : delta) {
+      auto it = a_sets.find(d);
+      const std::vector<Pattern>& set =
+          it == a_sets.end() ? wildcard_only : it->second;
+      if (set.empty()) {
+        trivially_failed = true;
+        break;
+      }
+      // Saturating multiply: the naive choice-set count is astronomical
+      // for high-cardinality attributes and only reported for context.
+      constexpr size_t kNaiveCap = size_t{1} << 62;
+      naive = naive > kNaiveCap / set.size() ? kNaiveCap
+                                             : naive * set.size();
+      required.push_back(set);
+    }
+    if (trivially_failed) {
+      if (stats != nullptr) ++stats->trivial_failures;
+      continue;
+    }
+    if (stats != nullptr) stats->naive_choice_sets += naive;
+    if (options.smallest_sets_first) {
+      std::sort(required.begin(), required.end(),
+                [](const std::vector<Pattern>& a,
+                   const std::vector<Pattern>& b) {
+                  return a.size() < b.size();
+                });
+    }
+
+    ChoiceSetSearch search(required, target_arity, options, timer, stats);
+    std::vector<Pattern> unifiers = search.Run();
+    for (Pattern& u : unifiers) {
+      promoted.emplace_back(std::move(u), p0_index);
+    }
+    if (stats != nullptr) stats->promoted += unifiers.size();
+    if (search.timed_out()) {
+      if (stats != nullptr) stats->timed_out = true;
+      break;
+    }
+  }
+  return promoted;
+}
+
+PatternSet InstanceAwarePatternJoin(const PatternSet& left, size_t attr_a,
+                                    const Table& left_data,
+                                    const PatternSet& right, size_t attr_b,
+                                    const Table& right_data,
+                                    const PromotionOptions& options,
+                                    PromotionStats* stats,
+                                    PatternJoinStrategy strategy) {
+  PatternSet out = PatternJoin(left, attr_a, right, attr_b, strategy);
+  std::unordered_set<Pattern, PatternHash> seen(out.begin(), out.end());
+  auto add = [&](Pattern p) {
+    if (seen.insert(p).second) out.Add(std::move(p));
+  };
+
+  // Promote left-side patterns using right-side initial patterns:
+  // result pattern = unifier(left) · p0(right).
+  for (auto& [unifier, p0_index] : PromoteOneDirection(
+           right, attr_b, right_data, left, attr_a, options, stats)) {
+    add(unifier.Concat(right[p0_index]));
+  }
+  // And the reverse direction: p0(left) · unifier(right).
+  for (auto& [unifier, p0_index] : PromoteOneDirection(
+           left, attr_a, left_data, right, attr_b, options, stats)) {
+    add(left[p0_index].Concat(unifier));
+  }
+  return out;
+}
+
+}  // namespace pcdb

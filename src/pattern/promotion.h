@@ -1,0 +1,93 @@
+#ifndef PCDB_PATTERN_PROMOTION_H_
+#define PCDB_PATTERN_PROMOTION_H_
+
+#include <vector>
+
+#include "pattern/algebra.h"
+#include "pattern/pattern.h"
+#include "relational/table.h"
+
+namespace pcdb {
+
+/// \brief Tuning knobs for the promotion search (§5.2). Each corresponds
+/// to one of the paper's optimizations and can be disabled for ablation.
+struct PromotionOptions {
+  /// Test unifiability incrementally while a choice set is being built
+  /// ("on-the-go") instead of only on complete sets.
+  bool enable_pruning = true;
+  /// Abandon a branch whose intermediate unifier is already more
+  /// specific than a previously promoted pattern (its results would be
+  /// redundant).
+  bool enable_subsumption_detection = true;
+  /// Iterate A-sets from smallest to largest (best search order found by
+  /// the paper).
+  bool smallest_sets_first = true;
+  /// Let patterns with '*' at the join attribute stand in for any
+  /// required value when assembling choice sets. Sound: if p with
+  /// p[A]='*' holds, so does its specialization p[A/d].
+  bool include_wildcard_patterns = true;
+  /// Abort promotion when the budget is exceeded (0 = unlimited). The
+  /// paper uses a 30 s timeout in Table 8.
+  double timeout_millis = 0;
+};
+
+/// \brief Counters describing one promotion run (Table 8 / Appendix D).
+struct PromotionStats {
+  /// Initial patterns p0 with '*' at the join position (promotion
+  /// attempts, both directions combined).
+  size_t attempts = 0;
+  /// Attempts abandoned because a required A-set was empty.
+  size_t trivial_failures = 0;
+  /// Choice sets that reached a complete unifiability test.
+  size_t choice_sets_tested = 0;
+  /// Choice sets that would be tested without any optimization
+  /// (the product of required A-set sizes, summed over attempts).
+  size_t naive_choice_sets = 0;
+  /// Incremental pairwise unification tests performed.
+  size_t unification_steps = 0;
+  /// Promoted patterns emitted (before minimization).
+  size_t promoted = 0;
+  /// True if the timeout fired; the result is then partial but sound.
+  bool timed_out = false;
+
+  void MergeFrom(const PromotionStats& other);
+};
+
+/// \brief Promotes completeness patterns across one side of an equijoin
+/// (§5.1).
+///
+/// For every pattern p0 of the *source* side with '*' at its join
+/// attribute, the allowable domain Δ is read from the source data (the
+/// distinct join-attribute values of source rows matching p0 — all
+/// values that can ever appear, since p0 asserts completeness). Choice
+/// sets — one *target* pattern per value of Δ — are tested for
+/// unifiability after wildcarding the join attribute; each unifier u
+/// yields the promoted target-side pattern u, valid for the join result
+/// in combination with p0.
+///
+/// Returns (unifier, index of p0 in `source_patterns`) pairs; the caller
+/// concatenates them in join column order. Both pattern sets must match
+/// their tables' schemas positionally.
+std::vector<std::pair<Pattern, size_t>> PromoteOneDirection(
+    const PatternSet& source_patterns, size_t source_attr,
+    const Table& source_data, const PatternSet& target_patterns,
+    size_t target_attr, const PromotionOptions& options = {},
+    PromotionStats* stats = nullptr);
+
+/// \brief The instance-aware pattern join ⋈̂ (§5.1): the schema-level
+/// pattern join plus promotion in both directions.
+///
+/// `left_data` and `right_data` are the data relations the pattern sets
+/// describe (the join *inputs*, E1(D) and E2(D)). The result is
+/// deduplicated but not minimized; promoted patterns typically subsume
+/// many regular join outputs, so minimizing afterwards shrinks the
+/// result (Table 9).
+PatternSet InstanceAwarePatternJoin(
+    const PatternSet& left, size_t attr_a, const Table& left_data,
+    const PatternSet& right, size_t attr_b, const Table& right_data,
+    const PromotionOptions& options = {}, PromotionStats* stats = nullptr,
+    PatternJoinStrategy strategy = PatternJoinStrategy::kPartitionedHashJoin);
+
+}  // namespace pcdb
+
+#endif  // PCDB_PATTERN_PROMOTION_H_

@@ -1,0 +1,277 @@
+#include "pattern/storage.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace pcdb {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Splits a storage line on unescaped '|' without unescaping fields.
+std::vector<std::string> SplitStored(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool escaped = false;
+  for (char c : line) {
+    if (escaped) {
+      current.push_back(c);
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      current.push_back(c);
+      escaped = true;
+      continue;
+    }
+    if (c == '|') {
+      fields.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+/// Serializes a Value for a storage field.
+std::string StoreValue(const Value& v) {
+  if (v.is_string()) return EscapeField(v.str());
+  return v.ToString();
+}
+
+Result<Value> LoadValue(const std::string& stored, ValueType type) {
+  if (type == ValueType::kString) {
+    PCDB_ASSIGN_OR_RETURN(std::string raw, UnescapeField(stored));
+    return Value(std::move(raw));
+  }
+  return Value::Parse(stored, type);
+}
+
+Status WriteFile(const fs::path& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path.string() +
+                                   "' for writing");
+  }
+  out << content;
+  if (!out) return Status::Internal("write to '" + path.string() + "' failed");
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path.string() + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::string EscapeField(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '|':
+        out += "\\|";
+        break;
+      case '*':
+        out += "\\*";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeField(const std::string& stored) {
+  std::string out;
+  out.reserve(stored.size());
+  for (size_t i = 0; i < stored.size(); ++i) {
+    if (stored[i] != '\\') {
+      out.push_back(stored[i]);
+      continue;
+    }
+    if (i + 1 == stored.size()) {
+      return Status::ParseError("dangling escape in stored field");
+    }
+    char next = stored[++i];
+    out.push_back(next == 'n' ? '\n' : next);
+  }
+  return out;
+}
+
+Status SaveAnnotatedDatabase(const AnnotatedDatabase& adb,
+                             const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create directory '" + dir +
+                                   "': " + ec.message());
+  }
+
+  std::string catalog;
+  for (const std::string& name : adb.database().TableNames()) {
+    PCDB_ASSIGN_OR_RETURN(const Table* table, adb.database().GetTable(name));
+    catalog += EscapeField(name);
+    for (const Column& col : table->schema().columns()) {
+      catalog += "|" + EscapeField(col.name) + ":" +
+                 ValueTypeToString(col.type);
+    }
+    catalog += "\n";
+
+    std::string data;
+    for (const Tuple& row : table->rows()) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) data += "|";
+        data += StoreValue(row[i]);
+      }
+      data += "\n";
+    }
+    PCDB_RETURN_NOT_OK(WriteFile(fs::path(dir) / (name + ".data"), data));
+
+    std::string meta;
+    for (const Pattern& p : adb.patterns(name)) {
+      for (size_t i = 0; i < p.arity(); ++i) {
+        if (i > 0) meta += "|";
+        // The bare '*' is the wildcard; literal asterisks in string
+        // values were escaped by StoreValue.
+        meta += p.IsWildcard(i) ? "*" : StoreValue(p.value(i));
+      }
+      meta += "\n";
+    }
+    PCDB_RETURN_NOT_OK(WriteFile(fs::path(dir) / (name + ".meta"), meta));
+  }
+  PCDB_RETURN_NOT_OK(WriteFile(fs::path(dir) / "catalog", catalog));
+
+  // Domains: column|type|v1|v2|... (type disambiguates value parsing).
+  std::string domains;
+  for (const std::string& name : adb.database().TableNames()) {
+    PCDB_ASSIGN_OR_RETURN(const Table* table, adb.database().GetTable(name));
+    for (const Column& col : table->schema().columns()) {
+      const std::vector<Value>* domain = adb.domains().Lookup(col.name);
+      if (domain == nullptr) continue;
+      std::string line = EscapeField(col.name);
+      line += "|";
+      line += ValueTypeToString(col.type);
+      for (const Value& v : *domain) line += "|" + StoreValue(v);
+      line += "\n";
+      // Deduplicate: a domain registered under a base name resolves for
+      // several qualified columns; store it once per distinct line.
+      if (domains.find(line) == std::string::npos) domains += line;
+    }
+  }
+  return WriteFile(fs::path(dir) / "domains", domains);
+}
+
+Result<AnnotatedDatabase> LoadAnnotatedDatabase(const std::string& dir) {
+  PCDB_ASSIGN_OR_RETURN(std::string catalog,
+                        ReadFile(fs::path(dir) / "catalog"));
+  AnnotatedDatabase adb;
+  std::istringstream catalog_stream(catalog);
+  std::string line;
+  while (std::getline(catalog_stream, line)) {
+    if (TrimString(line).empty()) continue;
+    std::vector<std::string> fields = SplitStored(line);
+    if (fields.size() < 2) {
+      return Status::ParseError("catalog line with no columns: " + line);
+    }
+    PCDB_ASSIGN_OR_RETURN(std::string name, UnescapeField(fields[0]));
+    std::vector<Column> columns;
+    for (size_t i = 1; i < fields.size(); ++i) {
+      size_t colon = fields[i].rfind(':');
+      if (colon == std::string::npos) {
+        return Status::ParseError("catalog column without type: " +
+                                  fields[i]);
+      }
+      PCDB_ASSIGN_OR_RETURN(std::string col_name,
+                            UnescapeField(fields[i].substr(0, colon)));
+      PCDB_ASSIGN_OR_RETURN(ValueType type,
+                            ValueTypeFromString(fields[i].substr(colon + 1)));
+      columns.push_back(Column{std::move(col_name), type});
+    }
+    Schema schema(std::move(columns));
+    PCDB_RETURN_NOT_OK(adb.CreateTable(name, schema));
+
+    PCDB_ASSIGN_OR_RETURN(std::string data,
+                          ReadFile(fs::path(dir) / (name + ".data")));
+    std::istringstream data_stream(data);
+    std::string record;
+    while (std::getline(data_stream, record)) {
+      if (record.empty()) continue;
+      std::vector<std::string> raw = SplitStored(record);
+      if (raw.size() != schema.arity()) {
+        return Status::ParseError("data record arity mismatch in table '" +
+                                  name + "'");
+      }
+      Tuple row;
+      row.reserve(raw.size());
+      for (size_t i = 0; i < raw.size(); ++i) {
+        PCDB_ASSIGN_OR_RETURN(Value v,
+                              LoadValue(raw[i], schema.column(i).type));
+        row.push_back(std::move(v));
+      }
+      PCDB_RETURN_NOT_OK(adb.AddRow(name, std::move(row)));
+    }
+
+    PCDB_ASSIGN_OR_RETURN(std::string meta,
+                          ReadFile(fs::path(dir) / (name + ".meta")));
+    std::istringstream meta_stream(meta);
+    while (std::getline(meta_stream, record)) {
+      if (record.empty()) continue;
+      std::vector<std::string> raw = SplitStored(record);
+      if (raw.size() != schema.arity()) {
+        return Status::ParseError("pattern arity mismatch in table '" +
+                                  name + "'");
+      }
+      std::vector<Pattern::Cell> cells;
+      cells.reserve(raw.size());
+      for (size_t i = 0; i < raw.size(); ++i) {
+        if (raw[i] == "*") {
+          cells.push_back(Pattern::Wildcard());
+        } else {
+          PCDB_ASSIGN_OR_RETURN(Value v,
+                                LoadValue(raw[i], schema.column(i).type));
+          cells.push_back(std::move(v));
+        }
+      }
+      PCDB_RETURN_NOT_OK(adb.AddPattern(name, Pattern(std::move(cells))));
+    }
+  }
+
+  auto domains = ReadFile(fs::path(dir) / "domains");
+  if (domains.ok()) {
+    std::istringstream domain_stream(*domains);
+    while (std::getline(domain_stream, line)) {
+      if (TrimString(line).empty()) continue;
+      std::vector<std::string> fields = SplitStored(line);
+      if (fields.size() < 2) {
+        return Status::ParseError("domain line without type: " + line);
+      }
+      PCDB_ASSIGN_OR_RETURN(std::string column, UnescapeField(fields[0]));
+      PCDB_ASSIGN_OR_RETURN(ValueType type, ValueTypeFromString(fields[1]));
+      std::vector<Value> values;
+      for (size_t i = 2; i < fields.size(); ++i) {
+        PCDB_ASSIGN_OR_RETURN(Value v, LoadValue(fields[i], type));
+        values.push_back(std::move(v));
+      }
+      adb.domains().SetDomain(column, std::move(values));
+    }
+  }
+  return adb;
+}
+
+}  // namespace pcdb

@@ -1,0 +1,45 @@
+#ifndef PCDB_PATTERN_STORAGE_H_
+#define PCDB_PATTERN_STORAGE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "pattern/annotated.h"
+
+namespace pcdb {
+
+/// \brief On-disk persistence for partially complete databases (§6,
+/// "Storage").
+///
+/// The paper's storage recipe: keep one metadata table per data table,
+/// in the same schema, with the wildcard as a distinguished value —
+/// using string escaping to disambiguate a literal "*" from the
+/// wildcard. The directory layout is
+///
+///   <dir>/catalog            one line per table: name|col:TYPE|...
+///   <dir>/<table>.data       one record per line, fields '|'-separated
+///   <dir>/<table>.meta       one pattern per line, same format, where
+///                            an unescaped * is the wildcard
+///   <dir>/domains            optional attribute domains, one per line:
+///                            column|v1|v2|...
+///
+/// Field escaping: '\' escapes itself, '|', newline (as \n) and '*', so
+/// every string value round-trips; numeric fields are never escaped.
+
+/// Serializes one field value for storage (escapes \, |, newline, *).
+std::string EscapeField(const std::string& raw);
+
+/// Inverse of EscapeField; fails on dangling escapes.
+Result<std::string> UnescapeField(const std::string& stored);
+
+/// Writes the database, its metadata tables and registered domains under
+/// `dir` (created if missing; existing files are overwritten).
+Status SaveAnnotatedDatabase(const AnnotatedDatabase& adb,
+                             const std::string& dir);
+
+/// Loads a database previously written by SaveAnnotatedDatabase.
+Result<AnnotatedDatabase> LoadAnnotatedDatabase(const std::string& dir);
+
+}  // namespace pcdb
+
+#endif  // PCDB_PATTERN_STORAGE_H_

@@ -1,0 +1,46 @@
+#include "pattern/summary.h"
+
+#include <cstdio>
+
+namespace pcdb {
+
+std::string CompletenessSummary::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s; %zu/%zu answer rows (%.1f%%) in guaranteed-complete "
+                "slices, %zu patterns",
+                fully_complete ? "answer COMPLETE" : "answer possibly partial",
+                guaranteed_rows, total_rows, 100.0 * guaranteed_fraction,
+                num_patterns);
+  return buf;
+}
+
+CompletenessSummary Summarize(const AnnotatedTable& annotated) {
+  CompletenessSummary summary;
+  summary.num_patterns = annotated.patterns.size();
+  summary.total_rows = annotated.data.num_rows();
+  for (const Pattern& p : annotated.patterns) {
+    if (p.IsAllWildcards()) {
+      summary.fully_complete = true;
+      break;
+    }
+  }
+  for (const Tuple& row : annotated.data.rows()) {
+    if (annotated.patterns.AnySubsumesTuple(row)) ++summary.guaranteed_rows;
+  }
+  summary.guaranteed_fraction =
+      summary.total_rows == 0
+          ? 0.0
+          : static_cast<double>(summary.guaranteed_rows) /
+                static_cast<double>(summary.total_rows);
+  return summary;
+}
+
+bool IsAnswerComplete(const AnnotatedTable& annotated) {
+  for (const Pattern& p : annotated.patterns) {
+    if (p.IsAllWildcards()) return true;
+  }
+  return false;
+}
+
+}  // namespace pcdb

@@ -1,0 +1,43 @@
+#ifndef PCDB_PATTERN_SUMMARY_H_
+#define PCDB_PATTERN_SUMMARY_H_
+
+#include <string>
+
+#include "pattern/annotated.h"
+
+namespace pcdb {
+
+/// \brief End-user view of an annotated answer: how much of it is
+/// guaranteed final.
+///
+/// Prior work (Motro '89, Levy '96 — see §2) only answers the binary
+/// question "is this answer complete?"; the pattern framework
+/// additionally identifies *which parts* are. This helper distills both
+/// views from an AnnotatedTable.
+struct CompletenessSummary {
+  /// The whole answer is complete (the pattern set covers every possible
+  /// answer tuple, i.e. contains the all-wildcard pattern). This is the
+  /// only case earlier approaches could report positively.
+  bool fully_complete = false;
+  size_t total_rows = 0;
+  /// Rows of the answer covered by some completeness pattern: these rows
+  /// belong to slices guaranteed to be final.
+  size_t guaranteed_rows = 0;
+  /// guaranteed_rows / total_rows (0 for empty answers).
+  double guaranteed_fraction = 0;
+  /// Number of (minimal) patterns describing the complete parts.
+  size_t num_patterns = 0;
+
+  /// One-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Computes the summary of an annotated answer.
+CompletenessSummary Summarize(const AnnotatedTable& annotated);
+
+/// The classical decision: is the entire answer guaranteed complete?
+bool IsAnswerComplete(const AnnotatedTable& annotated);
+
+}  // namespace pcdb
+
+#endif  // PCDB_PATTERN_SUMMARY_H_

@@ -1,0 +1,49 @@
+#include "pattern/zombie.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace pcdb {
+
+PatternSet ZombiesForSelectConst(size_t arity, size_t attr, const Value& d,
+                                 const std::vector<Value>& domain) {
+  PCDB_CHECK(attr < arity);
+  PatternSet out;
+  for (const Value& c : domain) {
+    if (c == d) continue;
+    out.Add(Pattern::AllWildcards(arity).WithValue(attr, c));
+  }
+  return out;
+}
+
+PatternSet ZombiesForJoin(const PatternSet& side_patterns, size_t attr,
+                          const Table& side_data,
+                          const std::vector<Value>& domain,
+                          size_t other_arity, bool side_is_left) {
+  std::unordered_set<Value, ValueHash> present;
+  for (const Tuple& t : side_data.rows()) {
+    PCDB_CHECK(attr < t.size());
+    present.insert(t[attr]);
+  }
+  const Pattern padding = Pattern::AllWildcards(other_arity);
+  PatternSet out;
+  std::unordered_set<Pattern, PatternHash> seen;
+  for (const Pattern& p : side_patterns) {
+    PCDB_CHECK(attr < p.arity());
+    if (!p.IsWildcard(attr)) continue;
+    for (const Value& d : domain) {
+      if (present.count(d) > 0) continue;
+      // p is complete with '*' at the join attribute and no current row
+      // has value d there, so no p[A/d]-matching row can ever exist; the
+      // join result is vacuously complete for that slice.
+      Pattern specialized = p.WithValue(attr, d);
+      Pattern zombie = side_is_left ? specialized.Concat(padding)
+                                    : padding.Concat(specialized);
+      if (seen.insert(zombie).second) out.Add(std::move(zombie));
+    }
+  }
+  return out;
+}
+
+}  // namespace pcdb

@@ -1,0 +1,40 @@
+#ifndef PCDB_PATTERN_ZOMBIE_H_
+#define PCDB_PATTERN_ZOMBIE_H_
+
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "relational/table.h"
+
+namespace pcdb {
+
+/// \brief Zombie patterns (Appendix E): explicit completeness assertions
+/// for values that can currently not appear in an operator's result.
+///
+/// A pattern like (∗, software) over σ_{spec=hardware}(Teams) is
+/// trivially satisfied — no software team can survive the selection —
+/// yet carrying it forward lets later joins promote over values the
+/// current result misses, recovering inferences the plain instance-aware
+/// algebra cannot make (Example 10). The paper measures ≈250 % runtime
+/// overhead and only rare extra inferences (~0.08 % in 3-way joins), so
+/// zombie generation is opt-in (AnnotatedEvalOptions::zombies).
+
+/// Zombies introduced by σ_{A=d} (instance-independent): one pattern per
+/// other domain value c — c at position `attr`, '*' elsewhere.
+PatternSet ZombiesForSelectConst(size_t arity, size_t attr, const Value& d,
+                                 const std::vector<Value>& domain);
+
+/// addZombies (Appendix E.1), one join side: for every pattern p of this
+/// side with '*' at the join attribute, and every domain value d absent
+/// from the side's data column, the join result can never contain a row
+/// matching p[A/d] on this side — emit p[A/d] extended with '*' across
+/// the other side. `side_is_left` selects whether the '*' padding is
+/// appended (left side) or prepended (right side).
+PatternSet ZombiesForJoin(const PatternSet& side_patterns, size_t attr,
+                          const Table& side_data,
+                          const std::vector<Value>& domain,
+                          size_t other_arity, bool side_is_left);
+
+}  // namespace pcdb
+
+#endif  // PCDB_PATTERN_ZOMBIE_H_

@@ -1,0 +1,88 @@
+#include "relational/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace pcdb {
+
+Result<Table> ReadCsvString(const std::string& text, const Schema& schema,
+                            bool has_header) {
+  Table table(schema);
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_no = 0;
+  bool skipped_header = !has_header;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (TrimString(line).empty()) continue;
+    if (!skipped_header) {
+      skipped_header = true;
+      continue;
+    }
+    std::vector<std::string> fields = SplitString(line, ',');
+    if (fields.size() != schema.arity()) {
+      return Status::ParseError(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(schema.arity()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    Tuple row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      auto value = Value::Parse(TrimString(fields[i]), schema.column(i).type);
+      if (!value.ok()) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ", column '" + schema.column(i).name +
+                                  "': " + value.status().message());
+      }
+      row.push_back(std::move(value).ValueOrDie());
+    }
+    table.AppendUnchecked(std::move(row));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                          bool has_header) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open CSV file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsvString(buffer.str(), schema, has_header);
+}
+
+std::string WriteCsvString(const Table& table) {
+  std::string out;
+  for (size_t i = 0; i < table.schema().arity(); ++i) {
+    if (i > 0) out += ",";
+    out += table.schema().column(i).name;
+  }
+  out += "\n";
+  for (const Tuple& row : table.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ",";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  out << WriteCsvString(table);
+  if (!out) {
+    return Status::Internal("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace pcdb

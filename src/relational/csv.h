@@ -1,0 +1,32 @@
+#ifndef PCDB_RELATIONAL_CSV_H_
+#define PCDB_RELATIONAL_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace pcdb {
+
+/// \brief Parses CSV text into a table under `schema`.
+///
+/// The format is the simple comma-separated one used by our example data
+/// files: no quoting, one record per line, optional header line (skipped
+/// when `has_header` is true), fields trimmed of surrounding whitespace.
+/// Fails with ParseError on arity or type mismatches.
+Result<Table> ReadCsvString(const std::string& text, const Schema& schema,
+                            bool has_header = true);
+
+/// Reads a CSV file from disk; see ReadCsvString.
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                          bool has_header = true);
+
+/// Serializes `table` as CSV with a header line.
+std::string WriteCsvString(const Table& table);
+
+/// Writes `table` to `path` as CSV with a header line.
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+}  // namespace pcdb
+
+#endif  // PCDB_RELATIONAL_CSV_H_

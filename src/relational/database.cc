@@ -1,0 +1,44 @@
+#include "relational/database.h"
+
+namespace pcdb {
+
+Status Database::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_.emplace(name, Table(std::move(schema)));
+  return Status::OK();
+}
+
+void Database::PutTable(const std::string& name, Table table) {
+  tables_.insert_or_assign(name, std::move(table));
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  return &it->second;
+}
+
+Result<Table*> Database::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace pcdb

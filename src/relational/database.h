@@ -1,0 +1,41 @@
+#ifndef PCDB_RELATIONAL_DATABASE_H_
+#define PCDB_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace pcdb {
+
+/// \brief A database instance: a set of named tables (§3.1).
+///
+/// Completeness metadata is layered on top by pattern::AnnotatedDatabase;
+/// this class stores only the data.
+class Database {
+ public:
+  /// Registers a new empty table under `name`.
+  Status CreateTable(const std::string& name, Schema schema);
+
+  /// Registers (or replaces) a table with its content.
+  void PutTable(const std::string& name, Table table);
+
+  bool HasTable(const std::string& name) const;
+
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetMutableTable(const std::string& name);
+
+  /// Table names in deterministic (sorted) order.
+  std::vector<std::string> TableNames() const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_RELATIONAL_DATABASE_H_

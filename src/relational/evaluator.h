@@ -1,0 +1,33 @@
+#ifndef PCDB_RELATIONAL_EVALUATOR_H_
+#define PCDB_RELATIONAL_EVALUATOR_H_
+
+#include "common/result.h"
+#include "relational/database.h"
+#include "relational/expr.h"
+#include "relational/table.h"
+
+namespace pcdb {
+
+/// \brief Evaluates a relational algebra expression over a database
+/// instance (Q(D) in §3.1), under bag semantics.
+///
+/// Joins use hash joins on the equality attribute; aggregation uses hash
+/// grouping. Fails with a Status on unknown tables, unresolvable or
+/// ambiguous attributes, and type mismatches.
+Result<Table> Evaluate(const Expr& expr, const Database& db);
+
+inline Result<Table> Evaluate(const ExprPtr& expr, const Database& db) {
+  return Evaluate(*expr, db);
+}
+
+/// Applies only the root operator of `expr` to already-evaluated child
+/// results (`left`/`right` are ignored where the operator takes fewer
+/// inputs; kScan takes none). Used by the annotated evaluator
+/// (pattern/annotated_eval.h) to run the data plan and the metadata plan
+/// in lockstep over shared intermediates.
+Result<Table> ApplyRootOperator(const Expr& expr, const Database& db,
+                                Table left, Table right);
+
+}  // namespace pcdb
+
+#endif  // PCDB_RELATIONAL_EVALUATOR_H_

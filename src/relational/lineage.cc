@@ -1,0 +1,181 @@
+#include "relational/lineage.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace pcdb {
+namespace {
+
+/// One in-flight row with its provenance (indices parallel to the scans
+/// discovered so far in this subtree).
+struct LRow {
+  Tuple tuple;
+  std::vector<uint32_t> sources;
+};
+
+struct Intermediate {
+  Schema schema;
+  std::vector<LRow> rows;
+  std::vector<std::string> scans;
+};
+
+class LineageEvaluator {
+ public:
+  explicit LineageEvaluator(const Database& db) : db_(db) {}
+
+  Result<Intermediate> Eval(const Expr& expr) {
+    switch (expr.kind()) {
+      case ExprKind::kScan: {
+        PCDB_ASSIGN_OR_RETURN(const Table* table,
+                              db_.GetTable(expr.table_name()));
+        PCDB_ASSIGN_OR_RETURN(Schema schema, expr.OutputSchema(db_));
+        Intermediate out{std::move(schema), {}, {expr.table_name()}};
+        out.rows.reserve(table->num_rows());
+        for (size_t r = 0; r < table->num_rows(); ++r) {
+          out.rows.push_back(
+              LRow{table->row(r), {static_cast<uint32_t>(r)}});
+        }
+        return out;
+      }
+      case ExprKind::kSelectConst: {
+        PCDB_ASSIGN_OR_RETURN(Intermediate in, Eval(*expr.left()));
+        PCDB_ASSIGN_OR_RETURN(size_t idx, in.schema.Resolve(expr.attr()));
+        Intermediate out{in.schema, {}, in.scans};
+        for (LRow& row : in.rows) {
+          if (row.tuple[idx] == expr.constant()) {
+            out.rows.push_back(std::move(row));
+          }
+        }
+        return out;
+      }
+      case ExprKind::kSelectAttrEq: {
+        PCDB_ASSIGN_OR_RETURN(Intermediate in, Eval(*expr.left()));
+        PCDB_ASSIGN_OR_RETURN(size_t a, in.schema.Resolve(expr.attr()));
+        PCDB_ASSIGN_OR_RETURN(size_t b, in.schema.Resolve(expr.attr2()));
+        Intermediate out{in.schema, {}, in.scans};
+        for (LRow& row : in.rows) {
+          if (row.tuple[a] == row.tuple[b]) out.rows.push_back(std::move(row));
+        }
+        return out;
+      }
+      case ExprKind::kProjectOut: {
+        PCDB_ASSIGN_OR_RETURN(Intermediate in, Eval(*expr.left()));
+        PCDB_ASSIGN_OR_RETURN(size_t idx, in.schema.Resolve(expr.attr()));
+        Intermediate out{in.schema.WithoutColumn(idx), {}, in.scans};
+        for (LRow& row : in.rows) {
+          row.tuple.erase(row.tuple.begin() + static_cast<long>(idx));
+          out.rows.push_back(std::move(row));
+        }
+        return out;
+      }
+      case ExprKind::kRearrange: {
+        PCDB_ASSIGN_OR_RETURN(Intermediate in, Eval(*expr.left()));
+        std::vector<size_t> indices;
+        for (const std::string& a : expr.attrs()) {
+          PCDB_ASSIGN_OR_RETURN(size_t idx, in.schema.Resolve(a));
+          indices.push_back(idx);
+        }
+        Intermediate out{in.schema.Select(indices), {}, in.scans};
+        for (LRow& row : in.rows) {
+          Tuple selected;
+          selected.reserve(indices.size());
+          for (size_t i : indices) selected.push_back(row.tuple[i]);
+          out.rows.push_back(LRow{std::move(selected),
+                                  std::move(row.sources)});
+        }
+        return out;
+      }
+      case ExprKind::kJoin: {
+        PCDB_ASSIGN_OR_RETURN(Intermediate lhs, Eval(*expr.left()));
+        PCDB_ASSIGN_OR_RETURN(Intermediate rhs, Eval(*expr.right()));
+        Intermediate out{lhs.schema.Concat(rhs.schema), {}, lhs.scans};
+        out.scans.insert(out.scans.end(), rhs.scans.begin(),
+                         rhs.scans.end());
+        auto emit = [&](const LRow& l, const LRow& r) {
+          LRow joined;
+          joined.tuple = l.tuple;
+          joined.tuple.insert(joined.tuple.end(), r.tuple.begin(),
+                              r.tuple.end());
+          joined.sources = l.sources;
+          joined.sources.insert(joined.sources.end(), r.sources.begin(),
+                                r.sources.end());
+          out.rows.push_back(std::move(joined));
+        };
+        if (expr.attr().empty()) {
+          for (const LRow& l : lhs.rows) {
+            for (const LRow& r : rhs.rows) emit(l, r);
+          }
+          return out;
+        }
+        PCDB_ASSIGN_OR_RETURN(size_t a, lhs.schema.Resolve(expr.attr()));
+        PCDB_ASSIGN_OR_RETURN(size_t b, rhs.schema.Resolve(expr.attr2()));
+        std::unordered_multimap<Value, const LRow*, ValueHash> index;
+        index.reserve(rhs.rows.size());
+        for (const LRow& r : rhs.rows) index.emplace(r.tuple[b], &r);
+        for (const LRow& l : lhs.rows) {
+          auto [begin, end] = index.equal_range(l.tuple[a]);
+          for (auto it = begin; it != end; ++it) emit(l, *it->second);
+        }
+        return out;
+      }
+      case ExprKind::kSort: {
+        PCDB_ASSIGN_OR_RETURN(Intermediate in, Eval(*expr.left()));
+        std::vector<size_t> keys;
+        for (const std::string& a : expr.attrs()) {
+          PCDB_ASSIGN_OR_RETURN(size_t idx, in.schema.Resolve(a));
+          keys.push_back(idx);
+        }
+        const std::vector<bool>& desc = expr.sort_descending();
+        std::stable_sort(in.rows.begin(), in.rows.end(),
+                         [&](const LRow& x, const LRow& y) {
+                           for (size_t k = 0; k < keys.size(); ++k) {
+                             const Value& vx = x.tuple[keys[k]];
+                             const Value& vy = y.tuple[keys[k]];
+                             if (vx == vy) continue;
+                             bool less = vx < vy;
+                             return (k < desc.size() && desc[k]) ? !less
+                                                                 : less;
+                           }
+                           return false;
+                         });
+        return in;
+      }
+      case ExprKind::kLimit: {
+        PCDB_ASSIGN_OR_RETURN(Intermediate in, Eval(*expr.left()));
+        if (in.rows.size() > expr.limit()) in.rows.resize(expr.limit());
+        return in;
+      }
+      case ExprKind::kAggregate:
+      case ExprKind::kUnion:
+        return Status::Unimplemented(
+            "lineage tracking supports the SPJ fragment (plus sort/limit); "
+            "aggregation and union merge provenance across rows");
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+ private:
+  const Database& db_;
+};
+
+}  // namespace
+
+Result<LineageTable> EvaluateWithLineage(const Expr& expr,
+                                         const Database& db) {
+  LineageEvaluator evaluator(db);
+  PCDB_ASSIGN_OR_RETURN(Intermediate result, evaluator.Eval(expr));
+  LineageTable out;
+  out.data = Table(std::move(result.schema));
+  out.scans = std::move(result.scans);
+  out.data.Reserve(result.rows.size());
+  out.lineage.reserve(result.rows.size());
+  for (LRow& row : result.rows) {
+    out.data.AppendUnchecked(std::move(row.tuple));
+    out.lineage.push_back(std::move(row.sources));
+  }
+  return out;
+}
+
+}  // namespace pcdb

@@ -1,0 +1,41 @@
+#ifndef PCDB_RELATIONAL_LINEAGE_H_
+#define PCDB_RELATIONAL_LINEAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+#include "relational/expr.h"
+#include "relational/table.h"
+
+namespace pcdb {
+
+/// \brief A query answer with why-provenance: for every output row, the
+/// base-table rows that produced it.
+///
+/// Supports the SPJ fragment plus sort and limit; aggregation and union
+/// merge provenance across rows and are rejected with Unimplemented.
+struct LineageTable {
+  Table data;
+  /// The base tables scanned by the plan, in depth-first (left-to-right)
+  /// order; lineage entries are parallel to this list.
+  std::vector<std::string> scans;
+  /// lineage[r][s] is the row index into table scans[s] that contributed
+  /// to output row r.
+  std::vector<std::vector<uint32_t>> lineage;
+};
+
+/// Evaluates `expr` while tracking why-provenance. The output bag equals
+/// Evaluate(expr, db)'s (possibly in a different row order).
+Result<LineageTable> EvaluateWithLineage(const Expr& expr,
+                                         const Database& db);
+
+inline Result<LineageTable> EvaluateWithLineage(const ExprPtr& expr,
+                                                const Database& db) {
+  return EvaluateWithLineage(*expr, db);
+}
+
+}  // namespace pcdb
+
+#endif  // PCDB_RELATIONAL_LINEAGE_H_

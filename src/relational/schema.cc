@@ -1,0 +1,110 @@
+#include "relational/schema.h"
+
+#include "common/logging.h"
+
+namespace pcdb {
+namespace {
+
+bool Matches(const std::string& column_name, const std::string& ref) {
+  if (column_name == ref) return true;
+  // Unqualified reference against qualified column: "day" matches "W.day".
+  if (ref.find('.') == std::string::npos &&
+      column_name.size() > ref.size() + 1) {
+    size_t at = column_name.size() - ref.size() - 1;
+    return column_name[at] == '.' &&
+           column_name.compare(at + 1, ref.size(), ref) == 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<size_t> Schema::Resolve(const std::string& ref) const {
+  // A unique exact (full-name) match wins outright; only when there is
+  // none do unqualified references fall back to suffix matching against
+  // qualified columns.
+  size_t exact = columns_.size();
+  size_t exact_count = 0;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == ref) {
+      exact = i;
+      ++exact_count;
+    }
+  }
+  if (exact_count == 1) return exact;
+  if (exact_count > 1) {
+    return Status::InvalidArgument("ambiguous attribute reference '" + ref +
+                                   "' in schema " + ToString());
+  }
+  size_t found = columns_.size();
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (Matches(columns_[i].name, ref)) {
+      if (found != columns_.size()) {
+        return Status::InvalidArgument("ambiguous attribute reference '" +
+                                       ref + "' in schema " + ToString());
+      }
+      found = i;
+    }
+  }
+  if (found == columns_.size()) {
+    return Status::NotFound("no attribute '" + ref + "' in schema " +
+                            ToString());
+  }
+  return found;
+}
+
+bool Schema::CanResolve(const std::string& ref) const {
+  return Resolve(ref).ok();
+}
+
+Schema Schema::WithoutColumn(size_t i) const {
+  PCDB_CHECK(i < columns_.size());
+  std::vector<Column> cols;
+  cols.reserve(columns_.size() - 1);
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    if (j != i) cols.push_back(columns_[j]);
+  }
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Column> cols = columns_;
+  cols.insert(cols.end(), other.columns_.begin(), other.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Select(const std::vector<size_t>& indices) const {
+  std::vector<Column> cols;
+  cols.reserve(indices.size());
+  for (size_t i : indices) {
+    PCDB_CHECK(i < columns_.size());
+    cols.push_back(columns_[i]);
+  }
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Qualify(const std::string& qualifier) const {
+  std::vector<Column> cols;
+  cols.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    size_t dot = c.name.rfind('.');
+    std::string base =
+        dot == std::string::npos ? c.name : c.name.substr(dot + 1);
+    cols.push_back(Column{qualifier + "." + base, c.type});
+  }
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pcdb

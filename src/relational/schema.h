@@ -1,0 +1,74 @@
+#ifndef PCDB_RELATIONAL_SCHEMA_H_
+#define PCDB_RELATIONAL_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace pcdb {
+
+/// \brief A named, typed attribute of a relation schema.
+///
+/// Column names may be qualified ("W.day") after a scan with an alias or
+/// a join; unqualified references resolve by suffix match.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief An ordered sequence of columns (a relation schema, Def. §3.1).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t arity() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Resolves an attribute reference to a column index. A reference
+  /// matches a column if it equals the column name exactly, or if the
+  /// column name ends in ".<reference>" (unqualified reference into a
+  /// qualified schema). Fails if no column or more than one column
+  /// matches.
+  Result<size_t> Resolve(const std::string& ref) const;
+
+  /// True if `ref` resolves to exactly one column.
+  bool CanResolve(const std::string& ref) const;
+
+  /// Schema with column `i` removed (the π_{¬A} output schema).
+  Schema WithoutColumn(size_t i) const;
+
+  /// Concatenation of this schema and `other` (join output schema).
+  Schema Concat(const Schema& other) const;
+
+  /// Schema holding the columns at `indices`, in that order (columns may
+  /// repeat).
+  Schema Select(const std::vector<size_t>& indices) const;
+
+  /// Returns a copy where every column name is prefixed with
+  /// "<qualifier>." (any existing qualifier is replaced).
+  Schema Qualify(const std::string& qualifier) const;
+
+  /// "name:TYPE, name:TYPE, ..." for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,112 @@
+#include "relational/table.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pcdb {
+
+Status Table::Append(Tuple row) {
+  if (row.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) +
+        " does not match schema arity " + std::to_string(schema_.arity()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != schema_.column(i).type) {
+      return Status::TypeError("column '" + schema_.column(i).name +
+                               "' expects " +
+                               ValueTypeToString(schema_.column(i).type) +
+                               " but row has " +
+                               ValueTypeToString(row[i].type()) + " value '" +
+                               row[i].ToString() + "'");
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+void Table::Sort() { std::sort(rows_.begin(), rows_.end()); }
+
+bool Table::BagEquals(const Table& other) const {
+  if (!(schema_ == other.schema_)) return false;
+  if (rows_.size() != other.rows_.size()) return false;
+  std::unordered_map<Tuple, int64_t, TupleHash> counts;
+  for (const Tuple& t : rows_) counts[t] += 1;
+  for (const Tuple& t : other.rows_) {
+    auto it = counts.find(t);
+    if (it == counts.end() || it->second == 0) return false;
+    it->second -= 1;
+  }
+  return true;
+}
+
+bool Table::BagContainedIn(const Table& other) const {
+  if (rows_.size() > other.rows_.size()) return false;
+  std::unordered_map<Tuple, int64_t, TupleHash> counts;
+  for (const Tuple& t : other.rows_) counts[t] += 1;
+  for (const Tuple& t : rows_) {
+    auto it = counts.find(t);
+    if (it == counts.end() || it->second == 0) return false;
+    it->second -= 1;
+  }
+  return true;
+}
+
+std::vector<Value> Table::DistinctValues(size_t col) const {
+  std::unordered_map<Value, bool, ValueHash> seen;
+  std::vector<Value> out;
+  for (const Tuple& t : rows_) {
+    auto [it, inserted] = seen.emplace(t[col], true);
+    if (inserted) out.push_back(t[col]);
+  }
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(schema_.arity());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t i = 0; i < schema_.arity(); ++i) {
+    widths[i] = schema_.column(i).name.size();
+  }
+  size_t shown = std::min(max_rows, rows_.size());
+  cells.reserve(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row_cells;
+    row_cells.reserve(schema_.arity());
+    for (size_t i = 0; i < schema_.arity(); ++i) {
+      row_cells.push_back(rows_[r][i].ToString());
+      widths[i] = std::max(widths[i], row_cells.back().size());
+    }
+    cells.push_back(std::move(row_cells));
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row_cells) {
+    out += "|";
+    for (size_t i = 0; i < row_cells.size(); ++i) {
+      out += " ";
+      out += row_cells[i];
+      out.append(widths[i] - row_cells[i].size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+  };
+  std::vector<std::string> header;
+  header.reserve(schema_.arity());
+  for (size_t i = 0; i < schema_.arity(); ++i) {
+    header.push_back(schema_.column(i).name);
+  }
+  emit_row(header);
+  out += "|";
+  for (size_t i = 0; i < schema_.arity(); ++i) {
+    out.append(widths[i] + 2, '-');
+    out += "|";
+  }
+  out += "\n";
+  for (const auto& row_cells : cells) emit_row(row_cells);
+  if (shown < rows_.size()) {
+    out += "... (" + std::to_string(rows_.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace pcdb

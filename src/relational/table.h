@@ -1,0 +1,62 @@
+#ifndef PCDB_RELATIONAL_TABLE_H_
+#define PCDB_RELATIONAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace pcdb {
+
+/// \brief A finite bag (multiset) of tuples under a schema (§3.1).
+///
+/// Both databases and query results use bag semantics, matching SQL; the
+/// same row may appear multiple times.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const Tuple& row(size_t i) const { return rows_[i]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Appends a row after verifying arity and column types.
+  Status Append(Tuple row);
+
+  /// Appends without checks; callers guarantee the row conforms.
+  void AppendUnchecked(Tuple row) { rows_.push_back(std::move(row)); }
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+  void Clear() { rows_.clear(); }
+
+  /// Lexicographic in-place sort; useful for deterministic output and
+  /// bag comparison.
+  void Sort();
+
+  /// True if `other` holds the same bag of rows under an equal schema.
+  bool BagEquals(const Table& other) const;
+
+  /// True if every row of this table appears in `other` at least as many
+  /// times (bag containment; the D ⊆ D_c relation of §3.2).
+  bool BagContainedIn(const Table& other) const;
+
+  /// Distinct values appearing in column `col` (the "allowable domain"
+  /// building block used by pattern promotion).
+  std::vector<Value> DistinctValues(size_t col) const;
+
+  /// Renders an aligned ASCII table (header + rows) for examples.
+  std::string ToString(size_t max_rows = 50) const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_RELATIONAL_TABLE_H_

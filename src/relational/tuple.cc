@@ -1,0 +1,21 @@
+#include "relational/tuple.h"
+
+namespace pcdb {
+
+size_t HashTuple(const Tuple& t) {
+  size_t seed = 0x51ed270b83f1d5b1ULL;
+  for (const Value& v : t) seed = HashCombine(seed, v.Hash());
+  return seed;
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pcdb

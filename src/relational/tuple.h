@@ -1,0 +1,26 @@
+#ifndef PCDB_RELATIONAL_TUPLE_H_
+#define PCDB_RELATIONAL_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace pcdb {
+
+/// \brief A database record: a sequence of constants (§3.1).
+using Tuple = std::vector<Value>;
+
+/// Hash of a whole tuple, consistent with operator== on vectors.
+size_t HashTuple(const Tuple& t);
+
+/// "(v1, v2, ...)" for diagnostics and example output.
+std::string TupleToString(const Tuple& t);
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return HashTuple(t); }
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_RELATIONAL_TUPLE_H_

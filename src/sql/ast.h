@@ -1,0 +1,73 @@
+#ifndef PCDB_SQL_AST_H_
+#define PCDB_SQL_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "relational/expr.h"
+
+namespace pcdb {
+
+/// \brief A possibly qualified column reference, e.g. `W.day` or `day`.
+struct ColumnRef {
+  std::string table;  // empty if unqualified
+  std::string column;
+
+  /// "table.column" or just "column".
+  std::string ToString() const {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+/// \brief One item of a SELECT list: a column or an aggregate call.
+struct SelectItem {
+  bool is_aggregate = false;
+  ColumnRef column;            // the column (or aggregate argument)
+  AggFunc func = AggFunc::kCount;
+  bool count_star = false;     // COUNT(*)
+  std::string alias;           // from AS, may be empty
+};
+
+/// \brief A table in the FROM clause, e.g. `city c1` or `Warnings AS W`.
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty → the table name itself is the alias
+  const std::string& EffectiveAlias() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+/// \brief One conjunct of the WHERE clause or a JOIN ... ON condition:
+/// either column = column or column = literal.
+struct Predicate {
+  ColumnRef lhs;
+  bool rhs_is_column = false;
+  ColumnRef rhs_column;
+  Value rhs_value;
+};
+
+/// \brief One ORDER BY key.
+struct OrderKey {
+  ColumnRef column;
+  bool descending = false;
+};
+
+/// \brief A parsed single-block SELECT statement: the query class of the
+/// paper (SPJ with equality, §3.1) plus GROUP BY aggregation
+/// (Appendix B), ORDER BY and LIMIT.
+struct SelectStatement {
+  bool select_star = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  /// WHERE conjuncts and JOIN ... ON conditions, merged.
+  std::vector<Predicate> predicates;
+  std::vector<ColumnRef> group_by;
+  std::vector<OrderKey> order_by;
+  bool has_limit = false;
+  size_t limit = 0;
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_SQL_AST_H_

@@ -1,0 +1,108 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace pcdb {
+
+bool Token::IsKeyword(const std::string& keyword) const {
+  return kind == TokenKind::kIdentifier && ToUpper(text) == ToUpper(keyword);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto peek = [&](size_t offset = 0) -> char {
+    return i + offset < n ? sql[i + offset] : '\0';
+  };
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back(
+          {TokenKind::kIdentifier, sql.substr(start, i - start), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      bool is_double = false;
+      ++i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        if (sql[i] == '.') is_double = true;
+        ++i;
+      }
+      tokens.push_back({is_double ? TokenKind::kDouble : TokenKind::kInteger,
+                        sql.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (peek(1) == '\'') {  // escaped quote
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenKind::kString, std::move(text), start});
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case ',':
+        kind = TokenKind::kComma;
+        break;
+      case '.':
+        kind = TokenKind::kDot;
+        break;
+      case '=':
+        kind = TokenKind::kEquals;
+        break;
+      case '(':
+        kind = TokenKind::kLParen;
+        break;
+      case ')':
+        kind = TokenKind::kRParen;
+        break;
+      case '*':
+        kind = TokenKind::kStar;
+        break;
+      case ';':
+        ++i;
+        continue;  // statement terminator is ignored
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+    tokens.push_back({kind, std::string(1, c), start});
+    ++i;
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace pcdb

@@ -1,0 +1,42 @@
+#ifndef PCDB_SQL_LEXER_H_
+#define PCDB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pcdb {
+
+/// \brief Token kinds of the SQL subset (single-block SELECT).
+enum class TokenKind {
+  kIdentifier,  // unquoted name; keywords are identifiers matched upper-case
+  kInteger,
+  kDouble,
+  kString,  // '...' literal with '' escaping
+  kComma,
+  kDot,
+  kEquals,
+  kLParen,
+  kRParen,
+  kStar,
+  kEnd,
+};
+
+/// \brief One lexical token with its source text and position.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // identifier/literal text (unescaped for strings)
+  size_t position = 0;  // byte offset in the input, for error messages
+
+  /// True if this is an identifier equal to `keyword` case-insensitively.
+  bool IsKeyword(const std::string& keyword) const;
+};
+
+/// Tokenizes a SQL string; fails with ParseError on unterminated strings
+/// or unexpected characters.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace pcdb
+
+#endif  // PCDB_SQL_LEXER_H_

@@ -1,0 +1,313 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace pcdb {
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> Parse() {
+    PCDB_ASSIGN_OR_RETURN(SelectStatement stmt, ParseBlock());
+    if (Current().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input '" + Current().text + "'");
+    }
+    return stmt;
+  }
+
+  Result<std::vector<SelectStatement>> ParseUnionQuery() {
+    std::vector<SelectStatement> blocks;
+    for (;;) {
+      PCDB_ASSIGN_OR_RETURN(SelectStatement stmt, ParseBlock());
+      blocks.push_back(std::move(stmt));
+      if (!Current().IsKeyword("UNION")) break;
+      Advance();
+      PCDB_RETURN_NOT_OK(ExpectKeyword("ALL"));
+    }
+    if (Current().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input '" + Current().text + "'");
+    }
+    return blocks;
+  }
+
+ private:
+  Result<SelectStatement> ParseBlock() {
+    SelectStatement stmt;
+    PCDB_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    PCDB_RETURN_NOT_OK(ParseSelectList(&stmt));
+    PCDB_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    PCDB_RETURN_NOT_OK(ParseFrom(&stmt));
+    if (Current().IsKeyword("WHERE")) {
+      Advance();
+      PCDB_RETURN_NOT_OK(ParseWhere(&stmt));
+    }
+    if (Current().IsKeyword("GROUP")) {
+      Advance();
+      PCDB_RETURN_NOT_OK(ExpectKeyword("BY"));
+      PCDB_RETURN_NOT_OK(ParseGroupBy(&stmt));
+    }
+    if (Current().IsKeyword("ORDER")) {
+      Advance();
+      PCDB_RETURN_NOT_OK(ExpectKeyword("BY"));
+      PCDB_RETURN_NOT_OK(ParseOrderBy(&stmt));
+    }
+    if (Current().IsKeyword("LIMIT")) {
+      Advance();
+      if (Current().kind != TokenKind::kInteger) {
+        return Error("expected integer after LIMIT");
+      }
+      PCDB_ASSIGN_OR_RETURN(Value count,
+                            Value::Parse(Current().text, ValueType::kInt64));
+      if (count.int64() < 0) return Error("LIMIT must be non-negative");
+      stmt.has_limit = true;
+      stmt.limit = static_cast<size_t>(count.int64());
+      Advance();
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+  const Token& Peek(size_t offset = 1) const {
+    size_t at = pos_ + offset;
+    return at < tokens_.size() ? tokens_[at] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " (at offset " +
+                              std::to_string(Current().position) + ")");
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!Current().IsKeyword(keyword)) {
+      return Error("expected " + keyword);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Current().kind != TokenKind::kIdentifier) {
+      return Error("expected identifier, got '" + Current().text + "'");
+    }
+    std::string text = Current().text;
+    Advance();
+    return text;
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    PCDB_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier());
+    if (Current().kind == TokenKind::kDot) {
+      Advance();
+      PCDB_ASSIGN_OR_RETURN(std::string second, ExpectIdentifier());
+      return ColumnRef{std::move(first), std::move(second)};
+    }
+    return ColumnRef{"", std::move(first)};
+  }
+
+  static bool IsAggKeyword(const Token& token, AggFunc* func) {
+    static constexpr std::pair<const char*, AggFunc> kFuncs[] = {
+        {"COUNT", AggFunc::kCount}, {"SUM", AggFunc::kSum},
+        {"MIN", AggFunc::kMin},     {"MAX", AggFunc::kMax},
+        {"AVG", AggFunc::kAvg},
+    };
+    for (const auto& [name, f] : kFuncs) {
+      if (token.IsKeyword(name)) {
+        *func = f;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Status ParseSelectList(SelectStatement* stmt) {
+    if (Current().kind == TokenKind::kStar) {
+      Advance();
+      stmt->select_star = true;
+      return Status::OK();
+    }
+    for (;;) {
+      SelectItem item;
+      AggFunc func;
+      if (IsAggKeyword(Current(), &func) &&
+          Peek().kind == TokenKind::kLParen) {
+        item.is_aggregate = true;
+        item.func = func;
+        Advance();  // function name
+        Advance();  // '('
+        if (Current().kind == TokenKind::kStar) {
+          if (func != AggFunc::kCount) {
+            return Error("only COUNT accepts *");
+          }
+          item.count_star = true;
+          Advance();
+        } else {
+          PCDB_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+        }
+        if (Current().kind != TokenKind::kRParen) {
+          return Error("expected ) after aggregate argument");
+        }
+        Advance();
+      } else {
+        PCDB_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+      }
+      if (Current().IsKeyword("AS")) {
+        Advance();
+        PCDB_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+      }
+      stmt->items.push_back(std::move(item));
+      if (Current().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    PCDB_ASSIGN_OR_RETURN(ref.table, ExpectIdentifier());
+    if (Current().IsKeyword("AS")) {
+      Advance();
+      PCDB_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+    } else if (Current().kind == TokenKind::kIdentifier &&
+               !IsClauseKeyword(Current())) {
+      // Bare alias: "FROM city c1".
+      ref.alias = Current().text;
+      Advance();
+    }
+    return ref;
+  }
+
+  static bool IsClauseKeyword(const Token& token) {
+    for (const char* kw :
+         {"WHERE", "GROUP", "JOIN", "ON", "AND", "ORDER", "LIMIT",
+          "UNION"}) {
+      if (token.IsKeyword(kw)) return true;
+    }
+    return false;
+  }
+
+  Status ParseFrom(SelectStatement* stmt) {
+    PCDB_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+    stmt->from.push_back(std::move(first));
+    for (;;) {
+      if (Current().kind == TokenKind::kComma) {
+        Advance();
+        PCDB_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+        stmt->from.push_back(std::move(ref));
+        continue;
+      }
+      if (Current().IsKeyword("JOIN")) {
+        Advance();
+        PCDB_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+        stmt->from.push_back(std::move(ref));
+        PCDB_RETURN_NOT_OK(ExpectKeyword("ON"));
+        PCDB_ASSIGN_OR_RETURN(Predicate pred, ParsePredicate());
+        if (!pred.rhs_is_column) {
+          return Error("JOIN ... ON requires a column = column condition");
+        }
+        stmt->predicates.push_back(std::move(pred));
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Result<Predicate> ParsePredicate() {
+    Predicate pred;
+    PCDB_ASSIGN_OR_RETURN(pred.lhs, ParseColumnRef());
+    if (Current().kind != TokenKind::kEquals) {
+      return Error("expected = in predicate");
+    }
+    Advance();
+    switch (Current().kind) {
+      case TokenKind::kIdentifier: {
+        pred.rhs_is_column = true;
+        PCDB_ASSIGN_OR_RETURN(pred.rhs_column, ParseColumnRef());
+        break;
+      }
+      case TokenKind::kInteger: {
+        PCDB_ASSIGN_OR_RETURN(
+            pred.rhs_value, Value::Parse(Current().text, ValueType::kInt64));
+        Advance();
+        break;
+      }
+      case TokenKind::kDouble: {
+        PCDB_ASSIGN_OR_RETURN(
+            pred.rhs_value, Value::Parse(Current().text, ValueType::kDouble));
+        Advance();
+        break;
+      }
+      case TokenKind::kString:
+        pred.rhs_value = Value(Current().text);
+        Advance();
+        break;
+      default:
+        return Error("expected column or literal after =");
+    }
+    return pred;
+  }
+
+  Status ParseWhere(SelectStatement* stmt) {
+    for (;;) {
+      PCDB_ASSIGN_OR_RETURN(Predicate pred, ParsePredicate());
+      stmt->predicates.push_back(std::move(pred));
+      if (!Current().IsKeyword("AND")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseGroupBy(SelectStatement* stmt) {
+    for (;;) {
+      PCDB_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+      stmt->group_by.push_back(std::move(ref));
+      if (Current().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseOrderBy(SelectStatement* stmt) {
+    for (;;) {
+      OrderKey key;
+      PCDB_ASSIGN_OR_RETURN(key.column, ParseColumnRef());
+      if (Current().IsKeyword("DESC")) {
+        key.descending = true;
+        Advance();
+      } else if (Current().IsKeyword("ASC")) {
+        Advance();
+      }
+      stmt->order_by.push_back(std::move(key));
+      if (Current().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(const std::string& sql) {
+  PCDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+Result<std::vector<SelectStatement>> ParseQuery(const std::string& sql) {
+  PCDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseUnionQuery();
+}
+
+}  // namespace pcdb

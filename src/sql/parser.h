@@ -1,0 +1,38 @@
+#ifndef PCDB_SQL_PARSER_H_
+#define PCDB_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace pcdb {
+
+/// \brief Parses a single-block SQL SELECT statement.
+///
+/// Supported grammar (keywords case-insensitive):
+///
+///   SELECT (* | item (, item)*)
+///   FROM table [[AS] alias] (, table [[AS] alias])*
+///        (JOIN table [[AS] alias] ON col = col)*
+///   [WHERE pred (AND pred)*]
+///   [GROUP BY col (, col)*]
+///
+///   item := col [AS name] | FUNC( col | * ) [AS name]
+///   pred := col = col | col = literal
+///   col  := ident | ident.ident
+///   FUNC := COUNT | SUM | MIN | MAX | AVG
+///
+/// This captures the paper's query class — SPJ with equality (§3.1) —
+/// plus the Appendix B aggregates, including the comma-join style of the
+/// Wikipedia experiment queries (§4.2).
+Result<SelectStatement> ParseSelect(const std::string& sql);
+
+/// Parses a full query: one or more SELECT blocks combined with
+/// UNION ALL. (Deduplicating UNION is not supported — the paper's query
+/// class is bag-semantics SPJ.)
+Result<std::vector<SelectStatement>> ParseQuery(const std::string& sql);
+
+}  // namespace pcdb
+
+#endif  // PCDB_SQL_PARSER_H_

@@ -1,0 +1,195 @@
+#include "sql/plan_optimizer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "pattern/annotated_eval.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+
+namespace pcdb {
+namespace {
+
+/// Cardinality and distinct-value estimates for one plan node.
+struct NodeEstimate {
+  double rows = 0;
+  /// Estimated distinct values per (qualified) column name. Only join
+  /// and selection attributes are ever queried.
+  std::unordered_map<std::string, double> distinct;
+};
+
+double LookupDistinct(const NodeEstimate& est, const Schema& schema,
+                      const std::string& ref) {
+  auto idx = schema.Resolve(ref);
+  if (idx.ok()) {
+    auto it = est.distinct.find(schema.column(*idx).name);
+    if (it != est.distinct.end()) return std::max(1.0, it->second);
+  }
+  // Unknown column statistics: assume moderately selective.
+  return std::max(1.0, est.rows / 10.0);
+}
+
+void CapDistincts(NodeEstimate* est) {
+  for (auto& [name, d] : est->distinct) {
+    d = std::min(d, std::max(1.0, est->rows));
+  }
+}
+
+/// Classical bottom-up cardinality estimation; `total_rows` accumulates
+/// the cost (sum of estimated intermediate sizes).
+Result<NodeEstimate> Estimate(const Expr& expr, const Database& db,
+                              double* total_rows) {
+  NodeEstimate out;
+  PCDB_ASSIGN_OR_RETURN(Schema schema, expr.OutputSchema(db));
+  switch (expr.kind()) {
+    case ExprKind::kScan: {
+      PCDB_ASSIGN_OR_RETURN(const Table* table,
+                            db.GetTable(expr.table_name()));
+      out.rows = static_cast<double>(table->num_rows());
+      for (size_t c = 0; c < table->schema().arity(); ++c) {
+        out.distinct[schema.column(c).name] =
+            static_cast<double>(table->DistinctValues(c).size());
+      }
+      break;
+    }
+    case ExprKind::kSelectConst: {
+      PCDB_ASSIGN_OR_RETURN(NodeEstimate child,
+                            Estimate(*expr.left(), db, total_rows));
+      PCDB_ASSIGN_OR_RETURN(Schema in, expr.left()->OutputSchema(db));
+      double d = LookupDistinct(child, in, expr.attr());
+      out = std::move(child);
+      out.rows = out.rows / d;
+      auto idx = in.Resolve(expr.attr());
+      if (idx.ok()) out.distinct[in.column(*idx).name] = 1;
+      CapDistincts(&out);
+      break;
+    }
+    case ExprKind::kSelectAttrEq: {
+      PCDB_ASSIGN_OR_RETURN(NodeEstimate child,
+                            Estimate(*expr.left(), db, total_rows));
+      PCDB_ASSIGN_OR_RETURN(Schema in, expr.left()->OutputSchema(db));
+      double d = std::max(LookupDistinct(child, in, expr.attr()),
+                          LookupDistinct(child, in, expr.attr2()));
+      out = std::move(child);
+      out.rows = out.rows / d;
+      CapDistincts(&out);
+      break;
+    }
+    case ExprKind::kProjectOut:
+    case ExprKind::kRearrange: {
+      PCDB_ASSIGN_OR_RETURN(out, Estimate(*expr.left(), db, total_rows));
+      break;
+    }
+    case ExprKind::kJoin: {
+      PCDB_ASSIGN_OR_RETURN(NodeEstimate lhs,
+                            Estimate(*expr.left(), db, total_rows));
+      PCDB_ASSIGN_OR_RETURN(NodeEstimate rhs,
+                            Estimate(*expr.right(), db, total_rows));
+      out.distinct = std::move(lhs.distinct);
+      for (auto& [name, d] : rhs.distinct) out.distinct[name] = d;
+      if (expr.attr().empty()) {
+        out.rows = lhs.rows * rhs.rows;
+      } else {
+        PCDB_ASSIGN_OR_RETURN(Schema lschema,
+                              expr.left()->OutputSchema(db));
+        PCDB_ASSIGN_OR_RETURN(Schema rschema,
+                              expr.right()->OutputSchema(db));
+        double d = std::max(LookupDistinct(lhs, lschema, expr.attr()),
+                            LookupDistinct(rhs, rschema, expr.attr2()));
+        out.rows = lhs.rows * rhs.rows / d;
+      }
+      CapDistincts(&out);
+      break;
+    }
+    case ExprKind::kAggregate: {
+      PCDB_ASSIGN_OR_RETURN(NodeEstimate child,
+                            Estimate(*expr.left(), db, total_rows));
+      PCDB_ASSIGN_OR_RETURN(Schema in, expr.left()->OutputSchema(db));
+      double groups = 1;
+      for (const std::string& g : expr.attrs()) {
+        groups *= LookupDistinct(child, in, g);
+      }
+      out.rows = std::min(groups, child.rows);
+      break;
+    }
+    case ExprKind::kSort: {
+      PCDB_ASSIGN_OR_RETURN(out, Estimate(*expr.left(), db, total_rows));
+      break;
+    }
+    case ExprKind::kLimit: {
+      PCDB_ASSIGN_OR_RETURN(out, Estimate(*expr.left(), db, total_rows));
+      out.rows = std::min(out.rows, static_cast<double>(expr.limit()));
+      CapDistincts(&out);
+      break;
+    }
+    case ExprKind::kUnion: {
+      PCDB_ASSIGN_OR_RETURN(NodeEstimate lhs,
+                            Estimate(*expr.left(), db, total_rows));
+      PCDB_ASSIGN_OR_RETURN(NodeEstimate rhs,
+                            Estimate(*expr.right(), db, total_rows));
+      out.rows = lhs.rows + rhs.rows;
+      out.distinct = std::move(lhs.distinct);
+      for (auto& [name, d] : rhs.distinct) {
+        auto it = out.distinct.find(name);
+        if (it == out.distinct.end()) {
+          out.distinct.emplace(name, d);
+        } else {
+          it->second += d;
+        }
+      }
+      CapDistincts(&out);
+      break;
+    }
+  }
+  *total_rows += out.rows;
+  return out;
+}
+
+}  // namespace
+
+Result<OptimizedPlan> OptimizePlan(const SelectStatement& stmt,
+                                   const AnnotatedDatabase& adb,
+                                   PlanObjective objective) {
+  const size_t n = stmt.from.size();
+  if (n == 0) return Status::InvalidArgument("FROM clause is empty");
+  if (n > 7) {
+    return Status::InvalidArgument(
+        "plan enumeration supports at most 7 tables");
+  }
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  OptimizedPlan result;
+  do {
+    PCDB_ASSIGN_OR_RETURN(ExprPtr plan,
+                          PlanSelectWithOrder(stmt, adb.database(), order));
+    double cost = 0;
+    if (objective == PlanObjective::kData) {
+      PCDB_RETURN_NOT_OK(
+          Estimate(*plan, adb.database(), &cost).status());
+    } else {
+      size_t patterns = 0;
+      PCDB_RETURN_NOT_OK(
+          ComputeQueryPatterns(*plan, adb, AnnotatedEvalOptions{}, &patterns)
+              .status());
+      cost = static_cast<double>(patterns);
+    }
+    result.candidates.push_back(PlanChoice{std::move(plan), order, cost});
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  std::stable_sort(result.candidates.begin(), result.candidates.end(),
+                   [](const PlanChoice& a, const PlanChoice& b) {
+                     return a.cost < b.cost;
+                   });
+  result.best = result.candidates.front();
+  return result;
+}
+
+Result<OptimizedPlan> OptimizeSql(const std::string& sql,
+                                  const AnnotatedDatabase& adb,
+                                  PlanObjective objective) {
+  PCDB_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+  return OptimizePlan(stmt, adb, objective);
+}
+
+}  // namespace pcdb

@@ -1,0 +1,297 @@
+#include "sql/planner.h"
+
+#include <algorithm>
+
+#include "sql/parser.h"
+
+namespace pcdb {
+namespace {
+
+/// One FROM entry during planning: its scan (with pushed-down constant
+/// selections) and the schema of that scan.
+struct PlanLeaf {
+  std::string alias;
+  ExprPtr expr;
+  Schema schema;
+};
+
+/// Whether `ref` resolves inside `leaf`: a qualified reference must match
+/// the alias; an unqualified one must resolve in the leaf's schema.
+bool RefResolvesIn(const ColumnRef& ref, const PlanLeaf& leaf) {
+  if (!ref.table.empty()) {
+    return ref.table == leaf.alias && leaf.schema.CanResolve(ref.column);
+  }
+  return leaf.schema.CanResolve(ref.column);
+}
+
+/// Finds the unique leaf a reference belongs to.
+Result<size_t> LeafOf(const ColumnRef& ref,
+                      const std::vector<PlanLeaf>& leaves) {
+  size_t found = leaves.size();
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    if (RefResolvesIn(ref, leaves[i])) {
+      if (found != leaves.size()) {
+        return Status::InvalidArgument("ambiguous column reference '" +
+                                       ref.ToString() + "'");
+      }
+      found = i;
+    }
+  }
+  if (found == leaves.size()) {
+    return Status::NotFound("cannot resolve column reference '" +
+                            ref.ToString() + "'");
+  }
+  return found;
+}
+
+/// Renders a reference for use against qualified plan schemas: qualified
+/// references stay as written; unqualified ones are left bare (the
+/// schema's suffix matching finds them).
+std::string RefName(const ColumnRef& ref) { return ref.ToString(); }
+
+std::string AggOutputName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  std::string arg = item.count_star ? "*" : RefName(item.column);
+  return std::string(AggFuncToString(item.func)) + "(" + arg + ")";
+}
+
+}  // namespace
+
+namespace {
+
+/// Shared implementation: `order`, when non-null, fixes the left-deep
+/// attachment order of the FROM tables; otherwise attachment is greedy
+/// (any table connected to the current tree by an unused predicate).
+Result<ExprPtr> PlanSelectImpl(const SelectStatement& stmt,
+                               const Database& db,
+                               const std::vector<size_t>* order) {
+  if (stmt.from.empty()) {
+    return Status::InvalidArgument("FROM clause is empty");
+  }
+  if (order != nullptr) {
+    if (order->size() != stmt.from.size()) {
+      return Status::InvalidArgument("join order size mismatch");
+    }
+    std::vector<bool> present(stmt.from.size(), false);
+    for (size_t i : *order) {
+      if (i >= stmt.from.size() || present[i]) {
+        return Status::InvalidArgument("join order is not a permutation");
+      }
+      present[i] = true;
+    }
+  }
+  // Duplicate aliases would make references ambiguous.
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    for (size_t j = i + 1; j < stmt.from.size(); ++j) {
+      if (stmt.from[i].EffectiveAlias() == stmt.from[j].EffectiveAlias()) {
+        return Status::InvalidArgument(
+            "duplicate table alias '" + stmt.from[i].EffectiveAlias() +
+            "'; alias self-joined tables");
+      }
+    }
+  }
+
+  // Build the leaves: aliased scans with their schemas.
+  std::vector<PlanLeaf> leaves;
+  leaves.reserve(stmt.from.size());
+  for (const TableRef& ref : stmt.from) {
+    ExprPtr scan = Expr::Scan(ref.table, ref.EffectiveAlias());
+    PCDB_ASSIGN_OR_RETURN(Schema schema, scan->OutputSchema(db));
+    leaves.push_back(PlanLeaf{ref.EffectiveAlias(), scan, schema});
+  }
+
+  // Push constant selections onto their leaf; keep join predicates.
+  struct JoinPred {
+    ColumnRef lhs;
+    ColumnRef rhs;
+    size_t lhs_leaf;
+    size_t rhs_leaf;
+    bool used = false;
+  };
+  std::vector<JoinPred> joins;
+  for (const Predicate& pred : stmt.predicates) {
+    PCDB_ASSIGN_OR_RETURN(size_t lhs_leaf, LeafOf(pred.lhs, leaves));
+    if (pred.rhs_is_column) {
+      PCDB_ASSIGN_OR_RETURN(size_t rhs_leaf, LeafOf(pred.rhs_column, leaves));
+      joins.push_back(
+          JoinPred{pred.lhs, pred.rhs_column, lhs_leaf, rhs_leaf});
+    } else {
+      PlanLeaf& leaf = leaves[lhs_leaf];
+      leaf.expr =
+          Expr::SelectConst(leaf.expr, RefName(pred.lhs), pred.rhs_value);
+      PCDB_ASSIGN_OR_RETURN(Schema schema, leaf.expr->OutputSchema(db));
+      leaf.schema = std::move(schema);
+    }
+  }
+
+  // Join-tree construction. Greedy mode: repeatedly attach any leaf
+  // connected to the tree by an unused predicate, else cross join.
+  // Ordered mode: attach leaves in exactly the given order.
+  std::vector<bool> covered(leaves.size(), false);
+  const size_t first = order == nullptr ? 0 : (*order)[0];
+  covered[first] = true;
+  ExprPtr plan = leaves[first].expr;
+  size_t covered_count = 1;
+  size_t order_cursor = 1;
+  // Attaches `outside` using a connecting predicate if one exists.
+  auto attach = [&](size_t outside) {
+    for (JoinPred& jp : joins) {
+      if (jp.used) continue;
+      const ColumnRef* inside_ref;
+      const ColumnRef* outside_ref;
+      if (covered[jp.lhs_leaf] && jp.rhs_leaf == outside) {
+        inside_ref = &jp.lhs;
+        outside_ref = &jp.rhs;
+      } else if (covered[jp.rhs_leaf] && jp.lhs_leaf == outside) {
+        inside_ref = &jp.rhs;
+        outside_ref = &jp.lhs;
+      } else {
+        continue;
+      }
+      plan = Expr::Join(plan, leaves[outside].expr, RefName(*inside_ref),
+                        RefName(*outside_ref));
+      covered[outside] = true;
+      ++covered_count;
+      jp.used = true;
+      return;
+    }
+    plan = Expr::CrossJoin(plan, leaves[outside].expr);
+    covered[outside] = true;
+    ++covered_count;
+  };
+  while (covered_count < leaves.size()) {
+    if (order != nullptr) {
+      attach((*order)[order_cursor++]);
+      continue;
+    }
+    // Greedy: prefer a predicate-connected leaf.
+    size_t next = leaves.size();
+    for (const JoinPred& jp : joins) {
+      if (jp.used) continue;
+      if (covered[jp.lhs_leaf] && !covered[jp.rhs_leaf]) {
+        next = jp.rhs_leaf;
+        break;
+      }
+      if (covered[jp.rhs_leaf] && !covered[jp.lhs_leaf]) {
+        next = jp.lhs_leaf;
+        break;
+      }
+    }
+    if (next == leaves.size()) {
+      for (size_t i = 0; i < leaves.size(); ++i) {
+        if (!covered[i]) {
+          next = i;
+          break;
+        }
+      }
+    }
+    attach(next);
+  }
+  // Leftover predicates (both sides already covered) become selections.
+  for (const JoinPred& jp : joins) {
+    if (!jp.used) {
+      plan = Expr::SelectAttrEq(plan, RefName(jp.lhs), RefName(jp.rhs));
+    }
+  }
+
+  const bool has_aggregate =
+      std::any_of(stmt.items.begin(), stmt.items.end(),
+                  [](const SelectItem& item) { return item.is_aggregate; });
+  if (!stmt.group_by.empty() || has_aggregate) {
+    if (stmt.select_star) {
+      return Status::InvalidArgument("SELECT * cannot be combined with "
+                                     "aggregation");
+    }
+    std::vector<std::string> group_names;
+    group_names.reserve(stmt.group_by.size());
+    for (const ColumnRef& ref : stmt.group_by) {
+      group_names.push_back(RefName(ref));
+    }
+    std::vector<AggSpec> aggs;
+    for (const SelectItem& item : stmt.items) {
+      if (!item.is_aggregate) continue;
+      AggSpec spec;
+      spec.func = item.func;
+      spec.attr = item.count_star ? "" : RefName(item.column);
+      spec.output_name = AggOutputName(item);
+      aggs.push_back(std::move(spec));
+    }
+    // Non-aggregate select items must be grouped.
+    for (const SelectItem& item : stmt.items) {
+      if (item.is_aggregate) continue;
+      bool grouped = false;
+      for (const ColumnRef& g : stmt.group_by) {
+        if (g.ToString() == item.column.ToString()) {
+          grouped = true;
+          break;
+        }
+      }
+      if (!grouped) {
+        return Status::InvalidArgument(
+            "column '" + item.column.ToString() +
+            "' must appear in GROUP BY or inside an aggregate");
+      }
+    }
+    plan = Expr::Aggregate(plan, std::move(group_names), std::move(aggs));
+    // Rearrange to the SELECT list order when it differs from
+    // (group columns..., aggregates...).
+    std::vector<std::string> out_names;
+    out_names.reserve(stmt.items.size());
+    for (const SelectItem& item : stmt.items) {
+      out_names.push_back(item.is_aggregate ? AggOutputName(item)
+                                            : RefName(item.column));
+    }
+    plan = Expr::Rearrange(plan, std::move(out_names));
+  } else if (!stmt.select_star) {
+    std::vector<std::string> out_names;
+    out_names.reserve(stmt.items.size());
+    for (const SelectItem& item : stmt.items) {
+      out_names.push_back(RefName(item.column));
+    }
+    plan = Expr::Rearrange(plan, std::move(out_names));
+  }
+
+  if (!stmt.order_by.empty()) {
+    std::vector<std::string> keys;
+    std::vector<bool> descending;
+    keys.reserve(stmt.order_by.size());
+    for (const OrderKey& key : stmt.order_by) {
+      keys.push_back(RefName(key.column));
+      descending.push_back(key.descending);
+    }
+    plan = Expr::Sort(plan, std::move(keys), std::move(descending));
+  }
+  if (stmt.has_limit) {
+    plan = Expr::Limit(plan, stmt.limit);
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<ExprPtr> PlanSelect(const SelectStatement& stmt, const Database& db) {
+  return PlanSelectImpl(stmt, db, nullptr);
+}
+
+Result<ExprPtr> PlanSelectWithOrder(const SelectStatement& stmt,
+                                    const Database& db,
+                                    const std::vector<size_t>& order) {
+  return PlanSelectImpl(stmt, db, &order);
+}
+
+Result<ExprPtr> PlanSql(const std::string& sql, const Database& db) {
+  PCDB_ASSIGN_OR_RETURN(std::vector<SelectStatement> blocks,
+                        ParseQuery(sql));
+  ExprPtr plan;
+  for (const SelectStatement& stmt : blocks) {
+    PCDB_ASSIGN_OR_RETURN(ExprPtr block_plan, PlanSelect(stmt, db));
+    plan = plan == nullptr ? std::move(block_plan)
+                           : Expr::Union(std::move(plan),
+                                         std::move(block_plan));
+  }
+  // Validate schema compatibility of the union (and the whole plan).
+  PCDB_RETURN_NOT_OK(plan->OutputSchema(db).status());
+  return plan;
+}
+
+}  // namespace pcdb

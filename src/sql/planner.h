@@ -1,0 +1,39 @@
+#ifndef PCDB_SQL_PLANNER_H_
+#define PCDB_SQL_PLANNER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/database.h"
+#include "relational/expr.h"
+#include "sql/ast.h"
+
+namespace pcdb {
+
+/// \brief Translates a parsed SELECT statement into a relational algebra
+/// plan over `db`.
+///
+/// Planning follows the paper's setup: constant selections are pushed
+/// onto their table's scan; column-equality predicates connecting a new
+/// table become equijoins (cross joins where no predicate connects);
+/// leftover equalities become σ_{A=B} on top; GROUP BY becomes a
+/// kAggregate node; a non-star SELECT list becomes a final kRearrange.
+/// Every scan is aliased (by its FROM alias or table name), so columns
+/// are qualified and self-joins resolve unambiguously.
+Result<ExprPtr> PlanSelect(const SelectStatement& stmt, const Database& db);
+
+/// Like PlanSelect, but attaches the FROM tables in exactly the given
+/// order (a permutation of indices into stmt.from), building a left-deep
+/// join tree; tables not connected by a predicate at their turn are
+/// cross-joined. Used by the plan optimizer (plan_optimizer.h) to
+/// enumerate join orders.
+Result<ExprPtr> PlanSelectWithOrder(const SelectStatement& stmt,
+                                    const Database& db,
+                                    const std::vector<size_t>& order);
+
+/// Parses and plans in one step.
+Result<ExprPtr> PlanSql(const std::string& sql, const Database& db);
+
+}  // namespace pcdb
+
+#endif  // PCDB_SQL_PLANNER_H_

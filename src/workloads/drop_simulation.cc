@@ -1,0 +1,76 @@
+#include "workloads/drop_simulation.h"
+
+#include "common/logging.h"
+
+namespace pcdb {
+
+DropSimulator::DropSimulator(const Table& table,
+                             std::vector<size_t> dimension_columns,
+                             std::vector<std::vector<Value>> domains)
+    : table_(table),
+      dimension_columns_(std::move(dimension_columns)),
+      domains_(std::move(domains)),
+      index_(dimension_columns_.size()) {
+  PCDB_CHECK(dimension_columns_.size() == domains_.size());
+  // Everything is complete before any drop.
+  index_.Insert(Pattern::AllWildcards(dimension_columns_.size()));
+}
+
+Tuple DropSimulator::ComboOf(size_t row_index) const {
+  const Tuple& full = table_.row(row_index);
+  Tuple combo;
+  combo.reserve(dimension_columns_.size());
+  for (size_t col : dimension_columns_) combo.push_back(full[col]);
+  return combo;
+}
+
+size_t DropSimulator::DropRow(size_t row_index) {
+  PCDB_CHECK(row_index < table_.num_rows());
+  if (!dropped_rows_.insert(row_index).second) return index_.size();
+  Tuple combo = ComboOf(row_index);
+  if (!dropped_combos_.insert(combo).second) {
+    // Another record with the same dimension values was dropped before;
+    // the surviving patterns already exclude this combination.
+    return index_.size();
+  }
+
+  // Patterns subsuming the dropped combination cease to hold.
+  Pattern combo_pattern = Pattern::FromTuple(combo);
+  std::vector<Pattern> violated;
+  index_.CollectSubsumers(combo_pattern, /*strict=*/false, &violated);
+  for (const Pattern& p : violated) index_.Remove(p);
+
+  // Replace each violated pattern with its most general specializations
+  // that avoid the dropped combination: one wildcard position pinned to
+  // a domain value different from the combination's. Such a
+  // specialization cannot subsume any earlier dropped combination either
+  // (it is below its parent, which held).
+  for (const Pattern& p : violated) {
+    for (size_t i = 0; i < p.arity(); ++i) {
+      if (!p.IsWildcard(i)) continue;
+      for (const Value& d : domains_[i]) {
+        if (d == combo[i]) continue;
+        Pattern candidate = p.WithValue(i, d);
+        if (index_.HasSubsumer(candidate, /*strict=*/false)) continue;
+        // Keep the set minimal: the new pattern may cover previously
+        // added specializations.
+        std::vector<Pattern> covered;
+        index_.CollectSubsumed(candidate, /*strict=*/true, &covered);
+        for (const Pattern& q : covered) index_.Remove(q);
+        index_.Insert(candidate);
+      }
+    }
+  }
+  dirty_ = true;
+  return index_.size();
+}
+
+const PatternSet& DropSimulator::patterns() const {
+  if (dirty_) {
+    cache_ = PatternSet(index_.Contents());
+    dirty_ = false;
+  }
+  return cache_;
+}
+
+}  // namespace pcdb

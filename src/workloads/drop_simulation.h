@@ -1,0 +1,76 @@
+#ifndef PCDB_WORKLOADS_DROP_SIMULATION_H_
+#define PCDB_WORKLOADS_DROP_SIMULATION_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "pattern/discrimination_tree.h"
+#include "pattern/pattern.h"
+#include "relational/table.h"
+
+namespace pcdb {
+
+/// \brief The §4.3 test-case generator: maintains the minimal set of
+/// completeness patterns that hold over a dataset as records are
+/// dropped.
+///
+/// Initially the dataset is assumed fully complete — the single pattern
+/// (∗, …, ∗) over the chosen dimension attributes. Dropping a record
+/// invalidates every pattern that subsumes the record's dimension
+/// combination (the record now exists in the real world but not in the
+/// database); each invalidated pattern is replaced by its most general
+/// specializations that avoid all dropped combinations: one constant
+/// (different from the dropped value, drawn from the attribute's domain)
+/// substituted into one wildcard position. The pattern set is kept
+/// minimal throughout.
+///
+/// Dropping a second record with an already-dropped combination changes
+/// nothing — the explanation the paper gives for the convergence of
+/// pattern counts on correlated real data (Fig. 1).
+class DropSimulator {
+ public:
+  /// `table` is the dataset; `dimension_columns` selects the attributes
+  /// patterns range over; `domains` are those attributes' value domains
+  /// (aligned with `dimension_columns`), used as the specialization
+  /// candidates.
+  DropSimulator(const Table& table, std::vector<size_t> dimension_columns,
+                std::vector<std::vector<Value>> domains);
+
+  /// Patterns currently asserted (always minimal). Materialized lazily
+  /// from the internal discrimination tree.
+  const PatternSet& patterns() const;
+  size_t num_patterns() const { return index_.size(); }
+
+  /// Number of DropRow calls that removed a not-yet-dropped row.
+  size_t num_dropped_rows() const { return dropped_rows_.size(); }
+
+  /// Distinct dimension combinations dropped so far.
+  size_t num_dropped_combos() const { return dropped_combos_.size(); }
+
+  /// Drops the row at `row_index` (into the original table). Returns the
+  /// pattern count after the drop. Dropping the same row twice is a
+  /// no-op.
+  size_t DropRow(size_t row_index);
+
+  /// True if `row_index` was already dropped.
+  bool IsDropped(size_t row_index) const {
+    return dropped_rows_.count(row_index) > 0;
+  }
+
+ private:
+  /// The dimension projection of a row, as a tuple.
+  Tuple ComboOf(size_t row_index) const;
+
+  const Table& table_;
+  std::vector<size_t> dimension_columns_;
+  std::vector<std::vector<Value>> domains_;
+  DiscriminationTree index_;
+  mutable PatternSet cache_;
+  mutable bool dirty_ = true;
+  std::unordered_set<size_t> dropped_rows_;
+  std::unordered_set<Tuple, TupleHash> dropped_combos_;
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_WORKLOADS_DROP_SIMULATION_H_

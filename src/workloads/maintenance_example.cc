@@ -1,0 +1,76 @@
+#include "workloads/maintenance_example.h"
+
+#include "common/logging.h"
+
+namespace pcdb {
+
+AnnotatedDatabase MakeMaintenanceDatabase() {
+  AnnotatedDatabase adb;
+  auto must = [](const Status& s) { PCDB_CHECK(s.ok()) << s.ToString(); };
+
+  must(adb.CreateTable(
+      "Warnings", Schema({{"day", ValueType::kString},
+                          {"week", ValueType::kInt64},
+                          {"ID", ValueType::kString},
+                          {"message", ValueType::kString}})));
+  must(adb.AddRow("Warnings", {"Mon", 1, "tw37", "high voltage"}));
+  must(adb.AddRow("Warnings", {"Fri", 1, "tw37", "high voltage"}));
+  must(adb.AddRow("Warnings", {"Wed", 2, "tw37", "overheated"}));
+  must(adb.AddRow("Warnings", {"Tue", 1, "tw59", "auto restart"}));
+  must(adb.AddRow("Warnings", {"Fri", 1, "tw59", "overheat"}));
+  must(adb.AddRow("Warnings", {"Mon", 2, "tw83", "high voltage"}));
+  must(adb.AddRow("Warnings", {"Tue", 2, "tw83", "auto restart"}));
+  // p1–p3: week 1 fully loaded; Monday and Wednesday of week 2 loaded.
+  must(adb.AddPattern("Warnings", {"*", "1", "*", "*"}));
+  must(adb.AddPattern("Warnings", {"Mon", "2", "*", "*"}));
+  must(adb.AddPattern("Warnings", {"Wed", "2", "*", "*"}));
+
+  must(adb.CreateTable(
+      "Maintenance", Schema({{"ID", ValueType::kString},
+                             {"responsible", ValueType::kString},
+                             {"reason", ValueType::kString}})));
+  must(adb.AddRow("Maintenance", {"tw37", "A", "disk failure"}));
+  must(adb.AddRow("Maintenance", {"tw59", "D", "software crash"}));
+  must(adb.AddRow("Maintenance", {"tw83", "B", "unknown"}));
+  must(adb.AddRow("Maintenance", {"tw140", "C", "update failure"}));
+  must(adb.AddRow("Maintenance", {"tw140", "C", "network error"}));
+  // p4–p6: teams A, B and C export their maintenance data automatically.
+  must(adb.AddPattern("Maintenance", {"*", "A", "*"}));
+  must(adb.AddPattern("Maintenance", {"*", "B", "*"}));
+  must(adb.AddPattern("Maintenance", {"*", "C", "*"}));
+
+  must(adb.CreateTable("Teams",
+                       Schema({{"name", ValueType::kString},
+                               {"specialization", ValueType::kString}})));
+  must(adb.AddRow("Teams", {"A", "hardware"}));
+  must(adb.AddRow("Teams", {"B", "hardware"}));
+  must(adb.AddRow("Teams", {"C", "network"}));
+  must(adb.AddRow("Teams", {"C", "software"}));
+  must(adb.AddRow("Teams", {"D", "network"}));
+  // p7: all teams with their specializations are known.
+  must(adb.AddPattern("Teams", {"*", "*"}));
+
+  return adb;
+}
+
+ExprPtr MakeHardwareWarningsQuery() {
+  // σ_week=2(W) ⋈_{W.ID=M.ID} (M ⋈_{M.responsible=T.name} σ_spec=hw(T))
+  ExprPtr w = Expr::SelectConst(Expr::Scan("Warnings", "W"), "week", 2);
+  ExprPtr t = Expr::SelectConst(Expr::Scan("Teams", "T"), "specialization",
+                                "hardware");
+  ExprPtr mt =
+      Expr::Join(Expr::Scan("Maintenance", "M"), t, "M.responsible", "T.name");
+  return Expr::Join(w, mt, "W.ID", "M.ID");
+}
+
+ExprPtr MakeHardwareWarningsQueryAlternate() {
+  // (σ_week=2(W) ⋈_{W.ID=M.ID} M) ⋈_{M.responsible=T.name} σ_spec=hw(T)
+  ExprPtr w = Expr::SelectConst(Expr::Scan("Warnings", "W"), "week", 2);
+  ExprPtr wm =
+      Expr::Join(w, Expr::Scan("Maintenance", "M"), "W.ID", "M.ID");
+  ExprPtr t = Expr::SelectConst(Expr::Scan("Teams", "T"), "specialization",
+                                "hardware");
+  return Expr::Join(wm, t, "M.responsible", "T.name");
+}
+
+}  // namespace pcdb

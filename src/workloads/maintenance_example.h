@@ -1,0 +1,30 @@
+#ifndef PCDB_WORKLOADS_MAINTENANCE_EXAMPLE_H_
+#define PCDB_WORKLOADS_MAINTENANCE_EXAMPLE_H_
+
+#include "pattern/annotated.h"
+#include "relational/expr.h"
+
+namespace pcdb {
+
+/// \brief The paper's running example: the network-maintenance database
+/// D_maint of Table 1, with tables Warnings(day, week, ID, message),
+/// Maintenance(ID, responsible, reason) and Teams(name, specialization),
+/// annotated with the completeness patterns p1–p7.
+///
+/// Week numbers are INT64; all other attributes are strings.
+AnnotatedDatabase MakeMaintenanceDatabase();
+
+/// The query Q_hw of §1 in its algebraic form (1):
+/// σ_{week=2}(W) ⋈_{W.ID=M.ID} (M ⋈_{M.responsible=T.name}
+/// σ_{specialization=hardware}(T)). Tables are scanned under the aliases
+/// W, M, T.
+ExprPtr MakeHardwareWarningsQuery();
+
+/// An equivalent plan with a different join order (selections pushed
+/// differently) used to test expression-independence of the computed
+/// patterns.
+ExprPtr MakeHardwareWarningsQueryAlternate();
+
+}  // namespace pcdb
+
+#endif  // PCDB_WORKLOADS_MAINTENANCE_EXAMPLE_H_

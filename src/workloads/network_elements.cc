@@ -1,0 +1,201 @@
+#include "workloads/network_elements.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "relational/tuple.h"
+
+namespace pcdb {
+namespace {
+
+constexpr size_t kNumRegions = 6;
+constexpr size_t kNumTechnologies = 3;
+constexpr size_t kNumVendors = 7;
+constexpr size_t kNumCapabilities = 6;
+constexpr size_t kNumSectors = 13;
+constexpr size_t kNumStates = 53;
+
+std::vector<Value> MakeDomain(const std::string& prefix, size_t n) {
+  std::vector<Value> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Value(prefix + std::to_string(i)));
+  }
+  return out;
+}
+
+/// A fully specified dimension combination.
+struct Combo {
+  size_t region;
+  size_t technology;
+  size_t vendor;
+  size_t capability;
+  size_t sector;
+  size_t state;
+
+  uint64_t Key() const {
+    return ((((region * kNumTechnologies + technology) * kNumVendors +
+              vendor) *
+                 kNumCapabilities +
+             capability) *
+                kNumSectors +
+            sector) *
+               kNumStates +
+           state;
+  }
+};
+
+}  // namespace
+
+NetworkElementsData GenerateNetworkElements(
+    const NetworkElementsConfig& config) {
+  Rng rng(config.seed);
+  NetworkElementsData data;
+  data.dimension_domains = {
+      MakeDomain("region_", kNumRegions),
+      MakeDomain("tech_", kNumTechnologies),
+      MakeDomain("vendor_", kNumVendors),
+      MakeDomain("cap_", kNumCapabilities),
+      MakeDomain("sector_", kNumSectors),
+      MakeDomain("state_", kNumStates),
+  };
+
+  // --- Correlation structure ------------------------------------------
+  // Each state belongs to exactly one region (geographic nesting).
+  std::vector<size_t> region_of_state(kNumStates);
+  for (size_t s = 0; s < kNumStates; ++s) {
+    region_of_state[s] = rng.UniformUint64(kNumRegions);
+  }
+  // Each technology is served by a subset of vendors and exposes a
+  // subset of capability types (equipment correlation).
+  std::vector<std::vector<size_t>> vendors_of_tech(kNumTechnologies);
+  std::vector<std::vector<size_t>> caps_of_tech(kNumTechnologies);
+  for (size_t t = 0; t < kNumTechnologies; ++t) {
+    std::vector<size_t> vendors(kNumVendors);
+    for (size_t v = 0; v < kNumVendors; ++v) vendors[v] = v;
+    rng.Shuffle(&vendors);
+    vendors.resize(3);
+    vendors_of_tech[t] = vendors;
+    std::vector<size_t> caps(kNumCapabilities);
+    for (size_t c = 0; c < kNumCapabilities; ++c) caps[c] = c;
+    rng.Shuffle(&caps);
+    caps.resize(3);
+    caps_of_tech[t] = caps;
+  }
+
+  // --- Combination generation -----------------------------------------
+  // Hierarchical expansion per state until the target count is reached:
+  // this yields far fewer combinations than the full product, all of
+  // them respecting the correlations above.
+  std::vector<Combo> combos;
+  std::unordered_set<uint64_t> seen;
+  size_t attempts = 0;
+  while (combos.size() < config.target_combos &&
+         attempts < config.target_combos * 200) {
+    ++attempts;
+    Combo combo;
+    combo.state = rng.UniformUint64(kNumStates);
+    combo.region = region_of_state[combo.state];
+    combo.technology = rng.UniformUint64(kNumTechnologies);
+    combo.vendor = rng.Pick(vendors_of_tech[combo.technology]);
+    combo.capability = rng.Pick(caps_of_tech[combo.technology]);
+    // Sectors are drawn from a small per-(state, tech) band, keeping the
+    // sector dimension correlated too.
+    size_t band = (combo.state * 7 + combo.technology * 3) % kNumSectors;
+    combo.sector = (band + rng.UniformUint64(3)) % kNumSectors;
+    if (seen.insert(combo.Key()).second) combos.push_back(combo);
+  }
+  PCDB_CHECK(!combos.empty());
+
+  // --- Exponential rank-frequency skew --------------------------------
+  const double tau =
+      std::max(1.0, config.frequency_tau_fraction *
+                        static_cast<double>(combos.size()));
+  std::vector<double> cumulative(combos.size());
+  double total = 0;
+  for (size_t i = 0; i < combos.size(); ++i) {
+    total += std::exp(-static_cast<double>(i) / tau);
+    cumulative[i] = total;
+  }
+
+  // --- Name prefixes ---------------------------------------------------
+  // Prefixes follow (technology, vendor): elements sharing a prefix
+  // share equipment characteristics, which is what makes prefix drops
+  // "systematic" in the Fig. 2 sense.
+  static constexpr const char* kPrefixPool[] = {
+      "Cnu", "Dxu", "Clu", "Enb", "Rnc", "Bts", "Mme", "Sgw",
+      "Pgw", "Olt", "Onu", "Dsl", "Mwr", "Agg", "Cor", "Edg",
+      "Acc", "Pop", "Hub", "Vtx", "Nid"};
+  constexpr size_t kPrefixCount = sizeof(kPrefixPool) / sizeof(char*);
+  auto prefix_of = [&](const Combo& combo) -> const char* {
+    return kPrefixPool[(combo.technology * kNumVendors + combo.vendor) %
+                       kPrefixCount];
+  };
+  std::unordered_set<std::string> used_prefixes;
+
+  // --- Row emission -----------------------------------------------------
+  Schema schema({{"name", ValueType::kString},
+                 {"region_name", ValueType::kString},
+                 {"technology", ValueType::kString},
+                 {"vendor", ValueType::kString},
+                 {"technology_capability_type", ValueType::kString},
+                 {"sector", ValueType::kString},
+                 {"state", ValueType::kString},
+                 {"cpu_load", ValueType::kDouble},
+                 {"memory_mb", ValueType::kInt64}});
+  Table table(std::move(schema));
+  table.Reserve(config.num_rows);
+  std::vector<size_t> counter_per_prefix(kPrefixCount, 0);
+  for (size_t r = 0; r < config.num_rows; ++r) {
+    size_t idx;
+    if (r < combos.size()) {
+      // Every combination is realized at least once, matching the
+      // paper's "combinations present" statistic exactly.
+      idx = r;
+    } else {
+      double x = rng.UniformDouble() * total;
+      idx = static_cast<size_t>(
+          std::lower_bound(cumulative.begin(), cumulative.end(), x) -
+          cumulative.begin());
+      if (idx >= combos.size()) idx = combos.size() - 1;
+    }
+    const Combo& combo = combos[idx];
+    const char* prefix = prefix_of(combo);
+    used_prefixes.insert(prefix);
+    size_t prefix_index =
+        static_cast<size_t>((combo.technology * kNumVendors + combo.vendor) %
+                            kPrefixCount);
+    std::string name =
+        std::string(prefix) + std::to_string(counter_per_prefix[prefix_index]++);
+    table.AppendUnchecked(Tuple{
+        Value(std::move(name)),
+        data.dimension_domains[0][combo.region],
+        data.dimension_domains[1][combo.technology],
+        data.dimension_domains[2][combo.vendor],
+        data.dimension_domains[3][combo.capability],
+        data.dimension_domains[4][combo.sector],
+        data.dimension_domains[5][combo.state],
+        Value(rng.UniformDouble() * 100.0),
+        Value(static_cast<int64_t>(rng.UniformInt(512, 65536))),
+    });
+  }
+
+  data.table = std::move(table);
+  data.dimension_columns = {1, 2, 3, 4, 5, 6};
+  data.name_prefixes.assign(used_prefixes.begin(), used_prefixes.end());
+  std::sort(data.name_prefixes.begin(), data.name_prefixes.end());
+  return data;
+}
+
+Tuple DimensionCombo(const NetworkElementsData& data, size_t row) {
+  const Tuple& full = data.table.row(row);
+  Tuple combo;
+  combo.reserve(data.dimension_columns.size());
+  for (size_t col : data.dimension_columns) combo.push_back(full[col]);
+  return combo;
+}
+
+}  // namespace pcdb

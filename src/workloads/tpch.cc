@@ -1,0 +1,65 @@
+#include "workloads/tpch.h"
+
+#include "common/random.h"
+
+namespace pcdb {
+namespace {
+
+std::vector<Value> StringDomain(std::initializer_list<const char*> values) {
+  std::vector<Value> out;
+  out.reserve(values.size());
+  for (const char* v : values) out.push_back(Value(v));
+  return out;
+}
+
+std::vector<Value> IntDomain(int64_t lo, int64_t hi, int64_t step = 1) {
+  std::vector<Value> out;
+  out.reserve(static_cast<size_t>((hi - lo) / step) + 1);
+  for (int64_t v = lo; v <= hi; v += step) out.emplace_back(v);
+  return out;
+}
+
+}  // namespace
+
+TpchData GenerateLineitem(const TpchConfig& config) {
+  Rng rng(config.seed);
+  TpchData data;
+  data.dimension_domains = {
+      StringDomain({"A", "N", "R"}),                       // returnflag
+      StringDomain({"O", "F"}),                            // linestatus
+      IntDomain(1, 50),                                    // quantity
+      IntDomain(0, 10),                                    // discount (%)
+      IntDomain(0, 8),                                     // tax (%)
+      StringDomain({"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
+                    "FOB"}),                               // shipmode
+      StringDomain({"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                    "TAKE BACK RETURN"}),                  // shipinstruct
+  };
+
+  Schema schema({{"orderkey", ValueType::kInt64},
+                 {"returnflag", ValueType::kString},
+                 {"linestatus", ValueType::kString},
+                 {"quantity", ValueType::kInt64},
+                 {"discount", ValueType::kInt64},
+                 {"tax", ValueType::kInt64},
+                 {"shipmode", ValueType::kString},
+                 {"shipinstruct", ValueType::kString},
+                 {"extendedprice", ValueType::kDouble}});
+  Table table(std::move(schema));
+  table.Reserve(config.num_rows);
+  for (size_t r = 0; r < config.num_rows; ++r) {
+    Tuple row;
+    row.reserve(9);
+    row.push_back(Value(static_cast<int64_t>(r / 4 + 1)));
+    for (const std::vector<Value>& domain : data.dimension_domains) {
+      row.push_back(rng.Pick(domain));
+    }
+    row.push_back(Value(901.0 + rng.UniformDouble() * 103999.0));
+    table.AppendUnchecked(std::move(row));
+  }
+  data.table = std::move(table);
+  data.dimension_columns = {1, 2, 3, 4, 5, 6, 7};
+  return data;
+}
+
+}  // namespace pcdb

@@ -1,0 +1,58 @@
+#ifndef PCDB_WORKLOADS_WIKIPEDIA_H_
+#define PCDB_WORKLOADS_WIKIPEDIA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pattern/annotated.h"
+
+namespace pcdb {
+
+/// \brief Configuration of the synthetic Wikipedia/DBpedia use case
+/// (§4.2).
+///
+/// The paper scrapes ~55k cities (OpenGeoDB / geodatasource.com), 200
+/// countries and 10k schools (DBpedia), plus 21 completeness statements
+/// found on Wikipedia, and runs seven join queries (Table 7). We
+/// generate tables of the same sizes whose join selectivities are tuned
+/// so the seven queries produce result sizes of the paper's orders of
+/// magnitude (278 … 3M rows) — the experiment's point is that query cost
+/// varies over four orders of magnitude with result size while
+/// completeness-calculation cost stays nearly constant.
+struct WikipediaConfig {
+  size_t num_cities = 55000;
+  size_t num_countries = 200;
+  size_t num_schools = 10000;
+  /// Distinct states shared by cities and schools; drives the size of
+  /// the city ⋈ school query (Q3, ~3M rows in the paper).
+  size_t num_states = 200;
+  /// Distinct city-name pool; collisions drive the city self-join (Q6).
+  size_t city_name_pool = 20000;
+  /// Distinct school-name pool; collisions drive the school self-join
+  /// (Q7).
+  size_t school_name_pool = 2400;
+  uint64_t seed = 3;
+};
+
+/// \brief Builds the annotated database:
+///   city(name, country, state, county)
+///   country(name, capital)
+///   school(name, country, state, city)
+/// with 21 base completeness patterns in the style of Table 4 (country-
+/// and country+state-level city statements, a complete country list,
+/// school statements for selected countries).
+AnnotatedDatabase MakeWikipediaDatabase(const WikipediaConfig& config = {});
+
+/// \brief One of the seven experiment queries of §4.2 / Table 7.
+struct WikipediaQuery {
+  std::string id;   // "Q1" ... "Q7"
+  std::string sql;  // exactly the paper's query text (modulo schema)
+};
+
+/// The seven join queries of Table 7, in paper order.
+std::vector<WikipediaQuery> WikipediaQueries();
+
+}  // namespace pcdb
+
+#endif  // PCDB_WORKLOADS_WIKIPEDIA_H_

@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "pattern/algebra.h"
+#include "pattern/minimize.h"
+
+namespace pcdb {
+namespace {
+
+Pattern P(const std::vector<std::string>& fields) {
+  std::vector<Pattern::Cell> cells;
+  for (const auto& f : fields) {
+    if (f == "*") {
+      cells.push_back(Pattern::Wildcard());
+    } else {
+      cells.push_back(Value(f));
+    }
+  }
+  return Pattern(std::move(cells));
+}
+
+Pattern PW(std::vector<Pattern::Cell> cells) {
+  return Pattern(std::move(cells));
+}
+
+TEST(SelectConstTest, PaperExample3) {
+  // Warnings patterns (∗,1,∗,∗), (Mon,2,∗,∗), (Wed,2,∗,∗) under
+  // σ_{week=2}: the first is irrelevant, the others survive generalized
+  // (Table 2).
+  PatternSet input;
+  input.Add(PW({Pattern::Wildcard(), Value(1), Pattern::Wildcard(),
+                Pattern::Wildcard()}));
+  input.Add(PW({Value("Mon"), Value(2), Pattern::Wildcard(),
+                Pattern::Wildcard()}));
+  input.Add(PW({Value("Wed"), Value(2), Pattern::Wildcard(),
+                Pattern::Wildcard()}));
+  PatternSet out = PatternSelectConst(input, 1, Value(2));
+  PatternSet expected;
+  expected.Add(PW({Value("Mon"), Pattern::Wildcard(), Pattern::Wildcard(),
+                   Pattern::Wildcard()}));
+  expected.Add(PW({Value("Wed"), Pattern::Wildcard(), Pattern::Wildcard(),
+                   Pattern::Wildcard()}));
+  EXPECT_TRUE(out.SetEquals(expected)) << out.ToString();
+}
+
+TEST(SelectConstTest, WildcardSurvivesUnchanged) {
+  PatternSet input;
+  input.Add(P({"*", "*"}));
+  PatternSet out = PatternSelectConst(input, 0, Value("hardware"));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], P({"*", "*"}));
+}
+
+TEST(SelectConstTest, IrrelevantConstantDropped) {
+  PatternSet input;
+  input.Add(P({"software", "*"}));
+  EXPECT_TRUE(PatternSelectConst(input, 0, Value("hardware")).empty());
+}
+
+TEST(ProjectOutTest, PaperExample4) {
+  // Projecting out `day`: only (∗,1,∗,∗) survives, as (1,∗,∗); the
+  // Monday/Wednesday patterns die (Tuesday records could be missing).
+  PatternSet input;
+  input.Add(PW({Pattern::Wildcard(), Value(1), Pattern::Wildcard(),
+                Pattern::Wildcard()}));
+  input.Add(PW({Value("Mon"), Value(2), Pattern::Wildcard(),
+                Pattern::Wildcard()}));
+  input.Add(PW({Value("Wed"), Value(2), Pattern::Wildcard(),
+                Pattern::Wildcard()}));
+  PatternSet out = PatternProjectOut(input, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0],
+            PW({Value(1), Pattern::Wildcard(), Pattern::Wildcard()}));
+}
+
+TEST(SelectAttrEqTest, PaperExamples5And6) {
+  // Patterns (d1,d1,e1), (d2,∗,e2), (∗,∗,e3) under σ_{A=B} yield exactly
+  // (d1,∗,e1), (∗,d1,e1), (d2,∗,e2), (∗,d2,e2), (∗,∗,e3).
+  PatternSet input;
+  input.Add(P({"d1", "d1", "e1"}));
+  input.Add(P({"d2", "*", "e2"}));
+  input.Add(P({"*", "*", "e3"}));
+  PatternSet out = PatternSelectAttrEq(input, 0, 1);
+  PatternSet expected;
+  expected.Add(P({"d1", "*", "e1"}));
+  expected.Add(P({"*", "d1", "e1"}));
+  expected.Add(P({"d2", "*", "e2"}));
+  expected.Add(P({"*", "d2", "e2"}));
+  expected.Add(P({"*", "*", "e3"}));
+  EXPECT_TRUE(out.SetEquals(expected)) << out.ToString();
+}
+
+TEST(SelectAttrEqTest, SelfComparisonIsIdentity) {
+  // σ_{A=A} keeps every row, so the metadata passes through unchanged;
+  // the A≠B generalization rules would wrongly wildcard constants
+  // (found by the expression fuzzer).
+  PatternSet input;
+  input.Add(P({"d", "*"}));
+  PatternSet out = PatternSelectAttrEq(input, 0, 0);
+  EXPECT_TRUE(out.SetEquals(input)) << out.ToString();
+}
+
+TEST(SelectAttrEqTest, ConflictingConstantsDropped) {
+  PatternSet input;
+  input.Add(P({"x", "y", "*"}));
+  EXPECT_TRUE(PatternSelectAttrEq(input, 0, 1).empty());
+}
+
+TEST(SelectAttrEqTest, SymmetricTwinsSurviveProjections) {
+  // The reason both (d,∗) and (∗,d) are materialized: projecting out A
+  // keeps the latter's information, projecting out B keeps the former's.
+  PatternSet input;
+  input.Add(P({"d", "*", "e"}));
+  PatternSet selected = PatternSelectAttrEq(input, 0, 1);
+  PatternSet no_a = PatternProjectOut(selected, 0);
+  PatternSet no_b = PatternProjectOut(selected, 1);
+  EXPECT_TRUE(no_a.Contains(P({"d", "e"})));
+  EXPECT_TRUE(no_b.Contains(P({"d", "e"})));
+}
+
+TEST(RearrangeTest, PermutesAndDuplicatesCells) {
+  PatternSet input;
+  input.Add(P({"a", "*"}));
+  PatternSet out = PatternRearrange(input, {1, 0, 0});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], P({"*", "a", "a"}));
+}
+
+TEST(RearrangeTest, DroppedConstantPositionsKillPatterns) {
+  // Omitting a position is a projection: patterns with a constant there
+  // assert completeness of a slice the output cannot distinguish, so
+  // they must not survive (fuzzer-found soundness bug).
+  PatternSet input;
+  input.Add(P({"a", "b"}));
+  input.Add(P({"c", "*"}));
+  input.Add(P({"*", "d"}));
+  PatternSet out = PatternRearrange(input, {1});
+  PatternSet expected;
+  expected.Add(P({"d"}));  // only (∗,d) has '*' at the dropped position
+  EXPECT_TRUE(out.SetEquals(expected)) << out.ToString();
+}
+
+TEST(CrossTest, AllConcatenations) {
+  PatternSet left;
+  left.Add(P({"a"}));
+  left.Add(P({"*"}));
+  PatternSet right;
+  right.Add(P({"b", "*"}));
+  PatternSet out = PatternCross(left, right);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out.Contains(P({"a", "b", "*"})));
+  EXPECT_TRUE(out.Contains(P({"*", "b", "*"})));
+}
+
+TEST(JoinTest, PaperExample7Table6) {
+  // Maintenance patterns (∗,A,∗),(∗,B,∗),(∗,C,∗) joined on
+  // responsible=name with σ_spec=hw(Teams) patterns (∗,∗) — Table 6
+  // shows the join plus symmetric versions.
+  PatternSet maint;
+  maint.Add(P({"*", "A", "*"}));
+  maint.Add(P({"*", "B", "*"}));
+  maint.Add(P({"*", "C", "*"}));
+  PatternSet teams;
+  teams.Add(P({"*", "*"}));
+  PatternSet out = PatternJoin(maint, 1, teams, 0);
+  PatternSet expected;
+  for (const char* team : {"A", "B", "C"}) {
+    expected.Add(P({"*", team, "*", "*", "*"}));
+    expected.Add(P({"*", "*", "*", team, "*"}));
+  }
+  EXPECT_TRUE(out.SetEquals(expected)) << out.ToString();
+}
+
+TEST(JoinTest, ConstantsMustMatch) {
+  PatternSet left;
+  left.Add(P({"x", "a"}));
+  PatternSet right;
+  right.Add(P({"b", "*"}));
+  // Join on left[1] = right[0]: constants a vs b never join.
+  EXPECT_TRUE(PatternJoin(left, 1, right, 0).empty());
+  PatternSet right2;
+  right2.Add(P({"a", "*"}));
+  PatternSet out = PatternJoin(left, 1, right2, 0);
+  PatternSet expected;
+  expected.Add(P({"x", "*", "a", "*"}));
+  expected.Add(P({"x", "a", "*", "*"}));
+  EXPECT_TRUE(out.SetEquals(expected)) << out.ToString();
+}
+
+TEST(JoinTest, StrategiesAgree) {
+  Rng rng(321);
+  for (int round = 0; round < 50; ++round) {
+    PatternSet left;
+    PatternSet right;
+    auto random_pattern = [&](size_t arity) {
+      std::vector<Pattern::Cell> cells;
+      for (size_t i = 0; i < arity; ++i) {
+        if (rng.Bernoulli(0.5)) {
+          cells.push_back(Pattern::Wildcard());
+        } else {
+          cells.push_back(
+              Value("v" + std::to_string(rng.UniformInt(0, 3))));
+        }
+      }
+      return Pattern(std::move(cells));
+    };
+    for (int i = 0; i < 8; ++i) left.Add(random_pattern(3));
+    for (int i = 0; i < 8; ++i) right.Add(random_pattern(2));
+    PatternSet naive = PatternJoin(left, 1, right, 0,
+                                   PatternJoinStrategy::kCrossProductSelect);
+    PatternSet pushed = PatternJoin(
+        left, 1, right, 0, PatternJoinStrategy::kPartitionedHashJoin);
+    EXPECT_TRUE(naive.SetEquals(pushed))
+        << "round " << round << "\nnaive:\n"
+        << naive.ToString() << "pushed:\n"
+        << pushed.ToString();
+  }
+}
+
+TEST(JoinTest, EmptyInputsYieldEmptyOutput) {
+  PatternSet nonempty;
+  nonempty.Add(P({"*"}));
+  EXPECT_TRUE(PatternJoin(PatternSet(), 0, nonempty, 0).empty());
+  EXPECT_TRUE(PatternJoin(nonempty, 0, PatternSet(), 0).empty());
+}
+
+TEST(UnionTest, PairwiseUnification) {
+  // A pattern holds over R1 ⊎ R2 iff it holds over both sides: the
+  // maximal such patterns are the unifiers of unifiable pairs.
+  PatternSet left;
+  left.Add(P({"a", "*"}));
+  left.Add(P({"*", "b"}));
+  PatternSet right;
+  right.Add(P({"a", "c"}));
+  right.Add(P({"*", "*"}));
+  PatternSet out = PatternUnion(left, right);
+  PatternSet expected;
+  expected.Add(P({"a", "c"}));  // (a,∗) ⊓ (a,c) and (∗,b)⊓(a,c) fails
+  expected.Add(P({"a", "*"}));  // (a,∗) ⊓ (∗,∗)
+  expected.Add(P({"*", "b"}));  // (∗,b) ⊓ (∗,∗)
+  EXPECT_TRUE(out.SetEquals(expected)) << out.ToString();
+}
+
+TEST(UnionTest, IncompatibleSidesYieldNothing) {
+  PatternSet left;
+  left.Add(P({"a"}));
+  PatternSet right;
+  right.Add(P({"b"}));
+  EXPECT_TRUE(PatternUnion(left, right).empty());
+  EXPECT_TRUE(PatternUnion(left, PatternSet()).empty());
+}
+
+TEST(UnionTest, FullCompletenessOnBothSidesSurvives) {
+  PatternSet both;
+  both.Add(P({"*", "*"}));
+  PatternSet out = PatternUnion(both, both);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].IsAllWildcards());
+}
+
+TEST(LimitTest, PassThroughOnlyUnderFullCompleteness) {
+  PatternSet partial;
+  partial.Add(P({"a", "*"}));
+  EXPECT_TRUE(PatternLimit(partial).empty());
+  partial.Add(P({"*", "*"}));
+  EXPECT_EQ(PatternLimit(partial).size(), 2u);
+}
+
+TEST(AggregateTest, AppendixBCityCount) {
+  // City(name, country, state, county) patterns from Table 4 under
+  // SELECT country, COUNT(*) GROUP BY country: patterns constraining
+  // only `country` survive; state/county-constrained ones do not.
+  PatternSet input;
+  input.Add(P({"*", "Germany", "*", "*"}));
+  input.Add(P({"*", "Ukraine", "*", "*"}));
+  input.Add(P({"*", "Bulgaria", "*", "*"}));
+  input.Add(P({"*", "USA", "Virginia", "*"}));  // state-restricted
+  PatternSet out = PatternAggregate(input, {1}, 1);
+  PatternSet expected;
+  expected.Add(P({"Germany", "*"}));
+  expected.Add(P({"Ukraine", "*"}));
+  expected.Add(P({"Bulgaria", "*"}));
+  EXPECT_TRUE(out.SetEquals(expected)) << out.ToString();
+}
+
+TEST(AggregateTest, GroupByMultipleAttributesAndAggs) {
+  PatternSet input;
+  input.Add(P({"a", "*", "b", "*"}));
+  input.Add(P({"a", "c", "b", "*"}));  // constrains non-grouped attr 1
+  PatternSet out = PatternAggregate(input, {2, 0}, 2);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], P({"b", "a", "*", "*"}));
+}
+
+TEST(AggregateTest, NoGroupByNeedsFullyGeneralPattern) {
+  PatternSet input;
+  input.Add(P({"a", "*"}));
+  EXPECT_TRUE(PatternAggregate(input, {}, 1).empty());
+  input.Add(P({"*", "*"}));
+  PatternSet out = PatternAggregate(input, {}, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], P({"*"}));
+}
+
+TEST(MinimalityTest, MinimizationPreservesOperatorOutputCoverage) {
+  // Operators can generalize constant-bearing patterns into ones that
+  // subsume formerly incomparable patterns (e.g. σ_{A=v0} maps (v0,x,∗)
+  // to (∗,x,∗), which subsumes an input-sibling (∗,x,y)), so outputs may
+  // need re-minimization. Minimizing must not lose coverage.
+  Rng rng(777);
+  for (int round = 0; round < 40; ++round) {
+    PatternSet raw;
+    for (int i = 0; i < 12; ++i) {
+      std::vector<Pattern::Cell> cells;
+      for (int j = 0; j < 3; ++j) {
+        if (rng.Bernoulli(0.4)) {
+          cells.push_back(Pattern::Wildcard());
+        } else {
+          cells.push_back(
+              Value("v" + std::to_string(rng.UniformInt(0, 2))));
+        }
+      }
+      raw.Add(Pattern(std::move(cells)));
+    }
+    PatternSet input = Minimize(raw);
+    for (const PatternSet& out :
+         {PatternSelectConst(input, 0, Value("v0")),
+          PatternProjectOut(input, 1), PatternSelectAttrEq(input, 0, 1)}) {
+      PatternSet minimized = Minimize(out);
+      EXPECT_TRUE(IsMinimal(minimized)) << "round " << round;
+      for (const Pattern& p : out) {
+        EXPECT_TRUE(minimized.AnySubsumes(p)) << "round " << round;
+      }
+      for (const Pattern& p : minimized) {
+        EXPECT_TRUE(out.Contains(p)) << "round " << round;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcdb

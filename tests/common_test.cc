@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/value.h"
+
+namespace pcdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad input");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kTypeError, StatusCode::kParseError, StatusCode::kTimeout,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    PCDB_RETURN_NOT_OK(Status::NotFound("x"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("nope");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    PCDB_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 8);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value i(7);
+  Value d(2.5);
+  Value s("abc");
+  EXPECT_TRUE(i.is_int64());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(i.int64(), 7);
+  EXPECT_EQ(d.dbl(), 2.5);
+  EXPECT_EQ(s.str(), "abc");
+  EXPECT_EQ(i.AsDouble(), 7.0);
+}
+
+TEST(ValueTest, EqualityIsTypeStrict) {
+  EXPECT_NE(Value(1), Value(1.0));
+  EXPECT_NE(Value("1"), Value(1));
+  EXPECT_EQ(Value(3), Value(3));
+  EXPECT_EQ(Value("x"), Value("x"));
+}
+
+TEST(ValueTest, TotalOrder) {
+  std::set<Value> values = {Value(2), Value(1), Value("b"), Value("a"),
+                            Value(0.5)};
+  EXPECT_EQ(values.size(), 5u);
+  // Ordered by type first (int < double < string), then value.
+  auto it = values.begin();
+  EXPECT_EQ(*it++, Value(1));
+  EXPECT_EQ(*it++, Value(2));
+  EXPECT_EQ(*it++, Value(0.5));
+  EXPECT_EQ(*it++, Value("a"));
+  EXPECT_EQ(*it++, Value("b"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(5).Hash(), Value(5).Hash());
+  EXPECT_EQ(Value("team").Hash(), Value("team").Hash());
+  EXPECT_NE(Value(5).Hash(), Value("5").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(12).ToString(), "12");
+  EXPECT_EQ(Value("hello").ToString(), "hello");
+  EXPECT_EQ(Value(1.5).ToString(), "1.5");
+}
+
+TEST(ValueTest, ParseInt) {
+  auto v = Value::Parse("123", ValueType::kInt64);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->int64(), 123);
+  EXPECT_FALSE(Value::Parse("12x", ValueType::kInt64).ok());
+  EXPECT_FALSE(Value::Parse("", ValueType::kInt64).ok());
+  auto neg = Value::Parse("-4", ValueType::kInt64);
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ(neg->int64(), -4);
+}
+
+TEST(ValueTest, ParseDouble) {
+  auto v = Value::Parse("2.75", ValueType::kDouble);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->dbl(), 2.75);
+  EXPECT_FALSE(Value::Parse("abc", ValueType::kDouble).ok());
+}
+
+TEST(ValueTest, ParseString) {
+  auto v = Value::Parse("anything", ValueType::kString);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->str(), "anything");
+}
+
+TEST(ValueTest, TypeNameRoundTrip) {
+  for (ValueType t :
+       {ValueType::kInt64, ValueType::kDouble, ValueType::kString}) {
+    auto parsed = ValueTypeFromString(ValueTypeToString(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_TRUE(ValueTypeFromString("int").ok());
+  EXPECT_TRUE(ValueTypeFromString("VARCHAR").ok());
+  EXPECT_FALSE(ValueTypeFromString("blob").ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialIsPositiveWithPlausibleMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Exponential(2.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.05);
+}
+
+TEST(RngTest, WeightedRespectsWeights) {
+  Rng rng(17);
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.Weighted({1.0, 9.0})];
+  EXPECT_GT(counts[1], counts[0] * 5);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("a,,c", ','),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(JoinStrings({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(TrimString("  x y  "), "x y");
+  EXPECT_EQ(TrimString("\t\n"), "");
+}
+
+TEST(StringUtilTest, Case) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("abc"), "ABC");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("CnuFoo", "Cnu"));
+  EXPECT_FALSE(StartsWith("Cn", "Cnu"));
+}
+
+}  // namespace
+}  // namespace pcdb

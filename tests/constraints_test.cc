@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "pattern/annotated_eval.h"
+#include "pattern/constraints.h"
+#include "pattern/entailment.h"
+#include "workloads/maintenance_example.h"
+
+namespace pcdb {
+namespace {
+
+Pattern P(const std::vector<std::string>& fields) {
+  std::vector<Pattern::Cell> cells;
+  for (const auto& f : fields) {
+    if (f == "*") {
+      cells.push_back(Pattern::Wildcard());
+    } else {
+      cells.push_back(Value(f));
+    }
+  }
+  return Pattern(std::move(cells));
+}
+
+AnnotatedDatabase SimpleEmployees() {
+  AnnotatedDatabase adb;
+  PCDB_CHECK(adb.CreateTable("emp", Schema({{"id", ValueType::kString},
+                                            {"dept", ValueType::kString},
+                                            {"name", ValueType::kString}}))
+                 .ok());
+  PCDB_CHECK(adb.AddRow("emp", {"e1", "sales", "alice"}).ok());
+  PCDB_CHECK(adb.AddRow("emp", {"e2", "dev", "bob"}).ok());
+  return adb;
+}
+
+TEST(KeyConstraintTest, DerivesOnePatternPerKeyValue) {
+  AnnotatedDatabase adb = SimpleEmployees();
+  auto derived = DeriveKeyPatterns(adb, {"emp", {"id"}});
+  ASSERT_TRUE(derived.ok()) << derived.status().ToString();
+  PatternSet expected;
+  expected.Add(P({"e1", "*", "*"}));
+  expected.Add(P({"e2", "*", "*"}));
+  EXPECT_TRUE(derived->SetEquals(expected)) << derived->ToString();
+}
+
+TEST(KeyConstraintTest, CompositeKey) {
+  AnnotatedDatabase adb = SimpleEmployees();
+  auto derived = DeriveKeyPatterns(adb, {"emp", {"id", "dept"}});
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ(derived->size(), 2u);
+  EXPECT_TRUE(derived->Contains(P({"e1", "sales", "*"})));
+}
+
+TEST(KeyConstraintTest, DuplicateKeyValuesYieldOnePattern) {
+  AnnotatedDatabase adb = SimpleEmployees();
+  ASSERT_TRUE(adb.AddRow("emp", {"e1", "sales", "alice2"}).ok());
+  auto derived = DeriveKeyPatterns(adb, {"emp", {"id"}});
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ(derived->size(), 2u);
+}
+
+TEST(KeyConstraintTest, RejectsBadColumnsAndEmptyKeys) {
+  AnnotatedDatabase adb = SimpleEmployees();
+  EXPECT_FALSE(DeriveKeyPatterns(adb, {"emp", {"nope"}}).ok());
+  EXPECT_FALSE(DeriveKeyPatterns(adb, {"emp", {}}).ok());
+  EXPECT_FALSE(DeriveKeyPatterns(adb, {"ghost", {"id"}}).ok());
+}
+
+TEST(KeyConstraintTest, ApplyMergesAndMinimizes) {
+  AnnotatedDatabase adb = SimpleEmployees();
+  ASSERT_TRUE(adb.AddPattern("emp", {"*", "sales", "*"}).ok());
+  ASSERT_TRUE(ApplyKeyConstraint(&adb, {"emp", {"id"}}).ok());
+  const PatternSet& patterns = adb.patterns("emp");
+  // (e1, sales, alice) is keyed AND in the complete sales slice; the key
+  // pattern (e1,*,*) is NOT subsumed by (∗,sales,∗) so both survive.
+  EXPECT_TRUE(patterns.Contains(P({"*", "sales", "*"})));
+  EXPECT_TRUE(patterns.Contains(P({"e1", "*", "*"})));
+  EXPECT_TRUE(patterns.Contains(P({"e2", "*", "*"})));
+}
+
+TEST(KeyConstraintTest, DerivedPatternsEntailedUnderKeySemantics) {
+  AnnotatedDatabase adb = SimpleEmployees();
+  auto derived = DeriveKeyPatterns(adb, {"emp", {"id"}});
+  ASSERT_TRUE(derived.ok());
+  EntailmentOptions with_key;
+  with_key.keys = {{"emp", {"id"}}};
+  // A single-scan query needs at most one added tuple for a witness;
+  // keeping the bound low keeps the completion enumeration tractable.
+  with_key.max_added_tuples = 1;
+  EntailmentOptions without_key;
+  without_key.max_added_tuples = 1;
+  for (const Pattern& p : *derived) {
+    // Entailed once the checker knows the key...
+    auto constrained = EntailsWrtInstance(adb, Expr::Scan("emp"), p, with_key);
+    ASSERT_TRUE(constrained.ok()) << constrained.status().ToString();
+    EXPECT_TRUE(*constrained) << p.ToString();
+    // ... and NOT entailed without it (a completion may add a second
+    // tuple with the same id).
+    auto plain = EntailsWrtInstance(adb, Expr::Scan("emp"), p, without_key);
+    ASSERT_TRUE(plain.ok());
+    EXPECT_FALSE(*plain) << p.ToString();
+  }
+}
+
+TEST(KeyConstraintTest, StrengthensQueryAnnotations) {
+  // A keyed lookup becomes provably complete even though the table as a
+  // whole is open-world.
+  AnnotatedDatabase adb = SimpleEmployees();
+  ASSERT_TRUE(ApplyKeyConstraint(&adb, {"emp", {"id"}}).ok());
+  ExprPtr q = Expr::SelectConst(Expr::Scan("emp"), "id", "e1");
+  auto result = EvaluateAnnotated(q, adb);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->patterns.AnySubsumes(Pattern::AllWildcards(3)))
+      << result->patterns.ToString();
+}
+
+TEST(InclusionConstraintTest, DomainFromCompleteReference) {
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  // Maintenance.responsible ⊆ Teams.name, and Teams is fully complete:
+  // the possible responsible values are exactly the stored team names.
+  InclusionConstraint fk{"Maintenance", "responsible", "Teams", "name"};
+  auto domain = DeriveInclusionDomain(adb, fk);
+  ASSERT_TRUE(domain.ok()) << domain.status().ToString();
+  EXPECT_EQ(domain->size(), 4u);  // A, B, C, D
+}
+
+TEST(InclusionConstraintTest, NoBoundWithoutFullCompleteness) {
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  // Warnings has only partial completeness patterns: its ID column gives
+  // no sound domain bound.
+  InclusionConstraint fk{"Maintenance", "ID", "Warnings", "ID"};
+  auto domain = DeriveInclusionDomain(adb, fk);
+  EXPECT_FALSE(domain.ok());
+  EXPECT_EQ(domain.status().code(), StatusCode::kNotFound);
+}
+
+TEST(InclusionConstraintTest, ApplyFeedsZombieGeneration) {
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  ASSERT_TRUE(ApplyInclusionConstraint(
+                  &adb, {"Maintenance", "responsible", "Teams", "name"})
+                  .ok());
+  ASSERT_NE(adb.domains().Lookup("responsible"), nullptr);
+  // Zombies for σ_{responsible=A}(Maintenance) now enumerate B, C, D.
+  AnnotatedEvalOptions options;
+  options.zombies = true;
+  options.minimize_each_step = false;
+  AnnotatedEvalInfo info;
+  auto result = EvaluateAnnotated(
+      Expr::SelectConst(Expr::Scan("Maintenance"), "responsible", "A"), adb,
+      options, &info);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(info.zombies_added, 3u);
+}
+
+TEST(InclusionConstraintTest, RejectsUnknownColumns) {
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  EXPECT_FALSE(
+      ApplyInclusionConstraint(&adb, {"Maintenance", "ghost", "Teams", "name"})
+          .ok());
+  EXPECT_FALSE(
+      ApplyInclusionConstraint(&adb, {"Maintenance", "ID", "Teams", "ghost"})
+          .ok());
+}
+
+}  // namespace
+}  // namespace pcdb

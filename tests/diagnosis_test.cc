@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "pattern/diagnosis.h"
+#include "relational/evaluator.h"
+#include "relational/lineage.h"
+#include "workloads/maintenance_example.h"
+
+namespace pcdb {
+namespace {
+
+class LineageTest : public ::testing::Test {
+ protected:
+  void SetUp() override { adb_ = MakeMaintenanceDatabase(); }
+  AnnotatedDatabase adb_;
+};
+
+TEST_F(LineageTest, ScanLineageIsIdentity) {
+  auto result = EvaluateWithLineage(Expr::Scan("Teams"), adb_.database());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->scans, std::vector<std::string>{"Teams"});
+  ASSERT_EQ(result->lineage.size(), 5u);
+  for (size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(result->lineage[r], std::vector<uint32_t>{
+                                      static_cast<uint32_t>(r)});
+  }
+}
+
+TEST_F(LineageTest, MatchesPlainEvaluation) {
+  ExprPtr q = MakeHardwareWarningsQuery();
+  auto with_lineage = EvaluateWithLineage(q, adb_.database());
+  auto plain = Evaluate(q, adb_.database());
+  ASSERT_TRUE(with_lineage.ok()) << with_lineage.status().ToString();
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(with_lineage->data.BagEquals(*plain));
+}
+
+TEST_F(LineageTest, JoinLineagePointsAtContributingRows) {
+  ExprPtr q = MakeHardwareWarningsQuery();
+  auto result = EvaluateWithLineage(q, adb_.database());
+  ASSERT_TRUE(result.ok());
+  // Scans in depth-first order: Warnings, Maintenance, Teams.
+  ASSERT_EQ(result->scans,
+            (std::vector<std::string>{"Warnings", "Maintenance", "Teams"}));
+  const Table* warnings = *adb_.database().GetTable("Warnings");
+  const Table* maintenance = *adb_.database().GetTable("Maintenance");
+  const Table* teams = *adb_.database().GetTable("Teams");
+  for (size_t r = 0; r < result->data.num_rows(); ++r) {
+    const Tuple& out = result->data.row(r);
+    const Tuple& w = warnings->row(result->lineage[r][0]);
+    const Tuple& m = maintenance->row(result->lineage[r][1]);
+    const Tuple& t = teams->row(result->lineage[r][2]);
+    // The output row is the concatenation of its sources.
+    EXPECT_EQ(out[0], w[0]);  // W.day
+    EXPECT_EQ(out[4], m[0]);  // M.ID
+    EXPECT_EQ(out[7], t[0]);  // T.name
+  }
+}
+
+TEST_F(LineageTest, SurvivesProjectSortLimit) {
+  ExprPtr q = Expr::Limit(
+      Expr::Sort(Expr::ProjectOut(Expr::Scan("Warnings"), "message"),
+                 {"day"}),
+      3);
+  auto result = EvaluateWithLineage(q, adb_.database());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->data.num_rows(), 3u);
+  const Table* warnings = *adb_.database().GetTable("Warnings");
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(result->data.row(r)[0],
+              warnings->row(result->lineage[r][0])[0]);
+  }
+}
+
+TEST_F(LineageTest, AggregateAndUnionUnsupported) {
+  ExprPtr agg = Expr::Aggregate(Expr::Scan("Teams"), {"name"},
+                                {{AggFunc::kCount, "", "n"}});
+  EXPECT_EQ(EvaluateWithLineage(agg, adb_.database()).status().code(),
+            StatusCode::kUnimplemented);
+  ExprPtr u = Expr::Union(Expr::Scan("Teams"), Expr::Scan("Teams"));
+  EXPECT_EQ(EvaluateWithLineage(u, adb_.database()).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+class DiagnosisTest : public ::testing::Test {
+ protected:
+  void SetUp() override { adb_ = MakeMaintenanceDatabase(); }
+  AnnotatedDatabase adb_;
+};
+
+TEST_F(DiagnosisTest, QhwBlamesTheWarningsFeed) {
+  // Table 3/5 narrative: Monday's and Wednesday's rows are final;
+  // Tuesday's row is not, and the missing guarantee traces to the
+  // Warnings table (the Tuesday feed), not to Maintenance or Teams.
+  auto report = DiagnoseIncompleteness(MakeHardwareWarningsQuery(), adb_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->answer.num_rows(), 3u);
+  EXPECT_EQ(report->guaranteed_rows, 2u);
+  size_t unguaranteed = 0;
+  for (const RowDiagnosis& d : report->rows) {
+    if (d.guaranteed) continue;
+    ++unguaranteed;
+    EXPECT_EQ(report->answer.row(d.row)[0], Value("Tue"));
+    ASSERT_EQ(d.suspect_tables.size(), 1u);
+    EXPECT_EQ(d.suspect_tables[0], "Warnings");
+  }
+  EXPECT_EQ(unguaranteed, 1u);
+  EXPECT_EQ(report->suspect_counts.at("Warnings"), 1u);
+  EXPECT_EQ(report->suspect_counts.count("Teams"), 0u);
+}
+
+TEST_F(DiagnosisTest, FullyGuaranteedAnswerHasNoSuspects) {
+  ExprPtr q = Expr::SelectConst(Expr::Scan("Teams"), "specialization",
+                                "network");
+  auto report = DiagnoseIncompleteness(q, adb_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->guaranteed_rows, report->answer.num_rows());
+  EXPECT_TRUE(report->suspect_counts.empty());
+}
+
+TEST_F(DiagnosisTest, UncoveredSourceRowBlamed) {
+  // tw59 is maintained by team D, which does not export its data; a
+  // query touching that row should blame Maintenance.
+  ExprPtr q = Expr::SelectConst(Expr::Scan("Maintenance"), "ID", "tw59");
+  auto report = DiagnoseIncompleteness(q, adb_);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->answer.num_rows(), 1u);
+  EXPECT_EQ(report->guaranteed_rows, 0u);
+  ASSERT_EQ(report->rows[0].suspect_tables.size(), 1u);
+  EXPECT_EQ(report->rows[0].suspect_tables[0], "Maintenance");
+}
+
+TEST_F(DiagnosisTest, ReportRendering) {
+  auto report = DiagnoseIncompleteness(MakeHardwareWarningsQuery(), adb_);
+  ASSERT_TRUE(report.ok());
+  std::string text = report->ToString();
+  EXPECT_NE(text.find("2/3 answer rows guaranteed final"),
+            std::string::npos);
+  EXPECT_NE(text.find("consult: Warnings"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcdb

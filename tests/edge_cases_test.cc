@@ -1,0 +1,234 @@
+// Edge cases and failure injection across modules: empty inputs, arity
+// zero, corrupted storage files, malformed SQL, degenerate queries.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "pattern/annotated_eval.h"
+#include "pattern/minimize.h"
+#include "pattern/pattern_index.h"
+#include "pattern/storage.h"
+#include "relational/evaluator.h"
+#include "sql/planner.h"
+#include "workloads/maintenance_example.h"
+
+namespace pcdb {
+namespace {
+
+TEST(EmptyInputsTest, EvaluateOverEmptyTables) {
+  AnnotatedDatabase adb;
+  ASSERT_TRUE(adb.CreateTable("R", Schema({{"a", ValueType::kString},
+                                           {"b", ValueType::kString}}))
+                  .ok());
+  ASSERT_TRUE(adb.AddPattern("R", {"*", "*"}).ok());
+  ExprPtr q = Expr::SelectConst(Expr::Scan("R"), "a", "x");
+  auto result = EvaluateAnnotated(q, adb);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->data.num_rows(), 0u);
+  // An empty but complete table keeps its guarantee through selections.
+  EXPECT_EQ(result->patterns.size(), 1u);
+}
+
+TEST(EmptyInputsTest, JoinWithEmptySide) {
+  AnnotatedDatabase adb;
+  ASSERT_TRUE(adb.CreateTable("R", Schema({{"a", ValueType::kString}})).ok());
+  ASSERT_TRUE(adb.CreateTable("S", Schema({{"b", ValueType::kString}})).ok());
+  ASSERT_TRUE(adb.AddRow("R", {"x"}).ok());
+  auto result = Evaluate(
+      Expr::Join(Expr::Scan("R"), Expr::Scan("S"), "a", "b"),
+      adb.database());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 0u);
+}
+
+TEST(EmptyInputsTest, AggregateOverEmptyInputHasNoGroups) {
+  AnnotatedDatabase adb;
+  ASSERT_TRUE(adb.CreateTable("R", Schema({{"g", ValueType::kString},
+                                           {"v", ValueType::kInt64}}))
+                  .ok());
+  ExprPtr agg = Expr::Aggregate(Expr::Scan("R"), {"g"},
+                                {{AggFunc::kCount, "", "n"}});
+  auto result = Evaluate(agg, adb.database());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 0u);
+}
+
+TEST(ArityZeroTest, IndexesHandleNullaryPatterns) {
+  // There is exactly one arity-0 pattern: the empty tuple.
+  for (PatternIndexKind kind :
+       {PatternIndexKind::kLinearList, PatternIndexKind::kHashTable,
+        PatternIndexKind::kPathIndex,
+        PatternIndexKind::kDiscriminationTree}) {
+    auto index = MakePatternIndex(kind, 0);
+    Pattern empty = Pattern::AllWildcards(0);
+    EXPECT_FALSE(index->HasSubsumer(empty, false));
+    index->Insert(empty);
+    index->Insert(empty);
+    EXPECT_EQ(index->size(), 1u) << PatternIndexKindName(kind);
+    EXPECT_TRUE(index->HasSubsumer(empty, false));
+    EXPECT_FALSE(index->HasSubsumer(empty, true));
+    EXPECT_TRUE(index->Remove(empty));
+    EXPECT_EQ(index->size(), 0u);
+  }
+}
+
+TEST(ArityZeroTest, MinimizeNullaryPatterns) {
+  PatternSet input;
+  input.Add(Pattern::AllWildcards(0));
+  input.Add(Pattern::AllWildcards(0));
+  PatternSet out = Minimize(input);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(DuplicateRowsTest, BagSemanticsFlowThroughAnnotatedEval) {
+  AnnotatedDatabase adb;
+  ASSERT_TRUE(adb.CreateTable("R", Schema({{"a", ValueType::kString}})).ok());
+  ASSERT_TRUE(adb.AddRow("R", {"x"}).ok());
+  ASSERT_TRUE(adb.AddRow("R", {"x"}).ok());
+  ASSERT_TRUE(adb.AddPattern("R", {"x"}).ok());
+  auto result = EvaluateAnnotated(Expr::Scan("R"), adb);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->data.num_rows(), 2u);
+  EXPECT_EQ(result->patterns.size(), 1u);
+}
+
+TEST(PatternValueMismatchTest, PatternsForAbsentValuesAreKept) {
+  // A base pattern can reference values no stored row has — it asserts
+  // the corresponding slice is (vacuously) complete.
+  AnnotatedDatabase adb;
+  ASSERT_TRUE(adb.CreateTable("R", Schema({{"a", ValueType::kString}})).ok());
+  ASSERT_TRUE(adb.AddPattern("R", {"ghost"}).ok());
+  auto result = EvaluateAnnotated(
+      Expr::SelectConst(Expr::Scan("R"), "a", "ghost"), adb);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->data.num_rows(), 0u);
+  EXPECT_EQ(result->patterns.size(), 1u);
+}
+
+class CorruptedStorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pcdb_corrupt_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::remove_all(dir_);
+    AnnotatedDatabase adb = MakeMaintenanceDatabase();
+    PCDB_CHECK(SaveAnnotatedDatabase(adb, dir_.string()).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void Overwrite(const std::string& file, const std::string& content) {
+    std::ofstream out(dir_ / file);
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CorruptedStorageTest, BadCatalogTypeFails) {
+  Overwrite("catalog", "T|a:BLOB\n");
+  auto loaded = LoadAnnotatedDatabase(dir_.string());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(CorruptedStorageTest, CatalogWithoutColumnsFails) {
+  Overwrite("catalog", "JustAName\n");
+  EXPECT_FALSE(LoadAnnotatedDatabase(dir_.string()).ok());
+}
+
+TEST_F(CorruptedStorageTest, DataArityMismatchFails) {
+  Overwrite("Teams.data", "onlyonefield\n");
+  auto loaded = LoadAnnotatedDatabase(dir_.string());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(CorruptedStorageTest, MetaArityMismatchFails) {
+  Overwrite("Teams.meta", "a|b|c\n");
+  EXPECT_FALSE(LoadAnnotatedDatabase(dir_.string()).ok());
+}
+
+TEST_F(CorruptedStorageTest, NonNumericDataInIntColumnFails) {
+  Overwrite("Warnings.data", "Mon|notanumber|tw1|msg\n");
+  EXPECT_FALSE(LoadAnnotatedDatabase(dir_.string()).ok());
+}
+
+TEST_F(CorruptedStorageTest, MissingMetaFileFails) {
+  std::filesystem::remove(dir_ / "Teams.meta");
+  auto loaded = LoadAnnotatedDatabase(dir_.string());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MalformedSqlTest, ParserRejectsGracefully) {
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  for (const char* sql : {
+           "",
+           "SELECT",
+           "SELECT FROM Teams",
+           "SELECT * FROM",
+           "SELECT * FROM Teams WHERE",
+           "SELECT * FROM Teams WHERE name=",
+           "SELECT * FROM Teams WHERE name==x",
+           "SELECT * FROM Teams GROUP BY",
+           "SELECT COUNT( FROM Teams",
+           "SELECT * FROM Teams JOIN",
+           "SELECT * FROM Teams JOIN Maintenance",
+           "INSERT INTO Teams VALUES ('x','y')",
+       }) {
+    auto plan = PlanSql(sql, adb.database());
+    EXPECT_FALSE(plan.ok()) << "accepted: " << sql;
+    EXPECT_TRUE(plan.status().code() == StatusCode::kParseError ||
+                plan.status().code() == StatusCode::kInvalidArgument ||
+                plan.status().code() == StatusCode::kNotFound)
+        << sql << " -> " << plan.status().ToString();
+  }
+}
+
+TEST(SelfJoinPatternTest, SelfJoinDuplicatesBasePatterns) {
+  // A self-join sees the same base pattern set on both sides; the
+  // annotated result must reflect both.
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  auto plan = PlanSql(
+      "SELECT * FROM Maintenance m1, Maintenance m2 WHERE m1.ID=m2.ID",
+      adb.database());
+  ASSERT_TRUE(plan.ok());
+  auto result = EvaluateAnnotated(*plan, adb);
+  ASSERT_TRUE(result.ok());
+  // Patterns like (∗,A,∗, ∗,B,∗): team-A elements joined with team-B
+  // maintenance rows for the same element.
+  bool found_cross_team = false;
+  for (const Pattern& p : result->patterns) {
+    if (!p.IsWildcard(1) && !p.IsWildcard(4) &&
+        p.value(1) != p.value(4)) {
+      found_cross_team = true;
+    }
+  }
+  EXPECT_TRUE(found_cross_team) << result->patterns.ToString();
+}
+
+TEST(LongChainTest, DeepOperatorChainsStaySound) {
+  // Stack many selections/projections; patterns must follow through.
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  ExprPtr e = Expr::Scan("Warnings");
+  e = Expr::SelectConst(e, "week", 1);
+  e = Expr::SelectAttrEq(e, "day", "day");  // trivially true
+  e = Expr::ProjectOut(e, "message");
+  e = Expr::ProjectOut(e, "day");
+  e = Expr::Rearrange(e, {"ID", "week", "ID"});
+  auto result = EvaluateAnnotated(*e, adb);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->data.num_rows(), 4u);
+  // Week-1 completeness survives the whole chain: (∗, 1, ∗) rearranged.
+  Pattern expected = Pattern::AllWildcards(3).WithValue(1, Value(1));
+  EXPECT_TRUE(result->patterns.AnySubsumes(expected))
+      << result->patterns.ToString();
+}
+
+}  // namespace
+}  // namespace pcdb

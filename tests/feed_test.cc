@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "pattern/annotated_eval.h"
+#include "pattern/feed.h"
+
+namespace pcdb {
+namespace {
+
+Pattern P(const std::vector<std::string>& fields) {
+  std::vector<Pattern::Cell> cells;
+  for (const auto& f : fields) {
+    if (f == "*") {
+      cells.push_back(Pattern::Wildcard());
+    } else {
+      cells.push_back(Value(f));
+    }
+  }
+  return Pattern(std::move(cells));
+}
+
+AnnotatedDatabase WarningsDatabase() {
+  AnnotatedDatabase adb;
+  PCDB_CHECK(adb.CreateTable("w", Schema({{"day", ValueType::kString},
+                                          {"element", ValueType::kString}}))
+                 .ok());
+  return adb;
+}
+
+TEST(FeedTest, IngestThenPunctuate) {
+  AnnotatedDatabase adb = WarningsDatabase();
+  FeedManager feed(&adb);
+  EXPECT_TRUE(feed.Ingest("w", {"Mon", "ne1"}).ok());
+  EXPECT_TRUE(feed.Ingest("w", {"Mon", "ne2"}).ok());
+  EXPECT_TRUE(feed.Punctuate("w", {"Mon", "*"}).ok());
+  EXPECT_EQ(feed.stats().records_ingested, 2u);
+  EXPECT_EQ(feed.stats().punctuations, 1u);
+  EXPECT_EQ(adb.patterns("w").size(), 1u);
+}
+
+TEST(FeedTest, RejectPolicyBlocksLateRecords) {
+  AnnotatedDatabase adb = WarningsDatabase();
+  FeedManager feed(&adb, FeedViolationPolicy::kRejectRecord);
+  ASSERT_TRUE(feed.Punctuate("w", {"Mon", "*"}).ok());
+  Status late = feed.Ingest("w", {"Mon", "ne9"});
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(feed.stats().violations, 1u);
+  EXPECT_EQ(feed.stats().records_rejected, 1u);
+  // The record was not stored; the pattern stands.
+  EXPECT_EQ((*adb.database().GetTable("w"))->num_rows(), 0u);
+  EXPECT_EQ(adb.patterns("w").size(), 1u);
+  // Records outside the punctuated slice still flow.
+  EXPECT_TRUE(feed.Ingest("w", {"Tue", "ne9"}).ok());
+}
+
+TEST(FeedTest, RetractPolicyWithdrawsViolatedPatterns) {
+  AnnotatedDatabase adb = WarningsDatabase();
+  FeedManager feed(&adb, FeedViolationPolicy::kRetractPatterns);
+  ASSERT_TRUE(feed.Punctuate("w", {"Mon", "*"}).ok());
+  ASSERT_TRUE(feed.Punctuate("w", {"Tue", "*"}).ok());
+  EXPECT_TRUE(feed.Ingest("w", {"Mon", "ne9"}).ok());
+  EXPECT_EQ(feed.stats().violations, 1u);
+  EXPECT_EQ(feed.stats().patterns_retracted, 1u);
+  // The Monday punctuation is gone, Tuesday's survives; the record is in.
+  EXPECT_EQ((*adb.database().GetTable("w"))->num_rows(), 1u);
+  const PatternSet& patterns = adb.patterns("w");
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0], P({"Tue", "*"}));
+}
+
+TEST(FeedTest, PunctuationsAreMinimizedTogether) {
+  AnnotatedDatabase adb = WarningsDatabase();
+  FeedManager feed(&adb);
+  ASSERT_TRUE(feed.Punctuate("w", {"Mon", "ne1"}).ok());
+  ASSERT_TRUE(feed.Punctuate("w", {"Mon", "*"}).ok());  // subsumes the first
+  EXPECT_EQ(adb.patterns("w").size(), 1u);
+  EXPECT_EQ(adb.patterns("w")[0], P({"Mon", "*"}));
+}
+
+TEST(FeedTest, MalformedRecordsFailCleanly) {
+  AnnotatedDatabase adb = WarningsDatabase();
+  FeedManager feed(&adb);
+  EXPECT_FALSE(feed.Ingest("w", {"Mon"}).ok());
+  EXPECT_FALSE(feed.Ingest("ghost", {"Mon", "ne1"}).ok());
+  EXPECT_FALSE(feed.Punctuate("w", {"Mon"}).ok());
+  EXPECT_EQ(feed.stats().records_ingested, 0u);
+}
+
+TEST(FeedTest, QueriesSeePunctuationProgress) {
+  AnnotatedDatabase adb = WarningsDatabase();
+  FeedManager feed(&adb);
+  ASSERT_TRUE(feed.Ingest("w", {"Mon", "ne1"}).ok());
+  ExprPtr q = Expr::SelectConst(Expr::Scan("w"), "day", "Mon");
+  auto before = EvaluateAnnotated(q, adb);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->patterns.empty());
+  ASSERT_TRUE(feed.Punctuate("w", {"Mon", "*"}).ok());
+  auto after = EvaluateAnnotated(q, adb);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->patterns.AnySubsumes(Pattern::AllWildcards(2)));
+}
+
+}  // namespace
+}  // namespace pcdb

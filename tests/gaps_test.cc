@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "pattern/gaps.h"
+#include "pattern/minimize.h"
+#include "workloads/maintenance_example.h"
+
+namespace pcdb {
+namespace {
+
+Pattern P(const std::vector<std::string>& fields) {
+  std::vector<Pattern::Cell> cells;
+  for (const auto& f : fields) {
+    if (f == "*") {
+      cells.push_back(Pattern::Wildcard());
+    } else {
+      cells.push_back(Value(f));
+    }
+  }
+  return Pattern(std::move(cells));
+}
+
+std::vector<std::vector<Value>> Domains(
+    const std::vector<std::vector<std::string>>& raw) {
+  std::vector<std::vector<Value>> out;
+  for (const auto& domain : raw) {
+    std::vector<Value> values;
+    for (const auto& v : domain) values.push_back(Value(v));
+    out.push_back(std::move(values));
+  }
+  return out;
+}
+
+TEST(CoverageGapsTest, NoPatternsMeansEverythingIsAGap) {
+  auto gaps = CoverageGaps(PatternSet(), Domains({{"a", "b"}, {"x"}}));
+  ASSERT_TRUE(gaps.ok()) << gaps.status().ToString();
+  ASSERT_EQ(gaps->size(), 1u);
+  EXPECT_TRUE((*gaps)[0].IsAllWildcards());
+}
+
+TEST(CoverageGapsTest, FullCompletenessLeavesNoGap) {
+  PatternSet asserted;
+  asserted.Add(P({"*", "*"}));
+  auto gaps = CoverageGaps(asserted, Domains({{"a", "b"}, {"x", "y"}}));
+  ASSERT_TRUE(gaps.ok());
+  EXPECT_TRUE(gaps->empty());
+}
+
+TEST(CoverageGapsTest, SingleSliceAsserted) {
+  // Coverage of (a, ∗) over domain {a,b,c} × {x,y}: the uncovered
+  // maximal slices are (b, ∗) and (c, ∗).
+  PatternSet asserted;
+  asserted.Add(P({"a", "*"}));
+  auto gaps =
+      CoverageGaps(asserted, Domains({{"a", "b", "c"}, {"x", "y"}}));
+  ASSERT_TRUE(gaps.ok());
+  PatternSet expected;
+  expected.Add(P({"b", "*"}));
+  expected.Add(P({"c", "*"}));
+  EXPECT_TRUE(gaps->SetEquals(expected)) << gaps->ToString();
+}
+
+TEST(CoverageGapsTest, CrossCutting) {
+  // Asserted (a,∗) and (∗,x): the only fully uncovered maximal slice is
+  // (b, y) — everything else intersects an assertion.
+  PatternSet asserted;
+  asserted.Add(P({"a", "*"}));
+  asserted.Add(P({"*", "x"}));
+  auto gaps = CoverageGaps(asserted, Domains({{"a", "b"}, {"x", "y"}}));
+  ASSERT_TRUE(gaps.ok());
+  ASSERT_EQ(gaps->size(), 1u);
+  EXPECT_EQ((*gaps)[0], P({"b", "y"}));
+}
+
+TEST(CoverageGapsTest, GapsAreSoundAndMaximalByBruteForce) {
+  // Differential against enumeration over a small domain: the gap set
+  // must equal the minimized set of all patterns disjoint from every
+  // asserted pattern.
+  std::vector<std::vector<std::string>> raw_domains = {
+      {"a", "b"}, {"x", "y", "z"}};
+  auto domains = Domains(raw_domains);
+  // All patterns over the domain.
+  std::vector<Pattern> space;
+  for (int i = -1; i < 2; ++i) {
+    for (int j = -1; j < 3; ++j) {
+      std::vector<Pattern::Cell> cells;
+      cells.push_back(i < 0 ? Pattern::Wildcard()
+                            : Pattern::Cell(Value(raw_domains[0][i])));
+      cells.push_back(j < 0 ? Pattern::Wildcard()
+                            : Pattern::Cell(Value(raw_domains[1][j])));
+      space.push_back(Pattern(std::move(cells)));
+    }
+  }
+  Rng rng(777);
+  for (int round = 0; round < 40; ++round) {
+    PatternSet asserted;
+    int n = static_cast<int>(rng.UniformInt(0, 4));
+    for (int i = 0; i < n; ++i) {
+      asserted.Add(space[rng.UniformUint64(space.size())]);
+    }
+    auto gaps = CoverageGaps(asserted, domains);
+    ASSERT_TRUE(gaps.ok()) << gaps.status().ToString();
+    PatternSet expected_raw;
+    for (const Pattern& p : space) {
+      bool disjoint = true;
+      for (const Pattern& q : asserted) {
+        if (p.UnifiableWith(q)) {
+          disjoint = false;
+          break;
+        }
+      }
+      if (disjoint) expected_raw.Add(p);
+    }
+    PatternSet expected = Minimize(expected_raw);
+    EXPECT_TRUE(gaps->SetEquals(expected))
+        << "round " << round << "\nasserted:\n"
+        << asserted.ToString() << "got:\n"
+        << gaps->ToString() << "expected:\n"
+        << expected.ToString();
+  }
+}
+
+TEST(CoverageGapsTest, BudgetExceededReportsOutOfRange) {
+  // Many narrow assertions over a large domain explode the gap count.
+  PatternSet asserted;
+  std::vector<std::vector<std::string>> raw;
+  std::vector<std::string> big;
+  for (int i = 0; i < 30; ++i) big.push_back("v" + std::to_string(i));
+  for (int j = 0; j < 6; ++j) raw.push_back(big);
+  std::vector<std::string> one_assert(6, "v0");
+  asserted.Add(P(one_assert));
+  auto gaps = CoverageGaps(asserted, Domains(raw), /*max_gaps=*/10);
+  EXPECT_FALSE(gaps.ok());
+  EXPECT_EQ(gaps.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CoverageGapsTest, ArityMismatchRejected) {
+  PatternSet asserted;
+  asserted.Add(P({"a", "*"}));
+  EXPECT_FALSE(CoverageGaps(asserted, Domains({{"a"}})).ok());
+}
+
+TEST(TableCoverageGapsTest, MaintenanceGapIsTeamD) {
+  // Maintenance is complete for teams A, B and C; with the responsible
+  // domain bounded to {A,B,C,D} the only maximal gap is team D.
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  adb.domains().SetDomain(
+      "responsible", {Value("A"), Value("B"), Value("C"), Value("D")});
+  auto gaps = TableCoverageGaps(adb, "Maintenance");
+  ASSERT_TRUE(gaps.ok()) << gaps.status().ToString();
+  ASSERT_EQ(gaps->size(), 1u);
+  EXPECT_EQ((*gaps)[0], P({"*", "D", "*"}));
+}
+
+TEST(TableCoverageGapsTest, FullyCompleteTableHasNoGaps) {
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  auto gaps = TableCoverageGaps(adb, "Teams");
+  ASSERT_TRUE(gaps.ok());
+  EXPECT_TRUE(gaps->empty());
+}
+
+}  // namespace
+}  // namespace pcdb

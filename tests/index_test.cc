@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "pattern/linear_index.h"
+#include "pattern/pattern_index.h"
+
+namespace pcdb {
+namespace {
+
+Pattern P(const std::vector<std::string>& fields) {
+  std::vector<Pattern::Cell> cells;
+  for (const auto& f : fields) {
+    if (f == "*") {
+      cells.push_back(Pattern::Wildcard());
+    } else {
+      cells.push_back(Value(f));
+    }
+  }
+  return Pattern(std::move(cells));
+}
+
+/// Random pattern over `arity` positions with `values` distinct constants
+/// per position; each cell is a wildcard with probability `wild_prob`.
+Pattern RandomPattern(Rng* rng, size_t arity, int values, double wild_prob) {
+  std::vector<Pattern::Cell> cells;
+  cells.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    if (rng->Bernoulli(wild_prob)) {
+      cells.push_back(Pattern::Wildcard());
+    } else {
+      cells.push_back(Value("v" + std::to_string(rng->UniformInt(0, values))));
+    }
+  }
+  return Pattern(std::move(cells));
+}
+
+class PatternIndexTest : public ::testing::TestWithParam<PatternIndexKind> {
+ protected:
+  std::unique_ptr<PatternIndex> Make(size_t arity) {
+    return MakePatternIndex(GetParam(), arity);
+  }
+};
+
+TEST_P(PatternIndexTest, InsertAndSize) {
+  auto index = Make(2);
+  EXPECT_EQ(index->size(), 0u);
+  index->Insert(P({"a", "*"}));
+  index->Insert(P({"*", "b"}));
+  EXPECT_EQ(index->size(), 2u);
+}
+
+TEST_P(PatternIndexTest, InsertIsSetSemantics) {
+  auto index = Make(2);
+  index->Insert(P({"a", "*"}));
+  index->Insert(P({"a", "*"}));
+  EXPECT_EQ(index->size(), 1u);
+}
+
+TEST_P(PatternIndexTest, RemoveExistingAndMissing) {
+  auto index = Make(2);
+  index->Insert(P({"a", "*"}));
+  EXPECT_TRUE(index->Remove(P({"a", "*"})));
+  EXPECT_EQ(index->size(), 0u);
+  EXPECT_FALSE(index->Remove(P({"a", "*"})));
+  EXPECT_FALSE(index->HasSubsumer(P({"a", "b"}), false));
+}
+
+TEST_P(PatternIndexTest, HasSubsumerNonStrict) {
+  auto index = Make(3);
+  index->Insert(P({"a", "*", "*"}));
+  EXPECT_TRUE(index->HasSubsumer(P({"a", "b", "*"}), false));
+  EXPECT_TRUE(index->HasSubsumer(P({"a", "*", "*"}), false));  // itself
+  EXPECT_FALSE(index->HasSubsumer(P({"b", "*", "*"}), false));
+  EXPECT_FALSE(index->HasSubsumer(P({"*", "*", "*"}), false));
+}
+
+TEST_P(PatternIndexTest, HasSubsumerStrictExcludesSelf) {
+  auto index = Make(2);
+  index->Insert(P({"a", "*"}));
+  EXPECT_FALSE(index->HasSubsumer(P({"a", "*"}), true));
+  index->Insert(P({"*", "*"}));
+  EXPECT_TRUE(index->HasSubsumer(P({"a", "*"}), true));
+}
+
+TEST_P(PatternIndexTest, CollectSubsumed) {
+  auto index = Make(2);
+  index->Insert(P({"a", "b"}));
+  index->Insert(P({"a", "*"}));
+  index->Insert(P({"c", "*"}));
+  std::vector<Pattern> out;
+  index->CollectSubsumed(P({"a", "*"}), /*strict=*/true, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], P({"a", "b"}));
+  out.clear();
+  index->CollectSubsumed(P({"a", "*"}), /*strict=*/false, &out);
+  EXPECT_EQ(out.size(), 2u);
+  out.clear();
+  index->CollectSubsumed(P({"*", "*"}), /*strict=*/true, &out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST_P(PatternIndexTest, WildcardConstantDistinction) {
+  // A stored (d) must not subsume a probe (*): the wildcard is more
+  // general than any constant.
+  auto index = Make(1);
+  index->Insert(P({"d"}));
+  EXPECT_FALSE(index->HasSubsumer(P({"*"}), false));
+  EXPECT_TRUE(index->HasSubsumer(P({"d"}), false));
+  std::vector<Pattern> out;
+  index->CollectSubsumed(P({"*"}), false, &out);
+  EXPECT_EQ(out.size(), 1u);  // (*) subsumes (d)
+}
+
+TEST_P(PatternIndexTest, CollectSubsumers) {
+  auto index = Make(2);
+  index->Insert(P({"*", "*"}));
+  index->Insert(P({"a", "*"}));
+  index->Insert(P({"a", "b"}));
+  index->Insert(P({"c", "*"}));
+  std::vector<Pattern> out;
+  index->CollectSubsumers(P({"a", "b"}), /*strict=*/false, &out);
+  EXPECT_EQ(out.size(), 3u);
+  out.clear();
+  index->CollectSubsumers(P({"a", "b"}), /*strict=*/true, &out);
+  EXPECT_EQ(out.size(), 2u);
+  out.clear();
+  index->CollectSubsumers(P({"*", "*"}), /*strict=*/true, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(PatternIndexTest, ContentsReturnsAllPatterns) {
+  auto index = Make(2);
+  std::vector<Pattern> inserted = {P({"a", "b"}), P({"*", "b"}),
+                                   P({"c", "*"})};
+  for (const auto& p : inserted) index->Insert(p);
+  std::vector<Pattern> contents = index->Contents();
+  ASSERT_EQ(contents.size(), 3u);
+  for (const auto& p : inserted) {
+    EXPECT_NE(std::find(contents.begin(), contents.end(), p),
+              contents.end());
+  }
+}
+
+TEST_P(PatternIndexTest, MemoryAccountingGrowsAndShrinks) {
+  auto index = Make(3);
+  size_t empty = index->ApproxMemoryBytes();
+  index->Insert(P({"a", "b", "c"}));
+  index->Insert(P({"a", "*", "*"}));
+  size_t loaded = index->ApproxMemoryBytes();
+  EXPECT_GT(loaded, empty);
+}
+
+TEST_P(PatternIndexTest, WideConstantHeavyPatterns) {
+  // Patterns with more than 20 constants trigger the hash index's
+  // linear-scan fallback (2^c generalization probes would exceed it);
+  // every structure must still answer correctly.
+  const size_t arity = 24;
+  auto index = Make(arity);
+  auto constant_pattern = [&](const char* base) {
+    std::vector<Pattern::Cell> cells;
+    for (size_t i = 0; i < arity; ++i) {
+      cells.push_back(Value(std::string(base) + std::to_string(i)));
+    }
+    return Pattern(std::move(cells));
+  };
+  Pattern a = constant_pattern("x");
+  Pattern general = a.WithWildcard(3).WithWildcard(17);
+  index->Insert(general);
+  EXPECT_TRUE(index->HasSubsumer(a, /*strict=*/true));
+  EXPECT_FALSE(index->HasSubsumer(constant_pattern("y"), false));
+  std::vector<Pattern> out;
+  index->CollectSubsumers(a, /*strict=*/false, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], general);
+}
+
+TEST_P(PatternIndexTest, RandomizedDifferentialAgainstLinear) {
+  // The linear index is the trivially correct baseline; every structure
+  // must agree with it on random workloads of inserts, removes, checks
+  // and retrievals.
+  Rng rng(12345 + static_cast<uint64_t>(GetParam()));
+  auto index = Make(4);
+  LinearIndex reference(4);
+  for (int step = 0; step < 2000; ++step) {
+    Pattern p = RandomPattern(&rng, 4, 3, 0.4);
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        index->Insert(p);
+        reference.Insert(p);
+        break;
+      case 1: {
+        bool removed_a = index->Remove(p);
+        bool removed_b = reference.Remove(p);
+        ASSERT_EQ(removed_a, removed_b) << "step " << step;
+        break;
+      }
+      case 2: {
+        bool strict = rng.Bernoulli(0.5);
+        ASSERT_EQ(index->HasSubsumer(p, strict),
+                  reference.HasSubsumer(p, strict))
+            << "step " << step << " probe " << p.ToString();
+        break;
+      }
+      case 3: {
+        bool strict = rng.Bernoulli(0.5);
+        std::vector<Pattern> a;
+        std::vector<Pattern> b;
+        if (rng.Bernoulli(0.5)) {
+          index->CollectSubsumed(p, strict, &a);
+          reference.CollectSubsumed(p, strict, &b);
+        } else {
+          index->CollectSubsumers(p, strict, &a);
+          reference.CollectSubsumers(p, strict, &b);
+        }
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        ASSERT_EQ(a, b) << "step " << step << " probe " << p.ToString();
+        break;
+      }
+    }
+    ASSERT_EQ(index->size(), reference.size()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStructures, PatternIndexTest,
+    ::testing::Values(PatternIndexKind::kLinearList,
+                      PatternIndexKind::kHashTable,
+                      PatternIndexKind::kPathIndex,
+                      PatternIndexKind::kDiscriminationTree),
+    [](const ::testing::TestParamInfo<PatternIndexKind>& info) {
+      return PatternIndexKindName(info.param) == std::string("linear list")
+                 ? "LinearList"
+             : info.param == PatternIndexKind::kHashTable    ? "HashTable"
+             : info.param == PatternIndexKind::kPathIndex    ? "PathIndex"
+                                                             : "DiscTree";
+    });
+
+}  // namespace
+}  // namespace pcdb

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "pattern/minimize.h"
+
+namespace pcdb {
+namespace {
+
+Pattern P(const std::vector<std::string>& fields) {
+  std::vector<Pattern::Cell> cells;
+  for (const auto& f : fields) {
+    if (f == "*") {
+      cells.push_back(Pattern::Wildcard());
+    } else {
+      cells.push_back(Value(f));
+    }
+  }
+  return Pattern(std::move(cells));
+}
+
+using Method = std::pair<MinimizeApproach, PatternIndexKind>;
+
+class MinimizeMethodTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(MinimizeMethodTest, DropsSubsumedPatterns) {
+  auto [approach, kind] = GetParam();
+  PatternSet input;
+  input.Add(P({"a", "b"}));
+  input.Add(P({"a", "*"}));  // subsumes (a, b)
+  input.Add(P({"c", "d"}));
+  PatternSet out = Minimize(input, approach, kind);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out.Contains(P({"a", "*"})));
+  EXPECT_TRUE(out.Contains(P({"c", "d"})));
+  EXPECT_TRUE(IsMinimal(out));
+}
+
+TEST_P(MinimizeMethodTest, RemovesDuplicates) {
+  auto [approach, kind] = GetParam();
+  PatternSet input;
+  input.Add(P({"a", "*"}));
+  input.Add(P({"a", "*"}));
+  PatternSet out = Minimize(input, approach, kind);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_P(MinimizeMethodTest, AllWildcardsDominatesEverything) {
+  auto [approach, kind] = GetParam();
+  PatternSet input;
+  input.Add(P({"a", "b"}));
+  input.Add(P({"*", "*"}));
+  input.Add(P({"*", "c"}));
+  PatternSet out = Minimize(input, approach, kind);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], P({"*", "*"}));
+}
+
+TEST_P(MinimizeMethodTest, EmptyInput) {
+  auto [approach, kind] = GetParam();
+  EXPECT_TRUE(Minimize(PatternSet(), approach, kind).empty());
+}
+
+TEST_P(MinimizeMethodTest, AlreadyMinimalIsPreserved) {
+  auto [approach, kind] = GetParam();
+  PatternSet input;
+  input.Add(P({"a", "*"}));
+  input.Add(P({"*", "b"}));
+  input.Add(P({"c", "d"}));  // incomparable with both
+  PatternSet out = Minimize(input, approach, kind);
+  EXPECT_TRUE(out.SetEquals(input));
+}
+
+TEST_P(MinimizeMethodTest, RandomizedAgreesWithBruteForce) {
+  auto [approach, kind] = GetParam();
+  Rng rng(99 + static_cast<uint64_t>(kind) * 10 +
+          static_cast<uint64_t>(approach));
+  for (int round = 0; round < 30; ++round) {
+    PatternSet input;
+    const int n = static_cast<int>(rng.UniformInt(0, 60));
+    for (int i = 0; i < n; ++i) {
+      std::vector<Pattern::Cell> cells;
+      for (int j = 0; j < 3; ++j) {
+        if (rng.Bernoulli(0.45)) {
+          cells.push_back(Pattern::Wildcard());
+        } else {
+          cells.push_back(
+              Value("v" + std::to_string(rng.UniformInt(0, 2))));
+        }
+      }
+      input.Add(Pattern(std::move(cells)));
+    }
+    // Brute force: keep patterns not strictly subsumed, dedup.
+    PatternSet expected;
+    for (const Pattern& p : input) {
+      bool maximal = true;
+      for (const Pattern& q : input) {
+        if (q.StrictlySubsumes(p)) {
+          maximal = false;
+          break;
+        }
+      }
+      if (maximal) expected.AddUnique(p);
+    }
+    PatternSet out = Minimize(input, approach, kind);
+    EXPECT_TRUE(out.SetEquals(expected))
+        << "round " << round << " method "
+        << MinimizeMethodName(kind, approach) << "\ninput:\n"
+        << input.ToString() << "got:\n"
+        << out.ToString() << "expected:\n"
+        << expected.ToString();
+  }
+}
+
+std::vector<Method> AllMethods() {
+  std::vector<Method> methods;
+  for (auto approach :
+       {MinimizeApproach::kAllAtOnce, MinimizeApproach::kIncremental,
+        MinimizeApproach::kSortedIncremental}) {
+    for (auto kind :
+         {PatternIndexKind::kLinearList, PatternIndexKind::kHashTable,
+          PatternIndexKind::kPathIndex,
+          PatternIndexKind::kDiscriminationTree}) {
+      methods.emplace_back(approach, kind);
+    }
+  }
+  return methods;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, MinimizeMethodTest,
+                         ::testing::ValuesIn(AllMethods()),
+                         [](const ::testing::TestParamInfo<Method>& info) {
+                           return MinimizeMethodName(info.param.second,
+                                                     info.param.first);
+                         });
+
+TEST(MinimizeTest, MethodNames) {
+  EXPECT_EQ(MinimizeMethodName(PatternIndexKind::kDiscriminationTree,
+                               MinimizeApproach::kAllAtOnce),
+            "D1");
+  EXPECT_EQ(MinimizeMethodName(PatternIndexKind::kHashTable,
+                               MinimizeApproach::kSortedIncremental),
+            "B3");
+}
+
+TEST(MinimizeTest, StatsArePopulated) {
+  PatternSet input;
+  input.Add(P({"a", "b"}));
+  input.Add(P({"a", "*"}));
+  input.Add(P({"*", "*"}));
+  MinimizeStats stats;
+  PatternSet out = Minimize(input, MinimizeApproach::kAllAtOnce,
+                            PatternIndexKind::kDiscriminationTree, &stats);
+  EXPECT_EQ(stats.output_size, 1u);
+  EXPECT_EQ(stats.peak_index_size, 3u);
+  EXPECT_GT(stats.peak_memory_bytes, 0u);
+  EXPECT_GE(stats.millis, 0.0);
+}
+
+TEST(MinimizeTest, SortedApproachesUseLessPeakSpaceOnRedundantInput) {
+  // The paper's Fig. 5 observation: incremental/sorted methods only hold
+  // the maximal patterns; all-at-once holds everything.
+  PatternSet input;
+  input.Add(P({"*", "*", "*"}));
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    input.Add(P({"v" + std::to_string(rng.UniformInt(0, 4)),
+                 "v" + std::to_string(rng.UniformInt(0, 4)),
+                 "v" + std::to_string(rng.UniformInt(0, 4))}));
+  }
+  MinimizeStats all_stats;
+  MinimizeStats sorted_stats;
+  Minimize(input, MinimizeApproach::kAllAtOnce,
+           PatternIndexKind::kDiscriminationTree, &all_stats);
+  Minimize(input, MinimizeApproach::kSortedIncremental,
+           PatternIndexKind::kDiscriminationTree, &sorted_stats);
+  EXPECT_EQ(sorted_stats.peak_index_size, 1u);  // only (*,*,*) survives
+  // All-at-once holds every distinct input pattern at once.
+  EXPECT_GT(all_stats.peak_index_size, 50u);
+}
+
+TEST(MinimizeTest, IsMinimalDetectsViolations) {
+  PatternSet with_dup;
+  with_dup.Add(P({"a"}));
+  with_dup.Add(P({"a"}));
+  EXPECT_FALSE(IsMinimal(with_dup));
+  PatternSet with_subsumed;
+  with_subsumed.Add(P({"a"}));
+  with_subsumed.Add(P({"*"}));
+  EXPECT_FALSE(IsMinimal(with_subsumed));
+  PatternSet ok;
+  ok.Add(P({"a"}));
+  ok.Add(P({"b"}));
+  EXPECT_TRUE(IsMinimal(ok));
+}
+
+}  // namespace
+}  // namespace pcdb

@@ -1,0 +1,115 @@
+// Coverage for the small support pieces: domain registry, timers, table
+// rendering, annotated-table rendering, and a storage round-trip fuzz
+// with adversarial strings.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "pattern/domain.h"
+#include "pattern/storage.h"
+#include "relational/table.h"
+
+namespace pcdb {
+namespace {
+
+/// Prevents the optimizer from deleting a computation feeding a timer.
+void benchmark_do_not_optimize(double& value) {
+  asm volatile("" : "+m"(value));
+}
+
+TEST(DomainRegistryTest, ExactAndBaseNameLookup) {
+  DomainRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  registry.SetDomain("day", {Value("Mon"), Value("Tue")});
+  ASSERT_NE(registry.Lookup("day"), nullptr);
+  EXPECT_EQ(registry.Lookup("day")->size(), 2u);
+  // Qualified lookups fall back to the base name.
+  ASSERT_NE(registry.Lookup("W.day"), nullptr);
+  EXPECT_EQ(registry.Lookup("W.day")->size(), 2u);
+  EXPECT_EQ(registry.Lookup("week"), nullptr);
+  EXPECT_FALSE(registry.empty());
+}
+
+TEST(DomainRegistryTest, QualifiedRegistrationBeatsBaseName) {
+  DomainRegistry registry;
+  registry.SetDomain("day", {Value("Mon")});
+  registry.SetDomain("W.day", {Value("Mon"), Value("Tue"), Value("Wed")});
+  EXPECT_EQ(registry.Lookup("W.day")->size(), 3u);
+  EXPECT_EQ(registry.Lookup("day")->size(), 1u);
+  EXPECT_EQ(registry.Lookup("X.day")->size(), 1u);  // falls back to base
+}
+
+TEST(DomainRegistryTest, SetDomainReplaces) {
+  DomainRegistry registry;
+  registry.SetDomain("a", {Value(1)});
+  registry.SetDomain("a", {Value(1), Value(2)});
+  EXPECT_EQ(registry.Lookup("a")->size(), 2u);
+}
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  benchmark_do_not_optimize(sink);
+  EXPECT_GT(timer.ElapsedMicros(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), 0.0);
+  double before = timer.ElapsedMicros();
+  timer.Reset();
+  EXPECT_LE(timer.ElapsedMicros(), before + 1e6);
+}
+
+TEST(TableRenderTest, TruncatesLongTables) {
+  Table t(Schema({{"n", ValueType::kInt64}}));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Append({Value(i)}).ok());
+  }
+  std::string rendered = t.ToString(/*max_rows=*/3);
+  EXPECT_NE(rendered.find("(7 more rows)"), std::string::npos);
+  EXPECT_NE(rendered.find("| n |"), std::string::npos);
+}
+
+TEST(StorageFuzzTest, AdversarialStringsRoundTrip) {
+  Rng rng(13579);
+  const std::vector<std::string> nasty = {
+      "*",    "\\",  "|",        "\\*", "a|b",  "*|*",
+      "\\\\", "x*y", "trailing\\", "",   "pipe|", "norm"};
+  auto dir = std::filesystem::temp_directory_path() / "pcdb_storage_fuzz";
+  for (int round = 0; round < 25; ++round) {
+    std::filesystem::remove_all(dir);
+    AnnotatedDatabase adb;
+    ASSERT_TRUE(adb.CreateTable("t", Schema({{"a", ValueType::kString},
+                                             {"b", ValueType::kString}}))
+                    .ok());
+    int rows = static_cast<int>(rng.UniformInt(0, 6));
+    for (int i = 0; i < rows; ++i) {
+      ASSERT_TRUE(
+          adb.AddRow("t", {rng.Pick(nasty), rng.Pick(nasty)}).ok());
+    }
+    int patterns = static_cast<int>(rng.UniformInt(0, 4));
+    for (int i = 0; i < patterns; ++i) {
+      std::vector<Pattern::Cell> cells;
+      for (int j = 0; j < 2; ++j) {
+        cells.push_back(rng.Bernoulli(0.4)
+                            ? Pattern::Wildcard()
+                            : Pattern::Cell(Value(rng.Pick(nasty))));
+      }
+      ASSERT_TRUE(adb.AddPattern("t", Pattern(std::move(cells))).ok());
+    }
+    ASSERT_TRUE(SaveAnnotatedDatabase(adb, dir.string()).ok());
+    auto loaded = LoadAnnotatedDatabase(dir.string());
+    ASSERT_TRUE(loaded.ok()) << "round " << round << ": "
+                             << loaded.status().ToString();
+    EXPECT_TRUE((*loaded->database().GetTable("t"))
+                    ->BagEquals(**adb.database().GetTable("t")))
+        << "round " << round;
+    EXPECT_TRUE(loaded->patterns("t").SetEquals(adb.patterns("t")))
+        << "round " << round;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pcdb

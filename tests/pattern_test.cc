@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "pattern/pattern.h"
+
+namespace pcdb {
+namespace {
+
+Pattern P(const std::vector<std::string>& fields) {
+  std::vector<Pattern::Cell> cells;
+  for (const auto& f : fields) {
+    if (f == "*") {
+      cells.push_back(Pattern::Wildcard());
+    } else {
+      cells.push_back(Value(f));
+    }
+  }
+  return Pattern(std::move(cells));
+}
+
+TEST(PatternTest, ParseAgainstSchema) {
+  Schema schema({{"day", ValueType::kString}, {"week", ValueType::kInt64}});
+  auto p = Pattern::Parse({"Mon", "2"}, schema);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->value(0), Value("Mon"));
+  EXPECT_EQ(p->value(1), Value(2));
+  auto wild = Pattern::Parse({"*", "*"}, schema);
+  ASSERT_TRUE(wild.ok());
+  EXPECT_TRUE(wild->IsAllWildcards());
+  EXPECT_FALSE(Pattern::Parse({"Mon"}, schema).ok());       // arity
+  EXPECT_FALSE(Pattern::Parse({"Mon", "x"}, schema).ok());  // type
+}
+
+TEST(PatternTest, WildcardCounting) {
+  Pattern p = P({"a", "*", "b", "*"});
+  EXPECT_EQ(p.arity(), 4u);
+  EXPECT_EQ(p.NumWildcards(), 2u);
+  EXPECT_EQ(p.NumConstants(), 2u);
+  EXPECT_TRUE(p.IsWildcard(1));
+  EXPECT_FALSE(p.IsWildcard(0));
+  EXPECT_FALSE(p.IsAllWildcards());
+  EXPECT_TRUE(Pattern::AllWildcards(3).IsAllWildcards());
+}
+
+TEST(PatternTest, SubsumptionBasics) {
+  // From §3.2: (∗, A, ∗) subsumes (∗, A, unknown).
+  EXPECT_TRUE(P({"*", "A", "*"}).Subsumes(P({"*", "A", "unknown"})));
+  EXPECT_FALSE(P({"*", "A", "unknown"}).Subsumes(P({"*", "A", "*"})));
+  EXPECT_TRUE(P({"*", "*"}).Subsumes(P({"a", "b"})));
+  EXPECT_FALSE(P({"a", "*"}).Subsumes(P({"b", "*"})));
+  // Reflexive.
+  EXPECT_TRUE(P({"a", "*"}).Subsumes(P({"a", "*"})));
+  EXPECT_FALSE(P({"a", "*"}).StrictlySubsumes(P({"a", "*"})));
+}
+
+TEST(PatternTest, SubsumptionIsPartialOrder) {
+  std::vector<Pattern> ps = {P({"*", "*"}), P({"a", "*"}), P({"a", "b"}),
+                             P({"*", "b"}), P({"c", "*"})};
+  for (const auto& x : ps) {
+    EXPECT_TRUE(x.Subsumes(x));
+    for (const auto& y : ps) {
+      if (x.Subsumes(y) && y.Subsumes(x)) {
+        EXPECT_EQ(x, y);
+      }
+      for (const auto& z : ps) {
+        if (x.Subsumes(y) && y.Subsumes(z)) {
+          EXPECT_TRUE(x.Subsumes(z));
+        }
+      }
+    }
+  }
+}
+
+TEST(PatternTest, SubsumesTuple) {
+  Tuple t = {Value("Mon"), Value(2)};
+  std::vector<Pattern::Cell> cells = {Value("Mon"), Pattern::Wildcard()};
+  EXPECT_TRUE(Pattern(cells).SubsumesTuple(t));
+  cells[0] = Value("Tue");
+  EXPECT_FALSE(Pattern(cells).SubsumesTuple(t));
+  EXPECT_TRUE(Pattern::AllWildcards(2).SubsumesTuple(t));
+}
+
+TEST(PatternTest, FromTupleSubsumedByItsOwnGeneralizations) {
+  Tuple t = {Value("x"), Value("y")};
+  Pattern p = Pattern::FromTuple(t);
+  EXPECT_TRUE(p.SubsumesTuple(t));
+  EXPECT_TRUE(p.WithWildcard(0).SubsumesTuple(t));
+  EXPECT_TRUE(p.WithWildcard(0).StrictlySubsumes(p));
+}
+
+TEST(PatternTest, CellEditing) {
+  Pattern p = P({"a", "b"});
+  EXPECT_EQ(p.WithWildcard(0), P({"*", "b"}));
+  EXPECT_EQ(p.WithValue(0, Value("c")), P({"c", "b"}));
+  EXPECT_EQ(p.WithSwapped(0, 1), P({"b", "a"}));
+  EXPECT_EQ(p.WithoutPosition(0), P({"b"}));
+  EXPECT_EQ(p.Concat(P({"*"})), P({"a", "b", "*"}));
+  // Originals unchanged (copy semantics).
+  EXPECT_EQ(p, P({"a", "b"}));
+}
+
+TEST(PatternTest, Unification) {
+  // The §5.1 example: {(∗,c,∗), (∗,∗,d)} unifies to (∗,c,d).
+  Pattern a = P({"*", "c", "*"});
+  Pattern b = P({"*", "*", "d"});
+  ASSERT_TRUE(a.UnifiableWith(b));
+  EXPECT_EQ(a.UnifyWith(b), P({"*", "c", "d"}));
+  EXPECT_EQ(b.UnifyWith(a), P({"*", "c", "d"}));
+  // Conflicting constants are not unifiable.
+  EXPECT_FALSE(P({"c", "*"}).UnifiableWith(P({"d", "*"})));
+  // The unifier is subsumed by both inputs.
+  EXPECT_TRUE(a.Subsumes(a.UnifyWith(b)));
+  EXPECT_TRUE(b.Subsumes(a.UnifyWith(b)));
+}
+
+TEST(PatternTest, ToStringRendersWildcards) {
+  EXPECT_EQ(P({"Mon", "*"}).ToString(), "(Mon, *)");
+}
+
+TEST(PatternTest, HashEqualityContract) {
+  EXPECT_EQ(P({"a", "*"}).Hash(), P({"a", "*"}).Hash());
+  EXPECT_NE(P({"a", "*"}), P({"*", "a"}));
+}
+
+TEST(PatternTest, OrderingWildcardFirst) {
+  EXPECT_LT(P({"*", "b"}), P({"a", "b"}));
+  EXPECT_LT(P({"a", "a"}), P({"a", "b"}));
+}
+
+TEST(PatternSetTest, AddUniqueAndContains) {
+  PatternSet s;
+  s.AddUnique(P({"a", "*"}));
+  s.AddUnique(P({"a", "*"}));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.Contains(P({"a", "*"})));
+  EXPECT_FALSE(s.Contains(P({"b", "*"})));
+}
+
+TEST(PatternSetTest, AnySubsumes) {
+  PatternSet s;
+  s.Add(P({"a", "*"}));
+  s.Add(P({"*", "b"}));
+  EXPECT_TRUE(s.AnySubsumes(P({"a", "c"})));
+  EXPECT_TRUE(s.AnySubsumes(P({"c", "b"})));
+  EXPECT_FALSE(s.AnySubsumes(P({"c", "c"})));
+}
+
+TEST(PatternSetTest, AnySubsumesTuple) {
+  PatternSet s;
+  s.Add(P({"a", "*"}));
+  EXPECT_TRUE(s.AnySubsumesTuple({Value("a"), Value("z")}));
+  EXPECT_FALSE(s.AnySubsumesTuple({Value("b"), Value("z")}));
+}
+
+TEST(PatternSetTest, SetEqualsIgnoresOrder) {
+  PatternSet a;
+  a.Add(P({"a", "*"}));
+  a.Add(P({"*", "b"}));
+  PatternSet b;
+  b.Add(P({"*", "b"}));
+  b.Add(P({"a", "*"}));
+  EXPECT_TRUE(a.SetEquals(b));
+  b.Add(P({"c", "*"}));
+  EXPECT_FALSE(a.SetEquals(b));
+}
+
+}  // namespace
+}  // namespace pcdb

@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "pattern/minimize.h"
+#include "pattern/promotion.h"
+
+namespace pcdb {
+namespace {
+
+Pattern P(const std::vector<std::string>& fields) {
+  std::vector<Pattern::Cell> cells;
+  for (const auto& f : fields) {
+    if (f == "*") {
+      cells.push_back(Pattern::Wildcard());
+    } else {
+      cells.push_back(Value(f));
+    }
+  }
+  return Pattern(std::move(cells));
+}
+
+/// The extended example of §5.1: R(A,B,C) with patterns p1=(a,c,∗),
+/// p2=(b,∗,d), p3=(a,e,d); R'(A',B') with rows (a,g),(b,g),(c,h) and
+/// pattern p0=(∗,g); join R.A = R'.A'.
+struct Section51Example {
+  Section51Example() {
+    r_patterns.Add(P({"a", "c", "*"}));
+    r_patterns.Add(P({"b", "*", "d"}));
+    r_patterns.Add(P({"a", "e", "d"}));
+    rp_patterns.Add(P({"*", "g"}));
+    rp_data = Table(Schema(
+        {{"A2", ValueType::kString}, {"B2", ValueType::kString}}));
+    PCDB_CHECK(rp_data.Append({"a", "g"}).ok());
+    PCDB_CHECK(rp_data.Append({"b", "g"}).ok());
+    PCDB_CHECK(rp_data.Append({"c", "h"}).ok());
+    r_data = Table(Schema({{"A", ValueType::kString},
+                           {"B", ValueType::kString},
+                           {"C", ValueType::kString}}));
+  }
+
+  PatternSet r_patterns;
+  PatternSet rp_patterns;
+  Table r_data;
+  Table rp_data;
+};
+
+TEST(PromotionTest, Section51ExtendedExample) {
+  Section51Example ex;
+  PromotionStats stats;
+  auto promoted = PromoteOneDirection(ex.rp_patterns, 0, ex.rp_data,
+                                      ex.r_patterns, 0, PromotionOptions{},
+                                      &stats);
+  // The paper derives exactly the unifiers (∗,c,d) and (∗,e,d).
+  ASSERT_EQ(promoted.size(), 2u);
+  PatternSet unifiers;
+  for (const auto& [u, p0_index] : promoted) {
+    unifiers.Add(u);
+    EXPECT_EQ(p0_index, 0u);
+  }
+  EXPECT_TRUE(unifiers.Contains(P({"*", "c", "d"})));
+  EXPECT_TRUE(unifiers.Contains(P({"*", "e", "d"})));
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.trivial_failures, 0u);
+  EXPECT_GT(stats.choice_sets_tested, 0u);
+}
+
+TEST(PromotionTest, Section51FullJoinOutput) {
+  Section51Example ex;
+  PatternSet out = InstanceAwarePatternJoin(ex.r_patterns, 0, ex.r_data,
+                                            ex.rp_patterns, 0, ex.rp_data);
+  // Promoted patterns (∗,c,d,∗,g) and (∗,e,d,∗,g) appear in the result.
+  EXPECT_TRUE(out.Contains(P({"*", "c", "d", "*", "g"})))
+      << out.ToString();
+  EXPECT_TRUE(out.Contains(P({"*", "e", "d", "*", "g"})))
+      << out.ToString();
+}
+
+TEST(PromotionTest, MotivatingExampleSummarizesTeams) {
+  // Example 9: M(ID, resp, reason) with (∗,A,∗),(∗,B,∗) patterns joined
+  // with the complete σ_spec=hw(T) whose data has exactly teams A and B
+  // promotes to the all-wildcard pattern.
+  PatternSet maint;
+  maint.Add(P({"*", "A", "*"}));
+  maint.Add(P({"*", "B", "*"}));
+  maint.Add(P({"*", "C", "*"}));
+  Table maint_data(Schema({{"ID", ValueType::kString},
+                           {"responsible", ValueType::kString},
+                           {"reason", ValueType::kString}}));
+  ASSERT_TRUE(maint_data.Append({"tw37", "A", "disk failure"}).ok());
+  ASSERT_TRUE(maint_data.Append({"tw83", "B", "unknown"}).ok());
+  PatternSet teams;
+  teams.Add(P({"*", "*"}));
+  Table teams_data(Schema({{"name", ValueType::kString},
+                           {"specialization", ValueType::kString}}));
+  ASSERT_TRUE(teams_data.Append({"A", "hardware"}).ok());
+  ASSERT_TRUE(teams_data.Append({"B", "hardware"}).ok());
+
+  PatternSet out = InstanceAwarePatternJoin(maint, 1, maint_data, teams, 0,
+                                            teams_data);
+  PatternSet minimized = Minimize(out);
+  // "The entire result of the join is complete": (∗,∗,∗,∗,∗).
+  ASSERT_EQ(minimized.size(), 1u);
+  EXPECT_EQ(minimized[0], Pattern::AllWildcards(5));
+}
+
+TEST(PromotionTest, EmptyAllowableDomainYieldsVacuousPattern) {
+  // If no source row matches p0, the p0-part of the join is empty and
+  // complete forever: the fully general target pattern is sound.
+  PatternSet source;
+  source.Add(P({"*", "g"}));
+  Table source_data(
+      Schema({{"A2", ValueType::kString}, {"B2", ValueType::kString}}));
+  ASSERT_TRUE(source_data.Append({"a", "h"}).ok());  // no row matches (∗,g)
+  PatternSet target;
+  target.Add(P({"x", "y"}));
+  auto promoted = PromoteOneDirection(source, 0, source_data, target, 0,
+                                      PromotionOptions{}, nullptr);
+  ASSERT_EQ(promoted.size(), 1u);
+  EXPECT_EQ(promoted[0].first, Pattern::AllWildcards(2));
+}
+
+TEST(PromotionTest, TrivialFailureWhenASetEmpty) {
+  PatternSet source;
+  source.Add(P({"*", "g"}));
+  Table source_data(
+      Schema({{"A2", ValueType::kString}, {"B2", ValueType::kString}}));
+  ASSERT_TRUE(source_data.Append({"a", "g"}).ok());
+  ASSERT_TRUE(source_data.Append({"b", "g"}).ok());
+  PatternSet target;
+  target.Add(P({"a", "x"}));  // covers value a only; no pattern for b
+  PromotionStats stats;
+  auto promoted = PromoteOneDirection(source, 0, source_data, target, 0,
+                                      PromotionOptions{}, &stats);
+  EXPECT_TRUE(promoted.empty());
+  EXPECT_EQ(stats.trivial_failures, 1u);
+}
+
+TEST(PromotionTest, SourcePatternsWithConstantAtJoinDoNotPromote) {
+  PatternSet source;
+  source.Add(P({"a", "g"}));  // constant at the join attribute
+  Table source_data(
+      Schema({{"A2", ValueType::kString}, {"B2", ValueType::kString}}));
+  ASSERT_TRUE(source_data.Append({"a", "g"}).ok());
+  PatternSet target;
+  target.Add(P({"a", "x"}));
+  PromotionStats stats;
+  auto promoted = PromoteOneDirection(source, 0, source_data, target, 0,
+                                      PromotionOptions{}, &stats);
+  EXPECT_TRUE(promoted.empty());
+  EXPECT_EQ(stats.attempts, 0u);
+}
+
+TEST(PromotionTest, WildcardTargetPatternsFillChoiceSets) {
+  // A target pattern with '*' at the join attribute can stand in for any
+  // required value.
+  PatternSet source;
+  source.Add(P({"*", "g"}));
+  Table source_data(
+      Schema({{"A2", ValueType::kString}, {"B2", ValueType::kString}}));
+  ASSERT_TRUE(source_data.Append({"a", "g"}).ok());
+  ASSERT_TRUE(source_data.Append({"b", "g"}).ok());
+  PatternSet target;
+  target.Add(P({"a", "c"}));
+  target.Add(P({"*", "*"}));  // covers b (and everything else)
+  auto promoted = PromoteOneDirection(source, 0, source_data, target, 0,
+                                      PromotionOptions{}, nullptr);
+  PatternSet unifiers;
+  for (const auto& [u, i] : promoted) unifiers.Add(u);
+  // Choice {a→(∗,c), b→(∗,∗)} unifies to (∗,c); choice {a→(∗,∗), b→(∗,∗)}
+  // gives (∗,∗), which subsumes (∗,c).
+  EXPECT_TRUE(unifiers.Contains(P({"*", "*"}))) << unifiers.ToString();
+  // Disabling wildcard stand-ins makes the b A-set empty.
+  PromotionOptions no_wild;
+  no_wild.include_wildcard_patterns = false;
+  PromotionStats stats;
+  auto none = PromoteOneDirection(source, 0, source_data, target, 0, no_wild,
+                                  &stats);
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(stats.trivial_failures, 1u);
+}
+
+/// Generates a random promotion scenario and checks that every
+/// optimization configuration yields the same minimized result as the
+/// unoptimized search.
+TEST(PromotionTest, OptimizationsPreserveResults) {
+  Rng rng(4242);
+  for (int round = 0; round < 25; ++round) {
+    // Source side: arity 2, join attr 0.
+    PatternSet source;
+    source.Add(P({"*", "g" + std::to_string(rng.UniformInt(0, 1))}));
+    Table source_data(
+        Schema({{"A2", ValueType::kString}, {"B2", ValueType::kString}}));
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(
+          source_data
+              .Append({"v" + std::to_string(rng.UniformInt(0, 2)),
+                       "g" + std::to_string(rng.UniformInt(0, 1))})
+              .ok());
+    }
+    // Target side: arity 3, join attr 0.
+    PatternSet target;
+    const int n = static_cast<int>(rng.UniformInt(2, 10));
+    for (int i = 0; i < n; ++i) {
+      std::vector<Pattern::Cell> cells;
+      cells.push_back(rng.Bernoulli(0.3)
+                          ? Pattern::Wildcard()
+                          : Pattern::Cell(Value(
+                                "v" + std::to_string(rng.UniformInt(0, 2)))));
+      for (int j = 0; j < 2; ++j) {
+        cells.push_back(rng.Bernoulli(0.5)
+                            ? Pattern::Wildcard()
+                            : Pattern::Cell(Value(
+                                  "w" + std::to_string(rng.UniformInt(0, 2)))));
+      }
+      target.Add(Pattern(std::move(cells)));
+    }
+
+    PromotionOptions baseline;
+    baseline.enable_pruning = false;
+    baseline.enable_subsumption_detection = false;
+    baseline.smallest_sets_first = false;
+    auto collect = [&](const PromotionOptions& opts) {
+      PatternSet set;
+      for (const auto& [u, i] :
+           PromoteOneDirection(source, 0, source_data, target, 0, opts,
+                               nullptr)) {
+        set.Add(u);
+      }
+      return Minimize(set);
+    };
+    PatternSet expected = collect(baseline);
+    for (int mask = 1; mask < 8; ++mask) {
+      PromotionOptions opts;
+      opts.enable_pruning = mask & 1;
+      opts.enable_subsumption_detection = mask & 2;
+      opts.smallest_sets_first = mask & 4;
+      PatternSet got = collect(opts);
+      EXPECT_TRUE(got.SetEquals(expected))
+          << "round " << round << " mask " << mask << "\nexpected:\n"
+          << expected.ToString() << "got:\n"
+          << got.ToString();
+    }
+  }
+}
+
+TEST(PromotionTest, OptimizationsReduceTestedSets) {
+  // The paper reports 40–99% fewer set tests with the optimizations.
+  Section51Example ex;
+  // Enlarge the target side so pruning has something to do.
+  for (int i = 0; i < 6; ++i) {
+    ex.r_patterns.Add(P({"a", "x" + std::to_string(i), "y"}));
+    ex.r_patterns.Add(P({"b", "y" + std::to_string(i), "z"}));
+  }
+  PromotionOptions fast;
+  PromotionStats fast_stats;
+  PromoteOneDirection(ex.rp_patterns, 0, ex.rp_data, ex.r_patterns, 0, fast,
+                      &fast_stats);
+  PromotionOptions slow;
+  slow.enable_pruning = false;
+  slow.enable_subsumption_detection = false;
+  PromotionStats slow_stats;
+  PromoteOneDirection(ex.rp_patterns, 0, ex.rp_data, ex.r_patterns, 0, slow,
+                      &slow_stats);
+  EXPECT_LT(fast_stats.choice_sets_tested, slow_stats.choice_sets_tested);
+  EXPECT_EQ(slow_stats.choice_sets_tested, slow_stats.naive_choice_sets);
+}
+
+TEST(PromotionTest, TimeoutProducesPartialSoundResult) {
+  // A pathological instance with a huge choice-set space and a timeout
+  // that must fire.
+  PatternSet source;
+  source.Add(P({"*", "g"}));
+  Table source_data(
+      Schema({{"A2", ValueType::kString}, {"B2", ValueType::kString}}));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(source_data.Append({"v" + std::to_string(i), "g"}).ok());
+  }
+  PatternSet target;
+  for (int v = 0; v < 8; ++v) {
+    for (int j = 0; j < 40; ++j) {
+      target.Add(P({"v" + std::to_string(v), "b" + std::to_string(j),
+                    "c" + std::to_string(j % 3)}));
+    }
+  }
+  PromotionOptions opts;
+  opts.timeout_millis = 0.01;
+  opts.enable_subsumption_detection = false;
+  PromotionStats stats;
+  PromoteOneDirection(source, 0, source_data, target, 0, opts, &stats);
+  EXPECT_TRUE(stats.timed_out);
+}
+
+TEST(PromotionTest, PromotedPatternsShrinkMinimizedOutput) {
+  // Table 9's observation: promotion *reduces* the minimized output size
+  // because promoted patterns subsume regular join outputs.
+  PatternSet maint;
+  for (const char* team : {"A", "B"}) {
+    for (int i = 0; i < 3; ++i) {
+      maint.Add(P({"id" + std::to_string(i), team, "*"}));
+    }
+    maint.Add(P({"*", team, "*"}));
+  }
+  Table maint_data(Schema({{"ID", ValueType::kString},
+                           {"responsible", ValueType::kString},
+                           {"reason", ValueType::kString}}));
+  ASSERT_TRUE(maint_data.Append({"id0", "A", "r"}).ok());
+  ASSERT_TRUE(maint_data.Append({"id1", "B", "r"}).ok());
+  PatternSet teams;
+  teams.Add(P({"*", "*"}));
+  Table teams_data(Schema({{"name", ValueType::kString},
+                           {"spec", ValueType::kString}}));
+  ASSERT_TRUE(teams_data.Append({"A", "hw"}).ok());
+  ASSERT_TRUE(teams_data.Append({"B", "hw"}).ok());
+
+  PatternSet plain = Minimize(PatternJoin(maint, 1, teams, 0));
+  PatternSet aware = Minimize(InstanceAwarePatternJoin(
+      maint, 1, maint_data, teams, 0, teams_data));
+  EXPECT_LT(aware.size(), plain.size());
+  // Everything the plain join asserts is still covered.
+  for (const Pattern& p : plain) {
+    EXPECT_TRUE(aware.AnySubsumes(p)) << p.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace pcdb

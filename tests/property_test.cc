@@ -1,0 +1,307 @@
+// Property tests that check whole-algorithm invariants against brute
+// force on small instances.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "pattern/annotated_eval.h"
+#include "pattern/entailment.h"
+#include "pattern/minimize.h"
+#include "workloads/drop_simulation.h"
+
+namespace pcdb {
+namespace {
+
+/// All patterns over the given per-position domains (each cell is the
+/// wildcard or a domain value) — the full pattern space for brute force.
+std::vector<Pattern> AllPatterns(
+    const std::vector<std::vector<Value>>& domains) {
+  std::vector<Pattern> out = {Pattern::AllWildcards(0)};
+  for (const std::vector<Value>& domain : domains) {
+    std::vector<Pattern> next;
+    for (const Pattern& prefix : out) {
+      next.push_back(prefix.Concat(Pattern::AllWildcards(1)));
+      for (const Value& v : domain) {
+        next.push_back(
+            prefix.Concat(Pattern::AllWildcards(1).WithValue(0, v)));
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+TEST(DropSimulatorBruteForceTest, MaintainsExactlyTheMaximalValidPatterns) {
+  // The §4.3 generator claims to maintain "all possible most general
+  // specializations that continue to hold" — i.e. exactly the maximal
+  // patterns subsuming no dropped combination. Brute-force that claim
+  // over a small domain and random drop sequences.
+  std::vector<std::vector<Value>> domains = {
+      {Value("a"), Value("b")},
+      {Value("x"), Value("y"), Value("z")},
+      {Value("0"), Value("1")},
+  };
+  std::vector<Pattern> space = AllPatterns(domains);
+  ASSERT_EQ(space.size(), 3u * 4u * 3u);
+
+  Rng rng(2468);
+  for (int round = 0; round < 15; ++round) {
+    // A random table over the domain (rows may repeat combos).
+    Table table(Schema({{"c0", ValueType::kString},
+                        {"c1", ValueType::kString},
+                        {"c2", ValueType::kString}}));
+    const int rows = 8;
+    for (int r = 0; r < rows; ++r) {
+      ASSERT_TRUE(table
+                      .Append({rng.Pick(domains[0]), rng.Pick(domains[1]),
+                               rng.Pick(domains[2])})
+                      .ok());
+    }
+    DropSimulator sim(table, {0, 1, 2}, domains);
+    std::vector<Tuple> dropped;
+    for (int step = 0; step < 5; ++step) {
+      size_t row = rng.UniformUint64(table.num_rows());
+      if (!sim.IsDropped(row)) dropped.push_back(table.row(row));
+      sim.DropRow(row);
+
+      // Brute force: valid = subsumes no dropped combo; expected =
+      // maximal valid patterns.
+      PatternSet valid;
+      for (const Pattern& p : space) {
+        bool ok = true;
+        for (const Tuple& combo : dropped) {
+          if (p.SubsumesTuple(combo)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) valid.Add(p);
+      }
+      PatternSet expected = Minimize(valid);
+      EXPECT_TRUE(sim.patterns().SetEquals(expected))
+          << "round " << round << " step " << step << "\nsimulator:\n"
+          << sim.patterns().ToString() << "expected:\n"
+          << expected.ToString();
+    }
+  }
+}
+
+TEST(ZombieSoundnessPropertyTest, ZombiePatternsAreEntailed) {
+  // Zombie patterns (Appendix E) assert completeness of slices that can
+  // never be populated; verify against the candidate-completion model
+  // checker on random instances with known attribute domains.
+  Rng rng(1357);
+  const std::vector<std::string> values = {"u", "v", "w"};
+  int checked = 0;
+  for (int round = 0; round < 15; ++round) {
+    AnnotatedDatabase adb;
+    ASSERT_TRUE(adb.CreateTable("R", Schema({{"a", ValueType::kString},
+                                             {"b", ValueType::kString}}))
+                    .ok());
+    ASSERT_TRUE(adb.CreateTable("S", Schema({{"c", ValueType::kString},
+                                             {"d", ValueType::kString}}))
+                    .ok());
+    std::vector<Value> domain;
+    for (const std::string& v : values) domain.push_back(Value(v));
+    adb.domains().SetDomain("a", domain);
+    adb.domains().SetDomain("b", domain);
+    adb.domains().SetDomain("c", domain);
+    adb.domains().SetDomain("d", domain);
+    for (const char* table : {"R", "S"}) {
+      int n = static_cast<int>(rng.UniformInt(0, 3));
+      for (int i = 0; i < n; ++i) {
+        ASSERT_TRUE(
+            adb.AddRow(table, {rng.Pick(values), rng.Pick(values)}).ok());
+      }
+      int p = static_cast<int>(rng.UniformInt(0, 2));
+      for (int i = 0; i < p; ++i) {
+        std::vector<std::string> fields;
+        for (int j = 0; j < 2; ++j) {
+          fields.push_back(rng.Bernoulli(0.5) ? "*" : rng.Pick(values));
+        }
+        ASSERT_TRUE(adb.AddPattern(table, fields).ok());
+      }
+    }
+    std::vector<ExprPtr> queries = {
+        Expr::SelectConst(Expr::Scan("R"), "a", Value(rng.Pick(values))),
+        Expr::Join(Expr::Scan("R"), Expr::Scan("S"), "b", "c"),
+        Expr::SelectConst(
+            Expr::Join(Expr::Scan("R"), Expr::Scan("S"), "b", "c"), "a",
+            Value(rng.Pick(values))),
+    };
+    AnnotatedEvalOptions options;
+    options.zombies = true;
+    options.minimize_each_step = false;  // keep zombies visible
+    for (const ExprPtr& q : queries) {
+      auto result = EvaluateAnnotated(q, adb, options);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      for (const Pattern& p : result->patterns) {
+        auto entailed = EntailsWrtInstance(adb, q, p);
+        ASSERT_TRUE(entailed.ok()) << entailed.status().ToString();
+        EXPECT_TRUE(*entailed)
+            << "round " << round << " query " << q->ToString()
+            << " pattern " << p.ToString();
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 60);
+}
+
+TEST(AggregateSoundnessPropertyTest, AggregatePatternsAreEntailed) {
+  // Appendix B: completeness patterns over aggregate answers guarantee
+  // both completeness and correctness of the covered groups. Verify
+  // against the model checker — a completion adding any tuple to a
+  // covered group would change its COUNT, so the checker exercises the
+  // correctness half too.
+  Rng rng(424242);
+  const std::vector<std::string> values = {"u", "v"};
+  int checked = 0;
+  for (int round = 0; round < 20; ++round) {
+    AnnotatedDatabase adb;
+    ASSERT_TRUE(adb.CreateTable("R", Schema({{"g", ValueType::kString},
+                                             {"h", ValueType::kString}}))
+                    .ok());
+    int rows = static_cast<int>(rng.UniformInt(0, 4));
+    for (int i = 0; i < rows; ++i) {
+      ASSERT_TRUE(adb.AddRow("R", {rng.Pick(values), rng.Pick(values)}).ok());
+    }
+    int patterns = static_cast<int>(rng.UniformInt(0, 2));
+    for (int i = 0; i < patterns; ++i) {
+      ASSERT_TRUE(adb.AddPattern(
+                         "R", {rng.Bernoulli(0.5) ? "*" : rng.Pick(values),
+                               rng.Bernoulli(0.5) ? "*" : rng.Pick(values)})
+                      .ok());
+    }
+    for (auto func : {AggFunc::kCount, AggFunc::kMin, AggFunc::kMax}) {
+      ExprPtr q = Expr::Aggregate(
+          Expr::Scan("R"), {"g"},
+          {{func, func == AggFunc::kCount ? "" : "h", "agg"}});
+      auto result = EvaluateAnnotated(q, adb);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      for (const Pattern& p : result->patterns) {
+        auto entailed = EntailsWrtInstance(adb, q, p);
+        ASSERT_TRUE(entailed.ok()) << entailed.status().ToString();
+        EXPECT_TRUE(*entailed)
+            << "round " << round << " func "
+            << AggFuncToString(func) << " pattern " << p.ToString();
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(LimitSoundnessPropertyTest, LimitPatternsAreEntailed) {
+  // The LIMIT pattern rule (patterns survive only under full input
+  // completeness) must be sound wrt the model checker.
+  Rng rng(535353);
+  const std::vector<std::string> values = {"u", "v"};
+  int checked = 0;
+  for (int round = 0; round < 20; ++round) {
+    AnnotatedDatabase adb;
+    ASSERT_TRUE(adb.CreateTable("R", Schema({{"g", ValueType::kString},
+                                             {"h", ValueType::kString}}))
+                    .ok());
+    int rows = static_cast<int>(rng.UniformInt(0, 4));
+    for (int i = 0; i < rows; ++i) {
+      ASSERT_TRUE(adb.AddRow("R", {rng.Pick(values), rng.Pick(values)}).ok());
+    }
+    if (rng.Bernoulli(0.5)) {
+      ASSERT_TRUE(adb.AddPattern("R", {"*", "*"}).ok());
+    } else if (rng.Bernoulli(0.5)) {
+      ASSERT_TRUE(adb.AddPattern("R", {rng.Pick(values), "*"}).ok());
+    }
+    ExprPtr q = Expr::Limit(
+        Expr::Sort(Expr::Scan("R"), {"g", "h"}),
+        rng.UniformUint64(5));
+    auto result = EvaluateAnnotated(q, adb);
+    ASSERT_TRUE(result.ok());
+    for (const Pattern& p : result->patterns) {
+      auto entailed = EntailsWrtInstance(adb, q, p);
+      ASSERT_TRUE(entailed.ok()) << entailed.status().ToString();
+      EXPECT_TRUE(*entailed) << "round " << round << " query "
+                             << q->ToString() << " pattern " << p.ToString();
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 3);
+}
+
+TEST(MinimizeEquivalencePropertyTest, MinimizationPreservesCoverage) {
+  // Coverage of a pattern set = the set of tuples it subsumes; Minimize
+  // must preserve it exactly. Check by sampling tuples over a small
+  // domain.
+  Rng rng(8642);
+  const std::vector<std::string> values = {"p", "q", "r"};
+  for (int round = 0; round < 30; ++round) {
+    PatternSet input;
+    int n = static_cast<int>(rng.UniformInt(0, 25));
+    for (int i = 0; i < n; ++i) {
+      std::vector<Pattern::Cell> cells;
+      for (int j = 0; j < 3; ++j) {
+        cells.push_back(rng.Bernoulli(0.4)
+                            ? Pattern::Wildcard()
+                            : Pattern::Cell(Value(rng.Pick(values))));
+      }
+      input.Add(Pattern(std::move(cells)));
+    }
+    PatternSet minimized = Minimize(input);
+    for (const std::string& a : values) {
+      for (const std::string& b : values) {
+        for (const std::string& c : values) {
+          Tuple t = {Value(a), Value(b), Value(c)};
+          EXPECT_EQ(input.AnySubsumesTuple(t),
+                    minimized.AnySubsumesTuple(t))
+              << "round " << round << " tuple " << TupleToString(t);
+        }
+      }
+    }
+  }
+}
+
+TEST(InstanceAwareStrictlyStrongerPropertyTest, PromotionOnlyGeneralizes) {
+  // The instance-aware algebra must dominate the schema-level algebra:
+  // every schema-level pattern is subsumed by some instance-aware one.
+  Rng rng(9753);
+  const std::vector<std::string> values = {"u", "v", "w"};
+  for (int round = 0; round < 20; ++round) {
+    AnnotatedDatabase adb;
+    ASSERT_TRUE(adb.CreateTable("R", Schema({{"a", ValueType::kString},
+                                             {"b", ValueType::kString}}))
+                    .ok());
+    ASSERT_TRUE(adb.CreateTable("S", Schema({{"c", ValueType::kString},
+                                             {"d", ValueType::kString}}))
+                    .ok());
+    for (const char* table : {"R", "S"}) {
+      int n = static_cast<int>(rng.UniformInt(1, 4));
+      for (int i = 0; i < n; ++i) {
+        ASSERT_TRUE(
+            adb.AddRow(table, {rng.Pick(values), rng.Pick(values)}).ok());
+      }
+      int p = static_cast<int>(rng.UniformInt(1, 3));
+      for (int i = 0; i < p; ++i) {
+        std::vector<std::string> fields;
+        for (int j = 0; j < 2; ++j) {
+          fields.push_back(rng.Bernoulli(0.5) ? "*" : rng.Pick(values));
+        }
+        ASSERT_TRUE(adb.AddPattern(table, fields).ok());
+      }
+    }
+    ExprPtr q = Expr::Join(Expr::Scan("R"), Expr::Scan("S"), "b", "c");
+    auto schema_level = EvaluateAnnotated(q, adb);
+    AnnotatedEvalOptions aware;
+    aware.instance_aware = true;
+    auto instance_level = EvaluateAnnotated(q, adb, aware);
+    ASSERT_TRUE(schema_level.ok());
+    ASSERT_TRUE(instance_level.ok());
+    for (const Pattern& p : schema_level->patterns) {
+      EXPECT_TRUE(instance_level->patterns.AnySubsumes(p))
+          << "round " << round << " pattern " << p.ToString()
+          << " lost by the instance-aware algebra";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcdb

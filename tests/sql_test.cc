@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include "pattern/annotated_eval.h"
+#include "relational/evaluator.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+#include "workloads/maintenance_example.h"
+
+namespace pcdb {
+namespace {
+
+TEST(LexerTest, TokenizesAllKinds) {
+  auto tokens = Tokenize("SELECT a.b, COUNT(*) FROM t WHERE x = 'it''s' "
+                         "AND y = 12 AND z = 1.5");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds.front(), TokenKind::kIdentifier);
+  EXPECT_EQ(kinds.back(), TokenKind::kEnd);
+  // Find the escaped string literal.
+  bool found_string = false;
+  for (const Token& t : *tokens) {
+    if (t.kind == TokenKind::kString) {
+      EXPECT_EQ(t.text, "it's");
+      found_string = true;
+    }
+  }
+  EXPECT_TRUE(found_string);
+}
+
+TEST(LexerTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  EXPECT_FALSE(Tokenize("SELECT a % b").ok());
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("select");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*tokens)[0].IsKeyword("select"));
+}
+
+TEST(ParserTest, SelectStarWithJoins) {
+  auto stmt = ParseSelect(
+      "SELECT * FROM Warnings W JOIN Maintenance M ON W.ID=M.ID "
+      "JOIN Teams T ON M.responsible=T.name "
+      "WHERE W.week=2 AND T.specialization='hardware'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_TRUE(stmt->select_star);
+  ASSERT_EQ(stmt->from.size(), 3u);
+  EXPECT_EQ(stmt->from[0].table, "Warnings");
+  EXPECT_EQ(stmt->from[0].EffectiveAlias(), "W");
+  // 2 join conditions + 2 where conjuncts.
+  ASSERT_EQ(stmt->predicates.size(), 4u);
+  EXPECT_TRUE(stmt->predicates[0].rhs_is_column);
+  EXPECT_FALSE(stmt->predicates[2].rhs_is_column);
+  EXPECT_EQ(stmt->predicates[2].rhs_value, Value(2));
+  EXPECT_EQ(stmt->predicates[3].rhs_value, Value("hardware"));
+}
+
+TEST(ParserTest, CommaJoinStyle) {
+  auto stmt = ParseSelect(
+      "SELECT * FROM country, city WHERE country.capital=city.name");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->from.size(), 2u);
+  ASSERT_EQ(stmt->predicates.size(), 1u);
+  EXPECT_TRUE(stmt->predicates[0].rhs_is_column);
+}
+
+TEST(ParserTest, BareAliases) {
+  auto stmt = ParseSelect(
+      "SELECT * FROM city c1, city c2 WHERE c1.name=c2.name");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->from[0].EffectiveAlias(), "c1");
+  EXPECT_EQ(stmt->from[1].EffectiveAlias(), "c2");
+}
+
+TEST(ParserTest, GroupByWithAggregates) {
+  auto stmt = ParseSelect(
+      "SELECT country, COUNT(*) AS n, SUM(population) FROM City "
+      "GROUP BY country");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->items.size(), 3u);
+  EXPECT_FALSE(stmt->items[0].is_aggregate);
+  EXPECT_TRUE(stmt->items[1].is_aggregate);
+  EXPECT_TRUE(stmt->items[1].count_star);
+  EXPECT_EQ(stmt->items[1].alias, "n");
+  EXPECT_EQ(stmt->items[2].func, AggFunc::kSum);
+  ASSERT_EQ(stmt->group_by.size(), 1u);
+}
+
+TEST(ParserTest, RejectsSumStar) {
+  EXPECT_FALSE(ParseSelect("SELECT SUM(*) FROM t").ok());
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t HAVING x = 1").ok());
+}
+
+TEST(ParserTest, OrderByAndLimit) {
+  auto stmt = ParseSelect(
+      "SELECT * FROM Warnings ORDER BY week DESC, day LIMIT 5");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->order_by.size(), 2u);
+  EXPECT_TRUE(stmt->order_by[0].descending);
+  EXPECT_FALSE(stmt->order_by[1].descending);
+  EXPECT_TRUE(stmt->has_limit);
+  EXPECT_EQ(stmt->limit, 5u);
+}
+
+TEST(ParserTest, RejectsNegativeOrMissingLimit) {
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t LIMIT -3").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t LIMIT").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t LIMIT many").ok());
+}
+
+TEST(ParserTest, RejectsMissingFrom) {
+  EXPECT_FALSE(ParseSelect("SELECT *").ok());
+}
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { adb_ = MakeMaintenanceDatabase(); }
+  AnnotatedDatabase adb_;
+};
+
+TEST_F(PlannerTest, QhwSqlMatchesAlgebraicPlan) {
+  // The SQL form of Q_hw from §1 must return exactly the same rows as
+  // the hand-built algebra expression (1).
+  auto plan = PlanSql(
+      "SELECT * FROM Warnings W JOIN Maintenance M ON W.ID=M.ID "
+      "JOIN Teams T ON M.responsible=T.name "
+      "WHERE W.week=2 AND T.specialization='hardware'",
+      adb_.database());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto sql_result = Evaluate(*plan, adb_.database());
+  auto algebra_result =
+      Evaluate(MakeHardwareWarningsQuery(), adb_.database());
+  ASSERT_TRUE(sql_result.ok());
+  ASSERT_TRUE(algebra_result.ok());
+  EXPECT_TRUE(sql_result->BagEquals(*algebra_result));
+}
+
+TEST_F(PlannerTest, QhwSqlPatternsMatchAlgebraicPlan) {
+  auto plan = PlanSql(
+      "SELECT * FROM Warnings W JOIN Maintenance M ON W.ID=M.ID "
+      "JOIN Teams T ON M.responsible=T.name "
+      "WHERE W.week=2 AND T.specialization='hardware'",
+      adb_.database());
+  ASSERT_TRUE(plan.ok());
+  auto sql_result = EvaluateAnnotated(*plan, adb_);
+  auto algebra_result = EvaluateAnnotated(MakeHardwareWarningsQuery(), adb_);
+  ASSERT_TRUE(sql_result.ok());
+  ASSERT_TRUE(algebra_result.ok());
+  EXPECT_TRUE(sql_result->patterns.SetEquals(algebra_result->patterns))
+      << sql_result->patterns.ToString();
+}
+
+TEST_F(PlannerTest, ProjectionList) {
+  auto plan = PlanSql("SELECT message, day FROM Warnings WHERE week=1",
+                      adb_.database());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto result = Evaluate(*plan, adb_.database());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->schema().arity(), 2u);
+  EXPECT_EQ(result->num_rows(), 4u);
+  EXPECT_EQ(result->schema().column(1).name, "Warnings.day");
+}
+
+TEST_F(PlannerTest, SelfJoinWithAliases) {
+  auto plan = PlanSql(
+      "SELECT * FROM Maintenance m1, Maintenance m2 WHERE m1.ID=m2.ID",
+      adb_.database());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto result = Evaluate(*plan, adb_.database());
+  ASSERT_TRUE(result.ok());
+  // tw37, tw59, tw83 match once each; tw140 (2 rows) matches 4 ways.
+  EXPECT_EQ(result->num_rows(), 7u);
+}
+
+TEST_F(PlannerTest, DuplicateAliasRejected) {
+  auto plan = PlanSql("SELECT * FROM Teams, Teams", adb_.database());
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST_F(PlannerTest, CrossJoinWhenNoPredicateConnects) {
+  auto plan = PlanSql("SELECT * FROM Teams t1, Maintenance m1",
+                      adb_.database());
+  ASSERT_TRUE(plan.ok());
+  auto result = Evaluate(*plan, adb_.database());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 25u);
+}
+
+TEST_F(PlannerTest, GroupByCount) {
+  auto plan = PlanSql(
+      "SELECT responsible, COUNT(*) AS n FROM Maintenance "
+      "GROUP BY responsible",
+      adb_.database());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto result = Evaluate(*plan, adb_.database());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 4u);
+  EXPECT_EQ(result->schema().column(1).name, "n");
+}
+
+TEST_F(PlannerTest, SelectListReordersAggregates) {
+  auto plan = PlanSql(
+      "SELECT COUNT(*) AS n, responsible FROM Maintenance "
+      "GROUP BY responsible",
+      adb_.database());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto result = Evaluate(*plan, adb_.database());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->schema().column(0).name, "n");
+  EXPECT_EQ(result->schema().column(0).type, ValueType::kInt64);
+}
+
+TEST_F(PlannerTest, UngroupedColumnRejected) {
+  auto plan = PlanSql(
+      "SELECT reason, COUNT(*) FROM Maintenance GROUP BY responsible",
+      adb_.database());
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST_F(PlannerTest, OrderByProducesSortedOutput) {
+  auto plan = PlanSql(
+      "SELECT day, week FROM Warnings ORDER BY week DESC, day",
+      adb_.database());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto result = Evaluate(*plan, adb_.database());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 7u);
+  // Week 2 rows first (descending), days ascending within a week.
+  EXPECT_EQ(result->row(0)[1], Value(2));
+  EXPECT_EQ(result->row(0)[0], Value("Mon"));
+  EXPECT_EQ(result->row(6)[1], Value(1));
+}
+
+TEST_F(PlannerTest, LimitTruncates) {
+  auto plan = PlanSql("SELECT * FROM Warnings ORDER BY day LIMIT 3",
+                      adb_.database());
+  ASSERT_TRUE(plan.ok());
+  auto result = Evaluate(*plan, adb_.database());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 3u);
+  // Limit larger than the input keeps everything.
+  auto all = Evaluate(*PlanSql("SELECT * FROM Warnings LIMIT 100",
+                               adb_.database()),
+                      adb_.database());
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_rows(), 7u);
+}
+
+TEST_F(PlannerTest, OrderByKeepsPatternsLimitNeedsFullCompleteness) {
+  // ORDER BY is pattern-transparent.
+  auto sorted = PlanSql("SELECT * FROM Warnings ORDER BY day",
+                        adb_.database());
+  ASSERT_TRUE(sorted.ok());
+  auto sorted_result = EvaluateAnnotated(*sorted, adb_);
+  ASSERT_TRUE(sorted_result.ok());
+  EXPECT_EQ(sorted_result->patterns.size(), 3u);
+  // LIMIT over a partially complete table kills all patterns...
+  auto limited = PlanSql("SELECT * FROM Warnings ORDER BY day LIMIT 2",
+                         adb_.database());
+  ASSERT_TRUE(limited.ok());
+  auto limited_result = EvaluateAnnotated(*limited, adb_);
+  ASSERT_TRUE(limited_result.ok());
+  EXPECT_TRUE(limited_result->patterns.empty());
+  // ... but survives over a fully complete one.
+  auto teams = PlanSql("SELECT * FROM Teams ORDER BY name LIMIT 2",
+                       adb_.database());
+  ASSERT_TRUE(teams.ok());
+  auto teams_result = EvaluateAnnotated(*teams, adb_);
+  ASSERT_TRUE(teams_result.ok());
+  EXPECT_EQ(teams_result->data.num_rows(), 2u);
+  EXPECT_FALSE(teams_result->patterns.empty());
+}
+
+TEST_F(PlannerTest, UnionAllConcatenatesBags) {
+  auto plan = PlanSql(
+      "SELECT day, ID FROM Warnings WHERE week=1 UNION ALL "
+      "SELECT day, ID FROM Warnings WHERE week=2",
+      adb_.database());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto result = Evaluate(*plan, adb_.database());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 7u);
+}
+
+TEST_F(PlannerTest, UnionPatternsNeedBothSides) {
+  // Week 1 is complete, the team table is complete; unioning a complete
+  // slice with a partially complete one keeps only the common part.
+  auto complete_both = PlanSql(
+      "SELECT name FROM Teams UNION ALL SELECT name FROM Teams",
+      adb_.database());
+  ASSERT_TRUE(complete_both.ok());
+  auto both = EvaluateAnnotated(*complete_both, adb_);
+  ASSERT_TRUE(both.ok());
+  EXPECT_TRUE(both->patterns.AnySubsumes(Pattern::AllWildcards(1)));
+
+  auto mixed = PlanSql(
+      "SELECT name FROM Teams UNION ALL SELECT responsible FROM Maintenance",
+      adb_.database());
+  ASSERT_TRUE(mixed.ok()) << mixed.status().ToString();
+  auto mixed_result = EvaluateAnnotated(*mixed, adb_);
+  ASSERT_TRUE(mixed_result.ok());
+  // Maintenance is only complete per-team, so the union is not fully
+  // complete; team slices survive.
+  EXPECT_FALSE(mixed_result->patterns.AnySubsumes(Pattern::AllWildcards(1)));
+}
+
+TEST_F(PlannerTest, UnionArityMismatchRejected) {
+  auto plan = PlanSql(
+      "SELECT name FROM Teams UNION ALL SELECT * FROM Teams",
+      adb_.database());
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(PlannerTest, BareUnionRejected) {
+  EXPECT_FALSE(PlanSql("SELECT * FROM Teams UNION SELECT * FROM Teams",
+                       adb_.database())
+                   .ok());
+}
+
+TEST_F(PlannerTest, UnknownColumnRejected) {
+  EXPECT_FALSE(
+      PlanSql("SELECT * FROM Teams WHERE color='red'", adb_.database()).ok());
+}
+
+TEST_F(PlannerTest, UnknownTableRejected) {
+  EXPECT_FALSE(PlanSql("SELECT * FROM Nope", adb_.database()).ok());
+}
+
+}  // namespace
+}  // namespace pcdb

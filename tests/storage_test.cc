@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "pattern/storage.h"
+#include "pattern/summary.h"
+#include "pattern/annotated_eval.h"
+#include "workloads/maintenance_example.h"
+
+namespace pcdb {
+namespace {
+
+Pattern P(const std::vector<std::string>& fields) {
+  std::vector<Pattern::Cell> cells;
+  for (const auto& f : fields) {
+    if (f == "*") {
+      cells.push_back(Pattern::Wildcard());
+    } else {
+      cells.push_back(Value(f));
+    }
+  }
+  return Pattern(std::move(cells));
+}
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pcdb_storage_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+TEST(EscapingTest, RoundTripsSpecialCharacters) {
+  for (const std::string& raw :
+       {std::string("plain"), std::string("*"), std::string("a*b"),
+        std::string("pipe|pipe"), std::string("back\\slash"),
+        std::string("new\nline"), std::string(""),
+        std::string("\\*|\n\\")}) {
+    auto back = UnescapeField(EscapeField(raw));
+    ASSERT_TRUE(back.ok()) << raw;
+    EXPECT_EQ(*back, raw);
+  }
+}
+
+TEST(EscapingTest, EscapedStarIsNotAWildcard) {
+  EXPECT_EQ(EscapeField("*"), "\\*");
+  EXPECT_NE(EscapeField("*"), "*");
+}
+
+TEST(EscapingTest, DanglingEscapeFails) {
+  EXPECT_FALSE(UnescapeField("abc\\").ok());
+}
+
+TEST_F(StorageTest, RoundTripsMaintenanceDatabase) {
+  AnnotatedDatabase original = MakeMaintenanceDatabase();
+  original.domains().SetDomain(
+      "specialization",
+      {Value("hardware"), Value("software"), Value("network")});
+  ASSERT_TRUE(SaveAnnotatedDatabase(original, dir()).ok());
+
+  auto loaded = LoadAnnotatedDatabase(dir());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (const std::string& name : original.database().TableNames()) {
+    const Table* orig = *original.database().GetTable(name);
+    auto table = loaded->database().GetTable(name);
+    ASSERT_TRUE(table.ok()) << name;
+    EXPECT_TRUE((*table)->BagEquals(*orig)) << name;
+    EXPECT_TRUE(loaded->patterns(name).SetEquals(original.patterns(name)))
+        << name;
+  }
+  ASSERT_NE(loaded->domains().Lookup("specialization"), nullptr);
+  EXPECT_EQ(loaded->domains().Lookup("specialization")->size(), 3u);
+}
+
+TEST_F(StorageTest, LoadedDatabaseAnswersQueriesIdentically) {
+  AnnotatedDatabase original = MakeMaintenanceDatabase();
+  ASSERT_TRUE(SaveAnnotatedDatabase(original, dir()).ok());
+  auto loaded = LoadAnnotatedDatabase(dir());
+  ASSERT_TRUE(loaded.ok());
+  auto a = EvaluateAnnotated(MakeHardwareWarningsQuery(), original);
+  auto b = EvaluateAnnotated(MakeHardwareWarningsQuery(), *loaded);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->data.BagEquals(b->data));
+  EXPECT_TRUE(a->patterns.SetEquals(b->patterns));
+}
+
+TEST_F(StorageTest, WildcardVsLiteralStarSurvives) {
+  AnnotatedDatabase adb;
+  ASSERT_TRUE(adb.CreateTable("t", Schema({{"a", ValueType::kString},
+                                           {"b", ValueType::kString}}))
+                  .ok());
+  // Data containing a literal "*" and tricky characters.
+  ASSERT_TRUE(adb.AddRow("t", {"*", "x|y"}).ok());
+  ASSERT_TRUE(adb.AddRow("t", {"plain", "a\\b"}).ok());
+  // Pattern with a wildcard in one position and a literal "*" constant
+  // in the other — the storage layer must keep them apart.
+  ASSERT_TRUE(adb.AddPattern(
+                  "t", Pattern(std::vector<Pattern::Cell>{
+                           Value("*"), Pattern::Wildcard()}))
+                  .ok());
+  ASSERT_TRUE(SaveAnnotatedDatabase(adb, dir()).ok());
+  auto loaded = LoadAnnotatedDatabase(dir());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const PatternSet& patterns = loaded->patterns("t");
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_FALSE(patterns[0].IsWildcard(0));
+  EXPECT_EQ(patterns[0].value(0), Value("*"));
+  EXPECT_TRUE(patterns[0].IsWildcard(1));
+  EXPECT_TRUE(
+      (*loaded->database().GetTable("t"))->BagEquals(**adb.database().GetTable("t")));
+}
+
+TEST_F(StorageTest, NumericColumnsRoundTrip) {
+  AnnotatedDatabase adb;
+  ASSERT_TRUE(adb.CreateTable("m", Schema({{"k", ValueType::kInt64},
+                                           {"v", ValueType::kDouble}}))
+                  .ok());
+  ASSERT_TRUE(adb.AddRow("m", {Value(int64_t{-42}), Value(2.5)}).ok());
+  ASSERT_TRUE(adb.AddPattern("m", {"-42", "*"}).ok());
+  ASSERT_TRUE(SaveAnnotatedDatabase(adb, dir()).ok());
+  auto loaded = LoadAnnotatedDatabase(dir());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Table* table = *loaded->database().GetTable("m");
+  ASSERT_EQ(table->num_rows(), 1u);
+  EXPECT_EQ(table->row(0)[0], Value(int64_t{-42}));
+  EXPECT_EQ(table->row(0)[1], Value(2.5));
+  EXPECT_EQ(loaded->patterns("m").size(), 1u);
+}
+
+TEST_F(StorageTest, MissingDirectoryFails) {
+  auto loaded = LoadAnnotatedDatabase(dir() + "_nonexistent");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SummaryTest, FullyCompleteAnswer) {
+  AnnotatedTable annotated;
+  annotated.data = Table(Schema({{"a", ValueType::kString}}));
+  PCDB_CHECK(annotated.data.Append({"x"}).ok());
+  annotated.patterns.Add(Pattern::AllWildcards(1));
+  CompletenessSummary summary = Summarize(annotated);
+  EXPECT_TRUE(summary.fully_complete);
+  EXPECT_TRUE(IsAnswerComplete(annotated));
+  EXPECT_EQ(summary.guaranteed_rows, 1u);
+  EXPECT_EQ(summary.guaranteed_fraction, 1.0);
+}
+
+TEST(SummaryTest, PartialAnswer) {
+  AnnotatedTable annotated;
+  annotated.data = Table(Schema({{"a", ValueType::kString}}));
+  PCDB_CHECK(annotated.data.Append({"x"}).ok());
+  PCDB_CHECK(annotated.data.Append({"y"}).ok());
+  annotated.patterns.Add(P({"x"}));
+  CompletenessSummary summary = Summarize(annotated);
+  EXPECT_FALSE(summary.fully_complete);
+  EXPECT_FALSE(IsAnswerComplete(annotated));
+  EXPECT_EQ(summary.guaranteed_rows, 1u);
+  EXPECT_DOUBLE_EQ(summary.guaranteed_fraction, 0.5);
+  EXPECT_NE(summary.ToString().find("possibly partial"), std::string::npos);
+}
+
+TEST(SummaryTest, EmptyAnswer) {
+  AnnotatedTable annotated;
+  annotated.data = Table(Schema({{"a", ValueType::kString}}));
+  CompletenessSummary summary = Summarize(annotated);
+  EXPECT_EQ(summary.total_rows, 0u);
+  EXPECT_EQ(summary.guaranteed_fraction, 0.0);
+}
+
+TEST(SummaryTest, MaintenanceQueryIsPartial) {
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  auto result = EvaluateAnnotated(MakeHardwareWarningsQuery(), adb);
+  ASSERT_TRUE(result.ok());
+  CompletenessSummary summary = Summarize(*result);
+  EXPECT_FALSE(summary.fully_complete);
+  // The Monday and Wednesday rows are covered; Tuesday's is not.
+  EXPECT_EQ(summary.total_rows, 3u);
+  EXPECT_EQ(summary.guaranteed_rows, 2u);
+}
+
+}  // namespace
+}  // namespace pcdb

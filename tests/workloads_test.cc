@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "pattern/minimize.h"
+#include "relational/evaluator.h"
+#include "sql/planner.h"
+#include "workloads/drop_simulation.h"
+#include "workloads/network_elements.h"
+#include "workloads/tpch.h"
+#include "workloads/wikipedia.h"
+
+namespace pcdb {
+namespace {
+
+TEST(NetworkElementsTest, MatchesPublishedShape) {
+  NetworkElementsConfig config;
+  config.num_rows = 20000;
+  NetworkElementsData data = GenerateNetworkElements(config);
+  EXPECT_EQ(data.table.num_rows(), 20000u);
+  ASSERT_EQ(data.dimension_columns.size(), 6u);
+  ASSERT_EQ(data.dimension_domains.size(), 6u);
+  // The published domain cardinalities: 6, 3, 7, 6, 13, 53.
+  const size_t expected[] = {6, 3, 7, 6, 13, 53};
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(data.dimension_domains[i].size(), expected[i]);
+    // All realized values come from the declared domain.
+    std::unordered_set<Value, ValueHash> domain(
+        data.dimension_domains[i].begin(), data.dimension_domains[i].end());
+    for (const Tuple& t : data.table.rows()) {
+      ASSERT_TRUE(domain.count(t[data.dimension_columns[i]]) > 0);
+    }
+  }
+}
+
+TEST(NetworkElementsTest, CombinationCountNearTarget) {
+  NetworkElementsConfig config;
+  config.num_rows = 60000;
+  NetworkElementsData data = GenerateNetworkElements(config);
+  std::unordered_set<Tuple, TupleHash> combos;
+  for (size_t r = 0; r < data.table.num_rows(); ++r) {
+    combos.insert(DimensionCombo(data, r));
+  }
+  // Not every generated combination need be sampled, but the realized
+  // count must be far below the 1.19M product and near the target.
+  EXPECT_GT(combos.size(), config.target_combos / 3);
+  EXPECT_LE(combos.size(), config.target_combos);
+}
+
+TEST(NetworkElementsTest, FrequenciesAreSkewed) {
+  NetworkElementsData data = GenerateNetworkElements({});
+  std::unordered_map<Tuple, size_t, TupleHash> counts;
+  for (size_t r = 0; r < data.table.num_rows(); ++r) {
+    counts[DimensionCombo(data, r)] += 1;
+  }
+  size_t max_count = 0;
+  for (const auto& [combo, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  // Exponential skew: the hottest combination holds far more than the
+  // uniform share of rows.
+  EXPECT_GT(max_count, 5 * data.table.num_rows() / counts.size());
+}
+
+TEST(NetworkElementsTest, StateDeterminesRegion) {
+  NetworkElementsData data = GenerateNetworkElements({});
+  std::unordered_map<Value, Value, ValueHash> region_of;
+  for (const Tuple& t : data.table.rows()) {
+    auto [it, inserted] = region_of.emplace(t[6], t[1]);
+    ASSERT_EQ(it->second, t[1]) << "state " << t[6].ToString()
+                                << " maps to two regions";
+  }
+}
+
+TEST(NetworkElementsTest, NamesCarryPrefixes) {
+  NetworkElementsData data = GenerateNetworkElements({});
+  EXPECT_GE(data.name_prefixes.size(), 5u);
+  size_t matched = 0;
+  for (const Tuple& t : data.table.rows()) {
+    for (const std::string& prefix : data.name_prefixes) {
+      if (StartsWith(t[0].str(), prefix)) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(matched, data.table.num_rows());
+}
+
+TEST(NetworkElementsTest, DeterministicBySeed) {
+  NetworkElementsConfig config;
+  config.num_rows = 500;
+  NetworkElementsData a = GenerateNetworkElements(config);
+  NetworkElementsData b = GenerateNetworkElements(config);
+  EXPECT_TRUE(a.table.BagEquals(b.table));
+}
+
+TEST(TpchTest, UniformUncorrelatedDimensions) {
+  TpchConfig config;
+  config.num_rows = 50000;
+  TpchData data = GenerateLineitem(config);
+  EXPECT_EQ(data.table.num_rows(), 50000u);
+  ASSERT_EQ(data.dimension_columns.size(), 7u);
+  // Cardinalities 3, 2, 50, 11, 9, 7, 4.
+  const size_t expected[] = {3, 2, 50, 11, 9, 7, 4};
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(data.dimension_domains[i].size(), expected[i]);
+    EXPECT_EQ(data.table.DistinctValues(data.dimension_columns[i]).size(),
+              expected[i]);
+  }
+  // Roughly uniform: returnflag values within 10% of each other.
+  std::unordered_map<Value, size_t, ValueHash> counts;
+  for (const Tuple& t : data.table.rows()) counts[t[1]] += 1;
+  for (const auto& [v, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count), 50000.0 / 3, 50000.0 / 30);
+  }
+}
+
+TEST(DropSimulatorTest, StartsFullyComplete) {
+  Table t(Schema({{"a", ValueType::kString}, {"b", ValueType::kString}}));
+  ASSERT_TRUE(t.Append({"x", "y"}).ok());
+  DropSimulator sim(t, {0, 1}, {{Value("x"), Value("z")},
+                                {Value("y"), Value("w")}});
+  EXPECT_EQ(sim.num_patterns(), 1u);
+  EXPECT_EQ(sim.patterns()[0], Pattern::AllWildcards(2));
+}
+
+TEST(DropSimulatorTest, DropSpecializesPatterns) {
+  Table t(Schema({{"a", ValueType::kString}, {"b", ValueType::kString}}));
+  ASSERT_TRUE(t.Append({"x", "y"}).ok());
+  ASSERT_TRUE(t.Append({"z", "w"}).ok());
+  DropSimulator sim(t, {0, 1}, {{Value("x"), Value("z")},
+                                {Value("y"), Value("w")}});
+  sim.DropRow(0);  // drops combo (x, y)
+  // (∗,∗) violated; most general survivors: (z,∗) and (∗,w).
+  PatternSet expected;
+  expected.Add(
+      Pattern(std::vector<Pattern::Cell>{Value("z"), Pattern::Wildcard()}));
+  expected.Add(
+      Pattern(std::vector<Pattern::Cell>{Pattern::Wildcard(), Value("w")}));
+  EXPECT_TRUE(sim.patterns().SetEquals(expected))
+      << sim.patterns().ToString();
+  // The surviving patterns hold over the remaining data: they do not
+  // subsume the dropped combination.
+  for (const Pattern& p : sim.patterns()) {
+    EXPECT_FALSE(p.SubsumesTuple({Value("x"), Value("y")}));
+  }
+}
+
+TEST(DropSimulatorTest, RepeatedComboDropIsNoOp) {
+  Table t(Schema({{"a", ValueType::kString}}));
+  ASSERT_TRUE(t.Append({"x"}).ok());
+  ASSERT_TRUE(t.Append({"x"}).ok());
+  DropSimulator sim(t, {0}, {{Value("x"), Value("y"), Value("z")}});
+  size_t after_first = sim.DropRow(0);
+  size_t after_second = sim.DropRow(1);  // same combo
+  EXPECT_EQ(after_first, after_second);
+  EXPECT_EQ(sim.num_dropped_rows(), 2u);
+  EXPECT_EQ(sim.num_dropped_combos(), 1u);
+}
+
+TEST(DropSimulatorTest, DroppingSameRowTwiceIsNoOp) {
+  Table t(Schema({{"a", ValueType::kString}}));
+  ASSERT_TRUE(t.Append({"x"}).ok());
+  DropSimulator sim(t, {0}, {{Value("x"), Value("y")}});
+  sim.DropRow(0);
+  size_t patterns = sim.num_patterns();
+  sim.DropRow(0);
+  EXPECT_EQ(sim.num_patterns(), patterns);
+  EXPECT_EQ(sim.num_dropped_rows(), 1u);
+}
+
+TEST(DropSimulatorTest, PatternsStayMinimalAndSound) {
+  // Property: after any drop sequence, the maintained set is minimal,
+  // none of its patterns subsumes a dropped combination, and every
+  // never-dropped combination is still covered... the last point is not
+  // guaranteed in general (coverage shrinks), but soundness is.
+  NetworkElementsConfig config;
+  config.num_rows = 3000;
+  config.target_combos = 300;
+  NetworkElementsData data = GenerateNetworkElements(config);
+  DropSimulator sim(data.table, data.dimension_columns,
+                    data.dimension_domains);
+  Rng rng(5);
+  std::vector<Tuple> dropped;
+  for (int i = 0; i < 60; ++i) {
+    size_t row = rng.UniformUint64(data.table.num_rows());
+    dropped.push_back(DimensionCombo(data, row));
+    sim.DropRow(row);
+  }
+  EXPECT_TRUE(IsMinimal(sim.patterns()));
+  for (const Pattern& p : sim.patterns()) {
+    for (const Tuple& combo : dropped) {
+      EXPECT_FALSE(p.SubsumesTuple(combo))
+          << p.ToString() << " subsumes dropped " << TupleToString(combo);
+    }
+  }
+}
+
+TEST(DropSimulatorTest, CorrelatedDropsYieldFewerPatterns) {
+  // Fig. 2's effect in miniature: dropping rows that share a name prefix
+  // (correlated attribute values) produces fewer patterns than dropping
+  // random rows.
+  NetworkElementsConfig config;
+  config.num_rows = 20000;
+  NetworkElementsData data = GenerateNetworkElements(config);
+
+  DropSimulator random_sim(data.table, data.dimension_columns,
+                           data.dimension_domains);
+  Rng rng(11);
+  size_t dropped_random = 0;
+  while (dropped_random < 150) {
+    size_t row = rng.UniformUint64(data.table.num_rows());
+    if (random_sim.IsDropped(row)) continue;
+    random_sim.DropRow(row);
+    ++dropped_random;
+  }
+
+  DropSimulator prefix_sim(data.table, data.dimension_columns,
+                           data.dimension_domains);
+  const std::string& prefix = data.name_prefixes[0];
+  size_t dropped_prefix = 0;
+  for (size_t row = 0;
+       row < data.table.num_rows() && dropped_prefix < 150; ++row) {
+    if (StartsWith(data.table.row(row)[0].str(), prefix)) {
+      prefix_sim.DropRow(row);
+      ++dropped_prefix;
+    }
+  }
+  ASSERT_EQ(dropped_prefix, 150u);
+  EXPECT_LT(prefix_sim.num_patterns(), random_sim.num_patterns());
+}
+
+TEST(WikipediaTest, TableSizesAndStatements) {
+  WikipediaConfig config;
+  config.num_cities = 5000;
+  config.num_schools = 1000;
+  AnnotatedDatabase adb = MakeWikipediaDatabase(config);
+  EXPECT_EQ((*adb.database().GetTable("city"))->num_rows(), 5000u);
+  EXPECT_EQ((*adb.database().GetTable("country"))->num_rows(), 200u);
+  EXPECT_EQ((*adb.database().GetTable("school"))->num_rows(), 1000u);
+  // Exactly 21 completeness statements, as found on Wikipedia.
+  size_t statements = adb.patterns("city").size() +
+                      adb.patterns("country").size() +
+                      adb.patterns("school").size();
+  EXPECT_EQ(statements, 21u);
+}
+
+TEST(WikipediaTest, SevenQueriesAllPlanAndRun) {
+  WikipediaConfig config;
+  config.num_cities = 2000;
+  config.num_schools = 500;
+  config.num_states = 50;
+  config.city_name_pool = 800;
+  config.school_name_pool = 120;
+  AnnotatedDatabase adb = MakeWikipediaDatabase(config);
+  auto queries = WikipediaQueries();
+  ASSERT_EQ(queries.size(), 7u);
+  for (const WikipediaQuery& q : queries) {
+    auto plan = PlanSql(q.sql, adb.database());
+    ASSERT_TRUE(plan.ok()) << q.id << ": " << plan.status().ToString();
+    auto result = Evaluate(*plan, adb.database());
+    ASSERT_TRUE(result.ok()) << q.id << ": " << result.status().ToString();
+    EXPECT_GT(result->num_rows(), 0u) << q.id;
+  }
+}
+
+TEST(WikipediaTest, ResultSizeOrderingMatchesTable7) {
+  // Q3 (state join) must dwarf everything; Q1/Q4 must be small — the
+  // spread that drives the paper's Table 7 comparison.
+  AnnotatedDatabase adb = MakeWikipediaDatabase({});
+  auto queries = WikipediaQueries();
+  std::map<std::string, size_t> sizes;
+  for (const WikipediaQuery& q : queries) {
+    if (q.id == "Q3" || q.id == "Q5") continue;  // keep this test fast
+    auto plan = PlanSql(q.sql, adb.database());
+    ASSERT_TRUE(plan.ok());
+    auto result = Evaluate(*plan, adb.database());
+    ASSERT_TRUE(result.ok());
+    sizes[q.id] = result->num_rows();
+  }
+  EXPECT_LT(sizes["Q1"], 1000u);
+  EXPECT_LT(sizes["Q4"], 1000u);
+  EXPECT_GT(sizes["Q2"], 3000u);
+  EXPECT_GT(sizes["Q6"], 50000u);
+  EXPECT_GT(sizes["Q7"], 10000u);
+}
+
+}  // namespace
+}  // namespace pcdb

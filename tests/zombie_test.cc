@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "pattern/minimize.h"
+#include "pattern/promotion.h"
+#include "pattern/zombie.h"
+
+namespace pcdb {
+namespace {
+
+Pattern P(const std::vector<std::string>& fields) {
+  std::vector<Pattern::Cell> cells;
+  for (const auto& f : fields) {
+    if (f == "*") {
+      cells.push_back(Pattern::Wildcard());
+    } else {
+      cells.push_back(Value(f));
+    }
+  }
+  return Pattern(std::move(cells));
+}
+
+TEST(ZombieSelectTest, OnePatternPerOtherDomainValue) {
+  // Example 8: after σ_{spec=hardware}(Teams), the result is trivially
+  // complete for software and network teams.
+  std::vector<Value> domain = {Value("hardware"), Value("software"),
+                               Value("network")};
+  PatternSet zombies =
+      ZombiesForSelectConst(2, 1, Value("hardware"), domain);
+  PatternSet expected;
+  expected.Add(P({"*", "software"}));
+  expected.Add(P({"*", "network"}));
+  EXPECT_TRUE(zombies.SetEquals(expected)) << zombies.ToString();
+}
+
+TEST(ZombieSelectTest, SelectedValueExcluded) {
+  std::vector<Value> domain = {Value("x")};
+  EXPECT_TRUE(ZombiesForSelectConst(1, 0, Value("x"), domain).empty());
+}
+
+TEST(ZombieJoinTest, AbsentDomainValuesBecomeZombies) {
+  // Side patterns (∗,∗) over data where the join column only holds A, B;
+  // domain {A,B,C,D} → zombies for C and D.
+  PatternSet side;
+  side.Add(P({"*", "*"}));
+  Table data(Schema({{"name", ValueType::kString},
+                     {"spec", ValueType::kString}}));
+  ASSERT_TRUE(data.Append({"A", "hw"}).ok());
+  ASSERT_TRUE(data.Append({"B", "hw"}).ok());
+  std::vector<Value> domain = {Value("A"), Value("B"), Value("C"),
+                               Value("D")};
+  PatternSet zombies = ZombiesForJoin(side, 0, data, domain, 3,
+                                      /*side_is_left=*/true);
+  PatternSet expected;
+  expected.Add(P({"C", "*", "*", "*", "*"}));
+  expected.Add(P({"D", "*", "*", "*", "*"}));
+  EXPECT_TRUE(zombies.SetEquals(expected)) << zombies.ToString();
+}
+
+TEST(ZombieJoinTest, RightSidePrependsPadding) {
+  PatternSet side;
+  side.Add(P({"*"}));
+  Table data(Schema({{"k", ValueType::kString}}));
+  std::vector<Value> domain = {Value("x")};
+  PatternSet zombies = ZombiesForJoin(side, 0, data, domain, 2,
+                                      /*side_is_left=*/false);
+  ASSERT_EQ(zombies.size(), 1u);
+  EXPECT_EQ(zombies[0], P({"*", "*", "x"}));
+}
+
+TEST(ZombieJoinTest, PatternsWithConstantAtJoinAreSkipped) {
+  PatternSet side;
+  side.Add(P({"A", "*"}));  // constant at the join attribute
+  Table data(Schema({{"name", ValueType::kString},
+                     {"spec", ValueType::kString}}));
+  std::vector<Value> domain = {Value("A"), Value("B")};
+  EXPECT_TRUE(
+      ZombiesForJoin(side, 0, data, domain, 1, true).empty());
+}
+
+TEST(ZombieJoinTest, PresentValuesAreNotZombies) {
+  PatternSet side;
+  side.Add(P({"*"}));
+  Table data(Schema({{"k", ValueType::kString}}));
+  ASSERT_TRUE(data.Append({"x"}).ok());
+  std::vector<Value> domain = {Value("x"), Value("y")};
+  PatternSet zombies = ZombiesForJoin(side, 0, data, domain, 0, true);
+  ASSERT_EQ(zombies.size(), 1u);
+  EXPECT_EQ(zombies[0], P({"y"}));
+}
+
+TEST(ZombieJoinTest, Example10ThreeWayJoinInference) {
+  // Appendix E's motivating case: M ⋈ σ_spec=hw(T) can never contain
+  // rows for teams C or D (zombies). A later join with a complete
+  // Best_teams = {A, C, D} table can then promote A, C, D together to
+  // the fully general pattern — impossible without the zombies.
+  //
+  // Middle result patterns: the regular (∗,A,…) / (∗,B,…) outputs plus
+  // zombies for C and D at the M.responsible position.
+  PatternSet middle;
+  middle.Add(P({"*", "A", "*", "*", "*"}));
+  middle.Add(P({"*", "B", "*", "*", "*"}));
+  // Zombies added for responsible ∉ {A, B}:
+  middle.Add(P({"*", "C", "*", "*", "*"}));
+  middle.Add(P({"*", "D", "*", "*", "*"}));
+
+  Table middle_data(Schema({{"M.ID", ValueType::kString},
+                            {"M.responsible", ValueType::kString},
+                            {"M.reason", ValueType::kString},
+                            {"T.name", ValueType::kString},
+                            {"T.spec", ValueType::kString}}));
+  ASSERT_TRUE(
+      middle_data.Append({"tw37", "A", "disk", "A", "hw"}).ok());
+
+  PatternSet best;
+  best.Add(P({"*"}));
+  Table best_data(Schema({{"team", ValueType::kString}}));
+  ASSERT_TRUE(best_data.Append({"A"}).ok());
+  ASSERT_TRUE(best_data.Append({"C"}).ok());
+  ASSERT_TRUE(best_data.Append({"D"}).ok());
+
+  // Join middle.responsible = best.team with promotion.
+  PatternSet with_zombies = Minimize(InstanceAwarePatternJoin(
+      middle, 1, middle_data, best, 0, best_data));
+  EXPECT_TRUE(with_zombies.Contains(Pattern::AllWildcards(6)))
+      << with_zombies.ToString();
+
+  // Without the zombie patterns, no fully general pattern is derivable.
+  PatternSet middle_no_zombies;
+  middle_no_zombies.Add(P({"*", "A", "*", "*", "*"}));
+  middle_no_zombies.Add(P({"*", "B", "*", "*", "*"}));
+  PatternSet without = Minimize(InstanceAwarePatternJoin(
+      middle_no_zombies, 1, middle_data, best, 0, best_data));
+  EXPECT_FALSE(without.Contains(Pattern::AllWildcards(6)))
+      << without.ToString();
+}
+
+}  // namespace
+}  // namespace pcdb

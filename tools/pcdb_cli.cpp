@@ -1,0 +1,255 @@
+// pcdb interactive shell: load or build a partially complete database,
+// run SQL with completeness annotation, inspect diagnoses, punctuate
+// feeds, and persist the result.
+//
+// Usage: pcdb_cli [--db <dir>]
+//
+// Commands (\h inside the shell for help):
+//   SELECT ...;                  run a query, print annotated answer
+//   \tables                      list tables with row/pattern counts
+//   \patterns <table>            show a table's completeness patterns
+//   \assert <table> f1|f2|...    assert a completeness pattern (* = wildcard)
+//   \insert <table> f1|f2|...    insert a row
+//   \diagnose SELECT ...;        run incompleteness diagnosis
+//   \aware on|off                toggle the instance-aware algebra (§5)
+//   \zombies on|off              toggle zombie patterns (Appendix E)
+//   \save <dir>  /  \load <dir>  persist / restore the database
+//   \q                           quit
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "pattern/annotated_eval.h"
+#include "pattern/diagnosis.h"
+#include "pattern/gaps.h"
+#include "pattern/storage.h"
+#include "pattern/summary.h"
+#include "sql/planner.h"
+#include "workloads/maintenance_example.h"
+
+namespace {
+
+using namespace pcdb;
+
+class Shell {
+ public:
+  Shell() : adb_(MakeMaintenanceDatabase()) {}
+
+  int Run(std::istream& in, bool interactive) {
+    std::string line;
+    std::string pending;
+    if (interactive) Prompt();
+    while (std::getline(in, line)) {
+      line = TrimString(line);
+      if (line.empty()) {
+        if (interactive) Prompt();
+        continue;
+      }
+      if (line[0] == '\\') {
+        if (!HandleCommand(line)) return 0;
+      } else {
+        pending += (pending.empty() ? "" : " ") + line;
+        if (pending.back() == ';') {
+          RunSql(pending);
+          pending.clear();
+        }
+      }
+      if (interactive) Prompt();
+    }
+    if (!pending.empty()) RunSql(pending);
+    return 0;
+  }
+
+  Status LoadFrom(const std::string& dir) {
+    auto loaded = LoadAnnotatedDatabase(dir);
+    PCDB_RETURN_NOT_OK(loaded.status());
+    adb_ = std::move(loaded).ValueOrDie();
+    return Status::OK();
+  }
+
+ private:
+  void Prompt() { std::cout << "pcdb> " << std::flush; }
+
+  void RunSql(const std::string& sql) {
+    auto plan = PlanSql(sql, adb_.database());
+    if (!plan.ok()) {
+      std::cout << "error: " << plan.status() << "\n";
+      return;
+    }
+    AnnotatedEvalOptions options;
+    options.instance_aware = instance_aware_;
+    options.zombies = zombies_;
+    AnnotatedEvalInfo info;
+    auto result = EvaluateAnnotated(*plan, adb_, options, &info);
+    if (!result.ok()) {
+      std::cout << "error: " << result.status() << "\n";
+      return;
+    }
+    std::cout << result->ToString() << Summarize(*result).ToString() << "\n"
+              << "(query " << info.data_millis << " ms, completeness "
+              << info.pattern_millis << " ms)\n";
+  }
+
+  /// Returns false when the shell should exit.
+  bool HandleCommand(const std::string& line) {
+    std::istringstream stream(line);
+    std::string command;
+    stream >> command;
+    if (command == "\\q" || command == "\\quit") return false;
+    if (command == "\\h" || command == "\\help") {
+      std::cout
+          << "SELECT ...;        annotated query\n"
+          << "\\tables            list tables\n"
+          << "\\patterns <t>      show completeness patterns\n"
+          << "\\gaps <t>          show maximal uncovered slices\n"
+          << "\\assert <t> a|b|*  assert a pattern\n"
+          << "\\insert <t> a|b|c  insert a row\n"
+          << "\\diagnose SQL;     incompleteness diagnosis\n"
+          << "\\aware on|off      instance-aware algebra (currently "
+          << (instance_aware_ ? "on" : "off") << ")\n"
+          << "\\zombies on|off    zombie patterns (currently "
+          << (zombies_ ? "on" : "off") << ")\n"
+          << "\\save <dir>        persist database\n"
+          << "\\load <dir>        load database\n"
+          << "\\q                 quit\n";
+      return true;
+    }
+    if (command == "\\tables") {
+      for (const std::string& name : adb_.database().TableNames()) {
+        const Table* table = *adb_.database().GetTable(name);
+        std::cout << name << " " << table->schema().ToString() << ": "
+                  << table->num_rows() << " rows, "
+                  << adb_.patterns(name).size() << " patterns\n";
+      }
+      return true;
+    }
+    if (command == "\\patterns") {
+      std::string table;
+      stream >> table;
+      if (!adb_.database().HasTable(table)) {
+        std::cout << "error: no table '" << table << "'\n";
+        return true;
+      }
+      std::cout << adb_.patterns(table).ToString();
+      return true;
+    }
+    if (command == "\\gaps") {
+      std::string table;
+      stream >> table;
+      auto gaps = TableCoverageGaps(adb_, table);
+      if (!gaps.ok()) {
+        std::cout << "error: " << gaps.status() << "\n";
+      } else if (gaps->empty()) {
+        std::cout << "no gaps: every slice is covered by a pattern\n";
+      } else {
+        std::cout << "maximal uncovered slices:\n" << gaps->ToString();
+      }
+      return true;
+    }
+    if (command == "\\assert" || command == "\\insert") {
+      std::string table;
+      std::string fields_text;
+      stream >> table;
+      std::getline(stream, fields_text);
+      std::vector<std::string> fields;
+      for (std::string& f : SplitString(TrimString(fields_text), '|')) {
+        fields.push_back(TrimString(f));
+      }
+      Status status;
+      if (command == "\\assert") {
+        status = adb_.AddPattern(table, fields);
+      } else {
+        auto stored = adb_.database().GetTable(table);
+        if (!stored.ok()) {
+          std::cout << "error: " << stored.status() << "\n";
+          return true;
+        }
+        Tuple row;
+        for (size_t i = 0; i < fields.size(); ++i) {
+          if (i >= (*stored)->schema().arity()) break;
+          auto value =
+              Value::Parse(fields[i], (*stored)->schema().column(i).type);
+          if (!value.ok()) {
+            status = value.status();
+            break;
+          }
+          row.push_back(std::move(value).ValueOrDie());
+        }
+        if (status.ok()) status = adb_.AddRow(table, std::move(row));
+      }
+      std::cout << (status.ok() ? "ok" : "error: " + status.ToString())
+                << "\n";
+      return true;
+    }
+    if (command == "\\diagnose") {
+      std::string sql;
+      std::getline(stream, sql);
+      auto plan = PlanSql(TrimString(sql), adb_.database());
+      if (!plan.ok()) {
+        std::cout << "error: " << plan.status() << "\n";
+        return true;
+      }
+      auto report = DiagnoseIncompleteness(*plan, adb_);
+      std::cout << (report.ok() ? report->ToString()
+                                : "error: " + report.status().ToString() +
+                                      "\n");
+      return true;
+    }
+    if (command == "\\aware" || command == "\\zombies") {
+      std::string setting;
+      stream >> setting;
+      bool value = setting == "on";
+      if (command == "\\aware") {
+        instance_aware_ = value;
+      } else {
+        zombies_ = value;
+      }
+      std::cout << "ok\n";
+      return true;
+    }
+    if (command == "\\save" || command == "\\load") {
+      std::string dir;
+      stream >> dir;
+      Status status = command == "\\save" ? SaveAnnotatedDatabase(adb_, dir)
+                                          : LoadFrom(dir);
+      std::cout << (status.ok() ? "ok" : "error: " + status.ToString())
+                << "\n";
+      return true;
+    }
+    std::cout << "unknown command '" << command << "' (\\h for help)\n";
+    return true;
+  }
+
+  AnnotatedDatabase adb_;
+  bool instance_aware_ = false;
+  bool zombies_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--db" && i + 1 < argc) {
+      Status status = shell.LoadFrom(argv[++i]);
+      if (!status.ok()) {
+        std::cerr << "cannot load database: " << status << "\n";
+        return 1;
+      }
+    } else {
+      std::cerr << "usage: pcdb_cli [--db <dir>]\n";
+      return 1;
+    }
+  }
+  const bool interactive = isatty(fileno(stdin));
+  if (interactive) {
+    std::cout << "pcdb shell — partially complete databases "
+                 "(\\h for help). Preloaded: the paper's maintenance "
+                 "example.\n";
+  }
+  return shell.Run(std::cin, interactive);
+}
