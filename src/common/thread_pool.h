@@ -1,0 +1,98 @@
+#ifndef PCDB_COMMON_THREAD_POOL_H_
+#define PCDB_COMMON_THREAD_POOL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcdb {
+
+/// \brief A fixed-size pool of worker threads with a submit/wait-group
+/// API.
+///
+/// Tasks are plain std::function<void()> jobs executed FIFO by whichever
+/// worker frees up first; Wait() blocks until every task submitted so far
+/// has finished (a wait group, not a shutdown). The pool is deliberately
+/// work-stealing-free: callers that need deterministic results partition
+/// their work into indexed tasks that each write a private, pre-allocated
+/// output slot, then combine the slots in index order after Wait() — see
+/// ParallelFor below. Tasks must not throw (library code is
+/// exception-free; report failures through captured state).
+///
+/// With num_threads <= 1 no worker threads are spawned and Submit runs
+/// the task inline, so serial callers pay nothing and single-threaded
+/// determinism is trivially preserved.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 and 1 both mean "inline").
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task (runs it inline when the pool has no workers).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all tasks submitted before this call have completed.
+  void Wait();
+
+  /// Worker count; 1 for an inline pool.
+  size_t num_threads() const {
+    return workers_.empty() ? 1 : workers_.size();
+  }
+
+  /// A sane default: the hardware concurrency, or 1 when unknown.
+  static size_t DefaultThreadCount() {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<size_t>(hw);
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+};
+
+/// Runs `fn(i)` for every i in [0, n) on `pool`, blocking until all
+/// iterations finish. Iterations are grouped into one contiguous chunk
+/// per worker so that per-chunk state stays cache-local; `fn` must be
+/// safe to call concurrently for distinct i. Results are deterministic
+/// whenever fn(i) writes only to an i-indexed slot.
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, size_t n, const Fn& fn) {
+  if (n == 0) return;
+  const size_t num_chunks =
+      pool == nullptr ? 1 : std::min(pool->num_threads(), n);
+  if (num_chunks <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t begin = c * chunk;
+    const size_t end = std::min(begin + chunk, n);
+    if (begin >= end) break;
+    pool->Submit([begin, end, &fn] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  pool->Wait();
+}
+
+}  // namespace pcdb
+
+#endif  // PCDB_COMMON_THREAD_POOL_H_

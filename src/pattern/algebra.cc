@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace pcdb {
 namespace {
@@ -137,7 +138,7 @@ void EmitJoinedPair(const Pattern& combined, size_t a, size_t b,
 
 PatternSet PatternJoin(const PatternSet& left, size_t attr_a,
                        const PatternSet& right, size_t attr_b,
-                       PatternJoinStrategy strategy) {
+                       PatternJoinStrategy strategy, ThreadPool* pool) {
   if (left.empty() || right.empty()) return PatternSet();
   const size_t left_arity = left[0].arity();
   const size_t a = attr_a;
@@ -158,6 +159,7 @@ PatternSet PatternJoin(const PatternSet& left, size_t attr_a,
   // (*,*) ∪ (*,d) ∪ (d,*) ∪ (d,d).
   std::vector<const Pattern*> left_wild;
   std::vector<const Pattern*> right_wild;
+  std::vector<const Pattern*> right_all;
   std::unordered_map<Value, std::vector<const Pattern*>, ValueHash> left_by;
   std::unordered_map<Value, std::vector<const Pattern*>, ValueHash> right_by;
   for (const Pattern& p : left) {
@@ -170,6 +172,7 @@ PatternSet PatternJoin(const PatternSet& left, size_t attr_a,
   }
   for (const Pattern& p : right) {
     PCDB_CHECK(attr_b < p.arity());
+    right_all.push_back(&p);
     if (p.IsWildcard(attr_b)) {
       right_wild.push_back(&p);
     } else {
@@ -177,26 +180,55 @@ PatternSet PatternJoin(const PatternSet& left, size_t attr_a,
     }
   }
 
-  auto emit = [&](const Pattern& l, const Pattern& r) {
-    EmitJoinedPair(l.Concat(r), a, b, &sink);
+  // One unit per left pattern: its partition-mate span on the right.
+  struct JoinUnit {
+    const Pattern* l;
+    const std::vector<const Pattern*>* rs;
   };
+  std::vector<JoinUnit> units;
+  units.reserve(left.size());
   // (*,*) and (*,d): left wildcard joins with everything.
-  for (const Pattern* l : left_wild) {
-    for (const Pattern& r : right) emit(*l, r);
-  }
-  // (d,*): constant left with wildcard right.
-  for (const auto& [value, ls] : left_by) {
-    for (const Pattern* l : ls) {
-      for (const Pattern* r : right_wild) emit(*l, *r);
-    }
-  }
-  // (d,d): matching constants only.
+  for (const Pattern* l : left_wild) units.push_back({l, &right_all});
+  // (d,*) and (d,d): constant left with the wildcard partition and its
+  // matching constant partition.
   for (const auto& [value, ls] : left_by) {
     auto it = right_by.find(value);
-    if (it == right_by.end()) continue;
+    const std::vector<const Pattern*>* match =
+        it == right_by.end() ? nullptr : &it->second;
     for (const Pattern* l : ls) {
-      for (const Pattern* r : it->second) emit(*l, *r);
+      units.push_back({l, &right_wild});
+      if (match != nullptr) units.push_back({l, match});
     }
+  }
+
+  auto run_units = [&](size_t begin, size_t end, DedupSink* out) {
+    for (size_t u = begin; u < end; ++u) {
+      const Pattern& l = *units[u].l;
+      for (const Pattern* r : *units[u].rs) {
+        EmitJoinedPair(l.Concat(*r), a, b, out);
+      }
+    }
+  };
+
+  const size_t num_chunks =
+      pool == nullptr ? 1 : std::min(pool->num_threads(), units.size());
+  if (num_chunks <= 1) {
+    run_units(0, units.size(), &sink);
+    return sink.Take();
+  }
+  // Fan out: contiguous unit chunks, one private sink per chunk, merged
+  // in chunk order so the output is deterministic.
+  std::vector<DedupSink> partial(num_chunks);
+  const size_t per_chunk = (units.size() + num_chunks - 1) / num_chunks;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t begin = c * per_chunk;
+    const size_t end = std::min(begin + per_chunk, units.size());
+    if (begin >= end) break;
+    pool->Submit([&, begin, end, c] { run_units(begin, end, &partial[c]); });
+  }
+  pool->Wait();
+  for (DedupSink& p : partial) {
+    for (const Pattern& q : p.Take()) sink.Add(q);
   }
   return sink.Take();
 }

@@ -1,5 +1,8 @@
 #include "pattern/annotated_eval.h"
 
+#include <memory>
+
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "pattern/algebra.h"
 #include "pattern/zombie.h"
@@ -18,7 +21,11 @@ class AnnotatedEvaluator {
   AnnotatedEvaluator(const AnnotatedDatabase& adb,
                      const AnnotatedEvalOptions& options,
                      AnnotatedEvalInfo* info)
-      : adb_(adb), options_(options), info_(info) {}
+      : adb_(adb), options_(options), info_(info) {
+    if (options.num_threads > 1) {
+      pool_ = std::make_unique<ThreadPool>(options.num_threads);
+    }
+  }
 
   Result<AnnotatedTable> Eval(const Expr& expr) {
     AnnotatedTable left;
@@ -40,7 +47,9 @@ class AnnotatedEvaluator {
           std::max(info_->max_intermediate_patterns, patterns.size());
     }
     if (options_.minimize_each_step) {
-      patterns = Minimize(patterns);
+      patterns = ParallelMinimize(patterns, MinimizeApproach::kAllAtOnce,
+                                  PatternIndexKind::kDiscriminationTree,
+                                  pool_.get());
     }
     if (info_ != nullptr) info_->pattern_millis += timer.ElapsedMillis();
 
@@ -48,7 +57,7 @@ class AnnotatedEvaluator {
     PCDB_ASSIGN_OR_RETURN(
         Table data, ApplyRootOperator(expr, adb_.database(),
                                       std::move(left.data),
-                                      std::move(right.data)));
+                                      std::move(right.data), pool_.get()));
     if (info_ != nullptr) info_->data_millis += timer.ElapsedMillis();
     return AnnotatedTable{std::move(data), std::move(patterns)};
   }
@@ -115,7 +124,7 @@ class AnnotatedEvaluator {
           if (info_ != nullptr) info_->promotion.MergeFrom(stats);
         } else {
           out = PatternJoin(left.patterns, a, right.patterns, b,
-                            options_.join_strategy);
+                            options_.join_strategy, pool_.get());
         }
         if (options_.zombies) {
           const std::vector<Value>* left_domain =
@@ -164,6 +173,7 @@ class AnnotatedEvaluator {
   const AnnotatedDatabase& adb_;
   const AnnotatedEvalOptions& options_;
   AnnotatedEvalInfo* info_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads <= 1
 };
 
 /// Schema-only recursion: computes (output schema, pattern set) per node
@@ -172,7 +182,11 @@ class SchemaOnlyEvaluator {
  public:
   SchemaOnlyEvaluator(const AnnotatedDatabase& adb,
                       const AnnotatedEvalOptions& options, size_t* cost)
-      : adb_(adb), options_(options), cost_(cost) {}
+      : adb_(adb), options_(options), cost_(cost) {
+    if (options.num_threads > 1) {
+      pool_ = std::make_unique<ThreadPool>(options.num_threads);
+    }
+  }
 
   struct Node {
     Schema schema;
@@ -191,7 +205,9 @@ class SchemaOnlyEvaluator {
     PCDB_ASSIGN_OR_RETURN(Node node, Apply(expr, left, right));
     if (cost_ != nullptr) *cost_ += node.patterns.size();
     if (options_.minimize_each_step) {
-      node.patterns = Minimize(node.patterns);
+      node.patterns =
+          ParallelMinimize(node.patterns, MinimizeApproach::kAllAtOnce,
+                           PatternIndexKind::kDiscriminationTree, pool_.get());
     }
     return node;
   }
@@ -239,7 +255,7 @@ class SchemaOnlyEvaluator {
         PCDB_ASSIGN_OR_RETURN(size_t b, right.schema.Resolve(expr.attr2()));
         return Node{std::move(schema),
                     PatternJoin(left.patterns, a, right.patterns, b,
-                                options_.join_strategy)};
+                                options_.join_strategy, pool_.get())};
       }
       case ExprKind::kAggregate: {
         std::vector<size_t> group_idx;
@@ -270,6 +286,7 @@ class SchemaOnlyEvaluator {
   const AnnotatedDatabase& adb_;
   const AnnotatedEvalOptions& options_;
   size_t* cost_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads <= 1
 };
 
 }  // namespace

@@ -22,6 +22,11 @@ struct AnnotatedEvalOptions {
   /// sets small; promotion and zombies in particular produce many
   /// subsumed patterns (Tables 9, 10).
   bool minimize_each_step = true;
+  /// Worker threads shared by the whole evaluation: per-operator
+  /// minimization (ParallelMinimize), the partitioned pattern join, and
+  /// the data-side hash-join probe all fan out over one pool. 1 = the
+  /// serial paths; results are SetEquals/bit-identical either way.
+  size_t num_threads = 1;
   PatternJoinStrategy join_strategy =
       PatternJoinStrategy::kPartitionedHashJoin;
   PromotionOptions promotion;

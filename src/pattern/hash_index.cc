@@ -1,5 +1,7 @@
 #include "pattern/hash_index.h"
 
+#include <bit>
+
 #include "common/logging.h"
 
 namespace pcdb {
@@ -17,32 +19,68 @@ void HashIndex::Insert(const Pattern& p) {
 
 bool HashIndex::Remove(const Pattern& p) { return patterns_.erase(p) > 0; }
 
-bool HashIndex::HasSubsumer(const Pattern& p, bool strict) const {
+bool HashIndex::UseEnumeration(size_t num_constants) const {
+  switch (probe_strategy_) {
+    case ProbeStrategy::kScan:
+      return false;
+    case ProbeStrategy::kEnumerate:
+      return num_constants < 64;
+    case ProbeStrategy::kAuto:
+      // 2^c generalization lookups versus one scan of the whole table:
+      // take whichever is fewer probes.
+      return num_constants < 64 &&
+             (uint64_t{1} << num_constants) <= patterns_.size();
+  }
+  return false;
+}
+
+template <typename Visitor>
+void HashIndex::ForEachStoredGeneralization(const Pattern& p, bool strict,
+                                            Visitor&& visit) const {
   std::vector<size_t> constant_positions;
   for (size_t i = 0; i < p.arity(); ++i) {
     if (!p.IsWildcard(i)) constant_positions.push_back(i);
   }
   const size_t c = constant_positions.size();
-  if (c > kMaxEnumeratedConstants) {
+  // Saved constants, so cleared cells can be restored in O(1).
+  std::vector<Pattern::Cell> saved(c);
+  for (size_t i = 0; i < c; ++i) saved[i] = p.cell(constant_positions[i]);
+
+  // Gray-code walk over the 2^c constant subsets: consecutive masks
+  // differ in exactly one bit, so each step writes a single cell of the
+  // scratch pattern (wildcard on set, saved constant on clear) instead
+  // of rebuilding the probe with c WithWildcard copies.
+  Pattern scratch = p;
+  const uint64_t limit = uint64_t{1} << c;
+  uint64_t gray = 0;
+  for (uint64_t k = 0;;) {
+    // gray == 0 is p itself, which only counts for non-strict checks.
+    if (!(gray == 0 && strict) && patterns_.count(scratch) > 0) {
+      if (!visit(scratch)) return;
+    }
+    if (++k == limit) break;
+    const size_t bit = static_cast<size_t>(std::countr_zero(k));
+    gray ^= uint64_t{1} << bit;
+    scratch.SetCell(constant_positions[bit],
+                    (gray & (uint64_t{1} << bit)) ? Pattern::Wildcard()
+                                                  : saved[bit]);
+  }
+}
+
+bool HashIndex::HasSubsumer(const Pattern& p, bool strict) const {
+  size_t num_constants = p.NumConstants();
+  if (!UseEnumeration(num_constants)) {
     for (const Pattern& q : patterns_) {
       if (strict ? q.StrictlySubsumes(p) : q.Subsumes(p)) return true;
     }
     return false;
   }
-  // Enumerate the 2^c generalizations of p: for each subset of constant
-  // positions, the pattern with those constants replaced by wildcards.
-  // mask == 0 is p itself, which only counts for non-strict checks.
-  const uint64_t limit = uint64_t{1} << c;
-  for (uint64_t mask = strict ? 1 : 0; mask < limit; ++mask) {
-    Pattern g = p;
-    for (size_t bit = 0; bit < c; ++bit) {
-      if (mask & (uint64_t{1} << bit)) {
-        g = g.WithWildcard(constant_positions[bit]);
-      }
-    }
-    if (patterns_.count(g) > 0) return true;
-  }
-  return false;
+  bool found = false;
+  ForEachStoredGeneralization(p, strict, [&found](const Pattern&) {
+    found = true;
+    return false;  // stop at the first hit
+  });
+  return found;
 }
 
 void HashIndex::CollectSubsumed(const Pattern& p, bool strict,
@@ -57,27 +95,16 @@ void HashIndex::CollectSubsumed(const Pattern& p, bool strict,
 
 void HashIndex::CollectSubsumers(const Pattern& p, bool strict,
                                  std::vector<Pattern>* out) const {
-  std::vector<size_t> constant_positions;
-  for (size_t i = 0; i < p.arity(); ++i) {
-    if (!p.IsWildcard(i)) constant_positions.push_back(i);
-  }
-  const size_t c = constant_positions.size();
-  if (c > kMaxEnumeratedConstants) {
+  if (!UseEnumeration(p.NumConstants())) {
     for (const Pattern& q : patterns_) {
       if (strict ? q.StrictlySubsumes(p) : q.Subsumes(p)) out->push_back(q);
     }
     return;
   }
-  const uint64_t limit = uint64_t{1} << c;
-  for (uint64_t mask = strict ? 1 : 0; mask < limit; ++mask) {
-    Pattern g = p;
-    for (size_t bit = 0; bit < c; ++bit) {
-      if (mask & (uint64_t{1} << bit)) {
-        g = g.WithWildcard(constant_positions[bit]);
-      }
-    }
-    if (patterns_.count(g) > 0) out->push_back(g);
-  }
+  ForEachStoredGeneralization(p, strict, [out](const Pattern& q) {
+    out->push_back(q);
+    return true;
+  });
 }
 
 std::vector<Pattern> HashIndex::Contents() const {

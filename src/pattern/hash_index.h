@@ -12,12 +12,21 @@ namespace pcdb {
 ///
 /// Subsumption checking enumerates all generalizations of the probe
 /// pattern (each subset of its constants replaced by wildcards — 2^c
-/// probes for c constants) and looks each up in the table. Supersumption
-/// retrieval has no sub-linear implementation on a hash table and falls
-/// back to scanning, which is why the paper pairs hashing with the
-/// all-at-once and sorted-incremental approaches (B1, B3).
+/// probes for c constants) and looks each up in the table. The
+/// enumeration walks the subsets in Gray-code order, mutating a single
+/// scratch pattern one cell per step instead of rebuilding the probe
+/// from scratch per mask. Whenever 2^c exceeds the table size the
+/// enumeration would be slower than simply scanning, so the check
+/// adaptively falls back to a linear scan. Supersumption retrieval has
+/// no sub-linear implementation on a hash table and always scans, which
+/// is why the paper pairs hashing with the all-at-once and
+/// sorted-incremental approaches (B1, B3).
 class HashIndex : public PatternIndex {
  public:
+  /// Forces one probe implementation; tests use this to check that both
+  /// strategies agree. kAuto picks per probe as described above.
+  enum class ProbeStrategy { kAuto, kScan, kEnumerate };
+
   explicit HashIndex(size_t arity) : arity_(arity) {}
 
   void Insert(const Pattern& p) override;
@@ -32,12 +41,23 @@ class HashIndex : public PatternIndex {
   size_t ApproxMemoryBytes() const override;
   const char* name() const override { return "B"; }
 
+  void set_probe_strategy_for_test(ProbeStrategy strategy) {
+    probe_strategy_ = strategy;
+  }
+
  private:
-  /// Above this many constants, 2^c generalization probes would exceed a
-  /// linear scan; fall back to scanning.
-  static constexpr size_t kMaxEnumeratedConstants = 20;
+  /// True if the generalization enumeration should run for a probe with
+  /// `num_constants` constants (2^c lookups beat a scan of size()).
+  bool UseEnumeration(size_t num_constants) const;
+
+  /// Visits every generalization of `p` stored in the table, strict or
+  /// not, in Gray-code order; stops early when `visit` returns false.
+  template <typename Visitor>
+  void ForEachStoredGeneralization(const Pattern& p, bool strict,
+                                   Visitor&& visit) const;
 
   size_t arity_;
+  ProbeStrategy probe_strategy_ = ProbeStrategy::kAuto;
   std::unordered_set<Pattern, PatternHash> patterns_;
 };
 

@@ -1,6 +1,7 @@
 #include "pattern/minimize.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/timer.h"
@@ -106,6 +107,124 @@ PatternSet Minimize(const PatternSet& input, MinimizeApproach approach,
 PatternSet Minimize(const PatternSet& input) {
   return Minimize(input, MinimizeApproach::kAllAtOnce,
                   PatternIndexKind::kDiscriminationTree);
+}
+
+namespace {
+
+/// Bit mask of the constant (non-wildcard) positions, capped at 64 bits.
+/// If q subsumes p then q's constants are a subset of p's, so
+/// sig(q) ⊆ sig(p) — even under the cap, since dropping positions
+/// preserves the subset relation.
+uint64_t ConstantSignature(const Pattern& p) {
+  uint64_t mask = 0;
+  const size_t n = std::min<size_t>(p.arity(), 64);
+  for (size_t i = 0; i < n; ++i) {
+    if (!p.IsWildcard(i)) mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+}  // namespace
+
+PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,
+                            PatternIndexKind kind, ThreadPool* pool,
+                            MinimizeStats* stats) {
+  const size_t num_shards = pool == nullptr ? 1 : pool->num_threads();
+  // Below ~2 patterns per prospective shard the shard/merge machinery is
+  // pure overhead; the serial path is definitionally equivalent.
+  if (num_shards <= 1 || input.size() < 2 * num_shards) {
+    return Minimize(input, approach, kind, stats);
+  }
+  WallTimer timer;
+
+  // Group pattern indices by signature; a whole group always lands in
+  // one shard, so duplicates (and any equal-signature subsumption, which
+  // is exactly equality) resolve locally.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> groups;
+  for (size_t i = 0; i < input.size(); ++i) {
+    groups[ConstantSignature(input[i])].push_back(static_cast<uint32_t>(i));
+  }
+
+  // Greedy balance: largest group to the least-loaded shard. Sorting by
+  // (size desc, signature asc) keeps the assignment deterministic.
+  std::vector<const std::pair<const uint64_t, std::vector<uint32_t>>*> order;
+  order.reserve(groups.size());
+  for (const auto& g : groups) order.push_back(&g);
+  std::sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
+    if (a->second.size() != b->second.size()) {
+      return a->second.size() > b->second.size();
+    }
+    return a->first < b->first;
+  });
+  std::vector<PatternSet> shard_in(num_shards);
+  std::vector<size_t> load(num_shards, 0);
+  for (const auto* g : order) {
+    size_t target = 0;
+    for (size_t s = 1; s < num_shards; ++s) {
+      if (load[s] < load[target]) target = s;
+    }
+    for (uint32_t idx : g->second) shard_in[target].Add(input[idx]);
+    load[target] += g->second.size();
+  }
+
+  // Phase 1: minimize every shard concurrently with the requested
+  // method. Each task owns its index and stats slot.
+  std::vector<PatternSet> shard_out(num_shards);
+  std::vector<MinimizeStats> shard_stats(num_shards);
+  ParallelFor(pool, num_shards, [&](size_t s) {
+    shard_out[s] = Minimize(shard_in[s], approach, kind, &shard_stats[s]);
+  });
+
+  // Phase 2 (merge): all-at-once over the union of shard survivors. The
+  // union is duplicate-free (duplicates share a signature and were
+  // collapsed in-shard), so a strict subsumer check is exact. The index
+  // is built once and only read afterwards; probes write disjoint
+  // keep-slots, which makes the output deterministic.
+  std::vector<Pattern> merged;
+  for (const PatternSet& s : shard_out) {
+    merged.insert(merged.end(), s.begin(), s.end());
+  }
+  PatternSet out;
+  if (!merged.empty()) {
+    auto index = MakePatternIndex(kind, merged[0].arity());
+    for (const Pattern& p : merged) index->Insert(p);
+    std::vector<char> keep(merged.size(), 0);
+    ParallelFor(pool, merged.size(), [&](size_t i) {
+      keep[i] = index->HasSubsumer(merged[i], /*strict=*/true) ? 0 : 1;
+    });
+    for (size_t i = 0; i < merged.size(); ++i) {
+      if (keep[i]) out.Add(merged[i]);
+    }
+    if (stats != nullptr) {
+      stats->peak_index_size = std::max(stats->peak_index_size, index->size());
+      stats->peak_memory_bytes =
+          std::max(stats->peak_memory_bytes, index->ApproxMemoryBytes());
+    }
+  }
+  if (stats != nullptr) {
+    for (const MinimizeStats& s : shard_stats) {
+      stats->peak_index_size =
+          std::max(stats->peak_index_size, s.peak_index_size);
+      stats->peak_memory_bytes =
+          std::max(stats->peak_memory_bytes, s.peak_memory_bytes);
+    }
+    stats->output_size = out.size();
+    stats->millis = timer.ElapsedMillis();
+  }
+  return out;
+}
+
+PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,
+                            PatternIndexKind kind, size_t num_threads,
+                            MinimizeStats* stats) {
+  if (num_threads <= 1) return Minimize(input, approach, kind, stats);
+  ThreadPool pool(num_threads);
+  return ParallelMinimize(input, approach, kind, &pool, stats);
+}
+
+PatternSet ParallelMinimize(const PatternSet& input, size_t num_threads) {
+  return ParallelMinimize(input, MinimizeApproach::kAllAtOnce,
+                          PatternIndexKind::kDiscriminationTree, num_threads);
 }
 
 bool IsMinimal(const PatternSet& set) {

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/thread_pool.h"
 #include "pattern/pattern.h"
 #include "pattern/pattern_index.h"
 
@@ -50,6 +51,38 @@ PatternSet Minimize(const PatternSet& input, MinimizeApproach approach,
 /// Minimizes with the best-performing method from the paper's
 /// experiments (all-at-once over a discrimination tree, D1).
 PatternSet Minimize(const PatternSet& input);
+
+/// \brief Sharded, multi-threaded minimization. Produces a result that
+/// is SetEquals-identical to `Minimize(input, approach, kind)`.
+///
+/// Patterns are grouped by their *constant-position signature* (the bit
+/// mask of non-wildcard positions) and signature groups are packed into
+/// one shard per thread. Subsumption q ≻ p forces sig(q) ⊆ sig(p), so
+/// patterns whose signatures are incomparable can never subsume one
+/// another — in particular, duplicates and equal-signature subsumptions
+/// always resolve inside one shard. Shards are minimized concurrently
+/// with the selected §4.4 method; a cross-shard merge pass (an
+/// all-at-once sweep over the union of shard survivors, probed in
+/// parallel against a shared read-only index) removes the remaining
+/// subsumptions between comparable signatures. See docs/ALGEBRA.md,
+/// "Parallel minimization" for the full correctness argument.
+///
+/// `num_threads <= 1` (or a trivially small input) falls back to the
+/// serial Minimize path. `stats`, if given, receives the output size,
+/// total wall time and the worst per-shard/merge index peaks.
+PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,
+                            PatternIndexKind kind, size_t num_threads,
+                            MinimizeStats* stats = nullptr);
+
+/// As above, but runs on a caller-owned pool (the annotated evaluator
+/// reuses one pool across all per-operator minimizations). A null pool
+/// means serial.
+PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,
+                            PatternIndexKind kind, ThreadPool* pool,
+                            MinimizeStats* stats = nullptr);
+
+/// ParallelMinimize with the paper's best method (D1).
+PatternSet ParallelMinimize(const PatternSet& input, size_t num_threads);
 
 /// True if no element of `set` is strictly subsumed by another and there
 /// are no duplicate patterns.

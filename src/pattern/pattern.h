@@ -57,6 +57,12 @@ class Pattern {
   /// True if every cell is the wildcard.
   bool IsAllWildcards() const { return NumWildcards() == arity(); }
 
+  /// In-place overwrite of position i. For scratch patterns on probe
+  /// hot paths (hash_index generalization enumeration) where the
+  /// copy-per-mask of WithWildcard would dominate; most callers want the
+  /// immutable With* builders below.
+  void SetCell(size_t i, Cell cell) { cells_[i] = std::move(cell); }
+
   /// p[A/∗] — copy with position i replaced by the wildcard (§4.1.1).
   Pattern WithWildcard(size_t i) const;
 

@@ -7,34 +7,161 @@
 
 namespace pcdb {
 
+namespace {
+
+/// One parsed CSV record plus bookkeeping for error messages. A record
+/// may span multiple physical lines when a quoted field embeds newlines.
+struct CsvRecord {
+  std::vector<std::string> fields;
+  /// Which fields were quoted (quoted fields keep surrounding
+  /// whitespace verbatim; unquoted fields are trimmed like before).
+  std::vector<bool> quoted;
+  size_t line_no = 0;  // first physical line of the record
+};
+
+/// RFC-4180-style record reader over `text` starting at `*pos`. Returns
+/// false at end of input. On a malformed quoted field, fills `error`.
+/// `*line_no` tracks physical lines (1-based) across calls.
+bool NextCsvRecord(const std::string& text, size_t* pos, size_t* line_no,
+                   CsvRecord* record, std::string* error) {
+  const size_t n = text.size();
+  if (*pos >= n) return false;
+  record->fields.clear();
+  record->quoted.clear();
+  ++*line_no;
+  record->line_no = *line_no;
+
+  std::string field;
+  bool field_quoted = false;
+  bool in_quotes = false;
+  bool seen_quote_end = false;  // closing quote seen, expecting , or EOL
+  auto finish_field = [&] {
+    record->fields.push_back(field);
+    record->quoted.push_back(field_quoted);
+    field.clear();
+    field_quoted = false;
+    seen_quote_end = false;
+  };
+
+  size_t i = *pos;
+  for (; i < n; ++i) {
+    const char ch = text[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field += '"';  // escaped quote
+          ++i;
+        } else {
+          in_quotes = false;
+          seen_quote_end = true;
+        }
+      } else {
+        if (ch == '\n') ++*line_no;
+        field += ch;  // commas and newlines are literal inside quotes
+      }
+      continue;
+    }
+    if (ch == ',') {
+      finish_field();
+    } else if (ch == '\n') {
+      ++i;
+      break;  // end of record
+    } else if (ch == '\r' && (i + 1 >= n || text[i + 1] == '\n')) {
+      i += (i + 1 < n) ? 2 : 1;
+      break;  // CRLF (or trailing CR at EOF) end of record
+    } else if (ch == '"' && TrimString(field).empty() && !seen_quote_end) {
+      // Opening quote (possibly after leading spaces, which RFC 4180
+      // forbids but we tolerate and drop).
+      field.clear();
+      in_quotes = true;
+      field_quoted = true;
+    } else if (seen_quote_end) {
+      // Between a closing quote and the next separator only whitespace
+      // is tolerated.
+      if (ch != ' ' && ch != '\t') {
+        *error = "line " + std::to_string(*line_no) +
+                 ": unexpected character after closing quote";
+        return false;
+      }
+    } else {
+      field += ch;
+    }
+  }
+  if (in_quotes) {
+    *error = "line " + std::to_string(record->line_no) +
+             ": unterminated quoted field";
+    return false;
+  }
+  finish_field();
+  *pos = i;
+  return true;
+}
+
+/// True if the record is a blank line (single empty unquoted field).
+bool IsBlankRecord(const CsvRecord& record) {
+  return record.fields.size() == 1 && !record.quoted[0] &&
+         TrimString(record.fields[0]).empty();
+}
+
+/// RFC-4180 quoting: wrap fields containing separators, quotes, CR/LF,
+/// or leading/trailing whitespace (the reader trims unquoted fields, so
+/// meaningful spaces must be protected) and double embedded quotes.
+void AppendCsvField(const std::string& field, std::string* out) {
+  bool needs_quotes = false;
+  for (char ch : field) {
+    if (ch == ',' || ch == '"' || ch == '\n' || ch == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!field.empty() && (field.front() == ' ' || field.front() == '\t' ||
+                         field.back() == ' ' || field.back() == '\t')) {
+    needs_quotes = true;
+  }
+  if (!needs_quotes) {
+    *out += field;
+    return;
+  }
+  *out += '"';
+  for (char ch : field) {
+    if (ch == '"') *out += '"';
+    *out += ch;
+  }
+  *out += '"';
+}
+
+}  // namespace
+
 Result<Table> ReadCsvString(const std::string& text, const Schema& schema,
                             bool has_header) {
   Table table(schema);
-  std::istringstream stream(text);
-  std::string line;
+  size_t pos = 0;
   size_t line_no = 0;
   bool skipped_header = !has_header;
-  while (std::getline(stream, line)) {
-    ++line_no;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (TrimString(line).empty()) continue;
+  CsvRecord record;
+  std::string error;
+  while (NextCsvRecord(text, &pos, &line_no, &record, &error)) {
+    if (IsBlankRecord(record)) continue;
     if (!skipped_header) {
       skipped_header = true;
       continue;
     }
-    std::vector<std::string> fields = SplitString(line, ',');
-    if (fields.size() != schema.arity()) {
+    if (record.fields.size() != schema.arity()) {
       return Status::ParseError(
-          "line " + std::to_string(line_no) + ": expected " +
+          "line " + std::to_string(record.line_no) + ": expected " +
           std::to_string(schema.arity()) + " fields, got " +
-          std::to_string(fields.size()));
+          std::to_string(record.fields.size()));
     }
     Tuple row;
-    row.reserve(fields.size());
-    for (size_t i = 0; i < fields.size(); ++i) {
-      auto value = Value::Parse(TrimString(fields[i]), schema.column(i).type);
+    row.reserve(record.fields.size());
+    for (size_t i = 0; i < record.fields.size(); ++i) {
+      // Quoted fields are verbatim; unquoted fields are trimmed (the
+      // pre-quoting format allowed padded fields like " 1 , x ").
+      const std::string& raw = record.fields[i];
+      auto value = Value::Parse(record.quoted[i] ? raw : TrimString(raw),
+                                schema.column(i).type);
       if (!value.ok()) {
-        return Status::ParseError("line " + std::to_string(line_no) +
+        return Status::ParseError("line " + std::to_string(record.line_no) +
                                   ", column '" + schema.column(i).name +
                                   "': " + value.status().message());
       }
@@ -42,6 +169,7 @@ Result<Table> ReadCsvString(const std::string& text, const Schema& schema,
     }
     table.AppendUnchecked(std::move(row));
   }
+  if (!error.empty()) return Status::ParseError(error);
   return table;
 }
 
@@ -60,13 +188,13 @@ std::string WriteCsvString(const Table& table) {
   std::string out;
   for (size_t i = 0; i < table.schema().arity(); ++i) {
     if (i > 0) out += ",";
-    out += table.schema().column(i).name;
+    AppendCsvField(table.schema().column(i).name, &out);
   }
   out += "\n";
   for (const Tuple& row : table.rows()) {
     for (size_t i = 0; i < row.size(); ++i) {
       if (i > 0) out += ",";
-      out += row[i].ToString();
+      AppendCsvField(row[i].ToString(), &out);
     }
     out += "\n";
   }

@@ -1,9 +1,11 @@
 #include "relational/evaluator.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace pcdb {
 namespace {
@@ -73,12 +75,15 @@ Result<Table> EvalRearrange(const Expr& expr, Table in) {
   return out;
 }
 
-Result<Table> EvalJoin(const Expr& expr, Table lhs, Table rhs) {
+Result<Table> EvalJoin(const Expr& expr, Table lhs, Table rhs,
+                       ThreadPool* pool) {
   Schema out_schema = lhs.schema().Concat(rhs.schema());
   Table out(std::move(out_schema));
   if (expr.attr().empty()) {
-    // Cartesian product.
-    out.Reserve(lhs.num_rows() * rhs.num_rows());
+    // Cartesian product. The reservation is clamped: the row-count
+    // product can overflow size_t or demand absurd capacity long before
+    // the loop below would ever materialize it.
+    out.Reserve(internal::CartesianReserve(lhs.num_rows(), rhs.num_rows()));
     for (const Tuple& l : lhs.rows()) {
       for (const Tuple& r : rhs.rows()) {
         Tuple joined = l;
@@ -103,15 +108,50 @@ Result<Table> EvalJoin(const Expr& expr, Table lhs, Table rhs) {
   std::unordered_multimap<Value, const Tuple*, ValueHash> index;
   index.reserve(build.num_rows());
   for (const Tuple& t : build.rows()) index.emplace(t[build_key], &t);
-  for (const Tuple& t : probe.rows()) {
-    auto [begin, end] = index.equal_range(t[probe_key]);
-    for (auto it = begin; it != end; ++it) {
-      const Tuple& l = build_left ? *it->second : t;
-      const Tuple& r = build_left ? t : *it->second;
-      Tuple joined = l;
-      joined.insert(joined.end(), r.begin(), r.end());
-      out.AppendUnchecked(std::move(joined));
+
+  auto probe_range = [&](size_t begin, size_t end,
+                         std::vector<Tuple>* sink) {
+    for (size_t row = begin; row < end; ++row) {
+      const Tuple& t = probe.row(row);
+      auto [first, last] = index.equal_range(t[probe_key]);
+      for (auto it = first; it != last; ++it) {
+        const Tuple& l = build_left ? *it->second : t;
+        const Tuple& r = build_left ? t : *it->second;
+        Tuple joined = l;
+        joined.insert(joined.end(), r.begin(), r.end());
+        sink->push_back(std::move(joined));
+      }
     }
+  };
+
+  const size_t num_chunks = std::min<size_t>(
+      pool == nullptr ? 1 : pool->num_threads(), probe.num_rows());
+  if (num_chunks <= 1) {
+    std::vector<Tuple> rows;
+    probe_range(0, probe.num_rows(), &rows);
+    out.Reserve(rows.size());
+    for (Tuple& t : rows) out.AppendUnchecked(std::move(t));
+    return out;
+  }
+  // Parallel probe: contiguous probe-row chunks over the shared
+  // read-only build index, one output buffer per chunk. Concatenating
+  // the buffers in chunk order reproduces the serial row order exactly
+  // (equal_range iteration order on a const multimap is fixed).
+  std::vector<std::vector<Tuple>> chunk_rows(num_chunks);
+  const size_t per_chunk = (probe.num_rows() + num_chunks - 1) / num_chunks;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t begin = c * per_chunk;
+    const size_t end = std::min(begin + per_chunk, probe.num_rows());
+    if (begin >= end) break;
+    pool->Submit(
+        [&, begin, end, c] { probe_range(begin, end, &chunk_rows[c]); });
+  }
+  pool->Wait();
+  size_t total = 0;
+  for (const auto& rows : chunk_rows) total += rows.size();
+  out.Reserve(total);
+  for (auto& rows : chunk_rows) {
+    for (Tuple& t : rows) out.AppendUnchecked(std::move(t));
   }
   return out;
 }
@@ -254,8 +294,23 @@ Result<Table> EvalAggregate(const Expr& expr, Table in, const Database& db) {
 
 }  // namespace
 
+namespace internal {
+
+size_t CartesianReserve(size_t lhs_rows, size_t rhs_rows) {
+  // Pre-reserving beyond a few million rows buys little over amortized
+  // growth and risks an enormous up-front allocation.
+  constexpr size_t kMaxReserve = size_t{1} << 22;  // ~4M rows
+  if (lhs_rows == 0 || rhs_rows == 0) return 0;
+  if (lhs_rows > std::numeric_limits<size_t>::max() / rhs_rows) {
+    return kMaxReserve;  // product overflows size_t
+  }
+  return std::min(lhs_rows * rhs_rows, kMaxReserve);
+}
+
+}  // namespace internal
+
 Result<Table> ApplyRootOperator(const Expr& expr, const Database& db,
-                                Table left, Table right) {
+                                Table left, Table right, ThreadPool* pool) {
   switch (expr.kind()) {
     case ExprKind::kScan:
       return EvalScan(expr, db);
@@ -268,7 +323,7 @@ Result<Table> ApplyRootOperator(const Expr& expr, const Database& db,
     case ExprKind::kRearrange:
       return EvalRearrange(expr, std::move(left));
     case ExprKind::kJoin:
-      return EvalJoin(expr, std::move(left), std::move(right));
+      return EvalJoin(expr, std::move(left), std::move(right), pool);
     case ExprKind::kAggregate:
       return EvalAggregate(expr, std::move(left), db);
     case ExprKind::kSort:
@@ -287,16 +342,32 @@ Result<Table> ApplyRootOperator(const Expr& expr, const Database& db,
   return Status::Internal("unhandled expression kind");
 }
 
-Result<Table> Evaluate(const Expr& expr, const Database& db) {
+namespace {
+
+Result<Table> EvaluateWithPool(const Expr& expr, const Database& db,
+                               ThreadPool* pool) {
   Table left;
   Table right;
   if (expr.left() != nullptr) {
-    PCDB_ASSIGN_OR_RETURN(left, Evaluate(*expr.left(), db));
+    PCDB_ASSIGN_OR_RETURN(left, EvaluateWithPool(*expr.left(), db, pool));
   }
   if (expr.right() != nullptr) {
-    PCDB_ASSIGN_OR_RETURN(right, Evaluate(*expr.right(), db));
+    PCDB_ASSIGN_OR_RETURN(right, EvaluateWithPool(*expr.right(), db, pool));
   }
-  return ApplyRootOperator(expr, db, std::move(left), std::move(right));
+  return ApplyRootOperator(expr, db, std::move(left), std::move(right), pool);
+}
+
+}  // namespace
+
+Result<Table> Evaluate(const Expr& expr, const Database& db) {
+  return EvaluateWithPool(expr, db, nullptr);
+}
+
+Result<Table> Evaluate(const Expr& expr, const Database& db,
+                       const EvalOptions& options) {
+  if (options.num_threads <= 1) return EvaluateWithPool(expr, db, nullptr);
+  ThreadPool pool(options.num_threads);
+  return EvaluateWithPool(expr, db, &pool);
 }
 
 }  // namespace pcdb

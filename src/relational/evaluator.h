@@ -1,12 +1,25 @@
 #ifndef PCDB_RELATIONAL_EVALUATOR_H_
 #define PCDB_RELATIONAL_EVALUATOR_H_
 
+#include <cstddef>
+
 #include "common/result.h"
 #include "relational/database.h"
 #include "relational/expr.h"
 #include "relational/table.h"
 
 namespace pcdb {
+
+class ThreadPool;
+
+/// \brief Knobs for relational evaluation.
+struct EvalOptions {
+  /// Worker threads for the hash-join probe phase. 1 = serial. The
+  /// parallel probe chunks the probe side over a shared read-only build
+  /// index and concatenates per-chunk outputs in chunk order, so the
+  /// result rows are bit-identical to the serial evaluation.
+  size_t num_threads = 1;
+};
 
 /// \brief Evaluates a relational algebra expression over a database
 /// instance (Q(D) in §3.1), under bag semantics.
@@ -16,17 +29,37 @@ namespace pcdb {
 /// ambiguous attributes, and type mismatches.
 Result<Table> Evaluate(const Expr& expr, const Database& db);
 
+Result<Table> Evaluate(const Expr& expr, const Database& db,
+                       const EvalOptions& options);
+
 inline Result<Table> Evaluate(const ExprPtr& expr, const Database& db) {
   return Evaluate(*expr, db);
+}
+
+inline Result<Table> Evaluate(const ExprPtr& expr, const Database& db,
+                              const EvalOptions& options) {
+  return Evaluate(*expr, db, options);
 }
 
 /// Applies only the root operator of `expr` to already-evaluated child
 /// results (`left`/`right` are ignored where the operator takes fewer
 /// inputs; kScan takes none). Used by the annotated evaluator
 /// (pattern/annotated_eval.h) to run the data plan and the metadata plan
-/// in lockstep over shared intermediates.
+/// in lockstep over shared intermediates. A non-null `pool` parallelizes
+/// the hash-join probe phase.
 Result<Table> ApplyRootOperator(const Expr& expr, const Database& db,
-                                Table left, Table right);
+                                Table left, Table right,
+                                ThreadPool* pool = nullptr);
+
+namespace internal {
+
+/// Capacity actually reserved for a cartesian product of `lhs_rows` ×
+/// `rhs_rows` tuples: the true product, clamped so that a huge (or
+/// size_t-overflowing) row-count product cannot request absurd capacity
+/// up front. Rows beyond the clamp grow the vector normally.
+size_t CartesianReserve(size_t lhs_rows, size_t rhs_rows);
+
+}  // namespace internal
 
 }  // namespace pcdb
 

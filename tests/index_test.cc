@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/random.h"
+#include "pattern/hash_index.h"
 #include "pattern/linear_index.h"
 #include "pattern/pattern_index.h"
 
@@ -237,6 +238,71 @@ INSTANTIATE_TEST_SUITE_P(
              : info.param == PatternIndexKind::kPathIndex    ? "PathIndex"
                                                              : "DiscTree";
     });
+
+// ---------------------------------------------------------------------------
+// HashIndex probe strategies: the Gray-code generalization enumeration
+// and the linear scan must agree on every probe, and kAuto (which picks
+// between them per probe based on 2^c vs table size) must match both.
+
+TEST(HashIndexProbeTest, ScanAndEnumerationAgreeOnRandomSets) {
+  Rng rng(2024);
+  for (size_t arity : {3u, 6u, 10u}) {
+    for (double wild_prob : {0.2, 0.6}) {
+      // Small tables force the adaptive cutoff to trip (2^c > size for
+      // constant-heavy probes); larger ones keep enumeration active.
+      for (size_t table_size : {3u, 40u, 400u}) {
+        HashIndex scan(arity);
+        HashIndex enumerate(arity);
+        HashIndex adaptive(arity);
+        scan.set_probe_strategy_for_test(HashIndex::ProbeStrategy::kScan);
+        enumerate.set_probe_strategy_for_test(
+            HashIndex::ProbeStrategy::kEnumerate);
+        for (size_t i = 0; i < table_size; ++i) {
+          Pattern p = RandomPattern(&rng, arity, 3, wild_prob);
+          scan.Insert(p);
+          enumerate.Insert(p);
+          adaptive.Insert(p);
+        }
+        for (int probe = 0; probe < 200; ++probe) {
+          Pattern p = RandomPattern(&rng, arity, 3, wild_prob);
+          for (bool strict : {false, true}) {
+            const bool want = scan.HasSubsumer(p, strict);
+            ASSERT_EQ(enumerate.HasSubsumer(p, strict), want)
+                << "probe " << p.ToString() << " strict=" << strict
+                << " arity=" << arity << " size=" << table_size;
+            ASSERT_EQ(adaptive.HasSubsumer(p, strict), want);
+            std::vector<Pattern> a;
+            std::vector<Pattern> b;
+            scan.CollectSubsumers(p, strict, &a);
+            enumerate.CollectSubsumers(p, strict, &b);
+            std::sort(a.begin(), a.end());
+            std::sort(b.begin(), b.end());
+            ASSERT_EQ(a, b) << "probe " << p.ToString();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(HashIndexProbeTest, AllConstantAndAllWildcardProbes) {
+  HashIndex index(4);
+  index.Insert(P({"*", "*", "*", "*"}));
+  index.Insert(P({"a", "b", "c", "d"}));
+  for (auto strategy : {HashIndex::ProbeStrategy::kScan,
+                        HashIndex::ProbeStrategy::kEnumerate,
+                        HashIndex::ProbeStrategy::kAuto}) {
+    index.set_probe_strategy_for_test(strategy);
+    EXPECT_TRUE(index.HasSubsumer(P({"a", "b", "c", "d"}), /*strict=*/false));
+    EXPECT_TRUE(index.HasSubsumer(P({"a", "b", "c", "d"}), /*strict=*/true));
+    EXPECT_TRUE(index.HasSubsumer(P({"*", "*", "*", "*"}), /*strict=*/false));
+    EXPECT_FALSE(index.HasSubsumer(P({"*", "*", "*", "*"}), /*strict=*/true));
+    std::vector<Pattern> out;
+    index.CollectSubsumers(P({"a", "b", "c", "d"}), /*strict=*/true, &out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], P({"*", "*", "*", "*"}));
+  }
+}
 
 }  // namespace
 }  // namespace pcdb

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "pattern/algebra.h"
+#include "pattern/annotated_eval.h"
+#include "pattern/minimize.h"
+#include "relational/evaluator.h"
+#include "workloads/maintenance_example.h"
+
+namespace pcdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, InlineModeRunsTasksImmediately) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int x = 0;
+  pool.Submit([&x] { x = 42; });
+  EXPECT_EQ(x, 42);  // ran inline, no Wait needed
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitGroupIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) pool.Submit([&count] { count.fetch_add(1); });
+    pool.Wait();
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  ParallelFor(&pool, hits.size(), [&hits](size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  ParallelFor(nullptr, 10, [&hits](size_t i) { hits[i] += 1; });  // serial
+  EXPECT_EQ(hits[5], 2);
+}
+
+// ---------------------------------------------------------------------------
+// Differential minimization matrix
+
+Pattern RandomPattern(Rng* rng, size_t arity, int values, double wild_prob) {
+  std::vector<Pattern::Cell> cells;
+  cells.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    if (rng->Bernoulli(wild_prob)) {
+      cells.push_back(Pattern::Wildcard());
+    } else {
+      cells.push_back(Value("v" + std::to_string(rng->UniformInt(0, values))));
+    }
+  }
+  return Pattern(std::move(cells));
+}
+
+/// Seeded random set with duplicates: patterns are drawn from a small
+/// domain and a fraction are re-added verbatim.
+PatternSet RandomSet(uint64_t seed, size_t n, size_t arity, int values,
+                     double wild_prob) {
+  Rng rng(seed);
+  PatternSet out;
+  out.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!out.empty() && rng.Bernoulli(0.2)) {
+      out.Add(out[rng.UniformUint64(out.size())]);  // duplicate
+    } else {
+      out.Add(RandomPattern(&rng, arity, values, wild_prob));
+    }
+  }
+  return out;
+}
+
+struct MatrixCase {
+  MinimizeApproach approach;
+  PatternIndexKind kind;
+};
+
+class ParallelMinimizeMatrixTest
+    : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(ParallelMinimizeMatrixTest, MatchesSerialAcrossThreadCounts) {
+  const auto [approach, kind] = GetParam();
+  uint64_t seed = 77;
+  for (size_t arity : {2u, 5u, 8u}) {
+    for (double wild_prob : {0.2, 0.5, 0.8}) {
+      PatternSet input = RandomSet(++seed, 400, arity, 3, wild_prob);
+      PatternSet serial = Minimize(input, approach, kind);
+      ASSERT_TRUE(IsMinimal(serial));
+      for (size_t threads : {1u, 2u, 8u}) {
+        MinimizeStats stats;
+        PatternSet parallel =
+            ParallelMinimize(input, approach, kind, threads, &stats);
+        EXPECT_TRUE(parallel.SetEquals(serial))
+            << MinimizeMethodName(kind, approach) << " diverged at arity "
+            << arity << ", wildcard density " << wild_prob << ", " << threads
+            << " threads";
+        EXPECT_TRUE(IsMinimal(parallel));
+        EXPECT_EQ(stats.output_size, serial.size());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, ParallelMinimizeMatrixTest,
+    ::testing::Values(
+        MatrixCase{MinimizeApproach::kAllAtOnce,
+                   PatternIndexKind::kLinearList},
+        MatrixCase{MinimizeApproach::kAllAtOnce, PatternIndexKind::kHashTable},
+        MatrixCase{MinimizeApproach::kAllAtOnce, PatternIndexKind::kPathIndex},
+        MatrixCase{MinimizeApproach::kAllAtOnce,
+                   PatternIndexKind::kDiscriminationTree},
+        MatrixCase{MinimizeApproach::kIncremental,
+                   PatternIndexKind::kLinearList},
+        MatrixCase{MinimizeApproach::kIncremental,
+                   PatternIndexKind::kHashTable},
+        MatrixCase{MinimizeApproach::kIncremental,
+                   PatternIndexKind::kPathIndex},
+        MatrixCase{MinimizeApproach::kIncremental,
+                   PatternIndexKind::kDiscriminationTree},
+        MatrixCase{MinimizeApproach::kSortedIncremental,
+                   PatternIndexKind::kLinearList},
+        MatrixCase{MinimizeApproach::kSortedIncremental,
+                   PatternIndexKind::kHashTable},
+        MatrixCase{MinimizeApproach::kSortedIncremental,
+                   PatternIndexKind::kPathIndex},
+        MatrixCase{MinimizeApproach::kSortedIncremental,
+                   PatternIndexKind::kDiscriminationTree}),
+    [](const ::testing::TestParamInfo<MatrixCase>& info) {
+      return MinimizeMethodName(info.param.kind, info.param.approach);
+    });
+
+TEST(ParallelMinimizeTest, EmptyAndTinyInputs) {
+  EXPECT_TRUE(ParallelMinimize(PatternSet(), 8).empty());
+  Rng rng(1);
+  PatternSet one;
+  one.Add(RandomPattern(&rng, 4, 3, 0.5));
+  EXPECT_EQ(ParallelMinimize(one, 8).size(), 1u);
+}
+
+TEST(ParallelMinimizeTest, SharedPoolOverloadMatchesSerial) {
+  PatternSet input = RandomSet(123, 600, 4, 2, 0.5);
+  PatternSet serial = Minimize(input);
+  ThreadPool pool(4);
+  PatternSet parallel =
+      ParallelMinimize(input, MinimizeApproach::kAllAtOnce,
+                       PatternIndexKind::kDiscriminationTree, &pool);
+  EXPECT_TRUE(parallel.SetEquals(serial));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel pattern join
+
+TEST(ParallelPatternJoinTest, MatchesSerialJoin) {
+  uint64_t seed = 9;
+  for (size_t n : {1u, 17u, 200u}) {
+    PatternSet left = RandomSet(++seed, n, 4, 3, 0.4);
+    PatternSet right = RandomSet(++seed, n, 3, 3, 0.4);
+    PatternSet serial = PatternJoin(left, 1, right, 0);
+    ThreadPool pool(8);
+    PatternSet parallel =
+        PatternJoin(left, 1, right, 0,
+                    PatternJoinStrategy::kPartitionedHashJoin, &pool);
+    EXPECT_TRUE(parallel.SetEquals(serial)) << "n=" << n;
+    // And both agree with the literal cross-product definition.
+    PatternSet cross = PatternJoin(left, 1, right, 0,
+                                   PatternJoinStrategy::kCrossProductSelect);
+    EXPECT_TRUE(Minimize(parallel).SetEquals(Minimize(cross)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel relational hash-join probe
+
+TEST(ParallelEvalJoinTest, BitIdenticalToSerialEvaluation) {
+  Database db;
+  Table orders(Schema({{"oid", ValueType::kInt64},
+                       {"customer", ValueType::kString}}));
+  Table items(Schema({{"order_id", ValueType::kInt64},
+                      {"sku", ValueType::kString}}));
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    orders.AppendUnchecked(
+        Tuple{Value(int64_t{i}), Value("c" + std::to_string(i % 7))});
+  }
+  for (int i = 0; i < 2000; ++i) {
+    items.AppendUnchecked(
+        Tuple{Value(static_cast<int64_t>(rng.UniformUint64(600))),
+              Value("sku" + std::to_string(i % 13))});
+  }
+  db.PutTable("Orders", std::move(orders));
+  db.PutTable("Items", std::move(items));
+
+  ExprPtr plan = Expr::Join(Expr::Scan("Orders"), Expr::Scan("Items"), "oid",
+                            "order_id");
+  auto serial = Evaluate(*plan, db);
+  ASSERT_TRUE(serial.ok());
+  for (size_t threads : {2u, 8u}) {
+    EvalOptions options;
+    options.num_threads = threads;
+    auto parallel = Evaluate(*plan, db, options);
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_EQ(parallel->num_rows(), serial->num_rows());
+    // Bit-identical: same rows in the same order, not just bag-equal.
+    for (size_t r = 0; r < serial->num_rows(); ++r) {
+      ASSERT_EQ(parallel->row(r), serial->row(r)) << "row " << r;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Annotated evaluation with the shared pool
+
+TEST(ParallelAnnotatedEvalTest, MatchesSerialEndToEnd) {
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  ExprPtr query = MakeHardwareWarningsQuery();
+  auto serial = EvaluateAnnotated(query, adb);
+  ASSERT_TRUE(serial.ok());
+  AnnotatedEvalOptions options;
+  options.num_threads = 4;
+  auto parallel = EvaluateAnnotated(query, adb, options);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_TRUE(parallel->data.BagEquals(serial->data));
+  EXPECT_TRUE(parallel->patterns.SetEquals(serial->patterns));
+}
+
+}  // namespace
+}  // namespace pcdb

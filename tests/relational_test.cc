@@ -340,5 +340,81 @@ TEST(CsvTest, SkipsBlankLinesAndTrimsFields) {
   EXPECT_EQ(table->row(0)[1], Value("x"));
 }
 
+TEST(CsvTest, ParsesQuotedFields) {
+  Schema schema({{"a", ValueType::kString}, {"b", ValueType::kInt64}});
+  auto table = ReadCsvString(
+      "a,b\n\"plain\",1\n\"with, comma\",2\n\"say \"\"hi\"\"\",3\n"
+      "\"multi\nline\",4\n", schema);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->num_rows(), 4u);
+  EXPECT_EQ(table->row(0)[0], Value("plain"));
+  EXPECT_EQ(table->row(1)[0], Value("with, comma"));
+  EXPECT_EQ(table->row(2)[0], Value("say \"hi\""));
+  EXPECT_EQ(table->row(3)[0], Value("multi\nline"));
+}
+
+TEST(CsvTest, QuotedFieldsPreserveSurroundingSpace) {
+  // Unquoted fields are trimmed (back-compat); quoted fields keep their
+  // content verbatim.
+  Schema schema({{"a", ValueType::kString}});
+  auto table = ReadCsvString("a\n\"  padded  \"\n", schema);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->row(0)[0], Value("  padded  "));
+}
+
+TEST(CsvTest, RoundTripsSpecialCharacters) {
+  // The pre-PR writer emitted these cells raw, so re-reading split the
+  // comma cell in two and lost the padding; this test pins the fix.
+  Schema schema({{"name", ValueType::kString},
+                 {"note", ValueType::kString},
+                 {"n", ValueType::kInt64}});
+  Table table(schema);
+  table.AppendUnchecked(Tuple{Value("Doe, Jane"), Value("said \"ok\""),
+                              Value(1)});
+  table.AppendUnchecked(Tuple{Value("  spaced  "), Value("line1\nline2"),
+                              Value(2)});
+  table.AppendUnchecked(Tuple{Value(""), Value("plain"), Value(3)});
+  std::string csv = WriteCsvString(table);
+  auto reparsed = ReadCsvString(csv, schema);
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->num_rows(), 3u);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    EXPECT_EQ(reparsed->row(r), table.row(r)) << "row " << r;
+  }
+}
+
+TEST(CsvTest, ErrorsOnMalformedQuotes) {
+  Schema schema({{"a", ValueType::kString}});
+  EXPECT_FALSE(ReadCsvString("a\n\"unterminated\n", schema).ok());
+  EXPECT_FALSE(ReadCsvString("a\n\"x\"junk\n", schema).ok());
+}
+
+TEST(EvalJoinTest, CartesianReserveClampsAndHandlesOverflow) {
+  EXPECT_EQ(internal::CartesianReserve(0, 100), 0u);
+  EXPECT_EQ(internal::CartesianReserve(100, 0), 0u);
+  EXPECT_EQ(internal::CartesianReserve(10, 20), 200u);
+  const size_t cap = size_t{1} << 22;
+  // Products above the cap are clamped, never multiplied past it.
+  EXPECT_EQ(internal::CartesianReserve(size_t{1} << 21, size_t{1} << 21), cap);
+  // Overflowing products (this one wraps to 0 in size_t arithmetic) must
+  // not be trusted; pre-PR this poisoned the std::vector::reserve call.
+  EXPECT_EQ(internal::CartesianReserve(size_t{1} << 32, size_t{1} << 32), cap);
+  EXPECT_EQ(internal::CartesianReserve(SIZE_MAX, 2), cap);
+  EXPECT_EQ(internal::CartesianReserve(SIZE_MAX, SIZE_MAX), cap);
+}
+
+TEST(EvalJoinTest, CrossJoinStillCorrectUnderClampedReserve) {
+  Database db;
+  Table lhs(Schema({{"x", ValueType::kInt64}}));
+  Table rhs(Schema({{"y", ValueType::kInt64}}));
+  for (int i = 0; i < 3; ++i) lhs.AppendUnchecked(Tuple{Value(i)});
+  for (int i = 0; i < 4; ++i) rhs.AppendUnchecked(Tuple{Value(10 + i)});
+  db.PutTable("L", std::move(lhs));
+  db.PutTable("R", std::move(rhs));
+  auto out = Evaluate(Expr::CrossJoin(Expr::Scan("L"), Expr::Scan("R")), db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 12u);
+}
+
 }  // namespace
 }  // namespace pcdb

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + full test suite, then a ThreadSanitizer
+# pass over the concurrency-sensitive tests (thread pool, parallel
+# minimization/join/eval). Usage:
+#   tools/ci.sh            # tier-1 + TSan parallel suite
+#   tools/ci.sh --asan     # additionally run the full suite under ASan/UBSan
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+RUN_ASAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) RUN_ASAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== tier-1: release build + full ctest ==="
+cmake --preset release
+cmake --build --preset release -j "$JOBS"
+ctest --preset release -j "$JOBS"
+
+echo "=== TSan: parallel test suite ==="
+cmake --preset tsan
+cmake --build --preset tsan -j "$JOBS" --target parallel_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_test
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  echo "=== ASan/UBSan: full test suite ==="
+  cmake --preset asan
+  cmake --build --preset asan -j "$JOBS"
+  ctest --preset asan -j "$JOBS"
+fi
+
+echo "CI OK"
