@@ -1,0 +1,61 @@
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "relational/csv.h"
+#include "relational/schema.h"
+#include "relational/table.h"
+
+/// RFC-4180 CSV reader harness.
+///
+/// The first bytes pick a schema (1–6 columns of string/int64/double and
+/// whether a header line is expected); the rest is the CSV text. Beyond
+/// "no crash", successfully parsed tables must round-trip: serializing
+/// with WriteCsvString and re-reading under the same schema reproduces
+/// the exact same rows. Doubles are excluded from the round-trip check
+/// (formatting may legitimately drop precision); string and int64 cells
+/// must survive verbatim — including commas, quotes and embedded
+/// newlines in quoted fields.
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  pcdb::fuzz::ByteReader in(data, size);
+
+  const size_t num_cols = in.TakeInRange(1, 6);
+  bool has_double = false;
+  std::vector<pcdb::Column> cols;
+  cols.reserve(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    pcdb::ValueType type = pcdb::ValueType::kString;
+    switch (in.TakeBelow(3)) {
+      case 0: type = pcdb::ValueType::kString; break;
+      case 1: type = pcdb::ValueType::kInt64; break;
+      case 2: type = pcdb::ValueType::kDouble; has_double = true; break;
+    }
+    cols.push_back({"c" + std::to_string(c), type});
+  }
+  const bool has_header = in.TakeBool();
+  const pcdb::Schema schema(std::move(cols));
+  const std::string text = in.TakeRemainingString();
+
+  auto table = pcdb::ReadCsvString(text, schema, has_header);
+  if (!table.ok() || has_double) return 0;
+
+  const std::string rewritten = pcdb::WriteCsvString(*table);
+  auto reread = pcdb::ReadCsvString(rewritten, schema, /*has_header=*/true);
+  if (!reread.ok()) {
+    pcdb::fuzz::Violation("WriteCsvString output must re-parse",
+                          text + "\n--- rewritten ---\n" + rewritten);
+  }
+  if (reread->num_rows() != table->num_rows()) {
+    pcdb::fuzz::Violation("CSV round-trip changed the row count",
+                          text + "\n--- rewritten ---\n" + rewritten);
+  }
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    if (!(table->row(r) == reread->row(r))) {
+      pcdb::fuzz::Violation("CSV round-trip changed row " + std::to_string(r),
+                            text + "\n--- rewritten ---\n" + rewritten);
+    }
+  }
+  return 0;
+}

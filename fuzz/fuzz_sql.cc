@@ -1,0 +1,40 @@
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+/// SQL front-end harness: arbitrary bytes through the lexer and parser.
+///
+/// Properties checked beyond "no crash / no sanitizer report":
+///   * the lexer either fails with a Status or returns a token stream
+///     that ends in kEnd with monotonically non-decreasing positions
+///     inside the input;
+///   * the parser never succeeds on input the lexer rejected (the parser
+///     runs the lexer first, so a lexer error must propagate).
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string sql(reinterpret_cast<const char*>(data), size);
+
+  auto tokens = pcdb::Tokenize(sql);
+  if (tokens.ok()) {
+    size_t prev = 0;
+    for (const pcdb::Token& t : *tokens) {
+      if (t.position < prev || t.position > sql.size()) {
+        pcdb::fuzz::Violation("token positions ordered and in bounds", sql);
+      }
+      prev = t.position;
+    }
+    if (tokens->empty() || tokens->back().kind != pcdb::TokenKind::kEnd) {
+      pcdb::fuzz::Violation("token stream terminated by kEnd", sql);
+    }
+  }
+
+  auto parsed = pcdb::ParseQuery(sql);
+  if (parsed.ok() && !tokens.ok()) {
+    pcdb::fuzz::Violation("parse succeeded on lexer-rejected input", sql);
+  }
+  return 0;
+}

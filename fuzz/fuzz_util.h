@@ -1,0 +1,75 @@
+#ifndef PCDB_FUZZ_FUZZ_UTIL_H_
+#define PCDB_FUZZ_FUZZ_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+/// \file
+/// Shared plumbing for the libFuzzer harnesses. Each harness defines
+/// LLVMFuzzerTestOneInput; under clang the targets link -fsanitize=fuzzer,
+/// elsewhere standalone_main.cc replays corpus files through the same
+/// entry point so smoke runs work with any toolchain (see
+/// docs/STATIC_ANALYSIS.md).
+
+namespace pcdb {
+namespace fuzz {
+
+/// Sequential consumer over the fuzz input, FuzzedDataProvider-style:
+/// every Take* call eats bytes from the front and degrades to zeros once
+/// the input is exhausted, so any byte string maps to a deterministic,
+/// structurally valid test case.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool empty() const { return pos_ >= size_; }
+  size_t remaining() const { return pos_ >= size_ ? 0 : size_ - pos_; }
+
+  uint8_t TakeByte() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  /// A value in [0, bound); bound 0 yields 0.
+  size_t TakeBelow(size_t bound) {
+    if (bound == 0) return 0;
+    // Two bytes of entropy are plenty for the small bounds we use.
+    size_t v = TakeByte();
+    v = (v << 8) | TakeByte();
+    return v % bound;
+  }
+
+  /// A value in [lo, hi] (inclusive); requires lo <= hi.
+  size_t TakeInRange(size_t lo, size_t hi) {
+    return lo + TakeBelow(hi - lo + 1);
+  }
+
+  bool TakeBool() { return (TakeByte() & 1) != 0; }
+
+  /// The rest of the input as a string (for text-format harnesses).
+  std::string TakeRemainingString() {
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), remaining());
+    pos_ = size_;
+    return s;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Prints a message and aborts — the harness-side "property violated"
+/// signal that libFuzzer and the standalone driver both report as a
+/// crash with the offending input preserved.
+[[noreturn]] inline void Violation(const std::string& property,
+                                   const std::string& detail) {
+  std::fprintf(stderr, "FUZZ PROPERTY VIOLATED: %s\n%s\n", property.c_str(),
+               detail.c_str());
+  std::abort();
+}
+
+}  // namespace fuzz
+}  // namespace pcdb
+
+#endif  // PCDB_FUZZ_FUZZ_UTIL_H_

@@ -1,0 +1,35 @@
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+/// Replay driver for toolchains without libFuzzer (-fsanitize=fuzzer is
+/// clang-only): runs every file passed on the command line through the
+/// harness entry point once, in order. Sanitizers still fire, so
+/// `fuzz_sql corpus/sql/*` under ASan/UBSan is the portable smoke run —
+/// tools/ci.sh uses exactly that when clang is absent.
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <input-file>...\n", argv[0]);
+    return 2;
+  }
+  int ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream file(argv[i], std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "skipping unreadable input: %s\n", argv[i]);
+      continue;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(file)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++ran;
+  }
+  std::printf("ran %d inputs\n", ran);
+  return 0;
+}

@@ -2,13 +2,15 @@
 #define PCDB_COMMON_THREAD_POOL_H_
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
+#include <numeric>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace pcdb {
 
@@ -39,10 +41,11 @@ class ThreadPool {
   ~ThreadPool();
 
   /// Enqueues a task (runs it inline when the pool has no workers).
-  void Submit(std::function<void()> task);
+  /// Must not be called from inside a task while holding pool state.
+  void Submit(std::function<void()> task) PCDB_EXCLUDES(mu_);
 
   /// Blocks until all tasks submitted before this call have completed.
-  void Wait();
+  void Wait() PCDB_EXCLUDES(mu_);
 
   /// Worker count; 1 for an inline pool.
   size_t num_threads() const {
@@ -56,41 +59,140 @@ class ThreadPool {
   }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() PCDB_EXCLUDES(mu_);
 
+  /// Immutable after the constructor returns; joined in the destructor.
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // queued + currently executing
-  bool shutting_down_ = false;
+  Mutex mu_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ PCDB_GUARDED_BY(mu_);
+  size_t in_flight_ PCDB_GUARDED_BY(mu_) = 0;  // queued + executing
+  bool shutting_down_ PCDB_GUARDED_BY(mu_) = false;
 };
 
-/// Runs `fn(i)` for every i in [0, n) on `pool`, blocking until all
-/// iterations finish. Iterations are grouped into one contiguous chunk
-/// per worker so that per-chunk state stays cache-local; `fn` must be
-/// safe to call concurrently for distinct i. Results are deterministic
-/// whenever fn(i) writes only to an i-indexed slot.
+/// A half-open index range [begin, end); the unit of work scheduling for
+/// the chunked parallel loops below.
+struct IndexRange {
+  size_t begin = 0;
+  size_t end = 0;
+  bool operator==(const IndexRange& other) const {
+    return begin == other.begin && end == other.end;
+  }
+};
+
+/// How many chunks a parallel loop over `n` items should use on a pool
+/// with `num_threads` workers. Oversubscribing each worker (up to 8
+/// chunks apiece) lets the FIFO queue rebalance skewed per-item costs:
+/// a worker stuck on one expensive chunk no longer idles the rest, they
+/// drain the remaining chunks. Chunks never outnumber items.
+inline size_t ParallelChunkCount(size_t num_threads, size_t n) {
+  if (num_threads <= 1 || n <= 1) return n == 0 ? 0 : 1;
+  constexpr size_t kOversubscription = 8;
+  return std::min(n, num_threads * kOversubscription);
+}
+
+/// Splits [0, n) into exactly min(n, num_chunks) contiguous, non-empty
+/// ranges covering every index once, with chunk sizes differing by at
+/// most one (the first n % chunks ranges take the extra element).
+inline std::vector<IndexRange> ChunkRanges(size_t n, size_t num_chunks) {
+  std::vector<IndexRange> ranges;
+  if (n == 0 || num_chunks == 0) return ranges;
+  num_chunks = std::min(num_chunks, n);
+  ranges.reserve(num_chunks);
+  const size_t base = n / num_chunks;
+  const size_t extra = n % num_chunks;
+  size_t begin = 0;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t end = begin + base + (c < extra ? 1 : 0);
+    ranges.push_back({begin, end});
+    begin = end;
+  }
+  return ranges;
+}
+
+/// Splits [0, weights.size()) into roughly `num_chunks` contiguous,
+/// non-empty ranges whose total weights are balanced: a chunk closes
+/// once it reaches the ideal share total/num_chunks, and an item at
+/// least that heavy is isolated in a chunk of its own instead of
+/// dragging a run of light neighbours with it. Size-aware counterpart
+/// of ChunkRanges for loops whose per-item cost is known up front
+/// (e.g. patterns per minimization shard).
+inline std::vector<IndexRange> WeightedChunkRanges(
+    const std::vector<size_t>& weights, size_t num_chunks) {
+  std::vector<IndexRange> ranges;
+  const size_t n = weights.size();
+  if (n == 0 || num_chunks == 0) return ranges;
+  num_chunks = std::min(num_chunks, n);
+  const size_t total =
+      std::accumulate(weights.begin(), weights.end(), size_t{0});
+  if (total == 0) return ChunkRanges(n, num_chunks);
+  const size_t target =
+      std::max<size_t>(1, (total + num_chunks - 1) / num_chunks);
+  size_t begin = 0;
+  size_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > begin && acc > 0 && weights[i] >= target) {
+      // Close the light prefix so the heavy item starts its own chunk.
+      ranges.push_back({begin, i});
+      begin = i;
+      acc = 0;
+    }
+    acc += weights[i];
+    if (acc >= target || i + 1 == n) {
+      ranges.push_back({begin, i + 1});
+      begin = i + 1;
+      acc = 0;
+    }
+  }
+  return ranges;
+}
+
+/// Runs fn(c, ranges[c]) for every chunk index c on `pool` (one task per
+/// chunk so the queue balances skew), blocking until all chunks finish.
+/// Chunk indices are stable, so callers get deterministic results by
+/// writing to per-chunk slots and merging them in index order.
 template <typename Fn>
-void ParallelFor(ThreadPool* pool, size_t n, const Fn& fn) {
-  if (n == 0) return;
-  const size_t num_chunks =
-      pool == nullptr ? 1 : std::min(pool->num_threads(), n);
-  if (num_chunks <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+void ParallelForRanges(ThreadPool* pool, const std::vector<IndexRange>& ranges,
+                       const Fn& fn) {
+  if (ranges.empty()) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || ranges.size() == 1) {
+    for (size_t c = 0; c < ranges.size(); ++c) fn(c, ranges[c]);
     return;
   }
-  const size_t chunk = (n + num_chunks - 1) / num_chunks;
-  for (size_t c = 0; c < num_chunks; ++c) {
-    const size_t begin = c * chunk;
-    const size_t end = std::min(begin + chunk, n);
-    if (begin >= end) break;
-    pool->Submit([begin, end, &fn] {
-      for (size_t i = begin; i < end; ++i) fn(i);
-    });
+  for (size_t c = 0; c < ranges.size(); ++c) {
+    pool->Submit([c, &ranges, &fn] { fn(c, ranges[c]); });
   }
   pool->Wait();
+}
+
+/// Runs `fn(i)` for every i in [0, n) on `pool`, blocking until all
+/// iterations finish. Iterations are grouped into contiguous chunks
+/// (several per worker, see ParallelChunkCount) so per-chunk state stays
+/// cache-local while skewed iteration costs still rebalance; `fn` must
+/// be safe to call concurrently for distinct i. Results are
+/// deterministic whenever fn(i) writes only to an i-indexed slot.
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, size_t n, const Fn& fn) {
+  const size_t threads = pool == nullptr ? 1 : pool->num_threads();
+  const auto ranges = ChunkRanges(n, ParallelChunkCount(threads, n));
+  ParallelForRanges(pool, ranges, [&fn](size_t, IndexRange r) {
+    for (size_t i = r.begin; i < r.end; ++i) fn(i);
+  });
+}
+
+/// Size-aware ParallelFor: `weights[i]` estimates the cost of fn(i), and
+/// chunk boundaries follow WeightedChunkRanges so heavy items no longer
+/// share a chunk with (and serialize behind) a long run of light ones.
+template <typename Fn>
+void WeightedParallelFor(ThreadPool* pool, const std::vector<size_t>& weights,
+                         const Fn& fn) {
+  const size_t threads = pool == nullptr ? 1 : pool->num_threads();
+  const auto ranges = WeightedChunkRanges(
+      weights, ParallelChunkCount(threads, weights.size()));
+  ParallelForRanges(pool, ranges, [&fn](size_t, IndexRange r) {
+    for (size_t i = r.begin; i < r.end; ++i) fn(i);
+  });
 }
 
 }  // namespace pcdb

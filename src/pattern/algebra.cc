@@ -210,23 +210,27 @@ PatternSet PatternJoin(const PatternSet& left, size_t attr_a,
     }
   };
 
-  const size_t num_chunks =
-      pool == nullptr ? 1 : std::min(pool->num_threads(), units.size());
-  if (num_chunks <= 1) {
+  const size_t threads = pool == nullptr ? 1 : pool->num_threads();
+  // Units are heavily skewed: a wildcard-side unit spans the whole right
+  // set while a constant-partition unit may span a handful of patterns.
+  // Size-aware chunking keeps the heavy units from serializing behind
+  // runs of light ones.
+  std::vector<size_t> unit_weights(units.size());
+  for (size_t u = 0; u < units.size(); ++u) {
+    unit_weights[u] = units[u].rs->size() + 1;
+  }
+  const std::vector<IndexRange> ranges = WeightedChunkRanges(
+      unit_weights, ParallelChunkCount(threads, units.size()));
+  if (ranges.size() <= 1) {
     run_units(0, units.size(), &sink);
     return sink.Take();
   }
   // Fan out: contiguous unit chunks, one private sink per chunk, merged
   // in chunk order so the output is deterministic.
-  std::vector<DedupSink> partial(num_chunks);
-  const size_t per_chunk = (units.size() + num_chunks - 1) / num_chunks;
-  for (size_t c = 0; c < num_chunks; ++c) {
-    const size_t begin = c * per_chunk;
-    const size_t end = std::min(begin + per_chunk, units.size());
-    if (begin >= end) break;
-    pool->Submit([&, begin, end, c] { run_units(begin, end, &partial[c]); });
-  }
-  pool->Wait();
+  std::vector<DedupSink> partial(ranges.size());
+  ParallelForRanges(pool, ranges, [&](size_t c, IndexRange r) {
+    run_units(r.begin, r.end, &partial[c]);
+  });
   for (DedupSink& p : partial) {
     for (const Pattern& q : p.Take()) sink.Add(q);
   }

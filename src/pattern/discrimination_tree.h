@@ -18,6 +18,9 @@ namespace pcdb {
 /// retrieval follows the d branch when the probe has constant d, and all
 /// branches when the probe has '*'. The paper finds this the fastest
 /// structure, consistently ~25% faster than hashing.
+///
+/// Thread-compatible per the PatternIndex contract: no internal locking,
+/// mutation requires exclusive access (shards own private instances).
 class DiscriminationTree : public PatternIndex {
  public:
   explicit DiscriminationTree(size_t arity);

@@ -21,6 +21,11 @@ namespace pcdb {
 /// no sub-linear implementation on a hash table and always scans, which
 /// is why the paper pairs hashing with the all-at-once and
 /// sorted-incremental approaches (B1, B3).
+///
+/// Thread-compatible per the PatternIndex contract: no internal locking,
+/// mutation requires exclusive access (shards own private instances; the
+/// Gray-code scratch pattern is method-local, so const queries stay
+/// safely concurrent).
 class HashIndex : public PatternIndex {
  public:
   /// Forces one probe implementation; tests use this to check that both

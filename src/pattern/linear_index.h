@@ -11,6 +11,9 @@ namespace pcdb {
 ///
 /// Every operation is a linear scan; with pairwise comparison this yields
 /// the quadratic baseline minimization algorithm (method A1).
+///
+/// Thread-compatible per the PatternIndex contract: no internal locking,
+/// mutation requires exclusive access (shards own private instances).
 class LinearIndex : public PatternIndex {
  public:
   explicit LinearIndex(size_t arity) : arity_(arity) {}

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 
 namespace pcdb {
@@ -124,15 +125,46 @@ uint64_t ConstantSignature(const Pattern& p) {
   return mask;
 }
 
+/// Folds per-shard peak counters into one result under a lock. Shards
+/// finish in a nondeterministic order, but max-merging is commutative,
+/// so the folded peaks are deterministic anyway.
+class PeakAccumulator {
+ public:
+  void Merge(const MinimizeStats& s) PCDB_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    peak_index_size_ = std::max(peak_index_size_, s.peak_index_size);
+    peak_memory_bytes_ = std::max(peak_memory_bytes_, s.peak_memory_bytes);
+  }
+
+  void FlushInto(MinimizeStats* stats) PCDB_EXCLUDES(mu_) {
+    if (stats == nullptr) return;
+    MutexLock lock(&mu_);
+    stats->peak_index_size =
+        std::max(stats->peak_index_size, peak_index_size_);
+    stats->peak_memory_bytes =
+        std::max(stats->peak_memory_bytes, peak_memory_bytes_);
+  }
+
+ private:
+  Mutex mu_;
+  size_t peak_index_size_ PCDB_GUARDED_BY(mu_) = 0;
+  size_t peak_memory_bytes_ PCDB_GUARDED_BY(mu_) = 0;
+};
+
 }  // namespace
 
 PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,
                             PatternIndexKind kind, ThreadPool* pool,
                             MinimizeStats* stats) {
-  const size_t num_shards = pool == nullptr ? 1 : pool->num_threads();
-  // Below ~2 patterns per prospective shard the shard/merge machinery is
-  // pure overhead; the serial path is definitionally equivalent.
-  if (num_shards <= 1 || input.size() < 2 * num_shards) {
+  const size_t threads = pool == nullptr ? 1 : pool->num_threads();
+  // Oversubscribed sharding: up to 8 shards per worker (capped so every
+  // shard keeps >= 2 patterns) lets the FIFO queue rebalance when the
+  // signature distribution is skewed — one slow shard no longer idles
+  // the other workers. Below 2 patterns per prospective shard the
+  // shard/merge machinery is pure overhead; the serial path is
+  // definitionally equivalent.
+  size_t num_shards = ParallelChunkCount(threads, input.size() / 2);
+  if (num_shards <= 1) {
     return Minimize(input, approach, kind, stats);
   }
   WallTimer timer;
@@ -143,6 +175,10 @@ PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,
   std::unordered_map<uint64_t, std::vector<uint32_t>> groups;
   for (size_t i = 0; i < input.size(); ++i) {
     groups[ConstantSignature(input[i])].push_back(static_cast<uint32_t>(i));
+  }
+  num_shards = std::min(num_shards, groups.size());
+  if (num_shards <= 1) {
+    return Minimize(input, approach, kind, stats);
   }
 
   // Greedy balance: largest group to the least-loaded shard. Sorting by
@@ -168,11 +204,15 @@ PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,
   }
 
   // Phase 1: minimize every shard concurrently with the requested
-  // method. Each task owns its index and stats slot.
+  // method. Each task owns its index and output slot; peak counters are
+  // folded into a shared, mutex-guarded accumulator.
   std::vector<PatternSet> shard_out(num_shards);
-  std::vector<MinimizeStats> shard_stats(num_shards);
+  PeakAccumulator peaks;
   ParallelFor(pool, num_shards, [&](size_t s) {
-    shard_out[s] = Minimize(shard_in[s], approach, kind, &shard_stats[s]);
+    MinimizeStats local;
+    shard_out[s] = Minimize(shard_in[s], approach, kind,
+                            stats == nullptr ? nullptr : &local);
+    if (stats != nullptr) peaks.Merge(local);
   });
 
   // Phase 2 (merge): all-at-once over the union of shard survivors. The
@@ -201,13 +241,8 @@ PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,
           std::max(stats->peak_memory_bytes, index->ApproxMemoryBytes());
     }
   }
+  peaks.FlushInto(stats);
   if (stats != nullptr) {
-    for (const MinimizeStats& s : shard_stats) {
-      stats->peak_index_size =
-          std::max(stats->peak_index_size, s.peak_index_size);
-      stats->peak_memory_bytes =
-          std::max(stats->peak_memory_bytes, s.peak_memory_bytes);
-    }
     stats->output_size = out.size();
     stats->millis = timer.ElapsedMillis();
   }

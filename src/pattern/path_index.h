@@ -18,6 +18,9 @@ namespace pcdb {
 /// the constant-position lists. The intersections are expensive, which
 /// matches the paper's finding that path indexing performs poorly on
 /// data with few distinct attribute values.
+///
+/// Thread-compatible per the PatternIndex contract: no internal locking,
+/// mutation requires exclusive access (shards own private instances).
 class PathIndex : public PatternIndex {
  public:
   explicit PathIndex(size_t arity)

@@ -22,6 +22,16 @@ namespace pcdb {
 ///
 /// Indexes have set semantics: inserting a duplicate pattern is a no-op.
 /// All patterns in one index must share an arity.
+///
+/// Concurrency contract: implementations are thread-compatible, not
+/// thread-safe — concurrent const queries on a quiescent index are
+/// fine, but Insert/Remove require external exclusion. The parallel
+/// layers honour this by construction instead of locking: each
+/// ParallelMinimize shard builds and mutates a private index (one task
+/// per shard, merged after ThreadPool::Wait), so no index is ever shared
+/// across threads. tools/pcdb_lint.py keeps raw std::mutex out of these
+/// classes; any future internal locking must go through the annotated
+/// pcdb::Mutex so Clang Thread Safety Analysis can see it.
 class PatternIndex {
  public:
   virtual ~PatternIndex() = default;

@@ -10,10 +10,12 @@ namespace pcdb {
 
 /// \brief Parses CSV text into a table under `schema`.
 ///
-/// The format is the simple comma-separated one used by our example data
-/// files: no quoting, one record per line, optional header line (skipped
-/// when `has_header` is true), fields trimmed of surrounding whitespace.
-/// Fails with ParseError on arity or type mismatches.
+/// The format is RFC-4180 style: fields may be double-quoted, quoted
+/// fields may embed commas, newlines, and doubled ("") quotes, and a
+/// record may span several physical lines. Unquoted fields are trimmed
+/// of surrounding whitespace (quoted fields are verbatim); an optional
+/// header line is skipped when `has_header` is true. Fails with
+/// ParseError on malformed quoting and on arity or type mismatches.
 Result<Table> ReadCsvString(const std::string& text, const Schema& schema,
                             bool has_header = true);
 

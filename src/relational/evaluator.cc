@@ -124,9 +124,10 @@ Result<Table> EvalJoin(const Expr& expr, Table lhs, Table rhs,
     }
   };
 
-  const size_t num_chunks = std::min<size_t>(
-      pool == nullptr ? 1 : pool->num_threads(), probe.num_rows());
-  if (num_chunks <= 1) {
+  const size_t threads = pool == nullptr ? 1 : pool->num_threads();
+  const std::vector<IndexRange> ranges = ChunkRanges(
+      probe.num_rows(), ParallelChunkCount(threads, probe.num_rows()));
+  if (ranges.size() <= 1) {
     std::vector<Tuple> rows;
     probe_range(0, probe.num_rows(), &rows);
     out.Reserve(rows.size());
@@ -136,17 +137,12 @@ Result<Table> EvalJoin(const Expr& expr, Table lhs, Table rhs,
   // Parallel probe: contiguous probe-row chunks over the shared
   // read-only build index, one output buffer per chunk. Concatenating
   // the buffers in chunk order reproduces the serial row order exactly
-  // (equal_range iteration order on a const multimap is fixed).
-  std::vector<std::vector<Tuple>> chunk_rows(num_chunks);
-  const size_t per_chunk = (probe.num_rows() + num_chunks - 1) / num_chunks;
-  for (size_t c = 0; c < num_chunks; ++c) {
-    const size_t begin = c * per_chunk;
-    const size_t end = std::min(begin + per_chunk, probe.num_rows());
-    if (begin >= end) break;
-    pool->Submit(
-        [&, begin, end, c] { probe_range(begin, end, &chunk_rows[c]); });
-  }
-  pool->Wait();
+  // (equal_range iteration order on a const multimap is fixed), for any
+  // chunk count — ranges ascend and partition the probe rows.
+  std::vector<std::vector<Tuple>> chunk_rows(ranges.size());
+  ParallelForRanges(pool, ranges, [&](size_t c, IndexRange r) {
+    probe_range(r.begin, r.end, &chunk_rows[c]);
+  });
   size_t total = 0;
   for (const auto& rows : chunk_rows) total += rows.size();
   out.Reserve(total);

@@ -58,17 +58,130 @@ TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
 }
 
 // ---------------------------------------------------------------------------
+// Size-aware chunking
+
+/// All ranges together must cover [0, n) exactly once, in ascending
+/// order, with no empty range.
+void ExpectExactCover(const std::vector<IndexRange>& ranges, size_t n) {
+  size_t expect_begin = 0;
+  for (const IndexRange& r : ranges) {
+    EXPECT_EQ(r.begin, expect_begin);
+    EXPECT_LT(r.begin, r.end);
+    expect_begin = r.end;
+  }
+  EXPECT_EQ(expect_begin, n);
+}
+
+TEST(ChunkRangesTest, CoversRangeWithBalancedChunks) {
+  for (size_t n : {1u, 2u, 7u, 64u, 1000u}) {
+    for (size_t chunks : {1u, 2u, 3u, 8u, 64u}) {
+      auto ranges = ChunkRanges(n, chunks);
+      ExpectExactCover(ranges, n);
+      EXPECT_EQ(ranges.size(), std::min(n, chunks));
+      // Balanced: chunk sizes differ by at most one.
+      size_t lo = n, hi = 0;
+      for (const IndexRange& r : ranges) {
+        lo = std::min(lo, r.end - r.begin);
+        hi = std::max(hi, r.end - r.begin);
+      }
+      EXPECT_LE(hi - lo, 1u) << "n=" << n << " chunks=" << chunks;
+    }
+  }
+  EXPECT_TRUE(ChunkRanges(0, 4).empty());
+  EXPECT_TRUE(ChunkRanges(5, 0).empty());
+}
+
+TEST(ParallelChunkCountTest, OversubscribesButNeverExceedsItems) {
+  EXPECT_EQ(ParallelChunkCount(4, 1000), 32u);  // 8 chunks per worker
+  EXPECT_EQ(ParallelChunkCount(4, 5), 5u);      // capped by item count
+  EXPECT_EQ(ParallelChunkCount(1, 1000), 1u);   // inline pool: one chunk
+  EXPECT_EQ(ParallelChunkCount(4, 0), 0u);
+  EXPECT_EQ(ParallelChunkCount(4, 1), 1u);
+}
+
+TEST(WeightedChunkRangesTest, SkewedWeightsDoNotCollapseIntoOneChunk) {
+  // One giant item among many light ones: the old contiguous equal
+  // chunking assigned ~n/chunks *items* per chunk, so one chunk got
+  // nearly all the *work*. Weighted chunking must isolate the heavy
+  // item and keep every chunk near the target weight.
+  std::vector<size_t> weights(64, 1);
+  weights[40] = 1000;
+  auto ranges = WeightedChunkRanges(weights, 8);
+  ExpectExactCover(ranges, weights.size());
+  ASSERT_GT(ranges.size(), 1u);
+  // The heavy item sits alone in its chunk.
+  bool heavy_isolated = false;
+  for (const IndexRange& r : ranges) {
+    if (r.begin <= 40 && 40 < r.end) {
+      heavy_isolated = (r.end - r.begin == 1);
+    }
+  }
+  EXPECT_TRUE(heavy_isolated);
+  // No chunk besides the heavy one exceeds ~target light weight.
+  const size_t total = 64 - 1 + 1000;
+  const size_t target = (total + 7) / 8;
+  for (const IndexRange& r : ranges) {
+    size_t w = 0;
+    for (size_t i = r.begin; i < r.end; ++i) w += weights[i];
+    if (!(r.begin <= 40 && 40 < r.end)) {
+      EXPECT_LE(w, target) << "[" << r.begin << "," << r.end << ")";
+    }
+  }
+}
+
+TEST(WeightedChunkRangesTest, HeavyTailDoesNotAbsorbLightPrefix) {
+  // Regression shape: all mass at the end. A pure greedy accumulator
+  // would emit a single chunk [0, 3).
+  auto ranges = WeightedChunkRanges({1, 1, 10}, 3);
+  ExpectExactCover(ranges, 3);
+  EXPECT_GE(ranges.size(), 2u);
+  EXPECT_EQ(ranges.back().end - ranges.back().begin, 1u);  // heavy alone
+}
+
+TEST(WeightedChunkRangesTest, UniformWeightsMatchPlainChunking) {
+  std::vector<size_t> weights(100, 3);
+  EXPECT_EQ(WeightedChunkRanges(weights, 8).size(), ChunkRanges(100, 8).size());
+  ExpectExactCover(WeightedChunkRanges(weights, 8), 100);
+}
+
+TEST(WeightedChunkRangesTest, ZeroWeightsFallBackToEvenChunks) {
+  std::vector<size_t> weights(10, 0);
+  auto ranges = WeightedChunkRanges(weights, 4);
+  ExpectExactCover(ranges, 10);
+  EXPECT_EQ(ranges.size(), 4u);
+}
+
+TEST(WeightedParallelForTest, VisitsEveryChunkOnceUnderSkew) {
+  ThreadPool pool(4);
+  std::vector<size_t> weights(200, 1);
+  weights[0] = 5000;
+  weights[199] = 5000;
+  std::vector<std::atomic<int>> hits(weights.size());
+  WeightedParallelFor(&pool, weights,
+                      [&hits](size_t i) { hits[i].fetch_add(1); });
+  int sum = 0;
+  for (const auto& h : hits) sum += h.load();
+  EXPECT_EQ(sum, 200);
+  // Serial path (no pool) covers the same ground.
+  WeightedParallelFor(nullptr, weights,
+                      [&hits](size_t i) { hits[i].fetch_add(1); });
+  sum = 0;
+  for (const auto& h : hits) sum += h.load();
+  EXPECT_EQ(sum, 400);
+}
+
+// ---------------------------------------------------------------------------
 // Differential minimization matrix
 
 Pattern RandomPattern(Rng* rng, size_t arity, int values, double wild_prob) {
   std::vector<Pattern::Cell> cells;
   cells.reserve(arity);
   for (size_t i = 0; i < arity; ++i) {
-    if (rng->Bernoulli(wild_prob)) {
-      cells.push_back(Pattern::Wildcard());
-    } else {
-      cells.push_back(Value("v" + std::to_string(rng->UniformInt(0, values))));
+    Pattern::Cell cell;  // wildcard unless a constant is emplaced below
+    if (!rng->Bernoulli(wild_prob)) {
+      cell.emplace("v" + std::to_string(rng->UniformInt(0, values)));
     }
+    cells.push_back(std::move(cell));
   }
   return Pattern(std::move(cells));
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Appends one bench run to a JSON-lines trajectory file, tagging each
+# result line with the current commit and date so regressions can be
+# traced across PRs:
+#
+#   tools/bench_record.sh [--out BENCH_PR2.json] <bench-binary> [args...]
+#
+# Bench binaries print one {"bench":...} JSON object per result (see
+# bench/bench_util.h JsonResultLine); everything else they print is
+# human-readable narration and is passed through to stderr.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_PR2.json"
+if [[ "${1:-}" == "--out" ]]; then
+  OUT="$2"
+  shift 2
+fi
+if [[ $# -lt 1 ]]; then
+  echo "usage: tools/bench_record.sh [--out FILE] <bench-binary> [args...]" >&2
+  exit 2
+fi
+
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+"$@" | while IFS= read -r line; do
+  if [[ "$line" == '{"bench"'* ]]; then
+    printf '{"commit":"%s","date":"%s",%s\n' \
+      "$COMMIT" "$DATE" "${line#\{}" >> "$OUT"
+  else
+    printf '%s\n' "$line" >&2
+  fi
+done
+echo "recorded to $OUT" >&2

@@ -1,36 +1,132 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 build + full test suite, then a ThreadSanitizer
-# pass over the concurrency-sensitive tests (thread pool, parallel
-# minimization/join/eval). Usage:
-#   tools/ci.sh            # tier-1 + TSan parallel suite
+# CI entry point. Stages:
+#   tools/ci.sh            # tier-1 build + full ctest, then TSan parallel suite
 #   tools/ci.sh --asan     # additionally run the full suite under ASan/UBSan
+#   tools/ci.sh lint       # static stages: pcdb_lint, clang-tidy, TSA build,
+#                          # negative-compile check (clang stages self-skip
+#                          # when clang/clang-tidy are not installed)
+#   tools/ci.sh fuzz       # build fuzz harnesses under ASan/UBSan and smoke
+#                          # each for ~30s (libFuzzer under clang; corpus +
+#                          # deterministic mutation replay elsewhere)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
-RUN_ASAN=0
-for arg in "$@"; do
-  case "$arg" in
-    --asan) RUN_ASAN=1 ;;
-    *) echo "unknown argument: $arg" >&2; exit 2 ;;
-  esac
-done
+FUZZ_SECONDS="${FUZZ_SECONDS:-30}"
 
-echo "=== tier-1: release build + full ctest ==="
-cmake --preset release
-cmake --build --preset release -j "$JOBS"
-ctest --preset release -j "$JOBS"
+run_tier1() {
+  echo "=== tier-1: release build + full ctest ==="
+  cmake --preset release
+  cmake --build --preset release -j "$JOBS"
+  ctest --preset release -j "$JOBS"
 
-echo "=== TSan: parallel test suite ==="
-cmake --preset tsan
-cmake --build --preset tsan -j "$JOBS" --target parallel_test
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_test
+  echo "=== TSan: parallel test suite ==="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$JOBS" --target parallel_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_test
+}
 
-if [[ "$RUN_ASAN" == 1 ]]; then
+run_asan() {
   echo "=== ASan/UBSan: full test suite ==="
   cmake --preset asan
   cmake --build --preset asan -j "$JOBS"
   ctest --preset asan -j "$JOBS"
-fi
+}
+
+run_lint() {
+  echo "=== lint: pcdb_lint ==="
+  python3 tools/pcdb_lint.py
+
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "=== lint: thread-safety analysis build (clang -Wthread-safety -Werror) ==="
+    cmake --preset tsa
+    cmake --build --preset tsa -j "$JOBS"
+
+    echo "=== lint: negative-compile check (mis-locked code must be rejected) ==="
+    if clang++ -std=c++20 -fsyntax-only -Isrc -Wthread-safety -Werror \
+        tests/thread_safety_negative.cc 2>/dev/null; then
+      echo "ERROR: tests/thread_safety_negative.cc compiled cleanly — the" >&2
+      echo "thread-safety annotations are not catching lock misuse." >&2
+      exit 1
+    fi
+    echo "rejected as expected"
+  else
+    echo "--- clang++ not found: skipping TSA build + negative-compile check"
+  fi
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== lint: clang-tidy ==="
+    cmake --preset release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -p build -quiet "src/.*\.cc$"
+    else
+      # shellcheck disable=SC2046
+      clang-tidy -p build --quiet $(find src -name '*.cc')
+    fi
+  else
+    echo "--- clang-tidy not found: skipping"
+  fi
+
+  echo "lint OK"
+}
+
+run_fuzz() {
+  echo "=== fuzz: build harnesses under ASan/UBSan ==="
+  cmake --preset fuzz
+  cmake --build --preset fuzz -j "$JOBS" \
+    --target fuzz_sql fuzz_csv fuzz_algebra_diff
+
+  local have_libfuzzer=0
+  if grep -q "PCDB_HAVE_LIBFUZZER:INTERNAL=1" build-fuzz/CMakeCache.txt \
+      2>/dev/null; then
+    have_libfuzzer=1
+  fi
+
+  for target in fuzz_sql:sql fuzz_csv:csv fuzz_algebra_diff:algebra; do
+    local bin="${target%%:*}" corpus="fuzz/corpus/${target##*:}"
+    echo "=== fuzz: $bin (${FUZZ_SECONDS}s smoke) ==="
+    if [[ "$have_libfuzzer" == 1 ]]; then
+      "./build-fuzz/fuzz/$bin" -max_total_time="$FUZZ_SECONDS" \
+        -print_final_stats=1 "$corpus"
+    else
+      # Portable smoke: replay the checked-in corpus, then a budgeted
+      # loop of deterministically mutated inputs (fixed seed per round,
+      # so failures reproduce with the same round number).
+      "./build-fuzz/fuzz/$bin" "$corpus"/*
+      local deadline=$((SECONDS + FUZZ_SECONDS)) round=0
+      local mutated
+      mutated="$(mktemp -d)"
+      while (( SECONDS < deadline )); do
+        python3 tools/fuzz_mutate.py --seed "$round" --out "$mutated" \
+          "$corpus"/*
+        "./build-fuzz/fuzz/$bin" "$mutated"/*
+        round=$((round + 1))
+      done
+      rm -rf "$mutated"
+      echo "$bin: $round mutation rounds"
+    fi
+  done
+  echo "fuzz OK"
+}
+
+MODE="tier1"
+RUN_ASAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) RUN_ASAN=1 ;;
+    lint) MODE="lint" ;;
+    fuzz) MODE="fuzz" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+case "$MODE" in
+  tier1)
+    run_tier1
+    [[ "$RUN_ASAN" == 1 ]] && run_asan
+    ;;
+  lint) run_lint ;;
+  fuzz) run_fuzz ;;
+esac
 
 echo "CI OK"

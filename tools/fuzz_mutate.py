@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Deterministic corpus mutator for the no-libFuzzer smoke path.
+
+tools/ci.sh fuzz uses this when the toolchain cannot link
+-fsanitize=fuzzer (GCC): each round derives a batch of mutated inputs
+from the checked-in seed corpus with a fixed RNG seed, so any sanitizer
+crash reproduces by re-running the same round and replaying the written
+files.
+
+  python3 tools/fuzz_mutate.py --seed N --out DIR seed1 [seed2 ...]
+
+Mutations are the classic byte-level set: flip, overwrite, insert,
+delete, duplicate a span, splice two seeds, truncate.
+"""
+
+import argparse
+import pathlib
+import random
+
+
+def mutate(data, rng):
+    out = bytearray(data)
+    for _ in range(rng.randint(1, 8)):
+        op = rng.randrange(7)
+        if op == 0 and out:  # bit flip
+            i = rng.randrange(len(out))
+            out[i] ^= 1 << rng.randrange(8)
+        elif op == 1 and out:  # overwrite byte
+            out[rng.randrange(len(out))] = rng.randrange(256)
+        elif op == 2:  # insert byte
+            out.insert(rng.randint(0, len(out)), rng.randrange(256))
+        elif op == 3 and out:  # delete byte
+            del out[rng.randrange(len(out))]
+        elif op == 4 and out:  # duplicate a span
+            i = rng.randrange(len(out))
+            j = min(len(out), i + rng.randint(1, 16))
+            out[i:i] = out[i:j]
+        elif op == 5 and out:  # truncate
+            del out[rng.randint(0, len(out)):]
+        elif op == 6:  # append interesting bytes
+            out += rng.choice(
+                [b"\x00", b"\xff\xff", b"'", b'"', b",", b"\n", b"\r\n",
+                 b"9" * 24, b"(", b"SELECT", b"UNION"])
+    return bytes(out)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seed", type=int, required=True)
+    parser.add_argument("--out", required=True)
+    parser.add_argument("--per-seed", type=int, default=8)
+    parser.add_argument("seeds", nargs="+")
+    args = parser.parse_args()
+
+    rng = random.Random(args.seed)
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    corpus = [pathlib.Path(p).read_bytes() for p in args.seeds]
+    n = 0
+    for data in corpus:
+        for _ in range(args.per_seed):
+            if rng.random() < 0.2 and len(corpus) > 1:  # splice two seeds
+                other = rng.choice(corpus)
+                cut_a = rng.randint(0, len(data))
+                cut_b = rng.randint(0, len(other))
+                derived = data[:cut_a] + other[cut_b:]
+            else:
+                derived = data
+            (out_dir / f"m{n:04d}").write_bytes(mutate(derived, rng))
+            n += 1
+
+
+if __name__ == "__main__":
+    main()

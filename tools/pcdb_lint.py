@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules that clang-tidy cannot express.
+
+Run from anywhere:  python3 tools/pcdb_lint.py  [--root REPO]
+
+Rules
+-----
+ 1. naked-mutex       std::mutex / std::condition_variable / lock_guard /
+                      unique_lock / scoped_lock / shared_mutex may appear
+                      only in src/common/thread_annotations.h.  Everything
+                      else must use the annotated Mutex / MutexLock /
+                      CondVar wrappers so Clang Thread Safety Analysis
+                      sees every lock in the program.
+ 2. naked-thread      std::thread may appear only in the ThreadPool
+                      implementation (src/common/thread_pool.{h,cc}).
+                      Ad-hoc threads bypass the wait-group discipline and
+                      the deterministic chunk-merge idiom.
+ 3. pattern-mutation  Pattern::SetCell (raw, index-trusting mutation) may
+                      be called only inside src/pattern/, where indexes
+                      are derived from the pattern's own arity.  All other
+                      code builds patterns through constructors and the
+                      arity-checked algebra operators.
+ 4. layering          Project includes must follow the layer DAG
+                      common < relational < pattern < {sql, workloads}.
+                      tests/, bench/, examples/, fuzz/, tools/ may include
+                      any layer.
+
+Exit status is 0 when clean, 1 when any rule fires.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+SRC_SUBDIRS = ("src",)
+EXTRA_SUBDIRS = ("tests", "bench", "examples", "fuzz", "tools")
+CXX_SUFFIXES = {".h", ".cc"}
+
+# Layer -> layers it may include (itself always allowed).
+LAYER_DEPS = {
+    "common": set(),
+    "relational": {"common"},
+    "pattern": {"common", "relational"},
+    "sql": {"common", "relational", "pattern"},
+    "workloads": {"common", "relational", "pattern"},
+}
+
+NAKED_MUTEX_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b"
+)
+NAKED_THREAD_RE = re.compile(r"std::thread\b")
+SETCELL_CALL_RE = re.compile(r"[.>]\s*SetCell\s*\(")
+INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"')
+
+MUTEX_ALLOWED = {"src/common/thread_annotations.h"}
+THREAD_ALLOWED = {"src/common/thread_pool.h", "src/common/thread_pool.cc"}
+
+
+def strip_comments(lines):
+    """Yields (lineno, code) with // and /* */ comment text blanked out.
+
+    String literals are not parsed; good enough for lint-grade matching
+    (none of the patterns plausibly appears inside a string here).
+    """
+    in_block = False
+    for lineno, line in enumerate(lines, start=1):
+        out = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+            elif line.startswith("//", i):
+                break
+            elif line.startswith("/*", i):
+                in_block = True
+                i += 2
+            else:
+                out.append(line[i])
+                i += 1
+        yield lineno, "".join(out)
+
+
+def layer_of(rel):
+    """'src/pattern/minimize.cc' -> 'pattern', None outside src/."""
+    parts = pathlib.PurePosixPath(rel).parts
+    if len(parts) >= 3 and parts[0] == "src" and parts[1] in LAYER_DEPS:
+        return parts[1]
+    return None
+
+
+def lint_file(rel, text, problems):
+    layer = layer_of(rel)
+    in_pattern_layer = rel.startswith("src/pattern/")
+    for lineno, code in strip_comments(text.splitlines()):
+        if rel not in MUTEX_ALLOWED and rel not in THREAD_ALLOWED:
+            m = NAKED_MUTEX_RE.search(code)
+            if m:
+                problems.append(
+                    (rel, lineno, "naked-mutex",
+                     f"use pcdb::Mutex/MutexLock/CondVar from "
+                     f"common/thread_annotations.h instead of {m.group(0)}"))
+        if rel not in THREAD_ALLOWED and NAKED_THREAD_RE.search(code):
+            problems.append(
+                (rel, lineno, "naked-thread",
+                 "spawn work through pcdb::ThreadPool, not std::thread"))
+        if not in_pattern_layer and SETCELL_CALL_RE.search(code):
+            problems.append(
+                (rel, lineno, "pattern-mutation",
+                 "Pattern::SetCell is reserved for src/pattern/ internals; "
+                 "build patterns via constructors or the algebra API"))
+        if layer is not None:
+            m = INCLUDE_RE.match(code)
+            if m:
+                inc = m.group(1)
+                inc_layer = inc.split("/", 1)[0]
+                if (inc_layer in LAYER_DEPS and inc_layer != layer
+                        and inc_layer not in LAYER_DEPS[layer]):
+                    problems.append(
+                        (rel, lineno, "layering",
+                         f"src/{layer}/ must not include \"{inc}\" "
+                         f"(allowed: {sorted(LAYER_DEPS[layer] | {layer})})"))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=None,
+        help="repository root (default: parent of this script's directory)")
+    args = parser.parse_args()
+    root = (pathlib.Path(args.root) if args.root
+            else pathlib.Path(__file__).resolve().parent.parent)
+
+    problems = []
+    checked = 0
+    for subdir in SRC_SUBDIRS + EXTRA_SUBDIRS:
+        base = root / subdir
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in CXX_SUFFIXES or not path.is_file():
+                continue
+            rel = path.relative_to(root).as_posix()
+            lint_file(rel, path.read_text(encoding="utf-8"), problems)
+            checked += 1
+
+    for rel, lineno, rule, msg in problems:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if problems:
+        print(f"pcdb_lint: {len(problems)} problem(s) in {checked} files")
+        return 1
+    print(f"pcdb_lint: OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
