@@ -1,0 +1,10 @@
+#include "common/exec_context.h"
+
+namespace pcdb {
+
+const ExecContext& ExecContext::Unbounded() {
+  static const ExecContext* unbounded = new ExecContext();
+  return *unbounded;
+}
+
+}  // namespace pcdb

@@ -1,0 +1,171 @@
+#ifndef PCDB_COMMON_EXEC_CONTEXT_H_
+#define PCDB_COMMON_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <optional>
+
+#include "common/status.h"
+
+namespace pcdb {
+
+/// \brief Shared cooperative-cancellation flag.
+///
+/// A token is handed to an ExecContext and retained by the caller; any
+/// thread may Cancel() it, and every governed loop observes the flag at
+/// its next checkpoint. Purely cooperative: nothing is interrupted
+/// mid-operation, so partial state is always destroyed cleanly.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// \brief Execution governor threaded through every long-running entry
+/// point (Evaluate, EvaluateAnnotated, ComputeQueryPatterns, Minimize*):
+/// a cancellation token, a deadline, and row/pattern/memory budgets.
+///
+/// A default-constructed context is unbounded and free to check; bounded
+/// contexts are checked at operator boundaries and inside chunked loops.
+/// Violations map to Status codes:
+///   - cancellation        -> kCancelled
+///   - deadline exceeded   -> kTimeout
+///   - any budget exceeded -> kResourceExhausted
+///
+/// The pattern budget is special: callers that can degrade (the
+/// annotated evaluator) catch kResourceExhausted from minimization and
+/// fall back to a sound-but-coarser pattern summary
+/// (SummarizePatterns, pattern/summary.h) instead of failing, marking
+/// the result degraded.
+///
+/// Contexts are cheap value types; copy freely. The cancellation token
+/// is shared across copies.
+class ExecContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unbounded: no deadline, no budgets, never cancelled.
+  ExecContext() = default;
+
+  /// A process-lifetime unbounded context for the legacy wrappers.
+  static const ExecContext& Unbounded();
+
+  /// Builder-style setters (each returns *this for chaining).
+  ExecContext& WithDeadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    return *this;
+  }
+  /// Deadline `millis` from now; 0 trips every subsequent check.
+  ExecContext& WithDeadlineAfterMillis(double millis) {
+    return WithDeadline(Clock::now() +
+                        std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                millis)));
+  }
+  /// Caps the rows of any single operator output (and of governed row
+  /// sinks while they are being filled).
+  ExecContext& WithRowBudget(size_t max_rows) {
+    max_rows_ = max_rows;
+    return *this;
+  }
+  /// Caps the size of any pattern set a minimization index must hold;
+  /// the annotated evaluator degrades to a summary when this trips.
+  ExecContext& WithPatternBudget(size_t max_patterns) {
+    max_patterns_ = max_patterns;
+    return *this;
+  }
+  /// Caps tracked scratch memory (pattern-index ApproxMemoryBytes);
+  /// best-effort, not an allocator hook.
+  ExecContext& WithMemoryBudget(size_t max_bytes) {
+    max_memory_bytes_ = max_bytes;
+    return *this;
+  }
+  ExecContext& WithCancellationToken(
+      std::shared_ptr<const CancellationToken> token) {
+    token_ = std::move(token);
+    return *this;
+  }
+
+  bool unbounded() const {
+    return token_ == nullptr && !deadline_.has_value() &&
+           max_rows_ == kUnlimited && max_patterns_ == kUnlimited &&
+           max_memory_bytes_ == kUnlimited;
+  }
+
+  bool cancelled() const { return token_ != nullptr && token_->cancelled(); }
+  bool deadline_exceeded() const {
+    return deadline_.has_value() && Clock::now() >= *deadline_;
+  }
+
+  size_t row_budget() const { return max_rows_; }
+  size_t pattern_budget() const { return max_patterns_; }
+  size_t memory_budget() const { return max_memory_bytes_; }
+  bool has_pattern_budget() const { return max_patterns_ != kUnlimited; }
+
+  /// The checkpoint every governed loop polls: kCancelled if the token
+  /// was cancelled, kTimeout if the deadline passed, OK otherwise.
+  /// Cancellation wins over timeout (the caller asked first).
+  Status Check() const {
+    if (cancelled()) {
+      return Status::Cancelled("execution cancelled by caller");
+    }
+    if (deadline_exceeded()) {
+      return Status::Timeout("deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  /// Check() plus the row budget.
+  Status CheckRows(size_t rows) const {
+    PCDB_RETURN_NOT_OK(Check());
+    if (rows > max_rows_) {
+      return Status::ResourceExhausted(
+          "row budget exceeded: " + std::to_string(rows) + " > " +
+          std::to_string(max_rows_));
+    }
+    return Status::OK();
+  }
+
+  /// The pattern budget alone (no deadline poll — callers pair it with
+  /// Check()). Callers that can degrade treat this kResourceExhausted
+  /// as "summarize", not "fail".
+  Status CheckPatterns(size_t patterns) const {
+    if (patterns > max_patterns_) {
+      return Status::ResourceExhausted(
+          "pattern budget exceeded: " + std::to_string(patterns) + " > " +
+          std::to_string(max_patterns_));
+    }
+    return Status::OK();
+  }
+
+  /// The memory budget alone.
+  Status CheckMemory(size_t bytes) const {
+    if (bytes > max_memory_bytes_) {
+      return Status::ResourceExhausted(
+          "memory budget exceeded: " + std::to_string(bytes) + " > " +
+          std::to_string(max_memory_bytes_) + " bytes");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr size_t kUnlimited = std::numeric_limits<size_t>::max();
+
+  std::shared_ptr<const CancellationToken> token_;
+  std::optional<Clock::time_point> deadline_;
+  size_t max_rows_ = kUnlimited;
+  size_t max_patterns_ = kUnlimited;
+  size_t max_memory_bytes_ = kUnlimited;
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_COMMON_EXEC_CONTEXT_H_

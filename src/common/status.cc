@@ -20,6 +20,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Parse error";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
     case StatusCode::kInternal:

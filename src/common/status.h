@@ -17,6 +17,8 @@ enum class StatusCode {
   kTypeError,
   kParseError,
   kTimeout,
+  kCancelled,
+  kResourceExhausted,
   kUnimplemented,
   kInternal,
 };
@@ -60,6 +62,12 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));

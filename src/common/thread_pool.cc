@@ -1,6 +1,9 @@
 #include "common/thread_pool.h"
 
+#include <exception>
 #include <utility>
+
+#include "common/failpoint.h"
 
 namespace pcdb {
 
@@ -24,7 +27,14 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   if (workers_.empty()) {
-    task();
+    // Inline mode keeps worker semantics: failures are captured and
+    // cancel the tasks submitted after them, not thrown at the caller.
+    bool skip;
+    {
+      MutexLock lock(&mu_);
+      skip = !first_error_.ok();
+    }
+    if (!skip) RunTask(task);
     return;
   }
   {
@@ -41,17 +51,53 @@ void ThreadPool::Wait() {
   while (in_flight_ != 0) all_done_.Wait(lock);
 }
 
+Status ThreadPool::ConsumeStatus() {
+  MutexLock lock(&mu_);
+  Status out = std::move(first_error_);
+  first_error_ = Status::OK();
+  return out;
+}
+
+void ThreadPool::RecordFailure(Status status) {
+  MutexLock lock(&mu_);
+  if (first_error_.ok()) first_error_ = std::move(status);
+}
+
+void ThreadPool::RunTask(const std::function<void()>& task) {
+  // The dispatch failpoint models a scheduling fault (an error skips the
+  // task, a throw exercises the catch path, a sleep delays dispatch).
+  // Task exceptions — including injected FailpointError from sites
+  // inside the task — are converted to Status::Internal rather than
+  // terminating the process.
+  try {
+    Status injected = Failpoints::Global().Hit("pool.dispatch");
+    if (injected.ok()) {
+      task();
+      return;
+    }
+    RecordFailure(std::move(injected));
+  } catch (const std::exception& e) {
+    RecordFailure(Status::Internal(std::string("task failed: ") + e.what()));
+  } catch (...) {
+    RecordFailure(Status::Internal("task failed with unknown exception"));
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
+    bool skip = false;
     {
       MutexLock lock(&mu_);
       while (!shutting_down_ && queue_.empty()) work_available_.Wait(lock);
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      // First-error cancel-the-rest: once a failure is recorded, tasks
+      // still in the queue are popped and counted but not run.
+      skip = !first_error_.ok();
     }
-    task();
+    if (!skip) RunTask(task);
     {
       MutexLock lock(&mu_);
       if (--in_flight_ == 0) all_done_.NotifyAll();

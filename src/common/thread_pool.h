@@ -2,6 +2,7 @@
 #define PCDB_COMMON_THREAD_POOL_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <functional>
@@ -10,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
+#include "common/status.h"
 #include "common/thread_annotations.h"
 
 namespace pcdb {
@@ -23,8 +26,16 @@ namespace pcdb {
 /// work-stealing-free: callers that need deterministic results partition
 /// their work into indexed tasks that each write a private, pre-allocated
 /// output slot, then combine the slots in index order after Wait() — see
-/// ParallelFor below. Tasks must not throw (library code is
-/// exception-free; report failures through captured state).
+/// ParallelFor below.
+///
+/// Tasks may fail: a throwing task is caught in the worker, converted to
+/// Status::Internal, and recorded as the pool's first failure; once a
+/// failure is recorded, tasks still in the queue are skipped instead of
+/// run (first-error cancel-the-rest). Submitters retrieve and clear the
+/// failure with ConsumeStatus() after Wait() — the Status-returning
+/// TryParallelFor wrappers below do this automatically. The void
+/// ParallelFor wrappers treat any captured failure as a programming
+/// error (they have no channel to report it).
 ///
 /// With num_threads <= 1 no worker threads are spawned and Submit runs
 /// the task inline, so serial callers pay nothing and single-threaded
@@ -47,6 +58,12 @@ class ThreadPool {
   /// Blocks until all tasks submitted before this call have completed.
   void Wait() PCDB_EXCLUDES(mu_);
 
+  /// Returns the first failure captured since the last call (a task
+  /// threw, or the pool.dispatch failpoint fired) and re-arms the pool:
+  /// the failure slot is cleared and queued-task skipping stops. OK when
+  /// every task completed normally. Call after Wait().
+  Status ConsumeStatus() PCDB_EXCLUDES(mu_);
+
   /// Worker count; 1 for an inline pool.
   size_t num_threads() const {
     return workers_.empty() ? 1 : workers_.size();
@@ -61,6 +78,13 @@ class ThreadPool {
  private:
   void WorkerLoop() PCDB_EXCLUDES(mu_);
 
+  /// Runs one task under the dispatch failpoint and an exception guard;
+  /// any failure is recorded via RecordFailure.
+  void RunTask(const std::function<void()>& task) PCDB_EXCLUDES(mu_);
+
+  /// Records the pool's first failure and starts skipping queued tasks.
+  void RecordFailure(Status status) PCDB_EXCLUDES(mu_);
+
   /// Immutable after the constructor returns; joined in the destructor.
   std::vector<std::thread> workers_;
   Mutex mu_;
@@ -69,6 +93,9 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_ PCDB_GUARDED_BY(mu_);
   size_t in_flight_ PCDB_GUARDED_BY(mu_) = 0;  // queued + executing
   bool shutting_down_ PCDB_GUARDED_BY(mu_) = false;
+  /// First task failure since the last ConsumeStatus; while non-OK,
+  /// queued tasks are skipped (cancel-the-rest).
+  Status first_error_ PCDB_GUARDED_BY(mu_);
 };
 
 /// A half-open index range [begin, end); the unit of work scheduling for
@@ -148,10 +175,52 @@ inline std::vector<IndexRange> WeightedChunkRanges(
   return ranges;
 }
 
+/// Runs `fn(c, ranges[c])` (returning Status) for every chunk index c on
+/// `pool`, blocking until all chunks finish or fail. First-error
+/// cancel-the-rest: once a chunk returns non-OK (or a task throws, or
+/// the pool.dispatch failpoint fires) the remaining chunks are skipped
+/// cooperatively and the failure is returned. When several chunks fail
+/// concurrently, the lowest-indexed chunk failure is reported. On the
+/// serial path chunks run in order and stop at the first failure, so
+/// serial and parallel runs return identical error codes.
+template <typename Fn>
+Status TryParallelForRanges(ThreadPool* pool,
+                            const std::vector<IndexRange>& ranges,
+                            const Fn& fn) {
+  if (ranges.empty()) return Status::OK();
+  if (pool == nullptr || pool->num_threads() <= 1 || ranges.size() == 1) {
+    for (size_t c = 0; c < ranges.size(); ++c) {
+      PCDB_RETURN_NOT_OK(fn(c, ranges[c]));
+    }
+    return Status::OK();
+  }
+  std::vector<Status> chunk_status(ranges.size());
+  std::atomic<bool> stop{false};
+  for (size_t c = 0; c < ranges.size(); ++c) {
+    pool->Submit([c, &ranges, &fn, &chunk_status, &stop] {
+      if (stop.load(std::memory_order_relaxed)) return;  // cancelled
+      Status st = fn(c, ranges[c]);
+      if (!st.ok()) {
+        chunk_status[c] = std::move(st);
+        stop.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  pool->Wait();
+  Status pool_status = pool->ConsumeStatus();
+  for (Status& st : chunk_status) {
+    if (!st.ok()) return std::move(st);
+  }
+  return pool_status;
+}
+
 /// Runs fn(c, ranges[c]) for every chunk index c on `pool` (one task per
 /// chunk so the queue balances skew), blocking until all chunks finish.
 /// Chunk indices are stable, so callers get deterministic results by
-/// writing to per-chunk slots and merging them in index order.
+/// writing to per-chunk slots and merging them in index order. The
+/// chunks carry no error channel, so a captured task failure (throw or
+/// injected dispatch fault) is a programming error here — use
+/// TryParallelForRanges for fallible chunks.
 template <typename Fn>
 void ParallelForRanges(ThreadPool* pool, const std::vector<IndexRange>& ranges,
                        const Fn& fn) {
@@ -164,6 +233,11 @@ void ParallelForRanges(ThreadPool* pool, const std::vector<IndexRange>& ranges,
     pool->Submit([c, &ranges, &fn] { fn(c, ranges[c]); });
   }
   pool->Wait();
+  Status status = pool->ConsumeStatus();
+  PCDB_CHECK(status.ok())
+      << "task failed in a void ParallelFor (use TryParallelFor for "
+         "fallible tasks): "
+      << status.ToString();
 }
 
 /// Runs `fn(i)` for every i in [0, n) on `pool`, blocking until all
@@ -179,6 +253,23 @@ void ParallelFor(ThreadPool* pool, size_t n, const Fn& fn) {
   ParallelForRanges(pool, ranges, [&fn](size_t, IndexRange r) {
     for (size_t i = r.begin; i < r.end; ++i) fn(i);
   });
+}
+
+/// Status-returning ParallelFor: runs `fn(i)` (returning Status) for
+/// every i in [0, n), with the same chunking as ParallelFor and the
+/// first-error cancel-the-rest semantics of TryParallelForRanges.
+/// Iterations inside one chunk stop at the first failure.
+template <typename Fn>
+Status TryParallelFor(ThreadPool* pool, size_t n, const Fn& fn) {
+  const size_t threads = pool == nullptr ? 1 : pool->num_threads();
+  const auto ranges = ChunkRanges(n, ParallelChunkCount(threads, n));
+  return TryParallelForRanges(pool, ranges,
+                              [&fn](size_t, IndexRange r) -> Status {
+                                for (size_t i = r.begin; i < r.end; ++i) {
+                                  PCDB_RETURN_NOT_OK(fn(i));
+                                }
+                                return Status::OK();
+                              });
 }
 
 /// Size-aware ParallelFor: `weights[i]` estimates the cost of fn(i), and

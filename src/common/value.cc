@@ -34,7 +34,7 @@ Result<ValueType> ValueTypeFromString(const std::string& name) {
   return Status::ParseError("unknown value type: " + name);
 }
 
-double Value::AsDouble() const {
+Result<double> Value::AsDouble() const {
   switch (type()) {
     case ValueType::kInt64:
       return static_cast<double>(int64());
@@ -43,8 +43,7 @@ double Value::AsDouble() const {
     case ValueType::kString:
       break;
   }
-  PCDB_CHECK(false) << "Value::AsDouble on string value '" << str() << "'";
-  return 0.0;
+  return Status::TypeError("Value::AsDouble on string value '" + str() + "'");
 }
 
 std::string Value::ToString() const {

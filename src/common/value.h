@@ -53,8 +53,10 @@ class Value {
   double dbl() const { return std::get<double>(data_); }
   const std::string& str() const { return std::get<std::string>(data_); }
 
-  /// Numeric content as a double; aborts on strings. Used by SUM/AVG.
-  double AsDouble() const;
+  /// Numeric content as a double; kTypeError on strings so a malformed
+  /// or fault-injected aggregation input surfaces as a Status instead of
+  /// terminating the process. Used by SUM/AVG.
+  Result<double> AsDouble() const;
 
   /// Renders the value for display: integers in decimal, doubles with
   /// minimal digits, strings verbatim.

@@ -226,11 +226,23 @@ PatternSet PatternJoin(const PatternSet& left, size_t attr_a,
     return sink.Take();
   }
   // Fan out: contiguous unit chunks, one private sink per chunk, merged
-  // in chunk order so the output is deterministic.
+  // in chunk order so the output is deterministic. PatternJoin's
+  // signature has no error channel, so an injected dispatch fault
+  // (pool.dispatch failpoint) is absorbed by recomputing serially into a
+  // fresh sink — the partial chunk sinks may be half-filled, the fresh
+  // sink is not.
   std::vector<DedupSink> partial(ranges.size());
-  ParallelForRanges(pool, ranges, [&](size_t c, IndexRange r) {
-    run_units(r.begin, r.end, &partial[c]);
-  });
+  Status status = TryParallelForRanges(
+      pool, ranges, [&](size_t c, IndexRange r) -> Status {
+        run_units(r.begin, r.end, &partial[c]);
+        return Status::OK();
+      });
+  if (!status.ok()) {
+    DedupSink serial;
+    run_units(0, units.size(), &serial);
+    for (const Pattern& q : serial.Take()) sink.Add(q);
+    return sink.Take();
+  }
   for (DedupSink& p : partial) {
     for (const Pattern& q : p.Take()) sink.Add(q);
   }

@@ -66,9 +66,11 @@ std::string AnnotatedTable::ToString(size_t max_rows) const {
            " more rows)\n";
   }
   if (!pattern_cells.empty()) {
-    out += "complete for:\n";
+    out += degraded ? "complete for (degraded summary):\n" : "complete for:\n";
     emit_separator();
     for (const auto& row : pattern_cells) emit_row(row);
+  } else if (degraded) {
+    out += "complete for: (degraded summary, no patterns within budget)\n";
   }
   return out;
 }

@@ -18,6 +18,10 @@ namespace pcdb {
 struct AnnotatedTable {
   Table data;
   PatternSet patterns;
+  /// True when a resource budget forced the patterns down to a coarser
+  /// summary (SummarizePatterns): still sound, but the set may promise
+  /// less completeness than the exact minimized patterns would.
+  bool degraded = false;
 
   /// Renders rows followed by pattern rows, the paper's presentation
   /// (rows r1..rn, then patterns p1..pm with '*' cells).

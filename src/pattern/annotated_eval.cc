@@ -2,9 +2,11 @@
 
 #include <memory>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "pattern/algebra.h"
+#include "pattern/summary.h"
 #include "pattern/zombie.h"
 #include "relational/evaluator.h"
 
@@ -16,18 +18,50 @@ void UnionInto(PatternSet* base, const PatternSet& extra) {
   for (const Pattern& p : extra) base->AddUnique(p);
 }
 
+/// Per-operator minimization with graceful degradation. A tripped
+/// pattern budget (kResourceExhausted) falls back to a sound coarser
+/// summary of the un-minimized set and flips `*degraded`; every other
+/// failure (kTimeout, kCancelled, injected faults) propagates.
+///
+/// Under a pattern budget the sorted-incremental approach replaces the
+/// default all-at-once one: its index only ever holds the running
+/// maximal set, so it finishes within the budget whenever the exact
+/// minimal set fits — all-at-once loads every input pattern first and
+/// would trip spuriously.
+Result<PatternSet> MinimizeWithDegradation(const PatternSet& patterns,
+                                           ThreadPool* pool,
+                                           const ExecContext& ctx,
+                                           bool* degraded,
+                                           AnnotatedEvalInfo* info) {
+  const MinimizeApproach approach =
+      ctx.has_pattern_budget() ? MinimizeApproach::kSortedIncremental
+                               : MinimizeApproach::kAllAtOnce;
+  Result<PatternSet> out =
+      ParallelMinimize(patterns, approach,
+                       PatternIndexKind::kDiscriminationTree, pool, ctx);
+  if (out.ok() || out.status().code() != StatusCode::kResourceExhausted ||
+      !ctx.has_pattern_budget()) {
+    return out;
+  }
+  *degraded = true;
+  if (info != nullptr) ++info->degradations;
+  return SummarizePatterns(patterns, ctx.pattern_budget());
+}
+
 class AnnotatedEvaluator {
  public:
   AnnotatedEvaluator(const AnnotatedDatabase& adb,
                      const AnnotatedEvalOptions& options,
-                     AnnotatedEvalInfo* info)
-      : adb_(adb), options_(options), info_(info) {
+                     const ExecContext& ctx, AnnotatedEvalInfo* info)
+      : adb_(adb), options_(options), ctx_(ctx), info_(info) {
     if (options.num_threads > 1) {
       pool_ = std::make_unique<ThreadPool>(options.num_threads);
     }
   }
 
   Result<AnnotatedTable> Eval(const Expr& expr) {
+    PCDB_FAILPOINT("annotated.operator");
+    PCDB_RETURN_NOT_OK(ctx_.Check());
     AnnotatedTable left;
     AnnotatedTable right;
     if (expr.left() != nullptr) {
@@ -47,19 +81,34 @@ class AnnotatedEvaluator {
           std::max(info_->max_intermediate_patterns, patterns.size());
     }
     if (options_.minimize_each_step) {
-      patterns = ParallelMinimize(patterns, MinimizeApproach::kAllAtOnce,
-                                  PatternIndexKind::kDiscriminationTree,
-                                  pool_.get());
+      PCDB_ASSIGN_OR_RETURN(
+          patterns, MinimizeWithDegradation(patterns, pool_.get(), ctx_,
+                                            &degraded_, info_));
     }
     if (info_ != nullptr) info_->pattern_millis += timer.ElapsedMillis();
 
     timer.Reset();
     PCDB_ASSIGN_OR_RETURN(
-        Table data, ApplyRootOperator(expr, adb_.database(),
-                                      std::move(left.data),
-                                      std::move(right.data), pool_.get()));
+        Table data,
+        ApplyRootOperator(expr, adb_.database(), std::move(left.data),
+                          std::move(right.data), pool_.get(), ctx_));
     if (info_ != nullptr) info_->data_millis += timer.ElapsedMillis();
-    return AnnotatedTable{std::move(data), std::move(patterns)};
+    return AnnotatedTable{std::move(data), std::move(patterns), degraded_};
+  }
+
+  /// Eval plus the root-level budget guarantee: whatever path the
+  /// patterns took (including minimize_each_step = false, which never
+  /// runs the governed minimizer), the returned set respects the
+  /// pattern budget, degrading at the root if it still must.
+  Result<AnnotatedTable> EvalRoot(const Expr& expr) {
+    PCDB_ASSIGN_OR_RETURN(AnnotatedTable out, Eval(expr));
+    if (ctx_.has_pattern_budget() &&
+        out.patterns.size() > ctx_.pattern_budget()) {
+      out.patterns = SummarizePatterns(out.patterns, ctx_.pattern_budget());
+      out.degraded = true;
+      if (info_ != nullptr) ++info_->degradations;
+    }
+    return out;
   }
 
  private:
@@ -172,8 +221,11 @@ class AnnotatedEvaluator {
 
   const AnnotatedDatabase& adb_;
   const AnnotatedEvalOptions& options_;
+  const ExecContext& ctx_;
   AnnotatedEvalInfo* info_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads <= 1
+  /// Latched once any intermediate set degrades to a summary.
+  bool degraded_ = false;
 };
 
 /// Schema-only recursion: computes (output schema, pattern set) per node
@@ -181,8 +233,9 @@ class AnnotatedEvaluator {
 class SchemaOnlyEvaluator {
  public:
   SchemaOnlyEvaluator(const AnnotatedDatabase& adb,
-                      const AnnotatedEvalOptions& options, size_t* cost)
-      : adb_(adb), options_(options), cost_(cost) {
+                      const AnnotatedEvalOptions& options,
+                      const ExecContext& ctx, size_t* cost)
+      : adb_(adb), options_(options), ctx_(ctx), cost_(cost) {
     if (options.num_threads > 1) {
       pool_ = std::make_unique<ThreadPool>(options.num_threads);
     }
@@ -194,6 +247,8 @@ class SchemaOnlyEvaluator {
   };
 
   Result<Node> Eval(const Expr& expr) {
+    PCDB_FAILPOINT("annotated.operator");
+    PCDB_RETURN_NOT_OK(ctx_.Check());
     Node left;
     Node right;
     if (expr.left() != nullptr) {
@@ -205,12 +260,26 @@ class SchemaOnlyEvaluator {
     PCDB_ASSIGN_OR_RETURN(Node node, Apply(expr, left, right));
     if (cost_ != nullptr) *cost_ += node.patterns.size();
     if (options_.minimize_each_step) {
-      node.patterns =
-          ParallelMinimize(node.patterns, MinimizeApproach::kAllAtOnce,
-                           PatternIndexKind::kDiscriminationTree, pool_.get());
+      PCDB_ASSIGN_OR_RETURN(
+          node.patterns,
+          MinimizeWithDegradation(node.patterns, pool_.get(), ctx_,
+                                  &degraded_, /*info=*/nullptr));
     }
     return node;
   }
+
+  /// Root-level budget guarantee; see AnnotatedEvaluator::EvalRoot.
+  Result<Node> EvalRoot(const Expr& expr) {
+    PCDB_ASSIGN_OR_RETURN(Node node, Eval(expr));
+    if (ctx_.has_pattern_budget() &&
+        node.patterns.size() > ctx_.pattern_budget()) {
+      node.patterns = SummarizePatterns(node.patterns, ctx_.pattern_budget());
+      degraded_ = true;
+    }
+    return node;
+  }
+
+  bool degraded() const { return degraded_; }
 
  private:
   Result<Node> Apply(const Expr& expr, const Node& left, const Node& right) {
@@ -285,8 +354,10 @@ class SchemaOnlyEvaluator {
 
   const AnnotatedDatabase& adb_;
   const AnnotatedEvalOptions& options_;
+  const ExecContext& ctx_;
   size_t* cost_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads <= 1
+  bool degraded_ = false;
 };
 
 }  // namespace
@@ -295,13 +366,39 @@ Result<AnnotatedTable> EvaluateAnnotated(const Expr& expr,
                                          const AnnotatedDatabase& adb,
                                          const AnnotatedEvalOptions& options,
                                          AnnotatedEvalInfo* info) {
-  AnnotatedEvaluator evaluator(adb, options, info);
-  return evaluator.Eval(expr);
+  return EvaluateAnnotated(expr, adb, options, ExecContext::Unbounded(), info);
+}
+
+Result<AnnotatedTable> EvaluateAnnotated(const Expr& expr,
+                                         const AnnotatedDatabase& adb,
+                                         const AnnotatedEvalOptions& options,
+                                         const ExecContext& ctx,
+                                         AnnotatedEvalInfo* info) {
+  // The exception guard catches throw-action failpoints on the serial
+  // path (the pool path already converts them worker-side), so every
+  // injected fault surfaces as a Status from this entry point.
+  try {
+    AnnotatedEvaluator evaluator(adb, options, ctx, info);
+    return evaluator.EvalRoot(expr);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("annotated evaluation failed: ") +
+                            e.what());
+  }
 }
 
 Result<PatternSet> ComputeQueryPatterns(const Expr& expr,
                                         const AnnotatedDatabase& adb,
                                         const AnnotatedEvalOptions& options,
+                                        size_t* total_intermediate_patterns) {
+  return ComputeQueryPatterns(expr, adb, options, ExecContext::Unbounded(),
+                              /*degraded=*/nullptr,
+                              total_intermediate_patterns);
+}
+
+Result<PatternSet> ComputeQueryPatterns(const Expr& expr,
+                                        const AnnotatedDatabase& adb,
+                                        const AnnotatedEvalOptions& options,
+                                        const ExecContext& ctx, bool* degraded,
                                         size_t* total_intermediate_patterns) {
   if (options.instance_aware || options.zombies) {
     return Status::InvalidArgument(
@@ -312,9 +409,18 @@ Result<PatternSet> ComputeQueryPatterns(const Expr& expr,
   if (total_intermediate_patterns != nullptr) {
     *total_intermediate_patterns = 0;
   }
-  SchemaOnlyEvaluator evaluator(adb, options, total_intermediate_patterns);
-  PCDB_ASSIGN_OR_RETURN(SchemaOnlyEvaluator::Node node, evaluator.Eval(expr));
-  return std::move(node.patterns);
+  if (degraded != nullptr) *degraded = false;
+  try {
+    SchemaOnlyEvaluator evaluator(adb, options, ctx,
+                                  total_intermediate_patterns);
+    PCDB_ASSIGN_OR_RETURN(SchemaOnlyEvaluator::Node node,
+                          evaluator.EvalRoot(expr));
+    if (degraded != nullptr) *degraded = evaluator.degraded();
+    return std::move(node.patterns);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("pattern computation failed: ") +
+                            e.what());
+  }
 }
 
 }  // namespace pcdb

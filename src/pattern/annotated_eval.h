@@ -1,6 +1,7 @@
 #ifndef PCDB_PATTERN_ANNOTATED_EVAL_H_
 #define PCDB_PATTERN_ANNOTATED_EVAL_H_
 
+#include "common/exec_context.h"
 #include "pattern/annotated.h"
 #include "pattern/minimize.h"
 #include "pattern/promotion.h"
@@ -43,6 +44,9 @@ struct AnnotatedEvalInfo {
   size_t max_intermediate_patterns = 0;
   /// Zombie patterns generated (before minimization).
   size_t zombies_added = 0;
+  /// Times a tripped pattern budget degraded an intermediate set to a
+  /// summary (SummarizePatterns) instead of failing the evaluation.
+  size_t degradations = 0;
   PromotionStats promotion;
 };
 
@@ -61,11 +65,32 @@ Result<AnnotatedTable> EvaluateAnnotated(
     const AnnotatedEvalOptions& options = {},
     AnnotatedEvalInfo* info = nullptr);
 
+/// Governed end-to-end pipeline: `ctx` is polled at every plan node
+/// (the "annotated.operator" failpoint fires there too) and inside the
+/// data operators and minimizations underneath. Deadline, cancellation,
+/// and row-budget violations return kTimeout / kCancelled /
+/// kResourceExhausted; a tripped *pattern* budget degrades gracefully
+/// instead — the offending intermediate set is replaced by a sound
+/// coarser summary (SummarizePatterns) and the result is returned with
+/// `degraded = true`. The returned patterns stay sound either way.
+Result<AnnotatedTable> EvaluateAnnotated(const Expr& expr,
+                                         const AnnotatedDatabase& adb,
+                                         const AnnotatedEvalOptions& options,
+                                         const ExecContext& ctx,
+                                         AnnotatedEvalInfo* info = nullptr);
+
 inline Result<AnnotatedTable> EvaluateAnnotated(
     const ExprPtr& expr, const AnnotatedDatabase& adb,
     const AnnotatedEvalOptions& options = {},
     AnnotatedEvalInfo* info = nullptr) {
   return EvaluateAnnotated(*expr, adb, options, info);
+}
+
+inline Result<AnnotatedTable> EvaluateAnnotated(
+    const ExprPtr& expr, const AnnotatedDatabase& adb,
+    const AnnotatedEvalOptions& options, const ExecContext& ctx,
+    AnnotatedEvalInfo* info = nullptr) {
+  return EvaluateAnnotated(*expr, adb, options, ctx, info);
 }
 
 /// \brief Computes the completeness patterns of a query answer *without
@@ -84,11 +109,29 @@ Result<PatternSet> ComputeQueryPatterns(
     const AnnotatedEvalOptions& options = {},
     size_t* total_intermediate_patterns = nullptr);
 
+/// Governed schema-level reasoning with graceful degradation: same
+/// contract as the governed EvaluateAnnotated, with `*degraded` (if
+/// non-null) set to true when a tripped pattern budget forced a
+/// summary. The result then holds at most ctx.pattern_budget() patterns,
+/// each still sound for the query.
+Result<PatternSet> ComputeQueryPatterns(
+    const Expr& expr, const AnnotatedDatabase& adb,
+    const AnnotatedEvalOptions& options, const ExecContext& ctx,
+    bool* degraded, size_t* total_intermediate_patterns = nullptr);
+
 inline Result<PatternSet> ComputeQueryPatterns(
     const ExprPtr& expr, const AnnotatedDatabase& adb,
     const AnnotatedEvalOptions& options = {},
     size_t* total_intermediate_patterns = nullptr) {
   return ComputeQueryPatterns(*expr, adb, options,
+                              total_intermediate_patterns);
+}
+
+inline Result<PatternSet> ComputeQueryPatterns(
+    const ExprPtr& expr, const AnnotatedDatabase& adb,
+    const AnnotatedEvalOptions& options, const ExecContext& ctx,
+    bool* degraded, size_t* total_intermediate_patterns = nullptr) {
+  return ComputeQueryPatterns(*expr, adb, options, ctx, degraded,
                               total_intermediate_patterns);
 }
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/failpoint.h"
 #include "common/thread_annotations.h"
 #include "common/timer.h"
 
@@ -17,6 +18,11 @@ std::string MinimizeMethodName(PatternIndexKind kind,
 
 namespace {
 
+/// Deadline/memory poll cadence inside the per-pattern loops (the
+/// pattern budget itself is checked on every insert — the index size IS
+/// the governed quantity).
+constexpr size_t kPatternsPerContextCheck = 64;
+
 void TrackPeaks(const PatternIndex& index, MinimizeStats* stats) {
   if (stats == nullptr) return;
   stats->peak_index_size = std::max(stats->peak_index_size, index.size());
@@ -24,28 +30,55 @@ void TrackPeaks(const PatternIndex& index, MinimizeStats* stats) {
       std::max(stats->peak_memory_bytes, index.ApproxMemoryBytes());
 }
 
-PatternSet MinimizeAllAtOnce(const PatternSet& input, PatternIndexKind kind,
-                             MinimizeStats* stats) {
+/// Checkpoint after an index insert; `iter` is the running loop counter.
+Status CheckIndexBudgets(const PatternIndex& index, const ExecContext& ctx,
+                         size_t iter) {
+  PCDB_RETURN_NOT_OK(ctx.CheckPatterns(index.size()));
+  if (iter % kPatternsPerContextCheck == 0) {
+    PCDB_RETURN_NOT_OK(ctx.Check());
+    PCDB_RETURN_NOT_OK(ctx.CheckMemory(index.ApproxMemoryBytes()));
+  }
+  return Status::OK();
+}
+
+Result<PatternSet> MinimizeAllAtOnce(const PatternSet& input,
+                                     PatternIndexKind kind,
+                                     const ExecContext& ctx,
+                                     MinimizeStats* stats) {
   if (input.empty()) return PatternSet();
   auto index = MakePatternIndex(kind, input[0].arity());
   // Indexes have set semantics, so loading also deduplicates.
+  size_t iter = 0;
   for (const Pattern& p : input) {
+    PCDB_FAILPOINT("minimize.pattern");
     index->Insert(p);
     TrackPeaks(*index, stats);
+    if (!ctx.unbounded()) {
+      PCDB_RETURN_NOT_OK(CheckIndexBudgets(*index, ctx, iter++));
+    }
   }
   PatternSet out;
+  iter = 0;
   for (const Pattern& p : index->Contents()) {
+    PCDB_FAILPOINT("minimize.pattern");
+    if (!ctx.unbounded() && iter++ % kPatternsPerContextCheck == 0) {
+      PCDB_RETURN_NOT_OK(ctx.Check());
+    }
     if (!index->HasSubsumer(p, /*strict=*/true)) out.Add(p);
   }
   return out;
 }
 
-PatternSet MinimizeIncremental(const PatternSet& input, PatternIndexKind kind,
-                               MinimizeStats* stats) {
+Result<PatternSet> MinimizeIncremental(const PatternSet& input,
+                                       PatternIndexKind kind,
+                                       const ExecContext& ctx,
+                                       MinimizeStats* stats) {
   if (input.empty()) return PatternSet();
   auto index = MakePatternIndex(kind, input[0].arity());
   std::vector<Pattern> subsumed;
+  size_t iter = 0;
   for (const Pattern& p : input) {
+    PCDB_FAILPOINT("minimize.pattern");
     // Subsumption check: p contributes nothing if some maximal pattern
     // already subsumes it (or duplicates it).
     if (index->HasSubsumer(p, /*strict=*/false)) continue;
@@ -56,13 +89,17 @@ PatternSet MinimizeIncremental(const PatternSet& input, PatternIndexKind kind,
     for (const Pattern& q : subsumed) index->Remove(q);
     index->Insert(p);
     TrackPeaks(*index, stats);
+    if (!ctx.unbounded()) {
+      PCDB_RETURN_NOT_OK(CheckIndexBudgets(*index, ctx, iter++));
+    }
   }
   return PatternSet(index->Contents());
 }
 
-PatternSet MinimizeSortedIncremental(const PatternSet& input,
-                                     PatternIndexKind kind,
-                                     MinimizeStats* stats) {
+Result<PatternSet> MinimizeSortedIncremental(const PatternSet& input,
+                                             PatternIndexKind kind,
+                                             const ExecContext& ctx,
+                                             MinimizeStats* stats) {
   if (input.empty()) return PatternSet();
   std::vector<Pattern> sorted = input.patterns();
   std::stable_sort(sorted.begin(), sorted.end(),
@@ -70,13 +107,18 @@ PatternSet MinimizeSortedIncremental(const PatternSet& input,
                      return a.NumWildcards() > b.NumWildcards();
                    });
   auto index = MakePatternIndex(kind, input[0].arity());
+  size_t iter = 0;
   for (const Pattern& p : sorted) {
+    PCDB_FAILPOINT("minimize.pattern");
     // A strict subsumer has strictly more wildcards, so it was processed
     // earlier; equal patterns are caught by the non-strict check. No
     // supersumption retrieval is needed.
     if (index->HasSubsumer(p, /*strict=*/false)) continue;
     index->Insert(p);
     TrackPeaks(*index, stats);
+    if (!ctx.unbounded()) {
+      PCDB_RETURN_NOT_OK(CheckIndexBudgets(*index, ctx, iter++));
+    }
   }
   return PatternSet(index->Contents());
 }
@@ -85,21 +127,41 @@ PatternSet MinimizeSortedIncremental(const PatternSet& input,
 
 PatternSet Minimize(const PatternSet& input, MinimizeApproach approach,
                     PatternIndexKind kind, MinimizeStats* stats) {
+  Result<PatternSet> out =
+      Minimize(input, approach, kind, ExecContext::Unbounded(), stats);
+  if (out.ok()) return std::move(out).ValueOrDie();
+  // Only an injected fault can fail an unbounded minimization, and this
+  // legacy signature has no error channel. Returning the input
+  // unminimized is sound — the sets are semantically equivalent, just
+  // redundant — and keeps fault injection from terminating callers.
+  if (stats != nullptr) stats->output_size = input.size();
+  return input;
+}
+
+Result<PatternSet> Minimize(const PatternSet& input, MinimizeApproach approach,
+                            PatternIndexKind kind, const ExecContext& ctx,
+                            MinimizeStats* stats) {
   WallTimer timer;
-  PatternSet out;
-  switch (approach) {
-    case MinimizeApproach::kAllAtOnce:
-      out = MinimizeAllAtOnce(input, kind, stats);
-      break;
-    case MinimizeApproach::kIncremental:
-      out = MinimizeIncremental(input, kind, stats);
-      break;
-    case MinimizeApproach::kSortedIncremental:
-      out = MinimizeSortedIncremental(input, kind, stats);
-      break;
+  Result<PatternSet> out = Status::Internal("unhandled minimize approach");
+  // The exception guard gives serial runs the same kInternal a pool
+  // worker's catch produces for throw-action failpoints.
+  try {
+    switch (approach) {
+      case MinimizeApproach::kAllAtOnce:
+        out = MinimizeAllAtOnce(input, kind, ctx, stats);
+        break;
+      case MinimizeApproach::kIncremental:
+        out = MinimizeIncremental(input, kind, ctx, stats);
+        break;
+      case MinimizeApproach::kSortedIncremental:
+        out = MinimizeSortedIncremental(input, kind, ctx, stats);
+        break;
+    }
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("minimization failed: ") + e.what());
   }
-  if (stats != nullptr) {
-    stats->output_size = out.size();
+  if (out.ok() && stats != nullptr) {
+    stats->output_size = out.ValueOrDie().size();
     stats->millis = timer.ElapsedMillis();
   }
   return out;
@@ -151,11 +213,14 @@ class PeakAccumulator {
   size_t peak_memory_bytes_ PCDB_GUARDED_BY(mu_) = 0;
 };
 
-}  // namespace
-
-PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,
-                            PatternIndexKind kind, ThreadPool* pool,
-                            MinimizeStats* stats) {
+/// The governed sharded pipeline; ParallelMinimize wraps it with the
+/// exception guard so serial and pooled fault paths report alike.
+Result<PatternSet> ParallelMinimizeGoverned(const PatternSet& input,
+                                            MinimizeApproach approach,
+                                            PatternIndexKind kind,
+                                            ThreadPool* pool,
+                                            const ExecContext& ctx,
+                                            MinimizeStats* stats) {
   const size_t threads = pool == nullptr ? 1 : pool->num_threads();
   // Oversubscribed sharding: up to 8 shards per worker (capped so every
   // shard keeps >= 2 patterns) lets the FIFO queue rebalance when the
@@ -165,9 +230,10 @@ PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,
   // definitionally equivalent.
   size_t num_shards = ParallelChunkCount(threads, input.size() / 2);
   if (num_shards <= 1) {
-    return Minimize(input, approach, kind, stats);
+    return Minimize(input, approach, kind, ctx, stats);
   }
   WallTimer timer;
+  PCDB_RETURN_NOT_OK(ctx.Check());
 
   // Group pattern indices by signature; a whole group always lands in
   // one shard, so duplicates (and any equal-signature subsumption, which
@@ -178,7 +244,7 @@ PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,
   }
   num_shards = std::min(num_shards, groups.size());
   if (num_shards <= 1) {
-    return Minimize(input, approach, kind, stats);
+    return Minimize(input, approach, kind, ctx, stats);
   }
 
   // Greedy balance: largest group to the least-loaded shard. Sorting by
@@ -205,21 +271,29 @@ PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,
 
   // Phase 1: minimize every shard concurrently with the requested
   // method. Each task owns its index and output slot; peak counters are
-  // folded into a shared, mutex-guarded accumulator.
+  // folded into a shared, mutex-guarded accumulator. The per-shard
+  // Minimize inherits `ctx`, so deadlines and budgets are enforced
+  // inside every shard, and first-error cancel-the-rest skips the
+  // remaining shards once one fails.
   std::vector<PatternSet> shard_out(num_shards);
   PeakAccumulator peaks;
-  ParallelFor(pool, num_shards, [&](size_t s) {
+  PCDB_RETURN_NOT_OK(TryParallelFor(pool, num_shards, [&](size_t s) -> Status {
+    PCDB_FAILPOINT("minimize.shard");
     MinimizeStats local;
-    shard_out[s] = Minimize(shard_in[s], approach, kind,
-                            stats == nullptr ? nullptr : &local);
+    PCDB_ASSIGN_OR_RETURN(shard_out[s],
+                          Minimize(shard_in[s], approach, kind, ctx,
+                                   stats == nullptr ? nullptr : &local));
     if (stats != nullptr) peaks.Merge(local);
-  });
+    return Status::OK();
+  }));
 
   // Phase 2 (merge): all-at-once over the union of shard survivors. The
   // union is duplicate-free (duplicates share a signature and were
   // collapsed in-shard), so a strict subsumer check is exact. The index
   // is built once and only read afterwards; probes write disjoint
-  // keep-slots, which makes the output deterministic.
+  // keep-slots, which makes the output deterministic. The budget check
+  // here is the authoritative one — per-shard indexes each stay under
+  // the budget, but only the merged index sees the union's size.
   std::vector<Pattern> merged;
   for (const PatternSet& s : shard_out) {
     merged.insert(merged.end(), s.begin(), s.end());
@@ -227,11 +301,22 @@ PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,
   PatternSet out;
   if (!merged.empty()) {
     auto index = MakePatternIndex(kind, merged[0].arity());
-    for (const Pattern& p : merged) index->Insert(p);
+    size_t iter = 0;
+    for (const Pattern& p : merged) {
+      index->Insert(p);
+      if (!ctx.unbounded()) {
+        PCDB_RETURN_NOT_OK(CheckIndexBudgets(*index, ctx, iter++));
+      }
+    }
     std::vector<char> keep(merged.size(), 0);
-    ParallelFor(pool, merged.size(), [&](size_t i) {
-      keep[i] = index->HasSubsumer(merged[i], /*strict=*/true) ? 0 : 1;
-    });
+    PCDB_RETURN_NOT_OK(
+        TryParallelFor(pool, merged.size(), [&](size_t i) -> Status {
+          if (!ctx.unbounded() && i % kPatternsPerContextCheck == 0) {
+            PCDB_RETURN_NOT_OK(ctx.Check());
+          }
+          keep[i] = index->HasSubsumer(merged[i], /*strict=*/true) ? 0 : 1;
+          return Status::OK();
+        }));
     for (size_t i = 0; i < merged.size(); ++i) {
       if (keep[i]) out.Add(merged[i]);
     }
@@ -247,6 +332,32 @@ PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,
     stats->millis = timer.ElapsedMillis();
   }
   return out;
+}
+
+}  // namespace
+
+PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,
+                            PatternIndexKind kind, ThreadPool* pool,
+                            MinimizeStats* stats) {
+  Result<PatternSet> out = ParallelMinimize(input, approach, kind, pool,
+                                            ExecContext::Unbounded(), stats);
+  if (out.ok()) return std::move(out).ValueOrDie();
+  // Same identity fallback as the legacy serial Minimize: sound, and
+  // only reachable under fault injection.
+  if (stats != nullptr) stats->output_size = input.size();
+  return input;
+}
+
+Result<PatternSet> ParallelMinimize(const PatternSet& input,
+                                    MinimizeApproach approach,
+                                    PatternIndexKind kind, ThreadPool* pool,
+                                    const ExecContext& ctx,
+                                    MinimizeStats* stats) {
+  try {
+    return ParallelMinimizeGoverned(input, approach, kind, pool, ctx, stats);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("minimization failed: ") + e.what());
+  }
 }
 
 PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,

@@ -3,6 +3,8 @@
 
 #include <string>
 
+#include "common/exec_context.h"
+#include "common/result.h"
 #include "common/thread_pool.h"
 #include "pattern/pattern.h"
 #include "pattern/pattern_index.h"
@@ -48,6 +50,19 @@ struct MinimizeStats {
 PatternSet Minimize(const PatternSet& input, MinimizeApproach approach,
                     PatternIndexKind kind, MinimizeStats* stats = nullptr);
 
+/// Governed minimization: `ctx` is polled inside the insert/probe loops,
+/// so a cancelled token, expired deadline, or tripped pattern/memory
+/// budget stops the run cooperatively (kCancelled / kTimeout /
+/// kResourceExhausted). The "minimize.pattern" failpoint fires per
+/// processed pattern. Note the pattern budget caps the *index* size: the
+/// all-at-once approach loads every input pattern before dropping any,
+/// so under a budget smaller than the input it always trips — governed
+/// callers that want to finish within a budget use kSortedIncremental,
+/// whose index only ever holds the running maximal set.
+Result<PatternSet> Minimize(const PatternSet& input, MinimizeApproach approach,
+                            PatternIndexKind kind, const ExecContext& ctx,
+                            MinimizeStats* stats = nullptr);
+
 /// Minimizes with the best-performing method from the paper's
 /// experiments (all-at-once over a discrimination tree, D1).
 PatternSet Minimize(const PatternSet& input);
@@ -80,6 +95,19 @@ PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,
 PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,
                             PatternIndexKind kind, ThreadPool* pool,
                             MinimizeStats* stats = nullptr);
+
+/// Governed sharded minimization: shard tasks run under
+/// first-error-cancel-the-rest semantics (common/thread_pool.h), `ctx`
+/// is polled inside every shard and during the merge pass, and the
+/// "minimize.shard" failpoint fires once per shard task. The serial
+/// fallback and the sharded path return identical error codes for the
+/// same fault, and a pattern-budget trip anywhere surfaces as
+/// kResourceExhausted so callers can degrade to a summary.
+Result<PatternSet> ParallelMinimize(const PatternSet& input,
+                                    MinimizeApproach approach,
+                                    PatternIndexKind kind, ThreadPool* pool,
+                                    const ExecContext& ctx,
+                                    MinimizeStats* stats = nullptr);
 
 /// ParallelMinimize with the paper's best method (D1).
 PatternSet ParallelMinimize(const PatternSet& input, size_t num_threads);

@@ -1,5 +1,6 @@
 #include "pattern/summary.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace pcdb {
@@ -41,6 +42,29 @@ bool IsAnswerComplete(const AnnotatedTable& annotated) {
     if (p.IsAllWildcards()) return true;
   }
   return false;
+}
+
+PatternSet SummarizePatterns(const PatternSet& input, size_t budget) {
+  PatternSet out;
+  if (budget == 0 || input.empty()) return out;
+  // Most general first: a pattern with more wildcards covers a larger
+  // slice, so under a tight budget it is the best promise to keep.
+  std::vector<Pattern> ranked = input.patterns();
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Pattern& a, const Pattern& b) {
+                     if (a.NumWildcards() != b.NumWildcards()) {
+                       return a.NumWildcards() > b.NumWildcards();
+                     }
+                     return a < b;
+                   });
+  for (const Pattern& p : ranked) {
+    // A pattern subsumed by a kept one adds no coverage (the ranking
+    // guarantees any subsumer was seen first).
+    if (out.AnySubsumes(p)) continue;
+    out.Add(p);
+    if (out.size() >= budget) break;
+  }
+  return out;
 }
 
 }  // namespace pcdb

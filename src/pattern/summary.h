@@ -38,6 +38,20 @@ CompletenessSummary Summarize(const AnnotatedTable& annotated);
 /// The classical decision: is the entire answer guaranteed complete?
 bool IsAnswerComplete(const AnnotatedTable& annotated);
 
+/// \brief Degrades a pattern set to at most `budget` of its own
+/// patterns, preferring the most general ones.
+///
+/// This is the graceful-degradation fallback for a tripped pattern
+/// budget (common/exec_context.h): the result is a *subset* of `input`
+/// (after dropping patterns subsumed by an already-kept one), so it is
+/// sound wherever `input` was — every kept pattern still describes a
+/// guaranteed-complete slice — it merely promises less than the exact
+/// minimized set would. Patterns are ranked by wildcard count
+/// (descending, i.e. most general first) with the pattern order as a
+/// deterministic tie-break. A budget of 0 yields the empty set, which
+/// is the vacuously sound summary.
+PatternSet SummarizePatterns(const PatternSet& input, size_t budget);
+
 }  // namespace pcdb
 
 #endif  // PCDB_PATTERN_SUMMARY_H_

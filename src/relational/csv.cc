@@ -1,8 +1,10 @@
 #include "relational/csv.h"
 
+#include <exception>
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace pcdb {
@@ -134,6 +136,16 @@ void AppendCsvField(const std::string& field, std::string* out) {
 
 Result<Table> ReadCsvString(const std::string& text, const Schema& schema,
                             bool has_header) {
+  return ReadCsvString(text, schema, has_header, ExecContext::Unbounded());
+}
+
+namespace {
+
+Result<Table> ReadCsvStringGoverned(const std::string& text,
+                                    const Schema& schema, bool has_header,
+                                    const ExecContext& ctx) {
+  PCDB_FAILPOINT("csv.read");
+  PCDB_RETURN_NOT_OK(ctx.Check());
   Table table(schema);
   size_t pos = 0;
   size_t line_no = 0;
@@ -141,6 +153,10 @@ Result<Table> ReadCsvString(const std::string& text, const Schema& schema,
   CsvRecord record;
   std::string error;
   while (NextCsvRecord(text, &pos, &line_no, &record, &error)) {
+    PCDB_FAILPOINT("csv.record");
+    if (!ctx.unbounded()) {
+      PCDB_RETURN_NOT_OK(ctx.CheckRows(table.num_rows() + 1));
+    }
     if (IsBlankRecord(record)) continue;
     if (!skipped_header) {
       skipped_header = true;
@@ -173,15 +189,34 @@ Result<Table> ReadCsvString(const std::string& text, const Schema& schema,
   return table;
 }
 
+}  // namespace
+
+Result<Table> ReadCsvString(const std::string& text, const Schema& schema,
+                            bool has_header, const ExecContext& ctx) {
+  // Same exception guard as the other governed entry points: a throwing
+  // failpoint (or a real bad_alloc) surfaces as kInternal, never as a
+  // process-terminating escape.
+  try {
+    return ReadCsvStringGoverned(text, schema, has_header, ctx);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("CSV load failed: ") + e.what());
+  }
+}
+
 Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
                           bool has_header) {
+  return ReadCsvFile(path, schema, has_header, ExecContext::Unbounded());
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                          bool has_header, const ExecContext& ctx) {
   std::ifstream in(path);
   if (!in) {
     return Status::NotFound("cannot open CSV file '" + path + "'");
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return ReadCsvString(buffer.str(), schema, has_header);
+  return ReadCsvString(buffer.str(), schema, has_header, ctx);
 }
 
 std::string WriteCsvString(const Table& table) {

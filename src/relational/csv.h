@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "relational/table.h"
 
@@ -19,9 +20,20 @@ namespace pcdb {
 Result<Table> ReadCsvString(const std::string& text, const Schema& schema,
                             bool has_header = true);
 
+/// Governed load: polls `ctx` per record (kTimeout/kCancelled) and
+/// enforces its row budget (kResourceExhausted) so an adversarial or
+/// oversized file cannot run the loader unboundedly. Failpoints
+/// "csv.read" (per call) and "csv.record" (per record) are compiled in.
+Result<Table> ReadCsvString(const std::string& text, const Schema& schema,
+                            bool has_header, const ExecContext& ctx);
+
 /// Reads a CSV file from disk; see ReadCsvString.
 Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
                           bool has_header = true);
+
+/// Governed file load; see the governed ReadCsvString.
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                          bool has_header, const ExecContext& ctx);
 
 /// Serializes `table` as CSV with a header line.
 std::string WriteCsvString(const Table& table);

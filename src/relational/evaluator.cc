@@ -4,11 +4,16 @@
 #include <limits>
 #include <unordered_map>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 
 namespace pcdb {
 namespace {
+
+/// Poll cadence inside governed row loops: frequent enough that a
+/// deadline or cancellation trips promptly, cheap enough to ignore.
+constexpr size_t kRowsPerContextCheck = 1024;
 
 Result<Table> EvalScan(const Expr& expr, const Database& db) {
   PCDB_ASSIGN_OR_RETURN(const Table* table, db.GetTable(expr.table_name()));
@@ -76,7 +81,7 @@ Result<Table> EvalRearrange(const Expr& expr, Table in) {
 }
 
 Result<Table> EvalJoin(const Expr& expr, Table lhs, Table rhs,
-                       ThreadPool* pool) {
+                       ThreadPool* pool, const ExecContext& ctx) {
   Schema out_schema = lhs.schema().Concat(rhs.schema());
   Table out(std::move(out_schema));
   if (expr.attr().empty()) {
@@ -85,6 +90,11 @@ Result<Table> EvalJoin(const Expr& expr, Table lhs, Table rhs,
     // the loop below would ever materialize it.
     out.Reserve(internal::CartesianReserve(lhs.num_rows(), rhs.num_rows()));
     for (const Tuple& l : lhs.rows()) {
+      // Per outer row: the inner loop appends rhs.num_rows() tuples, so
+      // a row budget trips within one pass and a deadline within two.
+      if (!ctx.unbounded()) {
+        PCDB_RETURN_NOT_OK(ctx.CheckRows(out.num_rows()));
+      }
       for (const Tuple& r : rhs.rows()) {
         Tuple joined = l;
         joined.insert(joined.end(), r.begin(), r.end());
@@ -110,8 +120,13 @@ Result<Table> EvalJoin(const Expr& expr, Table lhs, Table rhs,
   for (const Tuple& t : build.rows()) index.emplace(t[build_key], &t);
 
   auto probe_range = [&](size_t begin, size_t end,
-                         std::vector<Tuple>* sink) {
+                         std::vector<Tuple>* sink) -> Status {
     for (size_t row = begin; row < end; ++row) {
+      if (!ctx.unbounded() && (row - begin) % kRowsPerContextCheck == 0) {
+        // Per-chunk sink size approximates this chunk's share of the
+        // budget; the post-operator CheckRows catches the exact total.
+        PCDB_RETURN_NOT_OK(ctx.CheckRows(sink->size()));
+      }
       const Tuple& t = probe.row(row);
       auto [first, last] = index.equal_range(t[probe_key]);
       for (auto it = first; it != last; ++it) {
@@ -122,27 +137,25 @@ Result<Table> EvalJoin(const Expr& expr, Table lhs, Table rhs,
         sink->push_back(std::move(joined));
       }
     }
+    return Status::OK();
   };
 
   const size_t threads = pool == nullptr ? 1 : pool->num_threads();
   const std::vector<IndexRange> ranges = ChunkRanges(
       probe.num_rows(), ParallelChunkCount(threads, probe.num_rows()));
-  if (ranges.size() <= 1) {
-    std::vector<Tuple> rows;
-    probe_range(0, probe.num_rows(), &rows);
-    out.Reserve(rows.size());
-    for (Tuple& t : rows) out.AppendUnchecked(std::move(t));
-    return out;
-  }
-  // Parallel probe: contiguous probe-row chunks over the shared
-  // read-only build index, one output buffer per chunk. Concatenating
-  // the buffers in chunk order reproduces the serial row order exactly
-  // (equal_range iteration order on a const multimap is fixed), for any
-  // chunk count — ranges ascend and partition the probe rows.
+  // Probe chunks: contiguous probe-row ranges over the shared read-only
+  // build index, one output buffer per chunk. Concatenating the buffers
+  // in chunk order reproduces the serial row order exactly (equal_range
+  // iteration order on a const multimap is fixed), for any chunk count —
+  // ranges ascend and partition the probe rows. TryParallelForRanges
+  // degenerates to an in-order serial loop without a pool, so serial and
+  // parallel runs fail with identical codes under injected faults.
   std::vector<std::vector<Tuple>> chunk_rows(ranges.size());
-  ParallelForRanges(pool, ranges, [&](size_t c, IndexRange r) {
-    probe_range(r.begin, r.end, &chunk_rows[c]);
-  });
+  PCDB_RETURN_NOT_OK(TryParallelForRanges(
+      pool, ranges, [&](size_t c, IndexRange r) -> Status {
+        PCDB_FAILPOINT("eval.join.probe");
+        return probe_range(r.begin, r.end, &chunk_rows[c]);
+      }));
   size_t total = 0;
   for (const auto& rows : chunk_rows) total += rows.size();
   out.Reserve(total);
@@ -196,7 +209,8 @@ struct AggState {
   Value max;
 };
 
-Result<Table> EvalAggregate(const Expr& expr, Table in, const Database& db) {
+Result<Table> EvalAggregate(const Expr& expr, Table in, const Database& db,
+                            const ExecContext& ctx) {
   std::vector<size_t> group_idx;
   group_idx.reserve(expr.attrs().size());
   for (const std::string& g : expr.attrs()) {
@@ -209,6 +223,14 @@ Result<Table> EvalAggregate(const Expr& expr, Table in, const Database& db) {
       agg_idx.push_back(-1);
     } else {
       PCDB_ASSIGN_OR_RETURN(size_t idx, in.schema().Resolve(agg.attr));
+      // SUM/AVG need a numeric column; rejecting here (rather than
+      // skipping string cells or aborting in Value::AsDouble) keeps the
+      // error a clean Status for every input instance.
+      if ((agg.func == AggFunc::kSum || agg.func == AggFunc::kAvg) &&
+          in.schema().column(idx).type == ValueType::kString) {
+        return Status::TypeError("cannot aggregate string column '" +
+                                 agg.attr + "' with SUM/AVG");
+      }
       agg_idx.push_back(static_cast<int64_t>(idx));
     }
   }
@@ -219,7 +241,11 @@ Result<Table> EvalAggregate(const Expr& expr, Table in, const Database& db) {
   };
   std::unordered_map<Tuple, size_t, TupleHash> group_of;
   std::vector<Group> groups;
+  size_t row_no = 0;
   for (const Tuple& t : in.rows()) {
+    if (!ctx.unbounded() && row_no++ % kRowsPerContextCheck == 0) {
+      PCDB_RETURN_NOT_OK(ctx.Check());
+    }
     Tuple key;
     key.reserve(group_idx.size());
     for (size_t i : group_idx) key.push_back(t[i]);
@@ -238,7 +264,8 @@ Result<Table> EvalAggregate(const Expr& expr, Table in, const Database& db) {
         if (v.is_int64()) {
           s.sum_int += v.int64();
         }
-        s.sum_double += v.AsDouble();
+        PCDB_ASSIGN_OR_RETURN(double d, v.AsDouble());
+        s.sum_double += d;
       }
       if (!s.has_value) {
         s.min = v;
@@ -288,6 +315,42 @@ Result<Table> EvalAggregate(const Expr& expr, Table in, const Database& db) {
   return out;
 }
 
+/// The undecorated operator dispatch; the governed ApplyRootOperator
+/// wraps it with the failpoint and the context checks.
+Result<Table> ApplyRootOperatorImpl(const Expr& expr, const Database& db,
+                                    Table left, Table right, ThreadPool* pool,
+                                    const ExecContext& ctx) {
+  switch (expr.kind()) {
+    case ExprKind::kScan:
+      return EvalScan(expr, db);
+    case ExprKind::kSelectConst:
+      return EvalSelectConst(expr, std::move(left));
+    case ExprKind::kSelectAttrEq:
+      return EvalSelectAttrEq(expr, std::move(left));
+    case ExprKind::kProjectOut:
+      return EvalProjectOut(expr, std::move(left));
+    case ExprKind::kRearrange:
+      return EvalRearrange(expr, std::move(left));
+    case ExprKind::kJoin:
+      return EvalJoin(expr, std::move(left), std::move(right), pool, ctx);
+    case ExprKind::kAggregate:
+      return EvalAggregate(expr, std::move(left), db, ctx);
+    case ExprKind::kSort:
+      return EvalSort(expr, std::move(left));
+    case ExprKind::kLimit:
+      return EvalLimit(expr, std::move(left));
+    case ExprKind::kUnion: {
+      PCDB_ASSIGN_OR_RETURN(Schema schema, expr.OutputSchema(db));
+      Table out(std::move(schema));
+      out.Reserve(left.num_rows() + right.num_rows());
+      for (const Tuple& t : left.rows()) out.AppendUnchecked(t);
+      for (const Tuple& t : right.rows()) out.AppendUnchecked(t);
+      return out;
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
 }  // namespace
 
 namespace internal {
@@ -307,63 +370,65 @@ size_t CartesianReserve(size_t lhs_rows, size_t rhs_rows) {
 
 Result<Table> ApplyRootOperator(const Expr& expr, const Database& db,
                                 Table left, Table right, ThreadPool* pool) {
-  switch (expr.kind()) {
-    case ExprKind::kScan:
-      return EvalScan(expr, db);
-    case ExprKind::kSelectConst:
-      return EvalSelectConst(expr, std::move(left));
-    case ExprKind::kSelectAttrEq:
-      return EvalSelectAttrEq(expr, std::move(left));
-    case ExprKind::kProjectOut:
-      return EvalProjectOut(expr, std::move(left));
-    case ExprKind::kRearrange:
-      return EvalRearrange(expr, std::move(left));
-    case ExprKind::kJoin:
-      return EvalJoin(expr, std::move(left), std::move(right), pool);
-    case ExprKind::kAggregate:
-      return EvalAggregate(expr, std::move(left), db);
-    case ExprKind::kSort:
-      return EvalSort(expr, std::move(left));
-    case ExprKind::kLimit:
-      return EvalLimit(expr, std::move(left));
-    case ExprKind::kUnion: {
-      PCDB_ASSIGN_OR_RETURN(Schema schema, expr.OutputSchema(db));
-      Table out(std::move(schema));
-      out.Reserve(left.num_rows() + right.num_rows());
-      for (const Tuple& t : left.rows()) out.AppendUnchecked(t);
-      for (const Tuple& t : right.rows()) out.AppendUnchecked(t);
-      return out;
-    }
-  }
-  return Status::Internal("unhandled expression kind");
+  return ApplyRootOperator(expr, db, std::move(left), std::move(right), pool,
+                           ExecContext::Unbounded());
+}
+
+Result<Table> ApplyRootOperator(const Expr& expr, const Database& db,
+                                Table left, Table right, ThreadPool* pool,
+                                const ExecContext& ctx) {
+  PCDB_FAILPOINT("eval.operator");
+  PCDB_RETURN_NOT_OK(ctx.Check());
+  PCDB_ASSIGN_OR_RETURN(
+      Table out, ApplyRootOperatorImpl(expr, db, std::move(left),
+                                       std::move(right), pool, ctx));
+  PCDB_RETURN_NOT_OK(ctx.CheckRows(out.num_rows()));
+  return out;
 }
 
 namespace {
 
 Result<Table> EvaluateWithPool(const Expr& expr, const Database& db,
-                               ThreadPool* pool) {
+                               ThreadPool* pool, const ExecContext& ctx) {
   Table left;
   Table right;
   if (expr.left() != nullptr) {
-    PCDB_ASSIGN_OR_RETURN(left, EvaluateWithPool(*expr.left(), db, pool));
+    PCDB_ASSIGN_OR_RETURN(left,
+                          EvaluateWithPool(*expr.left(), db, pool, ctx));
   }
   if (expr.right() != nullptr) {
-    PCDB_ASSIGN_OR_RETURN(right, EvaluateWithPool(*expr.right(), db, pool));
+    PCDB_ASSIGN_OR_RETURN(right,
+                          EvaluateWithPool(*expr.right(), db, pool, ctx));
   }
-  return ApplyRootOperator(expr, db, std::move(left), std::move(right), pool);
+  return ApplyRootOperator(expr, db, std::move(left), std::move(right), pool,
+                           ctx);
 }
 
 }  // namespace
 
 Result<Table> Evaluate(const Expr& expr, const Database& db) {
-  return EvaluateWithPool(expr, db, nullptr);
+  return Evaluate(expr, db, EvalOptions{}, ExecContext::Unbounded());
 }
 
 Result<Table> Evaluate(const Expr& expr, const Database& db,
                        const EvalOptions& options) {
-  if (options.num_threads <= 1) return EvaluateWithPool(expr, db, nullptr);
-  ThreadPool pool(options.num_threads);
-  return EvaluateWithPool(expr, db, &pool);
+  return Evaluate(expr, db, options, ExecContext::Unbounded());
+}
+
+Result<Table> Evaluate(const Expr& expr, const Database& db,
+                       const EvalOptions& options, const ExecContext& ctx) {
+  // The exception guard makes serial and parallel fault behaviour match:
+  // a throw-action failpoint on the serial path becomes the same
+  // Status::Internal the worker-side catch produces on the pool path.
+  try {
+    if (options.num_threads <= 1) {
+      return EvaluateWithPool(expr, db, nullptr, ctx);
+    }
+    ThreadPool pool(options.num_threads);
+    return EvaluateWithPool(expr, db, &pool, ctx);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("evaluation failed: ") + e.what());
+  }
 }
 
 }  // namespace pcdb

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "relational/database.h"
 #include "relational/expr.h"
@@ -32,6 +33,15 @@ Result<Table> Evaluate(const Expr& expr, const Database& db);
 Result<Table> Evaluate(const Expr& expr, const Database& db,
                        const EvalOptions& options);
 
+/// Governed evaluation: `ctx` is polled at every operator boundary and
+/// inside join probe loops, so a cancelled token, an expired deadline,
+/// or a tripped row budget stops the plan cooperatively (kCancelled /
+/// kTimeout / kResourceExhausted) instead of running to completion.
+/// Injected faults (common/failpoint.h) and task exceptions surface as
+/// error Statuses — this entry point never terminates the process.
+Result<Table> Evaluate(const Expr& expr, const Database& db,
+                       const EvalOptions& options, const ExecContext& ctx);
+
 inline Result<Table> Evaluate(const ExprPtr& expr, const Database& db) {
   return Evaluate(*expr, db);
 }
@@ -39,6 +49,12 @@ inline Result<Table> Evaluate(const ExprPtr& expr, const Database& db) {
 inline Result<Table> Evaluate(const ExprPtr& expr, const Database& db,
                               const EvalOptions& options) {
   return Evaluate(*expr, db, options);
+}
+
+inline Result<Table> Evaluate(const ExprPtr& expr, const Database& db,
+                              const EvalOptions& options,
+                              const ExecContext& ctx) {
+  return Evaluate(*expr, db, options, ctx);
 }
 
 /// Applies only the root operator of `expr` to already-evaluated child
@@ -50,6 +66,13 @@ inline Result<Table> Evaluate(const ExprPtr& expr, const Database& db,
 Result<Table> ApplyRootOperator(const Expr& expr, const Database& db,
                                 Table left, Table right,
                                 ThreadPool* pool = nullptr);
+
+/// Governed single-operator application: fires the "eval.operator"
+/// failpoint, polls `ctx` on entry, and checks the operator's output
+/// row count against the row budget.
+Result<Table> ApplyRootOperator(const Expr& expr, const Database& db,
+                                Table left, Table right, ThreadPool* pool,
+                                const ExecContext& ctx);
 
 namespace internal {
 

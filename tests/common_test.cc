@@ -80,7 +80,9 @@ TEST(ValueTest, TypesAndAccessors) {
   EXPECT_EQ(i.int64(), 7);
   EXPECT_EQ(d.dbl(), 2.5);
   EXPECT_EQ(s.str(), "abc");
-  EXPECT_EQ(i.AsDouble(), 7.0);
+  ASSERT_TRUE(i.AsDouble().ok());
+  EXPECT_EQ(i.AsDouble().ValueOrDie(), 7.0);
+  EXPECT_EQ(s.AsDouble().status().code(), StatusCode::kTypeError);
 }
 
 TEST(ValueTest, EqualityIsTypeStrict) {

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "pattern/annotated_eval.h"
+#include "pattern/minimize.h"
+#include "relational/csv.h"
+#include "relational/evaluator.h"
+#include "workloads/maintenance_example.h"
+
+namespace pcdb {
+namespace {
+
+/// Every test starts and ends with a clean registry: failpoints are
+/// process-global, so leaking an armed one would poison later tests.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::Global().Clear(); }
+  void TearDown() override { Failpoints::Global().Clear(); }
+};
+
+// ---------------------------------------------------------------------------
+// Covering workloads: one governed entry point per group of sites. Each
+// returns the final Status so the matrix below can compare serial and
+// parallel runs of the same work.
+
+Status RunCsvLoad() {
+  Schema schema(
+      {{"id", ValueType::kInt64}, {"name", ValueType::kString}});
+  std::string text = "id,name\n";
+  for (int i = 0; i < 40; ++i) text += std::to_string(i) + ",row\n";
+  return ReadCsvString(text, schema, /*has_header=*/true, ExecContext())
+      .status();
+}
+
+Status RunEvaluate(size_t threads) {
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  ExprPtr plan = Expr::Join(Expr::Scan("Warnings"),
+                            Expr::Scan("Maintenance"), "ID", "ID");
+  EvalOptions options;
+  options.num_threads = threads;
+  return Evaluate(*plan, adb.database(), options, ExecContext()).status();
+}
+
+Status RunAnnotated(size_t threads) {
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  AnnotatedEvalOptions options;
+  options.num_threads = threads;
+  return EvaluateAnnotated(*MakeHardwareWarningsQuery(), adb, options,
+                           ExecContext())
+      .status();
+}
+
+/// A random set large enough that the sharded path actually shards
+/// (small inputs fall back to the serial minimizer).
+PatternSet BigRandomSet(uint64_t seed) {
+  Rng rng(seed);
+  PatternSet out;
+  for (size_t i = 0; i < 500; ++i) {
+    std::vector<Pattern::Cell> cells;
+    for (size_t a = 0; a < 5; ++a) {
+      Pattern::Cell cell;
+      if (!rng.Bernoulli(0.5)) {
+        cell.emplace("v" + std::to_string(rng.UniformInt(0, 3)));
+      }
+      cells.push_back(std::move(cell));
+    }
+    out.Add(Pattern(std::move(cells)));
+  }
+  return out;
+}
+
+Status RunMinimize(size_t threads) {
+  PatternSet input = BigRandomSet(11);
+  if (threads <= 1) {
+    return Minimize(input, MinimizeApproach::kAllAtOnce,
+                    PatternIndexKind::kDiscriminationTree, ExecContext())
+        .status();
+  }
+  ThreadPool pool(threads);
+  return ParallelMinimize(input, MinimizeApproach::kAllAtOnce,
+                          PatternIndexKind::kDiscriminationTree, &pool,
+                          ExecContext())
+      .status();
+}
+
+struct SiteWorkload {
+  const char* site;
+  Status (*run)(size_t threads);
+  /// False for sites that only exist on the pooled path (shard tasks,
+  /// pool dispatch): the serial run must then succeed untouched.
+  bool fires_serially;
+};
+
+Status RunCsvIgnoringThreads(size_t) { return RunCsvLoad(); }
+
+const std::vector<SiteWorkload>& CoveringWorkloads() {
+  static const std::vector<SiteWorkload>* workloads =
+      new std::vector<SiteWorkload>{
+          {"csv.read", RunCsvIgnoringThreads, true},
+          {"csv.record", RunCsvIgnoringThreads, true},
+          {"eval.operator", RunEvaluate, true},
+          {"eval.join.probe", RunEvaluate, true},
+          {"annotated.operator", RunAnnotated, true},
+          {"minimize.pattern", RunMinimize, true},
+          {"minimize.shard", RunMinimize, false},
+          {"pool.dispatch", RunMinimize, false},
+      };
+  return *workloads;
+}
+
+// ---------------------------------------------------------------------------
+// The matrix: every compiled-in site x {error, throw}, serial and
+// parallel. Nothing may terminate the process; where both paths reach
+// the site they must return the same error code.
+
+TEST_F(FaultInjectionTest, CoveringWorkloadsMatchAllSites) {
+  // The workload table above and AllSites() must stay in sync, or the
+  // matrix silently loses coverage when a new site is instrumented.
+  std::vector<std::string> covered;
+  for (const SiteWorkload& w : CoveringWorkloads()) covered.push_back(w.site);
+  std::sort(covered.begin(), covered.end());
+  std::vector<std::string> sites = Failpoints::AllSites();
+  std::sort(sites.begin(), sites.end());
+  EXPECT_EQ(covered, sites);
+}
+
+TEST_F(FaultInjectionTest, EverySiteFiresOnItsCoveringWorkload) {
+  // Sleep(0) is an observable no-op: the workload result is unchanged
+  // but FireCount proves the site was actually reached.
+  for (const SiteWorkload& w : CoveringWorkloads()) {
+    Failpoints::Global().Activate(w.site, FailpointSpec::Sleep(0));
+  }
+  for (const SiteWorkload& w : CoveringWorkloads()) {
+    EXPECT_TRUE(w.run(4).ok()) << w.site;
+  }
+  for (const SiteWorkload& w : CoveringWorkloads()) {
+    EXPECT_GT(Failpoints::Global().FireCount(w.site), 0u) << w.site;
+  }
+}
+
+TEST_F(FaultInjectionTest, ErrorActionSurfacesTheInjectedCode) {
+  for (const SiteWorkload& w : CoveringWorkloads()) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      Failpoints::Global().Activate(
+          w.site, FailpointSpec::Error(StatusCode::kOutOfRange));
+      Status status = w.run(threads);
+      Failpoints::Global().Clear();
+      if (threads > 1 || w.fires_serially) {
+        EXPECT_EQ(status.code(), StatusCode::kOutOfRange)
+            << w.site << " with " << threads << " threads: " << status;
+      } else {
+        EXPECT_TRUE(status.ok()) << w.site << " serial: " << status;
+      }
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, ThrowActionBecomesInternalStatusEverywhere) {
+  // A throw-action failpoint exercises the exception guards: pooled
+  // tasks capture it in the worker, serial paths in the entry-point
+  // guard — both must surface kInternal, never terminate.
+  for (const SiteWorkload& w : CoveringWorkloads()) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      Failpoints::Global().Activate(w.site, FailpointSpec::Throw());
+      Status status = w.run(threads);
+      Failpoints::Global().Clear();
+      if (threads > 1 || w.fires_serially) {
+        EXPECT_EQ(status.code(), StatusCode::kInternal)
+            << w.site << " with " << threads << " threads: " << status;
+      } else {
+        EXPECT_TRUE(status.ok()) << w.site << " serial: " << status;
+      }
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, SerialAndParallelReturnTheSameCode) {
+  for (const SiteWorkload& w : CoveringWorkloads()) {
+    if (!w.fires_serially) continue;
+    Failpoints::Global().Activate(
+        w.site, FailpointSpec::Error(StatusCode::kResourceExhausted));
+    Status serial = w.run(1);
+    Failpoints::Global().Activate(
+        w.site, FailpointSpec::Error(StatusCode::kResourceExhausted));
+    Status parallel = w.run(4);
+    Failpoints::Global().Clear();
+    EXPECT_EQ(serial.code(), parallel.code()) << w.site;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Triggers are deterministic.
+
+TEST_F(FaultInjectionTest, OnceFiresOnTheFirstHitOnly) {
+  // FireCount is a process-lifetime ledger (it survives Clear() by
+  // design), so all counting assertions compare against a baseline.
+  const uint64_t base = Failpoints::Global().FireCount("test.site");
+  Failpoints::Global().Activate("test.site", FailpointSpec::Error().Once());
+  EXPECT_FALSE(Failpoints::Global().Hit("test.site").ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(Failpoints::Global().Hit("test.site").ok());
+  }
+  EXPECT_EQ(Failpoints::Global().FireCount("test.site") - base, 1u);
+}
+
+TEST_F(FaultInjectionTest, EveryNthFiresOnMultiplesOfN) {
+  Failpoints::Global().Activate("test.site",
+                                FailpointSpec::Error().EveryNth(3));
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) {
+    fired.push_back(!Failpoints::Global().Hit("test.site").ok());
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, true,
+                                      false, false, true}));
+}
+
+TEST_F(FaultInjectionTest, ProbabilityTriggerIsSeedDeterministic) {
+  auto draw_sequence = [](uint64_t seed) {
+    Failpoints::Global().Activate(
+        "test.site", FailpointSpec::Error().WithProbability(0.5, seed));
+    std::vector<bool> fired;
+    for (int i = 0; i < 100; ++i) {
+      fired.push_back(!Failpoints::Global().Hit("test.site").ok());
+    }
+    Failpoints::Global().Deactivate("test.site");
+    return fired;
+  };
+  std::vector<bool> first = draw_sequence(42);
+  std::vector<bool> second = draw_sequence(42);
+  EXPECT_EQ(first, second);
+  // Some fire, some don't: p=0.5 over 100 hits.
+  EXPECT_NE(first, std::vector<bool>(100, false));
+  EXPECT_NE(first, std::vector<bool>(100, true));
+  // A different seed draws a different sequence.
+  EXPECT_NE(draw_sequence(43), first);
+}
+
+TEST_F(FaultInjectionTest, FireCountSurvivesDeactivateAndClear) {
+  const uint64_t base = Failpoints::Global().FireCount("test.site");
+  Failpoints::Global().Activate("test.site", FailpointSpec::Error());
+  (void)Failpoints::Global().Hit("test.site");
+  (void)Failpoints::Global().Hit("test.site");
+  Failpoints::Global().Deactivate("test.site");
+  EXPECT_EQ(Failpoints::Global().FireCount("test.site") - base, 2u);
+  EXPECT_FALSE(Failpoints::Global().IsActive("test.site"));
+  Failpoints::Global().Activate("test.site", FailpointSpec::Error());
+  (void)Failpoints::Global().Hit("test.site");
+  EXPECT_EQ(Failpoints::Global().FireCount("test.site") - base, 3u);
+  Failpoints::Global().Clear();
+  EXPECT_EQ(Failpoints::Global().FireCount("test.site") - base, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// The PCDB_FAILPOINTS grammar.
+
+TEST_F(FaultInjectionTest, ParsesFullSpecStrings) {
+  ASSERT_TRUE(Failpoints::Global()
+                  .ActivateFromString(
+                      "minimize.pattern=error;pool.dispatch=sleep(2);"
+                      "csv.record=once:throw;"
+                      "eval.operator=every(3):error(timeout);"
+                      "minimize.shard=prob(0.25,42):error(resource_exhausted)")
+                  .ok());
+  for (const char* name :
+       {"minimize.pattern", "pool.dispatch", "csv.record", "eval.operator",
+        "minimize.shard"}) {
+    EXPECT_TRUE(Failpoints::Global().IsActive(name)) << name;
+  }
+  // every(3):error(timeout) behaves as parsed.
+  EXPECT_TRUE(Failpoints::Global().Hit("eval.operator").ok());
+  EXPECT_TRUE(Failpoints::Global().Hit("eval.operator").ok());
+  Status third = Failpoints::Global().Hit("eval.operator");
+  EXPECT_EQ(third.code(), StatusCode::kTimeout);
+}
+
+TEST_F(FaultInjectionTest, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"noequals", "=error", "x=bogus", "x=once:error(wat)",
+        "x=every(0):error", "x=prob(0.5):error", "x=every(two):error",
+        "x=once:sleep(fast)", "x=unknowntrigger(1):error"}) {
+    Status status = Failpoints::Global().ActivateFromSpec(bad);
+    EXPECT_EQ(status.code(), StatusCode::kParseError) << bad;
+    EXPECT_FALSE(Failpoints::Global().IsActive("x")) << bad;
+  }
+}
+
+TEST_F(FaultInjectionTest, EntriesBeforeAMalformedOneStayArmed) {
+  Status status =
+      Failpoints::Global().ActivateFromString("test.site=error;oops");
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_TRUE(Failpoints::Global().IsActive("test.site"));
+}
+
+// ---------------------------------------------------------------------------
+// Pool failure semantics the matrix relies on.
+
+TEST_F(FaultInjectionTest, PoolCapturesTaskExceptionsAsInternal) {
+  ThreadPool pool(4);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  pool.Wait();
+  Status status = pool.ConsumeStatus();
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  // ConsumeStatus re-arms the pool: the next round is clean.
+  EXPECT_TRUE(pool.ConsumeStatus().ok());
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_TRUE(pool.ConsumeStatus().ok());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST_F(FaultInjectionTest, FirstErrorCancelsQueuedTasksDeterministically) {
+  // Inline pool: submissions run in order, so everything after the
+  // failure must be skipped — observable without racing a real queue.
+  ThreadPool pool(1);
+  int ran = 0;
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  pool.Submit([&ran] { ++ran; });
+  pool.Submit([&ran] { ++ran; });
+  pool.Wait();
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(pool.ConsumeStatus().code(), StatusCode::kInternal);
+  pool.Submit([&ran] { ++ran; });  // re-armed
+  EXPECT_EQ(ran, 1);
+}
+
+TEST_F(FaultInjectionTest, SleepActionDelaysButDoesNotFail) {
+  Failpoints::Global().Activate("pool.dispatch", FailpointSpec::Sleep(1));
+  Failpoints::Global().Activate("minimize.pattern",
+                                FailpointSpec::Sleep(0.1).EveryNth(100));
+  EXPECT_TRUE(RunMinimize(4).ok());
+  EXPECT_GT(Failpoints::Global().FireCount("pool.dispatch"), 0u);
+}
+
+}  // namespace
+}  // namespace pcdb

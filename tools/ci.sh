@@ -8,6 +8,11 @@
 #   tools/ci.sh fuzz       # build fuzz harnesses under ASan/UBSan and smoke
 #                          # each for ~30s (libFuzzer under clang; corpus +
 #                          # deterministic mutation replay elsewhere)
+#   tools/ci.sh faults     # fault-injection matrix: rerun the suite with
+#                          # benign sleep failpoints (results must be
+#                          # unchanged), then arm every compiled-in site
+#                          # with error/throw actions and require that no
+#                          # test binary dies abnormally
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,10 +25,13 @@ run_tier1() {
   cmake --build --preset release -j "$JOBS"
   ctest --preset release -j "$JOBS"
 
-  echo "=== TSan: parallel test suite ==="
+  echo "=== TSan: parallel + fault-injection + governed-context suites ==="
   cmake --preset tsan
-  cmake --build --preset tsan -j "$JOBS" --target parallel_test
+  cmake --build --preset tsan -j "$JOBS" \
+    --target parallel_test fault_injection_test exec_context_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/fault_injection_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/exec_context_test
 }
 
 run_asan() {
@@ -109,6 +117,53 @@ run_fuzz() {
   echo "fuzz OK"
 }
 
+run_faults() {
+  echo "=== faults: injected-failpoint matrix ==="
+  cmake --preset release
+  cmake --build --preset release -j "$JOBS"
+
+  # Dedicated coverage first: the deterministic site x action matrix and
+  # the deadline/budget/degradation contracts.
+  ./build/tests/fault_injection_test
+  ./build/tests/exec_context_test
+
+  echo "--- sleep-action injection: the full suite must pass unchanged"
+  PCDB_FAILPOINTS="pool.dispatch=sleep(1);minimize.pattern=prob(0.01,7):sleep(1)" \
+    ctest --preset release -j "$JOBS"
+
+  echo "--- error/throw injection: tests may fail, the process may not die"
+  # Keep this list in sync with Failpoints::AllSites()
+  # (fault_injection_test cross-checks the same list programmatically).
+  # pool.dispatch is deliberately absent here: the void ParallelFor API —
+  # used directly by parallel_test — documents task failure as a
+  # programming error (PCDB_CHECK), so arming that site breaks its
+  # precondition. Governed entry points route all fallible fan-outs
+  # through TryParallelFor*, and fault_injection_test above injects
+  # pool.dispatch faults through those paths.
+  local sites="csv.read csv.record eval.operator eval.join.probe \
+    minimize.pattern minimize.shard annotated.operator"
+  local bins="relational_test minimize_test annotated_eval_test parallel_test"
+  local action site spec bin rc
+  for action in "error" "error(timeout)" "throw"; do
+    spec=""
+    for site in $sites; do spec="${spec}${site}=${action};"; done
+    for bin in $bins; do
+      rc=0
+      PCDB_FAILPOINTS="$spec" "./build/tests/$bin" >/dev/null 2>&1 || rc=$?
+      # gtest exits 0 (all passed) or 1 (assertions failed; expected when
+      # every workload gets a fault injected). Anything else — an abort,
+      # an uncaught exception, a signal — means a failpoint escaped the
+      # Status channel.
+      if (( rc > 1 )); then
+        echo "ERROR: $bin died (exit $rc) under PCDB_FAILPOINTS=$spec" >&2
+        exit 1
+      fi
+      echo "$bin under '$action' injection: exit $rc (clean)"
+    done
+  done
+  echo "faults OK"
+}
+
 MODE="tier1"
 RUN_ASAN=0
 for arg in "$@"; do
@@ -116,6 +171,7 @@ for arg in "$@"; do
     --asan) RUN_ASAN=1 ;;
     lint) MODE="lint" ;;
     fuzz) MODE="fuzz" ;;
+    faults) MODE="faults" ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -127,6 +183,7 @@ case "$MODE" in
     ;;
   lint) run_lint ;;
   fuzz) run_fuzz ;;
+  faults) run_faults ;;
 esac
 
 echo "CI OK"

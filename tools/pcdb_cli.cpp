@@ -2,7 +2,13 @@
 // run SQL with completeness annotation, inspect diagnoses, punctuate
 // feeds, and persist the result.
 //
-// Usage: pcdb_cli [--db <dir>]
+// Usage: pcdb_cli [--db <dir>] [--timeout-ms <n>] [--max-patterns <n>]
+//
+//   --timeout-ms <n>    per-query deadline; an overrunning query stops
+//                       cooperatively with a Timeout error
+//   --max-patterns <n>  pattern budget; when the completeness reasoning
+//                       would exceed it, the answer degrades to a sound
+//                       coarser pattern summary (marked "degraded")
 //
 // Commands (\h inside the shell for help):
 //   SELECT ...;                  run a query, print annotated answer
@@ -16,6 +22,7 @@
 //   \save <dir>  /  \load <dir>  persist / restore the database
 //   \q                           quit
 
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -70,6 +77,9 @@ class Shell {
     return Status::OK();
   }
 
+  void SetTimeoutMillis(double millis) { timeout_ms_ = millis; }
+  void SetMaxPatterns(size_t max_patterns) { max_patterns_ = max_patterns; }
+
  private:
   void Prompt() { std::cout << "pcdb> " << std::flush; }
 
@@ -82,8 +92,12 @@ class Shell {
     AnnotatedEvalOptions options;
     options.instance_aware = instance_aware_;
     options.zombies = zombies_;
+    // A fresh context per query: the deadline clock starts now.
+    ExecContext ctx;
+    if (timeout_ms_ > 0) ctx.WithDeadlineAfterMillis(timeout_ms_);
+    if (max_patterns_ > 0) ctx.WithPatternBudget(max_patterns_);
     AnnotatedEvalInfo info;
-    auto result = EvaluateAnnotated(*plan, adb_, options, &info);
+    auto result = EvaluateAnnotated(*plan, adb_, options, ctx, &info);
     if (!result.ok()) {
       std::cout << "error: " << result.status() << "\n";
       return;
@@ -91,6 +105,11 @@ class Shell {
     std::cout << result->ToString() << Summarize(*result).ToString() << "\n"
               << "(query " << info.data_millis << " ms, completeness "
               << info.pattern_millis << " ms)\n";
+    if (result->degraded) {
+      std::cout << "note: pattern budget (" << max_patterns_
+                << ") tripped; the patterns above are a sound but "
+                   "incomplete summary\n";
+    }
   }
 
   /// Returns false when the shell should exit.
@@ -226,6 +245,8 @@ class Shell {
   AnnotatedDatabase adb_;
   bool instance_aware_ = false;
   bool zombies_ = false;
+  double timeout_ms_ = 0;     // 0 = no deadline
+  size_t max_patterns_ = 0;   // 0 = no pattern budget
 };
 
 }  // namespace
@@ -240,8 +261,25 @@ int main(int argc, char** argv) {
         std::cerr << "cannot load database: " << status << "\n";
         return 1;
       }
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      char* end = nullptr;
+      double millis = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || millis < 0) {
+        std::cerr << "--timeout-ms needs a non-negative number\n";
+        return 1;
+      }
+      shell.SetTimeoutMillis(millis);
+    } else if (arg == "--max-patterns" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::cerr << "--max-patterns needs a non-negative integer\n";
+        return 1;
+      }
+      shell.SetMaxPatterns(static_cast<size_t>(n));
     } else {
-      std::cerr << "usage: pcdb_cli [--db <dir>]\n";
+      std::cerr << "usage: pcdb_cli [--db <dir>] [--timeout-ms <n>] "
+                   "[--max-patterns <n>]\n";
       return 1;
     }
   }

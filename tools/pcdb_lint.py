@@ -24,6 +24,12 @@ Rules
                       common < relational < pattern < {sql, workloads}.
                       tests/, bench/, examples/, fuzz/, tools/ may include
                       any layer.
+ 5. no-abort          std::abort / exit / _Exit / quick_exit may appear
+                      only in src/common/logging.h (PCDB_CHECK's last
+                      resort) and fuzz/fuzz_util.h (libFuzzer crash
+                      reporting).  Library code reports failures as
+                      Status so injected faults, deadlines, and budget
+                      trips can never terminate the process.
 
 Exit status is 0 when clean, 1 when any rule fires.
 """
@@ -55,8 +61,11 @@ NAKED_THREAD_RE = re.compile(r"std::thread\b")
 SETCELL_CALL_RE = re.compile(r"[.>]\s*SetCell\s*\(")
 INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"')
 
+ABORT_RE = re.compile(r"\b(?:std::)?(?:abort|exit|_Exit|quick_exit)\s*\(")
+
 MUTEX_ALLOWED = {"src/common/thread_annotations.h"}
 THREAD_ALLOWED = {"src/common/thread_pool.h", "src/common/thread_pool.cc"}
+ABORT_ALLOWED = {"src/common/logging.h", "fuzz/fuzz_util.h"}
 
 
 def strip_comments(lines):
@@ -111,6 +120,12 @@ def lint_file(rel, text, problems):
             problems.append(
                 (rel, lineno, "naked-thread",
                  "spawn work through pcdb::ThreadPool, not std::thread"))
+        if rel not in ABORT_ALLOWED and ABORT_RE.search(code):
+            problems.append(
+                (rel, lineno, "no-abort",
+                 "return a Status instead of terminating; only "
+                 "common/logging.h (PCDB_CHECK) and fuzz/fuzz_util.h may "
+                 "abort the process"))
         if not in_pattern_layer and SETCELL_CALL_RE.search(code):
             problems.append(
                 (rel, lineno, "pattern-mutation",
