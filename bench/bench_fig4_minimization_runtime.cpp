@@ -68,7 +68,8 @@ void Run(const PatternSet& input, MinimizeApproach approach,
 
 /// Serial vs ParallelMinimize comparison for one method, medians over
 /// `repeats` runs; verifies the outputs are SetEquals-identical.
-void RunParallel(const PatternSet& input, MinimizeApproach approach,
+/// Returns false on divergence.
+bool RunParallel(const PatternSet& input, MinimizeApproach approach,
                  PatternIndexKind kind, size_t threads, int repeats) {
   std::vector<double> serial_ms;
   std::vector<double> parallel_ms;
@@ -84,7 +85,7 @@ void RunParallel(const PatternSet& input, MinimizeApproach approach,
   if (!serial_out.SetEquals(parallel_out)) {
     std::printf("  !! parallel output DIVERGES from serial for %s\n",
                 MinimizeMethodName(kind, approach).c_str());
-    std::exit(1);
+    return false;
   }
   const double serial_med = Median(serial_ms);
   const double parallel_med = Median(parallel_ms);
@@ -96,6 +97,7 @@ void RunParallel(const PatternSet& input, MinimizeApproach approach,
   JsonResultLine("fig4_minimize_serial", method, input.size(), 1, serial_med);
   JsonResultLine("fig4_minimize_parallel", method, input.size(), threads,
                  parallel_med);
+  return true;
 }
 
 }  // namespace
@@ -144,13 +146,14 @@ int main(int argc, char** argv) {
   std::printf("parallel minimization (signature-sharded, %zu threads, "
               "median of 3; outputs verified SetEquals to serial):\n",
               threads);
+  bool ok = true;
   for (size_t n : {50000u, 100000u, 200000u}) {
     PatternSet input = Subset(pool, n, &rng);
-    RunParallel(input, MinimizeApproach::kAllAtOnce,
-                PatternIndexKind::kDiscriminationTree, threads, 3);  // D1
-    RunParallel(input, MinimizeApproach::kAllAtOnce,
-                PatternIndexKind::kHashTable, threads, 3);           // B1
+    ok &= RunParallel(input, MinimizeApproach::kAllAtOnce,
+                      PatternIndexKind::kDiscriminationTree, threads, 3);  // D1
+    ok &= RunParallel(input, MinimizeApproach::kAllAtOnce,
+                      PatternIndexKind::kHashTable, threads, 3);           // B1
     std::printf("\n");
   }
-  return 0;
+  return ok ? 0 : 1;
 }

@@ -32,6 +32,7 @@ Result<StatusCode> ParseStatusCode(const std::string& name) {
   if (name == "invalid_argument") return StatusCode::kInvalidArgument;
   if (name == "not_found") return StatusCode::kNotFound;
   if (name == "out_of_range") return StatusCode::kOutOfRange;
+  if (name == "unavailable") return StatusCode::kUnavailable;
   return Status::ParseError("unknown status code '" + name + "'");
 }
 
@@ -263,6 +264,11 @@ const std::vector<std::string>& Failpoints::AllSites() {
       "minimize.shard",    // pattern/minimize.cc: per-shard task
       "annotated.operator",  // pattern/annotated_eval.cc: per plan node
       "pool.dispatch",     // common/thread_pool.cc: before each task runs
+      "server.accept",     // server/net_socket.cc: Listener::Accept
+      "server.read",       // server/net_socket.cc: Socket::Recv
+      "server.read.short",   // server/net_socket.cc: clamps reads to 1 byte
+      "server.decode",     // server/protocol.cc: per decoded frame
+      "server.write",      // server/net_socket.cc: Socket::Send
   };
   return *sites;
 }

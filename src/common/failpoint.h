@@ -31,7 +31,7 @@ namespace pcdb {
 ///   trigger:  once | every(N) | prob(P,SEED)        (default: always)
 ///   action:   error | error(CODE) | throw | sleep(MILLIS)
 ///   CODE:     internal | timeout | cancelled | resource_exhausted |
-///             invalid_argument | not_found | out_of_range
+///             invalid_argument | not_found | out_of_range | unavailable
 ///
 /// Triggers are deterministic: `once` fires on the first hit only,
 /// `every(N)` on hits N, 2N, 3N, ..., and `prob(P,SEED)` draws from a
@@ -143,6 +143,13 @@ class Failpoints {
 
   /// True if `name` is currently armed (regardless of trigger state).
   bool IsActive(const std::string& name) const PCDB_EXCLUDES(mu_);
+
+  /// True if any failpoint is armed — a single relaxed atomic load, so
+  /// hot paths can gate behavioural (non-Status) faults like
+  /// "server.read.short" on it without taking the registry lock.
+  bool AnyActive() const {
+    return active_count_.load(std::memory_order_relaxed) != 0;
+  }
 
   /// Total times an armed `name` fired (its action ran). 0 if never
   /// armed. For test assertions.

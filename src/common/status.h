@@ -21,6 +21,10 @@ enum class StatusCode {
   kResourceExhausted,
   kUnimplemented,
   kInternal,
+  /// The service cannot take the request right now (admission control
+  /// shed, draining, or overload); retrying later may succeed. Distinct
+  /// from kResourceExhausted, which reports a per-request budget trip.
+  kUnavailable,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -74,6 +78,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

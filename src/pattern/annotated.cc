@@ -103,6 +103,10 @@ Status AnnotatedDatabase::AddPattern(const std::string& name,
     }
   }
   patterns_[name].AddUnique(std::move(pattern));
+  // A pattern assertion changes the annotated answer of every query
+  // touching this table, so it must invalidate cached answers exactly
+  // like a data mutation.
+  db_.BumpTableEpoch(name);
   return Status::OK();
 }
 
@@ -111,6 +115,7 @@ Status AnnotatedDatabase::AddPattern(const std::string& name,
   PCDB_ASSIGN_OR_RETURN(const Table* table, db_.GetTable(name));
   PCDB_ASSIGN_OR_RETURN(Pattern p, Pattern::Parse(fields, table->schema()));
   patterns_[name].AddUnique(std::move(p));
+  db_.BumpTableEpoch(name);
   return Status::OK();
 }
 
@@ -122,6 +127,7 @@ const PatternSet& AnnotatedDatabase::patterns(const std::string& name) const {
 void AnnotatedDatabase::SetPatterns(const std::string& name,
                                     PatternSet patterns) {
   patterns_[name] = std::move(patterns);
+  db_.BumpTableEpoch(name);
 }
 
 Result<AnnotatedTable> AnnotatedDatabase::GetAnnotated(

@@ -69,10 +69,43 @@ Result<PatternSet> MinimizeAllAtOnce(const PatternSet& input,
   return out;
 }
 
+/// Index size from which the incremental approach switches its
+/// supersumption retrieval to a chunked parallel scan. Below this the
+/// per-call snapshot + fan-out overhead beats any win.
+constexpr size_t kParallelScanMinIndexSize = 256;
+
+/// Parallel supersumption retrieval: the set of stored patterns strictly
+/// subsumed by `p`, computed by a chunked scan over a contents snapshot
+/// instead of the index's own CollectSubsumed walk. Yields the same
+/// *set* (survivor state is therefore identical to the serial run);
+/// only the collection order differs, which Remove-then-Insert erases.
+Status ParallelCollectSubsumed(const PatternIndex& index, const Pattern& p,
+                               ThreadPool* pool, const ExecContext& ctx,
+                               std::vector<Pattern>* out) {
+  const std::vector<Pattern> snapshot = index.Contents();
+  const auto ranges = ChunkRanges(
+      snapshot.size(),
+      ParallelChunkCount(pool->num_threads(), snapshot.size()));
+  std::vector<std::vector<Pattern>> hits(ranges.size());
+  PCDB_RETURN_NOT_OK(TryParallelForRanges(
+      pool, ranges, [&](size_t c, IndexRange r) -> Status {
+        PCDB_RETURN_NOT_OK(ctx.Check());
+        for (size_t i = r.begin; i < r.end; ++i) {
+          if (p.StrictlySubsumes(snapshot[i])) hits[c].push_back(snapshot[i]);
+        }
+        return Status::OK();
+      }));
+  for (std::vector<Pattern>& h : hits) {
+    for (Pattern& q : h) out->push_back(std::move(q));
+  }
+  return Status::OK();
+}
+
 Result<PatternSet> MinimizeIncremental(const PatternSet& input,
                                        PatternIndexKind kind,
                                        const ExecContext& ctx,
-                                       MinimizeStats* stats) {
+                                       MinimizeStats* stats,
+                                       ThreadPool* scan_pool) {
   if (input.empty()) return PatternSet();
   auto index = MakePatternIndex(kind, input[0].arity());
   std::vector<Pattern> subsumed;
@@ -83,9 +116,16 @@ Result<PatternSet> MinimizeIncremental(const PatternSet& input,
     // already subsumes it (or duplicates it).
     if (index->HasSubsumer(p, /*strict=*/false)) continue;
     // Supersumption retrieval: p displaces every stored pattern it
-    // strictly subsumes.
+    // strictly subsumes. With a pool and a big enough index the scan
+    // fans out over contents chunks; the collected set is identical.
     subsumed.clear();
-    index->CollectSubsumed(p, /*strict=*/true, &subsumed);
+    if (scan_pool != nullptr && scan_pool->num_threads() > 1 &&
+        index->size() >= kParallelScanMinIndexSize) {
+      PCDB_RETURN_NOT_OK(
+          ParallelCollectSubsumed(*index, p, scan_pool, ctx, &subsumed));
+    } else {
+      index->CollectSubsumed(p, /*strict=*/true, &subsumed);
+    }
     for (const Pattern& q : subsumed) index->Remove(q);
     index->Insert(p);
     TrackPeaks(*index, stats);
@@ -141,6 +181,12 @@ PatternSet Minimize(const PatternSet& input, MinimizeApproach approach,
 Result<PatternSet> Minimize(const PatternSet& input, MinimizeApproach approach,
                             PatternIndexKind kind, const ExecContext& ctx,
                             MinimizeStats* stats) {
+  return Minimize(input, approach, kind, /*scan_pool=*/nullptr, ctx, stats);
+}
+
+Result<PatternSet> Minimize(const PatternSet& input, MinimizeApproach approach,
+                            PatternIndexKind kind, ThreadPool* scan_pool,
+                            const ExecContext& ctx, MinimizeStats* stats) {
   WallTimer timer;
   Result<PatternSet> out = Status::Internal("unhandled minimize approach");
   // The exception guard gives serial runs the same kInternal a pool
@@ -151,7 +197,7 @@ Result<PatternSet> Minimize(const PatternSet& input, MinimizeApproach approach,
         out = MinimizeAllAtOnce(input, kind, ctx, stats);
         break;
       case MinimizeApproach::kIncremental:
-        out = MinimizeIncremental(input, kind, ctx, stats);
+        out = MinimizeIncremental(input, kind, ctx, stats, scan_pool);
         break;
       case MinimizeApproach::kSortedIncremental:
         out = MinimizeSortedIncremental(input, kind, ctx, stats);
@@ -228,9 +274,12 @@ Result<PatternSet> ParallelMinimizeGoverned(const PatternSet& input,
   // the other workers. Below 2 patterns per prospective shard the
   // shard/merge machinery is pure overhead; the serial path is
   // definitionally equivalent.
+  // The fallback paths run on the caller's thread, so they may hand the
+  // pool down for the incremental approach's inner CollectSubsumed scans
+  // (the shard tasks below must not — they already occupy pool workers).
   size_t num_shards = ParallelChunkCount(threads, input.size() / 2);
   if (num_shards <= 1) {
-    return Minimize(input, approach, kind, ctx, stats);
+    return Minimize(input, approach, kind, pool, ctx, stats);
   }
   WallTimer timer;
   PCDB_RETURN_NOT_OK(ctx.Check());
@@ -244,7 +293,9 @@ Result<PatternSet> ParallelMinimizeGoverned(const PatternSet& input,
   }
   num_shards = std::min(num_shards, groups.size());
   if (num_shards <= 1) {
-    return Minimize(input, approach, kind, ctx, stats);
+    // Single signature group: sharding cannot split the work, but the
+    // incremental inner scans still can (the ROADMAP case).
+    return Minimize(input, approach, kind, pool, ctx, stats);
   }
 
   // Greedy balance: largest group to the least-loaded shard. Sorting by

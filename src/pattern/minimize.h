@@ -63,6 +63,24 @@ Result<PatternSet> Minimize(const PatternSet& input, MinimizeApproach approach,
                             PatternIndexKind kind, const ExecContext& ctx,
                             MinimizeStats* stats = nullptr);
 
+/// Governed minimization with an optional worker pool for the *inner*
+/// scans. Today only the kIncremental approach uses it: its
+/// supersumption retrieval (CollectSubsumed — which stored patterns does
+/// the incoming one displace?) runs as a chunked parallel scan over a
+/// snapshot of the index contents once the index is large enough. This
+/// is the intra-shard complement of ParallelMinimize's inter-shard
+/// fan-out, and the only parallelism available when every pattern shares
+/// one constant signature (a single shard). The result is SetEquals-
+/// identical to the serial run; a null pool (or <= 1 worker) is exactly
+/// the serial path. Must not be called from inside a task already
+/// running on `scan_pool` (ThreadPool::Wait would deadlock) — the
+/// sharded ParallelMinimize therefore passes the pool only on its
+/// not-actually-sharded fallback paths, never into shard tasks.
+Result<PatternSet> Minimize(const PatternSet& input, MinimizeApproach approach,
+                            PatternIndexKind kind, ThreadPool* scan_pool,
+                            const ExecContext& ctx,
+                            MinimizeStats* stats = nullptr);
+
 /// Minimizes with the best-performing method from the paper's
 /// experiments (all-at-once over a discrimination tree, D1).
 PatternSet Minimize(const PatternSet& input);

@@ -7,11 +7,13 @@ Status Database::CreateTable(const std::string& name, Schema schema) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
   tables_.emplace(name, Table(std::move(schema)));
+  BumpTableEpoch(name);
   return Status::OK();
 }
 
 void Database::PutTable(const std::string& name, Table table) {
   tables_.insert_or_assign(name, std::move(table));
+  BumpTableEpoch(name);
 }
 
 bool Database::HasTable(const std::string& name) const {
@@ -31,7 +33,15 @@ Result<Table*> Database::GetMutableTable(const std::string& name) {
   if (it == tables_.end()) {
     return Status::NotFound("no table '" + name + "'");
   }
+  // A mutable handout is assumed to mutate; over-counting is harmless
+  // (an extra cache miss), under-counting would serve stale answers.
+  BumpTableEpoch(name);
   return &it->second;
+}
+
+uint64_t Database::TableEpoch(const std::string& name) const {
+  auto it = epochs_.find(name);
+  return it == epochs_.end() ? 0 : it->second;
 }
 
 std::vector<std::string> Database::TableNames() const {

@@ -1,6 +1,7 @@
 #ifndef PCDB_RELATIONAL_DATABASE_H_
 #define PCDB_RELATIONAL_DATABASE_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -14,6 +15,13 @@ namespace pcdb {
 ///
 /// Completeness metadata is layered on top by pattern::AnnotatedDatabase;
 /// this class stores only the data.
+///
+/// Every table carries a monotonically increasing *epoch* that advances
+/// on any mutation (creation, replacement, or a GetMutableTable handout,
+/// which is assumed to mutate). Derived caches — notably the server's
+/// answer cache — fold the epochs of a query's scanned tables into their
+/// keys, so a mutation implicitly invalidates every cached answer that
+/// depended on the old contents.
 class Database {
  public:
   /// Registers a new empty table under `name`.
@@ -32,8 +40,18 @@ class Database {
 
   size_t num_tables() const { return tables_.size(); }
 
+  /// The mutation epoch of `name`; 0 for unknown tables. Advances on
+  /// CreateTable / PutTable / GetMutableTable / BumpTableEpoch.
+  uint64_t TableEpoch(const std::string& name) const;
+
+  /// Explicitly advances `name`'s epoch. Pattern-side mutations
+  /// (AnnotatedDatabase::AddPattern / SetPatterns) call this so cached
+  /// annotated answers see pattern changes too, not just data changes.
+  void BumpTableEpoch(const std::string& name) { ++epochs_[name]; }
+
  private:
   std::map<std::string, Table> tables_;
+  std::map<std::string, uint64_t> epochs_;
 };
 
 }  // namespace pcdb

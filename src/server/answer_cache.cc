@@ -1,0 +1,156 @@
+#include "server/answer_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace pcdb {
+
+AnswerCache::AnswerCache() : AnswerCache(Options()) {}
+
+AnswerCache::AnswerCache(Options options) : options_(options) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  shard_max_bytes_ = std::max<size_t>(1, options_.max_bytes /
+                                             options_.num_shards);
+  shard_max_entries_ = std::max<size_t>(1, options_.max_entries /
+                                               options_.num_shards);
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+AnswerCache::Shard& AnswerCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const EncodedAnswer> AnswerCache::Get(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  MutexLock lock(&shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->answer;
+}
+
+void AnswerCache::Put(const std::string& key,
+                      std::vector<std::string> tables,
+                      std::shared_ptr<const EncodedAnswer> answer) {
+  if (answer == nullptr) return;
+  const size_t bytes = key.size() + answer->TotalBytes();
+  if (bytes > shard_max_bytes_) return;  // would evict a whole shard
+  Shard& shard = ShardFor(key);
+  MutexLock lock(&shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  shard.lru.push_front(Entry{key, std::move(tables), std::move(answer),
+                             bytes});
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += bytes;
+  ++shard.insertions;
+  while (shard.lru.size() > shard_max_entries_ ||
+         shard.bytes > shard_max_bytes_) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+size_t AnswerCache::InvalidateTable(const std::string& table) {
+  size_t dropped = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    MutexLock lock(&shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      const bool depends =
+          std::find(it->tables.begin(), it->tables.end(), table) !=
+          it->tables.end();
+      if (depends) {
+        shard.bytes -= it->bytes;
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+        ++shard.invalidations;
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
+void AnswerCache::Clear() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    MutexLock lock(&shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+AnswerCache::Stats AnswerCache::GetStats() const {
+  Stats stats;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    MutexLock lock(&shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.insertions += shard.insertions;
+    stats.evictions += shard.evictions;
+    stats.invalidations += shard.invalidations;
+    stats.entries += shard.lru.size();
+    stats.bytes += shard.bytes;
+  }
+  return stats;
+}
+
+std::string AnswerCache::MakeKey(
+    const std::string& normalized_sql, uint32_t flags, uint64_t max_rows,
+    uint64_t max_patterns, uint64_t max_memory_bytes,
+    std::vector<std::pair<std::string, uint64_t>> table_epochs) {
+  std::sort(table_epochs.begin(), table_epochs.end());
+  table_epochs.erase(std::unique(table_epochs.begin(), table_epochs.end()),
+                     table_epochs.end());
+  std::string key = normalized_sql;
+  key += "\x1f";
+  key += std::to_string(flags) + "," + std::to_string(max_rows) + "," +
+         std::to_string(max_patterns) + "," +
+         std::to_string(max_memory_bytes);
+  for (const auto& [table, epoch] : table_epochs) {
+    key += "\x1f" + table + "@" + std::to_string(epoch);
+  }
+  return key;
+}
+
+std::string AnswerCache::NormalizeSql(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool pending_space = false;
+  for (char c : sql) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      if (!out.empty()) pending_space = true;
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+  }
+  while (!out.empty() && (out.back() == ';' || out.back() == ' ')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace pcdb

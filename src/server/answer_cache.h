@@ -1,0 +1,119 @@
+#ifndef PCDB_SERVER_ANSWER_CACHE_H_
+#define PCDB_SERVER_ANSWER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "server/protocol.h"
+
+/// \file
+/// A sharded LRU cache of encoded query answers.
+///
+/// Keys bind the answer to everything that determines it: the normalized
+/// SQL text, the evaluation flags and budgets, and a (table, epoch) pair
+/// for every base table the plan scans. Epochs (Database::TableEpoch)
+/// advance on every data or pattern mutation, so a stale entry can never
+/// be *returned* — its key no longer matches. Explicit
+/// InvalidateTable() additionally reclaims dead entries eagerly; the
+/// server calls it from UpdateDatabase so memory is not held hostage by
+/// unreachable answers until LRU pressure finds them.
+
+namespace pcdb {
+
+/// \brief Thread-safe sharded LRU cache mapping key strings to
+/// shared immutable EncodedAnswers.
+class AnswerCache {
+ public:
+  struct Options {
+    /// Independent LRU shards; keys hash to a shard. More shards = less
+    /// lock contention; capacity is divided evenly among them.
+    size_t num_shards = 8;
+    /// Total byte budget across all shards (answer payload bytes).
+    size_t max_bytes = 64u << 20;
+    /// Total entry budget across all shards.
+    size_t max_entries = 4096;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;      ///< LRU-pressure removals.
+    uint64_t invalidations = 0;  ///< InvalidateTable removals.
+    size_t entries = 0;          ///< Current entry count.
+    size_t bytes = 0;            ///< Current byte footprint.
+  };
+
+  /// Default options. (A `= {}` default argument would need Options'
+  /// member initializers before the enclosing class is complete, which
+  /// GCC rejects for nested classes.)
+  AnswerCache();
+  explicit AnswerCache(Options options);
+
+  /// Looks up `key`, promoting the entry to most-recent. Null on miss.
+  std::shared_ptr<const EncodedAnswer> Get(const std::string& key);
+
+  /// Inserts (or replaces) `key`. `tables` lists the base tables the
+  /// answer depends on, for InvalidateTable. Oversized answers (larger
+  /// than a whole shard's byte budget) are not cached.
+  void Put(const std::string& key, std::vector<std::string> tables,
+           std::shared_ptr<const EncodedAnswer> answer);
+
+  /// Drops every entry depending on `table`; returns how many.
+  size_t InvalidateTable(const std::string& table);
+
+  /// Drops everything.
+  void Clear();
+
+  Stats GetStats() const;
+
+  /// Builds a cache key. `table_epochs` must list every scanned table
+  /// with its current epoch; order-insensitive (sorted internally),
+  /// duplicates (self-joins) welcome.
+  static std::string MakeKey(
+      const std::string& normalized_sql, uint32_t flags, uint64_t max_rows,
+      uint64_t max_patterns, uint64_t max_memory_bytes,
+      std::vector<std::pair<std::string, uint64_t>> table_epochs);
+
+  /// Whitespace-normalizes SQL (collapse runs, trim, drop a trailing
+  /// ';') so trivially reformatted queries share a cache entry.
+  static std::string NormalizeSql(const std::string& sql);
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<std::string> tables;
+    std::shared_ptr<const EncodedAnswer> answer;
+    size_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable Mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru PCDB_GUARDED_BY(mu);
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        PCDB_GUARDED_BY(mu);
+    size_t bytes PCDB_GUARDED_BY(mu) = 0;
+    uint64_t hits PCDB_GUARDED_BY(mu) = 0;
+    uint64_t misses PCDB_GUARDED_BY(mu) = 0;
+    uint64_t insertions PCDB_GUARDED_BY(mu) = 0;
+    uint64_t evictions PCDB_GUARDED_BY(mu) = 0;
+    uint64_t invalidations PCDB_GUARDED_BY(mu) = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  Options options_;
+  size_t shard_max_bytes_;
+  size_t shard_max_entries_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_SERVER_ANSWER_CACHE_H_

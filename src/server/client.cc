@@ -1,0 +1,192 @@
+#include "server/client.h"
+
+#include <utility>
+
+namespace pcdb {
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               const ClientOptions& options) {
+  Client client;
+  PCDB_ASSIGN_OR_RETURN(client.sock_, TcpConnect(host, port));
+  if (options.recv_timeout_millis > 0) {
+    PCDB_RETURN_NOT_OK(
+        client.sock_.SetRecvTimeoutMillis(options.recv_timeout_millis));
+  }
+  return client;
+}
+
+Result<uint64_t> Client::SendQuery(const std::string& sql,
+                                   const ClientQueryOptions& options) {
+  QueryRequest request;
+  request.flags = (options.instance_aware ? QueryRequest::kFlagInstanceAware
+                                          : 0u) |
+                  (options.zombies ? QueryRequest::kFlagZombies : 0u);
+  request.deadline_millis = options.deadline_millis;
+  request.max_rows = options.max_rows;
+  request.max_patterns = options.max_patterns;
+  request.max_memory_bytes = options.max_memory_bytes;
+  request.sql = sql;
+  const uint64_t request_id = next_request_id_++;
+  std::string wire;
+  AppendFrame(&wire, FrameType::kQuery, request_id,
+              EncodeQueryPayload(request));
+  PCDB_RETURN_NOT_OK(sock_.SendAll(wire.data(), wire.size()));
+  partials_[request_id];  // open the assembly slot
+  return request_id;
+}
+
+Status Client::Cancel(uint64_t request_id) {
+  std::string wire;
+  AppendFrame(&wire, FrameType::kCancel, request_id,
+              EncodeCancelPayload(request_id));
+  return sock_.SendAll(wire.data(), wire.size());
+}
+
+Result<ClientAnswer> Client::Query(const std::string& sql,
+                                   const ClientQueryOptions& options) {
+  PCDB_ASSIGN_OR_RETURN(uint64_t request_id, SendQuery(sql, options));
+  return ReadAnswer(request_id);
+}
+
+Result<ClientAnswer> Client::ReadAnswer(uint64_t request_id) {
+  PCDB_RETURN_NOT_OK(PumpUntilComplete(request_id));
+  auto it = partials_.find(request_id);
+  if (it == partials_.end()) {
+    return Status::InvalidArgument("unknown request id " +
+                                   std::to_string(request_id));
+  }
+  Partial partial = std::move(it->second);
+  partials_.erase(it);
+  if (!partial.error.ok()) return partial.error;
+  // Close the canonical byte stream with the degraded flag, mirroring
+  // EncodedAnswer::CanonicalBytes.
+  partial.encoded.degraded = partial.trailer.degraded;
+  partial.canonical_bytes.push_back(partial.trailer.degraded ? 1 : 0);
+  ClientAnswer answer;
+  PCDB_ASSIGN_OR_RETURN(answer.table, DecodeAnswer(partial.encoded));
+  answer.done = partial.trailer;
+  answer.canonical_bytes = std::move(partial.canonical_bytes);
+  return answer;
+}
+
+Status Client::Ping() {
+  const uint64_t request_id = next_request_id_++;
+  std::string wire;
+  AppendFrame(&wire, FrameType::kPing, request_id, "");
+  PCDB_RETURN_NOT_OK(sock_.SendAll(wire.data(), wire.size()));
+  for (;;) {
+    PCDB_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    if (frame.type == FrameType::kPong && frame.request_id == request_id) {
+      return Status::OK();
+    }
+    PCDB_RETURN_NOT_OK(Absorb(std::move(frame)));
+  }
+}
+
+Result<std::string> Client::Stats() {
+  const uint64_t request_id = next_request_id_++;
+  std::string wire;
+  AppendFrame(&wire, FrameType::kStats, request_id, "");
+  PCDB_RETURN_NOT_OK(sock_.SendAll(wire.data(), wire.size()));
+  for (;;) {
+    PCDB_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    if (frame.type == FrameType::kStatsResult &&
+        frame.request_id == request_id) {
+      return std::move(frame.payload);
+    }
+    PCDB_RETURN_NOT_OK(Absorb(std::move(frame)));
+  }
+}
+
+Status Client::PumpUntilComplete(uint64_t request_id) {
+  for (;;) {
+    auto it = partials_.find(request_id);
+    if (it != partials_.end() && (it->second.done || !it->second.error.ok())) {
+      return Status::OK();
+    }
+    PCDB_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    PCDB_RETURN_NOT_OK(Absorb(std::move(frame)));
+  }
+}
+
+Result<Frame> Client::ReadFrame() {
+  for (;;) {
+    Frame frame;
+    PCDB_ASSIGN_OR_RETURN(bool complete, reader_.Next(&frame));
+    if (complete) return frame;
+    char buf[16384];
+    PCDB_ASSIGN_OR_RETURN(IoResult io, sock_.Recv(buf, sizeof(buf)));
+    if (io.eof) {
+      return Status::Unavailable("server closed the connection");
+    }
+    if (io.would_block) {
+      return Status::Timeout("timed out waiting for a server frame");
+    }
+    reader_.Feed(buf, io.bytes);
+  }
+}
+
+Status Client::Absorb(Frame frame) {
+  auto it = partials_.find(frame.request_id);
+  switch (frame.type) {
+    case FrameType::kAnswerSchema:
+    case FrameType::kAnswerRows:
+    case FrameType::kAnswerPatterns:
+    case FrameType::kAnswerDone:
+    case FrameType::kError:
+      break;  // handled below
+    case FrameType::kPong:
+    case FrameType::kStatsResult:
+      // A stale Ping/Stats response (e.g. after its caller timed out):
+      // nothing is waiting for it, drop.
+      return Status::OK();
+    default:
+      return Status::InvalidArgument("server sent a client-side frame type");
+  }
+  if (it == partials_.end()) {
+    // Answer for a request we no longer track (e.g. abandoned after a
+    // timeout); drop it so pipelined siblings can proceed.
+    return Status::OK();
+  }
+  Partial& partial = it->second;
+  switch (frame.type) {
+    case FrameType::kAnswerSchema:
+      partial.has_schema = true;
+      partial.canonical_bytes += frame.payload;
+      partial.encoded.schema = std::move(frame.payload);
+      return Status::OK();
+    case FrameType::kAnswerRows:
+      if (!partial.has_schema) {
+        return Status::InvalidArgument("ANSWER_ROWS before ANSWER_SCHEMA");
+      }
+      partial.canonical_bytes += frame.payload;
+      partial.encoded.row_batches.push_back(std::move(frame.payload));
+      return Status::OK();
+    case FrameType::kAnswerPatterns:
+      if (!partial.has_schema) {
+        return Status::InvalidArgument(
+            "ANSWER_PATTERNS before ANSWER_SCHEMA");
+      }
+      partial.canonical_bytes += frame.payload;
+      partial.encoded.patterns = std::move(frame.payload);
+      return Status::OK();
+    case FrameType::kAnswerDone: {
+      PCDB_ASSIGN_OR_RETURN(partial.trailer,
+                            DecodeDonePayload(frame.payload));
+      partial.done = true;
+      return Status::OK();
+    }
+    case FrameType::kError: {
+      Status remote;
+      PCDB_RETURN_NOT_OK(DecodeErrorPayload(frame.payload, &remote));
+      partial.error = remote.ok() ? Status::Internal(
+                                        "server sent an OK error frame")
+                                  : std::move(remote);
+      return Status::OK();
+    }
+    default:
+      return Status::OK();  // unreachable; filtered above
+  }
+}
+
+}  // namespace pcdb

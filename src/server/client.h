@@ -1,0 +1,116 @@
+#ifndef PCDB_SERVER_CLIENT_H_
+#define PCDB_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "server/net_socket.h"
+#include "server/protocol.h"
+
+/// \file
+/// Blocking client for the pcdbd wire protocol. One Client owns one TCP
+/// connection; requests may be pipelined (SendQuery several ids, then
+/// ReadAnswer each). Not thread-safe — share a connection between
+/// threads by external locking, or open one Client per thread (the load
+/// generator does the latter).
+
+namespace pcdb {
+
+/// \brief Connection-level knobs.
+struct ClientOptions {
+  /// SO_RCVTIMEO on the connection: a stuck server surfaces as kTimeout
+  /// instead of hanging the caller (important under fault injection).
+  int recv_timeout_millis = 30000;
+};
+
+/// \brief Per-query execution limits, mirrored onto the QUERY header.
+struct ClientQueryOptions {
+  uint32_t deadline_millis = 0;  ///< 0 = none.
+  uint64_t max_rows = 0;         ///< 0 = unlimited.
+  uint64_t max_patterns = 0;
+  uint64_t max_memory_bytes = 0;
+  bool instance_aware = false;
+  bool zombies = false;
+};
+
+/// \brief A fully received annotated answer.
+struct ClientAnswer {
+  AnnotatedTable table;  ///< Decoded rows + patterns + degraded flag.
+  AnswerDone done;       ///< Server-side timings, cache_hit, degraded.
+  /// Concatenated raw answer payloads exactly as received — comparable
+  /// byte-for-byte against EncodeAnswer(...).CanonicalBytes() of an
+  /// in-process evaluation (the wire-fidelity contract).
+  std::string canonical_bytes;
+};
+
+/// \brief A pcdbd protocol client over one TCP connection.
+class Client {
+ public:
+  Client() = default;
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                const ClientOptions& options = {});
+
+  bool connected() const { return sock_.valid(); }
+
+  /// Round-trips one query: SendQuery + ReadAnswer. Evaluation errors
+  /// (kCancelled, kTimeout, kResourceExhausted, parse errors, ...)
+  /// come back as this Result's Status, with the same code and message
+  /// the in-process evaluation would produce.
+  Result<ClientAnswer> Query(const std::string& sql,
+                             const ClientQueryOptions& options = {});
+
+  /// Pipelined send; returns the request id to pass to ReadAnswer or
+  /// Cancel.
+  Result<uint64_t> SendQuery(const std::string& sql,
+                             const ClientQueryOptions& options = {});
+
+  /// Requests cancellation of an in-flight query. No acknowledgement:
+  /// the query itself answers (usually with a kCancelled error).
+  Status Cancel(uint64_t request_id);
+
+  /// Blocks until the answer (or error) for `request_id` arrives.
+  /// Frames for other pipelined requests arriving first are buffered.
+  Result<ClientAnswer> ReadAnswer(uint64_t request_id);
+
+  /// Liveness round trip.
+  Status Ping();
+
+  /// Fetches the server's metrics/cache snapshot (JSON).
+  Result<std::string> Stats();
+
+  void Close() { sock_.Close(); }
+
+ private:
+  /// In-progress answer assembly for one request id.
+  struct Partial {
+    bool has_schema = false;
+    EncodedAnswer encoded;
+    std::string canonical_bytes;
+    bool done = false;
+    AnswerDone trailer;
+    Status error;  // non-OK once an ERROR frame arrived
+  };
+
+  /// Reads frames until one with `request_id` completes (done or error).
+  Status PumpUntilComplete(uint64_t request_id);
+
+  /// Reads one frame from the socket (blocking, honours recv timeout).
+  Result<Frame> ReadFrame();
+
+  /// Folds one frame into partials_.
+  Status Absorb(Frame frame);
+
+  Socket sock_;
+  FrameReader reader_;
+  uint64_t next_request_id_ = 1;
+  std::map<uint64_t, Partial> partials_;
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_SERVER_CLIENT_H_

@@ -1,0 +1,136 @@
+#include "server/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pcdb {
+
+namespace {
+
+/// Index of the power-of-two bucket holding `micros`.
+size_t BucketFor(uint64_t micros) {
+  size_t i = 0;
+  while (micros > 1 && i + 1 < Histogram::kNumBuckets) {
+    micros >>= 1;
+    ++i;
+  }
+  return i;
+}
+
+/// Renders a double the way the bench JSON lines do: fixed notation,
+/// trimmed trailing zeros.
+std::string JsonDouble(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed << v;
+  std::string s = os.str();
+  while (s.size() > 1 && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+void Histogram::RecordMicros(uint64_t micros) {
+  buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+double Histogram::MeanMillis() const {
+  uint64_t n = Count();
+  if (n == 0) return 0;
+  return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n) / 1000.0;
+}
+
+double Histogram::QuantileMillis(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  // Snapshot the buckets; concurrent Record calls skew the estimate by
+  // at most the in-flight samples, which is fine for monitoring.
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  // Rank of the quantile sample (1-based), then walk the buckets.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (seen + counts[i] >= rank) {
+      // Linear interpolation inside bucket [2^i, 2^(i+1)).
+      const double lo = i == 0 ? 0.0 : static_cast<double>(1ull << i);
+      const double hi = static_cast<double>(1ull << (i + 1));
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(counts[i]);
+      return (lo + (hi - lo) * frac) / 1000.0;
+    }
+    seen += counts[i];
+  }
+  return static_cast<double>(1ull << kNumBuckets) / 1000.0;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  MutexLock lock(&mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->Value();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  MutexLock lock(&mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(counter->Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(gauge->Value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"count\":" + std::to_string(hist->Count()) +
+           ",\"mean_ms\":" + JsonDouble(hist->MeanMillis()) +
+           ",\"p50_ms\":" + JsonDouble(hist->QuantileMillis(0.50)) +
+           ",\"p95_ms\":" + JsonDouble(hist->QuantileMillis(0.95)) +
+           ",\"p99_ms\":" + JsonDouble(hist->QuantileMillis(0.99)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace pcdb

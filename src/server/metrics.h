@@ -1,0 +1,108 @@
+#ifndef PCDB_SERVER_METRICS_H_
+#define PCDB_SERVER_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/thread_annotations.h"
+
+/// \file
+/// A small metrics registry for the server: monotonic counters, signed
+/// gauges, and fixed-bucket latency histograms with percentile
+/// estimation. All metric updates are lock-free atomics; the registry
+/// lock is only taken to create a metric or render a snapshot. The
+/// server exports a registry snapshot as JSON via the STATS verb and
+/// pcdbd --metrics-dump.
+
+namespace pcdb {
+
+/// \brief Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Instantaneous signed value (in-flight requests, open
+/// connections, cache bytes).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Latency histogram over power-of-two microsecond buckets.
+///
+/// Bucket i counts samples in [2^i, 2^(i+1)) microseconds (bucket 0 also
+/// absorbs sub-microsecond samples). 40 buckets cover up to ~12.7 days.
+/// Quantile() interpolates linearly inside the winning bucket, so
+/// percentiles carry at most one-bucket (2x) resolution error — plenty
+/// for p50/p95/p99 load summaries.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;
+
+  void RecordMicros(uint64_t micros);
+  void RecordMillis(double millis) {
+    RecordMicros(millis <= 0 ? 0 : static_cast<uint64_t>(millis * 1000.0));
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Mean sample in milliseconds (0 when empty).
+  double MeanMillis() const;
+
+  /// Estimated q-quantile (q in [0,1]) in milliseconds; 0 when empty.
+  double QuantileMillis(double q) const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_micros_{0};
+};
+
+/// \brief Named metric registry. Get* creates on first use and returns a
+/// stable pointer — callers cache the pointer and update lock-free.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name) PCDB_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) PCDB_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name) PCDB_EXCLUDES(mu_);
+
+  /// Convenience for tests/tools: current value of a counter (0 when the
+  /// counter was never created).
+  uint64_t CounterValue(const std::string& name) const PCDB_EXCLUDES(mu_);
+
+  /// Snapshot as JSON:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{"name":{"count":..,"mean_ms":..,"p50_ms":..,
+  ///                          "p95_ms":..,"p99_ms":..},...}}
+  /// Keys are sorted, so output is deterministic.
+  std::string ToJson() const PCDB_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PCDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ PCDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      PCDB_GUARDED_BY(mu_);
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_SERVER_METRICS_H_

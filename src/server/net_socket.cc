@@ -1,0 +1,283 @@
+#include "server/net_socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace pcdb {
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, int err) {
+  return Status::Internal(op + " failed: " + std::strerror(err));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Socket::SetNonBlocking(bool non_blocking) {
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)", errno);
+  if (non_blocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (::fcntl(fd_, F_SETFL, flags) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL)", errno);
+  }
+  return Status::OK();
+}
+
+Status Socket::SetRecvTimeoutMillis(int millis) {
+  struct timeval tv;
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0) {
+    return ErrnoStatus("setsockopt(SO_RCVTIMEO)", errno);
+  }
+  return Status::OK();
+}
+
+Status Socket::SetNoDelay(bool no_delay) {
+  int flag = no_delay ? 1 : 0;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag)) < 0) {
+    return ErrnoStatus("setsockopt(TCP_NODELAY)", errno);
+  }
+  return Status::OK();
+}
+
+Result<IoResult> Socket::Recv(void* buf, size_t len) {
+  PCDB_FAILPOINT("server.read");
+  // Behavioural short-read fault: while armed, hand the decoder one byte
+  // at a time. AnyActive() keeps the unarmed hot path to one relaxed
+  // atomic load.
+  if (Failpoints::Global().AnyActive() &&
+      Failpoints::Global().IsActive("server.read.short")) {
+    PCDB_RETURN_NOT_OK(Failpoints::Global().Hit("server.read.short"));
+    if (len > 1) len = 1;
+  }
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n > 0) return IoResult{static_cast<size_t>(n), false, false};
+    if (n == 0) return IoResult{0, false, true};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoResult{0, true, false};
+    }
+    return ErrnoStatus("recv", errno);
+  }
+}
+
+Result<IoResult> Socket::Send(const void* buf, size_t len) {
+  PCDB_FAILPOINT("server.write");
+  for (;;) {
+    ssize_t n = ::send(fd_, buf, len, MSG_NOSIGNAL);
+    if (n >= 0) return IoResult{static_cast<size_t>(n), false, false};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoResult{0, true, false};
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return Status::Unavailable("peer closed the connection");
+    }
+    return ErrnoStatus("send", errno);
+  }
+}
+
+Status Socket::SendAll(const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    PCDB_ASSIGN_OR_RETURN(IoResult io, Send(p, len));
+    if (io.would_block) {
+      // Blocking socket: a would-block here means a send timeout.
+      return Status::Timeout("send timed out");
+    }
+    p += io.bytes;
+    len -= io.bytes;
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvExact(void* buf, size_t len) {
+  char* p = static_cast<char*>(buf);
+  while (len > 0) {
+    PCDB_ASSIGN_OR_RETURN(IoResult io, Recv(p, len));
+    if (io.eof) {
+      return Status::Unavailable("peer closed the connection mid-message");
+    }
+    if (io.would_block) {
+      // SO_RCVTIMEO expiry on a blocking socket surfaces as EAGAIN.
+      return Status::Timeout("receive timed out");
+    }
+    p += io.bytes;
+    len -= io.bytes;
+  }
+  return Status::OK();
+}
+
+Result<Listener> Listener::BindAndListen(const std::string& host,
+                                         uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket", errno);
+  Listener listener;
+  listener.sock_ = Socket(fd);
+
+  int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)", errno);
+  }
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address '" + host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return ErrnoStatus("bind " + host + ":" + std::to_string(port), errno);
+  }
+  if (::listen(fd, backlog) < 0) return ErrnoStatus("listen", errno);
+
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  PCDB_RETURN_NOT_OK(listener.sock_.SetNonBlocking(true));
+  return listener;
+}
+
+Result<Listener::AcceptResult> Listener::Accept() {
+  PCDB_FAILPOINT("server.accept");
+  for (;;) {
+    int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      AcceptResult result;
+      result.socket = Socket(fd);
+      PCDB_RETURN_NOT_OK(result.socket.SetNoDelay(true));
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      AcceptResult result;
+      result.would_block = true;
+      return result;
+    }
+    // ECONNABORTED: the peer gave up while queued; not a listener error.
+    if (errno == ECONNABORTED) continue;
+    return ErrnoStatus("accept", errno);
+  }
+}
+
+Result<Socket> TcpConnect(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket", errno);
+  Socket sock(fd);
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad connect address '" + host + "'");
+  }
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable("connect to " + host + ":" +
+                               std::to_string(port) +
+                               " failed: " + std::strerror(errno));
+  }
+  PCDB_RETURN_NOT_OK(sock.SetNoDelay(true));
+  return sock;
+}
+
+Result<int> Poll(std::vector<PollItem>* items, int timeout_millis) {
+  std::vector<struct pollfd> fds;
+  fds.reserve(items->size());
+  for (const PollItem& item : *items) {
+    struct pollfd pfd;
+    pfd.fd = item.fd;
+    pfd.events = 0;
+    if (item.want_read) pfd.events |= POLLIN;
+    if (item.want_write) pfd.events |= POLLOUT;
+    pfd.revents = 0;
+    fds.push_back(pfd);
+  }
+  int n;
+  for (;;) {
+    n = ::poll(fds.data(), fds.size(), timeout_millis);
+    if (n >= 0) break;
+    if (errno == EINTR) continue;
+    return ErrnoStatus("poll", errno);
+  }
+  for (size_t i = 0; i < items->size(); ++i) {
+    PollItem& item = (*items)[i];
+    item.readable = (fds[i].revents & POLLIN) != 0;
+    item.writable = (fds[i].revents & POLLOUT) != 0;
+    item.error = (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+  }
+  return n;
+}
+
+Result<WakePipe> WakePipe::Create() {
+  int fds[2];
+  if (::pipe(fds) < 0) return ErrnoStatus("pipe", errno);
+  WakePipe pipe;
+  pipe.read_end_ = Socket(fds[0]);
+  pipe.write_end_ = Socket(fds[1]);
+  PCDB_RETURN_NOT_OK(pipe.read_end_.SetNonBlocking(true));
+  PCDB_RETURN_NOT_OK(pipe.write_end_.SetNonBlocking(true));
+  return pipe;
+}
+
+void WakePipe::Notify() {
+  char byte = 1;
+  // A full pipe already guarantees a pending wake-up; EINTR on a
+  // one-byte pipe write cannot leave a partial write behind.
+  ssize_t ignored = ::write(write_end_.fd(), &byte, 1);
+  (void)ignored;
+}
+
+void WakePipe::Drain() {
+  char buf[256];
+  for (;;) {
+    ssize_t n = ::read(read_end_.fd(), buf, sizeof(buf));
+    if (n <= 0) break;
+  }
+}
+
+}  // namespace pcdb

@@ -1,0 +1,535 @@
+#include "server/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace pcdb {
+
+namespace {
+
+// ---- Little-endian primitive writers/readers. --------------------------
+//
+// Explicit byte assembly (not memcpy of host integers) keeps the wire
+// format identical across host endianness.
+
+void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendDouble(std::string* out, double v) {
+  AppendU64(out, std::bit_cast<uint64_t>(v));
+}
+
+void AppendLengthPrefixed(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+/// Bounds-checked sequential reader over a payload.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+  Result<uint8_t> ReadU8() {
+    PCDB_RETURN_NOT_OK(Need(1));
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint16_t> ReadU16() {
+    PCDB_RETURN_NOT_OK(Need(2));
+    uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v = static_cast<uint16_t>(
+          v | static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_ + i]))
+                  << (8 * i));
+    }
+    pos_ += 2;
+    return v;
+  }
+
+  Result<uint32_t> ReadU32() {
+    PCDB_RETURN_NOT_OK(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> ReadU64() {
+    PCDB_RETURN_NOT_OK(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<double> ReadDouble() {
+    PCDB_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+    return std::bit_cast<double>(bits);
+  }
+
+  Result<std::string> ReadLengthPrefixed() {
+    PCDB_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+    PCDB_RETURN_NOT_OK(Need(len));
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  Status Need(size_t n) {
+    if (remaining() < n) {
+      return Status::ParseError("truncated payload: need " +
+                                std::to_string(n) + " bytes, have " +
+                                std::to_string(remaining()));
+    }
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status ExpectExhausted(const PayloadReader& reader, const char* what) {
+  if (!reader.exhausted()) {
+    return Status::ParseError(std::string(what) + " payload has " +
+                              std::to_string(reader.remaining()) +
+                              " trailing bytes");
+  }
+  return Status::OK();
+}
+
+// ---- Value / pattern-cell codecs. --------------------------------------
+
+void AppendValue(std::string* out, const Value& v) {
+  AppendU8(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kInt64:
+      AppendU64(out, static_cast<uint64_t>(v.int64()));
+      break;
+    case ValueType::kDouble:
+      AppendDouble(out, v.dbl());
+      break;
+    case ValueType::kString:
+      AppendLengthPrefixed(out, v.str());
+      break;
+  }
+}
+
+Result<Value> ReadValue(PayloadReader* reader) {
+  PCDB_ASSIGN_OR_RETURN(uint8_t tag, reader->ReadU8());
+  switch (tag) {
+    case static_cast<uint8_t>(ValueType::kInt64): {
+      PCDB_ASSIGN_OR_RETURN(uint64_t bits, reader->ReadU64());
+      return Value(static_cast<int64_t>(bits));
+    }
+    case static_cast<uint8_t>(ValueType::kDouble): {
+      PCDB_ASSIGN_OR_RETURN(double d, reader->ReadDouble());
+      return Value(d);
+    }
+    case static_cast<uint8_t>(ValueType::kString): {
+      PCDB_ASSIGN_OR_RETURN(std::string s, reader->ReadLengthPrefixed());
+      return Value(std::move(s));
+    }
+    default:
+      return Status::ParseError("unknown value type tag " +
+                                std::to_string(tag));
+  }
+}
+
+constexpr uint8_t kCellWildcard = 0;
+constexpr uint8_t kCellValue = 1;
+
+}  // namespace
+
+// ---- Framing. ----------------------------------------------------------
+
+bool IsKnownFrameType(uint8_t tag) {
+  switch (static_cast<FrameType>(tag)) {
+    case FrameType::kQuery:
+    case FrameType::kCancel:
+    case FrameType::kPing:
+    case FrameType::kStats:
+    case FrameType::kAnswerSchema:
+    case FrameType::kAnswerRows:
+    case FrameType::kAnswerPatterns:
+    case FrameType::kAnswerDone:
+    case FrameType::kError:
+    case FrameType::kPong:
+    case FrameType::kStatsResult:
+      return true;
+  }
+  return false;
+}
+
+void AppendFrame(std::string* out, FrameType type, uint64_t request_id,
+                 std::string_view payload) {
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  AppendU8(out, static_cast<uint8_t>(type));
+  AppendU64(out, request_id);
+  out->append(payload.data(), payload.size());
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  AppendFrame(&out, frame.type, frame.request_id, frame.payload);
+  return out;
+}
+
+void FrameReader::Feed(const char* data, size_t n) {
+  // Reclaim the consumed prefix before growing, so a long-lived
+  // connection doesn't accumulate dead bytes.
+  if (pos_ > 0 && (pos_ >= 4096 || pos_ == buf_.size())) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+Result<bool> FrameReader::Next(Frame* out) {
+  if (buffered_bytes() < kFrameHeaderBytes) return false;
+  PayloadReader header(std::string_view(buf_).substr(pos_, kFrameHeaderBytes));
+  PCDB_ASSIGN_OR_RETURN(uint32_t payload_len, header.ReadU32());
+  PCDB_ASSIGN_OR_RETURN(uint8_t type_tag, header.ReadU8());
+  PCDB_ASSIGN_OR_RETURN(uint64_t request_id, header.ReadU64());
+  if (payload_len > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument("frame payload length " +
+                                   std::to_string(payload_len) +
+                                   " exceeds the protocol maximum");
+  }
+  if (!IsKnownFrameType(type_tag)) {
+    return Status::InvalidArgument("unknown frame type 0x" +
+                                   std::to_string(type_tag));
+  }
+  if (buffered_bytes() < kFrameHeaderBytes + payload_len) return false;
+  PCDB_FAILPOINT("server.decode");
+  out->type = static_cast<FrameType>(type_tag);
+  out->request_id = request_id;
+  out->payload.assign(buf_, pos_ + kFrameHeaderBytes, payload_len);
+  pos_ += kFrameHeaderBytes + payload_len;
+  return true;
+}
+
+// ---- Error codes. ------------------------------------------------------
+
+WireErrorCode WireErrorCodeFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return WireErrorCode::kOk;
+    case StatusCode::kInvalidArgument:
+      return WireErrorCode::kInvalidArgument;
+    case StatusCode::kNotFound:
+      return WireErrorCode::kNotFound;
+    case StatusCode::kAlreadyExists:
+      return WireErrorCode::kAlreadyExists;
+    case StatusCode::kOutOfRange:
+      return WireErrorCode::kOutOfRange;
+    case StatusCode::kTypeError:
+      return WireErrorCode::kTypeError;
+    case StatusCode::kParseError:
+      return WireErrorCode::kParseError;
+    case StatusCode::kTimeout:
+      return WireErrorCode::kTimeout;
+    case StatusCode::kCancelled:
+      return WireErrorCode::kCancelled;
+    case StatusCode::kResourceExhausted:
+      return WireErrorCode::kResourceExhausted;
+    case StatusCode::kUnimplemented:
+      return WireErrorCode::kUnimplemented;
+    case StatusCode::kInternal:
+      return WireErrorCode::kInternal;
+    case StatusCode::kUnavailable:
+      return WireErrorCode::kUnavailable;
+  }
+  return WireErrorCode::kInternal;
+}
+
+Result<StatusCode> StatusCodeFromWire(uint16_t wire_code) {
+  switch (static_cast<WireErrorCode>(wire_code)) {
+    case WireErrorCode::kOk:
+      return StatusCode::kOk;
+    case WireErrorCode::kInvalidArgument:
+      return StatusCode::kInvalidArgument;
+    case WireErrorCode::kNotFound:
+      return StatusCode::kNotFound;
+    case WireErrorCode::kAlreadyExists:
+      return StatusCode::kAlreadyExists;
+    case WireErrorCode::kOutOfRange:
+      return StatusCode::kOutOfRange;
+    case WireErrorCode::kTypeError:
+      return StatusCode::kTypeError;
+    case WireErrorCode::kParseError:
+      return StatusCode::kParseError;
+    case WireErrorCode::kTimeout:
+      return StatusCode::kTimeout;
+    case WireErrorCode::kCancelled:
+      return StatusCode::kCancelled;
+    case WireErrorCode::kResourceExhausted:
+      return StatusCode::kResourceExhausted;
+    case WireErrorCode::kUnimplemented:
+      return StatusCode::kUnimplemented;
+    case WireErrorCode::kInternal:
+      return StatusCode::kInternal;
+    case WireErrorCode::kUnavailable:
+      return StatusCode::kUnavailable;
+  }
+  return Status::InvalidArgument("unknown wire error code " +
+                                 std::to_string(wire_code));
+}
+
+std::string EncodeErrorPayload(const Status& status) {
+  std::string out;
+  AppendU16(&out, static_cast<uint16_t>(WireErrorCodeFor(status.code())));
+  AppendLengthPrefixed(&out, status.message());
+  return out;
+}
+
+Status DecodeErrorPayload(std::string_view payload, Status* out) {
+  PayloadReader reader(payload);
+  PCDB_ASSIGN_OR_RETURN(uint16_t wire_code, reader.ReadU16());
+  PCDB_ASSIGN_OR_RETURN(StatusCode code, StatusCodeFromWire(wire_code));
+  PCDB_ASSIGN_OR_RETURN(std::string message, reader.ReadLengthPrefixed());
+  PCDB_RETURN_NOT_OK(ExpectExhausted(reader, "error"));
+  *out = code == StatusCode::kOk ? Status::OK()
+                                 : Status(code, std::move(message));
+  return Status::OK();
+}
+
+// ---- Query / cancel / done payloads. -----------------------------------
+
+std::string EncodeQueryPayload(const QueryRequest& request) {
+  std::string out;
+  AppendU32(&out, request.flags);
+  AppendU32(&out, request.deadline_millis);
+  AppendU64(&out, request.max_rows);
+  AppendU64(&out, request.max_patterns);
+  AppendU64(&out, request.max_memory_bytes);
+  AppendLengthPrefixed(&out, request.sql);
+  return out;
+}
+
+Result<QueryRequest> DecodeQueryPayload(std::string_view payload) {
+  PayloadReader reader(payload);
+  QueryRequest request;
+  PCDB_ASSIGN_OR_RETURN(request.flags, reader.ReadU32());
+  PCDB_ASSIGN_OR_RETURN(request.deadline_millis, reader.ReadU32());
+  PCDB_ASSIGN_OR_RETURN(request.max_rows, reader.ReadU64());
+  PCDB_ASSIGN_OR_RETURN(request.max_patterns, reader.ReadU64());
+  PCDB_ASSIGN_OR_RETURN(request.max_memory_bytes, reader.ReadU64());
+  PCDB_ASSIGN_OR_RETURN(request.sql, reader.ReadLengthPrefixed());
+  PCDB_RETURN_NOT_OK(ExpectExhausted(reader, "query"));
+  return request;
+}
+
+std::string EncodeCancelPayload(uint64_t target_request_id) {
+  std::string out;
+  AppendU64(&out, target_request_id);
+  return out;
+}
+
+Result<uint64_t> DecodeCancelPayload(std::string_view payload) {
+  PayloadReader reader(payload);
+  PCDB_ASSIGN_OR_RETURN(uint64_t target, reader.ReadU64());
+  PCDB_RETURN_NOT_OK(ExpectExhausted(reader, "cancel"));
+  return target;
+}
+
+std::string EncodeDonePayload(const AnswerDone& done) {
+  std::string out;
+  AppendU8(&out, done.degraded ? 1 : 0);
+  AppendU8(&out, done.cache_hit ? 1 : 0);
+  AppendDouble(&out, done.data_millis);
+  AppendDouble(&out, done.pattern_millis);
+  return out;
+}
+
+Result<AnswerDone> DecodeDonePayload(std::string_view payload) {
+  PayloadReader reader(payload);
+  AnswerDone done;
+  PCDB_ASSIGN_OR_RETURN(uint8_t degraded, reader.ReadU8());
+  PCDB_ASSIGN_OR_RETURN(uint8_t cache_hit, reader.ReadU8());
+  done.degraded = degraded != 0;
+  done.cache_hit = cache_hit != 0;
+  PCDB_ASSIGN_OR_RETURN(done.data_millis, reader.ReadDouble());
+  PCDB_ASSIGN_OR_RETURN(done.pattern_millis, reader.ReadDouble());
+  PCDB_RETURN_NOT_OK(ExpectExhausted(reader, "done"));
+  return done;
+}
+
+// ---- Answer payloads. --------------------------------------------------
+
+std::string EncodeSchemaPayload(const Schema& schema) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(schema.arity()));
+  for (const Column& col : schema.columns()) {
+    AppendLengthPrefixed(&out, col.name);
+    AppendU8(&out, static_cast<uint8_t>(col.type));
+  }
+  return out;
+}
+
+Result<Schema> DecodeSchemaPayload(std::string_view payload) {
+  PayloadReader reader(payload);
+  PCDB_ASSIGN_OR_RETURN(uint32_t arity, reader.ReadU32());
+  std::vector<Column> columns;
+  columns.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    Column col;
+    PCDB_ASSIGN_OR_RETURN(col.name, reader.ReadLengthPrefixed());
+    PCDB_ASSIGN_OR_RETURN(uint8_t type_tag, reader.ReadU8());
+    if (type_tag > static_cast<uint8_t>(ValueType::kString)) {
+      return Status::ParseError("unknown column type tag " +
+                                std::to_string(type_tag));
+    }
+    col.type = static_cast<ValueType>(type_tag);
+    columns.push_back(std::move(col));
+  }
+  PCDB_RETURN_NOT_OK(ExpectExhausted(reader, "schema"));
+  return Schema(std::move(columns));
+}
+
+std::string EncodeRowBatchPayload(const Table& table, size_t begin,
+                                  size_t end) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(end - begin));
+  for (size_t r = begin; r < end; ++r) {
+    for (const Value& v : table.row(r)) AppendValue(&out, v);
+  }
+  return out;
+}
+
+Status DecodeRowBatchPayload(std::string_view payload, Table* table) {
+  PayloadReader reader(payload);
+  PCDB_ASSIGN_OR_RETURN(uint32_t num_rows, reader.ReadU32());
+  const size_t arity = table->schema().arity();
+  for (uint32_t r = 0; r < num_rows; ++r) {
+    std::vector<Value> values;
+    values.reserve(arity);
+    for (size_t i = 0; i < arity; ++i) {
+      PCDB_ASSIGN_OR_RETURN(Value v, ReadValue(&reader));
+      values.push_back(std::move(v));
+    }
+    // Append (not AppendUnchecked): a corrupt or malicious peer must
+    // surface as a Status, not as a type-confused table.
+    PCDB_RETURN_NOT_OK(table->Append(std::move(values)));
+  }
+  return ExpectExhausted(reader, "row batch");
+}
+
+std::string EncodePatternsPayload(const PatternSet& patterns) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(patterns.size()));
+  for (const Pattern& p : patterns) {
+    AppendU32(&out, static_cast<uint32_t>(p.arity()));
+    for (size_t i = 0; i < p.arity(); ++i) {
+      if (p.IsWildcard(i)) {
+        AppendU8(&out, kCellWildcard);
+      } else {
+        AppendU8(&out, kCellValue);
+        AppendValue(&out, p.value(i));
+      }
+    }
+  }
+  return out;
+}
+
+Result<PatternSet> DecodePatternsPayload(std::string_view payload) {
+  PayloadReader reader(payload);
+  PCDB_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  PatternSet set;
+  set.Reserve(count);
+  for (uint32_t n = 0; n < count; ++n) {
+    PCDB_ASSIGN_OR_RETURN(uint32_t arity, reader.ReadU32());
+    std::vector<Pattern::Cell> cells;
+    cells.reserve(arity);
+    for (uint32_t i = 0; i < arity; ++i) {
+      PCDB_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadU8());
+      if (tag == kCellWildcard) {
+        cells.push_back(Pattern::Wildcard());
+      } else if (tag == kCellValue) {
+        PCDB_ASSIGN_OR_RETURN(Value v, ReadValue(&reader));
+        cells.emplace_back(std::move(v));
+      } else {
+        return Status::ParseError("unknown pattern cell tag " +
+                                  std::to_string(tag));
+      }
+    }
+    set.Add(Pattern(std::move(cells)));
+  }
+  PCDB_RETURN_NOT_OK(ExpectExhausted(reader, "patterns"));
+  return set;
+}
+
+size_t EncodedAnswer::TotalBytes() const {
+  size_t total = schema.size() + patterns.size() + sizeof(*this);
+  for (const std::string& batch : row_batches) total += batch.size();
+  return total;
+}
+
+std::string EncodedAnswer::CanonicalBytes() const {
+  std::string out = schema;
+  for (const std::string& batch : row_batches) out += batch;
+  out += patterns;
+  out.push_back(degraded ? 1 : 0);
+  return out;
+}
+
+EncodedAnswer EncodeAnswer(const AnnotatedTable& answer,
+                           size_t rows_per_batch) {
+  if (rows_per_batch == 0) rows_per_batch = 1;
+  EncodedAnswer encoded;
+  encoded.schema = EncodeSchemaPayload(answer.data.schema());
+  const size_t num_rows = answer.data.num_rows();
+  for (size_t begin = 0; begin < num_rows; begin += rows_per_batch) {
+    const size_t end = std::min(begin + rows_per_batch, num_rows);
+    encoded.row_batches.push_back(
+        EncodeRowBatchPayload(answer.data, begin, end));
+  }
+  encoded.patterns = EncodePatternsPayload(answer.patterns);
+  encoded.degraded = answer.degraded;
+  return encoded;
+}
+
+Result<AnnotatedTable> DecodeAnswer(const EncodedAnswer& encoded) {
+  AnnotatedTable answer;
+  PCDB_ASSIGN_OR_RETURN(Schema schema, DecodeSchemaPayload(encoded.schema));
+  answer.data = Table(std::move(schema));
+  for (const std::string& batch : encoded.row_batches) {
+    PCDB_RETURN_NOT_OK(DecodeRowBatchPayload(batch, &answer.data));
+  }
+  PCDB_ASSIGN_OR_RETURN(answer.patterns,
+                        DecodePatternsPayload(encoded.patterns));
+  answer.degraded = encoded.degraded;
+  return answer;
+}
+
+}  // namespace pcdb

@@ -1,0 +1,219 @@
+#ifndef PCDB_SERVER_PROTOCOL_H_
+#define PCDB_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "pattern/annotated.h"
+
+/// \file
+/// The pcdbd wire protocol: a length-prefixed binary framing over TCP,
+/// plus the payload codecs for queries and annotated answers.
+///
+/// Frame layout (all integers little-endian):
+///
+///   uint32  payload_len          (bytes after the 13-byte header)
+///   uint8   frame_type           (FrameType)
+///   uint64  request_id           (client-chosen; echoed by the server)
+///   byte[payload_len] payload
+///
+/// Client -> server: QUERY, CANCEL, PING, STATS.
+/// Server -> client: per QUERY either ANSWER_SCHEMA, ANSWER_ROWS*,
+/// ANSWER_PATTERNS, ANSWER_DONE — or a single ERROR; PONG answers PING;
+/// STATS_RESULT answers STATS. All responses echo the request id, so a
+/// client may pipeline requests over one connection.
+///
+/// This header is also the single place where StatusCode is mapped onto
+/// stable on-wire error codes (WireErrorCode): everything the server
+/// sends and the client surfaces goes through EncodeErrorPayload /
+/// DecodeErrorPayload, which is what makes client-observed errors
+/// byte-for-byte identical to in-process evaluation errors. See
+/// docs/SERVER.md for the full spec.
+
+namespace pcdb {
+
+/// Frame type tags. Client-originated types have the high bit clear,
+/// server-originated types have it set.
+enum class FrameType : uint8_t {
+  // Client -> server.
+  kQuery = 0x01,
+  kCancel = 0x02,
+  kPing = 0x03,
+  kStats = 0x04,
+  // Server -> client.
+  kAnswerSchema = 0x80,
+  kAnswerRows = 0x81,
+  kAnswerPatterns = 0x82,
+  kAnswerDone = 0x83,
+  kError = 0x84,
+  kPong = 0x85,
+  kStatsResult = 0x86,
+};
+
+/// True if `tag` is one of the FrameType values.
+bool IsKnownFrameType(uint8_t tag);
+
+/// Fixed frame header size: u32 length + u8 type + u64 request id.
+constexpr size_t kFrameHeaderBytes = 13;
+
+/// Upper bound on a single frame's payload. A header announcing more is
+/// treated as stream corruption and fails the connection.
+constexpr size_t kMaxFramePayloadBytes = 64u << 20;
+
+/// \brief One decoded protocol frame.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Appends the full encoding of a frame to `out`.
+void AppendFrame(std::string* out, FrameType type, uint64_t request_id,
+                 std::string_view payload);
+
+/// Convenience: the full encoding of one frame.
+std::string EncodeFrame(const Frame& frame);
+
+/// \brief Incremental frame decoder: feed bytes as they arrive (in
+/// arbitrary splits — see the server.read.short failpoint), pull frames
+/// out as they complete.
+class FrameReader {
+ public:
+  /// Appends raw bytes from the transport.
+  void Feed(const char* data, size_t n);
+
+  /// Decodes the next complete frame into `*out`. Returns true when a
+  /// frame was produced, false when more bytes are needed. Fails with
+  /// kInvalidArgument on malformed input (unknown frame type or an
+  /// oversized length prefix) — the stream is unrecoverable after that.
+  /// The "server.decode" failpoint fires once per decoded frame.
+  Result<bool> Next(Frame* out);
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+};
+
+/// \brief Stable on-wire error codes.
+///
+/// The numbering is part of the protocol and must never be reordered;
+/// new codes are appended. (StatusCode itself is an implementation enum
+/// that is free to change — this is the only place the two meet.)
+enum class WireErrorCode : uint16_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kTypeError = 5,
+  kParseError = 6,
+  kTimeout = 7,
+  kCancelled = 8,
+  kResourceExhausted = 9,
+  kUnimplemented = 10,
+  kInternal = 11,
+  kUnavailable = 12,
+};
+
+/// StatusCode -> wire code (total: every StatusCode maps somewhere).
+WireErrorCode WireErrorCodeFor(StatusCode code);
+
+/// Wire code -> StatusCode; kInvalidArgument Status for unknown codes.
+Result<StatusCode> StatusCodeFromWire(uint16_t wire_code);
+
+/// ERROR frame payload: u16 wire code + u32 message length + message.
+std::string EncodeErrorPayload(const Status& status);
+
+/// Reconstructs the Status carried by an ERROR payload into `*out`:
+/// same code, same message text as the in-process Status it encodes.
+/// The return value reports payload decode failures (Result<Status>
+/// would collide with Result's own Status constructor).
+Status DecodeErrorPayload(std::string_view payload, Status* out);
+
+/// \brief A QUERY frame's payload: execution limits + the SQL text.
+struct QueryRequest {
+  /// Bit 0: instance-aware completeness reasoning; bit 1: zombie
+  /// patterns. Mirrors AnnotatedEvalOptions.
+  uint32_t flags = 0;
+  /// Per-request deadline in milliseconds; 0 = none.
+  uint32_t deadline_millis = 0;
+  /// Budgets; 0 = unlimited.
+  uint64_t max_rows = 0;
+  uint64_t max_patterns = 0;
+  uint64_t max_memory_bytes = 0;
+  std::string sql;
+
+  static constexpr uint32_t kFlagInstanceAware = 1u << 0;
+  static constexpr uint32_t kFlagZombies = 1u << 1;
+};
+
+std::string EncodeQueryPayload(const QueryRequest& request);
+Result<QueryRequest> DecodeQueryPayload(std::string_view payload);
+
+/// CANCEL frame payload: the request id to cancel.
+std::string EncodeCancelPayload(uint64_t target_request_id);
+Result<uint64_t> DecodeCancelPayload(std::string_view payload);
+
+/// \brief Summary trailer carried by the ANSWER_DONE frame.
+struct AnswerDone {
+  bool degraded = false;    ///< Pattern set is a sound summary, not exact.
+  bool cache_hit = false;   ///< Served from the answer cache.
+  double data_millis = 0;   ///< Server-side data evaluation time.
+  double pattern_millis = 0;  ///< Server-side pattern reasoning time.
+};
+
+std::string EncodeDonePayload(const AnswerDone& done);
+Result<AnswerDone> DecodeDonePayload(std::string_view payload);
+
+/// \brief The serialized form of an annotated answer, split into the
+/// frame payloads the server streams back: one schema payload, zero or
+/// more row-batch payloads, one pattern-set payload.
+///
+/// This is both the answer cache's value type (encode once, send to any
+/// number of clients) and the unit of the byte-identity contract: a
+/// client that concatenates the payloads it received (CanonicalBytes)
+/// gets exactly the bytes of EncodeAnswer() over the in-process
+/// EvaluateAnnotated result.
+struct EncodedAnswer {
+  std::string schema;                    ///< ANSWER_SCHEMA payload.
+  std::vector<std::string> row_batches;  ///< ANSWER_ROWS payloads.
+  std::string patterns;                  ///< ANSWER_PATTERNS payload.
+  bool degraded = false;
+
+  /// Approximate heap footprint, used for cache accounting.
+  size_t TotalBytes() const;
+
+  /// schema + row batches + patterns + one degraded byte, concatenated.
+  std::string CanonicalBytes() const;
+};
+
+/// Serializes an annotated answer. Rows are split into batches of
+/// `rows_per_batch` (the last batch may be short; an empty table yields
+/// no row batches).
+EncodedAnswer EncodeAnswer(const AnnotatedTable& answer,
+                           size_t rows_per_batch = 256);
+
+/// Exact inverse of EncodeAnswer.
+Result<AnnotatedTable> DecodeAnswer(const EncodedAnswer& encoded);
+
+/// Individual payload codecs (exposed for the client, which receives the
+/// payloads one frame at a time).
+std::string EncodeSchemaPayload(const Schema& schema);
+Result<Schema> DecodeSchemaPayload(std::string_view payload);
+std::string EncodeRowBatchPayload(const Table& table, size_t begin,
+                                  size_t end);
+/// Appends the batch's rows to `*table` (which must carry the schema).
+Status DecodeRowBatchPayload(std::string_view payload, Table* table);
+std::string EncodePatternsPayload(const PatternSet& patterns);
+Result<PatternSet> DecodePatternsPayload(std::string_view payload);
+
+}  // namespace pcdb
+
+#endif  // PCDB_SERVER_PROTOCOL_H_

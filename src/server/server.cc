@@ -1,0 +1,586 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "common/timer.h"
+#include "pattern/annotated_eval.h"
+#include "sql/planner.h"
+
+namespace pcdb {
+
+/// Result of one query job, posted from an eval worker to the loop.
+struct Server::Completion {
+  uint64_t conn_id = 0;
+  uint64_t request_id = 0;
+  /// Non-OK -> one ERROR frame; OK -> the answer frame sequence.
+  Status status;
+  std::shared_ptr<const EncodedAnswer> answer;
+  AnswerDone done;
+};
+
+/// Per-connection state. Owned exclusively by the event loop.
+struct Server::Conn {
+  uint64_t id = 0;
+  Socket sock;
+  FrameReader reader;
+  /// Outbound bytes not yet written; [out_pos, size) is pending.
+  std::string outbuf;
+  size_t out_pos = 0;
+  /// Admitted queries waiting for an eval slot.
+  std::deque<std::pair<uint64_t, QueryRequest>> queued;
+  /// Cancellation tokens of this connection's in-flight queries.
+  std::map<uint64_t, std::shared_ptr<CancellationToken>> tokens;
+  /// Flush remaining output, then close.
+  bool closing = false;
+  /// Remove immediately (I/O error or injected fault).
+  bool dead = false;
+
+  bool HasPendingOutput() const { return out_pos < outbuf.size(); }
+};
+
+struct Server::LoopState {
+  std::map<uint64_t, std::unique_ptr<Conn>> conns;
+  /// Connections with queued queries, in admission order. May hold
+  /// stale ids (connection closed, query cancelled) — skipped on pop.
+  std::deque<uint64_t> admit_fifo;
+  /// Queries currently on the eval pool.
+  size_t inflight = 0;
+  uint64_t next_conn_id = 1;
+};
+
+Server::Server(AnnotatedDatabase db, ServerOptions options)
+    : options_(options),
+      cache_(options.cache),
+      db_(std::make_shared<AnnotatedDatabase>(std::move(db))) {
+  c_requests_ = metrics_.GetCounter("requests_total");
+  c_shed_ = metrics_.GetCounter("shed_total");
+  c_cache_hits_ = metrics_.GetCounter("cache_hits");
+  c_cache_misses_ = metrics_.GetCounter("cache_misses");
+  c_errors_ = metrics_.GetCounter("errors_total");
+  c_cancelled_ = metrics_.GetCounter("cancelled_total");
+  c_timeouts_ = metrics_.GetCounter("timeouts_total");
+  c_connections_ = metrics_.GetCounter("connections_total");
+  c_conn_faults_ = metrics_.GetCounter("connection_faults");
+  c_protocol_errors_ = metrics_.GetCounter("protocol_errors");
+  c_eval_task_faults_ = metrics_.GetCounter("eval_task_faults");
+  g_connections_ = metrics_.GetGauge("connections_open");
+  g_inflight_ = metrics_.GetGauge("inflight");
+  h_latency_ = metrics_.GetHistogram("request_latency");
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  {
+    MutexLock lock(&state_mu_);
+    if (started_) return Status::InvalidArgument("server already started");
+  }
+  PCDB_ASSIGN_OR_RETURN(listener_,
+                        Listener::BindAndListen(options_.host, options_.port));
+  PCDB_ASSIGN_OR_RETURN(wake_, WakePipe::Create());
+  // Eval pool floor of 2: a 1-thread ThreadPool runs tasks inline in the
+  // submitter — the event loop — which would block frame processing for
+  // the duration of a query and make mid-query CANCEL impossible.
+  eval_pool_ = std::make_unique<ThreadPool>(
+      std::max<size_t>(2, options_.eval_threads));
+  // 2 for the same reason: the loop task must run on a worker, not
+  // inline in Start().
+  loop_pool_ = std::make_unique<ThreadPool>(2);
+  {
+    MutexLock lock(&state_mu_);
+    started_ = true;
+    loop_done_ = false;
+  }
+  loop_pool_->Submit([this] { RunLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  {
+    MutexLock lock(&state_mu_);
+    if (!started_) return;
+  }
+  stop_requested_.store(true, std::memory_order_release);
+  wake_.Notify();
+  {
+    MutexLock lock(&state_mu_);
+    while (!loop_done_) state_cv_.Wait(lock);
+  }
+  if (eval_pool_ != nullptr) {
+    // The loop cancelled every in-flight token on exit, so governed
+    // evaluations return kCancelled at their next checkpoint.
+    eval_pool_->Wait();
+    Status pool_status = eval_pool_->ConsumeStatus();
+    if (!pool_status.ok()) c_eval_task_faults_->Increment();
+  }
+}
+
+std::shared_ptr<const AnnotatedDatabase> Server::Snapshot() const {
+  MutexLock lock(&db_mu_);
+  return db_;
+}
+
+Status Server::UpdateDatabase(
+    const std::function<Status(AnnotatedDatabase*)>& fn) {
+  // db_mu_ is held across copy + mutate + swap, serializing writers;
+  // readers (Snapshot) block only for the duration, and in-flight
+  // queries keep their old snapshot alive via shared_ptr.
+  MutexLock lock(&db_mu_);
+  std::map<std::string, uint64_t> before;
+  for (const std::string& name : db_->database().TableNames()) {
+    before[name] = db_->database().TableEpoch(name);
+  }
+  auto next = std::make_shared<AnnotatedDatabase>(*db_);
+  PCDB_RETURN_NOT_OK(fn(next.get()));
+  db_ = next;
+  // Eagerly reclaim cache entries for every table whose epoch moved
+  // (epoch-in-key already makes them unreachable; this frees the bytes).
+  for (const std::string& name : next->database().TableNames()) {
+    auto it = before.find(name);
+    if (it == before.end() ||
+        it->second != next->database().TableEpoch(name)) {
+      cache_.InvalidateTable(name);
+    }
+    if (it != before.end()) before.erase(it);
+  }
+  for (const auto& [name, epoch] : before) {
+    // Dropped tables: nothing can match their key anymore.
+    cache_.InvalidateTable(name);
+  }
+  return Status::OK();
+}
+
+std::string Server::StatsJson() const {
+  const AnswerCache::Stats cs = cache_.GetStats();
+  std::string json = metrics_.ToJson();
+  std::string cache_json =
+      ",\"cache\":{\"hits\":" + std::to_string(cs.hits) +
+      ",\"misses\":" + std::to_string(cs.misses) +
+      ",\"insertions\":" + std::to_string(cs.insertions) +
+      ",\"evictions\":" + std::to_string(cs.evictions) +
+      ",\"invalidations\":" + std::to_string(cs.invalidations) +
+      ",\"entries\":" + std::to_string(cs.entries) +
+      ",\"bytes\":" + std::to_string(cs.bytes) + "}";
+  json.insert(json.size() - 1, cache_json);
+  return json;
+}
+
+void Server::RunLoop() {
+  LoopState state;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    std::vector<PollItem> items;
+    std::vector<uint64_t> item_conn;  // parallel to items; 0 = not a conn
+    items.push_back(PollItem{wake_.read_fd(), true, false});
+    item_conn.push_back(0);
+    const bool accepting = state.conns.size() < options_.max_connections;
+    size_t listener_index = 0;
+    if (accepting) {
+      listener_index = items.size();
+      items.push_back(PollItem{listener_.fd(), true, false});
+      item_conn.push_back(0);
+    }
+    for (const auto& [id, conn] : state.conns) {
+      items.push_back(PollItem{conn->sock.fd(), !conn->closing,
+                               conn->HasPendingOutput()});
+      item_conn.push_back(id);
+    }
+
+    Result<int> poll_result = Poll(&items, options_.poll_millis);
+    if (!poll_result.ok()) continue;  // EINTR handled inside; be robust
+
+    if (items[0].readable) wake_.Drain();
+    ProcessCompletions(&state);
+    // Re-arm the eval pool if an injected dispatch fault tripped its
+    // first-error latch; otherwise it would skip every queued job.
+    Status pool_status = eval_pool_->ConsumeStatus();
+    if (!pool_status.ok()) c_eval_task_faults_->Increment();
+
+    if (accepting && items[listener_index].readable) {
+      AcceptNewConnections(&state);
+    }
+
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (item_conn[i] == 0) continue;
+      auto it = state.conns.find(item_conn[i]);
+      if (it == state.conns.end()) continue;
+      Conn* conn = it->second.get();
+      if (items[i].error) {
+        conn->dead = true;
+        continue;
+      }
+      if (items[i].readable && !conn->dead) HandleReadable(&state, conn);
+      if (items[i].writable && !conn->dead) FlushWrites(conn);
+    }
+
+    // Reap connections: dead ones now, closing ones once flushed.
+    for (auto it = state.conns.begin(); it != state.conns.end();) {
+      Conn* conn = it->second.get();
+      if (conn->dead || (conn->closing && !conn->HasPendingOutput())) {
+        // In-flight queries of this connection are orphaned: cancel so
+        // the workers stop early; their completions are dropped when
+        // the conn id no longer resolves.
+        for (auto& [rid, token] : conn->tokens) token->Cancel();
+        it = state.conns.erase(it);
+        g_connections_->Add(-1);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Shutdown: cancel everything in flight, then hand the connections'
+  // sockets back to the kernel (destructors close them).
+  for (auto& [id, conn] : state.conns) {
+    for (auto& [rid, token] : conn->tokens) token->Cancel();
+  }
+  {
+    MutexLock lock(&state_mu_);
+    loop_done_ = true;
+  }
+  state_cv_.NotifyAll();
+}
+
+void Server::AcceptNewConnections(LoopState* state) {
+  // The try/catch confines an injected accept fault (throw action on
+  // server.accept) to this accept round: the listener stays up.
+  try {
+    while (state->conns.size() < options_.max_connections) {
+      Result<Listener::AcceptResult> accepted = listener_.Accept();
+      if (!accepted.ok()) {
+        c_conn_faults_->Increment();
+        return;
+      }
+      if (accepted->would_block) return;
+      auto conn = std::make_unique<Conn>();
+      conn->id = state->next_conn_id++;
+      conn->sock = std::move(accepted->socket);
+      if (!conn->sock.SetNonBlocking(true).ok()) continue;
+      c_connections_->Increment();
+      g_connections_->Add(1);
+      state->conns.emplace(conn->id, std::move(conn));
+    }
+  } catch (...) {
+    c_conn_faults_->Increment();
+  }
+}
+
+void Server::HandleReadable(LoopState* state, Conn* conn) {
+  // One guard per connection: any fault on the read/decode/handle path
+  // (I/O error, injected throw) kills only this connection.
+  try {
+    char buf[16384];
+    for (;;) {
+      Result<IoResult> recv_result = conn->sock.Recv(buf, sizeof(buf));
+      if (!recv_result.ok()) {
+        c_conn_faults_->Increment();
+        conn->dead = true;
+        return;
+      }
+      if (recv_result->would_block) break;
+      if (recv_result->eof) {
+        // Client finished sending; flush what we owe, then close.
+        conn->closing = true;
+        break;
+      }
+      conn->reader.Feed(buf, recv_result->bytes);
+      if (recv_result->bytes < sizeof(buf)) break;
+    }
+    for (;;) {
+      Frame frame;
+      Result<bool> decoded = conn->reader.Next(&frame);
+      if (!decoded.ok()) {
+        // Malformed framing: the stream is unrecoverable. Report once,
+        // flush, close — siblings and the listener are untouched.
+        c_protocol_errors_->Increment();
+        AppendFrame(&conn->outbuf, FrameType::kError, 0,
+                    EncodeErrorPayload(decoded.status()));
+        conn->closing = true;
+        break;
+      }
+      if (!*decoded) break;
+      HandleFrame(state, conn, std::move(frame));
+      if (conn->dead || conn->closing) break;
+    }
+    FlushWrites(conn);
+  } catch (...) {
+    c_conn_faults_->Increment();
+    conn->dead = true;
+  }
+}
+
+void Server::HandleFrame(LoopState* state, Conn* conn, Frame frame) {
+  switch (frame.type) {
+    case FrameType::kPing:
+      AppendFrame(&conn->outbuf, FrameType::kPong, frame.request_id, "");
+      return;
+    case FrameType::kStats:
+      AppendFrame(&conn->outbuf, FrameType::kStatsResult, frame.request_id,
+                  StatsJson());
+      return;
+    case FrameType::kCancel: {
+      Result<uint64_t> target = DecodeCancelPayload(frame.payload);
+      if (!target.ok()) {
+        c_protocol_errors_->Increment();
+        AppendFrame(&conn->outbuf, FrameType::kError, frame.request_id,
+                    EncodeErrorPayload(target.status()));
+        return;
+      }
+      // Still waiting for an eval slot? Answer kCancelled right away.
+      for (auto it = conn->queued.begin(); it != conn->queued.end(); ++it) {
+        if (it->first == *target) {
+          conn->queued.erase(it);
+          c_cancelled_->Increment();
+          AppendFrame(&conn->outbuf, FrameType::kError, *target,
+                      EncodeErrorPayload(
+                          Status::Cancelled("execution cancelled by caller")));
+          return;
+        }
+      }
+      // In flight? Flip the token; the governed evaluator answers with
+      // kCancelled through the normal completion path. Unknown ids
+      // (already answered, never sent) are a silent no-op per protocol.
+      auto it = conn->tokens.find(*target);
+      if (it != conn->tokens.end()) it->second->Cancel();
+      return;
+    }
+    case FrameType::kQuery: {
+      Result<QueryRequest> request = DecodeQueryPayload(frame.payload);
+      if (!request.ok()) {
+        c_protocol_errors_->Increment();
+        AppendFrame(&conn->outbuf, FrameType::kError, frame.request_id,
+                    EncodeErrorPayload(request.status()));
+        return;
+      }
+      AdmitOrShed(state, conn, frame.request_id, std::move(*request));
+      return;
+    }
+    default:
+      // A client sending server-side frame types is off-protocol.
+      c_protocol_errors_->Increment();
+      AppendFrame(&conn->outbuf, FrameType::kError, frame.request_id,
+                  EncodeErrorPayload(Status::InvalidArgument(
+                      "unexpected frame type from client")));
+      conn->closing = true;
+      return;
+  }
+}
+
+void Server::AdmitOrShed(LoopState* state, Conn* conn, uint64_t request_id,
+                         QueryRequest request) {
+  c_requests_->Increment();
+  if (state->inflight < options_.max_inflight) {
+    DispatchQuery(state, conn, request_id, std::move(request));
+    return;
+  }
+  if (conn->queued.size() < options_.max_queued_per_connection) {
+    conn->queued.emplace_back(request_id, std::move(request));
+    state->admit_fifo.push_back(conn->id);
+    return;
+  }
+  // Load shed: an explicit retryable error, never a silent drop.
+  c_shed_->Increment();
+  AppendFrame(&conn->outbuf, FrameType::kError, request_id,
+              EncodeErrorPayload(Status::Unavailable(
+                  "server overloaded: in-flight and per-connection queue "
+                  "budgets are exhausted")));
+}
+
+void Server::DispatchQuery(LoopState* state, Conn* conn, uint64_t request_id,
+                           QueryRequest request) {
+  auto token = std::make_shared<CancellationToken>();
+  conn->tokens[request_id] = token;
+  ++state->inflight;
+  g_inflight_->Set(static_cast<int64_t>(state->inflight));
+  std::shared_ptr<const AnnotatedDatabase> snapshot = Snapshot();
+  const uint64_t conn_id = conn->id;
+  eval_pool_->Submit(
+      [this, conn_id, request_id, request = std::move(request), token,
+       snapshot]() mutable {
+        RunQueryJob(conn_id, request_id, std::move(request), token, snapshot);
+      });
+}
+
+void Server::RunQueryJob(uint64_t conn_id, uint64_t request_id,
+                         QueryRequest request,
+                         std::shared_ptr<CancellationToken> token,
+                         std::shared_ptr<const AnnotatedDatabase> snapshot) {
+  Completion comp;
+  comp.conn_id = conn_id;
+  comp.request_id = request_id;
+  // The job must always post exactly one completion: an exception
+  // escaping here would trip the pool's first-error latch and silently
+  // skip sibling jobs.
+  try {
+    WallTimer timer;
+    ExecContext ctx;
+    ctx.WithCancellationToken(token);
+    if (request.deadline_millis > 0) {
+      ctx.WithDeadlineAfterMillis(request.deadline_millis);
+    }
+    if (request.max_rows > 0) ctx.WithRowBudget(request.max_rows);
+    if (request.max_patterns > 0) ctx.WithPatternBudget(request.max_patterns);
+    if (request.max_memory_bytes > 0) {
+      ctx.WithMemoryBudget(request.max_memory_bytes);
+    }
+
+    Result<ExprPtr> plan = PlanSql(request.sql, snapshot->database());
+    if (!plan.ok()) {
+      comp.status = plan.status();
+    } else {
+      std::vector<std::string> tables = (*plan)->ScannedTables();
+      std::vector<std::pair<std::string, uint64_t>> table_epochs;
+      table_epochs.reserve(tables.size());
+      for (const std::string& t : tables) {
+        table_epochs.emplace_back(t, snapshot->database().TableEpoch(t));
+      }
+      const std::string key = AnswerCache::MakeKey(
+          AnswerCache::NormalizeSql(request.sql), request.flags,
+          request.max_rows, request.max_patterns, request.max_memory_bytes,
+          std::move(table_epochs));
+
+      std::shared_ptr<const EncodedAnswer> cached;
+      if (options_.enable_cache) cached = cache_.Get(key);
+      if (cached != nullptr) {
+        c_cache_hits_->Increment();
+        comp.answer = cached;
+        comp.done.degraded = cached->degraded;
+        comp.done.cache_hit = true;
+      } else {
+        if (options_.enable_cache) c_cache_misses_->Increment();
+        AnnotatedEvalOptions eval_options;
+        eval_options.instance_aware =
+            (request.flags & QueryRequest::kFlagInstanceAware) != 0;
+        eval_options.zombies =
+            (request.flags & QueryRequest::kFlagZombies) != 0;
+        eval_options.num_threads = options_.eval_threads_per_query;
+        AnnotatedEvalInfo info;
+        Result<AnnotatedTable> answer =
+            EvaluateAnnotated(**plan, *snapshot, eval_options, ctx, &info);
+        if (!answer.ok()) {
+          comp.status = answer.status();
+        } else {
+          auto encoded = std::make_shared<EncodedAnswer>(
+              EncodeAnswer(*answer, options_.rows_per_batch));
+          if (options_.enable_cache) {
+            cache_.Put(key, std::move(tables), encoded);
+          }
+          comp.answer = std::move(encoded);
+          comp.done.degraded = answer->degraded;
+          comp.done.cache_hit = false;
+          comp.done.data_millis = info.data_millis;
+          comp.done.pattern_millis = info.pattern_millis;
+        }
+      }
+    }
+    h_latency_->RecordMillis(timer.ElapsedMillis());
+  } catch (const std::exception& e) {
+    comp.status =
+        Status::Internal(std::string("query worker exception: ") + e.what());
+    comp.answer = nullptr;
+  } catch (...) {
+    comp.status = Status::Internal("query worker: unknown exception");
+    comp.answer = nullptr;
+  }
+  if (!comp.status.ok()) {
+    switch (comp.status.code()) {
+      case StatusCode::kCancelled:
+        c_cancelled_->Increment();
+        break;
+      case StatusCode::kTimeout:
+        c_timeouts_->Increment();
+        break;
+      default:
+        c_errors_->Increment();
+        break;
+    }
+  }
+  PostCompletion(std::move(comp));
+}
+
+void Server::PostCompletion(Completion completion) {
+  {
+    MutexLock lock(&completions_mu_);
+    completions_.push_back(std::move(completion));
+  }
+  wake_.Notify();
+}
+
+void Server::ProcessCompletions(LoopState* state) {
+  std::vector<Completion> batch;
+  {
+    MutexLock lock(&completions_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& comp : batch) {
+    if (state->inflight > 0) --state->inflight;
+    auto it = state->conns.find(comp.conn_id);
+    if (it == state->conns.end()) continue;  // connection went away
+    Conn* conn = it->second.get();
+    conn->tokens.erase(comp.request_id);
+    if (!comp.status.ok()) {
+      AppendFrame(&conn->outbuf, FrameType::kError, comp.request_id,
+                  EncodeErrorPayload(comp.status));
+    } else {
+      const EncodedAnswer& answer = *comp.answer;
+      AppendFrame(&conn->outbuf, FrameType::kAnswerSchema, comp.request_id,
+                  answer.schema);
+      for (const std::string& rows : answer.row_batches) {
+        AppendFrame(&conn->outbuf, FrameType::kAnswerRows, comp.request_id,
+                    rows);
+      }
+      AppendFrame(&conn->outbuf, FrameType::kAnswerPatterns, comp.request_id,
+                  answer.patterns);
+      AppendFrame(&conn->outbuf, FrameType::kAnswerDone, comp.request_id,
+                  EncodeDonePayload(comp.done));
+    }
+    FlushWrites(conn);
+  }
+  g_inflight_->Set(static_cast<int64_t>(state->inflight));
+  // Freed slots admit queued queries in arrival order.
+  while (state->inflight < options_.max_inflight &&
+         !state->admit_fifo.empty()) {
+    const uint64_t conn_id = state->admit_fifo.front();
+    state->admit_fifo.pop_front();
+    auto it = state->conns.find(conn_id);
+    if (it == state->conns.end()) continue;
+    Conn* conn = it->second.get();
+    if (conn->queued.empty() || conn->dead || conn->closing) continue;
+    auto [request_id, request] = std::move(conn->queued.front());
+    conn->queued.pop_front();
+    DispatchQuery(state, conn, request_id, std::move(request));
+  }
+}
+
+void Server::FlushWrites(Conn* conn) {
+  // Self-guarding (like HandleReadable): an injected write fault kills
+  // only this connection.
+  try {
+    while (conn->HasPendingOutput()) {
+      Result<IoResult> sent = conn->sock.Send(
+          conn->outbuf.data() + conn->out_pos,
+          conn->outbuf.size() - conn->out_pos);
+      if (!sent.ok()) {
+        c_conn_faults_->Increment();
+        conn->dead = true;
+        return;
+      }
+      if (sent->would_block) break;
+      conn->out_pos += sent->bytes;
+    }
+    if (!conn->HasPendingOutput()) {
+      conn->outbuf.clear();
+      conn->out_pos = 0;
+    } else if (conn->out_pos >= (1u << 20)) {
+      conn->outbuf.erase(0, conn->out_pos);
+      conn->out_pos = 0;
+    }
+  } catch (...) {
+    c_conn_faults_->Increment();
+    conn->dead = true;
+  }
+}
+
+}  // namespace pcdb

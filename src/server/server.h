@@ -1,0 +1,175 @@
+#ifndef PCDB_SERVER_SERVER_H_
+#define PCDB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "pattern/annotated.h"
+#include "server/answer_cache.h"
+#include "server/metrics.h"
+#include "server/net_socket.h"
+#include "server/protocol.h"
+
+/// \file
+/// pcdbd's serving core: a poll(2)-driven event loop accepting
+/// concurrent client connections, an eval worker pool running governed
+/// EvaluateAnnotated per query, an admission controller bounding
+/// concurrent and queued work, and the answer cache.
+///
+/// Threading model:
+///  - One event-loop task owns all connection state (sockets, frame
+///    readers, outbound buffers, per-request cancellation tokens). It
+///    never blocks on a socket and never evaluates a query.
+///  - Query jobs run on the eval pool against an immutable database
+///    snapshot (shared_ptr, copy-on-write under UpdateDatabase) and
+///    post their result to a completion queue; a self-pipe wakes the
+///    loop, which frames the answer onto the right connection.
+///  - CANCEL is handled entirely on the loop thread: it flips the
+///    job's CancellationToken (atomic), and the governed evaluator
+///    returns kCancelled at its next checkpoint.
+///
+/// Admission control: at most `max_inflight` queries evaluate at once;
+/// beyond that, up to `max_queued_per_connection` queries wait per
+/// connection, and anything further is shed immediately with a
+/// kUnavailable wire error (never silently dropped).
+
+namespace pcdb {
+
+/// \brief Tunables for a Server instance.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read back via Server::port()).
+  uint16_t port = 0;
+  /// Eval pool workers. Values < 2 are raised to 2: a 1-thread pool runs
+  /// tasks inline in the submitter (common/thread_pool.h), which here is
+  /// the event loop — queries would block frame processing and CANCEL
+  /// could never overtake the query it targets.
+  size_t eval_threads = 4;
+  /// AnnotatedEvalOptions.num_threads for each query (intra-query
+  /// parallelism); 1 = serial, deterministic answer bytes.
+  size_t eval_threads_per_query = 1;
+  /// Admission: queries evaluating concurrently before queueing starts.
+  size_t max_inflight = 4;
+  /// Admission: queries waiting per connection before shedding starts.
+  size_t max_queued_per_connection = 8;
+  /// Connection cap; accepts beyond it are closed immediately.
+  size_t max_connections = 256;
+  /// Answer cache sizing; `enable_cache = false` disables caching.
+  AnswerCache::Options cache;
+  bool enable_cache = true;
+  /// Rows per ANSWER_ROWS frame.
+  size_t rows_per_batch = 256;
+  /// Poll timeout; bounds Stop() latency when the server is idle.
+  int poll_millis = 100;
+};
+
+/// \brief The pcdbd serving core. Start() spins up the listener, event
+/// loop and eval pool; Stop() (or the destructor) shuts everything down.
+class Server {
+ public:
+  /// Takes the database to serve. Mutations after construction go
+  /// through UpdateDatabase.
+  explicit Server(AnnotatedDatabase db, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listener and starts the event loop and eval pool.
+  Status Start();
+
+  /// Requests shutdown, cancels in-flight queries cooperatively, and
+  /// blocks until the event loop has exited. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return listener_.port(); }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const AnswerCache& cache() const { return cache_; }
+
+  /// Copy-on-write database mutation: `fn` runs against a private copy
+  /// of the current snapshot; on success the snapshot pointer is
+  /// swapped and every cache entry depending on a table whose epoch
+  /// changed is invalidated. In-flight queries keep evaluating against
+  /// the snapshot they started with (their cache entries carry the old
+  /// epochs and simply become unreachable).
+  Status UpdateDatabase(const std::function<Status(AnnotatedDatabase*)>& fn);
+
+  /// Metrics + cache stats as one JSON object (the STATS payload).
+  std::string StatsJson() const;
+
+ private:
+  struct Completion;
+  struct Conn;
+  struct LoopState;
+
+  void RunLoop();
+  void ProcessCompletions(LoopState* state);
+  void AcceptNewConnections(LoopState* state);
+  void HandleReadable(LoopState* state, Conn* conn);
+  void HandleFrame(LoopState* state, Conn* conn, Frame frame);
+  void AdmitOrShed(LoopState* state, Conn* conn, uint64_t request_id,
+                   QueryRequest request);
+  void DispatchQuery(LoopState* state, Conn* conn, uint64_t request_id,
+                     QueryRequest request);
+  void FlushWrites(Conn* conn);
+  void RunQueryJob(uint64_t conn_id, uint64_t request_id, QueryRequest request,
+                   std::shared_ptr<CancellationToken> token,
+                   std::shared_ptr<const AnnotatedDatabase> snapshot);
+  void PostCompletion(Completion completion);
+  std::shared_ptr<const AnnotatedDatabase> Snapshot() const
+      PCDB_EXCLUDES(db_mu_);
+
+  ServerOptions options_;
+  MetricsRegistry metrics_;
+  AnswerCache cache_;
+
+  // Hot-path metric handles, resolved once in the constructor (registry
+  // lookups take a lock; the metrics themselves are lock-free).
+  Counter* c_requests_ = nullptr;
+  Counter* c_shed_ = nullptr;
+  Counter* c_cache_hits_ = nullptr;
+  Counter* c_cache_misses_ = nullptr;
+  Counter* c_errors_ = nullptr;
+  Counter* c_cancelled_ = nullptr;
+  Counter* c_timeouts_ = nullptr;
+  Counter* c_connections_ = nullptr;
+  Counter* c_conn_faults_ = nullptr;
+  Counter* c_protocol_errors_ = nullptr;
+  Counter* c_eval_task_faults_ = nullptr;
+  Gauge* g_connections_ = nullptr;
+  Gauge* g_inflight_ = nullptr;
+  Histogram* h_latency_ = nullptr;
+
+  mutable Mutex db_mu_;
+  std::shared_ptr<const AnnotatedDatabase> db_ PCDB_GUARDED_BY(db_mu_);
+
+  Listener listener_;
+  WakePipe wake_;
+  std::atomic<bool> stop_requested_{false};
+
+  mutable Mutex state_mu_;
+  CondVar state_cv_;
+  bool started_ PCDB_GUARDED_BY(state_mu_) = false;
+  bool loop_done_ PCDB_GUARDED_BY(state_mu_) = false;
+
+  Mutex completions_mu_;
+  std::vector<Completion> completions_ PCDB_GUARDED_BY(completions_mu_);
+
+  /// Declared after every member they use: destroyed first, so the loop
+  /// task and eval jobs are joined while wake_/completions_ still exist.
+  std::unique_ptr<ThreadPool> eval_pool_;
+  std::unique_ptr<ThreadPool> loop_pool_;
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_SERVER_SERVER_H_

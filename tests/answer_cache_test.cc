@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/answer_cache.h"
+
+namespace pcdb {
+namespace {
+
+std::shared_ptr<const EncodedAnswer> MakeAnswer(size_t payload_bytes) {
+  auto answer = std::make_shared<EncodedAnswer>();
+  answer->schema = "s";
+  answer->row_batches.push_back(std::string(payload_bytes, 'x'));
+  return answer;
+}
+
+TEST(AnswerCacheTest, HitAfterMiss) {
+  AnswerCache cache;
+  EXPECT_EQ(cache.Get("k"), nullptr);
+  auto answer = MakeAnswer(100);
+  cache.Put("k", {"Warnings"}, answer);
+  EXPECT_EQ(cache.Get("k"), answer);
+  AnswerCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 100u);
+}
+
+TEST(AnswerCacheTest, EvictsLeastRecentlyUsedUnderEntryPressure) {
+  AnswerCache::Options options;
+  options.num_shards = 1;  // one LRU list so the order is observable
+  options.max_entries = 3;
+  AnswerCache cache(options);
+  cache.Put("a", {}, MakeAnswer(10));
+  cache.Put("b", {}, MakeAnswer(10));
+  cache.Put("c", {}, MakeAnswer(10));
+  ASSERT_NE(cache.Get("a"), nullptr);  // promote a; b is now the LRU
+  cache.Put("d", {}, MakeAnswer(10));
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_NE(cache.Get("d"), nullptr);
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+}
+
+TEST(AnswerCacheTest, EvictsUnderBytePressureAndSkipsOversizedAnswers) {
+  AnswerCache::Options options;
+  options.num_shards = 1;
+  options.max_bytes = 1000;
+  AnswerCache cache(options);
+  // Larger than the whole budget: never cached (caching it would evict
+  // everything for an answer that can't stay anyway).
+  cache.Put("huge", {}, MakeAnswer(5000));
+  EXPECT_EQ(cache.Get("huge"), nullptr);
+  EXPECT_EQ(cache.GetStats().insertions, 0u);
+
+  cache.Put("a", {}, MakeAnswer(400));
+  cache.Put("b", {}, MakeAnswer(400));
+  cache.Put("c", {}, MakeAnswer(400));  // pushes "a" out
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_LE(cache.GetStats().bytes, 1000u);
+}
+
+TEST(AnswerCacheTest, ReplacingAKeyKeepsAccountingConsistent) {
+  AnswerCache::Options options;
+  options.num_shards = 1;
+  AnswerCache cache(options);
+  cache.Put("k", {}, MakeAnswer(100));
+  const size_t bytes_small = cache.GetStats().bytes;
+  cache.Put("k", {}, MakeAnswer(300));
+  AnswerCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, bytes_small);
+}
+
+TEST(AnswerCacheTest, InvalidateTableDropsOnlyDependents) {
+  AnswerCache cache;
+  cache.Put("q1", {"Warnings", "Teams"}, MakeAnswer(10));
+  cache.Put("q2", {"Teams"}, MakeAnswer(10));
+  cache.Put("q3", {"Maintenance"}, MakeAnswer(10));
+  EXPECT_EQ(cache.InvalidateTable("Teams"), 2u);
+  EXPECT_EQ(cache.Get("q1"), nullptr);
+  EXPECT_EQ(cache.Get("q2"), nullptr);
+  EXPECT_NE(cache.Get("q3"), nullptr);
+  EXPECT_EQ(cache.GetStats().invalidations, 2u);
+}
+
+TEST(AnswerCacheTest, ClearDropsEverything) {
+  AnswerCache cache;
+  cache.Put("a", {}, MakeAnswer(10));
+  cache.Put("b", {}, MakeAnswer(10));
+  cache.Clear();
+  AnswerCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+}
+
+TEST(AnswerCacheKeyTest, TableOrderAndDuplicatesDoNotMatter) {
+  const std::string a = AnswerCache::MakeKey(
+      "SELECT 1", 0, 0, 0, 0, {{"t1", 3}, {"t2", 5}});
+  const std::string b = AnswerCache::MakeKey(
+      "SELECT 1", 0, 0, 0, 0, {{"t2", 5}, {"t1", 3}, {"t1", 3}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(AnswerCacheKeyTest, EveryInputChangesTheKey) {
+  const std::string base =
+      AnswerCache::MakeKey("SELECT 1", 0, 0, 0, 0, {{"t", 1}});
+  EXPECT_NE(base, AnswerCache::MakeKey("SELECT 2", 0, 0, 0, 0, {{"t", 1}}));
+  EXPECT_NE(base, AnswerCache::MakeKey("SELECT 1", 1, 0, 0, 0, {{"t", 1}}));
+  EXPECT_NE(base, AnswerCache::MakeKey("SELECT 1", 0, 9, 0, 0, {{"t", 1}}));
+  EXPECT_NE(base, AnswerCache::MakeKey("SELECT 1", 0, 0, 9, 0, {{"t", 1}}));
+  EXPECT_NE(base, AnswerCache::MakeKey("SELECT 1", 0, 0, 0, 9, {{"t", 1}}));
+  // The epoch is the mutation fence: bumping it must miss.
+  EXPECT_NE(base, AnswerCache::MakeKey("SELECT 1", 0, 0, 0, 0, {{"t", 2}}));
+}
+
+TEST(AnswerCacheKeyTest, NormalizeSqlCollapsesIncidentalFormatting) {
+  EXPECT_EQ(AnswerCache::NormalizeSql("  SELECT *\n\tFROM   t ;"),
+            "SELECT * FROM t");
+  // Trivially reformatted statements share one cache entry...
+  EXPECT_EQ(AnswerCache::NormalizeSql("SELECT * FROM t;"),
+            AnswerCache::NormalizeSql("SELECT  *  FROM  t"));
+  // ...but case is untouched (identifiers are case-sensitive).
+  EXPECT_NE(AnswerCache::NormalizeSql("SELECT * FROM t"),
+            AnswerCache::NormalizeSql("select * from t"));
+}
+
+}  // namespace
+}  // namespace pcdb

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "server/metrics.h"
+
+namespace pcdb {
+namespace {
+
+TEST(CounterTest, IncrementsMonotonically) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(9);
+  EXPECT_EQ(c.Value(), 10u);
+}
+
+TEST(GaugeTest, SetAndAddAreSigned) {
+  Gauge g;
+  g.Set(5);
+  g.Add(-8);
+  EXPECT_EQ(g.Value(), -3);
+}
+
+TEST(HistogramTest, QuantilesLandWithinBucketResolution) {
+  Histogram h;
+  // 100 samples of 1ms, 10 of 100ms: p50 ~ 1ms, p99 ~ 100ms. The
+  // power-of-two buckets guarantee at most 2x resolution error.
+  for (int i = 0; i < 100; ++i) h.RecordMillis(1.0);
+  for (int i = 0; i < 10; ++i) h.RecordMillis(100.0);
+  EXPECT_EQ(h.Count(), 110u);
+  const double p50 = h.QuantileMillis(0.5);
+  EXPECT_GE(p50, 0.5);
+  EXPECT_LE(p50, 2.1);
+  const double p99 = h.QuantileMillis(0.99);
+  EXPECT_GE(p99, 50.0);
+  EXPECT_LE(p99, 200.0);
+  const double mean = h.MeanMillis();
+  EXPECT_GE(mean, 5.0);
+  EXPECT_LE(mean, 20.0);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.MeanMillis(), 0.0);
+  EXPECT_EQ(h.QuantileMillis(0.5), 0.0);
+}
+
+TEST(MetricsRegistryTest, PointersAreStableAcrossLookups) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("requests");
+  Counter* b = registry.GetCounter("requests");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(registry.CounterValue("requests"), 3u);
+  EXPECT_EQ(registry.CounterValue("never_created"), 0u);
+  EXPECT_EQ(registry.GetGauge("inflight"), registry.GetGauge("inflight"));
+  EXPECT_EQ(registry.GetHistogram("lat"), registry.GetHistogram("lat"));
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta")->Increment(2);
+  registry.GetCounter("alpha")->Increment(1);
+  registry.GetGauge("depth")->Set(-4);
+  registry.GetHistogram("latency")->RecordMillis(3.0);
+  const std::string json = registry.ToJson();
+  const size_t alpha = json.find("\"alpha\":1");
+  const size_t zeta = json.find("\"zeta\":2");
+  ASSERT_NE(alpha, std::string::npos) << json;
+  ASSERT_NE(zeta, std::string::npos) << json;
+  EXPECT_LT(alpha, zeta) << json;
+  EXPECT_NE(json.find("\"depth\":-4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"latency\":{\"count\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99_ms\":"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  {
+    ThreadPool pool(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      pool.Submit([counter] {
+        for (int i = 0; i < kPerThread; ++i) counter->Increment();
+      });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter->Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace pcdb

@@ -281,6 +281,41 @@ TEST(ParallelMinimizeTest, SharedPoolOverloadMatchesSerial) {
   EXPECT_TRUE(parallel.SetEquals(serial));
 }
 
+TEST(ParallelMinimizeTest, PoolAwareIncrementalScanMatchesSerial) {
+  // The scan-pool overload parallelizes CollectSubsumed inside the
+  // incremental approach. Use wildcard-heavy inputs so the maximal set
+  // (and thus the scanned index) stays large enough to engage the
+  // chunked scan, and exercise every index kind: the parallel scan runs
+  // over a snapshot of the index contents, independent of the index.
+  uint64_t seed = 4242;
+  ThreadPool pool(4);
+  for (PatternIndexKind kind :
+       {PatternIndexKind::kLinearList, PatternIndexKind::kHashTable,
+        PatternIndexKind::kPathIndex, PatternIndexKind::kDiscriminationTree}) {
+    for (double wild_prob : {0.5, 0.8}) {
+      PatternSet input = RandomSet(++seed, 800, 6, 3, wild_prob);
+      Result<PatternSet> serial =
+          Minimize(input, MinimizeApproach::kIncremental, kind, ExecContext());
+      ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+      MinimizeStats stats;
+      Result<PatternSet> pooled =
+          Minimize(input, MinimizeApproach::kIncremental, kind, &pool,
+                   ExecContext(), &stats);
+      ASSERT_TRUE(pooled.ok()) << pooled.status().ToString();
+      EXPECT_TRUE(pooled->SetEquals(*serial))
+          << "pool-aware incremental scan diverged, wildcard density "
+          << wild_prob;
+      EXPECT_TRUE(IsMinimal(*pooled));
+      EXPECT_EQ(stats.output_size, serial->size());
+      // A null pool is documented to be exactly the serial path.
+      Result<PatternSet> null_pool = Minimize(
+          input, MinimizeApproach::kIncremental, kind, nullptr, ExecContext());
+      ASSERT_TRUE(null_pool.ok());
+      EXPECT_TRUE(null_pool->SetEquals(*serial));
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Parallel pattern join
 

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "pattern/annotated_eval.h"
+#include "server/protocol.h"
+#include "sql/planner.h"
+#include "workloads/maintenance_example.h"
+
+namespace pcdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+// Unwraps Next() through ok() so an injected server.decode fault (the
+// ci faults sweep arms it process-wide) fails the test instead of
+// tripping the Result dereference check and aborting the binary.
+bool NextFrame(FrameReader* reader, Frame* frame) {
+  Result<bool> next = reader->Next(frame);
+  EXPECT_TRUE(next.ok()) << next.status().ToString();
+  return next.ok() && *next;
+}
+
+TEST(FrameTest, RoundTripsThroughReader) {
+  std::string wire;
+  AppendFrame(&wire, FrameType::kQuery, 42, "payload");
+  AppendFrame(&wire, FrameType::kPing, 7, "");
+  AppendFrame(&wire, FrameType::kAnswerRows, 99, std::string(1000, 'x'));
+
+  FrameReader reader;
+  reader.Feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_TRUE(NextFrame(&reader, &frame));
+  EXPECT_EQ(frame.type, FrameType::kQuery);
+  EXPECT_EQ(frame.request_id, 42u);
+  EXPECT_EQ(frame.payload, "payload");
+  ASSERT_TRUE(NextFrame(&reader, &frame));
+  EXPECT_EQ(frame.type, FrameType::kPing);
+  EXPECT_EQ(frame.request_id, 7u);
+  EXPECT_EQ(frame.payload, "");
+  ASSERT_TRUE(NextFrame(&reader, &frame));
+  EXPECT_EQ(frame.type, FrameType::kAnswerRows);
+  EXPECT_EQ(frame.payload.size(), 1000u);
+  EXPECT_FALSE(NextFrame(&reader, &frame));
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(FrameTest, ReassemblesAcrossArbitrarySplits) {
+  // The wire contract: framing must be agnostic to how the transport
+  // chunks bytes (the server.read.short failpoint delivers 1 at a time).
+  std::string wire;
+  for (uint64_t id = 1; id <= 5; ++id) {
+    AppendFrame(&wire, FrameType::kCancel, id,
+                EncodeCancelPayload(id * 1000));
+  }
+  FrameReader reader;
+  std::vector<Frame> frames;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    reader.Feed(wire.data() + i, 1);
+    Frame frame;
+    Result<bool> next = reader.Next(&frame);
+    ASSERT_TRUE(next.ok());
+    if (*next) frames.push_back(std::move(frame));
+  }
+  ASSERT_EQ(frames.size(), 5u);
+  for (uint64_t id = 1; id <= 5; ++id) {
+    EXPECT_EQ(frames[id - 1].request_id, id);
+    Result<uint64_t> deadline = DecodeCancelPayload(frames[id - 1].payload);
+    ASSERT_TRUE(deadline.ok());
+    EXPECT_EQ(*deadline, id * 1000);
+  }
+}
+
+TEST(FrameTest, RejectsUnknownFrameType) {
+  std::string wire;
+  AppendFrame(&wire, FrameType::kPing, 1, "");
+  wire[4] = 0x55;  // not a FrameType
+  FrameReader reader;
+  reader.Feed(wire.data(), wire.size());
+  Frame frame;
+  Result<bool> next = reader.Next(&frame);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, RejectsOversizedLengthPrefix) {
+  // A length prefix beyond kMaxFramePayloadBytes must fail immediately,
+  // not make the reader wait for 4 GiB that will never arrive.
+  std::string wire;
+  AppendFrame(&wire, FrameType::kQuery, 1, "x");
+  wire[0] = static_cast<char>(0xff);
+  wire[1] = static_cast<char>(0xff);
+  wire[2] = static_cast<char>(0xff);
+  wire[3] = static_cast<char>(0x7f);
+  FrameReader reader;
+  reader.Feed(wire.data(), wire.size());
+  Frame frame;
+  Result<bool> next = reader.Next(&frame);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Error codes: the single StatusCode <-> wire mapping.
+
+std::vector<StatusCode> AllStatusCodes() {
+  return {StatusCode::kOk,           StatusCode::kInvalidArgument,
+          StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+          StatusCode::kOutOfRange,   StatusCode::kTypeError,
+          StatusCode::kParseError,   StatusCode::kTimeout,
+          StatusCode::kCancelled,    StatusCode::kResourceExhausted,
+          StatusCode::kUnimplemented, StatusCode::kInternal,
+          StatusCode::kUnavailable};
+}
+
+TEST(WireErrorTest, EveryStatusCodeRoundTripsUnchanged) {
+  for (StatusCode code : AllStatusCodes()) {
+    const WireErrorCode wire = WireErrorCodeFor(code);
+    Result<StatusCode> back =
+        StatusCodeFromWire(static_cast<uint16_t>(wire));
+    ASSERT_TRUE(back.ok()) << StatusCodeToString(code);
+    EXPECT_EQ(*back, code) << StatusCodeToString(code);
+  }
+}
+
+TEST(WireErrorTest, WireNumberingIsStable) {
+  // These values are on-the-wire protocol; changing them breaks every
+  // deployed client. Spot-pin the full table.
+  EXPECT_EQ(WireErrorCodeFor(StatusCode::kOk), WireErrorCode::kOk);
+  EXPECT_EQ(static_cast<uint16_t>(WireErrorCode::kInvalidArgument), 1);
+  EXPECT_EQ(static_cast<uint16_t>(WireErrorCode::kNotFound), 2);
+  EXPECT_EQ(static_cast<uint16_t>(WireErrorCode::kAlreadyExists), 3);
+  EXPECT_EQ(static_cast<uint16_t>(WireErrorCode::kOutOfRange), 4);
+  EXPECT_EQ(static_cast<uint16_t>(WireErrorCode::kTypeError), 5);
+  EXPECT_EQ(static_cast<uint16_t>(WireErrorCode::kParseError), 6);
+  EXPECT_EQ(static_cast<uint16_t>(WireErrorCode::kTimeout), 7);
+  EXPECT_EQ(static_cast<uint16_t>(WireErrorCode::kCancelled), 8);
+  EXPECT_EQ(static_cast<uint16_t>(WireErrorCode::kResourceExhausted), 9);
+  EXPECT_EQ(static_cast<uint16_t>(WireErrorCode::kUnimplemented), 10);
+  EXPECT_EQ(static_cast<uint16_t>(WireErrorCode::kInternal), 11);
+  EXPECT_EQ(static_cast<uint16_t>(WireErrorCode::kUnavailable), 12);
+}
+
+TEST(WireErrorTest, ErrorPayloadPreservesCodeAndMessageExactly) {
+  // The client-observed error must be indistinguishable from the
+  // in-process Status — same code, same message text.
+  for (StatusCode code : AllStatusCodes()) {
+    if (code == StatusCode::kOk) continue;
+    Status original(code, std::string("message for ") +
+                              StatusCodeToString(code) + " / §köln");
+    Status decoded;
+    ASSERT_TRUE(
+        DecodeErrorPayload(EncodeErrorPayload(original), &decoded).ok());
+    EXPECT_EQ(decoded.code(), original.code());
+    EXPECT_EQ(decoded.message(), original.message());
+    EXPECT_EQ(decoded.ToString(), original.ToString());
+  }
+}
+
+TEST(WireErrorTest, UnknownWireCodeIsRejected) {
+  EXPECT_FALSE(StatusCodeFromWire(999).ok());
+}
+
+TEST(WireErrorTest, TruncatedErrorPayloadIsAParseError) {
+  std::string payload = EncodeErrorPayload(Status::Timeout("deadline"));
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    Status decoded;
+    Status result =
+        DecodeErrorPayload(std::string_view(payload.data(), cut), &decoded);
+    EXPECT_EQ(result.code(), StatusCode::kParseError) << "cut=" << cut;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request payloads.
+
+TEST(QueryPayloadTest, RoundTrips) {
+  QueryRequest request;
+  request.flags =
+      QueryRequest::kFlagInstanceAware | QueryRequest::kFlagZombies;
+  request.deadline_millis = 1500;
+  request.max_rows = 1u << 20;
+  request.max_patterns = 77;
+  request.max_memory_bytes = 5ull << 30;
+  request.sql = "SELECT * FROM Warnings WHERE week=2";
+  Result<QueryRequest> back = DecodeQueryPayload(EncodeQueryPayload(request));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->flags, request.flags);
+  EXPECT_EQ(back->deadline_millis, request.deadline_millis);
+  EXPECT_EQ(back->max_rows, request.max_rows);
+  EXPECT_EQ(back->max_patterns, request.max_patterns);
+  EXPECT_EQ(back->max_memory_bytes, request.max_memory_bytes);
+  EXPECT_EQ(back->sql, request.sql);
+}
+
+TEST(QueryPayloadTest, EveryTruncationIsAParseError) {
+  QueryRequest request;
+  request.sql = "SELECT * FROM t";
+  std::string payload = EncodeQueryPayload(request);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    Result<QueryRequest> back =
+        DecodeQueryPayload(std::string_view(payload.data(), cut));
+    ASSERT_FALSE(back.ok()) << "cut=" << cut;
+    EXPECT_EQ(back.status().code(), StatusCode::kParseError) << "cut=" << cut;
+  }
+}
+
+TEST(QueryPayloadTest, TrailingGarbageIsAParseError) {
+  QueryRequest request;
+  request.sql = "SELECT * FROM t";
+  std::string payload = EncodeQueryPayload(request) + "junk";
+  EXPECT_EQ(DecodeQueryPayload(payload).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(DonePayloadTest, RoundTrips) {
+  AnswerDone done;
+  done.degraded = true;
+  done.cache_hit = true;
+  done.data_millis = 12.5;
+  done.pattern_millis = 0.125;
+  Result<AnswerDone> back = DecodeDonePayload(EncodeDonePayload(done));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->degraded);
+  EXPECT_TRUE(back->cache_hit);
+  EXPECT_EQ(back->data_millis, 12.5);
+  EXPECT_EQ(back->pattern_millis, 0.125);
+}
+
+// ---------------------------------------------------------------------------
+// Answer encoding.
+
+Result<AnnotatedTable> EvalHardwareWarnings() {
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  return EvaluateAnnotated(*MakeHardwareWarningsQuery(), adb,
+                           AnnotatedEvalOptions(), ExecContext());
+}
+
+TEST(AnswerCodecTest, RoundTripsARealAnnotatedAnswer) {
+  Result<AnnotatedTable> answer = EvalHardwareWarnings();
+  ASSERT_TRUE(answer.ok());
+  ASSERT_GT(answer->data.num_rows(), 0u);
+  ASSERT_GT(answer->patterns.size(), 0u);
+
+  EncodedAnswer encoded = EncodeAnswer(*answer, /*rows_per_batch=*/2);
+  // 3 rows at 2 per batch -> 2 batches.
+  EXPECT_EQ(encoded.row_batches.size(),
+            (answer->data.num_rows() + 1) / 2);
+
+  Result<AnnotatedTable> decoded = DecodeAnswer(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->data.num_rows(), answer->data.num_rows());
+  EXPECT_EQ(decoded->data.ToString(), answer->data.ToString());
+  EXPECT_TRUE(decoded->patterns.SetEquals(answer->patterns));
+  EXPECT_EQ(decoded->degraded, answer->degraded);
+
+  // Re-encoding the decoded answer reproduces the canonical bytes: the
+  // codec loses nothing.
+  EncodedAnswer reencoded = EncodeAnswer(*decoded, /*rows_per_batch=*/2);
+  EXPECT_EQ(reencoded.CanonicalBytes(), encoded.CanonicalBytes());
+}
+
+TEST(AnswerCodecTest, EmptyAnswerHasNoRowBatches) {
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  Result<ExprPtr> plan =
+      PlanSql("SELECT * FROM Teams WHERE name='nope'", adb.database());
+  ASSERT_TRUE(plan.ok());
+  Result<AnnotatedTable> answer =
+      EvaluateAnnotated(**plan, adb, AnnotatedEvalOptions(), ExecContext());
+  ASSERT_TRUE(answer.ok());
+  ASSERT_EQ(answer->data.num_rows(), 0u);
+  EncodedAnswer encoded = EncodeAnswer(*answer);
+  EXPECT_TRUE(encoded.row_batches.empty());
+  Result<AnnotatedTable> decoded = DecodeAnswer(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->data.num_rows(), 0u);
+  EXPECT_EQ(decoded->data.schema().ToString(),
+            answer->data.schema().ToString());
+}
+
+TEST(AnswerCodecTest, CorruptRowBatchSurfacesAsStatus) {
+  Result<AnnotatedTable> answer = EvalHardwareWarnings();
+  ASSERT_TRUE(answer.ok());
+  EncodedAnswer encoded = EncodeAnswer(*answer);
+  ASSERT_FALSE(encoded.row_batches.empty());
+  encoded.row_batches[0].resize(encoded.row_batches[0].size() / 2);
+  EXPECT_FALSE(DecodeAnswer(encoded).ok());
+}
+
+}  // namespace
+}  // namespace pcdb

@@ -1,0 +1,380 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/failpoint.h"
+#include "common/thread_pool.h"
+#include "pattern/annotated_eval.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "sql/planner.h"
+#include "workloads/maintenance_example.h"
+
+namespace pcdb {
+namespace {
+
+constexpr const char* kQhwSql =
+    "SELECT * FROM Warnings W JOIN Maintenance M ON W.ID=M.ID "
+    "JOIN Teams T ON M.responsible=T.name "
+    "WHERE W.week=2 AND T.specialization='hardware'";
+
+/// End-to-end serve-path tests: a real Server on an ephemeral loopback
+/// port, exercised through the real Client. Failpoints are global, so
+/// every test starts and ends clean.
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::Global().Clear(); }
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+    Failpoints::Global().Clear();
+  }
+
+  void StartServer(ServerOptions options = {}) {
+    server_ = std::make_unique<Server>(MakeMaintenanceDatabase(), options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  Client ConnectOrDie() {
+    Result<Client> client = Client::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+  /// The reference answer: governed in-process evaluation with exactly
+  /// the server's evaluation options, serialized with the server's
+  /// batching. The wire answer must reproduce these bytes exactly.
+  static std::string InProcessCanonicalBytes(const std::string& sql,
+                                             uint64_t max_patterns = 0,
+                                             size_t rows_per_batch = 256) {
+    AnnotatedDatabase adb = MakeMaintenanceDatabase();
+    Result<ExprPtr> plan = PlanSql(sql, adb.database());
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    ExecContext ctx;
+    if (max_patterns > 0) ctx.WithPatternBudget(max_patterns);
+    AnnotatedEvalOptions options;  // matches ServerOptions defaults
+    Result<AnnotatedTable> answer =
+        EvaluateAnnotated(**plan, adb, options, ctx);
+    EXPECT_TRUE(answer.ok()) << answer.status().ToString();
+    return EncodeAnswer(*answer, rows_per_batch).CanonicalBytes();
+  }
+
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, PingAndStats) {
+  StartServer();
+  Client client = ConnectOrDie();
+  EXPECT_TRUE(client.Ping().ok());
+  Result<std::string> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"requests_total\""), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"cache\""), std::string::npos) << *stats;
+}
+
+TEST_F(ServerTest, WireAnswerIsByteIdenticalToInProcessEvaluation) {
+  StartServer();
+  Client client = ConnectOrDie();
+  Result<ClientAnswer> answer = client.Query(kQhwSql);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->canonical_bytes, InProcessCanonicalBytes(kQhwSql));
+  EXPECT_GT(answer->table.data.num_rows(), 0u);
+  EXPECT_GT(answer->table.patterns.size(), 0u);
+  EXPECT_FALSE(answer->done.degraded);
+}
+
+TEST_F(ServerTest, EvaluationErrorsArriveWithInProcessCodeAndMessage) {
+  StartServer();
+  Client client = ConnectOrDie();
+
+  // The same parse/plan failures the in-process API returns, code and
+  // message byte-for-byte (satellite 3's contract).
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  for (const char* bad :
+       {"SELECT * FROM NoSuchTable", "SELECT * FROM", "garbage"}) {
+    Status in_process = PlanSql(bad, adb.database()).status();
+    ASSERT_FALSE(in_process.ok()) << bad;
+    Result<ClientAnswer> remote = client.Query(bad);
+    ASSERT_FALSE(remote.ok()) << bad;
+    EXPECT_EQ(remote.status().code(), in_process.code()) << bad;
+    EXPECT_EQ(remote.status().ToString(), in_process.ToString()) << bad;
+  }
+  // The connection survives evaluation errors.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServerTest, SixtyFourConcurrentConnectionsNoCorruptedFrames) {
+  StartServer();
+  const std::string expected = InProcessCanonicalBytes(kQhwSql);
+  constexpr int kConnections = 64;
+  constexpr int kQueriesEach = 3;
+  std::atomic<int> failures{0};
+  std::atomic<int> answers{0};
+  {
+    ThreadPool pool(static_cast<size_t>(kConnections));
+    for (int c = 0; c < kConnections; ++c) {
+      pool.Submit([this, &expected, &failures, &answers] {
+        Result<Client> client =
+            Client::Connect("127.0.0.1", server_->port());
+        if (!client.ok()) {
+          failures.fetch_add(kQueriesEach);
+          return;
+        }
+        for (int q = 0; q < kQueriesEach; ++q) {
+          Result<ClientAnswer> answer = client->Query(kQhwSql);
+          if (!answer.ok() || answer->canonical_bytes != expected) {
+            failures.fetch_add(1);
+          } else {
+            answers.fetch_add(1);
+          }
+        }
+      });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(answers.load(), kConnections * kQueriesEach);
+  EXPECT_EQ(server_->metrics().CounterValue("requests_total"),
+            static_cast<uint64_t>(kConnections * kQueriesEach));
+  EXPECT_EQ(server_->metrics().CounterValue("shed_total"), 0u);
+  EXPECT_EQ(server_->metrics().CounterValue("protocol_errors"), 0u);
+}
+
+TEST_F(ServerTest, MidQueryCancelReturnsCancelled) {
+  StartServer();
+  Client client = ConnectOrDie();
+  // ~100ms per plan node makes Q_hw slow enough that the CANCEL frame
+  // overtakes it on the event loop with huge margin.
+  Failpoints::Global().Activate("annotated.operator",
+                                FailpointSpec::Sleep(100));
+  Result<uint64_t> id = client.SendQuery(kQhwSql);
+  ASSERT_TRUE(id.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(client.Cancel(*id).ok());
+  Result<ClientAnswer> answer = client.ReadAnswer(*id);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kCancelled)
+      << answer.status().ToString();
+  EXPECT_EQ(server_->metrics().CounterValue("cancelled_total"), 1u);
+  // The connection is still serviceable.
+  Failpoints::Global().Clear();
+  EXPECT_TRUE(client.Query(kQhwSql).ok());
+}
+
+TEST_F(ServerTest, DeadlineExpiryReturnsTimeout) {
+  StartServer();
+  Client client = ConnectOrDie();
+  Failpoints::Global().Activate("annotated.operator",
+                                FailpointSpec::Sleep(100));
+  ClientQueryOptions options;
+  options.deadline_millis = 20;
+  Result<ClientAnswer> answer = client.Query(kQhwSql, options);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kTimeout)
+      << answer.status().ToString();
+  EXPECT_EQ(server_->metrics().CounterValue("timeouts_total"), 1u);
+}
+
+TEST_F(ServerTest, DegradedFlagPropagatesOverTheWire) {
+  StartServer();
+  Client client = ConnectOrDie();
+  ClientQueryOptions options;
+  options.max_patterns = 2;  // Q_hw yields 12 exact patterns
+  Result<ClientAnswer> answer = client.Query(kQhwSql, options);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_TRUE(answer->done.degraded);
+  EXPECT_TRUE(answer->table.degraded);
+  EXPECT_LE(answer->table.patterns.size(), 2u);
+  // Degraded answers obey the same byte-identity contract.
+  EXPECT_EQ(answer->canonical_bytes,
+            InProcessCanonicalBytes(kQhwSql, /*max_patterns=*/2));
+  // The degraded byte closes the canonical stream.
+  ASSERT_FALSE(answer->canonical_bytes.empty());
+  EXPECT_EQ(answer->canonical_bytes.back(), 1);
+}
+
+TEST_F(ServerTest, RepeatedQueryHitsTheCacheAndMutationInvalidates) {
+  StartServer();
+  Client client = ConnectOrDie();
+
+  Result<ClientAnswer> first = client.Query(kQhwSql);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->done.cache_hit);
+
+  Result<ClientAnswer> second = client.Query(kQhwSql);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->done.cache_hit);
+  EXPECT_EQ(second->canonical_bytes, first->canonical_bytes);
+  EXPECT_EQ(server_->metrics().CounterValue("cache_hits"), 1u);
+  EXPECT_EQ(server_->metrics().CounterValue("cache_misses"), 1u);
+
+  // Incidental reformatting still hits (normalized-SQL keying).
+  Result<ClientAnswer> reformatted = client.Query(
+      std::string("  ") + kQhwSql + " ;");
+  ASSERT_TRUE(reformatted.ok());
+  EXPECT_TRUE(reformatted->done.cache_hit);
+
+  // A mutation bumps the table epoch: the entry is invalidated eagerly
+  // and the next query re-evaluates against the new snapshot.
+  ASSERT_TRUE(server_
+                  ->UpdateDatabase([](AnnotatedDatabase* adb) {
+                    return adb->AddRow("Warnings",
+                                       {"Thu", 2, "tw140", "new warning"});
+                  })
+                  .ok());
+  EXPECT_GE(server_->cache().GetStats().invalidations, 1u);
+  Result<ClientAnswer> third = client.Query(kQhwSql);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third->done.cache_hit);
+}
+
+TEST_F(ServerTest, OverloadShedsWithUnavailable) {
+  ServerOptions options;
+  options.max_inflight = 1;
+  options.max_queued_per_connection = 0;
+  StartServer(options);
+  Client busy = ConnectOrDie();
+  Client rejected = ConnectOrDie();
+
+  Failpoints::Global().Activate("annotated.operator",
+                                FailpointSpec::Sleep(100));
+  Result<uint64_t> slow = busy.SendQuery(kQhwSql);
+  ASSERT_TRUE(slow.ok());
+  // Let the loop dispatch the slow query before the second one arrives.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  Result<ClientAnswer> shed = rejected.Query(kQhwSql);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable)
+      << shed.status().ToString();
+  EXPECT_EQ(server_->metrics().CounterValue("shed_total"), 1u);
+
+  // The occupied slot still answers correctly.
+  Result<ClientAnswer> slow_answer = busy.ReadAnswer(*slow);
+  ASSERT_TRUE(slow_answer.ok()) << slow_answer.status().ToString();
+}
+
+TEST_F(ServerTest, QueuedQueryRunsWhenASlotFrees) {
+  ServerOptions options;
+  options.max_inflight = 1;
+  options.max_queued_per_connection = 4;
+  StartServer(options);
+  Client client = ConnectOrDie();
+  Failpoints::Global().Activate("annotated.operator",
+                                FailpointSpec::Sleep(20));
+  // Pipeline three queries on one connection: one runs, two queue, all
+  // three answer in order.
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    Result<uint64_t> id = client.SendQuery(kQhwSql);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (uint64_t id : ids) {
+    Result<ClientAnswer> answer = client.ReadAnswer(id);
+    EXPECT_TRUE(answer.ok()) << answer.status().ToString();
+  }
+  EXPECT_EQ(server_->metrics().CounterValue("shed_total"), 0u);
+}
+
+TEST_F(ServerTest, MalformedFrameClosesOnlyThatConnection) {
+  StartServer();
+  Client healthy = ConnectOrDie();
+  ASSERT_TRUE(healthy.Ping().ok());
+
+  Result<Socket> raw = TcpConnect("127.0.0.1", server_->port());
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(raw->SetRecvTimeoutMillis(5000).ok());
+  // A syntactically valid header with an unknown frame type: stream
+  // corruption the decoder must reject.
+  std::string garbage;
+  garbage.append(4, '\0');                      // payload_len = 0
+  garbage.push_back(static_cast<char>(0x55));   // not a FrameType
+  garbage.append(8, '\0');                      // request id
+  ASSERT_TRUE(raw->SendAll(garbage.data(), garbage.size()).ok());
+
+  // The server answers with one ERROR frame, then closes.
+  char header[13];
+  ASSERT_TRUE(raw->RecvExact(header, sizeof(header)).ok());
+  EXPECT_EQ(static_cast<uint8_t>(header[4]), 0x84u);  // kError
+  uint32_t payload_len = 0;
+  std::memcpy(&payload_len, header, 4);
+  std::string payload(payload_len, '\0');
+  ASSERT_TRUE(raw->RecvExact(payload.data(), payload.size()).ok());
+  Status remote;
+  ASSERT_TRUE(DecodeErrorPayload(payload, &remote).ok());
+  EXPECT_EQ(remote.code(), StatusCode::kInvalidArgument);
+  char extra;
+  Result<IoResult> eof = raw->Recv(&extra, 1);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_TRUE(eof->eof);
+
+  // The sibling connection and the listener never noticed.
+  EXPECT_TRUE(healthy.Ping().ok());
+  EXPECT_TRUE(ConnectOrDie().Ping().ok());
+  EXPECT_EQ(server_->metrics().CounterValue("protocol_errors"), 1u);
+}
+
+TEST_F(ServerTest, ReadFaultOnOneConnectionDoesNotAffectSiblings) {
+  StartServer();
+  Client healthy = ConnectOrDie();
+  ASSERT_TRUE(healthy.Ping().ok());
+
+  // A raw victim connection (the Client's own Recv shares the global
+  // failpoint registry and must not consume the injected fault).
+  Result<Socket> victim = TcpConnect("127.0.0.1", server_->port());
+  ASSERT_TRUE(victim.ok());
+  ASSERT_TRUE(victim->SetRecvTimeoutMillis(5000).ok());
+  std::string ping;
+  AppendFrame(&ping, FrameType::kPing, 1, "");
+  Failpoints::Global().Activate("server.read",
+                                FailpointSpec::Error().Once());
+  ASSERT_TRUE(victim->SendAll(ping.data(), ping.size()).ok());
+  // Give the loop time to hit the fault on the victim's readable socket.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  Failpoints::Global().Clear();
+
+  // The victim was torn down: either a clean EOF or ECONNRESET (the
+  // server closed with the ping still unread in its kernel buffer).
+  char buf;
+  Result<IoResult> read_back = victim->Recv(&buf, 1);
+  EXPECT_TRUE(!read_back.ok() || read_back->eof);
+  // ...while the listener and the sibling keep serving.
+  EXPECT_TRUE(healthy.Ping().ok());
+  EXPECT_TRUE(ConnectOrDie().Ping().ok());
+  EXPECT_GE(server_->metrics().CounterValue("connection_faults"), 1u);
+}
+
+TEST_F(ServerTest, ShortReadFaultStillDeliversIntactAnswers) {
+  StartServer();
+  const std::string expected = InProcessCanonicalBytes(kQhwSql);
+  Client client = ConnectOrDie();
+  // Byte-at-a-time reads on the server: framing must reassemble.
+  Failpoints::Global().Activate("server.read.short",
+                                FailpointSpec::Sleep(0));
+  Result<ClientAnswer> answer = client.Query(kQhwSql);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->canonical_bytes, expected);
+}
+
+TEST_F(ServerTest, StopCancelsInFlightQueries) {
+  StartServer();
+  Client client = ConnectOrDie();
+  Failpoints::Global().Activate("annotated.operator",
+                                FailpointSpec::Sleep(100));
+  ASSERT_TRUE(client.SendQuery(kQhwSql).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Stop must not hang on the sleeping evaluation: the loop cancels its
+  // token and the governed evaluator returns at the next checkpoint.
+  server_->Stop();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pcdb

@@ -8,6 +8,9 @@
 #   tools/ci.sh fuzz       # build fuzz harnesses under ASan/UBSan and smoke
 #                          # each for ~30s (libFuzzer under clang; corpus +
 #                          # deterministic mutation replay elsewhere)
+#   tools/ci.sh server     # network subsystem: server unit/e2e suites, then
+#                          # a live pcdbd smoke (ephemeral port, client ping/
+#                          # query/stats, loadgen burst, graceful SIGTERM)
 #   tools/ci.sh faults     # fault-injection matrix: rerun the suite with
 #                          # benign sleep failpoints (results must be
 #                          # unchanged), then arm every compiled-in site
@@ -117,6 +120,52 @@ run_fuzz() {
   echo "fuzz OK"
 }
 
+run_server() {
+  echo "=== server: build binaries + unit/e2e suites ==="
+  cmake --preset release
+  cmake --build --preset release -j "$JOBS" \
+    --target protocol_test metrics_test answer_cache_test server_test \
+             pcdbd pcdb_client pcdb_loadgen
+  ./build/tests/protocol_test
+  ./build/tests/metrics_test
+  ./build/tests/answer_cache_test
+  ./build/tests/server_test
+
+  echo "=== server: daemon smoke on an ephemeral port ==="
+  local logfile daemon port="" i
+  logfile="$(mktemp)"
+  ./build/tools/pcdbd --port 0 >"$logfile" 2>&1 &
+  daemon=$!
+  for i in $(seq 1 100); do
+    port="$(sed -n 's/^pcdbd listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$logfile")"
+    [[ -n "$port" ]] && break
+    sleep 0.05
+  done
+  if [[ -z "$port" ]]; then
+    echo "ERROR: pcdbd never announced its listening port" >&2
+    cat "$logfile" >&2
+    kill "$daemon" 2>/dev/null || true
+    exit 1
+  fi
+  ./build/tools/pcdb_client --port "$port" --ping | grep -qx pong
+  ./build/tools/pcdb_client --port "$port" \
+    --sql "SELECT * FROM Warnings W JOIN Maintenance M ON W.ID=M.ID" \
+    >/dev/null
+  ./build/tools/pcdb_loadgen --port "$port" --connections 8 --requests 200
+  ./build/tools/pcdb_client --port "$port" --stats | grep -q cache_hits
+
+  kill -TERM "$daemon"
+  local rc=0
+  wait "$daemon" || rc=$?
+  rm -f "$logfile"
+  if (( rc != 0 )); then
+    echo "ERROR: pcdbd exited $rc on SIGTERM (want graceful 0)" >&2
+    exit 1
+  fi
+  echo "server OK"
+}
+
 run_faults() {
   echo "=== faults: injected-failpoint matrix ==="
   cmake --preset release
@@ -141,8 +190,10 @@ run_faults() {
   # through TryParallelFor*, and fault_injection_test above injects
   # pool.dispatch faults through those paths.
   local sites="csv.read csv.record eval.operator eval.join.probe \
-    minimize.pattern minimize.shard annotated.operator"
-  local bins="relational_test minimize_test annotated_eval_test parallel_test"
+    minimize.pattern minimize.shard annotated.operator \
+    server.accept server.read server.read.short server.decode server.write"
+  local bins="relational_test minimize_test annotated_eval_test parallel_test \
+    protocol_test server_test"
   local action site spec bin rc
   for action in "error" "error(timeout)" "throw"; do
     spec=""
@@ -171,6 +222,7 @@ for arg in "$@"; do
     --asan) RUN_ASAN=1 ;;
     lint) MODE="lint" ;;
     fuzz) MODE="fuzz" ;;
+    server) MODE="server" ;;
     faults) MODE="faults" ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -183,6 +235,7 @@ case "$MODE" in
     ;;
   lint) run_lint ;;
   fuzz) run_fuzz ;;
+  server) run_server ;;
   faults) run_faults ;;
 esac
 

@@ -1,0 +1,151 @@
+// pcdb_client — one-shot command-line client for pcdbd.
+//
+//   pcdb_client --port N [--host H] --ping
+//   pcdb_client --port N [--host H] --stats
+//   pcdb_client --port N [--host H] --sql "SELECT ..." [--deadline-ms N]
+//               [--max-rows N] [--max-patterns N] [--max-memory N]
+//               [--aware] [--zombies] [--timeout-ms N]
+//
+// Queries print the annotated answer (rows + minimized pattern set) in
+// the same format as the in-process CLI, plus the server-side trailer
+// (cache hit, degraded flag, timings). Remote errors are printed with
+// the exact status code and message the in-process evaluation would
+// produce, and exit with code 1.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/client.h"
+
+namespace {
+
+bool ParseUint(int argc, char** argv, int* i, const char* flag,
+               uint64_t* out) {
+  const char* arg = argv[*i];
+  size_t flag_len = std::strlen(flag);
+  if (std::strncmp(arg, flag, flag_len) == 0 && arg[flag_len] == '=') {
+    *out = std::strtoull(arg + flag_len + 1, nullptr, 10);
+    return true;
+  }
+  if (std::strcmp(arg, flag) == 0 && *i + 1 < argc) {
+    *out = std::strtoull(argv[*i + 1], nullptr, 10);
+    ++*i;
+    return true;
+  }
+  return false;
+}
+
+bool ParseString(int argc, char** argv, int* i, const char* flag,
+                 std::string* out) {
+  const char* arg = argv[*i];
+  size_t flag_len = std::strlen(flag);
+  if (std::strncmp(arg, flag, flag_len) == 0 && arg[flag_len] == '=') {
+    *out = arg + flag_len + 1;
+    return true;
+  }
+  if (std::strcmp(arg, flag) == 0 && *i + 1 < argc) {
+    *out = argv[*i + 1];
+    ++*i;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint64_t port = 0;
+  bool ping = false;
+  bool stats = false;
+  std::string sql;
+  pcdb::ClientOptions conn_options;
+  pcdb::ClientQueryOptions query_options;
+  for (int i = 1; i < argc; ++i) {
+    uint64_t n = 0;
+    if (ParseString(argc, argv, &i, "--host", &host)) {
+    } else if (ParseUint(argc, argv, &i, "--port", &port)) {
+    } else if (ParseString(argc, argv, &i, "--sql", &sql)) {
+    } else if (ParseUint(argc, argv, &i, "--deadline-ms", &n)) {
+      query_options.deadline_millis = static_cast<uint32_t>(n);
+    } else if (ParseUint(argc, argv, &i, "--max-rows", &n)) {
+      query_options.max_rows = n;
+    } else if (ParseUint(argc, argv, &i, "--max-patterns", &n)) {
+      query_options.max_patterns = n;
+    } else if (ParseUint(argc, argv, &i, "--max-memory", &n)) {
+      query_options.max_memory_bytes = n;
+    } else if (ParseUint(argc, argv, &i, "--timeout-ms", &n)) {
+      conn_options.recv_timeout_millis = static_cast<int>(n);
+    } else if (std::strcmp(argv[i], "--aware") == 0) {
+      query_options.instance_aware = true;
+    } else if (std::strcmp(argv[i], "--zombies") == 0) {
+      query_options.zombies = true;
+    } else if (std::strcmp(argv[i], "--ping") == 0) {
+      ping = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: pcdb_client --port N [--host H]\n"
+          "                   (--ping | --stats | --sql \"SELECT ...\")\n"
+          "                   [--deadline-ms N] [--max-rows N]\n"
+          "                   [--max-patterns N] [--max-memory N]\n"
+          "                   [--aware] [--zombies] [--timeout-ms N]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "pcdb_client: unknown flag %s (see --help)\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  if (port == 0 || (!ping && !stats && sql.empty())) {
+    std::fprintf(stderr,
+                 "pcdb_client: need --port and one of --ping, --stats, "
+                 "--sql (see --help)\n");
+    return 2;
+  }
+
+  auto client = pcdb::Client::Connect(host, static_cast<uint16_t>(port),
+                                      conn_options);
+  if (!client.ok()) {
+    std::fprintf(stderr, "pcdb_client: connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (ping) {
+    pcdb::Status status = client->Ping();
+    if (!status.ok()) {
+      std::fprintf(stderr, "pcdb_client: ping: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+
+  if (stats) {
+    auto json = client->Stats();
+    if (!json.ok()) {
+      std::fprintf(stderr, "pcdb_client: stats: %s\n",
+                   json.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", json->c_str());
+    return 0;
+  }
+
+  auto answer = client->Query(sql, query_options);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "pcdb_client: query: %s\n",
+                 answer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", answer->table.ToString().c_str());
+  std::printf("-- cache_hit=%d degraded=%d data_ms=%.3f pattern_ms=%.3f\n",
+              answer->done.cache_hit ? 1 : 0, answer->done.degraded ? 1 : 0,
+              answer->done.data_millis, answer->done.pattern_millis);
+  return 0;
+}

@@ -30,6 +30,14 @@ Rules
                       reporting).  Library code reports failures as
                       Status so injected faults, deadlines, and budget
                       trips can never terminate the process.
+ 6. raw-socket        Berkeley socket / poll syscalls (socket, bind,
+                      listen, accept, connect, send, recv, setsockopt,
+                      poll, shutdown, ...) may appear only in
+                      src/server/net_*.  Everything else — including the
+                      server loop, clients, tools, and tests — goes
+                      through the Socket/Listener wrappers so EINTR
+                      handling, timeouts, and the server.* failpoints
+                      live in exactly one place.
 
 Exit status is 0 when clean, 1 when any rule fires.
 """
@@ -41,7 +49,7 @@ import sys
 
 SRC_SUBDIRS = ("src",)
 EXTRA_SUBDIRS = ("tests", "bench", "examples", "fuzz", "tools")
-CXX_SUFFIXES = {".h", ".cc"}
+CXX_SUFFIXES = {".h", ".cc", ".cpp"}
 
 # Layer -> layers it may include (itself always allowed).
 LAYER_DEPS = {
@@ -50,6 +58,7 @@ LAYER_DEPS = {
     "pattern": {"common", "relational"},
     "sql": {"common", "relational", "pattern"},
     "workloads": {"common", "relational", "pattern"},
+    "server": {"common", "relational", "pattern", "sql"},
 }
 
 NAKED_MUTEX_RE = re.compile(
@@ -62,6 +71,15 @@ SETCELL_CALL_RE = re.compile(r"[.>]\s*SetCell\s*\(")
 INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"')
 
 ABORT_RE = re.compile(r"\b(?:std::)?(?:abort|exit|_Exit|quick_exit)\s*\(")
+
+# Raw Berkeley socket / poll syscalls.  The leading lookbehinds reject
+# member calls (.send(, ->recv(), identifiers (my_bind(), and std::bind,
+# while still matching globally-qualified ::socket( forms.
+RAW_SOCKET_RE = re.compile(
+    r"(?<![A-Za-z0-9_.>])(?<!std::)"
+    r"(?:socket|bind|listen|accept4?|connect|send|sendto|recv|recvfrom|"
+    r"setsockopt|getsockopt|getsockname|getpeername|"
+    r"poll|epoll_create1|epoll_ctl|epoll_wait|shutdown)\s*\(")
 
 MUTEX_ALLOWED = {"src/common/thread_annotations.h"}
 THREAD_ALLOWED = {"src/common/thread_pool.h", "src/common/thread_pool.cc"}
@@ -126,6 +144,12 @@ def lint_file(rel, text, problems):
                  "return a Status instead of terminating; only "
                  "common/logging.h (PCDB_CHECK) and fuzz/fuzz_util.h may "
                  "abort the process"))
+        if (not rel.startswith("src/server/net_")
+                and RAW_SOCKET_RE.search(code)):
+            problems.append(
+                (rel, lineno, "raw-socket",
+                 "raw socket/poll syscalls are confined to "
+                 "src/server/net_*; use the Socket/Listener wrappers"))
         if not in_pattern_layer and SETCELL_CALL_RE.search(code):
             problems.append(
                 (rel, lineno, "pattern-mutation",

@@ -1,0 +1,226 @@
+// pcdb_loadgen — closed-loop load generator for pcdbd.
+//
+//   pcdb_loadgen --port N [--host H] [--connections C] [--requests R]
+//                [--sql "SELECT ..."] [--deadline-ms N] [--aware]
+//                [--zombies] [--no-warmup]
+//
+// Opens C concurrent connections, each issuing its share of R requests
+// back-to-back (closed loop: the next request is sent only after the
+// previous answer fully arrived), and reports client-observed latency
+// percentiles, throughput, errors and cache hits. One machine-readable
+//   {"bench":"pcdbd_loadgen",...}
+// line goes to stdout for tools/bench_record.sh; the methodology is
+// documented in EXPERIMENTS.md.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "server/client.h"
+
+namespace {
+
+bool ParseUint(int argc, char** argv, int* i, const char* flag,
+               uint64_t* out) {
+  const char* arg = argv[*i];
+  size_t flag_len = std::strlen(flag);
+  if (std::strncmp(arg, flag, flag_len) == 0 && arg[flag_len] == '=') {
+    *out = std::strtoull(arg + flag_len + 1, nullptr, 10);
+    return true;
+  }
+  if (std::strcmp(arg, flag) == 0 && *i + 1 < argc) {
+    *out = std::strtoull(argv[*i + 1], nullptr, 10);
+    ++*i;
+    return true;
+  }
+  return false;
+}
+
+bool ParseString(int argc, char** argv, int* i, const char* flag,
+                 std::string* out) {
+  const char* arg = argv[*i];
+  size_t flag_len = std::strlen(flag);
+  if (std::strncmp(arg, flag, flag_len) == 0 && arg[flag_len] == '=') {
+    *out = arg + flag_len + 1;
+    return true;
+  }
+  if (std::strcmp(arg, flag) == 0 && *i + 1 < argc) {
+    *out = argv[*i + 1];
+    ++*i;
+    return true;
+  }
+  return false;
+}
+
+// q-quantile of an unsorted sample (0 <= q <= 1); empty -> 0.
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  double idx = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+struct WorkerResult {
+  std::vector<double> latencies_ms;
+  uint64_t errors = 0;
+  uint64_t cache_hits = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint64_t port = 0;
+  uint64_t connections = 8;
+  uint64_t requests = 200;
+  // The paper's running example Q_hw (warnings on hardware-maintained
+  // elements in week 2) — a 3-way join exercising both the data and the
+  // pattern-reasoning paths.
+  std::string sql =
+      "SELECT * FROM Warnings W JOIN Maintenance M ON W.ID=M.ID "
+      "JOIN Teams T ON M.responsible=T.name "
+      "WHERE W.week=2 AND T.specialization='hardware'";
+  bool warmup = true;
+  pcdb::ClientQueryOptions query_options;
+  for (int i = 1; i < argc; ++i) {
+    uint64_t n = 0;
+    if (ParseString(argc, argv, &i, "--host", &host)) {
+    } else if (ParseUint(argc, argv, &i, "--port", &port)) {
+    } else if (ParseUint(argc, argv, &i, "--connections", &connections)) {
+    } else if (ParseUint(argc, argv, &i, "--requests", &requests)) {
+    } else if (ParseString(argc, argv, &i, "--sql", &sql)) {
+    } else if (ParseUint(argc, argv, &i, "--deadline-ms", &n)) {
+      query_options.deadline_millis = static_cast<uint32_t>(n);
+    } else if (std::strcmp(argv[i], "--aware") == 0) {
+      query_options.instance_aware = true;
+    } else if (std::strcmp(argv[i], "--zombies") == 0) {
+      query_options.zombies = true;
+    } else if (std::strcmp(argv[i], "--no-warmup") == 0) {
+      warmup = false;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: pcdb_loadgen --port N [--host H] [--connections C]\n"
+          "                    [--requests R] [--sql \"SELECT ...\"]\n"
+          "                    [--deadline-ms N] [--aware] [--zombies]\n"
+          "                    [--no-warmup]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "pcdb_loadgen: unknown flag %s (see --help)\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "pcdb_loadgen: need --port (see --help)\n");
+    return 2;
+  }
+  if (connections == 0) connections = 1;
+  if (requests < connections) requests = connections;
+
+  std::printf("pcdb_loadgen: %llu requests over %llu connections to %s:%llu\n",
+              static_cast<unsigned long long>(requests),
+              static_cast<unsigned long long>(connections), host.c_str(),
+              static_cast<unsigned long long>(port));
+  std::printf("pcdb_loadgen: sql: %s\n", sql.c_str());
+
+  // One warmup query populates the answer cache so the measured run
+  // reports steady-state serving latency (see EXPERIMENTS.md; disable
+  // with --no-warmup to measure the cold path).
+  if (warmup) {
+    auto probe = pcdb::Client::Connect(host, static_cast<uint16_t>(port));
+    if (!probe.ok()) {
+      std::fprintf(stderr, "pcdb_loadgen: connect: %s\n",
+                   probe.status().ToString().c_str());
+      return 1;
+    }
+    auto answer = probe->Query(sql, query_options);
+    if (!answer.ok()) {
+      std::fprintf(stderr, "pcdb_loadgen: warmup query: %s\n",
+                   answer.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  const size_t num_workers = static_cast<size_t>(connections);
+  std::vector<WorkerResult> results(num_workers);
+  const auto wall_start = std::chrono::steady_clock::now();
+  {
+    pcdb::ThreadPool pool(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      // Worker w issues requests w, w+C, w+2C, ... so the total is
+      // exactly `requests` even when C does not divide it.
+      pool.Submit([w, num_workers, requests, &host, port, &sql,
+                   &query_options, &results] {
+        WorkerResult& result = results[w];
+        auto client =
+            pcdb::Client::Connect(host, static_cast<uint16_t>(port));
+        if (!client.ok()) {
+          for (uint64_t r = w; r < requests; r += num_workers) {
+            ++result.errors;
+          }
+          return;
+        }
+        for (uint64_t r = w; r < requests; r += num_workers) {
+          const auto start = std::chrono::steady_clock::now();
+          auto answer = client->Query(sql, query_options);
+          const auto stop = std::chrono::steady_clock::now();
+          if (!answer.ok()) {
+            ++result.errors;
+            continue;
+          }
+          if (answer->done.cache_hit) ++result.cache_hits;
+          result.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(stop - start)
+                  .count());
+        }
+      });
+    }
+    pool.Wait();
+  }
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+
+  std::vector<double> latencies;
+  uint64_t errors = 0;
+  uint64_t cache_hits = 0;
+  for (const WorkerResult& result : results) {
+    latencies.insert(latencies.end(), result.latencies_ms.begin(),
+                     result.latencies_ms.end());
+    errors += result.errors;
+    cache_hits += result.cache_hits;
+  }
+  const size_t ok = latencies.size();
+  const double p50 = Quantile(latencies, 0.5);
+  const double p95 = Quantile(latencies, 0.95);
+  const double p99 = Quantile(latencies, 0.99);
+  const double qps = wall_ms > 0 ? 1000.0 * static_cast<double>(ok) / wall_ms
+                                 : 0;
+
+  std::printf("pcdb_loadgen: %zu ok, %llu errors, %llu cache hits\n", ok,
+              static_cast<unsigned long long>(errors),
+              static_cast<unsigned long long>(cache_hits));
+  std::printf(
+      "pcdb_loadgen: p50=%.3fms p95=%.3fms p99=%.3fms qps=%.1f wall=%.1fms\n",
+      p50, p95, p99, qps, wall_ms);
+
+  char extra[256];
+  std::snprintf(extra, sizeof(extra),
+                ",\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"qps\":%.1f,"
+                "\"errors\":%llu,\"cache_hits\":%llu",
+                p95, p99, qps, static_cast<unsigned long long>(errors),
+                static_cast<unsigned long long>(cache_hits));
+  std::printf(
+      "{\"bench\":\"pcdbd_loadgen\",\"method\":\"closed_loop\",\"n\":%zu,"
+      "\"threads\":%zu,\"median_ms\":%.3f%s}\n",
+      ok, num_workers, p50, extra);
+  return errors > 0 ? 1 : 0;
+}

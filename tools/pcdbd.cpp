@@ -1,0 +1,134 @@
+// pcdbd — the pcdb query-serving daemon.
+//
+// Serves the paper's maintenance example database (src/workloads) over
+// the wire protocol documented in docs/SERVER.md: concurrent clients,
+// per-request deadlines/budgets, an answer cache, and admission control.
+//
+//   pcdbd [--port N] [--host H] [--eval-threads N] [--max-inflight N]
+//         [--max-queue N] [--max-connections N] [--cache-mb N]
+//         [--no-cache] [--rows-per-batch N] [--metrics-dump]
+//
+// With --port 0 (the default) an ephemeral port is bound; the single
+// line "pcdbd listening on HOST:PORT" on stdout announces it (tools/
+// ci.sh parses that line). SIGINT/SIGTERM shut down gracefully:
+// in-flight queries are cancelled cooperatively and the process exits 0.
+// --metrics-dump prints the final metrics/cache JSON on shutdown.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "server/server.h"
+#include "workloads/maintenance_example.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int /*signum*/) { g_stop = 1; }
+
+// --flag=V or --flag V; returns true and advances *i on a match.
+bool ParseUint(int argc, char** argv, int* i, const char* flag,
+               uint64_t* out) {
+  const char* arg = argv[*i];
+  size_t flag_len = std::strlen(flag);
+  if (std::strncmp(arg, flag, flag_len) == 0 && arg[flag_len] == '=') {
+    *out = std::strtoull(arg + flag_len + 1, nullptr, 10);
+    return true;
+  }
+  if (std::strcmp(arg, flag) == 0 && *i + 1 < argc) {
+    *out = std::strtoull(argv[*i + 1], nullptr, 10);
+    ++*i;
+    return true;
+  }
+  return false;
+}
+
+bool ParseString(int argc, char** argv, int* i, const char* flag,
+                 std::string* out) {
+  const char* arg = argv[*i];
+  size_t flag_len = std::strlen(flag);
+  if (std::strncmp(arg, flag, flag_len) == 0 && arg[flag_len] == '=') {
+    *out = arg + flag_len + 1;
+    return true;
+  }
+  if (std::strcmp(arg, flag) == 0 && *i + 1 < argc) {
+    *out = argv[*i + 1];
+    ++*i;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pcdb::ServerOptions options;
+  bool metrics_dump = false;
+  for (int i = 1; i < argc; ++i) {
+    uint64_t n = 0;
+    std::string s;
+    if (ParseString(argc, argv, &i, "--host", &s)) {
+      options.host = s;
+    } else if (ParseUint(argc, argv, &i, "--port", &n)) {
+      options.port = static_cast<uint16_t>(n);
+    } else if (ParseUint(argc, argv, &i, "--eval-threads", &n)) {
+      options.eval_threads = n;
+    } else if (ParseUint(argc, argv, &i, "--eval-threads-per-query", &n)) {
+      options.eval_threads_per_query = n;
+    } else if (ParseUint(argc, argv, &i, "--max-inflight", &n)) {
+      options.max_inflight = n;
+    } else if (ParseUint(argc, argv, &i, "--max-queue", &n)) {
+      options.max_queued_per_connection = n;
+    } else if (ParseUint(argc, argv, &i, "--max-connections", &n)) {
+      options.max_connections = n;
+    } else if (ParseUint(argc, argv, &i, "--cache-mb", &n)) {
+      options.cache.max_bytes = static_cast<size_t>(n) << 20;
+    } else if (ParseUint(argc, argv, &i, "--rows-per-batch", &n)) {
+      options.rows_per_batch = n;
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      options.enable_cache = false;
+    } else if (std::strcmp(argv[i], "--metrics-dump") == 0) {
+      metrics_dump = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: pcdbd [--port N] [--host H] [--eval-threads N]\n"
+          "             [--max-inflight N] [--max-queue N]\n"
+          "             [--max-connections N] [--cache-mb N] [--no-cache]\n"
+          "             [--rows-per-batch N] [--metrics-dump]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "pcdbd: unknown flag %s (see --help)\n", argv[i]);
+      return 2;
+    }
+  }
+
+  pcdb::Server server(pcdb::MakeMaintenanceDatabase(), options);
+  pcdb::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "pcdbd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::printf("pcdbd listening on %s:%u\n", options.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::fprintf(stderr, "pcdbd: shutting down\n");
+  server.Stop();
+  if (metrics_dump) {
+    std::printf("%s\n", server.StatsJson().c_str());
+  }
+  return 0;
+}
