@@ -136,7 +136,23 @@ std::string AnswerCache::NormalizeSql(const std::string& sql) {
   std::string out;
   out.reserve(sql.size());
   bool pending_space = false;
-  for (char c : sql) {
+  bool in_literal = false;
+  for (size_t i = 0; i < sql.size(); ++i) {
+    const char c = sql[i];
+    if (in_literal) {
+      // Whitespace inside a '...' literal is part of the query's value
+      // (lexer.cc), so it must stay part of the key byte-for-byte.
+      out.push_back(c);
+      if (c == '\'') {
+        if (i + 1 < sql.size() && sql[i + 1] == '\'') {
+          out.push_back('\'');  // '' escape: still inside the literal
+          ++i;
+        } else {
+          in_literal = false;
+        }
+      }
+      continue;
+    }
     if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
       if (!out.empty()) pending_space = true;
       continue;
@@ -145,9 +161,13 @@ std::string AnswerCache::NormalizeSql(const std::string& sql) {
       out.push_back(' ');
       pending_space = false;
     }
+    if (c == '\'') in_literal = true;
     out.push_back(c);
   }
-  while (!out.empty() && (out.back() == ';' || out.back() == ' ')) {
+  // An unterminated literal never parses, so it never reaches the cache;
+  // guarding here just keeps the transform well-defined on any input.
+  while (!out.empty() && !in_literal &&
+         (out.back() == ';' || out.back() == ' ')) {
     out.pop_back();
   }
   return out;

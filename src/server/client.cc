@@ -35,6 +35,8 @@ Result<uint64_t> Client::SendQuery(const std::string& sql,
   return request_id;
 }
 
+Status Client::FinishSending() { return sock_.ShutdownWrite(); }
+
 Status Client::Cancel(uint64_t request_id) {
   std::string wire;
   AppendFrame(&wire, FrameType::kCancel, request_id,

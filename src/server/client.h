@@ -69,6 +69,12 @@ class Client {
   Result<uint64_t> SendQuery(const std::string& sql,
                              const ClientQueryOptions& options = {});
 
+  /// Half-closes the connection (shutdown(SHUT_WR)): tells the server
+  /// no more requests are coming. Answers to already-sent (pipelined)
+  /// queries still arrive — the server drains what it owes, then
+  /// closes. No further Send* calls are valid after this.
+  Status FinishSending();
+
   /// Requests cancellation of an in-flight query. No acknowledgement:
   /// the query itself answers (usually with a kCancelled error).
   Status Cancel(uint64_t request_id);

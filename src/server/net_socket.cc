@@ -72,6 +72,13 @@ Status Socket::SetNoDelay(bool no_delay) {
   return Status::OK();
 }
 
+Status Socket::ShutdownWrite() {
+  if (::shutdown(fd_, SHUT_WR) < 0) {
+    return ErrnoStatus("shutdown(SHUT_WR)", errno);
+  }
+  return Status::OK();
+}
+
 Result<IoResult> Socket::Recv(void* buf, size_t len) {
   PCDB_FAILPOINT("server.read");
   // Behavioural short-read fault: while armed, hand the decoder one byte

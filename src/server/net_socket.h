@@ -58,6 +58,11 @@ class Socket {
   /// Disables Nagle (TCP_NODELAY) — the protocol writes whole frames.
   Status SetNoDelay(bool no_delay);
 
+  /// Half-close: shutdown(SHUT_WR). The peer sees EOF but this end can
+  /// still read — how a client signals "no more requests" while waiting
+  /// for the answers it is owed.
+  Status ShutdownWrite();
+
   /// Reads up to `len` bytes. EINTR is retried; EAGAIN/EWOULDBLOCK is
   /// reported as would_block, a peer close as eof. A timed-out blocking
   /// read surfaces as Status kTimeout.

@@ -1,5 +1,6 @@
 #include "server/protocol.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -503,20 +504,72 @@ std::string EncodedAnswer::CanonicalBytes() const {
   return out;
 }
 
+namespace {
+
+/// Exact encoded size of one value, mirroring AppendValue.
+size_t EncodedValueBytes(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 1 + 8;
+    case ValueType::kString:
+      return 1 + 4 + v.str().size();
+  }
+  return 1;
+}
+
+size_t EncodedRowBytes(const Table& table, size_t r) {
+  size_t bytes = 0;
+  for (const Value& v : table.row(r)) bytes += EncodedValueBytes(v);
+  return bytes;
+}
+
+}  // namespace
+
 EncodedAnswer EncodeAnswer(const AnnotatedTable& answer,
-                           size_t rows_per_batch) {
+                           size_t rows_per_batch, size_t max_batch_bytes) {
   if (rows_per_batch == 0) rows_per_batch = 1;
+  if (max_batch_bytes == 0) max_batch_bytes = kMaxFramePayloadBytes;
   EncodedAnswer encoded;
   encoded.schema = EncodeSchemaPayload(answer.data.schema());
   const size_t num_rows = answer.data.num_rows();
-  for (size_t begin = 0; begin < num_rows; begin += rows_per_batch) {
-    const size_t end = std::min(begin + rows_per_batch, num_rows);
+  size_t begin = 0;
+  while (begin < num_rows) {
+    // Close the batch at rows_per_batch rows OR when the next row would
+    // push the payload past max_batch_bytes — whichever comes first — so
+    // wide rows can't assemble a frame the peer's FrameReader rejects.
+    // A single row wider than the cap still becomes its own (oversized)
+    // batch; CheckEncodedFrameSizes catches that before it hits a wire.
+    size_t end = begin;
+    size_t bytes = 4;  // the row-count prefix
+    while (end < num_rows && end - begin < rows_per_batch) {
+      const size_t row_bytes = EncodedRowBytes(answer.data, end);
+      if (end > begin && bytes + row_bytes > max_batch_bytes) break;
+      bytes += row_bytes;
+      ++end;
+    }
     encoded.row_batches.push_back(
         EncodeRowBatchPayload(answer.data, begin, end));
+    begin = end;
   }
   encoded.patterns = EncodePatternsPayload(answer.patterns);
   encoded.degraded = answer.degraded;
   return encoded;
+}
+
+Status CheckEncodedFrameSizes(const EncodedAnswer& encoded) {
+  size_t worst = std::max(encoded.schema.size(), encoded.patterns.size());
+  for (const std::string& batch : encoded.row_batches) {
+    worst = std::max(worst, batch.size());
+  }
+  if (worst > kMaxFramePayloadBytes) {
+    return Status::ResourceExhausted(
+        "answer payload of " + std::to_string(worst) +
+        " bytes exceeds the protocol frame limit of " +
+        std::to_string(kMaxFramePayloadBytes) +
+        " bytes; narrow the query or set max_rows/max_patterns budgets");
+  }
+  return Status::OK();
 }
 
 Result<AnnotatedTable> DecodeAnswer(const EncodedAnswer& encoded) {

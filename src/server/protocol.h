@@ -194,11 +194,22 @@ struct EncodedAnswer {
   std::string CanonicalBytes() const;
 };
 
-/// Serializes an annotated answer. Rows are split into batches of
-/// `rows_per_batch` (the last batch may be short; an empty table yields
-/// no row batches).
+/// Serializes an annotated answer. Rows are split into batches of at
+/// most `rows_per_batch` rows AND at most `max_batch_bytes` payload
+/// bytes (so batches of wide rows never exceed the frame limit; the
+/// last batch may be short; an empty table yields no row batches). A
+/// single row wider than `max_batch_bytes` still becomes one oversized
+/// batch — CheckEncodedFrameSizes detects that case.
 EncodedAnswer EncodeAnswer(const AnnotatedTable& answer,
-                           size_t rows_per_batch = 256);
+                           size_t rows_per_batch = 256,
+                           size_t max_batch_bytes = kMaxFramePayloadBytes);
+
+/// Verifies every payload of `encoded` fits in one protocol frame
+/// (kMaxFramePayloadBytes); kResourceExhausted otherwise. The server
+/// runs this before framing an answer: a too-large schema, row batch
+/// (single enormous row), or pattern payload becomes an explicit wire
+/// error instead of a frame the peer rejects as stream corruption.
+Status CheckEncodedFrameSizes(const EncodedAnswer& encoded);
 
 /// Exact inverse of EncodeAnswer.
 Result<AnnotatedTable> DecodeAnswer(const EncodedAnswer& encoded);

@@ -33,8 +33,12 @@ struct Server::Conn {
   std::deque<std::pair<uint64_t, QueryRequest>> queued;
   /// Cancellation tokens of this connection's in-flight queries.
   std::map<uint64_t, std::shared_ptr<CancellationToken>> tokens;
-  /// Flush remaining output, then close.
+  /// No more input will arrive or be processed; answer everything
+  /// already admitted, flush the output, then close.
   bool closing = false;
+  /// Stop decoding buffered input (the stream is off-protocol). Unlike
+  /// plain `closing` (client EOF), buffered frames must NOT be drained.
+  bool drop_input = false;
   /// Remove immediately (I/O error or injected fault).
   bool dead = false;
 
@@ -63,6 +67,7 @@ Server::Server(AnnotatedDatabase db, ServerOptions options)
   c_cancelled_ = metrics_.GetCounter("cancelled_total");
   c_timeouts_ = metrics_.GetCounter("timeouts_total");
   c_connections_ = metrics_.GetCounter("connections_total");
+  c_conn_rejected_ = metrics_.GetCounter("connections_rejected");
   c_conn_faults_ = metrics_.GetCounter("connection_faults");
   c_protocol_errors_ = metrics_.GetCounter("protocol_errors");
   c_eval_task_faults_ = metrics_.GetCounter("eval_task_faults");
@@ -81,6 +86,9 @@ Status Server::Start() {
   PCDB_ASSIGN_OR_RETURN(listener_,
                         Listener::BindAndListen(options_.host, options_.port));
   PCDB_ASSIGN_OR_RETURN(wake_, WakePipe::Create());
+  // Clear the previous Stop()'s request so a restarted loop runs; the
+  // old pools (if any) already drained in Stop() and are replaced below.
+  stop_requested_.store(false, std::memory_order_release);
   // Eval pool floor of 2: a 1-thread ThreadPool runs tasks inline in the
   // submitter — the event loop — which would block frame processing for
   // the duration of a query and make mid-query CANCEL impossible.
@@ -115,6 +123,12 @@ void Server::Stop() {
     eval_pool_->Wait();
     Status pool_status = eval_pool_->ConsumeStatus();
     if (!pool_status.ok()) c_eval_task_faults_->Increment();
+  }
+  {
+    // Everything is quiescent; allow a fresh Start() (rebinds the
+    // listener, possibly on a different ephemeral port).
+    MutexLock lock(&state_mu_);
+    started_ = false;
   }
 }
 
@@ -175,13 +189,11 @@ void Server::RunLoop() {
     std::vector<uint64_t> item_conn;  // parallel to items; 0 = not a conn
     items.push_back(PollItem{wake_.read_fd(), true, false});
     item_conn.push_back(0);
-    const bool accepting = state.conns.size() < options_.max_connections;
-    size_t listener_index = 0;
-    if (accepting) {
-      listener_index = items.size();
-      items.push_back(PollItem{listener_.fd(), true, false});
-      item_conn.push_back(0);
-    }
+    // The listener is always polled — at the connection cap, surplus
+    // accepts are rejected (closed) rather than left in the backlog.
+    const size_t listener_index = items.size();
+    items.push_back(PollItem{listener_.fd(), true, false});
+    item_conn.push_back(0);
     for (const auto& [id, conn] : state.conns) {
       items.push_back(PollItem{conn->sock.fd(), !conn->closing,
                                conn->HasPendingOutput()});
@@ -198,7 +210,7 @@ void Server::RunLoop() {
     Status pool_status = eval_pool_->ConsumeStatus();
     if (!pool_status.ok()) c_eval_task_faults_->Increment();
 
-    if (accepting && items[listener_index].readable) {
+    if (items[listener_index].readable) {
       AcceptNewConnections(&state);
     }
 
@@ -215,13 +227,18 @@ void Server::RunLoop() {
       if (items[i].writable && !conn->dead) FlushWrites(conn);
     }
 
-    // Reap connections: dead ones now, closing ones once flushed.
+    // Reap connections: dead ones now; closing ones only once every
+    // admitted query has been answered (no in-flight tokens, nothing
+    // queued) AND the answers are flushed — the "flush what we owe"
+    // contract for clients that half-close and wait for their answers.
     for (auto it = state.conns.begin(); it != state.conns.end();) {
       Conn* conn = it->second.get();
-      if (conn->dead || (conn->closing && !conn->HasPendingOutput())) {
-        // In-flight queries of this connection are orphaned: cancel so
-        // the workers stop early; their completions are dropped when
-        // the conn id no longer resolves.
+      const bool drained = conn->closing && !conn->HasPendingOutput() &&
+                           conn->tokens.empty() && conn->queued.empty();
+      if (conn->dead || drained) {
+        // In-flight queries of a dead connection are orphaned: cancel
+        // so the workers stop early; their completions are dropped when
+        // the conn id no longer resolves. (Drained conns have none.)
         for (auto& [rid, token] : conn->tokens) token->Cancel();
         it = state.conns.erase(it);
         g_connections_->Add(-1);
@@ -247,13 +264,19 @@ void Server::AcceptNewConnections(LoopState* state) {
   // The try/catch confines an injected accept fault (throw action on
   // server.accept) to this accept round: the listener stays up.
   try {
-    while (state->conns.size() < options_.max_connections) {
+    for (;;) {
       Result<Listener::AcceptResult> accepted = listener_.Accept();
       if (!accepted.ok()) {
         c_conn_faults_->Increment();
         return;
       }
       if (accepted->would_block) return;
+      if (state->conns.size() >= options_.max_connections) {
+        // At the cap: reject by immediate close (the Socket destructor)
+        // so the client sees EOF instead of hanging in the backlog.
+        c_conn_rejected_->Increment();
+        continue;
+      }
       auto conn = std::make_unique<Conn>();
       conn->id = state->next_conn_id++;
       conn->sock = std::move(accepted->socket);
@@ -298,11 +321,14 @@ void Server::HandleReadable(LoopState* state, Conn* conn) {
         AppendFrame(&conn->outbuf, FrameType::kError, 0,
                     EncodeErrorPayload(decoded.status()));
         conn->closing = true;
+        conn->drop_input = true;
         break;
       }
       if (!*decoded) break;
       HandleFrame(state, conn, std::move(frame));
-      if (conn->dead || conn->closing) break;
+      // A client EOF (`closing` alone) does not stop the drain: frames
+      // pipelined before the half-close still get answered.
+      if (conn->dead || conn->drop_input) break;
     }
     FlushWrites(conn);
   } catch (...) {
@@ -364,6 +390,7 @@ void Server::HandleFrame(LoopState* state, Conn* conn, Frame frame) {
                   EncodeErrorPayload(Status::InvalidArgument(
                       "unexpected frame type from client")));
       conn->closing = true;
+      conn->drop_input = true;
       return;
   }
 }
@@ -464,14 +491,22 @@ void Server::RunQueryJob(uint64_t conn_id, uint64_t request_id,
         } else {
           auto encoded = std::make_shared<EncodedAnswer>(
               EncodeAnswer(*answer, options_.rows_per_batch));
-          if (options_.enable_cache) {
-            cache_.Put(key, std::move(tables), encoded);
+          Status fits = CheckEncodedFrameSizes(*encoded);
+          if (!fits.ok()) {
+            // Sending an over-limit frame would be rejected by the
+            // client's FrameReader as stream corruption, killing the
+            // connection; an explicit error keeps it usable.
+            comp.status = std::move(fits);
+          } else {
+            if (options_.enable_cache) {
+              cache_.Put(key, std::move(tables), encoded);
+            }
+            comp.answer = std::move(encoded);
+            comp.done.degraded = answer->degraded;
+            comp.done.cache_hit = false;
+            comp.done.data_millis = info.data_millis;
+            comp.done.pattern_millis = info.pattern_millis;
           }
-          comp.answer = std::move(encoded);
-          comp.done.degraded = answer->degraded;
-          comp.done.cache_hit = false;
-          comp.done.data_millis = info.data_millis;
-          comp.done.pattern_millis = info.pattern_millis;
         }
       }
     }
@@ -547,7 +582,9 @@ void Server::ProcessCompletions(LoopState* state) {
     auto it = state->conns.find(conn_id);
     if (it == state->conns.end()) continue;
     Conn* conn = it->second.get();
-    if (conn->queued.empty() || conn->dead || conn->closing) continue;
+    // `closing` conns keep their slot in line: their queued queries were
+    // admitted before the half-close and are still owed an answer.
+    if (conn->queued.empty() || conn->dead) continue;
     auto [request_id, request] = std::move(conn->queued.front());
     conn->queued.pop_front();
     DispatchQuery(state, conn, request_id, std::move(request));

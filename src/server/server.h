@@ -59,7 +59,9 @@ struct ServerOptions {
   size_t max_inflight = 4;
   /// Admission: queries waiting per connection before shedding starts.
   size_t max_queued_per_connection = 8;
-  /// Connection cap; accepts beyond it are closed immediately.
+  /// Connection cap. Surplus connections are accepted and immediately
+  /// closed (the client sees EOF, counted as `connections_rejected`)
+  /// rather than left hanging in the kernel backlog.
   size_t max_connections = 256;
   /// Answer cache sizing; `enable_cache = false` disables caching.
   AnswerCache::Options cache;
@@ -83,6 +85,9 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Binds the listener and starts the event loop and eval pool.
+  /// A stopped server may be started again (the listener is rebound,
+  /// so with port 0 the new port may differ); metrics and cache
+  /// contents carry over across restarts.
   Status Start();
 
   /// Requests shutdown, cancels in-flight queries cooperatively, and
@@ -142,6 +147,7 @@ class Server {
   Counter* c_cancelled_ = nullptr;
   Counter* c_timeouts_ = nullptr;
   Counter* c_connections_ = nullptr;
+  Counter* c_conn_rejected_ = nullptr;
   Counter* c_conn_faults_ = nullptr;
   Counter* c_protocol_errors_ = nullptr;
   Counter* c_eval_task_faults_ = nullptr;

@@ -132,5 +132,28 @@ TEST(AnswerCacheKeyTest, NormalizeSqlCollapsesIncidentalFormatting) {
             AnswerCache::NormalizeSql("select * from t"));
 }
 
+TEST(AnswerCacheKeyTest, NormalizeSqlPreservesStringLiteralsVerbatim) {
+  // Whitespace inside a '...' literal is data, not formatting: these
+  // are different queries and must never share a cache entry.
+  EXPECT_NE(AnswerCache::NormalizeSql("SELECT * FROM t WHERE x='a b'"),
+            AnswerCache::NormalizeSql("SELECT * FROM t WHERE x='a  b'"));
+  EXPECT_EQ(AnswerCache::NormalizeSql("SELECT * FROM t WHERE x='a\n\tb'"),
+            "SELECT * FROM t WHERE x='a\n\tb'");
+  // Formatting around the literal still collapses.
+  EXPECT_EQ(AnswerCache::NormalizeSql("SELECT  *  FROM t WHERE x='a  b' ;"),
+            "SELECT * FROM t WHERE x='a  b'");
+  // The '' escape does not end the literal: the space and semicolon
+  // after it are still inside, and the literal really ends at the
+  // fourth quote.
+  EXPECT_EQ(AnswerCache::NormalizeSql("SELECT 'it''s  ; ok'  FROM  t"),
+            "SELECT 'it''s  ; ok' FROM t");
+  EXPECT_NE(AnswerCache::NormalizeSql("SELECT 'a''  b' FROM t"),
+            AnswerCache::NormalizeSql("SELECT 'a'' b' FROM t"));
+  // A trailing semicolon that is part of a literal survives; one that
+  // is punctuation does not.
+  EXPECT_EQ(AnswerCache::NormalizeSql("SELECT * FROM t WHERE x=';' ;"),
+            "SELECT * FROM t WHERE x=';'");
+}
+
 }  // namespace
 }  // namespace pcdb

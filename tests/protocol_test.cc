@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -279,6 +280,51 @@ TEST(AnswerCodecTest, EmptyAnswerHasNoRowBatches) {
   EXPECT_EQ(decoded->data.num_rows(), 0u);
   EXPECT_EQ(decoded->data.schema().ToString(),
             answer->data.schema().ToString());
+}
+
+TEST(AnswerCodecTest, BatchesAreSplitByBytesAsWellAsRows) {
+  Result<AnnotatedTable> answer = EvalHardwareWarnings();
+  ASSERT_TRUE(answer.ok());
+  const size_t num_rows = answer->data.num_rows();
+  ASSERT_GT(num_rows, 1u);
+
+  // A 1-byte budget can never fit a second row, so every batch holds
+  // exactly one row even though rows_per_batch allows them all.
+  EncodedAnswer tiny = EncodeAnswer(*answer, /*rows_per_batch=*/256,
+                                    /*max_batch_bytes=*/1);
+  EXPECT_EQ(tiny.row_batches.size(), num_rows);
+  Result<AnnotatedTable> decoded = DecodeAnswer(tiny);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->data.ToString(), answer->data.ToString());
+  EXPECT_TRUE(decoded->patterns.SetEquals(answer->patterns));
+
+  // A budget sized to the largest single-row batch: every batch fits it,
+  // and the row-count cap still applies on top.
+  size_t max_single = 0;
+  for (const std::string& b : tiny.row_batches) {
+    max_single = std::max(max_single, b.size());
+  }
+  EncodedAnswer capped = EncodeAnswer(*answer, /*rows_per_batch=*/256,
+                                      /*max_batch_bytes=*/max_single);
+  for (const std::string& b : capped.row_batches) {
+    EXPECT_LE(b.size(), max_single);
+  }
+  Result<AnnotatedTable> capped_decoded = DecodeAnswer(capped);
+  ASSERT_TRUE(capped_decoded.ok());
+  EXPECT_EQ(capped_decoded->data.ToString(), answer->data.ToString());
+}
+
+TEST(AnswerCodecTest, CheckEncodedFrameSizesFlagsOversizePayloads) {
+  Result<AnnotatedTable> answer = EvalHardwareWarnings();
+  ASSERT_TRUE(answer.ok());
+  EncodedAnswer encoded = EncodeAnswer(*answer);
+  EXPECT_TRUE(CheckEncodedFrameSizes(encoded).ok());
+
+  EncodedAnswer oversize;
+  oversize.patterns.resize(kMaxFramePayloadBytes + 1);
+  Status status = CheckEncodedFrameSizes(oversize);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
 }
 
 TEST(AnswerCodecTest, CorruptRowBatchSurfacesAsStatus) {

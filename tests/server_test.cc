@@ -283,6 +283,70 @@ TEST_F(ServerTest, QueuedQueryRunsWhenASlotFrees) {
   EXPECT_EQ(server_->metrics().CounterValue("shed_total"), 0u);
 }
 
+TEST_F(ServerTest, HalfCloseDrainsPipelinedQueriesThenCloses) {
+  ServerOptions options;
+  options.max_inflight = 2;
+  options.max_queued_per_connection = 16;
+  StartServer(options);
+  Client client = ConnectOrDie();
+  // Per-operator latency keeps most of the pipeline queued or in flight
+  // when the half-close reaches the server.
+  Failpoints::Global().Activate("annotated.operator",
+                                FailpointSpec::Sleep(10));
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    Result<uint64_t> id = client.SendQuery(kQhwSql);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  // shutdown(SHUT_WR): the server sees EOF but still owes 8 answers —
+  // it must drain every buffered frame and keep the in-flight and
+  // queued queries alive until their answers are flushed.
+  ASSERT_TRUE(client.FinishSending().ok());
+  const std::string expected = InProcessCanonicalBytes(kQhwSql);
+  for (uint64_t id : ids) {
+    Result<ClientAnswer> answer = client.ReadAnswer(id);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    EXPECT_EQ(answer->canonical_bytes, expected);
+  }
+  EXPECT_EQ(server_->metrics().CounterValue("cancelled_total"), 0u);
+}
+
+TEST_F(ServerTest, RejectsConnectionsBeyondTheCap) {
+  ServerOptions options;
+  options.max_connections = 1;
+  StartServer(options);
+  Client first = ConnectOrDie();
+  ASSERT_TRUE(first.Ping().ok());
+  // A surplus connection is accepted and immediately closed: the
+  // client observes EOF on its next read instead of hanging in the
+  // kernel backlog.
+  Result<Client> surplus = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(surplus.ok()) << surplus.status().ToString();
+  EXPECT_FALSE(surplus->Ping().ok());
+  EXPECT_GE(server_->metrics().CounterValue("connections_rejected"), 1u);
+  // The admitted connection is untouched.
+  EXPECT_TRUE(first.Ping().ok());
+}
+
+TEST_F(ServerTest, RestartAfterStopServesAgain) {
+  StartServer();
+  {
+    Client client = ConnectOrDie();
+    ASSERT_TRUE(client.Query(kQhwSql).ok());
+  }
+  server_->Stop();
+  ASSERT_TRUE(server_->Start().ok()) << "restart after Stop must succeed";
+  Client client = ConnectOrDie();
+  Result<ClientAnswer> answer = client.Query(kQhwSql);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->canonical_bytes, InProcessCanonicalBytes(kQhwSql));
+  // Cache and metrics carry over: the pre-restart entry still hits.
+  EXPECT_TRUE(answer->done.cache_hit);
+  // But a double Start on a running server is still an error.
+  EXPECT_FALSE(server_->Start().ok());
+}
+
 TEST_F(ServerTest, MalformedFrameClosesOnlyThatConnection) {
   StartServer();
   Client healthy = ConnectOrDie();
