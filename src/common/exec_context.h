@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "common/status.h"
+#include "common/trace_context.h"
 
 namespace pcdb {
 
@@ -93,6 +94,15 @@ class ExecContext {
     token_ = std::move(token);
     return *this;
   }
+  /// Attaches the trace this execution belongs to. Entry points
+  /// (EvaluateAnnotated, ...) install it as the calling thread's
+  /// ambient context, so spans opened during evaluation join the
+  /// request's trace even when the caller dispatched from another
+  /// thread. Pure metadata: does not affect governance or unbounded().
+  ExecContext& WithTraceContext(const TraceContext& trace) {
+    trace_ = trace;
+    return *this;
+  }
 
   bool unbounded() const {
     return token_ == nullptr && !deadline_.has_value() &&
@@ -104,6 +114,8 @@ class ExecContext {
   bool deadline_exceeded() const {
     return deadline_.has_value() && Clock::now() >= *deadline_;
   }
+
+  const TraceContext& trace() const { return trace_; }
 
   size_t row_budget() const { return max_rows_; }
   size_t pattern_budget() const { return max_patterns_; }
@@ -160,6 +172,7 @@ class ExecContext {
   static constexpr size_t kUnlimited = std::numeric_limits<size_t>::max();
 
   std::shared_ptr<const CancellationToken> token_;
+  TraceContext trace_;
   std::optional<Clock::time_point> deadline_;
   size_t max_rows_ = kUnlimited;
   size_t max_patterns_ = kUnlimited;

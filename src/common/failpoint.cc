@@ -2,9 +2,9 @@
 
 #include <chrono>
 #include <cstdlib>
-#include <iostream>
 #include <thread>
 
+#include "common/log.h"
 #include "common/result.h"
 
 namespace pcdb {
@@ -61,7 +61,16 @@ Result<double> ParseDouble(const std::string& text) {
   return v;
 }
 
+/// Release/acquire: the observer typically closes over state (a metric
+/// pointer) initialised just before installation; the acquire load in
+/// HitSlow makes that state visible to whichever thread trips first.
+std::atomic<Failpoints::TripObserver> g_trip_observer{nullptr};
+
 }  // namespace
+
+void Failpoints::SetTripObserver(TripObserver observer) {
+  g_trip_observer.store(observer, std::memory_order_release);
+}
 
 Failpoints::Failpoints() {
   const char* env = std::getenv("PCDB_FAILPOINTS");
@@ -70,7 +79,7 @@ Failpoints::Failpoints() {
   if (!status.ok()) {
     // Never take the process down over a malformed injection spec; the
     // entries parsed before the error stay armed.
-    std::cerr << "PCDB_FAILPOINTS ignored entry: " << status << "\n";
+    LogWarn("PCDB_FAILPOINTS ignored entry").Str("error", status.ToString());
   }
 }
 
@@ -146,6 +155,10 @@ Status Failpoints::HitSlow(const char* name) {
     if (!ShouldFire(&it->second)) return Status::OK();
     ++it->second.fires;
     spec = it->second.spec;
+  }
+  if (TripObserver observer =
+          g_trip_observer.load(std::memory_order_acquire)) {
+    observer();
   }
   // Act outside the lock: sleeping or throwing while holding mu_ would
   // stall or skip other sites.

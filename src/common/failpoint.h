@@ -177,6 +177,14 @@ class Failpoints {
   /// Tests iterate this to guarantee full matrix coverage.
   static const std::vector<std::string>& AllSites();
 
+  /// Observer invoked (outside the registry lock) every time an armed
+  /// failpoint's action runs, regardless of action kind. Installed by
+  /// the observability layer to count trips in the global metrics
+  /// registry without common/ depending on obs/. A plain function
+  /// pointer so installation is lock-free; nullptr uninstalls.
+  using TripObserver = void (*)();
+  static void SetTripObserver(TripObserver observer);
+
  private:
   Failpoints();
 

@@ -1,0 +1,182 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pcdb {
+
+namespace {
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("PCDB_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+std::atomic<int> g_min_level{static_cast<int>(LevelFromEnv())};
+std::atomic<LogSink> g_sink{nullptr};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "info";
+}
+
+void StderrSink(const std::string& line) {
+  // One fwrite per event keeps concurrent lines from interleaving in
+  // practice (stderr is unbuffered but fwrite is atomic per call on
+  // POSIX stdio).
+  std::string with_newline = line;
+  with_newline.push_back('\n');
+  std::fwrite(with_newline.data(), 1, with_newline.size(), stderr);
+}
+
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out->append(buf);
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void SetLogSink(LogSink sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+LogEvent::LogEvent(LogLevel level, std::string_view msg)
+    : enabled_(level >= MinLogLevel() && level != LogLevel::kOff) {
+  if (!enabled_) return;
+  line_.reserve(96 + msg.size());
+  line_ += "{\"ts_us\":";
+  line_ += std::to_string(WallMicros());
+  line_ += ",\"level\":\"";
+  line_ += LevelName(level);
+  line_ += "\",\"msg\":\"";
+  line_ += JsonEscape(msg);
+  line_ += '"';
+}
+
+LogEvent::~LogEvent() {
+  if (!enabled_) return;
+  line_ += '}';
+  LogSink sink = g_sink.load(std::memory_order_acquire);
+  if (sink != nullptr) {
+    sink(line_);
+  } else {
+    StderrSink(line_);
+  }
+}
+
+LogEvent& LogEvent::Str(const char* key, std::string_view value) {
+  if (!enabled_) return *this;
+  line_ += ",\"";
+  line_ += key;
+  line_ += "\":\"";
+  line_ += JsonEscape(value);
+  line_ += '"';
+  return *this;
+}
+
+LogEvent& LogEvent::Num(const char* key, int64_t value) {
+  if (!enabled_) return *this;
+  line_ += ",\"";
+  line_ += key;
+  line_ += "\":";
+  line_ += std::to_string(value);
+  return *this;
+}
+
+LogEvent& LogEvent::Unum(const char* key, uint64_t value) {
+  if (!enabled_) return *this;
+  line_ += ",\"";
+  line_ += key;
+  line_ += "\":";
+  line_ += std::to_string(value);
+  return *this;
+}
+
+LogEvent& LogEvent::Float(const char* key, double value) {
+  if (!enabled_) return *this;
+  line_ += ",\"";
+  line_ += key;
+  line_ += "\":";
+  AppendDouble(&line_, value);
+  return *this;
+}
+
+LogEvent& LogEvent::Bool(const char* key, bool value) {
+  if (!enabled_) return *this;
+  line_ += ",\"";
+  line_ += key;
+  line_ += "\":";
+  line_ += value ? "true" : "false";
+  return *this;
+}
+
+}  // namespace pcdb

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/trace_context.h"
 
 namespace pcdb {
 
@@ -37,9 +38,20 @@ void ThreadPool::Submit(std::function<void()> task) {
     if (!skip) RunTask(task);
     return;
   }
+  // Propagate the submitter's trace context to the worker: the task runs
+  // with the submitting thread's (trace id, span id) as its ambient
+  // context, so spans opened inside it nest under the submitting span.
+  // The saver restores whatever the worker had before — including the
+  // all-zero "no trace" state — even if the task throws.
+  TraceContext tc = CurrentTraceContext();
+  std::function<void()> wrapped = [tc, inner = std::move(task)] {
+    TraceContextSaver saver;
+    SetCurrentTraceContext(tc);
+    inner();
+  };
   {
     MutexLock lock(&mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(wrapped));
     ++in_flight_;
   }
   work_available_.NotifyOne();

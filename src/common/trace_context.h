@@ -1,0 +1,86 @@
+#ifndef PCDB_COMMON_TRACE_CONTEXT_H_
+#define PCDB_COMMON_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+/// \file
+/// The trace-context *carrier*: a (trace id, span id) pair riding on a
+/// thread-local slot and on ExecContext, so that work hopping across
+/// ThreadPool task boundaries stays attributed to the query that
+/// spawned it.
+///
+/// This header is deliberately tiny and lives in common/ — the lowest
+/// layer — because ThreadPool (common) must capture and restore the
+/// context around task execution, while the tracer proper (buffers,
+/// span RAII, Chrome JSON dump) lives one layer up in obs/ and is the
+/// only writer of these ids. common/ never records events; it only
+/// ferries the pair of integers.
+
+namespace pcdb {
+
+/// \brief Identifies the trace (one per query / top-level operation)
+/// and the currently open span within it. `trace_id == 0` means "no
+/// active trace" — spans opened under it start a fresh trace.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+};
+
+namespace trace_internal {
+inline thread_local TraceContext g_current_trace_context;
+}  // namespace trace_internal
+
+/// The calling thread's current trace context (zero-initialised until
+/// someone sets it).
+inline TraceContext CurrentTraceContext() {
+  return trace_internal::g_current_trace_context;
+}
+
+inline void SetCurrentTraceContext(const TraceContext& ctx) {
+  trace_internal::g_current_trace_context = ctx;
+}
+
+/// \brief RAII: installs `ctx` as the thread's current trace context
+/// for the enclosing scope, restoring the previous value on exit.
+/// A zero `ctx` (no trace) is a no-op — the ambient context, if any,
+/// stays in place. Use TraceContextSaver when an unconditional
+/// save/restore is needed (e.g. around pool task execution).
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& ctx) {
+    if (ctx.trace_id == 0) return;
+    active_ = true;
+    saved_ = CurrentTraceContext();
+    SetCurrentTraceContext(ctx);
+  }
+  ~TraceContextScope() {
+    if (active_) SetCurrentTraceContext(saved_);
+  }
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  bool active_ = false;
+  TraceContext saved_;
+};
+
+/// \brief RAII: snapshots the current context and restores it on exit,
+/// unconditionally (even if it was zero). ThreadPool wraps each task in
+/// one of these before overwriting the slot with the submitter's
+/// context, so worker threads never leak a context between tasks.
+class TraceContextSaver {
+ public:
+  TraceContextSaver() : saved_(CurrentTraceContext()) {}
+  ~TraceContextSaver() { SetCurrentTraceContext(saved_); }
+
+  TraceContextSaver(const TraceContextSaver&) = delete;
+  TraceContextSaver& operator=(const TraceContextSaver&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_COMMON_TRACE_CONTEXT_H_

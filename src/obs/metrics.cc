@@ -1,8 +1,10 @@
-#include "server/metrics.h"
+#include "obs/metrics.h"
 
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+
+#include "common/failpoint.h"
 
 namespace pcdb {
 
@@ -43,6 +45,12 @@ double Histogram::MeanMillis() const {
   if (n == 0) return 0;
   return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
          static_cast<double>(n) / 1000.0;
+}
+
+void Histogram::SnapshotBuckets(uint64_t out[kNumBuckets]) const {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
 }
 
 double Histogram::QuantileMillis(double q) const {
@@ -127,10 +135,45 @@ std::string MetricsRegistry::ToJson() const {
            ",\"mean_ms\":" + JsonDouble(hist->MeanMillis()) +
            ",\"p50_ms\":" + JsonDouble(hist->QuantileMillis(0.50)) +
            ",\"p95_ms\":" + JsonDouble(hist->QuantileMillis(0.95)) +
-           ",\"p99_ms\":" + JsonDouble(hist->QuantileMillis(0.99)) + "}";
+           ",\"p99_ms\":" + JsonDouble(hist->QuantileMillis(0.99)) +
+           ",\"buckets\":[";
+    uint64_t buckets[Histogram::kNumBuckets];
+    hist->SnapshotBuckets(buckets);
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (i != 0) out += ",";
+      out += std::to_string(buckets[i]);
+    }
+    out += "]}";
   }
   out += "}}";
   return out;
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+/// Written before the trip observer is installed (SetTripObserver's
+/// release store publishes it to the acquire load in HitSlow).
+Counter* g_failpoint_trips = nullptr;
+}  // namespace
+
+const EngineCounters& EngineMetrics() {
+  static const EngineCounters* counters = [] {
+    auto* c = new EngineCounters();
+    MetricsRegistry& global = GlobalMetrics();
+    c->patterns_minimized = global.GetCounter("engine_patterns_minimized");
+    c->subsumption_probes = global.GetCounter("engine_subsumption_probes");
+    c->degraded_to_summary = global.GetCounter("engine_degraded_to_summary");
+    c->failpoint_trips = global.GetCounter("engine_failpoint_trips");
+    g_failpoint_trips = c->failpoint_trips;
+    Failpoints::SetTripObserver(
+        +[] { g_failpoint_trips->Increment(); });
+    return c;
+  }();
+  return *counters;
 }
 
 }  // namespace pcdb

@@ -1,5 +1,5 @@
-#ifndef PCDB_SERVER_METRICS_H_
-#define PCDB_SERVER_METRICS_H_
+#ifndef PCDB_OBS_METRICS_H_
+#define PCDB_OBS_METRICS_H_
 
 #include <atomic>
 #include <cstdint>
@@ -10,12 +10,18 @@
 #include "common/thread_annotations.h"
 
 /// \file
-/// A small metrics registry for the server: monotonic counters, signed
-/// gauges, and fixed-bucket latency histograms with percentile
-/// estimation. All metric updates are lock-free atomics; the registry
-/// lock is only taken to create a metric or render a snapshot. The
-/// server exports a registry snapshot as JSON via the STATS verb and
-/// pcdbd --metrics-dump.
+/// A small metrics registry: monotonic counters, signed gauges, and
+/// fixed-bucket latency histograms with percentile estimation. All
+/// metric updates are lock-free atomics; the registry lock is only
+/// taken to create a metric or render a snapshot.
+///
+/// Two kinds of registries exist:
+///  - Per-Server instances (server/server.h), exported as JSON via the
+///    STATS verb and pcdbd --metrics-dump.
+///  - The process-wide GlobalMetrics() registry, where engine layers
+///    (pattern minimization, the failpoint framework) record counters
+///    that have no Server to hang off. The server splices its snapshot
+///    into the STATS payload under "engine".
 
 namespace pcdb {
 
@@ -69,6 +75,13 @@ class Histogram {
   /// Estimated q-quantile (q in [0,1]) in milliseconds; 0 when empty.
   double QuantileMillis(double q) const;
 
+  /// Copies the raw bucket counts into `out` (relaxed snapshot). Bucket
+  /// i counts samples in [2^i, 2^(i+1)) microseconds; bucket 0 also
+  /// absorbs sub-microsecond samples. Exported in the JSON snapshot so
+  /// external tooling can merge histograms across runs and re-derive
+  /// percentiles.
+  void SnapshotBuckets(uint64_t out[kNumBuckets]) const;
+
  private:
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<uint64_t> count_{0};
@@ -90,7 +103,8 @@ class MetricsRegistry {
   /// Snapshot as JSON:
   ///   {"counters":{...},"gauges":{...},
   ///    "histograms":{"name":{"count":..,"mean_ms":..,"p50_ms":..,
-  ///                          "p95_ms":..,"p99_ms":..},...}}
+  ///                          "p95_ms":..,"p99_ms":..,
+  ///                          "buckets":[..40 raw counts..]},...}}
   /// Keys are sorted, so output is deterministic.
   std::string ToJson() const PCDB_EXCLUDES(mu_);
 
@@ -103,6 +117,29 @@ class MetricsRegistry {
       PCDB_GUARDED_BY(mu_);
 };
 
+/// The process-wide registry for engine-level metrics (never reset;
+/// shared by every Server instance in the process).
+MetricsRegistry& GlobalMetrics();
+
+/// \brief Cached pointers to the engine counters in GlobalMetrics().
+///
+/// `engine_patterns_minimized`   — patterns fed into Minimize()
+/// `engine_subsumption_probes`   — pattern-index subsumption probes
+/// `engine_degraded_to_summary`  — budget-driven summary degradations
+/// `engine_failpoint_trips`      — armed failpoint actions that ran
+struct EngineCounters {
+  Counter* patterns_minimized = nullptr;
+  Counter* subsumption_probes = nullptr;
+  Counter* degraded_to_summary = nullptr;
+  Counter* failpoint_trips = nullptr;
+};
+
+/// The engine counters, resolved once. The first call also installs the
+/// failpoint trip observer, so trips start counting from the first time
+/// any engine code touches metrics (the Server constructor calls this
+/// eagerly).
+const EngineCounters& EngineMetrics();
+
 }  // namespace pcdb
 
-#endif  // PCDB_SERVER_METRICS_H_
+#endif  // PCDB_OBS_METRICS_H_

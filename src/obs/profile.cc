@@ -1,0 +1,111 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace pcdb {
+
+namespace {
+
+/// Fixed two-decimal rendering keeps the JSON deterministic for a given
+/// set of measured values (no locale, no exponent form).
+std::string Fixed2(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+double QueryProfile::OperatorMicrosTotal() const {
+  double total = 0;
+  for (const OperatorProfile& op : operators) {
+    total += op.pattern_micros + op.data_micros;
+  }
+  return total;
+}
+
+std::string QueryProfileToJson(const QueryProfile& profile) {
+  std::string out = "{\"cache_hit\":";
+  out += profile.cache_hit ? "true" : "false";
+  out += ",\"degraded\":";
+  out += profile.degraded ? "true" : "false";
+  out += ",\"queue_micros\":";
+  out += std::to_string(profile.queue_micros);
+  out += ",\"eval_micros\":";
+  out += Fixed2(profile.eval_micros);
+  out += ",\"operator_micros\":";
+  out += Fixed2(profile.OperatorMicrosTotal());
+  out += ",\"operators\":[";
+  bool first = true;
+  for (const OperatorProfile& op : profile.operators) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"op\":\"";
+    out += JsonEscape(op.op);
+    out += "\",\"depth\":";
+    out += std::to_string(op.depth);
+    out += ",\"input_rows\":";
+    out += std::to_string(op.input_rows);
+    out += ",\"output_rows\":";
+    out += std::to_string(op.output_rows);
+    out += ",\"patterns_in\":";
+    out += std::to_string(op.patterns_in);
+    out += ",\"patterns_pre_min\":";
+    out += std::to_string(op.patterns_pre_min);
+    out += ",\"patterns_out\":";
+    out += std::to_string(op.patterns_out);
+    out += ",\"zombies_added\":";
+    out += std::to_string(op.zombies_added);
+    out += ",\"probes\":";
+    out += std::to_string(op.probes);
+    out += ",\"pattern_micros\":";
+    out += Fixed2(op.pattern_micros);
+    out += ",\"data_micros\":";
+    out += Fixed2(op.data_micros);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string QueryProfileToText(const QueryProfile& profile) {
+  std::string out;
+  out += "Query profile: eval " + Fixed2(profile.eval_micros / 1000.0) +
+         " ms (operators " +
+         Fixed2(profile.OperatorMicrosTotal() / 1000.0) + " ms";
+  if (profile.queue_micros != 0) {
+    out += ", queued " +
+           Fixed2(static_cast<double>(profile.queue_micros) / 1000.0) +
+           " ms";
+  }
+  out += ")";
+  if (profile.cache_hit) out += " [cache hit]";
+  if (profile.degraded) out += " [degraded]";
+  out += "\n";
+  // Post-order puts the root last; print it first, walking backwards.
+  // Within one parent the right subtree prints before the left — the
+  // indentation (two spaces per depth) still reflects the tree shape.
+  for (auto it = profile.operators.rbegin(); it != profile.operators.rend();
+       ++it) {
+    const OperatorProfile& op = *it;
+    out += std::string(static_cast<size_t>(op.depth) * 2, ' ');
+    out += "-> " + op.op;
+    out += "  rows " + std::to_string(op.input_rows) + "->" +
+           std::to_string(op.output_rows);
+    out += "  patterns " + std::to_string(op.patterns_in) + "->" +
+           std::to_string(op.patterns_pre_min) + "->" +
+           std::to_string(op.patterns_out);
+    if (op.zombies_added != 0) {
+      out += "  zombies +" + std::to_string(op.zombies_added);
+    }
+    if (op.probes != 0) out += "  probes " + std::to_string(op.probes);
+    out += "  pattern " + Fixed2(op.pattern_micros / 1000.0) + " ms";
+    out += "  data " + Fixed2(op.data_micros / 1000.0) + " ms";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace pcdb

@@ -1,0 +1,66 @@
+#ifndef PCDB_OBS_PROFILE_H_
+#define PCDB_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// EXPLAIN ANALYZE-style per-query profile. The annotated evaluator
+/// fills one OperatorProfile per plan node (post-order, matching its
+/// recursion) when AnnotatedEvalOptions.collect_profile is set; the
+/// server and pcdb_cli wrap the result in a QueryProfile with the
+/// request-level timings (queue wait, measured eval total, cache
+/// hit/miss) and render it as JSON or indented text.
+///
+/// The per-operator micros are disjoint: each node times only its own
+/// pattern step (ComputeQueryPatterns + minimization) and its own data
+/// step (ApplyRootOperator), excluding children. Their sum is therefore
+/// bounded by the measured wall-clock total — the invariant
+/// pcdb_cli --explain-analyze prints and tests assert.
+///
+/// The JSON rendering is the byte-exact payload of the wire protocol's
+/// ANSWER_PROFILE frame: the server renders once and the frame carries
+/// the text verbatim, so a client receives the identical bytes.
+
+namespace pcdb {
+
+/// \brief One plan node's contribution to a query.
+struct OperatorProfile {
+  std::string op;       ///< e.g. "join(Warnings.WID=Maint.WID)"
+  int depth = 0;        ///< Root is 0; children are parent + 1.
+  uint64_t input_rows = 0;   ///< Sum over children's output rows.
+  uint64_t output_rows = 0;
+  uint64_t patterns_in = 0;        ///< Sum over children's pattern sets.
+  uint64_t patterns_pre_min = 0;   ///< Before this node's minimization.
+  uint64_t patterns_out = 0;       ///< After minimization.
+  uint64_t zombies_added = 0;      ///< Zombie patterns created here.
+  uint64_t probes = 0;             ///< Subsumption probes in minimization.
+  double pattern_micros = 0;  ///< This node's pattern step (children excl.).
+  double data_micros = 0;     ///< This node's data step (children excl.).
+};
+
+/// \brief A full query profile: operators (post-order) + request-level
+/// context.
+struct QueryProfile {
+  std::vector<OperatorProfile> operators;
+  bool cache_hit = false;
+  bool degraded = false;
+  uint64_t queue_micros = 0;  ///< Admission-to-evaluation wait (server).
+  double eval_micros = 0;     ///< Measured wall-clock of the evaluation.
+
+  /// Sum of all operators' pattern + data micros (<= eval_micros).
+  double OperatorMicrosTotal() const;
+};
+
+/// Deterministic JSON rendering (this exact string travels in the
+/// ANSWER_PROFILE frame).
+std::string QueryProfileToJson(const QueryProfile& profile);
+
+/// Human-readable indented tree for pcdb_cli --explain-analyze. Renders
+/// root-first (reverse post-order), children indented by depth.
+std::string QueryProfileToText(const QueryProfile& profile);
+
+}  // namespace pcdb
+
+#endif  // PCDB_OBS_PROFILE_H_

@@ -1,0 +1,253 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace pcdb {
+
+namespace trace_internal {
+std::atomic<bool> g_trace_on{false};
+}  // namespace trace_internal
+
+/// One thread's event storage. The mutex is uncontended in steady state
+/// (only its owning thread appends); a snapshot/dump from another
+/// thread takes it briefly, which keeps TSan and the memory model happy
+/// without a lock-free ring.
+struct Tracer::ThreadBuffer {
+  Mutex mu;
+  std::vector<TraceEvent> events PCDB_GUARDED_BY(mu);
+  uint64_t dropped PCDB_GUARDED_BY(mu) = 0;
+  uint32_t thread_index = 0;
+};
+
+thread_local Tracer::ThreadBuffer* Tracer::tls_buffer_ = nullptr;
+
+namespace {
+
+void DumpAtExit() {
+  if (!Tracer::enabled()) return;
+  const char* dir = std::getenv("PCDB_TRACE_DIR");
+  // pid + steady ticks: unique across the many short-lived gtest
+  // processes of a traced suite run, even under pid reuse.
+  const uint64_t ticks = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  std::string path = dir != nullptr && dir[0] != '\0'
+                         ? std::string(dir) + "/"
+                         : std::string();
+  path += "pcdb_trace." + std::to_string(getpid()) + "." +
+          std::to_string(ticks) + ".json";
+  Status status = Tracer::Global().WriteChromeTraceFile(path);
+  if (!status.ok()) {
+    LogWarn("trace dump failed")
+        .Str("path", path)
+        .Str("error", status.ToString());
+  }
+}
+
+/// Reads PCDB_TRACE once at static-init time; "1"/non-empty (except
+/// "0") turns tracing on for the whole process and registers the
+/// at-exit dump.
+struct TraceEnvInit {
+  TraceEnvInit() {
+    const char* env = std::getenv("PCDB_TRACE");
+    if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+      trace_internal::g_trace_on.store(true, std::memory_order_relaxed);
+      std::atexit(DumpAtExit);
+    }
+  }
+};
+TraceEnvInit g_trace_env_init;
+
+}  // namespace
+
+Tracer::Tracer() = default;
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::SetEnabled(bool on) {
+  trace_internal::g_trace_on.store(on, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::NextTraceId() {
+  return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::NextSpanId() {
+  return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::NowMicros() const {
+  // The epoch is the first call (any thread); magic-static init is
+  // thread-safe. All timestamps in one process share it.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  if (tls_buffer_ != nullptr) return tls_buffer_;
+  auto* buffer = new ThreadBuffer();
+  {
+    MutexLock lock(&registry_mu_);
+    buffer->thread_index = static_cast<uint32_t>(buffers_.size());
+    buffers_.push_back(buffer);
+  }
+  tls_buffer_ = buffer;
+  return buffer;
+}
+
+void Tracer::Record(TraceEvent event) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  event.thread_index = buffer->thread_index;
+  MutexLock lock(&buffer->mu);
+  if (buffer->events.size() >= kMaxEventsPerThread) {
+    ++buffer->dropped;
+    return;
+  }
+  buffer->events.push_back(event);
+}
+
+void Tracer::RecordInterval(const char* name, uint64_t start_micros,
+                            uint64_t duration_micros) {
+  if (!enabled()) return;
+  const TraceContext current = CurrentTraceContext();
+  TraceEvent event;
+  event.name = name;
+  event.trace_id = current.trace_id;
+  event.span_id = NextSpanId();
+  event.parent_span_id = current.span_id;
+  event.start_micros = start_micros;
+  event.duration_micros = duration_micros;
+  Record(event);
+}
+
+std::vector<TraceEvent> Tracer::SnapshotEvents() const {
+  std::vector<ThreadBuffer*> buffers;
+  {
+    MutexLock lock(&registry_mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> out;
+  for (ThreadBuffer* buffer : buffers) {
+    MutexLock lock(&buffer->mu);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return out;
+}
+
+uint64_t Tracer::DroppedEvents() const {
+  std::vector<ThreadBuffer*> buffers;
+  {
+    MutexLock lock(&registry_mu_);
+    buffers = buffers_;
+  }
+  uint64_t dropped = 0;
+  for (ThreadBuffer* buffer : buffers) {
+    MutexLock lock(&buffer->mu);
+    dropped += buffer->dropped;
+  }
+  return dropped;
+}
+
+void Tracer::Reset() {
+  std::vector<ThreadBuffer*> buffers;
+  {
+    MutexLock lock(&registry_mu_);
+    buffers = buffers_;
+  }
+  for (ThreadBuffer* buffer : buffers) {
+    MutexLock lock(&buffer->mu);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  const std::vector<TraceEvent> events = SnapshotEvents();
+  const uint64_t dropped = DroppedEvents();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    out += JsonEscape(event.name);
+    out += "\",\"cat\":\"pcdb\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(event.start_micros);
+    out += ",\"dur\":";
+    out += std::to_string(event.duration_micros);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(event.thread_index);
+    out += ",\"args\":{\"trace_id\":";
+    out += std::to_string(event.trace_id);
+    out += ",\"span_id\":";
+    out += std::to_string(event.span_id);
+    out += ",\"parent_span_id\":";
+    out += std::to_string(event.parent_span_id);
+    for (uint32_t i = 0; i < event.num_args; ++i) {
+      out += ",\"";
+      out += JsonEscape(event.arg_keys[i]);
+      out += "\":";
+      out += std::to_string(event.arg_values[i]);
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":";
+  out += std::to_string(dropped);
+  out += "}}";
+  return out;
+}
+
+Status Tracer::WriteChromeTraceFile(const std::string& path) const {
+  const std::string json = ToChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open trace file " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::Unavailable("short write to trace file " + path);
+  }
+  return Status::OK();
+}
+
+void TraceSpan::Begin(const char* name) {
+  Tracer& tracer = Tracer::Global();
+  saved_ = CurrentTraceContext();
+  event_.name = name;
+  event_.trace_id =
+      saved_.trace_id != 0 ? saved_.trace_id : tracer.NextTraceId();
+  event_.parent_span_id = saved_.span_id;
+  event_.span_id = tracer.NextSpanId();
+  event_.start_micros = tracer.NowMicros();
+  SetCurrentTraceContext(TraceContext{event_.trace_id, event_.span_id});
+  tracer.NoteSpanOpened();
+  active_ = true;
+}
+
+void TraceSpan::End() {
+  Tracer& tracer = Tracer::Global();
+  const uint64_t end_micros = tracer.NowMicros();
+  event_.duration_micros =
+      end_micros >= event_.start_micros ? end_micros - event_.start_micros
+                                        : 0;
+  SetCurrentTraceContext(saved_);
+  tracer.NoteSpanClosed();
+  tracer.Record(event_);
+  active_ = false;
+}
+
+}  // namespace pcdb

@@ -1,0 +1,202 @@
+#ifndef PCDB_OBS_TRACE_H_
+#define PCDB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/trace_context.h"
+
+/// \file
+/// Span-based tracer with Chrome trace-event JSON output.
+///
+/// Usage at a site:
+///
+///   Status ApplyRootOperator(...) {
+///     PCDB_TRACE_SPAN(span, "eval.join");
+///     ...
+///     span.Arg("rows", out.num_rows());
+///     return out;
+///   }
+///
+/// Design constraints, in order:
+///
+///  1. Zero allocation (and near-zero work) when disabled. The span
+///     constructor is a single relaxed atomic load when tracing is off
+///     — the hot paths benchmarked in figs 4-6 are unaffected. Names
+///     and argument keys must therefore be string literals (the tracer
+///     stores the pointers, never copies).
+///  2. Race-free cross-thread propagation. Each thread appends
+///     completed spans to its own buffer (one mutex per buffer,
+///     uncontended except against a concurrent dump); the parent/child
+///     relation travels via common/trace_context.h, which ThreadPool
+///     carries across task boundaries.
+///  3. Bounded memory. Each thread buffer holds at most
+///     kMaxEventsPerThread events; overflow increments a drop counter
+///     that the dump reports (never silently truncates).
+///
+/// Enabling: set PCDB_TRACE=1 in the environment (the process dumps
+/// one Chrome-trace JSON file per run at exit, to $PCDB_TRACE_DIR or
+/// the working directory), or call Tracer::Global().SetEnabled(true)
+/// and use SnapshotEvents()/WriteChromeTraceFile() directly (tests).
+
+namespace pcdb {
+
+namespace trace_internal {
+/// Process-wide on/off switch, read inline by every span constructor.
+extern std::atomic<bool> g_trace_on;
+}  // namespace trace_internal
+
+/// \brief One completed span, fixed-size (no owned strings: `name` and
+/// the arg keys point at string literals).
+struct TraceEvent {
+  static constexpr size_t kMaxArgs = 3;
+
+  const char* name = nullptr;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  uint64_t start_micros = 0;  ///< Steady-clock micros since tracer epoch.
+  uint64_t duration_micros = 0;
+  uint32_t thread_index = 0;  ///< Registration order of the thread buffer.
+  uint32_t num_args = 0;
+  const char* arg_keys[kMaxArgs] = {};
+  uint64_t arg_values[kMaxArgs] = {};
+};
+
+/// \brief The process-wide tracer: thread-buffer registry, id
+/// allocation, and Chrome-trace rendering.
+class Tracer {
+ public:
+  static constexpr size_t kMaxEventsPerThread = 1u << 16;
+
+  static Tracer& Global();
+
+  /// True when spans record. Inline: one relaxed load.
+  static bool enabled() {
+    return trace_internal::g_trace_on.load(std::memory_order_relaxed);
+  }
+
+  /// Flips recording on/off (tests; PCDB_TRACE=1 sets it at startup).
+  void SetEnabled(bool on);
+
+  /// Fresh ids. Never returns 0 (0 means "none").
+  uint64_t NextTraceId();
+  uint64_t NextSpanId();
+
+  /// Steady-clock microseconds since the tracer epoch (first use).
+  uint64_t NowMicros() const;
+
+  /// Appends a completed event to the calling thread's buffer. The
+  /// thread_index field is filled in here.
+  void Record(TraceEvent event);
+
+  /// Records a complete span with explicit timing under the calling
+  /// thread's current trace context (a fresh span id, parented to the
+  /// current span). Used for intervals that did not run under an RAII
+  /// scope, e.g. queue wait measured after the fact. No-op when
+  /// disabled.
+  void RecordInterval(const char* name, uint64_t start_micros,
+                      uint64_t duration_micros);
+
+  /// Currently open TraceSpans (balance must return to its pre-test
+  /// value on every error/cancel/deadline/failpoint path — span_test
+  /// asserts this across the fault matrix).
+  int64_t OpenSpanCount() const {
+    return open_spans_.load(std::memory_order_relaxed);
+  }
+
+  /// All recorded events across threads (stable order: by thread
+  /// registration, then append order).
+  std::vector<TraceEvent> SnapshotEvents() const;
+
+  /// Events dropped to the per-thread cap, across all threads.
+  uint64_t DroppedEvents() const;
+
+  /// Clears recorded events and drop counts. Thread buffers stay
+  /// registered (live threads keep their slots). Call only while no
+  /// spans are being recorded concurrently with the intent of a clean
+  /// slate; concurrent recording is safe but may survive the reset.
+  void Reset();
+
+  /// The full Chrome trace-event JSON document
+  /// ({"traceEvents":[...],"displayTimeUnit":"ms",...}) — loadable in
+  /// chrome://tracing / Perfetto.
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to `path`.
+  Status WriteChromeTraceFile(const std::string& path) const;
+
+  // Span open/close accounting (called by TraceSpan).
+  void NoteSpanOpened() {
+    open_spans_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void NoteSpanClosed() {
+    open_spans_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+ private:
+  Tracer();
+
+  struct ThreadBuffer;
+  ThreadBuffer* BufferForThisThread();
+
+  /// The calling thread's buffer, created lazily on first Record.
+  static thread_local ThreadBuffer* tls_buffer_;
+
+  std::atomic<uint64_t> next_trace_id_{1};
+  std::atomic<uint64_t> next_span_id_{1};
+  std::atomic<int64_t> open_spans_{0};
+
+  mutable Mutex registry_mu_;
+  /// Buffers are created once per thread and never destroyed (threads
+  /// hold raw pointers in TLS), so the vector only grows.
+  std::vector<ThreadBuffer*> buffers_ PCDB_GUARDED_BY(registry_mu_);
+};
+
+/// \brief RAII span: opens on construction (when tracing is enabled),
+/// records a complete event on destruction. Must be stack-scoped; the
+/// name and arg keys must be string literals.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (Tracer::enabled()) Begin(name);
+  }
+  ~TraceSpan() {
+    if (active_) End();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a numeric argument (shown in the trace viewer). Silently
+  /// ignored beyond TraceEvent::kMaxArgs or when inactive.
+  void Arg(const char* key, uint64_t value) {
+    if (!active_ || event_.num_args >= TraceEvent::kMaxArgs) return;
+    event_.arg_keys[event_.num_args] = key;
+    event_.arg_values[event_.num_args] = value;
+    ++event_.num_args;
+  }
+
+  bool active() const { return active_; }
+
+ private:
+  void Begin(const char* name);  // cold path, out of line
+  void End();
+
+  bool active_ = false;
+  TraceContext saved_;
+  TraceEvent event_;
+};
+
+/// Declares a named RAII span variable. The two-argument form gives the
+/// span a handle for Arg(); sites that only need the timing can declare
+/// an anonymous-ish local directly.
+#define PCDB_TRACE_SPAN(var, name) ::pcdb::TraceSpan var(name)
+
+}  // namespace pcdb
+
+#endif  // PCDB_OBS_TRACE_H_

@@ -5,6 +5,8 @@
 #include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pattern/algebra.h"
 #include "pattern/summary.h"
 #include "pattern/zombie.h"
@@ -16,6 +18,41 @@ namespace {
 /// Appends `extra` to `base` without duplicating patterns.
 void UnionInto(PatternSet* base, const PatternSet& extra) {
   for (const Pattern& p : extra) base->AddUnique(p);
+}
+
+/// Static span names for the per-node pattern step (the metadata half of
+/// each operator); the data half is traced inside ApplyRootOperator.
+const char* PatternSpanName(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kScan: return "pattern.scan";
+    case ExprKind::kSelectConst: return "pattern.select_const";
+    case ExprKind::kSelectAttrEq: return "pattern.select_attr_eq";
+    case ExprKind::kProjectOut: return "pattern.project_out";
+    case ExprKind::kRearrange: return "pattern.rearrange";
+    case ExprKind::kJoin: return "pattern.join";
+    case ExprKind::kAggregate: return "pattern.aggregate";
+    case ExprKind::kSort: return "pattern.sort";
+    case ExprKind::kLimit: return "pattern.limit";
+    case ExprKind::kUnion: return "pattern.union";
+  }
+  return "pattern.operator";
+}
+
+/// Short operator labels for QueryProfile rows.
+const char* ProfileOpName(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kScan: return "scan";
+    case ExprKind::kSelectConst: return "select_const";
+    case ExprKind::kSelectAttrEq: return "select_attr_eq";
+    case ExprKind::kProjectOut: return "project_out";
+    case ExprKind::kRearrange: return "rearrange";
+    case ExprKind::kJoin: return "join";
+    case ExprKind::kAggregate: return "aggregate";
+    case ExprKind::kSort: return "sort";
+    case ExprKind::kLimit: return "limit";
+    case ExprKind::kUnion: return "union";
+  }
+  return "operator";
 }
 
 /// Per-operator minimization with graceful degradation. A tripped
@@ -32,19 +69,21 @@ Result<PatternSet> MinimizeWithDegradation(const PatternSet& patterns,
                                            ThreadPool* pool,
                                            const ExecContext& ctx,
                                            bool* degraded,
-                                           AnnotatedEvalInfo* info) {
+                                           AnnotatedEvalInfo* info,
+                                           MinimizeStats* min_stats) {
   const MinimizeApproach approach =
       ctx.has_pattern_budget() ? MinimizeApproach::kSortedIncremental
                                : MinimizeApproach::kAllAtOnce;
-  Result<PatternSet> out =
-      ParallelMinimize(patterns, approach,
-                       PatternIndexKind::kDiscriminationTree, pool, ctx);
+  Result<PatternSet> out = ParallelMinimize(
+      patterns, approach, PatternIndexKind::kDiscriminationTree, pool, ctx,
+      min_stats);
   if (out.ok() || out.status().code() != StatusCode::kResourceExhausted ||
       !ctx.has_pattern_budget()) {
     return out;
   }
   *degraded = true;
   if (info != nullptr) ++info->degradations;
+  EngineMetrics().degraded_to_summary->Increment();
   return SummarizePatterns(patterns, ctx.pattern_budget());
 }
 
@@ -59,40 +98,72 @@ class AnnotatedEvaluator {
     }
   }
 
-  Result<AnnotatedTable> Eval(const Expr& expr) {
+  Result<AnnotatedTable> Eval(const Expr& expr, int depth = 0) {
     PCDB_FAILPOINT("annotated.operator");
     PCDB_RETURN_NOT_OK(ctx_.Check());
     AnnotatedTable left;
     AnnotatedTable right;
     if (expr.left() != nullptr) {
-      PCDB_ASSIGN_OR_RETURN(left, Eval(*expr.left()));
+      PCDB_ASSIGN_OR_RETURN(left, Eval(*expr.left(), depth + 1));
     }
     if (expr.right() != nullptr) {
-      PCDB_ASSIGN_OR_RETURN(right, Eval(*expr.right()));
+      PCDB_ASSIGN_OR_RETURN(right, Eval(*expr.right(), depth + 1));
     }
+
+    const bool profiling = options_.collect_profile && info_ != nullptr;
+    OperatorProfile op;
+    if (profiling) {
+      op.op = ProfileOpName(expr.kind());
+      op.depth = depth;
+      op.input_rows = left.data.num_rows() + right.data.num_rows();
+      op.patterns_in = left.patterns.size() + right.patterns.size();
+    }
+    const size_t zombies_before =
+        (profiling ? info_->zombies_added : size_t{0});
 
     // Metadata first: the pattern operators (promotion, zombies) read
     // the children's data, which the data step consumes afterwards.
     WallTimer timer;
-    PCDB_ASSIGN_OR_RETURN(PatternSet patterns,
-                          ComputePatterns(expr, left, right));
-    if (info_ != nullptr) {
-      info_->max_intermediate_patterns =
-          std::max(info_->max_intermediate_patterns, patterns.size());
+    PatternSet patterns;
+    {
+      PCDB_TRACE_SPAN(span, PatternSpanName(expr.kind()));
+      PCDB_ASSIGN_OR_RETURN(patterns, ComputePatterns(expr, left, right));
+      if (info_ != nullptr) {
+        info_->max_intermediate_patterns =
+            std::max(info_->max_intermediate_patterns, patterns.size());
+      }
+      if (profiling) op.patterns_pre_min = patterns.size();
+      if (options_.minimize_each_step) {
+        MinimizeStats min_stats;
+        PCDB_ASSIGN_OR_RETURN(
+            patterns,
+            MinimizeWithDegradation(patterns, pool_.get(), ctx_, &degraded_,
+                                    info_, profiling ? &min_stats : nullptr));
+        if (profiling) op.probes = min_stats.probes;
+      } else if (profiling) {
+        op.probes = 0;
+      }
+      span.Arg("patterns", patterns.size());
     }
-    if (options_.minimize_each_step) {
-      PCDB_ASSIGN_OR_RETURN(
-          patterns, MinimizeWithDegradation(patterns, pool_.get(), ctx_,
-                                            &degraded_, info_));
-    }
-    if (info_ != nullptr) info_->pattern_millis += timer.ElapsedMillis();
+    const double pattern_millis = timer.ElapsedMillis();
+    if (info_ != nullptr) info_->pattern_millis += pattern_millis;
 
     timer.Reset();
     PCDB_ASSIGN_OR_RETURN(
         Table data,
         ApplyRootOperator(expr, adb_.database(), std::move(left.data),
                           std::move(right.data), pool_.get(), ctx_));
-    if (info_ != nullptr) info_->data_millis += timer.ElapsedMillis();
+    const double data_millis = timer.ElapsedMillis();
+    if (info_ != nullptr) info_->data_millis += data_millis;
+
+    if (profiling) {
+      op.output_rows = data.num_rows();
+      op.patterns_out = patterns.size();
+      op.zombies_added = info_->zombies_added - zombies_before;
+      op.pattern_micros = pattern_millis * 1000.0;
+      op.data_micros = data_millis * 1000.0;
+      info_->profile.operators.push_back(std::move(op));
+    }
     return AnnotatedTable{std::move(data), std::move(patterns), degraded_};
   }
 
@@ -107,6 +178,7 @@ class AnnotatedEvaluator {
       out.patterns = SummarizePatterns(out.patterns, ctx_.pattern_budget());
       out.degraded = true;
       if (info_ != nullptr) ++info_->degradations;
+      EngineMetrics().degraded_to_summary->Increment();
     }
     return out;
   }
@@ -257,14 +329,17 @@ class SchemaOnlyEvaluator {
     if (expr.right() != nullptr) {
       PCDB_ASSIGN_OR_RETURN(right, Eval(*expr.right()));
     }
+    PCDB_TRACE_SPAN(span, PatternSpanName(expr.kind()));
     PCDB_ASSIGN_OR_RETURN(Node node, Apply(expr, left, right));
     if (cost_ != nullptr) *cost_ += node.patterns.size();
     if (options_.minimize_each_step) {
       PCDB_ASSIGN_OR_RETURN(
           node.patterns,
           MinimizeWithDegradation(node.patterns, pool_.get(), ctx_,
-                                  &degraded_, /*info=*/nullptr));
+                                  &degraded_, /*info=*/nullptr,
+                                  /*min_stats=*/nullptr));
     }
+    span.Arg("patterns", node.patterns.size());
     return node;
   }
 
@@ -275,6 +350,7 @@ class SchemaOnlyEvaluator {
         node.patterns.size() > ctx_.pattern_budget()) {
       node.patterns = SummarizePatterns(node.patterns, ctx_.pattern_budget());
       degraded_ = true;
+      EngineMetrics().degraded_to_summary->Increment();
     }
     return node;
   }
@@ -377,9 +453,13 @@ Result<AnnotatedTable> EvaluateAnnotated(const Expr& expr,
   // The exception guard catches throw-action failpoints on the serial
   // path (the pool path already converts them worker-side), so every
   // injected fault surfaces as a Status from this entry point.
+  TraceContextScope trace_scope(ctx.trace());
+  PCDB_TRACE_SPAN(span, "evaluate_annotated");
   try {
     AnnotatedEvaluator evaluator(adb, options, ctx, info);
-    return evaluator.EvalRoot(expr);
+    Result<AnnotatedTable> out = evaluator.EvalRoot(expr);
+    if (out.ok()) span.Arg("patterns", out->patterns.size());
+    return out;
   } catch (const std::exception& e) {
     return Status::Internal(std::string("annotated evaluation failed: ") +
                             e.what());
@@ -410,6 +490,8 @@ Result<PatternSet> ComputeQueryPatterns(const Expr& expr,
     *total_intermediate_patterns = 0;
   }
   if (degraded != nullptr) *degraded = false;
+  TraceContextScope trace_scope(ctx.trace());
+  PCDB_TRACE_SPAN(span, "compute_query_patterns");
   try {
     SchemaOnlyEvaluator evaluator(adb, options, ctx,
                                   total_intermediate_patterns);

@@ -2,6 +2,7 @@
 #define PCDB_PATTERN_ANNOTATED_EVAL_H_
 
 #include "common/exec_context.h"
+#include "obs/profile.h"
 #include "pattern/annotated.h"
 #include "pattern/minimize.h"
 #include "pattern/promotion.h"
@@ -31,6 +32,12 @@ struct AnnotatedEvalOptions {
   PatternJoinStrategy join_strategy =
       PatternJoinStrategy::kPartitionedHashJoin;
   PromotionOptions promotion;
+  /// Collect a per-operator QueryProfile (EXPLAIN ANALYZE) into
+  /// `info->profile`. Requires a non-null AnnotatedEvalInfo; adds one
+  /// OperatorProfile per plan node in post-order. Off by default — the
+  /// per-node bookkeeping (row/pattern counts, per-node timers) is cheap
+  /// but not free.
+  bool collect_profile = false;
 };
 
 /// \brief Counters and timings from one annotated evaluation.
@@ -48,6 +55,11 @@ struct AnnotatedEvalInfo {
   /// summary (SummarizePatterns) instead of failing the evaluation.
   size_t degradations = 0;
   PromotionStats promotion;
+  /// Per-operator profile, populated only when
+  /// AnnotatedEvalOptions::collect_profile is set. Operators appear in
+  /// post-order; per-operator micros are disjoint, so their sum is at
+  /// most the caller-measured wall time.
+  QueryProfile profile;
 };
 
 /// \brief Evaluates `expr` over a partially complete database, computing

@@ -7,6 +7,8 @@
 #include "common/failpoint.h"
 #include "common/thread_annotations.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pcdb {
 
@@ -44,7 +46,7 @@ Status CheckIndexBudgets(const PatternIndex& index, const ExecContext& ctx,
 Result<PatternSet> MinimizeAllAtOnce(const PatternSet& input,
                                      PatternIndexKind kind,
                                      const ExecContext& ctx,
-                                     MinimizeStats* stats) {
+                                     MinimizeStats* stats, size_t* probes) {
   if (input.empty()) return PatternSet();
   auto index = MakePatternIndex(kind, input[0].arity());
   // Indexes have set semantics, so loading also deduplicates.
@@ -64,6 +66,7 @@ Result<PatternSet> MinimizeAllAtOnce(const PatternSet& input,
     if (!ctx.unbounded() && iter++ % kPatternsPerContextCheck == 0) {
       PCDB_RETURN_NOT_OK(ctx.Check());
     }
+    ++*probes;
     if (!index->HasSubsumer(p, /*strict=*/true)) out.Add(p);
   }
   return out;
@@ -105,7 +108,8 @@ Result<PatternSet> MinimizeIncremental(const PatternSet& input,
                                        PatternIndexKind kind,
                                        const ExecContext& ctx,
                                        MinimizeStats* stats,
-                                       ThreadPool* scan_pool) {
+                                       ThreadPool* scan_pool,
+                                       size_t* probes) {
   if (input.empty()) return PatternSet();
   auto index = MakePatternIndex(kind, input[0].arity());
   std::vector<Pattern> subsumed;
@@ -114,11 +118,13 @@ Result<PatternSet> MinimizeIncremental(const PatternSet& input,
     PCDB_FAILPOINT("minimize.pattern");
     // Subsumption check: p contributes nothing if some maximal pattern
     // already subsumes it (or duplicates it).
+    ++*probes;
     if (index->HasSubsumer(p, /*strict=*/false)) continue;
     // Supersumption retrieval: p displaces every stored pattern it
     // strictly subsumes. With a pool and a big enough index the scan
     // fans out over contents chunks; the collected set is identical.
     subsumed.clear();
+    ++*probes;
     if (scan_pool != nullptr && scan_pool->num_threads() > 1 &&
         index->size() >= kParallelScanMinIndexSize) {
       PCDB_RETURN_NOT_OK(
@@ -139,7 +145,8 @@ Result<PatternSet> MinimizeIncremental(const PatternSet& input,
 Result<PatternSet> MinimizeSortedIncremental(const PatternSet& input,
                                              PatternIndexKind kind,
                                              const ExecContext& ctx,
-                                             MinimizeStats* stats) {
+                                             MinimizeStats* stats,
+                                             size_t* probes) {
   if (input.empty()) return PatternSet();
   std::vector<Pattern> sorted = input.patterns();
   std::stable_sort(sorted.begin(), sorted.end(),
@@ -153,6 +160,7 @@ Result<PatternSet> MinimizeSortedIncremental(const PatternSet& input,
     // A strict subsumer has strictly more wildcards, so it was processed
     // earlier; equal patterns are caught by the non-strict check. No
     // supersumption retrieval is needed.
+    ++*probes;
     if (index->HasSubsumer(p, /*strict=*/false)) continue;
     index->Insert(p);
     TrackPeaks(*index, stats);
@@ -184,28 +192,56 @@ Result<PatternSet> Minimize(const PatternSet& input, MinimizeApproach approach,
   return Minimize(input, approach, kind, /*scan_pool=*/nullptr, ctx, stats);
 }
 
+namespace {
+
+/// Static span names keep the tracer allocation-free.
+const char* MinimizeSpanName(MinimizeApproach approach) {
+  switch (approach) {
+    case MinimizeApproach::kAllAtOnce:
+      return "minimize.all_at_once";
+    case MinimizeApproach::kIncremental:
+      return "minimize.incremental";
+    case MinimizeApproach::kSortedIncremental:
+      return "minimize.sorted_incremental";
+  }
+  return "minimize";
+}
+
+}  // namespace
+
 Result<PatternSet> Minimize(const PatternSet& input, MinimizeApproach approach,
                             PatternIndexKind kind, ThreadPool* scan_pool,
                             const ExecContext& ctx, MinimizeStats* stats) {
   WallTimer timer;
+  PCDB_TRACE_SPAN(span, MinimizeSpanName(approach));
   Result<PatternSet> out = Status::Internal("unhandled minimize approach");
-  // The exception guard gives serial runs the same kInternal a pool
-  // worker's catch produces for throw-action failpoints.
+  // Probes are counted locally so the engine counter and the trace arg
+  // see them even when the caller passed no stats. The exception guard
+  // gives serial runs the same kInternal a pool worker's catch produces
+  // for throw-action failpoints; the span closes (RAII) on every path.
+  size_t probes = 0;
   try {
     switch (approach) {
       case MinimizeApproach::kAllAtOnce:
-        out = MinimizeAllAtOnce(input, kind, ctx, stats);
+        out = MinimizeAllAtOnce(input, kind, ctx, stats, &probes);
         break;
       case MinimizeApproach::kIncremental:
-        out = MinimizeIncremental(input, kind, ctx, stats, scan_pool);
+        out = MinimizeIncremental(input, kind, ctx, stats, scan_pool, &probes);
         break;
       case MinimizeApproach::kSortedIncremental:
-        out = MinimizeSortedIncremental(input, kind, ctx, stats);
+        out = MinimizeSortedIncremental(input, kind, ctx, stats, &probes);
         break;
     }
   } catch (const std::exception& e) {
     return Status::Internal(std::string("minimization failed: ") + e.what());
   }
+  const EngineCounters& engine = EngineMetrics();
+  engine.patterns_minimized->Increment(input.size());
+  engine.subsumption_probes->Increment(probes);
+  span.Arg("kind", static_cast<uint64_t>(kind));
+  span.Arg("input", input.size());
+  span.Arg("probes", probes);
+  if (stats != nullptr) stats->probes += probes;
   if (out.ok() && stats != nullptr) {
     stats->output_size = out.ValueOrDie().size();
     stats->millis = timer.ElapsedMillis();
@@ -242,6 +278,7 @@ class PeakAccumulator {
     MutexLock lock(&mu_);
     peak_index_size_ = std::max(peak_index_size_, s.peak_index_size);
     peak_memory_bytes_ = std::max(peak_memory_bytes_, s.peak_memory_bytes);
+    probes_ += s.probes;  // probes sum across shards (peaks max-merge)
   }
 
   void FlushInto(MinimizeStats* stats) PCDB_EXCLUDES(mu_) {
@@ -251,12 +288,14 @@ class PeakAccumulator {
         std::max(stats->peak_index_size, peak_index_size_);
     stats->peak_memory_bytes =
         std::max(stats->peak_memory_bytes, peak_memory_bytes_);
+    stats->probes += probes_;
   }
 
  private:
   Mutex mu_;
   size_t peak_index_size_ PCDB_GUARDED_BY(mu_) = 0;
   size_t peak_memory_bytes_ PCDB_GUARDED_BY(mu_) = 0;
+  size_t probes_ PCDB_GUARDED_BY(mu_) = 0;
 };
 
 /// The governed sharded pipeline; ParallelMinimize wraps it with the
@@ -282,6 +321,9 @@ Result<PatternSet> ParallelMinimizeGoverned(const PatternSet& input,
     return Minimize(input, approach, kind, pool, ctx, stats);
   }
   WallTimer timer;
+  PCDB_TRACE_SPAN(span, "minimize.parallel");
+  span.Arg("kind", static_cast<uint64_t>(kind));
+  span.Arg("input", input.size());
   PCDB_RETURN_NOT_OK(ctx.Check());
 
   // Group pattern indices by signature; a whole group always lands in
@@ -371,7 +413,12 @@ Result<PatternSet> ParallelMinimizeGoverned(const PatternSet& input,
     for (size_t i = 0; i < merged.size(); ++i) {
       if (keep[i]) out.Add(merged[i]);
     }
+    // One HasSubsumer probe ran per merged element (counted after the
+    // fan-out: the keep-slot writers must stay free of shared state).
+    EngineMetrics().subsumption_probes->Increment(merged.size());
+    span.Arg("merge_probes", merged.size());
     if (stats != nullptr) {
+      stats->probes += merged.size();
       stats->peak_index_size = std::max(stats->peak_index_size, index->size());
       stats->peak_memory_bytes =
           std::max(stats->peak_memory_bytes, index->ApproxMemoryBytes());

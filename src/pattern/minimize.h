@@ -37,6 +37,10 @@ struct MinimizeStats {
   size_t peak_index_size = 0;
   /// Largest ApproxMemoryBytes() of the index at any point.
   size_t peak_memory_bytes = 0;
+  /// Index probe operations (HasSubsumer / CollectSubsumed calls) this
+  /// run issued. Accumulates across shard merges; also mirrored into
+  /// the engine_subsumption_probes global counter.
+  size_t probes = 0;
   /// Wall-clock time.
   double millis = 0;
 };

@@ -7,6 +7,7 @@
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace pcdb {
 namespace {
@@ -374,15 +375,49 @@ Result<Table> ApplyRootOperator(const Expr& expr, const Database& db,
                            ExecContext::Unbounded());
 }
 
+namespace {
+
+/// Static span names (the tracer stores the pointer, never copies).
+const char* EvalSpanName(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kScan:
+      return "eval.scan";
+    case ExprKind::kSelectConst:
+      return "eval.select_const";
+    case ExprKind::kSelectAttrEq:
+      return "eval.select_attr_eq";
+    case ExprKind::kProjectOut:
+      return "eval.project_out";
+    case ExprKind::kRearrange:
+      return "eval.rearrange";
+    case ExprKind::kJoin:
+      return "eval.join";
+    case ExprKind::kAggregate:
+      return "eval.aggregate";
+    case ExprKind::kSort:
+      return "eval.sort";
+    case ExprKind::kLimit:
+      return "eval.limit";
+    case ExprKind::kUnion:
+      return "eval.union";
+  }
+  return "eval.operator";
+}
+
+}  // namespace
+
 Result<Table> ApplyRootOperator(const Expr& expr, const Database& db,
                                 Table left, Table right, ThreadPool* pool,
                                 const ExecContext& ctx) {
+  PCDB_TRACE_SPAN(span, EvalSpanName(expr.kind()));
   PCDB_FAILPOINT("eval.operator");
   PCDB_RETURN_NOT_OK(ctx.Check());
+  span.Arg("input_rows", left.num_rows() + right.num_rows());
   PCDB_ASSIGN_OR_RETURN(
       Table out, ApplyRootOperatorImpl(expr, db, std::move(left),
                                        std::move(right), pool, ctx));
   PCDB_RETURN_NOT_OK(ctx.CheckRows(out.num_rows()));
+  span.Arg("rows", out.num_rows());
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "obs/trace.h"
+
 namespace pcdb {
 
 AnswerCache::AnswerCache() : AnswerCache(Options()) {}
@@ -24,14 +26,17 @@ AnswerCache::Shard& AnswerCache::ShardFor(const std::string& key) {
 }
 
 std::shared_ptr<const EncodedAnswer> AnswerCache::Get(const std::string& key) {
+  PCDB_TRACE_SPAN(span, "cache.get");
   Shard& shard = ShardFor(key);
   MutexLock lock(&shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
+    span.Arg("hit", 0);
     return nullptr;
   }
   ++shard.hits;
+  span.Arg("hit", 1);
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->answer;
 }
@@ -40,7 +45,9 @@ void AnswerCache::Put(const std::string& key,
                       std::vector<std::string> tables,
                       std::shared_ptr<const EncodedAnswer> answer) {
   if (answer == nullptr) return;
+  PCDB_TRACE_SPAN(span, "cache.put");
   const size_t bytes = key.size() + answer->TotalBytes();
+  span.Arg("bytes", bytes);
   if (bytes > shard_max_bytes_) return;  // would evict a whole shard
   Shard& shard = ShardFor(key);
   MutexLock lock(&shard.mu);

@@ -20,7 +20,8 @@ Result<uint64_t> Client::SendQuery(const std::string& sql,
   QueryRequest request;
   request.flags = (options.instance_aware ? QueryRequest::kFlagInstanceAware
                                           : 0u) |
-                  (options.zombies ? QueryRequest::kFlagZombies : 0u);
+                  (options.zombies ? QueryRequest::kFlagZombies : 0u) |
+                  (options.profile ? QueryRequest::kFlagProfile : 0u);
   request.deadline_millis = options.deadline_millis;
   request.max_rows = options.max_rows;
   request.max_patterns = options.max_patterns;
@@ -68,6 +69,7 @@ Result<ClientAnswer> Client::ReadAnswer(uint64_t request_id) {
   PCDB_ASSIGN_OR_RETURN(answer.table, DecodeAnswer(partial.encoded));
   answer.done = partial.trailer;
   answer.canonical_bytes = std::move(partial.canonical_bytes);
+  answer.profile = std::move(partial.profile);
   return answer;
 }
 
@@ -134,6 +136,7 @@ Status Client::Absorb(Frame frame) {
     case FrameType::kAnswerSchema:
     case FrameType::kAnswerRows:
     case FrameType::kAnswerPatterns:
+    case FrameType::kAnswerProfile:
     case FrameType::kAnswerDone:
     case FrameType::kError:
       break;  // handled below
@@ -171,6 +174,11 @@ Status Client::Absorb(Frame frame) {
       }
       partial.canonical_bytes += frame.payload;
       partial.encoded.patterns = std::move(frame.payload);
+      return Status::OK();
+    case FrameType::kAnswerProfile:
+      // Stored verbatim and kept out of canonical_bytes: the profile
+      // describes the evaluation, not the answer.
+      partial.profile = std::move(frame.payload);
       return Status::OK();
     case FrameType::kAnswerDone: {
       PCDB_ASSIGN_OR_RETURN(partial.trailer,

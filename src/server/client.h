@@ -33,6 +33,9 @@ struct ClientQueryOptions {
   uint64_t max_memory_bytes = 0;
   bool instance_aware = false;
   bool zombies = false;
+  /// Request an ANSWER_PROFILE frame (per-operator EXPLAIN ANALYZE
+  /// JSON); arrives in ClientAnswer::profile.
+  bool profile = false;
 };
 
 /// \brief A fully received annotated answer.
@@ -43,6 +46,10 @@ struct ClientAnswer {
   /// byte-for-byte against EncodeAnswer(...).CanonicalBytes() of an
   /// in-process evaluation (the wire-fidelity contract).
   std::string canonical_bytes;
+  /// ANSWER_PROFILE payload verbatim (QueryProfileToJson text); empty
+  /// unless the query asked for a profile. Deliberately excluded from
+  /// canonical_bytes — the profile describes the run, not the answer.
+  std::string profile;
 };
 
 /// \brief A pcdbd protocol client over one TCP connection.
@@ -99,6 +106,7 @@ class Client {
     std::string canonical_bytes;
     bool done = false;
     AnswerDone trailer;
+    std::string profile;  // ANSWER_PROFILE payload, verbatim
     Status error;  // non-OK once an ERROR frame arrived
   };
 

@@ -186,6 +186,7 @@ bool IsKnownFrameType(uint8_t tag) {
     case FrameType::kError:
     case FrameType::kPong:
     case FrameType::kStatsResult:
+    case FrameType::kAnswerProfile:
       return true;
   }
   return false;

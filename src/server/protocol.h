@@ -23,8 +23,8 @@
 ///
 /// Client -> server: QUERY, CANCEL, PING, STATS.
 /// Server -> client: per QUERY either ANSWER_SCHEMA, ANSWER_ROWS*,
-/// ANSWER_PATTERNS, ANSWER_DONE — or a single ERROR; PONG answers PING;
-/// STATS_RESULT answers STATS. All responses echo the request id, so a
+/// ANSWER_PATTERNS, [ANSWER_PROFILE,] ANSWER_DONE — or a single ERROR;
+/// PONG answers PING; STATS_RESULT answers STATS. All responses echo the request id, so a
 /// client may pipeline requests over one connection.
 ///
 /// This header is also the single place where StatusCode is mapped onto
@@ -52,6 +52,13 @@ enum class FrameType : uint8_t {
   kError = 0x84,
   kPong = 0x85,
   kStatsResult = 0x86,
+  /// Per-query EXPLAIN ANALYZE profile, sent between ANSWER_PATTERNS and
+  /// ANSWER_DONE when the query set QueryRequest::kFlagProfile. The
+  /// payload is the QueryProfileToJson text verbatim (no re-encoding on
+  /// either side), so the profile a client receives is byte-identical to
+  /// the one the server rendered. Not part of CanonicalBytes: the
+  /// profile describes the evaluation, not the answer.
+  kAnswerProfile = 0x87,
 };
 
 /// True if `tag` is one of the FrameType values.
@@ -152,6 +159,10 @@ struct QueryRequest {
 
   static constexpr uint32_t kFlagInstanceAware = 1u << 0;
   static constexpr uint32_t kFlagZombies = 1u << 1;
+  /// Request a per-query profile: the server answers with an extra
+  /// ANSWER_PROFILE frame before ANSWER_DONE. The flag never affects the
+  /// answer bytes, so the server masks it out of the cache key.
+  static constexpr uint32_t kFlagProfile = 1u << 2;
 };
 
 std::string EncodeQueryPayload(const QueryRequest& request);

@@ -5,7 +5,10 @@
 #include <map>
 #include <utility>
 
+#include "common/log.h"
 #include "common/timer.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "pattern/annotated_eval.h"
 #include "sql/planner.h"
 
@@ -19,6 +22,10 @@ struct Server::Completion {
   Status status;
   std::shared_ptr<const EncodedAnswer> answer;
   AnswerDone done;
+  /// Rendered QueryProfileToJson text; non-empty only when the request
+  /// set kFlagProfile and the query succeeded. Framed verbatim as
+  /// ANSWER_PROFILE, so the client receives it byte-identically.
+  std::string profile_json;
 };
 
 /// Per-connection state. Owned exclusively by the event loop.
@@ -29,8 +36,15 @@ struct Server::Conn {
   /// Outbound bytes not yet written; [out_pos, size) is pending.
   std::string outbuf;
   size_t out_pos = 0;
+  /// One admitted query waiting for an eval slot.
+  struct QueuedQuery {
+    uint64_t request_id = 0;
+    QueryRequest request;
+    /// Tracer-epoch time of admission, for queue-wait accounting.
+    uint64_t admit_micros = 0;
+  };
   /// Admitted queries waiting for an eval slot.
-  std::deque<std::pair<uint64_t, QueryRequest>> queued;
+  std::deque<QueuedQuery> queued;
   /// Cancellation tokens of this connection's in-flight queries.
   std::map<uint64_t, std::shared_ptr<CancellationToken>> tokens;
   /// No more input will arrive or be processed; answer everything
@@ -74,6 +88,10 @@ Server::Server(AnnotatedDatabase db, ServerOptions options)
   g_connections_ = metrics_.GetGauge("connections_open");
   g_inflight_ = metrics_.GetGauge("inflight");
   h_latency_ = metrics_.GetHistogram("request_latency");
+  // Resolve the engine-level counters eagerly: the first EngineMetrics()
+  // call also installs the failpoint trip observer, so trips are counted
+  // from the very first request.
+  EngineMetrics();
 }
 
 Server::~Server() { Stop(); }
@@ -178,6 +196,9 @@ std::string Server::StatsJson() const {
       ",\"invalidations\":" + std::to_string(cs.invalidations) +
       ",\"entries\":" + std::to_string(cs.entries) +
       ",\"bytes\":" + std::to_string(cs.bytes) + "}";
+  // Engine-level counters (minimization, degradation, failpoint trips)
+  // live in the process-wide registry, shared across Server instances.
+  cache_json += ",\"engine\":" + GlobalMetrics().ToJson();
   json.insert(json.size() - 1, cache_json);
   return json;
 }
@@ -261,6 +282,7 @@ void Server::RunLoop() {
 }
 
 void Server::AcceptNewConnections(LoopState* state) {
+  PCDB_TRACE_SPAN(span, "server.accept");
   // The try/catch confines an injected accept fault (throw action on
   // server.accept) to this accept round: the listener stays up.
   try {
@@ -338,6 +360,7 @@ void Server::HandleReadable(LoopState* state, Conn* conn) {
 }
 
 void Server::HandleFrame(LoopState* state, Conn* conn, Frame frame) {
+  PCDB_TRACE_SPAN(span, "server.frame");
   switch (frame.type) {
     case FrameType::kPing:
       AppendFrame(&conn->outbuf, FrameType::kPong, frame.request_id, "");
@@ -356,7 +379,7 @@ void Server::HandleFrame(LoopState* state, Conn* conn, Frame frame) {
       }
       // Still waiting for an eval slot? Answer kCancelled right away.
       for (auto it = conn->queued.begin(); it != conn->queued.end(); ++it) {
-        if (it->first == *target) {
+        if (it->request_id == *target) {
           conn->queued.erase(it);
           c_cancelled_->Increment();
           AppendFrame(&conn->outbuf, FrameType::kError, *target,
@@ -398,12 +421,14 @@ void Server::HandleFrame(LoopState* state, Conn* conn, Frame frame) {
 void Server::AdmitOrShed(LoopState* state, Conn* conn, uint64_t request_id,
                          QueryRequest request) {
   c_requests_->Increment();
+  const uint64_t admit_micros = Tracer::Global().NowMicros();
   if (state->inflight < options_.max_inflight) {
-    DispatchQuery(state, conn, request_id, std::move(request));
+    DispatchQuery(state, conn, request_id, std::move(request), admit_micros);
     return;
   }
   if (conn->queued.size() < options_.max_queued_per_connection) {
-    conn->queued.emplace_back(request_id, std::move(request));
+    conn->queued.push_back(
+        Conn::QueuedQuery{request_id, std::move(request), admit_micros});
     state->admit_fifo.push_back(conn->id);
     return;
   }
@@ -416,7 +441,7 @@ void Server::AdmitOrShed(LoopState* state, Conn* conn, uint64_t request_id,
 }
 
 void Server::DispatchQuery(LoopState* state, Conn* conn, uint64_t request_id,
-                           QueryRequest request) {
+                           QueryRequest request, uint64_t admit_micros) {
   auto token = std::make_shared<CancellationToken>();
   conn->tokens[request_id] = token;
   ++state->inflight;
@@ -425,15 +450,17 @@ void Server::DispatchQuery(LoopState* state, Conn* conn, uint64_t request_id,
   const uint64_t conn_id = conn->id;
   eval_pool_->Submit(
       [this, conn_id, request_id, request = std::move(request), token,
-       snapshot]() mutable {
-        RunQueryJob(conn_id, request_id, std::move(request), token, snapshot);
+       snapshot, admit_micros]() mutable {
+        RunQueryJob(conn_id, request_id, std::move(request), token, snapshot,
+                    admit_micros);
       });
 }
 
 void Server::RunQueryJob(uint64_t conn_id, uint64_t request_id,
                          QueryRequest request,
                          std::shared_ptr<CancellationToken> token,
-                         std::shared_ptr<const AnnotatedDatabase> snapshot) {
+                         std::shared_ptr<const AnnotatedDatabase> snapshot,
+                         uint64_t admit_micros) {
   Completion comp;
   comp.conn_id = conn_id;
   comp.request_id = request_id;
@@ -442,8 +469,22 @@ void Server::RunQueryJob(uint64_t conn_id, uint64_t request_id,
   // skip sibling jobs.
   try {
     WallTimer timer;
+    const uint64_t start_micros = Tracer::Global().NowMicros();
+    const uint64_t queue_micros =
+        start_micros > admit_micros ? start_micros - admit_micros : 0;
+    PCDB_TRACE_SPAN(query_span, "server.query");
+    if (Tracer::enabled() && queue_micros > 0) {
+      // The wait happened before this span existed; backfill it as a
+      // child interval so the viewer shows admit -> eval contiguously.
+      Tracer::Global().RecordInterval("server.queue_wait", admit_micros,
+                                      queue_micros);
+    }
+    const bool want_profile =
+        (request.flags & QueryRequest::kFlagProfile) != 0;
+
     ExecContext ctx;
     ctx.WithCancellationToken(token);
+    ctx.WithTraceContext(CurrentTraceContext());
     if (request.deadline_millis > 0) {
       ctx.WithDeadlineAfterMillis(request.deadline_millis);
     }
@@ -463,9 +504,12 @@ void Server::RunQueryJob(uint64_t conn_id, uint64_t request_id,
       for (const std::string& t : tables) {
         table_epochs.emplace_back(t, snapshot->database().TableEpoch(t));
       }
+      // kFlagProfile never changes the answer bytes, so it is masked out
+      // of the key — a profiled and an unprofiled run share one entry.
       const std::string key = AnswerCache::MakeKey(
-          AnswerCache::NormalizeSql(request.sql), request.flags,
-          request.max_rows, request.max_patterns, request.max_memory_bytes,
+          AnswerCache::NormalizeSql(request.sql),
+          request.flags & ~QueryRequest::kFlagProfile, request.max_rows,
+          request.max_patterns, request.max_memory_bytes,
           std::move(table_epochs));
 
       std::shared_ptr<const EncodedAnswer> cached;
@@ -475,6 +519,13 @@ void Server::RunQueryJob(uint64_t conn_id, uint64_t request_id,
         comp.answer = cached;
         comp.done.degraded = cached->degraded;
         comp.done.cache_hit = true;
+        if (want_profile) {
+          QueryProfile profile;
+          profile.cache_hit = true;
+          profile.degraded = cached->degraded;
+          profile.queue_micros = queue_micros;
+          comp.profile_json = QueryProfileToJson(profile);
+        }
       } else {
         if (options_.enable_cache) c_cache_misses_->Increment();
         AnnotatedEvalOptions eval_options;
@@ -483,12 +534,16 @@ void Server::RunQueryJob(uint64_t conn_id, uint64_t request_id,
         eval_options.zombies =
             (request.flags & QueryRequest::kFlagZombies) != 0;
         eval_options.num_threads = options_.eval_threads_per_query;
+        eval_options.collect_profile = want_profile;
         AnnotatedEvalInfo info;
+        WallTimer eval_timer;
         Result<AnnotatedTable> answer =
             EvaluateAnnotated(**plan, *snapshot, eval_options, ctx, &info);
+        const double eval_millis = eval_timer.ElapsedMillis();
         if (!answer.ok()) {
           comp.status = answer.status();
         } else {
+          PCDB_TRACE_SPAN(encode_span, "server.encode");
           auto encoded = std::make_shared<EncodedAnswer>(
               EncodeAnswer(*answer, options_.rows_per_batch));
           Status fits = CheckEncodedFrameSizes(*encoded);
@@ -506,11 +561,28 @@ void Server::RunQueryJob(uint64_t conn_id, uint64_t request_id,
             comp.done.cache_hit = false;
             comp.done.data_millis = info.data_millis;
             comp.done.pattern_millis = info.pattern_millis;
+            if (want_profile) {
+              QueryProfile profile = std::move(info.profile);
+              profile.cache_hit = false;
+              profile.degraded = answer->degraded;
+              profile.queue_micros = queue_micros;
+              profile.eval_micros = eval_millis * 1000.0;
+              comp.profile_json = QueryProfileToJson(profile);
+            }
           }
         }
       }
     }
-    h_latency_->RecordMillis(timer.ElapsedMillis());
+    const double total_millis = timer.ElapsedMillis();
+    h_latency_->RecordMillis(total_millis);
+    if (options_.slow_query_millis > 0 &&
+        total_millis >= options_.slow_query_millis) {
+      LogWarn("slow query")
+          .Float("millis", total_millis)
+          .Float("queue_millis", queue_micros / 1000.0)
+          .Unum("request_id", request_id)
+          .Str("sql", request.sql);
+    }
   } catch (const std::exception& e) {
     comp.status =
         Status::Internal(std::string("query worker exception: ") + e.what());
@@ -568,6 +640,10 @@ void Server::ProcessCompletions(LoopState* state) {
       }
       AppendFrame(&conn->outbuf, FrameType::kAnswerPatterns, comp.request_id,
                   answer.patterns);
+      if (!comp.profile_json.empty()) {
+        AppendFrame(&conn->outbuf, FrameType::kAnswerProfile, comp.request_id,
+                    comp.profile_json);
+      }
       AppendFrame(&conn->outbuf, FrameType::kAnswerDone, comp.request_id,
                   EncodeDonePayload(comp.done));
     }
@@ -585,13 +661,16 @@ void Server::ProcessCompletions(LoopState* state) {
     // `closing` conns keep their slot in line: their queued queries were
     // admitted before the half-close and are still owed an answer.
     if (conn->queued.empty() || conn->dead) continue;
-    auto [request_id, request] = std::move(conn->queued.front());
+    Conn::QueuedQuery next = std::move(conn->queued.front());
     conn->queued.pop_front();
-    DispatchQuery(state, conn, request_id, std::move(request));
+    DispatchQuery(state, conn, next.request_id, std::move(next.request),
+                  next.admit_micros);
   }
 }
 
 void Server::FlushWrites(Conn* conn) {
+  if (!conn->HasPendingOutput()) return;
+  PCDB_TRACE_SPAN(span, "server.flush");
   // Self-guarding (like HandleReadable): an injected write fault kills
   // only this connection.
   try {

@@ -11,9 +11,9 @@
 #include "common/exec_context.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "pattern/annotated.h"
 #include "server/answer_cache.h"
-#include "server/metrics.h"
 #include "server/net_socket.h"
 #include "server/protocol.h"
 
@@ -70,6 +70,10 @@ struct ServerOptions {
   size_t rows_per_batch = 256;
   /// Poll timeout; bounds Stop() latency when the server is idle.
   int poll_millis = 100;
+  /// Slow-query log threshold: a query whose total server-side time
+  /// (queue wait + evaluation + encode) reaches this many milliseconds
+  /// is logged at warn level with its SQL and timings. 0 disables.
+  double slow_query_millis = 0;
 };
 
 /// \brief The pcdbd serving core. Start() spins up the listener, event
@@ -124,11 +128,12 @@ class Server {
   void AdmitOrShed(LoopState* state, Conn* conn, uint64_t request_id,
                    QueryRequest request);
   void DispatchQuery(LoopState* state, Conn* conn, uint64_t request_id,
-                     QueryRequest request);
+                     QueryRequest request, uint64_t admit_micros);
   void FlushWrites(Conn* conn);
   void RunQueryJob(uint64_t conn_id, uint64_t request_id, QueryRequest request,
                    std::shared_ptr<CancellationToken> token,
-                   std::shared_ptr<const AnnotatedDatabase> snapshot);
+                   std::shared_ptr<const AnnotatedDatabase> snapshot,
+                   uint64_t admit_micros);
   void PostCompletion(Completion completion);
   std::shared_ptr<const AnnotatedDatabase> Snapshot() const
       PCDB_EXCLUDES(db_mu_);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/timer.h"
 #include "pattern/annotated_eval.h"
 #include "pattern/minimize.h"
 #include "workloads/maintenance_example.h"
@@ -128,6 +129,47 @@ TEST_F(AnnotatedEvalTest, InfoTimingsPopulated) {
   EXPECT_GE(info.data_millis, 0.0);
   EXPECT_GE(info.pattern_millis, 0.0);
   EXPECT_GT(info.max_intermediate_patterns, 0u);
+}
+
+size_t CountPlanNodes(const Expr& expr) {
+  size_t n = 1;
+  if (expr.left() != nullptr) n += CountPlanNodes(*expr.left());
+  if (expr.right() != nullptr) n += CountPlanNodes(*expr.right());
+  return n;
+}
+
+TEST_F(AnnotatedEvalTest, CollectProfileRecordsOneOperatorPerPlanNode) {
+  ExprPtr plan = MakeHardwareWarningsQuery();
+  AnnotatedEvalOptions options;
+  options.collect_profile = true;
+  AnnotatedEvalInfo info;
+  WallTimer timer;
+  auto result = EvaluateAnnotated(plan, adb_, options, &info);
+  const double total_micros = timer.ElapsedMillis() * 1000.0;
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(info.profile.operators.size(), CountPlanNodes(*plan));
+  // Post-order: the root (depth 0) comes last; every operator knows its
+  // depth and the leaves are scans.
+  EXPECT_EQ(info.profile.operators.back().depth, 0);
+  EXPECT_EQ(info.profile.operators.front().op, "scan");
+  EXPECT_EQ(info.profile.operators.front().patterns_in, 0u);
+  for (const OperatorProfile& op : info.profile.operators) {
+    EXPECT_GE(op.pattern_micros, 0.0) << op.op;
+    EXPECT_GE(op.data_micros, 0.0) << op.op;
+  }
+  // Per-operator micros are disjoint (each node times only its own
+  // pattern and data steps), so their sum cannot exceed the measured
+  // wall-clock total — the --explain-analyze invariant.
+  EXPECT_LE(info.profile.OperatorMicrosTotal(), total_micros);
+  EXPECT_GT(info.profile.OperatorMicrosTotal(), 0.0);
+}
+
+TEST_F(AnnotatedEvalTest, ProfileIsEmptyUnlessRequested) {
+  AnnotatedEvalInfo info;
+  ASSERT_TRUE(EvaluateAnnotated(MakeHardwareWarningsQuery(), adb_,
+                                AnnotatedEvalOptions{}, &info)
+                  .ok());
+  EXPECT_TRUE(info.profile.operators.empty());
 }
 
 TEST_F(AnnotatedEvalTest, ZombiesRequireDomains) {

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
-#include "server/metrics.h"
+#include "obs/metrics.h"
+#include "pattern/annotated_eval.h"
+#include "workloads/maintenance_example.h"
 
 namespace pcdb {
 namespace {
@@ -76,6 +79,68 @@ TEST(MetricsRegistryTest, JsonSnapshotIsSortedAndComplete) {
   EXPECT_NE(json.find("\"depth\":-4"), std::string::npos) << json;
   EXPECT_NE(json.find("\"latency\":{\"count\":1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"p99_ms\":"), std::string::npos) << json;
+}
+
+TEST(HistogramTest, SnapshotBucketsExposesRawCounts) {
+  Histogram h;
+  h.RecordMicros(1);     // [1, 2)      -> bucket 0
+  h.RecordMicros(0);     // sub-micro   -> bucket 0
+  h.RecordMicros(2);     // [2, 4)      -> bucket 1
+  h.RecordMicros(3);     // [2, 4)      -> bucket 1
+  h.RecordMicros(1000);  // [512, 1024) -> bucket 9
+  uint64_t buckets[Histogram::kNumBuckets];
+  h.SnapshotBuckets(buckets);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[9], 1u);
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  EXPECT_EQ(total, h.Count());
+}
+
+TEST(MetricsRegistryTest, JsonIncludesRawHistogramBuckets) {
+  MetricsRegistry registry;
+  registry.GetHistogram("latency")->RecordMicros(3);
+  const std::string json = registry.ToJson();
+  const size_t open = json.find("\"buckets\":[");
+  ASSERT_NE(open, std::string::npos) << json;
+  const size_t close = json.find(']', open);
+  ASSERT_NE(close, std::string::npos) << json;
+  // 40 comma-separated raw counts.
+  const std::string list = json.substr(open, close - open);
+  EXPECT_EQ(std::count(list.begin(), list.end(), ','),
+            static_cast<long>(Histogram::kNumBuckets) - 1)
+      << list;
+}
+
+TEST(GlobalMetricsTest, RegistryIsProcessWide) {
+  EXPECT_EQ(&GlobalMetrics(), &GlobalMetrics());
+  const EngineCounters& counters = EngineMetrics();
+  EXPECT_NE(counters.patterns_minimized, nullptr);
+  EXPECT_NE(counters.subsumption_probes, nullptr);
+  EXPECT_NE(counters.degraded_to_summary, nullptr);
+  EXPECT_NE(counters.failpoint_trips, nullptr);
+  // Resolved pointers are stable across calls.
+  EXPECT_EQ(counters.patterns_minimized,
+            EngineMetrics().patterns_minimized);
+}
+
+TEST(GlobalMetricsTest, MinimizationAdvancesTheEngineCounters) {
+  const uint64_t minimized_before =
+      EngineMetrics().patterns_minimized->Value();
+  const uint64_t probes_before =
+      EngineMetrics().subsumption_probes->Value();
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  ASSERT_TRUE(EvaluateAnnotated(MakeHardwareWarningsQuery(), adb).ok());
+  EXPECT_GT(EngineMetrics().patterns_minimized->Value(), minimized_before);
+  EXPECT_GT(EngineMetrics().subsumption_probes->Value(), probes_before);
+  // The same counters appear in the global JSON snapshot (the server
+  // splices this into STATS under "engine").
+  const std::string json = GlobalMetrics().ToJson();
+  EXPECT_NE(json.find("\"engine_patterns_minimized\":"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"engine_subsumption_probes\":"), std::string::npos)
+      << json;
 }
 
 TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {

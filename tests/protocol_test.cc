@@ -178,6 +178,34 @@ TEST(WireErrorTest, TruncatedErrorPayloadIsAParseError) {
 // ---------------------------------------------------------------------------
 // Request payloads.
 
+TEST(FrameTest, AnswerProfileFrameCarriesItsPayloadVerbatim) {
+  // The ANSWER_PROFILE payload is the server-rendered profile JSON; the
+  // frame must deliver the identical bytes (byte-identity of the wire
+  // profile is a protocol guarantee, not a re-rendering).
+  const std::string profile_json =
+      "{\"operators\":[{\"op\":\"scan\",\"depth\":1}],"
+      "\"cache_hit\":false,\"eval_micros\":12.5}";
+  std::string wire;
+  AppendFrame(&wire, FrameType::kAnswerProfile, 11, profile_json);
+  FrameReader reader;
+  reader.Feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_TRUE(NextFrame(&reader, &frame));
+  EXPECT_EQ(frame.type, FrameType::kAnswerProfile);
+  EXPECT_EQ(frame.request_id, 11u);
+  EXPECT_EQ(frame.payload, profile_json);
+}
+
+TEST(QueryPayloadTest, ProfileFlagRoundTrips) {
+  QueryRequest request;
+  request.flags = QueryRequest::kFlagProfile;
+  request.sql = "SELECT * FROM Warnings";
+  Result<QueryRequest> back = DecodeQueryPayload(EncodeQueryPayload(request));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->flags, QueryRequest::kFlagProfile);
+  EXPECT_EQ(back->sql, request.sql);
+}
+
 TEST(QueryPayloadTest, RoundTrips) {
   QueryRequest request;
   request.flags =

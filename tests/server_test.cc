@@ -10,6 +10,8 @@
 
 #include "common/exec_context.h"
 #include "common/failpoint.h"
+#include "common/log.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "pattern/annotated_eval.h"
 #include "server/client.h"
@@ -24,6 +26,17 @@ constexpr const char* kQhwSql =
     "SELECT * FROM Warnings W JOIN Maintenance M ON W.ID=M.ID "
     "JOIN Teams T ON M.responsible=T.name "
     "WHERE W.week=2 AND T.specialization='hardware'";
+
+// Captures structured log lines emitted by server threads (the sink is
+// a plain function pointer, so the buffer is a locked global).
+Mutex g_server_log_mu;
+std::string g_server_log_capture PCDB_GUARDED_BY(g_server_log_mu);
+
+void CaptureServerLogLine(const std::string& line) {
+  MutexLock lock(&g_server_log_mu);
+  g_server_log_capture += line;
+  g_server_log_capture += '\n';
+}
 
 /// End-to-end serve-path tests: a real Server on an ephemeral loopback
 /// port, exercised through the real Client. Failpoints are global, so
@@ -232,6 +245,92 @@ TEST_F(ServerTest, RepeatedQueryHitsTheCacheAndMutationInvalidates) {
   Result<ClientAnswer> third = client.Query(kQhwSql);
   ASSERT_TRUE(third.ok());
   EXPECT_FALSE(third->done.cache_hit);
+}
+
+TEST_F(ServerTest, ProfileFlagDeliversAProfileWithoutPerturbingTheAnswer) {
+  StartServer();
+  Client client = ConnectOrDie();
+  ClientQueryOptions options;
+  options.profile = true;
+  Result<ClientAnswer> profiled = client.Query(kQhwSql, options);
+  ASSERT_TRUE(profiled.ok()) << profiled.status().ToString();
+  ASSERT_FALSE(profiled->profile.empty());
+  // The payload is the server-side QueryProfileToJson rendering,
+  // delivered verbatim: per-operator rows/patterns plus request-level
+  // timings, with a cache miss on the first evaluation.
+  EXPECT_NE(profiled->profile.find("\"cache_hit\":false"),
+            std::string::npos)
+      << profiled->profile;
+  EXPECT_NE(profiled->profile.find("\"operators\":[{"), std::string::npos);
+  EXPECT_NE(profiled->profile.find("\"op\":\"scan\""), std::string::npos);
+  EXPECT_NE(profiled->profile.find("\"op\":\"join\""), std::string::npos);
+  EXPECT_NE(profiled->profile.find("\"eval_micros\":"), std::string::npos);
+  EXPECT_NE(profiled->profile.find("\"queue_micros\":"), std::string::npos);
+  // Profiling never perturbs the answer: the canonical bytes match the
+  // in-process evaluation exactly, profile or not.
+  EXPECT_EQ(profiled->canonical_bytes, InProcessCanonicalBytes(kQhwSql));
+  // Without the flag, no ANSWER_PROFILE frame arrives.
+  Result<ClientAnswer> plain = client.Query(kQhwSql);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->profile.empty());
+}
+
+TEST_F(ServerTest, ProfiledAndPlainQueriesShareOneCacheEntry) {
+  StartServer();
+  Client client = ConnectOrDie();
+  ASSERT_TRUE(client.Query(kQhwSql).ok());  // populate the cache
+  ClientQueryOptions options;
+  options.profile = true;
+  Result<ClientAnswer> hit = client.Query(kQhwSql, options);
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  // The profile flag is masked out of the cache key: the profiled
+  // re-query hits the entry the plain query stored, and the profile
+  // reports the hit (no operators ran).
+  EXPECT_TRUE(hit->done.cache_hit);
+  EXPECT_NE(hit->profile.find("\"cache_hit\":true"), std::string::npos)
+      << hit->profile;
+  EXPECT_NE(hit->profile.find("\"operators\":[]"), std::string::npos)
+      << hit->profile;
+  EXPECT_EQ(server_->metrics().CounterValue("cache_hits"), 1u);
+}
+
+TEST_F(ServerTest, StatsIncludesEngineMetricsAndHistogramBuckets) {
+  StartServer();
+  Client client = ConnectOrDie();
+  ASSERT_TRUE(client.Query(kQhwSql).ok());
+  Result<std::string> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"engine\":{"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"engine_patterns_minimized\":"),
+            std::string::npos)
+      << *stats;
+  EXPECT_NE(stats->find("\"buckets\":["), std::string::npos) << *stats;
+}
+
+TEST_F(ServerTest, SlowQueryThresholdEmitsAStructuredWarning) {
+  ServerOptions options;
+  options.slow_query_millis = 0.000001;  // everything is "slow"
+  StartServer(options);
+  {
+    MutexLock lock(&g_server_log_mu);
+    g_server_log_capture.clear();
+  }
+  SetLogSink(&CaptureServerLogLine);
+  Client client = ConnectOrDie();
+  Result<ClientAnswer> answer = client.Query(kQhwSql);
+  SetLogSink(nullptr);
+  ASSERT_TRUE(answer.ok());
+  // The warning is emitted on the evaluation thread before the
+  // completion is posted, so it is visible once the answer arrived.
+  std::string captured;
+  {
+    MutexLock lock(&g_server_log_mu);
+    captured = g_server_log_capture;
+  }
+  EXPECT_NE(captured.find("\"msg\":\"slow query\""), std::string::npos)
+      << captured;
+  EXPECT_NE(captured.find("\"sql\":"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("\"millis\":"), std::string::npos) << captured;
 }
 
 TEST_F(ServerTest, OverloadShedsWithUnavailable) {

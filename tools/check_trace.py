@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validates pcdb Chrome trace-event JSON dumps (obs/trace.h).
+
+Usage:  python3 tools/check_trace.py FILE_OR_DIR [FILE_OR_DIR ...]
+                [--min-events N]
+
+For a directory, every pcdb_trace*.json inside (recursively) is checked.
+A file passes when:
+
+  * it parses as JSON with a "traceEvents" list and
+    displayTimeUnit == "ms";
+  * every event is a complete ("ph": "X") event carrying name, cat, ph,
+    ts, dur, pid, tid with non-negative timing;
+  * span args that carry ids (trace_id, span_id) are positive;
+  * on each (pid, tid) the spans nest: sorted by start time, no span
+    partially overlaps an enclosing one. RAII spans strictly nest per
+    thread; explicitly-timed intervals (Tracer::RecordInterval, today
+    only server.queue_wait) measure wall time spent on *another*
+    thread's timeline — a query's wait in the admission queue overlaps
+    whatever its eval thread was running meanwhile — so they are
+    exempt from the nesting check (their timing fields are still
+    validated).
+
+Exit status is 0 when every file passes and at least one file (and
+--min-events events in total) was seen, 1 otherwise.
+"""
+
+import argparse
+import collections
+import json
+import pathlib
+import sys
+
+REQUIRED_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+
+# Non-RAII intervals recorded after the fact (Tracer::RecordInterval):
+# their [start, end) lies on the recording thread's track but measures
+# time the work spent elsewhere (e.g. queued), so it legitimately
+# overlaps that thread's other spans.
+ASYNC_INTERVAL_NAMES = frozenset({"server.queue_wait"})
+
+
+def check_file(path):
+    """Returns (errors, num_events) for one trace file."""
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable or invalid JSON: {exc}"], 0
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"], 0
+    if doc.get("displayTimeUnit") != "ms":
+        errors.append("displayTimeUnit != 'ms'")
+
+    per_thread = collections.defaultdict(list)
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        missing = [k for k in REQUIRED_KEYS if k not in ev]
+        if missing:
+            errors.append(f"event {i}: missing keys {missing}")
+            continue
+        if ev["ph"] != "X":
+            errors.append(f"event {i}: ph {ev['ph']!r}, expected 'X'")
+            continue
+        if not ev["name"]:
+            errors.append(f"event {i}: empty name")
+        if ev["ts"] < 0 or ev["dur"] < 0:
+            errors.append(f"event {i} ({ev['name']}): negative timing")
+            continue
+        args = ev.get("args", {})
+        for key in ("trace_id", "span_id"):
+            if key in args and args[key] <= 0:
+                errors.append(f"event {i} ({ev['name']}): {key} <= 0")
+        if ev["name"] not in ASYNC_INTERVAL_NAMES:
+            per_thread[(ev["pid"], ev["tid"])].append(ev)
+
+    for (pid, tid), evs in per_thread.items():
+        # Parent-first on ties: the enclosing span shares its child's
+        # start when the child opened immediately, but lasts longer.
+        evs.sort(key=lambda e: (e["ts"], -e["dur"]))
+        open_ends = []  # ends of enclosing spans, innermost last
+        for ev in evs:
+            start, end = ev["ts"], ev["ts"] + ev["dur"]
+            while open_ends and open_ends[-1] <= start:
+                open_ends.pop()
+            if open_ends and end > open_ends[-1]:
+                errors.append(
+                    f"tid {pid}/{tid}: span '{ev['name']}' "
+                    f"[{start}, {end}) partially overlaps an enclosing "
+                    f"span ending at {open_ends[-1]}")
+            open_ends.append(end)
+
+    dropped = doc.get("otherData", {}).get("dropped_events", 0)
+    if dropped:
+        # Dropping is legal (bounded buffers) but worth surfacing.
+        print(f"{path}: note: {dropped} events dropped to the "
+              f"per-thread cap", file=sys.stderr)
+    return errors, len(events)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+",
+                        help="trace files or directories to scan")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="fail unless at least N events total "
+                             "(default 1)")
+    args = parser.parse_args()
+
+    files = []
+    for raw in args.paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("pcdb_trace*.json")))
+        else:
+            files.append(path)
+    if not files:
+        print("check_trace: no trace files found", file=sys.stderr)
+        return 1
+
+    failed = False
+    total_events = 0
+    for path in files:
+        errors, count = check_file(path)
+        total_events += count
+        for err in errors:
+            print(f"{path}: {err}")
+        if errors:
+            failed = True
+    if total_events < args.min_events:
+        print(f"check_trace: only {total_events} events across "
+              f"{len(files)} file(s), expected >= {args.min_events}")
+        failed = True
+    if failed:
+        return 1
+    print(f"check_trace: OK ({len(files)} file(s), "
+          f"{total_events} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,12 +3,16 @@
 // feeds, and persist the result.
 //
 // Usage: pcdb_cli [--db <dir>] [--timeout-ms <n>] [--max-patterns <n>]
+//                 [--explain-analyze]
 //
 //   --timeout-ms <n>    per-query deadline; an overrunning query stops
 //                       cooperatively with a Timeout error
 //   --max-patterns <n>  pattern budget; when the completeness reasoning
 //                       would exceed it, the answer degrades to a sound
 //                       coarser pattern summary (marked "degraded")
+//   --explain-analyze   print a per-operator profile (rows, patterns,
+//                       minimization probes, per-operator timings) after
+//                       every query's answer
 //
 // Commands (\h inside the shell for help):
 //   SELECT ...;                  run a query, print annotated answer
@@ -29,6 +33,8 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "common/timer.h"
+#include "obs/profile.h"
 #include "pattern/annotated_eval.h"
 #include "pattern/diagnosis.h"
 #include "pattern/gaps.h"
@@ -79,6 +85,7 @@ class Shell {
 
   void SetTimeoutMillis(double millis) { timeout_ms_ = millis; }
   void SetMaxPatterns(size_t max_patterns) { max_patterns_ = max_patterns; }
+  void SetExplainAnalyze(bool on) { explain_analyze_ = on; }
 
  private:
   void Prompt() { std::cout << "pcdb> " << std::flush; }
@@ -96,8 +103,11 @@ class Shell {
     ExecContext ctx;
     if (timeout_ms_ > 0) ctx.WithDeadlineAfterMillis(timeout_ms_);
     if (max_patterns_ > 0) ctx.WithPatternBudget(max_patterns_);
+    options.collect_profile = explain_analyze_;
     AnnotatedEvalInfo info;
+    WallTimer timer;
     auto result = EvaluateAnnotated(*plan, adb_, options, ctx, &info);
+    const double total_millis = timer.ElapsedMillis();
     if (!result.ok()) {
       std::cout << "error: " << result.status() << "\n";
       return;
@@ -105,6 +115,12 @@ class Shell {
     std::cout << result->ToString() << Summarize(*result).ToString() << "\n"
               << "(query " << info.data_millis << " ms, completeness "
               << info.pattern_millis << " ms)\n";
+    if (explain_analyze_) {
+      QueryProfile profile = std::move(info.profile);
+      profile.degraded = result->degraded;
+      profile.eval_micros = total_millis * 1000.0;
+      std::cout << QueryProfileToText(profile);
+    }
     if (result->degraded) {
       std::cout << "note: pattern budget (" << max_patterns_
                 << ") tripped; the patterns above are a sound but "
@@ -245,6 +261,7 @@ class Shell {
   AnnotatedDatabase adb_;
   bool instance_aware_ = false;
   bool zombies_ = false;
+  bool explain_analyze_ = false;
   double timeout_ms_ = 0;     // 0 = no deadline
   size_t max_patterns_ = 0;   // 0 = no pattern budget
 };
@@ -277,9 +294,11 @@ int main(int argc, char** argv) {
         return 1;
       }
       shell.SetMaxPatterns(static_cast<size_t>(n));
+    } else if (arg == "--explain-analyze") {
+      shell.SetExplainAnalyze(true);
     } else {
       std::cerr << "usage: pcdb_cli [--db <dir>] [--timeout-ms <n>] "
-                   "[--max-patterns <n>]\n";
+                   "[--max-patterns <n>] [--explain-analyze]\n";
       return 1;
     }
   }

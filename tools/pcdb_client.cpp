@@ -4,7 +4,10 @@
 //   pcdb_client --port N [--host H] --stats
 //   pcdb_client --port N [--host H] --sql "SELECT ..." [--deadline-ms N]
 //               [--max-rows N] [--max-patterns N] [--max-memory N]
-//               [--aware] [--zombies] [--timeout-ms N]
+//               [--aware] [--zombies] [--profile] [--timeout-ms N]
+//
+// --profile requests the server's per-query EXPLAIN ANALYZE profile
+// (the ANSWER_PROFILE frame) and prints the JSON after the trailer.
 //
 // Queries print the annotated answer (rows + minimized pattern set) in
 // the same format as the in-process CLI, plus the server-side trailer
@@ -82,6 +85,8 @@ int main(int argc, char** argv) {
       query_options.instance_aware = true;
     } else if (std::strcmp(argv[i], "--zombies") == 0) {
       query_options.zombies = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      query_options.profile = true;
     } else if (std::strcmp(argv[i], "--ping") == 0) {
       ping = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
@@ -92,7 +97,8 @@ int main(int argc, char** argv) {
           "                   (--ping | --stats | --sql \"SELECT ...\")\n"
           "                   [--deadline-ms N] [--max-rows N]\n"
           "                   [--max-patterns N] [--max-memory N]\n"
-          "                   [--aware] [--zombies] [--timeout-ms N]\n");
+          "                   [--aware] [--zombies] [--profile]\n"
+          "                   [--timeout-ms N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "pcdb_client: unknown flag %s (see --help)\n",
@@ -147,5 +153,8 @@ int main(int argc, char** argv) {
   std::printf("-- cache_hit=%d degraded=%d data_ms=%.3f pattern_ms=%.3f\n",
               answer->done.cache_hit ? 1 : 0, answer->done.degraded ? 1 : 0,
               answer->done.data_millis, answer->done.pattern_millis);
+  if (!answer->profile.empty()) {
+    std::printf("%s\n", answer->profile.c_str());
+  }
   return 0;
 }

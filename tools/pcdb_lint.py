@@ -38,6 +38,16 @@ Rules
                       through the Socket/Listener wrappers so EINTR
                       handling, timeouts, and the server.* failpoints
                       live in exactly one place.
+ 7. naked-output      std::cerr / std::cout / std::clog and the printf
+                      family may appear in src/ only inside the
+                      structured logger (src/common/log.{h,cc}) and
+                      PCDB_CHECK's last-resort reporting
+                      (src/common/logging.h).  Library code emits
+                      diagnostics through common/log.h (LogInfo/LogWarn/
+                      LogError), which produces machine-parseable JSON
+                      lines and honours PCDB_LOG_LEVEL.  tools/, tests/,
+                      bench/, examples/ and fuzz/ are exempt: stdout is
+                      their user interface.
 
 Exit status is 0 when clean, 1 when any rule fires.
 """
@@ -54,11 +64,12 @@ CXX_SUFFIXES = {".h", ".cc", ".cpp"}
 # Layer -> layers it may include (itself always allowed).
 LAYER_DEPS = {
     "common": set(),
-    "relational": {"common"},
-    "pattern": {"common", "relational"},
-    "sql": {"common", "relational", "pattern"},
-    "workloads": {"common", "relational", "pattern"},
-    "server": {"common", "relational", "pattern", "sql"},
+    "obs": {"common"},
+    "relational": {"common", "obs"},
+    "pattern": {"common", "obs", "relational"},
+    "sql": {"common", "obs", "relational", "pattern"},
+    "workloads": {"common", "obs", "relational", "pattern"},
+    "server": {"common", "obs", "relational", "pattern", "sql"},
 }
 
 NAKED_MUTEX_RE = re.compile(
@@ -81,9 +92,19 @@ RAW_SOCKET_RE = re.compile(
     r"setsockopt|getsockopt|getsockname|getpeername|"
     r"poll|epoll_create1|epoll_ctl|epoll_wait|shutdown)\s*\(")
 
+# Naked diagnostic output in library code.  The lookbehind rejects the
+# bounded-buffer formatters (snprintf, vsnprintf) and member calls; the
+# stream patterns catch cerr/cout/clog however qualified.
+NAKED_OUTPUT_RE = re.compile(
+    r"std::(cerr|cout|clog)\b"
+    r"|(?<![A-Za-z0-9_.>:])(?:printf|fprintf|vprintf|vfprintf|puts|fputs)"
+    r"\s*\(")
+
 MUTEX_ALLOWED = {"src/common/thread_annotations.h"}
 THREAD_ALLOWED = {"src/common/thread_pool.h", "src/common/thread_pool.cc"}
 ABORT_ALLOWED = {"src/common/logging.h", "fuzz/fuzz_util.h"}
+OUTPUT_ALLOWED = {"src/common/log.h", "src/common/log.cc",
+                  "src/common/logging.h"}
 
 
 def strip_comments(lines):
@@ -150,6 +171,12 @@ def lint_file(rel, text, problems):
                 (rel, lineno, "raw-socket",
                  "raw socket/poll syscalls are confined to "
                  "src/server/net_*; use the Socket/Listener wrappers"))
+        if (rel.startswith("src/") and rel not in OUTPUT_ALLOWED
+                and NAKED_OUTPUT_RE.search(code)):
+            problems.append(
+                (rel, lineno, "naked-output",
+                 "emit diagnostics through common/log.h (LogInfo/LogWarn/"
+                 "LogError), not std::cerr/std::cout/printf"))
         if not in_pattern_layer and SETCELL_CALL_RE.search(code):
             problems.append(
                 (rel, lineno, "pattern-mutation",

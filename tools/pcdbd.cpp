@@ -7,12 +7,16 @@
 //   pcdbd [--port N] [--host H] [--eval-threads N] [--max-inflight N]
 //         [--max-queue N] [--max-connections N] [--cache-mb N]
 //         [--no-cache] [--rows-per-batch N] [--metrics-dump]
+//         [--slow-query-ms N]
 //
 // With --port 0 (the default) an ephemeral port is bound; the single
 // line "pcdbd listening on HOST:PORT" on stdout announces it (tools/
 // ci.sh parses that line). SIGINT/SIGTERM shut down gracefully:
 // in-flight queries are cancelled cooperatively and the process exits 0.
 // --metrics-dump prints the final metrics/cache JSON on shutdown.
+// --slow-query-ms logs any query at or over the threshold as a
+// structured warn line on stderr (common/log.h). Diagnostics go to
+// stderr as JSON lines; PCDB_LOG_LEVEL controls verbosity.
 
 #include <chrono>
 #include <csignal>
@@ -22,6 +26,7 @@
 #include <string>
 #include <thread>
 
+#include "common/log.h"
 #include "server/server.h"
 #include "workloads/maintenance_example.h"
 
@@ -90,6 +95,8 @@ int main(int argc, char** argv) {
       options.cache.max_bytes = static_cast<size_t>(n) << 20;
     } else if (ParseUint(argc, argv, &i, "--rows-per-batch", &n)) {
       options.rows_per_batch = n;
+    } else if (ParseUint(argc, argv, &i, "--slow-query-ms", &n)) {
+      options.slow_query_millis = static_cast<double>(n);
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       options.enable_cache = false;
     } else if (std::strcmp(argv[i], "--metrics-dump") == 0) {
@@ -99,10 +106,11 @@ int main(int argc, char** argv) {
           "usage: pcdbd [--port N] [--host H] [--eval-threads N]\n"
           "             [--max-inflight N] [--max-queue N]\n"
           "             [--max-connections N] [--cache-mb N] [--no-cache]\n"
-          "             [--rows-per-batch N] [--metrics-dump]\n");
+          "             [--rows-per-batch N] [--metrics-dump]\n"
+          "             [--slow-query-ms N]\n");
       return 0;
     } else {
-      std::fprintf(stderr, "pcdbd: unknown flag %s (see --help)\n", argv[i]);
+      pcdb::LogError("unknown flag (see --help)").Str("flag", argv[i]);
       return 2;
     }
   }
@@ -110,22 +118,29 @@ int main(int argc, char** argv) {
   pcdb::Server server(pcdb::MakeMaintenanceDatabase(), options);
   pcdb::Status started = server.Start();
   if (!started.ok()) {
-    std::fprintf(stderr, "pcdbd: %s\n", started.ToString().c_str());
+    pcdb::LogError("startup failed").Str("error", started.ToString());
     return 1;
   }
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
+  // Machine-parsed announcement (ci.sh and the tests grep this exact
+  // line); it stays plain stdout, not a log line.
   std::printf("pcdbd listening on %s:%u\n", options.host.c_str(),
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
+  pcdb::LogInfo("pcdbd started")
+      .Str("host", options.host)
+      .Unum("port", server.port())
+      .Unum("eval_threads", options.eval_threads)
+      .Float("slow_query_ms", options.slow_query_millis);
 
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
-  std::fprintf(stderr, "pcdbd: shutting down\n");
+  pcdb::LogInfo("shutting down");
   server.Stop();
   if (metrics_dump) {
     std::printf("%s\n", server.StatsJson().c_str());
