@@ -1,0 +1,153 @@
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fuzz_util.h"
+#include "server/protocol.h"
+
+/// Wire-frame and write-path payload harness.
+///
+/// The first byte picks a mode:
+///  - mode 0 streams the rest through FrameReader in fuzz-chosen chunk
+///    sizes (the framing layer must reject garbage with a Status, never
+///    crash, and byte-at-a-time delivery must behave like one big Feed);
+///  - modes 1-3 hand the rest directly to the INGEST / PUNCTUATE /
+///    INGEST_RESULT payload decoders.
+///
+/// Beyond "no crash": any payload the decoder accepts must survive an
+/// encode/decode round trip, and the re-encoding must be canonical
+/// (encoding the re-decoded value reproduces the same bytes). That
+/// pins down both directions of the codec with one property.
+namespace {
+
+void CheckIngestRoundTrip(std::string_view payload) {
+  auto decoded = pcdb::DecodeIngestPayload(payload);
+  if (!decoded.ok()) return;
+  const std::string encoded = pcdb::EncodeIngestPayload(*decoded);
+  auto redecoded = pcdb::DecodeIngestPayload(encoded);
+  if (!redecoded.ok()) {
+    pcdb::fuzz::Violation("EncodeIngestPayload output must re-decode",
+                          redecoded.status().ToString());
+  }
+  if (pcdb::EncodeIngestPayload(*redecoded) != encoded) {
+    pcdb::fuzz::Violation("ingest encode/decode must be canonical",
+                          std::string(payload));
+  }
+}
+
+void CheckPunctuateRoundTrip(std::string_view payload) {
+  auto decoded = pcdb::DecodePunctuatePayload(payload);
+  if (!decoded.ok()) return;
+  const std::string encoded = pcdb::EncodePunctuatePayload(*decoded);
+  auto redecoded = pcdb::DecodePunctuatePayload(encoded);
+  if (!redecoded.ok()) {
+    pcdb::fuzz::Violation("EncodePunctuatePayload output must re-decode",
+                          redecoded.status().ToString());
+  }
+  if (redecoded->tenant != decoded->tenant ||
+      redecoded->table != decoded->table ||
+      redecoded->patterns != decoded->patterns) {
+    pcdb::fuzz::Violation("punctuate round trip changed the request",
+                          std::string(payload));
+  }
+}
+
+void CheckIngestResultRoundTrip(std::string_view payload) {
+  auto decoded = pcdb::DecodeIngestResultPayload(payload);
+  if (!decoded.ok()) return;
+  const std::string encoded = pcdb::EncodeIngestResultPayload(*decoded);
+  auto redecoded = pcdb::DecodeIngestResultPayload(encoded);
+  if (!redecoded.ok() ||
+      pcdb::EncodeIngestResultPayload(*redecoded) != encoded) {
+    pcdb::fuzz::Violation("ingest result round trip broke",
+                          std::string(payload));
+  }
+}
+
+void CheckPayload(const pcdb::Frame& frame) {
+  switch (frame.type) {
+    case pcdb::FrameType::kIngest:
+      CheckIngestRoundTrip(frame.payload);
+      break;
+    case pcdb::FrameType::kPunctuate:
+      CheckPunctuateRoundTrip(frame.payload);
+      break;
+    case pcdb::FrameType::kIngestResult:
+      CheckIngestResultRoundTrip(frame.payload);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  pcdb::fuzz::ByteReader in(data, size);
+  const size_t mode = in.TakeByte() % 4;  // one byte: seeds stay readable
+  const std::string bytes = in.TakeRemainingString();
+
+  if (mode == 1) {
+    CheckIngestRoundTrip(bytes);
+    return 0;
+  }
+  if (mode == 2) {
+    CheckPunctuateRoundTrip(bytes);
+    return 0;
+  }
+  if (mode == 3) {
+    CheckIngestResultRoundTrip(bytes);
+    return 0;
+  }
+
+  // Mode 0: the framing layer, fed in two different chunkings; both
+  // must produce the same frame sequence (or the same first error).
+  pcdb::FrameReader whole;
+  whole.Feed(bytes.data(), bytes.size());
+  std::string whole_log;
+  for (;;) {
+    pcdb::Frame frame;
+    auto complete = whole.Next(&frame);
+    if (!complete.ok()) {
+      whole_log += "error:" + std::to_string(
+                       static_cast<int>(complete.status().code()));
+      break;
+    }
+    if (!*complete) break;
+    whole_log += "frame:" + std::to_string(static_cast<int>(frame.type)) +
+                 "/" + std::to_string(frame.payload.size()) + ";";
+    CheckPayload(frame);
+  }
+
+  pcdb::FrameReader chunked;
+  std::string chunked_log;
+  size_t offset = 0;
+  for (;;) {
+    pcdb::Frame frame;
+    auto complete = chunked.Next(&frame);
+    if (!complete.ok()) {
+      chunked_log += "error:" + std::to_string(
+                         static_cast<int>(complete.status().code()));
+      break;
+    }
+    if (*complete) {
+      chunked_log += "frame:" +
+                     std::to_string(static_cast<int>(frame.type)) + "/" +
+                     std::to_string(frame.payload.size()) + ";";
+      continue;
+    }
+    if (offset >= bytes.size()) break;
+    const size_t chunk =
+        std::min<size_t>(bytes.size() - offset, 1 + offset % 7);
+    chunked.Feed(bytes.data() + offset, chunk);
+    offset += chunk;
+  }
+
+  if (whole_log != chunked_log) {
+    pcdb::fuzz::Violation("frame stream must be chunking-invariant",
+                          whole_log + "\n--- chunked ---\n" + chunked_log);
+  }
+  return 0;
+}

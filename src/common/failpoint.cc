@@ -282,6 +282,7 @@ const std::vector<std::string>& Failpoints::AllSites() {
       "server.read.short",   // server/net_socket.cc: clamps reads to 1 byte
       "server.decode",     // server/protocol.cc: per decoded frame
       "server.write",      // server/net_socket.cc: Socket::Send
+      "server.ingest",     // server/server.cc: per applied write op
   };
   return *sites;
 }

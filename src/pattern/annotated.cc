@@ -1,5 +1,7 @@
 #include "pattern/annotated.h"
 
+#include "pattern/signature.h"
+
 namespace pcdb {
 
 std::string AnnotatedTable::ToString(size_t max_rows) const {
@@ -102,11 +104,7 @@ Status AnnotatedDatabase::AddPattern(const std::string& name,
           table->schema().column(i).name + "' in table '" + name + "'");
     }
   }
-  patterns_[name].AddUnique(std::move(pattern));
-  // A pattern assertion changes the annotated answer of every query
-  // touching this table, so it must invalidate cached answers exactly
-  // like a data mutation.
-  db_.BumpTableEpoch(name);
+  RecordPattern(name, std::move(pattern));
   return Status::OK();
 }
 
@@ -114,9 +112,23 @@ Status AnnotatedDatabase::AddPattern(const std::string& name,
                                      const std::vector<std::string>& fields) {
   PCDB_ASSIGN_OR_RETURN(const Table* table, db_.GetTable(name));
   PCDB_ASSIGN_OR_RETURN(Pattern p, Pattern::Parse(fields, table->schema()));
-  patterns_[name].AddUnique(std::move(p));
-  db_.BumpTableEpoch(name);
+  RecordPattern(name, std::move(p));
   return Status::OK();
+}
+
+void AnnotatedDatabase::RecordPattern(const std::string& name,
+                                      Pattern pattern) {
+  PatternSet& set = patterns_[name];
+  if (set.Contains(pattern)) return;  // re-asserting changes nothing
+  // A new pattern is a *promise addition*: it can only sharpen the
+  // completeness annotation of queries whose constant mask is comparable
+  // with its signature, so bump the per-signature epoch rather than the
+  // whole-table epoch. Cached answers under incomparable masks stay
+  // valid (they would at worst under-report completeness, which additions
+  // never cause for them — see docs/SERVER.md).
+  const uint64_t sig = PatternConstantSignature(pattern);
+  set.Add(std::move(pattern));
+  ++pattern_sig_epochs_[name][sig];
 }
 
 const PatternSet& AnnotatedDatabase::patterns(const std::string& name) const {
@@ -126,8 +138,22 @@ const PatternSet& AnnotatedDatabase::patterns(const std::string& name) const {
 
 void AnnotatedDatabase::SetPatterns(const std::string& name,
                                     PatternSet patterns) {
+  // Wholesale replacement may retract promises; retractions can make a
+  // cached annotation over-claim, so invalidate conservatively via the
+  // table epoch (which every dependent cache key folds in).
   patterns_[name] = std::move(patterns);
   db_.BumpTableEpoch(name);
+}
+
+void AnnotatedDatabase::SetEquivalentPatterns(const std::string& name,
+                                              PatternSet patterns) {
+  patterns_[name] = std::move(patterns);
+}
+
+const std::map<uint64_t, uint64_t>& AnnotatedDatabase::PatternSigEpochs(
+    const std::string& name) const {
+  auto it = pattern_sig_epochs_.find(name);
+  return it == pattern_sig_epochs_.end() ? empty_sig_epochs_ : it->second;
 }
 
 Result<AnnotatedTable> AnnotatedDatabase::GetAnnotated(

@@ -1,6 +1,7 @@
 #ifndef PCDB_PATTERN_ANNOTATED_H_
 #define PCDB_PATTERN_ANNOTATED_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -55,8 +56,26 @@ class AnnotatedDatabase {
   /// tables without assertions — everything open-world).
   const PatternSet& patterns(const std::string& name) const;
 
-  /// Replaces the pattern set of `name`.
+  /// Replaces the pattern set of `name`. The replacement may retract
+  /// promises, so this bumps the table epoch (conservative wholesale
+  /// invalidation of dependent cached answers).
   void SetPatterns(const std::string& name, PatternSet patterns);
+
+  /// Replaces the pattern set of `name` with a *semantically equivalent*
+  /// one (same promises — e.g. the minimized form of the current set).
+  /// Bumps no epochs, so cached answers derived from the old form stay
+  /// valid. Callers must guarantee equivalence.
+  void SetEquivalentPatterns(const std::string& name, PatternSet patterns);
+
+  /// Per-signature pattern epochs of `name`: for each constant-position
+  /// signature (pattern/signature.h) asserted on the table, how many
+  /// distinct pattern additions carried it. The answer cache folds the
+  /// epochs of signatures comparable with a query's constant mask into
+  /// its keys, so an addition under an incomparable signature leaves
+  /// unrelated cached entries intact (soundness argument in
+  /// docs/SERVER.md). Empty map for tables without additions.
+  const std::map<uint64_t, uint64_t>& PatternSigEpochs(
+      const std::string& name) const;
 
   /// The annotated view of a base table.
   Result<AnnotatedTable> GetAnnotated(const std::string& name) const;
@@ -65,9 +84,19 @@ class AnnotatedDatabase {
   const DomainRegistry& domains() const { return domains_; }
 
  private:
+  /// Adds `pattern` to `name`'s set unless already present, bumping the
+  /// per-signature epoch only on genuine additions (re-assertions must
+  /// not invalidate anything).
+  void RecordPattern(const std::string& name, Pattern pattern);
+
   Database db_;
   std::map<std::string, PatternSet> patterns_;
+  /// signature -> number of pattern additions with that signature; the
+  /// fine-grained counterpart of Database table epochs (copied with the
+  /// rest of the snapshot under MVCC).
+  std::map<std::string, std::map<uint64_t, uint64_t>> pattern_sig_epochs_;
   PatternSet empty_;
+  std::map<uint64_t, uint64_t> empty_sig_epochs_;
   DomainRegistry domains_;
 };
 

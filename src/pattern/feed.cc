@@ -5,6 +5,11 @@
 namespace pcdb {
 
 Status FeedManager::Ingest(const std::string& table, Tuple row) {
+  // The violation check and the insert/retraction must be one atomic
+  // step: a concurrent Punctuate between them could declare the slice
+  // complete after we looked but before we stored the row, and the late
+  // record would slip in unpoliced.
+  MutexLock lock(&mu_);
   PCDB_ASSIGN_OR_RETURN(const Table* stored, adb_->database().GetTable(table));
   // Type-check before the violation check so malformed rows fail fast.
   if (row.size() != stored->schema().arity()) {
@@ -36,17 +41,33 @@ Status FeedManager::Ingest(const std::string& table, Tuple row) {
 }
 
 Status FeedManager::Punctuate(const std::string& table, Pattern pattern) {
-  PCDB_RETURN_NOT_OK(adb_->AddPattern(table, std::move(pattern)));
-  adb_->SetPatterns(table, Minimize(adb_->patterns(table)));
-  ++stats_.punctuations;
-  return Status::OK();
+  MutexLock lock(&mu_);
+  return PunctuateLocked(table, std::move(pattern));
 }
 
 Status FeedManager::Punctuate(const std::string& table,
                               const std::vector<std::string>& fields) {
+  MutexLock lock(&mu_);
   PCDB_ASSIGN_OR_RETURN(const Table* stored, adb_->database().GetTable(table));
   PCDB_ASSIGN_OR_RETURN(Pattern p, Pattern::Parse(fields, stored->schema()));
-  return Punctuate(table, std::move(p));
+  return PunctuateLocked(table, std::move(p));
+}
+
+Status FeedManager::PunctuateLocked(const std::string& table,
+                                    Pattern pattern) {
+  PCDB_RETURN_NOT_OK(adb_->AddPattern(table, std::move(pattern)));
+  // Minimization preserves the promised set exactly, so install it
+  // without bumping any epochs — AddPattern already bumped the one
+  // signature this punctuation touched, and a table-epoch bump here
+  // would wholesale-invalidate every cached answer over the table.
+  adb_->SetEquivalentPatterns(table, Minimize(adb_->patterns(table)));
+  ++stats_.punctuations;
+  return Status::OK();
+}
+
+FeedStats FeedManager::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
 }
 
 }  // namespace pcdb

@@ -9,6 +9,7 @@
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "pattern/signature.h"
 
 namespace pcdb {
 
@@ -256,19 +257,6 @@ PatternSet Minimize(const PatternSet& input) {
 
 namespace {
 
-/// Bit mask of the constant (non-wildcard) positions, capped at 64 bits.
-/// If q subsumes p then q's constants are a subset of p's, so
-/// sig(q) ⊆ sig(p) — even under the cap, since dropping positions
-/// preserves the subset relation.
-uint64_t ConstantSignature(const Pattern& p) {
-  uint64_t mask = 0;
-  const size_t n = std::min<size_t>(p.arity(), 64);
-  for (size_t i = 0; i < n; ++i) {
-    if (!p.IsWildcard(i)) mask |= uint64_t{1} << i;
-  }
-  return mask;
-}
-
 /// Folds per-shard peak counters into one result under a lock. Shards
 /// finish in a nondeterministic order, but max-merging is commutative,
 /// so the folded peaks are deterministic anyway.
@@ -331,7 +319,8 @@ Result<PatternSet> ParallelMinimizeGoverned(const PatternSet& input,
   // is exactly equality) resolve locally.
   std::unordered_map<uint64_t, std::vector<uint32_t>> groups;
   for (size_t i = 0; i < input.size(); ++i) {
-    groups[ConstantSignature(input[i])].push_back(static_cast<uint32_t>(i));
+    groups[PatternConstantSignature(input[i])].push_back(
+        static_cast<uint32_t>(i));
   }
   num_shards = std::min(num_shards, groups.size());
   if (num_shards <= 1) {

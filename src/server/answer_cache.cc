@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "obs/trace.h"
+#include "pattern/signature.h"
 
 namespace pcdb {
 
@@ -41,8 +42,7 @@ std::shared_ptr<const EncodedAnswer> AnswerCache::Get(const std::string& key) {
   return it->second->answer;
 }
 
-void AnswerCache::Put(const std::string& key,
-                      std::vector<std::string> tables,
+void AnswerCache::Put(const std::string& key, std::vector<TableDep> deps,
                       std::shared_ptr<const EncodedAnswer> answer) {
   if (answer == nullptr) return;
   PCDB_TRACE_SPAN(span, "cache.put");
@@ -57,7 +57,7 @@ void AnswerCache::Put(const std::string& key,
     shard.lru.erase(it->second);
     shard.index.erase(it);
   }
-  shard.lru.push_front(Entry{key, std::move(tables), std::move(answer),
+  shard.lru.push_front(Entry{key, std::move(deps), std::move(answer),
                              bytes});
   shard.index[key] = shard.lru.begin();
   shard.bytes += bytes;
@@ -72,20 +72,22 @@ void AnswerCache::Put(const std::string& key,
   }
 }
 
-size_t AnswerCache::InvalidateTable(const std::string& table) {
+template <typename Pred>
+size_t AnswerCache::InvalidateMatching(Pred drops, bool fine_grained) {
   size_t dropped = 0;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     MutexLock lock(&shard.mu);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
-      const bool depends =
-          std::find(it->tables.begin(), it->tables.end(), table) !=
-          it->tables.end();
-      if (depends) {
+      if (drops(*it)) {
         shard.bytes -= it->bytes;
         shard.index.erase(it->key);
         it = shard.lru.erase(it);
-        ++shard.invalidations;
+        if (fine_grained) {
+          ++shard.sig_invalidations;
+        } else {
+          ++shard.invalidations;
+        }
         ++dropped;
       } else {
         ++it;
@@ -93,6 +95,32 @@ size_t AnswerCache::InvalidateTable(const std::string& table) {
     }
   }
   return dropped;
+}
+
+size_t AnswerCache::InvalidateTable(const std::string& table) {
+  return InvalidateMatching(
+      [&table](const Entry& entry) {
+        for (const TableDep& dep : entry.deps) {
+          if (dep.table == table) return true;
+        }
+        return false;
+      },
+      /*fine_grained=*/false);
+}
+
+size_t AnswerCache::InvalidateSignature(const std::string& table,
+                                        uint64_t signature) {
+  return InvalidateMatching(
+      [&table, signature](const Entry& entry) {
+        for (const TableDep& dep : entry.deps) {
+          if (dep.table == table &&
+              SignaturesComparable(dep.query_mask, signature)) {
+            return true;
+          }
+        }
+        return false;
+      },
+      /*fine_grained=*/true);
 }
 
 void AnswerCache::Clear() {
@@ -115,28 +143,110 @@ AnswerCache::Stats AnswerCache::GetStats() const {
     stats.insertions += shard.insertions;
     stats.evictions += shard.evictions;
     stats.invalidations += shard.invalidations;
+    stats.sig_invalidations += shard.sig_invalidations;
     stats.entries += shard.lru.size();
     stats.bytes += shard.bytes;
   }
   return stats;
 }
 
-std::string AnswerCache::MakeKey(
-    const std::string& normalized_sql, uint32_t flags, uint64_t max_rows,
-    uint64_t max_patterns, uint64_t max_memory_bytes,
-    std::vector<std::pair<std::string, uint64_t>> table_epochs) {
-  std::sort(table_epochs.begin(), table_epochs.end());
-  table_epochs.erase(std::unique(table_epochs.begin(), table_epochs.end()),
-                     table_epochs.end());
+std::string AnswerCache::MakeKey(const std::string& normalized_sql,
+                                 uint32_t flags, uint64_t max_rows,
+                                 uint64_t max_patterns,
+                                 uint64_t max_memory_bytes,
+                                 std::vector<TableDep> deps) {
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
   std::string key = normalized_sql;
   key += "\x1f";
   key += std::to_string(flags) + "," + std::to_string(max_rows) + "," +
          std::to_string(max_patterns) + "," +
          std::to_string(max_memory_bytes);
-  for (const auto& [table, epoch] : table_epochs) {
-    key += "\x1f" + table + "@" + std::to_string(epoch);
+  for (const TableDep& dep : deps) {
+    // The query mask is derivable from the SQL text, but keying it
+    // explicitly keeps the key self-describing and immune to mask
+    // computation changing across versions.
+    key += "\x1f" + dep.table + "@" + std::to_string(dep.epoch) + "#" +
+           std::to_string(dep.query_mask) + ":" +
+           std::to_string(dep.sig_fold);
   }
   return key;
+}
+
+uint64_t AnswerCache::FoldSignatureEpochs(
+    uint64_t query_mask, const std::map<uint64_t, uint64_t>& sig_epochs) {
+  // FNV-1a over the comparable (signature, epoch) pairs. std::map
+  // iterates in sorted order, so the fold is deterministic.
+  uint64_t h = 1469598103934665603ull;
+  for (const auto& [sig, epoch] : sig_epochs) {
+    if (!SignaturesComparable(sig, query_mask)) continue;
+    h = (h ^ sig) * 1099511628211ull;
+    h = (h ^ epoch) * 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+void CollectScans(const Expr& e,
+                  std::vector<std::pair<std::string, std::string>>* out) {
+  if (e.kind() == ExprKind::kScan) {
+    out->emplace_back(e.table_name(), e.alias());
+  }
+  if (e.left() != nullptr) CollectScans(*e.left(), out);
+  if (e.right() != nullptr) CollectScans(*e.right(), out);
+}
+
+void CollectConstAttrs(const Expr& e, std::vector<std::string>* out) {
+  if (e.kind() == ExprKind::kSelectConst) out->push_back(e.attr());
+  if (e.left() != nullptr) CollectConstAttrs(*e.left(), out);
+  if (e.right() != nullptr) CollectConstAttrs(*e.right(), out);
+}
+
+/// Index of column `name` in `schema`, or npos.
+size_t ColumnIndex(const Schema& schema, const std::string& name) {
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    if (schema.column(i).name == name) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+}  // namespace
+
+std::map<std::string, uint64_t> AnswerCache::QueryConstantMasks(
+    const Expr& plan, const Database& db) {
+  std::vector<std::pair<std::string, std::string>> scans;  // (table, alias)
+  CollectScans(plan, &scans);
+  std::vector<std::string> const_attrs;
+  CollectConstAttrs(plan, &const_attrs);
+
+  std::map<std::string, uint64_t> masks;
+  for (const auto& [table, alias] : scans) masks[table] = 0;
+
+  for (const std::string& attr : const_attrs) {
+    // Split "Q.name" into qualifier and bare name; bare attrs have no
+    // qualifier and match any scan carrying that column.
+    std::string qualifier;
+    std::string name = attr;
+    const size_t dot = attr.find('.');
+    if (dot != std::string::npos) {
+      qualifier = attr.substr(0, dot);
+      name = attr.substr(dot + 1);
+    }
+    for (const auto& [table, alias] : scans) {
+      if (!qualifier.empty()) {
+        const bool alias_match = !alias.empty() && alias == qualifier;
+        const bool table_match = alias.empty() && table == qualifier;
+        if (!alias_match && !table_match) continue;
+      }
+      auto stored = db.GetTable(table);
+      if (!stored.ok()) continue;
+      const size_t idx = ColumnIndex((*stored)->schema(), name);
+      if (idx == static_cast<size_t>(-1) || idx >= 64) continue;
+      masks[table] |= uint64_t{1} << idx;
+    }
+  }
+  return masks;
 }
 
 std::string AnswerCache::NormalizeSql(const std::string& sql) {

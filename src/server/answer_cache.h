@@ -3,25 +3,42 @@
 
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/thread_annotations.h"
+#include "relational/expr.h"
 #include "server/protocol.h"
 
 /// \file
 /// A sharded LRU cache of encoded query answers.
 ///
 /// Keys bind the answer to everything that determines it: the normalized
-/// SQL text, the evaluation flags and budgets, and a (table, epoch) pair
-/// for every base table the plan scans. Epochs (Database::TableEpoch)
-/// advance on every data or pattern mutation, so a stale entry can never
-/// be *returned* — its key no longer matches. Explicit
-/// InvalidateTable() additionally reclaims dead entries eagerly; the
-/// server calls it from UpdateDatabase so memory is not held hostage by
-/// unreachable answers until LRU pressure finds them.
+/// SQL text, the evaluation flags and budgets, and — per base table the
+/// plan scans — the table epoch plus a fold of the *pattern-signature
+/// epochs* whose signature is comparable with the query's constant mask
+/// over that table.
+///
+/// Epoch discipline (see docs/SERVER.md "Signature-keyed invalidation"):
+///
+///  - data mutations and pattern *retractions* bump the table epoch
+///    (Database::TableEpoch) — wholesale, conservative;
+///  - pattern *additions* bump only the per-signature epoch
+///    (AnnotatedDatabase::PatternSigEpochs) of the added pattern's
+///    constant-position signature (pattern/signature.h).
+///
+/// A cached entry whose query mask is incomparable with the mutated
+/// signature keeps a matching key and survives. That is sound: a
+/// pattern addition never changes answer rows, and the entry's
+/// completeness annotation was derived from promises that still hold —
+/// at worst it under-reports completeness until the entry ages out,
+/// which never over-claims. Explicit InvalidateTable() /
+/// InvalidateSignature() additionally reclaim dead entries eagerly so
+/// memory is not held hostage by unreachable answers until LRU pressure
+/// finds them.
 
 namespace pcdb {
 
@@ -45,8 +62,37 @@ class AnswerCache {
     uint64_t insertions = 0;
     uint64_t evictions = 0;      ///< LRU-pressure removals.
     uint64_t invalidations = 0;  ///< InvalidateTable removals.
+    /// InvalidateSignature removals (fine-grained; a subset of what
+    /// InvalidateTable would have dropped).
+    uint64_t sig_invalidations = 0;
     size_t entries = 0;          ///< Current entry count.
     size_t bytes = 0;            ///< Current byte footprint.
+  };
+
+  /// \brief One base-table dependency of a cached answer.
+  struct TableDep {
+    std::string table;
+    /// Database::TableEpoch at evaluation time.
+    uint64_t epoch = 0;
+    /// Constant-position mask of the query over this table's columns
+    /// (QueryConstantMasks). The default ~0 is comparable with every
+    /// signature, i.e. "invalidate on any pattern mutation" —
+    /// conservative and always correct.
+    uint64_t query_mask = ~uint64_t{0};
+    /// FoldSignatureEpochs over the table's signature epochs at
+    /// evaluation time.
+    uint64_t sig_fold = 0;
+
+    friend bool operator==(const TableDep& a, const TableDep& b) {
+      return a.table == b.table && a.epoch == b.epoch &&
+             a.query_mask == b.query_mask && a.sig_fold == b.sig_fold;
+    }
+    friend bool operator<(const TableDep& a, const TableDep& b) {
+      if (a.table != b.table) return a.table < b.table;
+      if (a.epoch != b.epoch) return a.epoch < b.epoch;
+      if (a.query_mask != b.query_mask) return a.query_mask < b.query_mask;
+      return a.sig_fold < b.sig_fold;
+    }
   };
 
   /// Default options. (A `= {}` default argument would need Options'
@@ -58,27 +104,54 @@ class AnswerCache {
   /// Looks up `key`, promoting the entry to most-recent. Null on miss.
   std::shared_ptr<const EncodedAnswer> Get(const std::string& key);
 
-  /// Inserts (or replaces) `key`. `tables` lists the base tables the
-  /// answer depends on, for InvalidateTable. Oversized answers (larger
+  /// Inserts (or replaces) `key`. `deps` lists the base tables the
+  /// answer depends on (with the query's constant mask per table), for
+  /// InvalidateTable / InvalidateSignature. Oversized answers (larger
   /// than a whole shard's byte budget) are not cached.
-  void Put(const std::string& key, std::vector<std::string> tables,
+  void Put(const std::string& key, std::vector<TableDep> deps,
            std::shared_ptr<const EncodedAnswer> answer);
 
   /// Drops every entry depending on `table`; returns how many.
   size_t InvalidateTable(const std::string& table);
+
+  /// Drops every entry depending on `table` whose query mask is
+  /// comparable with `signature` (SignaturesComparable); entries under
+  /// incomparable masks survive. Returns how many were dropped. Only
+  /// valid for pattern *additions* — retractions must use
+  /// InvalidateTable (see file comment).
+  size_t InvalidateSignature(const std::string& table, uint64_t signature);
 
   /// Drops everything.
   void Clear();
 
   Stats GetStats() const;
 
-  /// Builds a cache key. `table_epochs` must list every scanned table
-  /// with its current epoch; order-insensitive (sorted internally),
-  /// duplicates (self-joins) welcome.
-  static std::string MakeKey(
-      const std::string& normalized_sql, uint32_t flags, uint64_t max_rows,
-      uint64_t max_patterns, uint64_t max_memory_bytes,
-      std::vector<std::pair<std::string, uint64_t>> table_epochs);
+  /// Builds a cache key. `deps` must list every scanned table with its
+  /// current epoch, query mask and signature fold; order-insensitive
+  /// (sorted internally), duplicates (self-joins) welcome.
+  static std::string MakeKey(const std::string& normalized_sql,
+                             uint32_t flags, uint64_t max_rows,
+                             uint64_t max_patterns,
+                             uint64_t max_memory_bytes,
+                             std::vector<TableDep> deps);
+
+  /// Folds the signature epochs comparable with `query_mask` into one
+  /// key-ready hash. Signatures incomparable with the mask are skipped,
+  /// so additions under them leave the fold (and thus the key)
+  /// unchanged.
+  static uint64_t FoldSignatureEpochs(
+      uint64_t query_mask, const std::map<uint64_t, uint64_t>& sig_epochs);
+
+  /// The constant-position mask of `plan` over each base table it
+  /// scans: bit i set when some σ_{attr=const} in the plan resolves to
+  /// column i of that table (bare or alias-qualified; positions ≥ 64
+  /// are dropped, matching PatternConstantSignature's cap). Tables with
+  /// no constant selection get mask 0, which is comparable with every
+  /// signature — conservative. The resolution is best-effort string
+  /// matching; inaccuracy in either direction only costs cache
+  /// precision, never soundness (see file comment).
+  static std::map<std::string, uint64_t> QueryConstantMasks(
+      const Expr& plan, const Database& db);
 
   /// Whitespace-normalizes SQL (collapse runs, trim, drop a trailing
   /// ';') so trivially reformatted queries share a cache entry.
@@ -87,7 +160,7 @@ class AnswerCache {
  private:
   struct Entry {
     std::string key;
-    std::vector<std::string> tables;
+    std::vector<TableDep> deps;
     std::shared_ptr<const EncodedAnswer> answer;
     size_t bytes = 0;
   };
@@ -104,7 +177,12 @@ class AnswerCache {
     uint64_t insertions PCDB_GUARDED_BY(mu) = 0;
     uint64_t evictions PCDB_GUARDED_BY(mu) = 0;
     uint64_t invalidations PCDB_GUARDED_BY(mu) = 0;
+    uint64_t sig_invalidations PCDB_GUARDED_BY(mu) = 0;
   };
+
+  /// Shared sweep: drops entries for which `drops` returns true.
+  template <typename Pred>
+  size_t InvalidateMatching(Pred drops, bool fine_grained);
 
   Shard& ShardFor(const std::string& key);
 

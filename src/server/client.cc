@@ -73,6 +73,57 @@ Result<ClientAnswer> Client::ReadAnswer(uint64_t request_id) {
   return answer;
 }
 
+Result<IngestResult> Client::Ingest(const std::string& table,
+                                    std::vector<Tuple> rows,
+                                    const ClientWriteOptions& options) {
+  IngestRequest request;
+  request.tenant = options.tenant;
+  request.table = table;
+  request.policy = options.policy;
+  request.rows = std::move(rows);
+  const uint64_t request_id = next_request_id_++;
+  std::string wire;
+  AppendFrame(&wire, FrameType::kIngest, request_id,
+              EncodeIngestPayload(request));
+  PCDB_RETURN_NOT_OK(sock_.SendAll(wire.data(), wire.size()));
+  return AwaitIngestResult(request_id);
+}
+
+Result<IngestResult> Client::Punctuate(
+    const std::string& table,
+    std::vector<std::vector<std::string>> patterns,
+    const ClientWriteOptions& options) {
+  PunctuateRequest request;
+  request.tenant = options.tenant;
+  request.table = table;
+  request.patterns = std::move(patterns);
+  const uint64_t request_id = next_request_id_++;
+  std::string wire;
+  AppendFrame(&wire, FrameType::kPunctuate, request_id,
+              EncodePunctuatePayload(request));
+  PCDB_RETURN_NOT_OK(sock_.SendAll(wire.data(), wire.size()));
+  return AwaitIngestResult(request_id);
+}
+
+Result<IngestResult> Client::AwaitIngestResult(uint64_t request_id) {
+  for (;;) {
+    PCDB_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    if (frame.request_id == request_id) {
+      if (frame.type == FrameType::kIngestResult) {
+        return DecodeIngestResultPayload(frame.payload);
+      }
+      if (frame.type == FrameType::kError) {
+        Status remote;
+        PCDB_RETURN_NOT_OK(DecodeErrorPayload(frame.payload, &remote));
+        return remote.ok()
+                   ? Status::Internal("server sent an OK error frame")
+                   : std::move(remote);
+      }
+    }
+    PCDB_RETURN_NOT_OK(Absorb(std::move(frame)));
+  }
+}
+
 Status Client::Ping() {
   const uint64_t request_id = next_request_id_++;
   std::string wire;
@@ -142,8 +193,9 @@ Status Client::Absorb(Frame frame) {
       break;  // handled below
     case FrameType::kPong:
     case FrameType::kStatsResult:
-      // A stale Ping/Stats response (e.g. after its caller timed out):
-      // nothing is waiting for it, drop.
+    case FrameType::kIngestResult:
+      // A stale Ping/Stats/Ingest response (e.g. after its caller timed
+      // out): nothing is waiting for it, drop.
       return Status::OK();
     default:
       return Status::InvalidArgument("server sent a client-side frame type");

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "server/net_socket.h"
@@ -36,6 +37,17 @@ struct ClientQueryOptions {
   /// Request an ANSWER_PROFILE frame (per-operator EXPLAIN ANALYZE
   /// JSON); arrives in ClientAnswer::profile.
   bool profile = false;
+};
+
+/// \brief Per-write knobs, mirrored onto INGEST/PUNCTUATE headers.
+struct ClientWriteOptions {
+  /// Tenant name for the server's per-tenant write quota and priority
+  /// tier; "" is a valid (tier-0) tenant.
+  std::string tenant;
+  /// Late-record policy: what the server does with a row that violates
+  /// an existing completeness promise (IngestRequest::kPolicyRejectRecord
+  /// or kPolicyRetractPatterns).
+  uint8_t policy = IngestRequest::kPolicyRejectRecord;
 };
 
 /// \brief A fully received annotated answer.
@@ -90,6 +102,21 @@ class Client {
   /// Frames for other pipelined requests arriving first are buffered.
   Result<ClientAnswer> ReadAnswer(uint64_t request_id);
 
+  /// Streams `rows` into `table`, waiting for the server's INGEST_RESULT
+  /// ack. Shed writes (queue full / tenant quota) come back as
+  /// kUnavailable; a violating row under kPolicyRejectRecord is counted
+  /// in the ack (`rows_rejected`, `violations`), not an error.
+  Result<IngestResult> Ingest(const std::string& table,
+                              std::vector<Tuple> rows,
+                              const ClientWriteOptions& options = {});
+
+  /// Asserts completeness patterns over `table` (each pattern is one
+  /// display field per column, "*" = wildcard) and waits for the ack.
+  Result<IngestResult> Punctuate(
+      const std::string& table,
+      std::vector<std::vector<std::string>> patterns,
+      const ClientWriteOptions& options = {});
+
   /// Liveness round trip.
   Status Ping();
 
@@ -112,6 +139,10 @@ class Client {
 
   /// Reads frames until one with `request_id` completes (done or error).
   Status PumpUntilComplete(uint64_t request_id);
+
+  /// Reads frames until the INGEST_RESULT (or ERROR) for `request_id`
+  /// arrives; answer frames for pipelined queries are absorbed.
+  Result<IngestResult> AwaitIngestResult(uint64_t request_id);
 
   /// Reads one frame from the socket (blocking, honours recv timeout).
   Result<Frame> ReadFrame();

@@ -223,7 +223,31 @@ Result<Socket> TcpConnect(const std::string& host, uint16_t port) {
                   sizeof(addr)) == 0) {
       break;
     }
-    if (errno == EINTR) continue;
+    // A connect interrupted by a signal keeps completing in the
+    // background (POSIX); re-calling ::connect then yields EALREADY,
+    // and EISCONN once the handshake is done. So: EISCONN is success,
+    // and for EINTR/EALREADY/EINPROGRESS the right move is to wait for
+    // the socket to become writable and read the outcome from SO_ERROR
+    // — not to retry ::connect verbatim.
+    if (errno == EISCONN) break;
+    if (errno == EINTR || errno == EALREADY || errno == EINPROGRESS) {
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, -1);
+      } while (rc < 0 && errno == EINTR);
+      if (rc < 0) return ErrnoStatus("poll", errno);
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0) {
+        return ErrnoStatus("getsockopt", errno);
+      }
+      if (so_error == 0) break;
+      errno = so_error;
+    }
     return Status::Unavailable("connect to " + host + ":" +
                                std::to_string(port) +
                                " failed: " + std::strerror(errno));

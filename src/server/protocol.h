@@ -21,11 +21,12 @@
 ///   uint64  request_id           (client-chosen; echoed by the server)
 ///   byte[payload_len] payload
 ///
-/// Client -> server: QUERY, CANCEL, PING, STATS.
+/// Client -> server: QUERY, CANCEL, PING, STATS, INGEST, PUNCTUATE.
 /// Server -> client: per QUERY either ANSWER_SCHEMA, ANSWER_ROWS*,
 /// ANSWER_PATTERNS, [ANSWER_PROFILE,] ANSWER_DONE — or a single ERROR;
-/// PONG answers PING; STATS_RESULT answers STATS. All responses echo the request id, so a
-/// client may pipeline requests over one connection.
+/// PONG answers PING; STATS_RESULT answers STATS; INGEST_RESULT (or
+/// ERROR) answers INGEST and PUNCTUATE. All responses echo the request
+/// id, so a client may pipeline requests over one connection.
 ///
 /// This header is also the single place where StatusCode is mapped onto
 /// stable on-wire error codes (WireErrorCode): everything the server
@@ -44,6 +45,11 @@ enum class FrameType : uint8_t {
   kCancel = 0x02,
   kPing = 0x03,
   kStats = 0x04,
+  /// Streaming write path (§6 of the paper; docs/SERVER.md "Ingest"):
+  /// a batch of rows for one table, with a late-record policy.
+  kIngest = 0x05,
+  /// A punctuation: completeness patterns asserted for one table.
+  kPunctuate = 0x06,
   // Server -> client.
   kAnswerSchema = 0x80,
   kAnswerRows = 0x81,
@@ -59,6 +65,9 @@ enum class FrameType : uint8_t {
   /// the one the server rendered. Not part of CanonicalBytes: the
   /// profile describes the evaluation, not the answer.
   kAnswerProfile = 0x87,
+  /// Acknowledges an INGEST or PUNCTUATE frame with the write's outcome
+  /// counters (IngestResult).
+  kIngestResult = 0x88,
 };
 
 /// True if `tag` is one of the FrameType values.
@@ -171,6 +180,56 @@ Result<QueryRequest> DecodeQueryPayload(std::string_view payload);
 /// CANCEL frame payload: the request id to cancel.
 std::string EncodeCancelPayload(uint64_t target_request_id);
 Result<uint64_t> DecodeCancelPayload(std::string_view payload);
+
+/// \brief An INGEST frame's payload: a batch of rows for one table.
+///
+/// `policy` is the on-wire FeedViolationPolicy: 0 = reject late records
+/// (trust the punctuation), 1 = retract violated patterns (trust the
+/// data). The server applies the batch atomically with respect to
+/// concurrent punctuations (FeedManager holds its mutex across the
+/// violation check and the insert), row by row: a rejected row under
+/// policy 0 counts in IngestResult::rows_rejected and the remaining
+/// rows still apply.
+struct IngestRequest {
+  /// Tenant name for admission quotas/tiers; "" = the default tenant.
+  std::string tenant;
+  std::string table;
+  uint8_t policy = 0;
+  std::vector<Tuple> rows;
+
+  static constexpr uint8_t kPolicyRejectRecord = 0;
+  static constexpr uint8_t kPolicyRetractPatterns = 1;
+};
+
+std::string EncodeIngestPayload(const IngestRequest& request);
+Result<IngestRequest> DecodeIngestPayload(std::string_view payload);
+
+/// \brief A PUNCTUATE frame's payload: completeness patterns asserted
+/// for one table, each as display fields ("*" = wildcard, constants in
+/// Value::Parse text form) so the client needs no schema knowledge —
+/// the server parses against the authoritative schema.
+struct PunctuateRequest {
+  std::string tenant;  ///< As in IngestRequest.
+  std::string table;
+  std::vector<std::vector<std::string>> patterns;
+};
+
+std::string EncodePunctuatePayload(const PunctuateRequest& request);
+Result<PunctuateRequest> DecodePunctuatePayload(std::string_view payload);
+
+/// \brief INGEST_RESULT payload: outcome counters for one INGEST or
+/// PUNCTUATE frame (the delta this request caused, not cumulative
+/// feed totals).
+struct IngestResult {
+  uint64_t rows_ingested = 0;
+  uint64_t rows_rejected = 0;
+  uint64_t punctuations = 0;
+  uint64_t patterns_retracted = 0;
+  uint64_t violations = 0;
+};
+
+std::string EncodeIngestResultPayload(const IngestResult& result);
+Result<IngestResult> DecodeIngestResultPayload(std::string_view payload);
 
 /// \brief Summary trailer carried by the ANSWER_DONE frame.
 struct AnswerDone {

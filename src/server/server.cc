@@ -1,15 +1,20 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
+#include <iterator>
 #include <map>
+#include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/log.h"
 #include "common/timer.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "pattern/annotated_eval.h"
+#include "pattern/feed.h"
 #include "sql/planner.h"
 
 namespace pcdb {
@@ -26,6 +31,12 @@ struct Server::Completion {
   /// set kFlagProfile and the query succeeded. Framed verbatim as
   /// ANSWER_PROFILE, so the client receives it byte-identically.
   std::string profile_json;
+  /// True for INGEST/PUNCTUATE completions: framed as one INGEST_RESULT
+  /// (`write_ack`) instead of the answer sequence, and exempt from the
+  /// query inflight accounting (writes never held an eval slot).
+  bool is_write = false;
+  /// Encoded IngestResult payload; valid when is_write and status OK.
+  std::string write_ack;
 };
 
 /// Per-connection state. Owned exclusively by the event loop.
@@ -47,6 +58,10 @@ struct Server::Conn {
   std::deque<QueuedQuery> queued;
   /// Cancellation tokens of this connection's in-flight queries.
   std::map<uint64_t, std::shared_ptr<CancellationToken>> tokens;
+  /// INGEST/PUNCTUATE ops admitted but not yet acked; a half-closed
+  /// connection is owed these acks before it is reaped, exactly like
+  /// queued/in-flight query answers.
+  size_t pending_write_acks = 0;
   /// No more input will arrive or be processed; answer everything
   /// already admitted, flush the output, then close.
   bool closing = false;
@@ -85,8 +100,16 @@ Server::Server(AnnotatedDatabase db, ServerOptions options)
   c_conn_faults_ = metrics_.GetCounter("connection_faults");
   c_protocol_errors_ = metrics_.GetCounter("protocol_errors");
   c_eval_task_faults_ = metrics_.GetCounter("eval_task_faults");
+  c_poll_errors_ = metrics_.GetCounter("poll_errors");
+  c_ingest_rows_ = metrics_.GetCounter("ingest_rows_total");
+  c_ingest_rejected_ = metrics_.GetCounter("ingest_rejected_total");
+  c_punctuations_ = metrics_.GetCounter("punctuations_total");
+  c_patterns_retracted_ = metrics_.GetCounter("patterns_retracted_total");
+  c_writes_shed_ = metrics_.GetCounter("writes_shed_total");
+  c_write_batches_ = metrics_.GetCounter("write_batches");
   g_connections_ = metrics_.GetGauge("connections_open");
   g_inflight_ = metrics_.GetGauge("inflight");
+  g_pending_writes_ = metrics_.GetGauge("pending_writes");
   h_latency_ = metrics_.GetHistogram("request_latency");
   // Resolve the engine-level counters eagerly: the first EngineMetrics()
   // call also installs the failpoint trip observer, so trips are counted
@@ -157,32 +180,57 @@ std::shared_ptr<const AnnotatedDatabase> Server::Snapshot() const {
 
 Status Server::UpdateDatabase(
     const std::function<Status(AnnotatedDatabase*)>& fn) {
-  // db_mu_ is held across copy + mutate + swap, serializing writers;
-  // readers (Snapshot) block only for the duration, and in-flight
-  // queries keep their old snapshot alive via shared_ptr.
-  MutexLock lock(&db_mu_);
-  std::map<std::string, uint64_t> before;
-  for (const std::string& name : db_->database().TableNames()) {
-    before[name] = db_->database().TableEpoch(name);
-  }
-  auto next = std::make_shared<AnnotatedDatabase>(*db_);
+  // write_mu_ serializes snapshot builders (this and the writer job),
+  // so the base we copy is still current at swap time. The copy and the
+  // mutation run *outside* db_mu_ — readers (Snapshot) block only for
+  // the pointer swap, and in-flight queries keep their old snapshot
+  // alive via shared_ptr.
+  MutexLock write_lock(&write_mu_);
+  std::shared_ptr<const AnnotatedDatabase> base = Snapshot();
+  auto next = std::make_shared<AnnotatedDatabase>(*base);
   PCDB_RETURN_NOT_OK(fn(next.get()));
-  db_ = next;
-  // Eagerly reclaim cache entries for every table whose epoch moved
-  // (epoch-in-key already makes them unreachable; this frees the bytes).
-  for (const std::string& name : next->database().TableNames()) {
-    auto it = before.find(name);
-    if (it == before.end() ||
-        it->second != next->database().TableEpoch(name)) {
-      cache_.InvalidateTable(name);
-    }
-    if (it != before.end()) before.erase(it);
+  {
+    MutexLock lock(&db_mu_);
+    db_ = next;
   }
-  for (const auto& [name, epoch] : before) {
+  // Eagerly reclaim cache entries the epoch diff proves stale (the
+  // epochs-in-key already make them unreachable; this frees the bytes).
+  InvalidateDiff(*base, *next);
+  return Status::OK();
+}
+
+void Server::InvalidateDiff(const AnnotatedDatabase& before,
+                            const AnnotatedDatabase& after) {
+  std::map<std::string, uint64_t> old_epochs;
+  for (const std::string& name : before.database().TableNames()) {
+    old_epochs[name] = before.database().TableEpoch(name);
+  }
+  for (const std::string& name : after.database().TableNames()) {
+    auto it = old_epochs.find(name);
+    if (it == old_epochs.end() ||
+        it->second != after.database().TableEpoch(name)) {
+      // New table, data mutation, or pattern retraction (SetPatterns):
+      // conservative wholesale invalidation.
+      cache_.InvalidateTable(name);
+    } else {
+      // Table epoch unchanged, so only pattern *additions* can have
+      // happened; drop exactly the entries whose query mask overlaps a
+      // bumped signature. Entries under incomparable masks survive —
+      // the fine-grained invalidation the signature epochs exist for.
+      const auto& old_sigs = before.PatternSigEpochs(name);
+      for (const auto& [sig, epoch] : after.PatternSigEpochs(name)) {
+        auto old_it = old_sigs.find(sig);
+        if (old_it == old_sigs.end() || old_it->second != epoch) {
+          cache_.InvalidateSignature(name, sig);
+        }
+      }
+    }
+    if (it != old_epochs.end()) old_epochs.erase(it);
+  }
+  for (const auto& [name, epoch] : old_epochs) {
     // Dropped tables: nothing can match their key anymore.
     cache_.InvalidateTable(name);
   }
-  return Status::OK();
 }
 
 std::string Server::StatsJson() const {
@@ -194,6 +242,7 @@ std::string Server::StatsJson() const {
       ",\"insertions\":" + std::to_string(cs.insertions) +
       ",\"evictions\":" + std::to_string(cs.evictions) +
       ",\"invalidations\":" + std::to_string(cs.invalidations) +
+      ",\"sig_invalidations\":" + std::to_string(cs.sig_invalidations) +
       ",\"entries\":" + std::to_string(cs.entries) +
       ",\"bytes\":" + std::to_string(cs.bytes) + "}";
   // Engine-level counters (minimization, degradation, failpoint trips)
@@ -205,6 +254,8 @@ std::string Server::StatsJson() const {
 
 void Server::RunLoop() {
   LoopState state;
+  size_t consecutive_poll_errors = 0;
+  int poll_backoff_millis = 1;
   while (!stop_requested_.load(std::memory_order_acquire)) {
     std::vector<PollItem> items;
     std::vector<uint64_t> item_conn;  // parallel to items; 0 = not a conn
@@ -222,7 +273,31 @@ void Server::RunLoop() {
     }
 
     Result<int> poll_result = Poll(&items, options_.poll_millis);
-    if (!poll_result.ok()) continue;  // EINTR handled inside; be robust
+    if (!poll_result.ok()) {
+      // EINTR is retried inside Poll(); reaching here means a real
+      // failure (EBADF, ENOMEM, injected fault). A bare `continue`
+      // would spin this core at 100% forever on a persistent error —
+      // back off exponentially (bounded), and give up after the
+      // configured streak so a wedged loop becomes an observable
+      // stopped server rather than a silent busy-loop.
+      c_poll_errors_->Increment();
+      ++consecutive_poll_errors;
+      LogWarn("event loop poll failed")
+          .Str("status", poll_result.status().ToString())
+          .Unum("consecutive", consecutive_poll_errors)
+          .Num("backoff_millis", poll_backoff_millis);
+      if (consecutive_poll_errors >= options_.max_poll_errors) {
+        LogError("event loop stopping after persistent poll failures")
+            .Unum("consecutive", consecutive_poll_errors);
+        break;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(poll_backoff_millis));
+      poll_backoff_millis = std::min(poll_backoff_millis * 2, 100);
+      continue;
+    }
+    consecutive_poll_errors = 0;
+    poll_backoff_millis = 1;
 
     if (items[0].readable) wake_.Drain();
     ProcessCompletions(&state);
@@ -255,7 +330,8 @@ void Server::RunLoop() {
     for (auto it = state.conns.begin(); it != state.conns.end();) {
       Conn* conn = it->second.get();
       const bool drained = conn->closing && !conn->HasPendingOutput() &&
-                           conn->tokens.empty() && conn->queued.empty();
+                           conn->tokens.empty() && conn->queued.empty() &&
+                           conn->pending_write_acks == 0;
       if (conn->dead || drained) {
         // In-flight queries of a dead connection are orphaned: cancel
         // so the workers stop early; their completions are dropped when
@@ -406,6 +482,40 @@ void Server::HandleFrame(LoopState* state, Conn* conn, Frame frame) {
       AdmitOrShed(state, conn, frame.request_id, std::move(*request));
       return;
     }
+    case FrameType::kIngest: {
+      Result<IngestRequest> request = DecodeIngestPayload(frame.payload);
+      if (!request.ok()) {
+        c_protocol_errors_->Increment();
+        AppendFrame(&conn->outbuf, FrameType::kError, frame.request_id,
+                    EncodeErrorPayload(request.status()));
+        return;
+      }
+      WriteOp op;
+      op.conn_id = conn->id;
+      op.request_id = frame.request_id;
+      op.tenant = request->tenant;
+      op.ingest = std::move(*request);
+      EnqueueWrite(conn, std::move(op));
+      return;
+    }
+    case FrameType::kPunctuate: {
+      Result<PunctuateRequest> request =
+          DecodePunctuatePayload(frame.payload);
+      if (!request.ok()) {
+        c_protocol_errors_->Increment();
+        AppendFrame(&conn->outbuf, FrameType::kError, frame.request_id,
+                    EncodeErrorPayload(request.status()));
+        return;
+      }
+      WriteOp op;
+      op.conn_id = conn->id;
+      op.request_id = frame.request_id;
+      op.tenant = request->tenant;
+      op.is_punctuate = true;
+      op.punctuate = std::move(*request);
+      EnqueueWrite(conn, std::move(op));
+      return;
+    }
     default:
       // A client sending server-side frame types is off-protocol.
       c_protocol_errors_->Increment();
@@ -438,6 +548,177 @@ void Server::AdmitOrShed(LoopState* state, Conn* conn, uint64_t request_id,
               EncodeErrorPayload(Status::Unavailable(
                   "server overloaded: in-flight and per-connection queue "
                   "budgets are exhausted")));
+}
+
+void Server::EnqueueWrite(Conn* conn, WriteOp op) {
+  c_requests_->Increment();
+  bool start_writer = false;
+  Status shed;
+  {
+    MutexLock lock(&writes_mu_);
+    if (pending_writes_.size() >= options_.max_pending_writes) {
+      shed = Status::Unavailable(
+          "write queue full: " + std::to_string(pending_writes_.size()) +
+          " pending writes");
+    } else if (options_.tenant_write_quota > 0 &&
+               tenant_pending_[op.tenant] >= options_.tenant_write_quota) {
+      shed = Status::Unavailable("write quota exhausted for tenant '" +
+                                 op.tenant + "'");
+    } else {
+      op.seq = ++write_seq_;
+      auto tier_it = options_.tenant_tiers.find(op.tenant);
+      op.tier = tier_it != options_.tenant_tiers.end() ? tier_it->second : 0;
+      ++tenant_pending_[op.tenant];
+      pending_writes_.push_back(std::move(op));
+      g_pending_writes_->Set(static_cast<int64_t>(pending_writes_.size()));
+      if (!writer_active_) {
+        writer_active_ = true;
+        start_writer = true;
+      }
+      ++conn->pending_write_acks;
+    }
+  }
+  if (!shed.ok()) {
+    // Load shed, like queries: an explicit retryable error, never a
+    // silent drop — and per tenant, so one flooding feed cannot crowd
+    // out its neighbours (or queries, which never queue here at all).
+    c_writes_shed_->Increment();
+    AppendFrame(&conn->outbuf, FrameType::kError, op.request_id,
+                EncodeErrorPayload(shed));
+    return;
+  }
+  if (start_writer) {
+    eval_pool_->Submit([this] { RunWriterJob(); });
+  }
+}
+
+void Server::RunWriterJob() {
+  // Exactly one writer job runs at a time (writer_active_); it drains
+  // the pending queue in batches, building each next snapshot outside
+  // db_mu_ so readers are never blocked by write work.
+  try {
+    for (;;) {
+      std::vector<WriteOp> batch;
+      {
+        MutexLock lock(&writes_mu_);
+        if (pending_writes_.empty()) {
+          writer_active_ = false;
+          g_pending_writes_->Set(0);
+          return;
+        }
+        batch.assign(std::make_move_iterator(pending_writes_.begin()),
+                     std::make_move_iterator(pending_writes_.end()));
+        pending_writes_.clear();
+        g_pending_writes_->Set(0);
+        for (const WriteOp& op : batch) {
+          auto it = tenant_pending_.find(op.tenant);
+          if (it != tenant_pending_.end() && --(it->second) == 0) {
+            tenant_pending_.erase(it);
+          }
+        }
+      }
+      // Highest tenant tier first; stable = FIFO (seq order) within a
+      // tier.
+      std::stable_sort(batch.begin(), batch.end(),
+                       [](const WriteOp& a, const WriteOp& b) {
+                         return a.tier > b.tier;
+                       });
+      c_write_batches_->Increment();
+      PCDB_TRACE_SPAN(batch_span, "server.write_batch");
+      batch_span.Arg("ops", batch.size());
+
+      MutexLock write_lock(&write_mu_);
+      std::shared_ptr<const AnnotatedDatabase> base = Snapshot();
+      // The copy-on-write copy happens here, outside db_mu_: readers
+      // keep taking `base` while we build its successor.
+      auto next = std::make_shared<AnnotatedDatabase>(*base);
+      std::vector<Completion> comps;
+      comps.reserve(batch.size());
+      for (WriteOp& op : batch) {
+        Completion comp;
+        comp.conn_id = op.conn_id;
+        comp.request_id = op.request_id;
+        comp.is_write = true;
+        IngestResult ack;
+        try {
+          comp.status = ApplyWriteOp(next.get(), &op, &ack);
+        } catch (const std::exception& e) {
+          comp.status = Status::Internal(
+              std::string("write worker exception: ") + e.what());
+        } catch (...) {
+          comp.status = Status::Internal("write worker: unknown exception");
+        }
+        if (comp.status.ok()) {
+          comp.write_ack = EncodeIngestResultPayload(ack);
+        } else {
+          c_errors_->Increment();
+        }
+        c_ingest_rows_->Increment(ack.rows_ingested);
+        c_ingest_rejected_->Increment(ack.rows_rejected);
+        c_punctuations_->Increment(ack.punctuations);
+        c_patterns_retracted_->Increment(ack.patterns_retracted);
+        comps.push_back(std::move(comp));
+      }
+      {
+        MutexLock lock(&db_mu_);
+        db_ = next;
+      }
+      InvalidateDiff(*base, *next);
+      for (Completion& comp : comps) PostCompletion(std::move(comp));
+    }
+  } catch (...) {
+    // Defensive: ApplyWriteOp faults are confined per op above; this
+    // catches infrastructure failures (allocation during the copy,
+    // etc.). Clear writer_active_ so the next enqueue restarts a
+    // writer; ops already popped are lost and their clients time out.
+    c_eval_task_faults_->Increment();
+    MutexLock lock(&writes_mu_);
+    writer_active_ = false;
+  }
+}
+
+Status Server::ApplyWriteOp(AnnotatedDatabase* next, WriteOp* op,
+                            IngestResult* ack) {
+  PCDB_TRACE_SPAN(span, "server.ingest");
+  span.Arg("punctuate", op->is_punctuate ? 1 : 0);
+  PCDB_FAILPOINT("server.ingest");
+  // A fresh FeedManager per op: its stats are exactly this op's delta,
+  // and the policy is the op's own.
+  FeedManager feed(next,
+                   !op->is_punctuate &&
+                           op->ingest.policy ==
+                               IngestRequest::kPolicyRetractPatterns
+                       ? FeedViolationPolicy::kRetractPatterns
+                       : FeedViolationPolicy::kRejectRecord);
+  Status status;
+  if (op->is_punctuate) {
+    for (const std::vector<std::string>& fields : op->punctuate.patterns) {
+      status = feed.Punctuate(op->punctuate.table, fields);
+      if (!status.ok()) break;
+    }
+  } else {
+    for (Tuple& row : op->ingest.rows) {
+      const size_t rejected_before = feed.stats().records_rejected;
+      Status row_status = feed.Ingest(op->ingest.table, std::move(row));
+      if (!row_status.ok() &&
+          feed.stats().records_rejected == rejected_before) {
+        // A real error (unknown table, arity/type mismatch), not a
+        // policy rejection: stop here. Rows already applied stay
+        // applied; the error tells the client where the batch stopped.
+        status = std::move(row_status);
+        break;
+      }
+      // Policy rejections are part of the contract, reported through
+      // the ack counters, and do not fail the op.
+    }
+  }
+  const FeedStats totals = feed.stats();
+  ack->rows_ingested = totals.records_ingested;
+  ack->rows_rejected = totals.records_rejected;
+  ack->punctuations = totals.punctuations;
+  ack->patterns_retracted = totals.patterns_retracted;
+  ack->violations = totals.violations;
+  return status;
 }
 
 void Server::DispatchQuery(LoopState* state, Conn* conn, uint64_t request_id,
@@ -498,19 +779,31 @@ void Server::RunQueryJob(uint64_t conn_id, uint64_t request_id,
     if (!plan.ok()) {
       comp.status = plan.status();
     } else {
+      // Per-table dependencies: table epoch + the fold of the
+      // pattern-signature epochs comparable with the query's constant
+      // mask. A pattern addition under an incomparable signature leaves
+      // every component unchanged, so the entry stays hot.
+      const std::map<std::string, uint64_t> masks =
+          AnswerCache::QueryConstantMasks(**plan, snapshot->database());
       std::vector<std::string> tables = (*plan)->ScannedTables();
-      std::vector<std::pair<std::string, uint64_t>> table_epochs;
-      table_epochs.reserve(tables.size());
+      std::vector<AnswerCache::TableDep> deps;
+      deps.reserve(tables.size());
       for (const std::string& t : tables) {
-        table_epochs.emplace_back(t, snapshot->database().TableEpoch(t));
+        AnswerCache::TableDep dep;
+        dep.table = t;
+        dep.epoch = snapshot->database().TableEpoch(t);
+        auto mask_it = masks.find(t);
+        if (mask_it != masks.end()) dep.query_mask = mask_it->second;
+        dep.sig_fold = AnswerCache::FoldSignatureEpochs(
+            dep.query_mask, snapshot->PatternSigEpochs(t));
+        deps.push_back(std::move(dep));
       }
       // kFlagProfile never changes the answer bytes, so it is masked out
       // of the key — a profiled and an unprofiled run share one entry.
       const std::string key = AnswerCache::MakeKey(
           AnswerCache::NormalizeSql(request.sql),
           request.flags & ~QueryRequest::kFlagProfile, request.max_rows,
-          request.max_patterns, request.max_memory_bytes,
-          std::move(table_epochs));
+          request.max_patterns, request.max_memory_bytes, deps);
 
       std::shared_ptr<const EncodedAnswer> cached;
       if (options_.enable_cache) cached = cache_.Get(key);
@@ -554,7 +847,7 @@ void Server::RunQueryJob(uint64_t conn_id, uint64_t request_id,
             comp.status = std::move(fits);
           } else {
             if (options_.enable_cache) {
-              cache_.Put(key, std::move(tables), encoded);
+              cache_.Put(key, std::move(deps), encoded);
             }
             comp.answer = std::move(encoded);
             comp.done.degraded = answer->degraded;
@@ -622,14 +915,21 @@ void Server::ProcessCompletions(LoopState* state) {
     batch.swap(completions_);
   }
   for (Completion& comp : batch) {
-    if (state->inflight > 0) --state->inflight;
+    // Writes never held a query eval slot, so they don't release one.
+    if (!comp.is_write && state->inflight > 0) --state->inflight;
     auto it = state->conns.find(comp.conn_id);
     if (it == state->conns.end()) continue;  // connection went away
     Conn* conn = it->second.get();
     conn->tokens.erase(comp.request_id);
+    if (comp.is_write && conn->pending_write_acks > 0) {
+      --conn->pending_write_acks;
+    }
     if (!comp.status.ok()) {
       AppendFrame(&conn->outbuf, FrameType::kError, comp.request_id,
                   EncodeErrorPayload(comp.status));
+    } else if (comp.is_write) {
+      AppendFrame(&conn->outbuf, FrameType::kIngestResult, comp.request_id,
+                  comp.write_ack);
     } else {
       const EncodedAnswer& answer = *comp.answer;
       AppendFrame(&conn->outbuf, FrameType::kAnswerSchema, comp.request_id,

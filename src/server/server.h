@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +41,19 @@
 /// beyond that, up to `max_queued_per_connection` queries wait per
 /// connection, and anything further is shed immediately with a
 /// kUnavailable wire error (never silently dropped).
+///
+/// Write path (INGEST/PUNCTUATE): writes never enter the query
+/// admission path. They queue on a bounded pending-write queue (global
+/// cap + per-tenant quota; excess is shed with kUnavailable) and are
+/// drained by a single writer job on the eval pool, highest tenant tier
+/// first. The writer builds the next copy-on-write snapshot *outside*
+/// db_mu_ — readers keep taking the current snapshot while the copy and
+/// the FeedManager mutations run — then swaps the pointer under db_mu_
+/// and invalidates only the answer-cache entries the epoch diff proves
+/// stale (whole table for data changes and pattern retractions, one
+/// pattern signature for pattern additions). One writer at a time plus
+/// a bounded queue is what keeps ingest from starving queries: writes
+/// occupy at most one eval worker regardless of arrival rate.
 
 namespace pcdb {
 
@@ -70,6 +85,21 @@ struct ServerOptions {
   size_t rows_per_batch = 256;
   /// Poll timeout; bounds Stop() latency when the server is idle.
   int poll_millis = 100;
+  /// Consecutive Poll() failures tolerated (with warn logs and bounded
+  /// backoff) before the event loop gives up and exits. A persistent
+  /// EBADF/ENOMEM must neither spin a core nor loop forever.
+  size_t max_poll_errors = 64;
+  /// Write queue: pending INGEST/PUNCTUATE ops buffered before new
+  /// writes are shed with kUnavailable.
+  size_t max_pending_writes = 256;
+  /// Per-tenant share of the pending-write queue (0 = no per-tenant
+  /// cap). One tenant flooding writes is shed at its quota while other
+  /// tenants' writes — and all queries — proceed.
+  size_t tenant_write_quota = 64;
+  /// Priority tiers: tenant name -> tier. The writer drains pending
+  /// writes highest tier first (FIFO within a tier); unlisted tenants
+  /// (including the default "" tenant) are tier 0.
+  std::map<std::string, uint32_t> tenant_tiers;
   /// Slow-query log threshold: a query whose total server-side time
   /// (queue wait + evaluation + encode) reaches this many milliseconds
   /// is logged at warn level with its SQL and timings. 0 disables.
@@ -105,11 +135,15 @@ class Server {
   const AnswerCache& cache() const { return cache_; }
 
   /// Copy-on-write database mutation: `fn` runs against a private copy
-  /// of the current snapshot; on success the snapshot pointer is
-  /// swapped and every cache entry depending on a table whose epoch
-  /// changed is invalidated. In-flight queries keep evaluating against
-  /// the snapshot they started with (their cache entries carry the old
-  /// epochs and simply become unreachable).
+  /// of the current snapshot (built outside db_mu_ — readers are never
+  /// blocked by the copy or by `fn`); on success the snapshot pointer
+  /// is swapped and the cache entries the epoch diff proves stale are
+  /// invalidated (whole tables for data changes and pattern
+  /// retractions, single signatures for pattern additions). In-flight
+  /// queries keep evaluating against the snapshot they started with
+  /// (their cache entries carry the old epochs and simply become
+  /// unreachable). Serialized with the INGEST/PUNCTUATE writer job on
+  /// write_mu_.
   Status UpdateDatabase(const std::function<Status(AnnotatedDatabase*)>& fn);
 
   /// Metrics + cache stats as one JSON object (the STATS payload).
@@ -119,6 +153,20 @@ class Server {
   struct Completion;
   struct Conn;
   struct LoopState;
+
+  /// One admitted INGEST or PUNCTUATE, waiting for the writer job.
+  struct WriteOp {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+    std::string tenant;
+    /// Resolved from ServerOptions::tenant_tiers at admission.
+    uint32_t tier = 0;
+    /// Admission order, for FIFO within a tier.
+    uint64_t seq = 0;
+    bool is_punctuate = false;
+    IngestRequest ingest;        ///< Valid when !is_punctuate.
+    PunctuateRequest punctuate;  ///< Valid when is_punctuate.
+  };
 
   void RunLoop();
   void ProcessCompletions(LoopState* state);
@@ -138,6 +186,23 @@ class Server {
   std::shared_ptr<const AnnotatedDatabase> Snapshot() const
       PCDB_EXCLUDES(db_mu_);
 
+  /// Queues a write (or sheds it onto conn->outbuf) and starts the
+  /// writer job if none is running. Loop thread only.
+  void EnqueueWrite(Conn* conn, WriteOp op) PCDB_EXCLUDES(writes_mu_);
+  /// Drains pending_writes_ in batches until empty; one instance runs
+  /// at a time (writer_active_). Runs on the eval pool.
+  void RunWriterJob() PCDB_EXCLUDES(writes_mu_, write_mu_);
+  /// Applies one op to the in-construction snapshot via FeedManager;
+  /// fills `ack` with the op's outcome counters.
+  Status ApplyWriteOp(AnnotatedDatabase* next, WriteOp* op,
+                      IngestResult* ack);
+  /// Invalidates exactly the cache entries the before->after epoch diff
+  /// proves stale: whole tables whose table epoch moved (data changes,
+  /// retractions, drops), single signatures whose pattern-sig epoch
+  /// moved under an unchanged table epoch (additions).
+  void InvalidateDiff(const AnnotatedDatabase& before,
+                      const AnnotatedDatabase& after);
+
   ServerOptions options_;
   MetricsRegistry metrics_;
   AnswerCache cache_;
@@ -156,12 +221,33 @@ class Server {
   Counter* c_conn_faults_ = nullptr;
   Counter* c_protocol_errors_ = nullptr;
   Counter* c_eval_task_faults_ = nullptr;
+  Counter* c_poll_errors_ = nullptr;
+  Counter* c_ingest_rows_ = nullptr;
+  Counter* c_ingest_rejected_ = nullptr;
+  Counter* c_punctuations_ = nullptr;
+  Counter* c_patterns_retracted_ = nullptr;
+  Counter* c_writes_shed_ = nullptr;
+  Counter* c_write_batches_ = nullptr;
   Gauge* g_connections_ = nullptr;
   Gauge* g_inflight_ = nullptr;
+  Gauge* g_pending_writes_ = nullptr;
   Histogram* h_latency_ = nullptr;
 
   mutable Mutex db_mu_;
   std::shared_ptr<const AnnotatedDatabase> db_ PCDB_GUARDED_BY(db_mu_);
+
+  /// Serializes snapshot *builders* (the writer job and UpdateDatabase).
+  /// Held across copy + mutate; db_mu_ is taken only for the final
+  /// pointer swap, so readers never wait on a writer's work.
+  /// Lock order: write_mu_ before db_mu_; never the reverse.
+  Mutex write_mu_;
+
+  Mutex writes_mu_;
+  std::deque<WriteOp> pending_writes_ PCDB_GUARDED_BY(writes_mu_);
+  /// Pending-op count per tenant, for quota shedding.
+  std::map<std::string, size_t> tenant_pending_ PCDB_GUARDED_BY(writes_mu_);
+  bool writer_active_ PCDB_GUARDED_BY(writes_mu_) = false;
+  uint64_t write_seq_ PCDB_GUARDED_BY(writes_mu_) = 0;
 
   Listener listener_;
   WakePipe wake_;

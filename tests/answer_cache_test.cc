@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "server/answer_cache.h"
+#include "workloads/maintenance_example.h"
 
 namespace pcdb {
 namespace {
@@ -20,7 +23,7 @@ TEST(AnswerCacheTest, HitAfterMiss) {
   AnswerCache cache;
   EXPECT_EQ(cache.Get("k"), nullptr);
   auto answer = MakeAnswer(100);
-  cache.Put("k", {"Warnings"}, answer);
+  cache.Put("k", {{"Warnings"}}, answer);
   EXPECT_EQ(cache.Get("k"), answer);
   AnswerCache::Stats stats = cache.GetStats();
   EXPECT_EQ(stats.misses, 1u);
@@ -80,14 +83,53 @@ TEST(AnswerCacheTest, ReplacingAKeyKeepsAccountingConsistent) {
 
 TEST(AnswerCacheTest, InvalidateTableDropsOnlyDependents) {
   AnswerCache cache;
-  cache.Put("q1", {"Warnings", "Teams"}, MakeAnswer(10));
-  cache.Put("q2", {"Teams"}, MakeAnswer(10));
-  cache.Put("q3", {"Maintenance"}, MakeAnswer(10));
+  cache.Put("q1", {{"Warnings"}, {"Teams"}}, MakeAnswer(10));
+  cache.Put("q2", {{"Teams"}}, MakeAnswer(10));
+  cache.Put("q3", {{"Maintenance"}}, MakeAnswer(10));
   EXPECT_EQ(cache.InvalidateTable("Teams"), 2u);
   EXPECT_EQ(cache.Get("q1"), nullptr);
   EXPECT_EQ(cache.Get("q2"), nullptr);
   EXPECT_NE(cache.Get("q3"), nullptr);
   EXPECT_EQ(cache.GetStats().invalidations, 2u);
+}
+
+TEST(AnswerCacheTest, InvalidateSignatureDropsOnlyComparableMasks) {
+  AnswerCache cache;
+  AnswerCache::TableDep week_dep;  // query constrains column 1 (week)
+  week_dep.table = "Warnings";
+  week_dep.query_mask = uint64_t{1} << 1;
+  AnswerCache::TableDep day_dep;  // query constrains column 0 (day)
+  day_dep.table = "Warnings";
+  day_dep.query_mask = uint64_t{1} << 0;
+  AnswerCache::TableDep teams_dep;  // other table, catch-all mask
+  teams_dep.table = "Teams";
+  cache.Put("q_week", {week_dep}, MakeAnswer(10));
+  cache.Put("q_day", {day_dep}, MakeAnswer(10));
+  cache.Put("q_teams", {teams_dep}, MakeAnswer(10));
+  // A pattern addition with signature {day}: the {week}-masked entry is
+  // incomparable and must survive; the other table is untouched.
+  EXPECT_EQ(cache.InvalidateSignature("Warnings", uint64_t{1} << 0), 1u);
+  EXPECT_NE(cache.Get("q_week"), nullptr);
+  EXPECT_EQ(cache.Get("q_day"), nullptr);
+  EXPECT_NE(cache.Get("q_teams"), nullptr);
+  EXPECT_EQ(cache.GetStats().sig_invalidations, 1u);
+  EXPECT_EQ(cache.GetStats().invalidations, 0u);
+}
+
+TEST(AnswerCacheTest, WildcardSignatureAndDefaultMaskAlwaysInvalidate) {
+  AnswerCache cache;
+  AnswerCache::TableDep masked;  // {week}
+  masked.table = "Warnings";
+  masked.query_mask = uint64_t{1} << 1;
+  AnswerCache::TableDep catch_all;  // default ~0 mask
+  catch_all.table = "Warnings";
+  cache.Put("masked", {masked}, MakeAnswer(10));
+  cache.Put("catch_all", {catch_all}, MakeAnswer(10));
+  // Signature 0 (the all-wildcard pattern) is comparable with every
+  // mask, and the default ~0 mask is comparable with every signature:
+  // both entries go.
+  EXPECT_EQ(cache.InvalidateSignature("Warnings", 0), 2u);
+  EXPECT_EQ(cache.GetStats().entries, 0u);
 }
 
 TEST(AnswerCacheTest, ClearDropsEverything) {
@@ -119,6 +161,51 @@ TEST(AnswerCacheKeyTest, EveryInputChangesTheKey) {
   EXPECT_NE(base, AnswerCache::MakeKey("SELECT 1", 0, 0, 0, 9, {{"t", 1}}));
   // The epoch is the mutation fence: bumping it must miss.
   EXPECT_NE(base, AnswerCache::MakeKey("SELECT 1", 0, 0, 0, 0, {{"t", 2}}));
+}
+
+TEST(AnswerCacheKeyTest, SigFoldTracksOnlyComparableSignatures) {
+  // Signature epochs over Warnings: {day} (bit 0) at epoch 1, {week}
+  // (bit 1) at epoch 5. A query masked {week} must key on the {week}
+  // epoch and ignore the {day} one.
+  std::map<uint64_t, uint64_t> epochs{{uint64_t{1} << 0, 1},
+                                      {uint64_t{1} << 1, 5}};
+  const uint64_t mask = uint64_t{1} << 1;
+  const uint64_t base = AnswerCache::FoldSignatureEpochs(mask, epochs);
+  epochs[uint64_t{1} << 0] = 2;  // incomparable bump: fold unchanged
+  EXPECT_EQ(base, AnswerCache::FoldSignatureEpochs(mask, epochs));
+  epochs[uint64_t{1} << 1] = 6;  // comparable bump: fold moves
+  EXPECT_NE(base, AnswerCache::FoldSignatureEpochs(mask, epochs));
+  // A superset signature {day, week} is comparable with {week} too.
+  const uint64_t with_superset = AnswerCache::FoldSignatureEpochs(
+      mask, {{uint64_t{1} << 1, 5}, {3, 1}});
+  EXPECT_NE(with_superset,
+            AnswerCache::FoldSignatureEpochs(mask, {{uint64_t{1} << 1, 5}}));
+}
+
+TEST(AnswerCacheKeyTest, SigFoldChangesTheKey) {
+  AnswerCache::TableDep dep;
+  dep.table = "t";
+  dep.epoch = 1;
+  dep.query_mask = 2;
+  dep.sig_fold = 7;
+  const std::string base = AnswerCache::MakeKey("SELECT 1", 0, 0, 0, 0,
+                                                {dep});
+  dep.sig_fold = 8;
+  EXPECT_NE(base,
+            AnswerCache::MakeKey("SELECT 1", 0, 0, 0, 0, {dep}));
+}
+
+TEST(AnswerCacheKeyTest, QueryConstantMasksResolveAliasedColumns) {
+  // Q_hw: sigma_week=2 over Warnings (alias W, column 1) and
+  // sigma_specialization='hardware' over Teams (alias T, column 1);
+  // Maintenance is scanned with no constant selection.
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  const auto masks = AnswerCache::QueryConstantMasks(
+      *MakeHardwareWarningsQuery(), adb.database());
+  ASSERT_EQ(masks.size(), 3u);
+  EXPECT_EQ(masks.at("Warnings"), uint64_t{1} << 1);
+  EXPECT_EQ(masks.at("Teams"), uint64_t{1} << 1);
+  EXPECT_EQ(masks.at("Maintenance"), 0u);
 }
 
 TEST(AnswerCacheKeyTest, NormalizeSqlCollapsesIncidentalFormatting) {

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
 #include "pattern/annotated_eval.h"
 #include "pattern/feed.h"
 
@@ -83,6 +89,58 @@ TEST(FeedTest, MalformedRecordsFailCleanly) {
   EXPECT_FALSE(feed.Ingest("ghost", {"Mon", "ne1"}).ok());
   EXPECT_FALSE(feed.Punctuate("w", {"Mon"}).ok());
   EXPECT_EQ(feed.stats().records_ingested, 0u);
+}
+
+// The violation check and the row append are one critical section: an
+// ingest that passed the check must not interleave with a punctuation
+// that would have rejected it. Run writers and punctuators head-on and
+// check the books balance exactly (this is also the TSan target for
+// FeedManager's annotated mutex).
+TEST(FeedTest, ConcurrentIngestAndPunctuateKeepTheBooksConsistent) {
+  AnnotatedDatabase adb = WarningsDatabase();
+  FeedManager feed(&adb, FeedViolationPolicy::kRejectRecord);
+  constexpr size_t kThreads = 4;
+  constexpr size_t kOpsPerThread = 200;
+  std::atomic<size_t> accepted{0};
+  std::atomic<size_t> rejected{0};
+
+  ThreadPool pool(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    pool.Submit([&, t] {
+      const std::string day = t % 2 == 0 ? "Mon" : "Tue";
+      for (size_t i = 0; i < kOpsPerThread; ++i) {
+        if (i == kOpsPerThread / 2 && t == 0) {
+          // Close the Monday slice mid-stream; Monday ingests racing
+          // past this point must be rejected, never half-applied.
+          ASSERT_TRUE(feed.Punctuate("w", {"Mon", "*"}).ok());
+          continue;
+        }
+        const std::string id = "ne" + std::to_string(t) + "_" +
+                               std::to_string(i);
+        if (feed.Ingest("w", {day, id}).ok()) {
+          accepted.fetch_add(1);
+        } else {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  pool.Wait();
+
+  // Every attempt is accounted for exactly once, and every accepted
+  // record is actually in the table (no lost or duplicated appends).
+  const size_t attempts = kThreads * kOpsPerThread - 1;  // one op punctuated
+  EXPECT_EQ(feed.stats().records_ingested + feed.stats().records_rejected,
+            attempts);
+  EXPECT_EQ(feed.stats().records_ingested, accepted.load());
+  EXPECT_EQ(feed.stats().records_rejected, rejected.load());
+  EXPECT_EQ(feed.stats().violations, rejected.load());
+  EXPECT_EQ((*adb.database().GetTable("w"))->num_rows(), accepted.load());
+  EXPECT_EQ(feed.stats().punctuations, 1u);
+  ASSERT_EQ(adb.patterns("w").size(), 1u);
+  EXPECT_EQ(adb.patterns("w")[0], P({"Mon", "*"}));
+  // Tuesday writers never saw a violation.
+  EXPECT_GE(accepted.load(), 2 * kOpsPerThread);
 }
 
 TEST(FeedTest, QueriesSeePunctuationProgress) {

@@ -245,6 +245,129 @@ TEST(QueryPayloadTest, TrailingGarbageIsAParseError) {
             StatusCode::kParseError);
 }
 
+// ---------------------------------------------------------------------------
+// Write-path payloads (INGEST / PUNCTUATE / INGEST_RESULT).
+
+TEST(IngestPayloadTest, RoundTrips) {
+  IngestRequest request;
+  request.tenant = "acme";
+  request.table = "Warnings";
+  request.policy = IngestRequest::kPolicyRetractPatterns;
+  request.rows.push_back({Value("Thu"), Value(int64_t{3}), Value("tw99"),
+                          Value("scheduled check")});
+  request.rows.push_back({Value(2.5)});  // arity/type checks are the
+                                         // server's job, not the codec's
+  Result<IngestRequest> back =
+      DecodeIngestPayload(EncodeIngestPayload(request));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->tenant, "acme");
+  EXPECT_EQ(back->table, "Warnings");
+  EXPECT_EQ(back->policy, IngestRequest::kPolicyRetractPatterns);
+  ASSERT_EQ(back->rows.size(), 2u);
+  EXPECT_EQ(back->rows[0], request.rows[0]);
+  EXPECT_EQ(back->rows[1], request.rows[1]);
+}
+
+TEST(IngestPayloadTest, EveryTruncationIsAParseError) {
+  IngestRequest request;
+  request.table = "t";
+  request.rows.push_back({Value(int64_t{1}), Value("x")});
+  std::string payload = EncodeIngestPayload(request);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    Result<IngestRequest> back =
+        DecodeIngestPayload(std::string_view(payload.data(), cut));
+    ASSERT_FALSE(back.ok()) << "cut=" << cut;
+    EXPECT_EQ(back.status().code(), StatusCode::kParseError) << "cut=" << cut;
+  }
+}
+
+TEST(IngestPayloadTest, TrailingGarbageAndBadPolicyAreParseErrors) {
+  IngestRequest request;
+  request.table = "t";
+  std::string payload = EncodeIngestPayload(request);
+  EXPECT_EQ(DecodeIngestPayload(payload + "junk").status().code(),
+            StatusCode::kParseError);
+  // The policy byte sits right after the two length-prefixed strings;
+  // any value beyond kPolicyRetractPatterns must be rejected, not
+  // clamped (a future policy must not silently alias an old one).
+  const size_t policy_at = 4 + request.tenant.size() + 4 +
+                           request.table.size();
+  std::string bad = payload;
+  bad[policy_at] = 7;
+  EXPECT_EQ(DecodeIngestPayload(bad).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(PunctuatePayloadTest, RoundTrips) {
+  PunctuateRequest request;
+  request.tenant = "acme";
+  request.table = "Warnings";
+  request.patterns.push_back({"Mon", "2", "*", "*"});
+  request.patterns.push_back({"*", "*", "*", "*"});
+  Result<PunctuateRequest> back =
+      DecodePunctuatePayload(EncodePunctuatePayload(request));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->tenant, "acme");
+  EXPECT_EQ(back->table, "Warnings");
+  EXPECT_EQ(back->patterns, request.patterns);
+}
+
+TEST(PunctuatePayloadTest, EveryTruncationIsAParseError) {
+  PunctuateRequest request;
+  request.table = "t";
+  request.patterns.push_back({"a", "*"});
+  std::string payload = EncodePunctuatePayload(request);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    Result<PunctuateRequest> back =
+        DecodePunctuatePayload(std::string_view(payload.data(), cut));
+    ASSERT_FALSE(back.ok()) << "cut=" << cut;
+    EXPECT_EQ(back.status().code(), StatusCode::kParseError) << "cut=" << cut;
+  }
+}
+
+TEST(IngestResultPayloadTest, RoundTripsAndRejectsTruncation) {
+  IngestResult result;
+  result.rows_ingested = 5;
+  result.rows_rejected = 1;
+  result.punctuations = 2;
+  result.patterns_retracted = 3;
+  result.violations = 4;
+  const std::string payload = EncodeIngestResultPayload(result);
+  Result<IngestResult> back = DecodeIngestResultPayload(payload);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows_ingested, 5u);
+  EXPECT_EQ(back->rows_rejected, 1u);
+  EXPECT_EQ(back->punctuations, 2u);
+  EXPECT_EQ(back->patterns_retracted, 3u);
+  EXPECT_EQ(back->violations, 4u);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_EQ(DecodeIngestResultPayload(
+                  std::string_view(payload.data(), cut))
+                  .status()
+                  .code(),
+              StatusCode::kParseError)
+        << "cut=" << cut;
+  }
+  EXPECT_EQ(DecodeIngestResultPayload(payload + "x").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(FrameTest, WritePathFrameTypesAreKnownToTheReader) {
+  std::string wire;
+  AppendFrame(&wire, FrameType::kIngest, 1, "");
+  AppendFrame(&wire, FrameType::kPunctuate, 2, "");
+  AppendFrame(&wire, FrameType::kIngestResult, 3, "");
+  FrameReader reader;
+  reader.Feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_TRUE(NextFrame(&reader, &frame));
+  EXPECT_EQ(frame.type, FrameType::kIngest);
+  ASSERT_TRUE(NextFrame(&reader, &frame));
+  EXPECT_EQ(frame.type, FrameType::kPunctuate);
+  ASSERT_TRUE(NextFrame(&reader, &frame));
+  EXPECT_EQ(frame.type, FrameType::kIngestResult);
+}
+
 TEST(DonePayloadTest, RoundTrips) {
   AnswerDone done;
   done.degraded = true;

@@ -15,6 +15,8 @@
 #include "common/thread_pool.h"
 #include "pattern/annotated_eval.h"
 #include "server/client.h"
+#include "server/net_socket.h"
+#include "server/protocol.h"
 #include "server/server.h"
 #include "sql/planner.h"
 #include "workloads/maintenance_example.h"
@@ -524,6 +526,209 @@ TEST_F(ServerTest, ShortReadFaultStillDeliversIntactAnswers) {
   Result<ClientAnswer> answer = client.Query(kQhwSql);
   ASSERT_TRUE(answer.ok()) << answer.status().ToString();
   EXPECT_EQ(answer->canonical_bytes, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming write path: INGEST / PUNCTUATE.
+
+TEST_F(ServerTest, IngestAppliesRowsAndPoliciesOverTheWire) {
+  StartServer();
+  Client client = ConnectOrDie();
+
+  // A clean row (week 3 violates no promise) lands and is queryable.
+  Result<IngestResult> ack = client.Ingest(
+      "Warnings", {Tuple{Value("Thu"), Value(int64_t{3}), Value("tw99"),
+                         Value("scheduled check")}});
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->rows_ingested, 1u);
+  EXPECT_EQ(ack->violations, 0u);
+  Result<ClientAnswer> all =
+      client.Query("SELECT * FROM Warnings WHERE week=3");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->table.data.num_rows(), 1u);
+
+  // A week-1 row violates the (*,1,*,*) promise: the default policy
+  // rejects the record and keeps the promise.
+  ack = client.Ingest("Warnings",
+                      {Tuple{Value("Sat"), Value(int64_t{1}), Value("twX"),
+                             Value("late arrival")}});
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->rows_ingested, 0u);
+  EXPECT_EQ(ack->rows_rejected, 1u);
+  EXPECT_EQ(ack->violations, 1u);
+
+  // Under the retract policy the same row lands and the violated
+  // promise is withdrawn instead.
+  ClientWriteOptions retract;
+  retract.policy = IngestRequest::kPolicyRetractPatterns;
+  ack = client.Ingest("Warnings",
+                      {Tuple{Value("Sat"), Value(int64_t{1}), Value("twX"),
+                             Value("late arrival")}},
+                      retract);
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->rows_ingested, 1u);
+  EXPECT_EQ(ack->violations, 1u);
+  EXPECT_GE(ack->patterns_retracted, 1u);
+  EXPECT_GE(server_->metrics().CounterValue("ingest_rows_total"), 2u);
+  EXPECT_GE(server_->metrics().CounterValue("patterns_retracted_total"), 1u);
+
+  // A malformed write (unknown table) surfaces as a wire error and the
+  // connection keeps serving.
+  ack = client.Ingest("NoSuchTable", {Tuple{Value(int64_t{1})}});
+  EXPECT_FALSE(ack.ok());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServerTest, SignatureKeyedInvalidationSparesIncomparableEntries) {
+  StartServer();
+  Client client = ConnectOrDie();
+
+  ASSERT_TRUE(client.Query(kQhwSql).ok());  // warm the cache
+  Result<ClientAnswer> warm = client.Query(kQhwSql);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->done.cache_hit);
+
+  // A punctuation constraining only `day` has signature {day}; Q_hw's
+  // constant mask over Warnings is {week}. Incomparable: the cached
+  // answer stays valid (the addition cannot change its rows and only
+  // under-reports completeness) and must still hit.
+  Result<IngestResult> ack =
+      client.Punctuate("Warnings", {{"p9", "*", "*", "*"}});
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->punctuations, 1u);
+  Result<ClientAnswer> after_day = client.Query(kQhwSql);
+  ASSERT_TRUE(after_day.ok());
+  EXPECT_TRUE(after_day->done.cache_hit);
+  EXPECT_EQ(server_->cache().GetStats().sig_invalidations, 0u);
+
+  // A punctuation constraining `week` is comparable with {week}: the
+  // entry is invalidated, the re-evaluation sees the new promise, and
+  // the answer's completeness annotation actually improves.
+  ack = client.Punctuate("Warnings", {{"*", "2", "*", "*"}});
+  ASSERT_TRUE(ack.ok());
+  Result<ClientAnswer> after_week = client.Query(kQhwSql);
+  ASSERT_TRUE(after_week.ok());
+  EXPECT_FALSE(after_week->done.cache_hit);
+  EXPECT_NE(after_week->canonical_bytes, warm->canonical_bytes);
+  EXPECT_GE(server_->cache().GetStats().sig_invalidations, 1u);
+}
+
+TEST_F(ServerTest, ReadersKeepAnsweringWhileAWriterIsBusy) {
+  ServerOptions options;
+  options.eval_threads = 4;
+  StartServer(options);
+  Client reader = ConnectOrDie();
+  ASSERT_TRUE(reader.Query(kQhwSql).ok());  // warm plan + cache
+
+  // Make the writer job dwell on one op for a second. Readers evaluate
+  // against the current snapshot and take db_mu_ only for the pointer
+  // read, so they must not feel the writer at all.
+  Failpoints::Global().Activate("server.ingest", FailpointSpec::Sleep(1000));
+  std::atomic<bool> ingest_done{false};
+  {
+    ThreadPool pool(2);  // a 1-thread pool runs tasks inline on Submit
+    pool.Submit([this, &ingest_done] {
+      Client w = ConnectOrDie();
+      Result<IngestResult> ack = w.Ingest(
+          "Warnings", {Tuple{Value("Thu"), Value(int64_t{4}), Value("tw7"),
+                             Value("slow write")}});
+      EXPECT_TRUE(ack.ok()) << ack.status().ToString();
+      ingest_done.store(true);
+    });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < 5; ++i) {
+      Result<ClientAnswer> answer = reader.Query(kQhwSql);
+      ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    }
+    const double query_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+    // All five round trips fit comfortably inside the writer's 1s
+    // dwell; if readers serialized behind the writer this would take
+    // seconds.
+    EXPECT_LT(query_ms, 800.0);
+    EXPECT_FALSE(ingest_done.load());
+    pool.Wait();
+  }
+  EXPECT_TRUE(ingest_done.load());
+  Failpoints::Global().Clear();
+}
+
+TEST_F(ServerTest, TenantQuotaShedsAFloodWithoutStarvingOthers) {
+  ServerOptions options;
+  options.eval_threads = 2;
+  options.tenant_write_quota = 2;
+  StartServer(options);
+
+  // Keep the writer busy so pending writes actually pile up: the first
+  // (quota-exempt "warm" tenant) op is popped into a batch and dwells
+  // in apply while everything else arrives.
+  Failpoints::Global().Activate("server.ingest", FailpointSpec::Sleep(400));
+
+  Result<Socket> conn = TcpConnect("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->SetRecvTimeoutMillis(15000).ok());
+  auto ingest_frame = [](uint64_t request_id, const std::string& tenant) {
+    IngestRequest request;
+    request.tenant = tenant;
+    request.table = "Warnings";
+    request.rows.push_back({Value("Thu"), Value(int64_t{5}),
+                            Value("tw" + std::to_string(request_id)),
+                            Value("flood")});
+    std::string wire;
+    AppendFrame(&wire, FrameType::kIngest, request_id,
+                EncodeIngestPayload(request));
+    return wire;
+  };
+
+  std::string first = ingest_frame(1, "warm");
+  ASSERT_TRUE(conn->SendAll(first.data(), first.size()).ok());
+  // Let the writer pop it and start dwelling.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // Five more from "flood" (quota 2) and one from "calm": 2 flood ops
+  // queue, 3 shed with kUnavailable, calm queues untouched.
+  std::string burst;
+  for (uint64_t id = 2; id <= 6; ++id) burst += ingest_frame(id, "flood");
+  burst += ingest_frame(7, "calm");
+  ASSERT_TRUE(conn->SendAll(burst.data(), burst.size()).ok());
+
+  FrameReader reader;
+  size_t acks = 0, sheds = 0;
+  while (acks + sheds < 7) {
+    Frame frame;
+    Result<bool> complete = reader.Next(&frame);
+    ASSERT_TRUE(complete.ok());
+    if (!*complete) {
+      char buf[4096];
+      Result<IoResult> io = conn->Recv(buf, sizeof(buf));
+      ASSERT_TRUE(io.ok()) << io.status().ToString();
+      ASSERT_FALSE(io->eof);
+      ASSERT_FALSE(io->would_block) << "timed out waiting for write acks";
+      reader.Feed(buf, io->bytes);
+      continue;
+    }
+    if (frame.type == FrameType::kIngestResult) {
+      ++acks;
+      continue;
+    }
+    ASSERT_EQ(frame.type, FrameType::kError);
+    Status remote;
+    ASSERT_TRUE(DecodeErrorPayload(frame.payload, &remote).ok());
+    EXPECT_EQ(remote.code(), StatusCode::kUnavailable) << remote.ToString();
+    EXPECT_NE(remote.ToString().find("quota"), std::string::npos)
+        << remote.ToString();
+    ++sheds;
+  }
+  EXPECT_EQ(acks, 4u);   // warm + 2 flood + calm
+  EXPECT_EQ(sheds, 3u);  // flood beyond its quota
+  EXPECT_EQ(server_->metrics().CounterValue("writes_shed_total"), 3u);
+
+  // Shedding never starved queries: the read path still serves.
+  Failpoints::Global().Clear();
+  EXPECT_TRUE(ConnectOrDie().Query(kQhwSql).ok());
 }
 
 TEST_F(ServerTest, StopCancelsInFlightQueries) {

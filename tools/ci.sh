@@ -16,6 +16,12 @@
 #                          # unchanged), then arm every compiled-in site
 #                          # with error/throw actions and require that no
 #                          # test binary dies abnormally
+#   tools/ci.sh ingest     # streaming write path: write-path suites, a live
+#                          # ingest/punctuate smoke through pcdb_client, then
+#                          # two mixed loadgen runs (punctuation-heavy vs
+#                          # row-ingest-heavy) whose cache-hit-rate delta
+#                          # demonstrates signature-keyed invalidation;
+#                          # results land in BENCH_PR6.json
 #   tools/ci.sh obs        # observability: full suite under PCDB_TRACE=1,
 #                          # validate the Chrome-trace dumps with
 #                          # tools/check_trace.py, then measure loadgen
@@ -92,7 +98,7 @@ run_fuzz() {
   echo "=== fuzz: build harnesses under ASan/UBSan ==="
   cmake --preset fuzz
   cmake --build --preset fuzz -j "$JOBS" \
-    --target fuzz_sql fuzz_csv fuzz_algebra_diff
+    --target fuzz_sql fuzz_csv fuzz_algebra_diff fuzz_frames
 
   local have_libfuzzer=0
   if grep -q "PCDB_HAVE_LIBFUZZER:INTERNAL=1" build-fuzz/CMakeCache.txt \
@@ -100,7 +106,8 @@ run_fuzz() {
     have_libfuzzer=1
   fi
 
-  for target in fuzz_sql:sql fuzz_csv:csv fuzz_algebra_diff:algebra; do
+  for target in fuzz_sql:sql fuzz_csv:csv fuzz_algebra_diff:algebra \
+      fuzz_frames:frames; do
     local bin="${target%%:*}" corpus="fuzz/corpus/${target##*:}"
     echo "=== fuzz: $bin (${FUZZ_SECONDS}s smoke) ==="
     if [[ "$have_libfuzzer" == 1 ]]; then
@@ -198,7 +205,8 @@ run_faults() {
   # pool.dispatch faults through those paths.
   local sites="csv.read csv.record eval.operator eval.join.probe \
     minimize.pattern minimize.shard annotated.operator \
-    server.accept server.read server.read.short server.decode server.write"
+    server.accept server.read server.read.short server.decode server.write \
+    server.ingest"
   local bins="relational_test minimize_test annotated_eval_test parallel_test \
     protocol_test server_test"
   local action site spec bin rc
@@ -326,6 +334,141 @@ PY
   echo "obs OK"
 }
 
+# Starts pcdbd with the cache ON, runs one mixed loadgen burst with the
+# given extra flags, echoes the loadgen JSON line, stops the daemon. A
+# fresh daemon per run keeps cache state from leaking between mixes.
+ingest_loadgen_run() {
+  local logfile daemon port="" i
+  logfile="$(mktemp)"
+  ./build/tools/pcdbd --port 0 >"$logfile" 2>/dev/null &
+  daemon=$!
+  for i in $(seq 1 100); do
+    port="$(sed -n 's/^pcdbd listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$logfile")"
+    [[ -n "$port" ]] && break
+    sleep 0.05
+  done
+  if [[ -z "$port" ]]; then
+    echo "ERROR: pcdbd never announced its listening port" >&2
+    kill "$daemon" 2>/dev/null || true
+    return 1
+  fi
+  ./build/tools/pcdb_loadgen --port "$port" --connections 8 \
+    --requests "${INGEST_LOADGEN_REQUESTS:-2000}" "$@" \
+    | grep '"bench":"pcdbd_loadgen"'
+  kill -TERM "$daemon"
+  wait "$daemon" || true
+  rm -f "$logfile"
+}
+
+run_ingest() {
+  echo "=== ingest: build + write-path suites ==="
+  cmake --preset release
+  cmake --build --preset release -j "$JOBS" \
+    --target protocol_test answer_cache_test server_test feed_test \
+             fault_injection_test pcdbd pcdb_client pcdb_loadgen
+  ./build/tests/protocol_test
+  ./build/tests/answer_cache_test
+  ./build/tests/feed_test
+  ./build/tests/server_test
+  ./build/tests/fault_injection_test \
+    --gtest_filter='*CoveringWorkloads*:*EverySiteFires*'
+
+  echo "=== ingest: live INGEST/PUNCTUATE smoke through pcdb_client ==="
+  local logfile daemon port="" i
+  logfile="$(mktemp)"
+  ./build/tools/pcdbd --port 0 --tenant-quota 64 >"$logfile" 2>&1 &
+  daemon=$!
+  for i in $(seq 1 100); do
+    port="$(sed -n 's/^pcdbd listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$logfile")"
+    [[ -n "$port" ]] && break
+    sleep 0.05
+  done
+  if [[ -z "$port" ]]; then
+    echo "ERROR: pcdbd never announced its listening port" >&2
+    cat "$logfile" >&2
+    kill "$daemon" 2>/dev/null || true
+    exit 1
+  fi
+  ./build/tools/pcdb_client --port "$port" --ingest Warnings \
+    --row "Thu,3,tw90,ci smoke" --row "Fri,4,tw91,ci smoke" \
+    | grep -q 'ingested=2'
+  ./build/tools/pcdb_client --port "$port" --punctuate Warnings \
+    --fields "ci,*,*,*" | grep -q 'punctuations=1'
+  # A row violating the new promise: rejected under the default policy,
+  # admitted (with the promise withdrawn) under --policy retract.
+  ./build/tools/pcdb_client --port "$port" --ingest Warnings \
+    --row "ci,9,tw92,late" | grep -q 'rejected=1'
+  ./build/tools/pcdb_client --port "$port" --policy retract \
+    --ingest Warnings --row "ci,9,tw92,late" | grep -q 'retracted=1'
+  ./build/tools/pcdb_client --port "$port" --stats \
+    | grep -q '"ingest_rows_total":3'
+  kill -TERM "$daemon"
+  local rc=0
+  wait "$daemon" || rc=$?
+  rm -f "$logfile"
+  if (( rc != 0 )); then
+    echo "ERROR: pcdbd exited $rc on SIGTERM (want graceful 0)" >&2
+    exit 1
+  fi
+
+  echo "=== ingest: cache precision, punctuation-mix vs row-ingest mix ==="
+  # Both mixes disturb the Warnings table at the same 20% op rate. The
+  # punctuation mix adds day-constant completeness patterns — signature
+  # {day}, incomparable with the query mix's {week} constant mask — so
+  # signature-keyed invalidation preserves cached answers. The row mix
+  # bumps the table epoch wholesale and pays real misses. The gap
+  # between the two hit rates is the precision win.
+  local punct_run ingest_run
+  punct_run="$(ingest_loadgen_run --punctuate-pct 20)"
+  ingest_run="$(ingest_loadgen_run --write-pct 20)"
+
+  if ! python3 - "$punct_run" "$ingest_run" > BENCH_PR6.json <<'PY'
+import json, os, sys
+punct, ingest = (json.loads(a) for a in sys.argv[1:3])
+def summary(r):
+    keys = ("cache_hit_rate", "qps", "median_ms", "p95_ms", "p99_ms",
+            "writes", "write_errors", "write_p95_ms")
+    return {k: r[k] for k in keys if k in r}
+delta = punct["cache_hit_rate"] - ingest["cache_hit_rate"]
+out = {
+    "bench": "pr6_signature_invalidation_precision",
+    "workload": {"requests": punct["n"], "connections": punct["threads"],
+                 "write_op_pct": 20,
+                 "query": "Q_hw (Warnings constant mask {week})"},
+    "punctuate_mix": summary(punct),
+    "row_ingest_mix": summary(ingest),
+    "cache_hit_rate_delta": round(delta, 4),
+}
+for name in ("BENCH_PR4.json", "BENCH_PR5.json"):
+    # Prior bench files may hold one object or one object per line.
+    if os.path.exists(name):
+        with open(name) as f:
+            blob = f.read()
+        try:
+            base = json.loads(blob)
+        except ValueError:
+            base = json.loads(blob.splitlines()[0])
+        out.setdefault("baselines", {})[name] = base.get("bench")
+json.dump(out, sys.stdout, indent=2)
+print()
+# Gate: punctuations must be strictly cheaper than row ingest for the
+# cache. If signature keying regressed, both mixes invalidate alike and
+# the delta collapses to ~0.
+sys.exit(0 if delta > 0.02 else 1)
+PY
+  then
+    cat BENCH_PR6.json >&2
+    echo "ERROR: punctuation mix shows no cache-hit-rate advantage over" >&2
+    echo "row ingest — signature-keyed invalidation is not sparing" >&2
+    echo "incomparable entries" >&2
+    exit 1
+  fi
+  cat BENCH_PR6.json
+  echo "ingest OK"
+}
+
 MODE="tier1"
 RUN_ASAN=0
 for arg in "$@"; do
@@ -335,6 +478,7 @@ for arg in "$@"; do
     fuzz) MODE="fuzz" ;;
     server) MODE="server" ;;
     faults) MODE="faults" ;;
+    ingest) MODE="ingest" ;;
     obs) MODE="obs" ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -349,6 +493,7 @@ case "$MODE" in
   fuzz) run_fuzz ;;
   server) run_server ;;
   faults) run_faults ;;
+  ingest) run_ingest ;;
   obs) run_obs ;;
 esac
 

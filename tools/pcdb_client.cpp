@@ -5,6 +5,16 @@
 //   pcdb_client --port N [--host H] --sql "SELECT ..." [--deadline-ms N]
 //               [--max-rows N] [--max-patterns N] [--max-memory N]
 //               [--aware] [--zombies] [--profile] [--timeout-ms N]
+//   pcdb_client --port N --ingest TABLE --row "v1,v2,..." [--row ...]
+//               [--tenant NAME] [--policy reject|retract]
+//   pcdb_client --port N --punctuate TABLE --fields "c1,*,..." [--fields ...]
+//               [--tenant NAME]
+//
+// --row cells are typed heuristically (integer, then float, then
+// string); the server rejects a row whose types don't match the table
+// schema. --fields cells are display fields ("*" = wildcard), exactly
+// the pattern syntax the CLI prints. Both modes print the server's
+// INGEST_RESULT counters on one line.
 //
 // --profile requests the server's per-query EXPLAIN ANALYZE profile
 // (the ANSWER_PROFILE frame) and prints the JSON after the trailer.
@@ -19,6 +29,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "server/client.h"
 
@@ -56,6 +68,35 @@ bool ParseString(int argc, char** argv, int* i, const char* flag,
   return false;
 }
 
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (;;) {
+    const size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+// Integer, then float, then string — matching the column types the
+// bundled workload uses. The server type-checks against the schema.
+pcdb::Value ParseCell(const std::string& text) {
+  if (!text.empty()) {
+    char* end = nullptr;
+    const long long as_int = std::strtoll(text.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0') {
+      return pcdb::Value(static_cast<int64_t>(as_int));
+    }
+    const double as_double = std::strtod(text.c_str(), &end);
+    if (end != nullptr && *end == '\0') return pcdb::Value(as_double);
+  }
+  return pcdb::Value(text);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -64,13 +105,40 @@ int main(int argc, char** argv) {
   bool ping = false;
   bool stats = false;
   std::string sql;
+  std::string ingest_table;
+  std::string punctuate_table;
+  std::vector<pcdb::Tuple> rows;
+  std::vector<std::vector<std::string>> patterns;
+  pcdb::ClientWriteOptions write_options;
   pcdb::ClientOptions conn_options;
   pcdb::ClientQueryOptions query_options;
   for (int i = 1; i < argc; ++i) {
     uint64_t n = 0;
+    std::string s;
     if (ParseString(argc, argv, &i, "--host", &host)) {
     } else if (ParseUint(argc, argv, &i, "--port", &port)) {
     } else if (ParseString(argc, argv, &i, "--sql", &sql)) {
+    } else if (ParseString(argc, argv, &i, "--ingest", &ingest_table)) {
+    } else if (ParseString(argc, argv, &i, "--punctuate", &punctuate_table)) {
+    } else if (ParseString(argc, argv, &i, "--tenant", &write_options.tenant)) {
+    } else if (ParseString(argc, argv, &i, "--row", &s)) {
+      pcdb::Tuple row;
+      for (const std::string& cell : SplitCommas(s)) {
+        row.push_back(ParseCell(cell));
+      }
+      rows.push_back(std::move(row));
+    } else if (ParseString(argc, argv, &i, "--fields", &s)) {
+      patterns.push_back(SplitCommas(s));
+    } else if (ParseString(argc, argv, &i, "--policy", &s)) {
+      if (s == "reject") {
+        write_options.policy = pcdb::IngestRequest::kPolicyRejectRecord;
+      } else if (s == "retract") {
+        write_options.policy = pcdb::IngestRequest::kPolicyRetractPatterns;
+      } else {
+        std::fprintf(stderr,
+                     "pcdb_client: --policy wants reject or retract\n");
+        return 2;
+      }
     } else if (ParseUint(argc, argv, &i, "--deadline-ms", &n)) {
       query_options.deadline_millis = static_cast<uint32_t>(n);
     } else if (ParseUint(argc, argv, &i, "--max-rows", &n)) {
@@ -98,7 +166,13 @@ int main(int argc, char** argv) {
           "                   [--deadline-ms N] [--max-rows N]\n"
           "                   [--max-patterns N] [--max-memory N]\n"
           "                   [--aware] [--zombies] [--profile]\n"
-          "                   [--timeout-ms N]\n");
+          "                   [--timeout-ms N]\n"
+          "   or: pcdb_client --port N --ingest TABLE --row \"v1,v2,...\"\n"
+          "                   [--row ...] [--tenant NAME]\n"
+          "                   [--policy reject|retract]\n"
+          "   or: pcdb_client --port N --punctuate TABLE\n"
+          "                   --fields \"c1,*,...\" [--fields ...]\n"
+          "                   [--tenant NAME]\n");
       return 0;
     } else {
       std::fprintf(stderr, "pcdb_client: unknown flag %s (see --help)\n",
@@ -106,10 +180,20 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (port == 0 || (!ping && !stats && sql.empty())) {
+  if (port == 0 || (!ping && !stats && sql.empty() && ingest_table.empty() &&
+                    punctuate_table.empty())) {
     std::fprintf(stderr,
                  "pcdb_client: need --port and one of --ping, --stats, "
-                 "--sql (see --help)\n");
+                 "--sql, --ingest, --punctuate (see --help)\n");
+    return 2;
+  }
+  if (!ingest_table.empty() && rows.empty()) {
+    std::fprintf(stderr, "pcdb_client: --ingest needs at least one --row\n");
+    return 2;
+  }
+  if (!punctuate_table.empty() && patterns.empty()) {
+    std::fprintf(stderr,
+                 "pcdb_client: --punctuate needs at least one --fields\n");
     return 2;
   }
 
@@ -140,6 +224,29 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("%s\n", json->c_str());
+    return 0;
+  }
+
+  if (!ingest_table.empty() || !punctuate_table.empty()) {
+    auto ack = ingest_table.empty()
+                   ? client->Punctuate(punctuate_table, std::move(patterns),
+                                       write_options)
+                   : client->Ingest(ingest_table, std::move(rows),
+                                    write_options);
+    if (!ack.ok()) {
+      std::fprintf(stderr, "pcdb_client: %s: %s\n",
+                   ingest_table.empty() ? "punctuate" : "ingest",
+                   ack.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "ingested=%llu rejected=%llu violations=%llu punctuations=%llu "
+        "retracted=%llu\n",
+        static_cast<unsigned long long>(ack->rows_ingested),
+        static_cast<unsigned long long>(ack->rows_rejected),
+        static_cast<unsigned long long>(ack->violations),
+        static_cast<unsigned long long>(ack->punctuations),
+        static_cast<unsigned long long>(ack->patterns_retracted));
     return 0;
   }
 

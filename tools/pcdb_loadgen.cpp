@@ -2,7 +2,8 @@
 //
 //   pcdb_loadgen --port N [--host H] [--connections C] [--requests R]
 //                [--sql "SELECT ..."] [--deadline-ms N] [--aware]
-//                [--zombies] [--no-warmup]
+//                [--zombies] [--no-warmup] [--write-pct P]
+//                [--punctuate-pct P] [--tenant NAME]
 //
 // Opens C concurrent connections, each issuing its share of R requests
 // back-to-back (closed loop: the next request is sent only after the
@@ -11,6 +12,20 @@
 //   {"bench":"pcdbd_loadgen",...}
 // line goes to stdout for tools/bench_record.sh; the methodology is
 // documented in EXPERIMENTS.md.
+//
+// Mixed read/write mode: --write-pct turns that percentage of requests
+// into single-row INGESTs against Warnings (synthetic rows in weeks >= 3
+// so no completeness promise is violated); --punctuate-pct turns that
+// percentage into PUNCTUATEs asserting day-constant patterns
+// ("p<i>",*,*,*). The punctuated signature {day} is incomparable with
+// the default query's constant mask over Warnings ({week}), so
+// punctuate-only write mixes leave cached answers valid — the reported
+// cache_hit_rate is the signature-keyed invalidation precision measure
+// recorded in BENCH_PR6.json. Row ingests bump the table epoch
+// (wholesale invalidation), so --write-pct drives the hit rate down;
+// the delta between the two mixes is the point of the experiment.
+// Latency percentiles are computed over queries only; write latencies
+// are reported separately (write_p95_ms).
 
 #include <algorithm>
 #include <chrono>
@@ -69,9 +84,12 @@ double Quantile(std::vector<double> values, double q) {
 }
 
 struct WorkerResult {
-  std::vector<double> latencies_ms;
+  std::vector<double> latencies_ms;        // queries only
+  std::vector<double> write_latencies_ms;  // ingests + punctuates
   uint64_t errors = 0;
   uint64_t cache_hits = 0;
+  uint64_t writes = 0;
+  uint64_t write_errors = 0;
 };
 
 }  // namespace
@@ -89,7 +107,10 @@ int main(int argc, char** argv) {
       "JOIN Teams T ON M.responsible=T.name "
       "WHERE W.week=2 AND T.specialization='hardware'";
   bool warmup = true;
+  uint64_t write_pct = 0;
+  uint64_t punctuate_pct = 0;
   pcdb::ClientQueryOptions query_options;
+  pcdb::ClientWriteOptions write_options;
   for (int i = 1; i < argc; ++i) {
     uint64_t n = 0;
     if (ParseString(argc, argv, &i, "--host", &host)) {
@@ -103,6 +124,10 @@ int main(int argc, char** argv) {
       query_options.instance_aware = true;
     } else if (std::strcmp(argv[i], "--zombies") == 0) {
       query_options.zombies = true;
+    } else if (ParseUint(argc, argv, &i, "--write-pct", &write_pct)) {
+    } else if (ParseUint(argc, argv, &i, "--punctuate-pct", &punctuate_pct)) {
+    } else if (ParseString(argc, argv, &i, "--tenant",
+                           &write_options.tenant)) {
     } else if (std::strcmp(argv[i], "--no-warmup") == 0) {
       warmup = false;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -110,7 +135,8 @@ int main(int argc, char** argv) {
           "usage: pcdb_loadgen --port N [--host H] [--connections C]\n"
           "                    [--requests R] [--sql \"SELECT ...\"]\n"
           "                    [--deadline-ms N] [--aware] [--zombies]\n"
-          "                    [--no-warmup]\n");
+          "                    [--no-warmup] [--write-pct P]\n"
+          "                    [--punctuate-pct P] [--tenant NAME]\n");
       return 0;
     } else {
       std::fprintf(stderr, "pcdb_loadgen: unknown flag %s (see --help)\n",
@@ -124,6 +150,11 @@ int main(int argc, char** argv) {
   }
   if (connections == 0) connections = 1;
   if (requests < connections) requests = connections;
+  if (write_pct + punctuate_pct > 100) {
+    std::fprintf(stderr,
+                 "pcdb_loadgen: --write-pct + --punctuate-pct over 100\n");
+    return 2;
+  }
 
   std::printf("pcdb_loadgen: %llu requests over %llu connections to %s:%llu\n",
               static_cast<unsigned long long>(requests),
@@ -158,7 +189,8 @@ int main(int argc, char** argv) {
       // Worker w issues requests w, w+C, w+2C, ... so the total is
       // exactly `requests` even when C does not divide it.
       pool.Submit([w, num_workers, requests, &host, port, &sql,
-                   &query_options, &results] {
+                   &query_options, &results, write_pct, punctuate_pct,
+                   &write_options] {
         WorkerResult& result = results[w];
         auto client =
             pcdb::Client::Connect(host, static_cast<uint16_t>(port));
@@ -169,6 +201,39 @@ int main(int argc, char** argv) {
           return;
         }
         for (uint64_t r = w; r < requests; r += num_workers) {
+          // Deterministic mix: request index mod 100 decides the kind,
+          // so the write share is exact regardless of scheduling.
+          const uint64_t bucket = r % 100;
+          if (bucket < write_pct + punctuate_pct) {
+            const auto start = std::chrono::steady_clock::now();
+            // Ingested rows live in weeks >= 3 with "w<i>" days;
+            // punctuated patterns promise "p<i>" days — disjoint, so
+            // neither kind ever violates a promise the other made.
+            auto ack =
+                bucket < write_pct
+                    ? client->Ingest(
+                          "Warnings",
+                          {pcdb::Tuple{
+                              pcdb::Value("w" + std::to_string(r % 7)),
+                              pcdb::Value(static_cast<int64_t>(3 + r % 997)),
+                              pcdb::Value("tw" + std::to_string(r)),
+                              pcdb::Value("synthetic load")}},
+                          write_options)
+                    : client->Punctuate(
+                          "Warnings",
+                          {{"p" + std::to_string(r % 7), "*", "*", "*"}},
+                          write_options);
+            const auto stop = std::chrono::steady_clock::now();
+            if (!ack.ok()) {
+              ++result.write_errors;
+              continue;
+            }
+            ++result.writes;
+            result.write_latencies_ms.push_back(
+                std::chrono::duration<double, std::milli>(stop - start)
+                    .count());
+            continue;
+          }
           const auto start = std::chrono::steady_clock::now();
           auto answer = client->Query(sql, query_options);
           const auto stop = std::chrono::steady_clock::now();
@@ -190,13 +255,21 @@ int main(int argc, char** argv) {
                              .count();
 
   std::vector<double> latencies;
+  std::vector<double> write_latencies;
   uint64_t errors = 0;
   uint64_t cache_hits = 0;
+  uint64_t writes = 0;
+  uint64_t write_errors = 0;
   for (const WorkerResult& result : results) {
     latencies.insert(latencies.end(), result.latencies_ms.begin(),
                      result.latencies_ms.end());
+    write_latencies.insert(write_latencies.end(),
+                           result.write_latencies_ms.begin(),
+                           result.write_latencies_ms.end());
     errors += result.errors;
     cache_hits += result.cache_hits;
+    writes += result.writes;
+    write_errors += result.write_errors;
   }
   const size_t ok = latencies.size();
   const double p50 = Quantile(latencies, 0.5);
@@ -205,19 +278,33 @@ int main(int argc, char** argv) {
   const double qps = wall_ms > 0 ? 1000.0 * static_cast<double>(ok) / wall_ms
                                  : 0;
 
+  const double cache_hit_rate =
+      ok > 0 ? static_cast<double>(cache_hits) / static_cast<double>(ok) : 0;
+  const double write_p95 = Quantile(write_latencies, 0.95);
+
   std::printf("pcdb_loadgen: %zu ok, %llu errors, %llu cache hits\n", ok,
               static_cast<unsigned long long>(errors),
               static_cast<unsigned long long>(cache_hits));
+  if (writes + write_errors > 0) {
+    std::printf("pcdb_loadgen: %llu writes ok, %llu write errors, "
+                "write_p95=%.3fms\n",
+                static_cast<unsigned long long>(writes),
+                static_cast<unsigned long long>(write_errors), write_p95);
+  }
   std::printf(
       "pcdb_loadgen: p50=%.3fms p95=%.3fms p99=%.3fms qps=%.1f wall=%.1fms\n",
       p50, p95, p99, qps, wall_ms);
 
-  char extra[256];
+  char extra[512];
   std::snprintf(extra, sizeof(extra),
                 ",\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"qps\":%.1f,"
-                "\"errors\":%llu,\"cache_hits\":%llu",
+                "\"errors\":%llu,\"cache_hits\":%llu,"
+                "\"cache_hit_rate\":%.4f,\"writes\":%llu,"
+                "\"write_errors\":%llu,\"write_p95_ms\":%.3f",
                 p95, p99, qps, static_cast<unsigned long long>(errors),
-                static_cast<unsigned long long>(cache_hits));
+                static_cast<unsigned long long>(cache_hits), cache_hit_rate,
+                static_cast<unsigned long long>(writes),
+                static_cast<unsigned long long>(write_errors), write_p95);
   std::printf(
       "{\"bench\":\"pcdbd_loadgen\",\"method\":\"closed_loop\",\"n\":%zu,"
       "\"threads\":%zu,\"median_ms\":%.3f%s}\n",

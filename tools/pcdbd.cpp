@@ -7,7 +7,8 @@
 //   pcdbd [--port N] [--host H] [--eval-threads N] [--max-inflight N]
 //         [--max-queue N] [--max-connections N] [--cache-mb N]
 //         [--no-cache] [--rows-per-batch N] [--metrics-dump]
-//         [--slow-query-ms N]
+//         [--slow-query-ms N] [--max-pending-writes N] [--tenant-quota N]
+//         [--tenant-tier NAME=N]...
 //
 // With --port 0 (the default) an ephemeral port is bound; the single
 // line "pcdbd listening on HOST:PORT" on stdout announces it (tools/
@@ -97,6 +98,19 @@ int main(int argc, char** argv) {
       options.rows_per_batch = n;
     } else if (ParseUint(argc, argv, &i, "--slow-query-ms", &n)) {
       options.slow_query_millis = static_cast<double>(n);
+    } else if (ParseUint(argc, argv, &i, "--max-pending-writes", &n)) {
+      options.max_pending_writes = n;
+    } else if (ParseUint(argc, argv, &i, "--tenant-quota", &n)) {
+      options.tenant_write_quota = n;
+    } else if (ParseString(argc, argv, &i, "--tenant-tier", &s)) {
+      // NAME=N; repeatable. Unlisted tenants are tier 0.
+      const size_t eq = s.rfind('=');
+      if (eq == std::string::npos) {
+        pcdb::LogError("--tenant-tier wants NAME=N").Str("got", s);
+        return 2;
+      }
+      options.tenant_tiers[s.substr(0, eq)] = static_cast<uint32_t>(
+          std::strtoul(s.c_str() + eq + 1, nullptr, 10));
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       options.enable_cache = false;
     } else if (std::strcmp(argv[i], "--metrics-dump") == 0) {
@@ -107,7 +121,8 @@ int main(int argc, char** argv) {
           "             [--max-inflight N] [--max-queue N]\n"
           "             [--max-connections N] [--cache-mb N] [--no-cache]\n"
           "             [--rows-per-batch N] [--metrics-dump]\n"
-          "             [--slow-query-ms N]\n");
+          "             [--slow-query-ms N] [--max-pending-writes N]\n"
+          "             [--tenant-quota N] [--tenant-tier NAME=N]...\n");
       return 0;
     } else {
       pcdb::LogError("unknown flag (see --help)").Str("flag", argv[i]);
