@@ -1,0 +1,122 @@
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "server/answer_cache.h"
+
+/// Cache-key normalization harness for AnswerCache::NormalizeSql.
+///
+/// The normalizer collapses incidental whitespace so that trivially
+/// reformatted queries share a cache entry, but must treat '...'
+/// literals as opaque value bytes: whitespace inside a literal is part
+/// of the query's meaning ('a  b' != 'a b'), and '' is the lexer's
+/// escape for a quote. Beyond "no crash", four properties pin that
+/// contract on arbitrary input:
+///
+///  1. idempotence — normalizing a normalized key is a no-op, so keys
+///     can be re-normalized anywhere without drifting;
+///  2. the key never grows — normalization only removes bytes;
+///  3. literal contents survive byte-for-byte, in order;
+///  4. whitespace-equivalence — reshaping whitespace runs outside
+///     literals (and adding leading/trailing ones) maps to the same
+///     key, which is the whole point of normalizing.
+namespace {
+
+/// Splits the query by the lexer's literal rule: even indices hold text
+/// outside '...' literals, odd indices hold literal interiors (with the
+/// quotes and the '' escapes kept verbatim).
+std::vector<std::string> SplitByLiterals(const std::string& sql) {
+  std::vector<std::string> parts(1);
+  bool in_literal = false;
+  for (size_t i = 0; i < sql.size(); ++i) {
+    const char c = sql[i];
+    if (!in_literal) {
+      if (c == '\'') {
+        in_literal = true;
+        parts.emplace_back(1, c);
+      } else {
+        parts.back().push_back(c);
+      }
+      continue;
+    }
+    parts.back().push_back(c);
+    if (c == '\'') {
+      if (i + 1 < sql.size() && sql[i + 1] == '\'') {
+        parts.back().push_back('\'');
+        ++i;
+      } else {
+        in_literal = false;
+        parts.emplace_back();
+      }
+    }
+  }
+  return parts;
+}
+
+std::string LiteralsOnly(const std::string& sql) {
+  std::string joined;
+  const std::vector<std::string> parts = SplitByLiterals(sql);
+  for (size_t i = 1; i < parts.size(); i += 2) joined += parts[i];
+  return joined;
+}
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// Reshapes the query's incidental whitespace: outside literals every
+/// whitespace run becomes "\t \n" and extra runs are appended at both
+/// ends; literal interiors pass through untouched.
+std::string ReshapeWhitespace(const std::string& sql) {
+  const std::vector<std::string> parts = SplitByLiterals(sql);
+  std::string out = "\n\t";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i % 2 == 1) {
+      out += parts[i];
+      continue;
+    }
+    bool in_run = false;
+    for (char c : parts[i]) {
+      if (IsSpace(c)) {
+        if (!in_run) out += "\t \n";
+        in_run = true;
+      } else {
+        out.push_back(c);
+        in_run = false;
+      }
+    }
+  }
+  // Trailing whitespace is only incidental while no literal is open.
+  if (parts.size() % 2 == 1) out += " \t";
+  return out;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  pcdb::fuzz::ByteReader in(data, size);
+  const std::string sql = in.TakeRemainingString();
+
+  const std::string key = pcdb::AnswerCache::NormalizeSql(sql);
+
+  if (pcdb::AnswerCache::NormalizeSql(key) != key) {
+    pcdb::fuzz::Violation("NormalizeSql must be idempotent",
+                          sql + "\n--- key ---\n" + key);
+  }
+  if (key.size() > sql.size()) {
+    pcdb::fuzz::Violation("NormalizeSql must never grow the key", sql);
+  }
+  if (LiteralsOnly(key) != LiteralsOnly(sql)) {
+    pcdb::fuzz::Violation(
+        "NormalizeSql must keep '...' literal bytes verbatim",
+        sql + "\n--- key ---\n" + key);
+  }
+  if (pcdb::AnswerCache::NormalizeSql(ReshapeWhitespace(sql)) != key) {
+    pcdb::fuzz::Violation(
+        "whitespace outside literals must not affect the key",
+        sql + "\n--- reshaped ---\n" + ReshapeWhitespace(sql));
+  }
+  return 0;
+}

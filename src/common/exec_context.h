@@ -125,7 +125,7 @@ class ExecContext {
   /// The checkpoint every governed loop polls: kCancelled if the token
   /// was cancelled, kTimeout if the deadline passed, OK otherwise.
   /// Cancellation wins over timeout (the caller asked first).
-  Status Check() const {
+  [[nodiscard]] Status Check() const {
     if (cancelled()) {
       return Status::Cancelled("execution cancelled by caller");
     }
@@ -136,7 +136,7 @@ class ExecContext {
   }
 
   /// Check() plus the row budget.
-  Status CheckRows(size_t rows) const {
+  [[nodiscard]] Status CheckRows(size_t rows) const {
     PCDB_RETURN_NOT_OK(Check());
     if (rows > max_rows_) {
       return Status::ResourceExhausted(
@@ -149,7 +149,7 @@ class ExecContext {
   /// The pattern budget alone (no deadline poll — callers pair it with
   /// Check()). Callers that can degrade treat this kResourceExhausted
   /// as "summarize", not "fail".
-  Status CheckPatterns(size_t patterns) const {
+  [[nodiscard]] Status CheckPatterns(size_t patterns) const {
     if (patterns > max_patterns_) {
       return Status::ResourceExhausted(
           "pattern budget exceeded: " + std::to_string(patterns) + " > " +
@@ -159,7 +159,7 @@ class ExecContext {
   }
 
   /// The memory budget alone.
-  Status CheckMemory(size_t bytes) const {
+  [[nodiscard]] Status CheckMemory(size_t bytes) const {
     if (bytes > max_memory_bytes_) {
       return Status::ResourceExhausted(
           "memory budget exceeded: " + std::to_string(bytes) + " > " +

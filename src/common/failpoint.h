@@ -159,7 +159,7 @@ class Failpoints {
   /// unarmed or its trigger does not fire; otherwise performs the armed
   /// action (non-OK Status, FailpointError throw, or sleep-then-OK).
   /// Inline fast path: one relaxed atomic load when nothing is armed.
-  Status Hit(const char* name) PCDB_EXCLUDES(mu_) {
+  [[nodiscard]] Status Hit(const char* name) PCDB_EXCLUDES(mu_) {
     if (active_count_.load(std::memory_order_relaxed) == 0) {
       return Status::OK();
     }
@@ -167,11 +167,11 @@ class Failpoints {
   }
 
   /// Parses one "name=spec" entry (see the grammar above) and arms it.
-  Status ActivateFromSpec(const std::string& entry) PCDB_EXCLUDES(mu_);
+  [[nodiscard]] Status ActivateFromSpec(const std::string& entry) PCDB_EXCLUDES(mu_);
 
   /// Parses a full ';'-separated PCDB_FAILPOINTS value and arms every
   /// entry; stops at (and reports) the first malformed entry.
-  Status ActivateFromString(const std::string& spec) PCDB_EXCLUDES(mu_);
+  [[nodiscard]] Status ActivateFromString(const std::string& spec) PCDB_EXCLUDES(mu_);
 
   /// Canonical list of every failpoint site compiled into the library.
   /// Tests iterate this to guarantee full matrix coverage.
@@ -199,7 +199,7 @@ class Failpoints {
   static bool ShouldFire(Armed* armed);
 
   /// Out-of-line tail of Hit() for the armed case.
-  Status HitSlow(const char* name) PCDB_EXCLUDES(mu_);
+  [[nodiscard]] Status HitSlow(const char* name) PCDB_EXCLUDES(mu_);
 
   mutable Mutex mu_;
   std::map<std::string, Armed> armed_ PCDB_GUARDED_BY(mu_);

@@ -15,8 +15,11 @@ namespace pcdb {
 ///
 /// Accessing the value of a failed Result is a programming error and
 /// aborts the process with the status message.
+///
+/// [[nodiscard]] for the same reason as Status: a discarded Result is a
+/// discarded error. See status.h.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -32,7 +35,7 @@ class Result {
   bool ok() const { return std::holds_alternative<T>(storage_); }
 
   /// Returns the error status, or OK if this result holds a value.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(storage_);
   }

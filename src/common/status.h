@@ -37,7 +37,16 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// A default-constructed Status is OK and carries no message. Failure
 /// statuses carry a code and a message describing the error.
-class Status {
+///
+/// The class is [[nodiscard]]: ignoring a returned Status is a compile
+/// error under -Werror. A dropped Status (a tripped budget, an injected
+/// fault, a failed decode) silently turns an "incomplete" answer into
+/// one reported complete — exactly the failure mode the TC-statement
+/// machinery exists to prevent. Handle it, propagate it
+/// (PCDB_RETURN_NOT_OK), or discard explicitly with a void cast and a
+/// reason. pcdb-analyze (unchecked-status) enforces the same rule
+/// statically.
+class [[nodiscard]] Status {
  public:
   /// Creates an OK status.
   Status() = default;
@@ -45,41 +54,41 @@ class Status {
   Status(StatusCode code, std::string msg)
       : code_(code), msg_(std::move(msg)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status TypeError(std::string msg) {
+  [[nodiscard]] static Status TypeError(std::string msg) {
     return Status(StatusCode::kTypeError, std::move(msg));
   }
-  static Status ParseError(std::string msg) {
+  [[nodiscard]] static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
-  static Status Timeout(std::string msg) {
+  [[nodiscard]] static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
   }
-  static Status Cancelled(std::string msg) {
+  [[nodiscard]] static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status Unavailable(std::string msg) {
+  [[nodiscard]] static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
 

@@ -62,7 +62,7 @@ class ThreadPool {
   /// threw, or the pool.dispatch failpoint fired) and re-arms the pool:
   /// the failure slot is cleared and queued-task skipping stops. OK when
   /// every task completed normally. Call after Wait().
-  Status ConsumeStatus() PCDB_EXCLUDES(mu_);
+  [[nodiscard]] Status ConsumeStatus() PCDB_EXCLUDES(mu_);
 
   /// Worker count; 1 for an inline pool.
   size_t num_threads() const {
@@ -184,7 +184,7 @@ inline std::vector<IndexRange> WeightedChunkRanges(
 /// serial path chunks run in order and stop at the first failure, so
 /// serial and parallel runs return identical error codes.
 template <typename Fn>
-Status TryParallelForRanges(ThreadPool* pool,
+[[nodiscard]] Status TryParallelForRanges(ThreadPool* pool,
                             const std::vector<IndexRange>& ranges,
                             const Fn& fn) {
   if (ranges.empty()) return Status::OK();
@@ -260,7 +260,7 @@ void ParallelFor(ThreadPool* pool, size_t n, const Fn& fn) {
 /// first-error cancel-the-rest semantics of TryParallelForRanges.
 /// Iterations inside one chunk stop at the first failure.
 template <typename Fn>
-Status TryParallelFor(ThreadPool* pool, size_t n, const Fn& fn) {
+[[nodiscard]] Status TryParallelFor(ThreadPool* pool, size_t n, const Fn& fn) {
   const size_t threads = pool == nullptr ? 1 : pool->num_threads();
   const auto ranges = ChunkRanges(n, ParallelChunkCount(threads, n));
   return TryParallelForRanges(pool, ranges,

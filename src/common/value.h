@@ -22,7 +22,7 @@ enum class ValueType {
 const char* ValueTypeToString(ValueType type);
 
 /// Parses a type name as produced by ValueTypeToString (case-insensitive).
-Result<ValueType> ValueTypeFromString(const std::string& name);
+[[nodiscard]] Result<ValueType> ValueTypeFromString(const std::string& name);
 
 /// \brief A dynamically typed database constant: 64-bit integer, double,
 /// or string.
@@ -56,7 +56,7 @@ class Value {
   /// Numeric content as a double; kTypeError on strings so a malformed
   /// or fault-injected aggregation input surfaces as a Status instead of
   /// terminating the process. Used by SUM/AVG.
-  Result<double> AsDouble() const;
+  [[nodiscard]] Result<double> AsDouble() const;
 
   /// Renders the value for display: integers in decimal, doubles with
   /// minimal digits, strings verbatim.
@@ -64,7 +64,7 @@ class Value {
 
   /// Parses `text` as a value of type `type`. Fails with ParseError on
   /// malformed numeric input.
-  static Result<Value> Parse(const std::string& text, ValueType type);
+  [[nodiscard]] static Result<Value> Parse(const std::string& text, ValueType type);
 
   bool operator==(const Value& other) const { return data_ == other.data_; }
   bool operator!=(const Value& other) const { return !(*this == other); }

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/failpoint.h"
+#include "obs/names.h"
 
 namespace pcdb {
 
@@ -164,10 +165,10 @@ const EngineCounters& EngineMetrics() {
   static const EngineCounters* counters = [] {
     auto* c = new EngineCounters();
     MetricsRegistry& global = GlobalMetrics();
-    c->patterns_minimized = global.GetCounter("engine_patterns_minimized");
-    c->subsumption_probes = global.GetCounter("engine_subsumption_probes");
-    c->degraded_to_summary = global.GetCounter("engine_degraded_to_summary");
-    c->failpoint_trips = global.GetCounter("engine_failpoint_trips");
+    c->patterns_minimized = global.GetCounter(kMetricEnginePatternsMinimized);
+    c->subsumption_probes = global.GetCounter(kMetricEngineSubsumptionProbes);
+    c->degraded_to_summary = global.GetCounter(kMetricEngineDegradedToSummary);
+    c->failpoint_trips = global.GetCounter(kMetricEngineFailpointTrips);
     g_failpoint_trips = c->failpoint_trips;
     Failpoints::SetTripObserver(
         +[] { g_failpoint_trips->Increment(); });

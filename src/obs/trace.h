@@ -128,7 +128,7 @@ class Tracer {
   std::string ToChromeTraceJson() const;
 
   /// Writes ToChromeTraceJson() to `path`.
-  Status WriteChromeTraceFile(const std::string& path) const;
+  [[nodiscard]] Status WriteChromeTraceFile(const std::string& path) const;
 
   // Span open/close accounting (called by TraceSpan).
   void NoteSpanOpened() {

@@ -38,18 +38,18 @@ class AnnotatedDatabase {
   const Database& database() const { return db_; }
 
   /// Registers a new empty table.
-  Status CreateTable(const std::string& name, Schema schema);
+  [[nodiscard]] Status CreateTable(const std::string& name, Schema schema);
 
   /// Appends a data row (type-checked against the schema).
-  Status AddRow(const std::string& name, Tuple row);
+  [[nodiscard]] Status AddRow(const std::string& name, Tuple row);
 
   /// Asserts a base completeness pattern for `name`; the pattern arity
   /// must match the table schema.
-  Status AddPattern(const std::string& name, Pattern pattern);
+  [[nodiscard]] Status AddPattern(const std::string& name, Pattern pattern);
 
   /// Parses and asserts a pattern from display fields, e.g.
   /// {"Mon", "2", "*", "*"}; "*" is the wildcard.
-  Status AddPattern(const std::string& name,
+  [[nodiscard]] Status AddPattern(const std::string& name,
                     const std::vector<std::string>& fields);
 
   /// The base patterns of `name` (the empty set for unknown tables or
@@ -78,7 +78,7 @@ class AnnotatedDatabase {
       const std::string& name) const;
 
   /// The annotated view of a base table.
-  Result<AnnotatedTable> GetAnnotated(const std::string& name) const;
+  [[nodiscard]] Result<AnnotatedTable> GetAnnotated(const std::string& name) const;
 
   DomainRegistry& domains() { return domains_; }
   const DomainRegistry& domains() const { return domains_; }

@@ -6,6 +6,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 #include "obs/trace.h"
 #include "pattern/algebra.h"
 #include "pattern/summary.h"
@@ -24,18 +25,18 @@ void UnionInto(PatternSet* base, const PatternSet& extra) {
 /// each operator); the data half is traced inside ApplyRootOperator.
 const char* PatternSpanName(ExprKind kind) {
   switch (kind) {
-    case ExprKind::kScan: return "pattern.scan";
-    case ExprKind::kSelectConst: return "pattern.select_const";
-    case ExprKind::kSelectAttrEq: return "pattern.select_attr_eq";
-    case ExprKind::kProjectOut: return "pattern.project_out";
-    case ExprKind::kRearrange: return "pattern.rearrange";
-    case ExprKind::kJoin: return "pattern.join";
-    case ExprKind::kAggregate: return "pattern.aggregate";
-    case ExprKind::kSort: return "pattern.sort";
-    case ExprKind::kLimit: return "pattern.limit";
-    case ExprKind::kUnion: return "pattern.union";
+    case ExprKind::kScan: return kSpanPatternScan;
+    case ExprKind::kSelectConst: return kSpanPatternSelectConst;
+    case ExprKind::kSelectAttrEq: return kSpanPatternSelectAttrEq;
+    case ExprKind::kProjectOut: return kSpanPatternProjectOut;
+    case ExprKind::kRearrange: return kSpanPatternRearrange;
+    case ExprKind::kJoin: return kSpanPatternJoin;
+    case ExprKind::kAggregate: return kSpanPatternAggregate;
+    case ExprKind::kSort: return kSpanPatternSort;
+    case ExprKind::kLimit: return kSpanPatternLimit;
+    case ExprKind::kUnion: return kSpanPatternUnion;
   }
-  return "pattern.operator";
+  return kSpanPatternOperator;
 }
 
 /// Short operator labels for QueryProfile rows.
@@ -454,7 +455,7 @@ Result<AnnotatedTable> EvaluateAnnotated(const Expr& expr,
   // path (the pool path already converts them worker-side), so every
   // injected fault surfaces as a Status from this entry point.
   TraceContextScope trace_scope(ctx.trace());
-  PCDB_TRACE_SPAN(span, "evaluate_annotated");
+  PCDB_TRACE_SPAN(span, kSpanEvaluateAnnotated);
   try {
     AnnotatedEvaluator evaluator(adb, options, ctx, info);
     Result<AnnotatedTable> out = evaluator.EvalRoot(expr);
@@ -491,7 +492,7 @@ Result<PatternSet> ComputeQueryPatterns(const Expr& expr,
   }
   if (degraded != nullptr) *degraded = false;
   TraceContextScope trace_scope(ctx.trace());
-  PCDB_TRACE_SPAN(span, "compute_query_patterns");
+  PCDB_TRACE_SPAN(span, kSpanComputeQueryPatterns);
   try {
     SchemaOnlyEvaluator evaluator(adb, options, ctx,
                                   total_intermediate_patterns);

@@ -72,7 +72,7 @@ struct AnnotatedEvalInfo {
 /// The returned patterns are sound: every completion of the database
 /// consistent with the base patterns agrees with the answer on every
 /// returned pattern's slice (Proposition 5).
-Result<AnnotatedTable> EvaluateAnnotated(
+[[nodiscard]] Result<AnnotatedTable> EvaluateAnnotated(
     const Expr& expr, const AnnotatedDatabase& adb,
     const AnnotatedEvalOptions& options = {},
     AnnotatedEvalInfo* info = nullptr);
@@ -85,20 +85,20 @@ Result<AnnotatedTable> EvaluateAnnotated(
 /// instead — the offending intermediate set is replaced by a sound
 /// coarser summary (SummarizePatterns) and the result is returned with
 /// `degraded = true`. The returned patterns stay sound either way.
-Result<AnnotatedTable> EvaluateAnnotated(const Expr& expr,
+[[nodiscard]] Result<AnnotatedTable> EvaluateAnnotated(const Expr& expr,
                                          const AnnotatedDatabase& adb,
                                          const AnnotatedEvalOptions& options,
                                          const ExecContext& ctx,
                                          AnnotatedEvalInfo* info = nullptr);
 
-inline Result<AnnotatedTable> EvaluateAnnotated(
+[[nodiscard]] inline Result<AnnotatedTable> EvaluateAnnotated(
     const ExprPtr& expr, const AnnotatedDatabase& adb,
     const AnnotatedEvalOptions& options = {},
     AnnotatedEvalInfo* info = nullptr) {
   return EvaluateAnnotated(*expr, adb, options, info);
 }
 
-inline Result<AnnotatedTable> EvaluateAnnotated(
+[[nodiscard]] inline Result<AnnotatedTable> EvaluateAnnotated(
     const ExprPtr& expr, const AnnotatedDatabase& adb,
     const AnnotatedEvalOptions& options, const ExecContext& ctx,
     AnnotatedEvalInfo* info = nullptr) {
@@ -116,7 +116,7 @@ inline Result<AnnotatedTable> EvaluateAnnotated(
 /// (InvalidArgument otherwise). If `total_intermediate_patterns` is
 /// given, it receives the summed sizes of all intermediate pattern sets
 /// — the cost measure the metadata plan optimizer minimizes.
-Result<PatternSet> ComputeQueryPatterns(
+[[nodiscard]] Result<PatternSet> ComputeQueryPatterns(
     const Expr& expr, const AnnotatedDatabase& adb,
     const AnnotatedEvalOptions& options = {},
     size_t* total_intermediate_patterns = nullptr);
@@ -126,12 +126,12 @@ Result<PatternSet> ComputeQueryPatterns(
 /// non-null) set to true when a tripped pattern budget forced a
 /// summary. The result then holds at most ctx.pattern_budget() patterns,
 /// each still sound for the query.
-Result<PatternSet> ComputeQueryPatterns(
+[[nodiscard]] Result<PatternSet> ComputeQueryPatterns(
     const Expr& expr, const AnnotatedDatabase& adb,
     const AnnotatedEvalOptions& options, const ExecContext& ctx,
     bool* degraded, size_t* total_intermediate_patterns = nullptr);
 
-inline Result<PatternSet> ComputeQueryPatterns(
+[[nodiscard]] inline Result<PatternSet> ComputeQueryPatterns(
     const ExprPtr& expr, const AnnotatedDatabase& adb,
     const AnnotatedEvalOptions& options = {},
     size_t* total_intermediate_patterns = nullptr) {
@@ -139,7 +139,7 @@ inline Result<PatternSet> ComputeQueryPatterns(
                               total_intermediate_patterns);
 }
 
-inline Result<PatternSet> ComputeQueryPatterns(
+[[nodiscard]] inline Result<PatternSet> ComputeQueryPatterns(
     const ExprPtr& expr, const AnnotatedDatabase& adb,
     const AnnotatedEvalOptions& options, const ExecContext& ctx,
     bool* degraded, size_t* total_intermediate_patterns = nullptr) {

@@ -50,12 +50,12 @@ struct InclusionConstraint {
 /// at the key columns and '*' elsewhere. Sound under the constraint:
 /// the pattern's slice holds at most the tuples already present.
 /// Returns InvalidArgument if a key column cannot be resolved.
-Result<PatternSet> DeriveKeyPatterns(const AnnotatedDatabase& adb,
+[[nodiscard]] Result<PatternSet> DeriveKeyPatterns(const AnnotatedDatabase& adb,
                                      const KeyConstraint& key);
 
 /// Adds the key-derived patterns of `key` to its table's pattern set
 /// (minimized together with the existing assertions).
-Status ApplyKeyConstraint(AnnotatedDatabase* adb, const KeyConstraint& key);
+[[nodiscard]] Status ApplyKeyConstraint(AnnotatedDatabase* adb, const KeyConstraint& key);
 
 /// The domain bound implied by an inclusion dependency whose referenced
 /// column is covered by completeness assertions: the distinct values of
@@ -68,13 +68,13 @@ Status ApplyKeyConstraint(AnnotatedDatabase* adb, const KeyConstraint& key);
 /// ref_column subsumes all candidate rows — conservatively, when the
 /// pattern set contains a pattern that is all-'*'. Returns NotFound when
 /// the bound cannot be established.
-Result<std::vector<Value>> DeriveInclusionDomain(
+[[nodiscard]] Result<std::vector<Value>> DeriveInclusionDomain(
     const AnnotatedDatabase& adb, const InclusionConstraint& inclusion);
 
 /// Registers the inclusion-derived domain bound for `table.column` in
 /// the database's DomainRegistry (no-op with NotFound if the bound
 /// cannot be established).
-Status ApplyInclusionConstraint(AnnotatedDatabase* adb,
+[[nodiscard]] Status ApplyInclusionConstraint(AnnotatedDatabase* adb,
                                 const InclusionConstraint& inclusion);
 
 }  // namespace pcdb

@@ -46,10 +46,10 @@ struct IncompletenessReport {
 /// row): an unguaranteed row is attributed to the base tables whose
 /// contributing tuple is not covered by any base completeness pattern.
 /// Supports the SPJ fragment plus sort/limit (lineage restriction).
-Result<IncompletenessReport> DiagnoseIncompleteness(
+[[nodiscard]] Result<IncompletenessReport> DiagnoseIncompleteness(
     const Expr& expr, const AnnotatedDatabase& adb);
 
-inline Result<IncompletenessReport> DiagnoseIncompleteness(
+[[nodiscard]] inline Result<IncompletenessReport> DiagnoseIncompleteness(
     const ExprPtr& expr, const AnnotatedDatabase& adb) {
   return DiagnoseIncompleteness(*expr, adb);
 }

@@ -36,11 +36,11 @@ struct EntailmentOptions {
 /// The enumeration is exponential in the schema size and domain — this
 /// exists to validate the pattern algebra (Propositions 5 and 6) on tiny
 /// instances in tests, not for production use.
-Result<bool> EntailsWrtInstance(const AnnotatedDatabase& adb,
+[[nodiscard]] Result<bool> EntailsWrtInstance(const AnnotatedDatabase& adb,
                                 const Expr& expr, const Pattern& p,
                                 const EntailmentOptions& options = {});
 
-inline Result<bool> EntailsWrtInstance(const AnnotatedDatabase& adb,
+[[nodiscard]] inline Result<bool> EntailsWrtInstance(const AnnotatedDatabase& adb,
                                        const ExprPtr& expr, const Pattern& p,
                                        const EntailmentOptions& options = {}) {
   return EntailsWrtInstance(adb, *expr, p, options);
@@ -48,7 +48,7 @@ inline Result<bool> EntailsWrtInstance(const AnnotatedDatabase& adb,
 
 /// Q_p(D): the rows of expr's answer over `db` that match `p`
 /// (σ_{attr(Q)=p}(Q(D)), Definition 3).
-Result<Table> AnswerSlice(const Expr& expr, const Database& db,
+[[nodiscard]] Result<Table> AnswerSlice(const Expr& expr, const Database& db,
                           const Pattern& p);
 
 }  // namespace pcdb

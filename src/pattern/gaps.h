@@ -26,7 +26,7 @@ namespace pcdb {
 ///
 /// The gap set can be exponential in the worst case; enumeration stops
 /// with OutOfRange after `max_gaps` results.
-Result<PatternSet> CoverageGaps(const PatternSet& asserted,
+[[nodiscard]] Result<PatternSet> CoverageGaps(const PatternSet& asserted,
                                 const std::vector<std::vector<Value>>& domains,
                                 size_t max_gaps = 10000);
 
@@ -35,7 +35,7 @@ Result<PatternSet> CoverageGaps(const PatternSet& asserted,
 /// domain fall back to their active domain (the values present in the
 /// data) — sound for reporting, though gaps involving never-seen values
 /// are then missed.
-Result<PatternSet> TableCoverageGaps(const AnnotatedDatabase& adb,
+[[nodiscard]] Result<PatternSet> TableCoverageGaps(const AnnotatedDatabase& adb,
                                      const std::string& table,
                                      size_t max_gaps = 10000);
 

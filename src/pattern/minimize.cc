@@ -8,6 +8,7 @@
 #include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 #include "obs/trace.h"
 #include "pattern/signature.h"
 
@@ -199,13 +200,13 @@ namespace {
 const char* MinimizeSpanName(MinimizeApproach approach) {
   switch (approach) {
     case MinimizeApproach::kAllAtOnce:
-      return "minimize.all_at_once";
+      return kSpanMinimizeAllAtOnce;
     case MinimizeApproach::kIncremental:
-      return "minimize.incremental";
+      return kSpanMinimizeIncremental;
     case MinimizeApproach::kSortedIncremental:
-      return "minimize.sorted_incremental";
+      return kSpanMinimizeSortedIncremental;
   }
-  return "minimize";
+  return kSpanMinimize;
 }
 
 }  // namespace
@@ -309,7 +310,7 @@ Result<PatternSet> ParallelMinimizeGoverned(const PatternSet& input,
     return Minimize(input, approach, kind, pool, ctx, stats);
   }
   WallTimer timer;
-  PCDB_TRACE_SPAN(span, "minimize.parallel");
+  PCDB_TRACE_SPAN(span, kSpanMinimizeParallel);
   span.Arg("kind", static_cast<uint64_t>(kind));
   span.Arg("input", input.size());
   PCDB_RETURN_NOT_OK(ctx.Check());

@@ -63,7 +63,7 @@ PatternSet Minimize(const PatternSet& input, MinimizeApproach approach,
 /// so under a budget smaller than the input it always trips — governed
 /// callers that want to finish within a budget use kSortedIncremental,
 /// whose index only ever holds the running maximal set.
-Result<PatternSet> Minimize(const PatternSet& input, MinimizeApproach approach,
+[[nodiscard]] Result<PatternSet> Minimize(const PatternSet& input, MinimizeApproach approach,
                             PatternIndexKind kind, const ExecContext& ctx,
                             MinimizeStats* stats = nullptr);
 
@@ -80,7 +80,7 @@ Result<PatternSet> Minimize(const PatternSet& input, MinimizeApproach approach,
 /// running on `scan_pool` (ThreadPool::Wait would deadlock) — the
 /// sharded ParallelMinimize therefore passes the pool only on its
 /// not-actually-sharded fallback paths, never into shard tasks.
-Result<PatternSet> Minimize(const PatternSet& input, MinimizeApproach approach,
+[[nodiscard]] Result<PatternSet> Minimize(const PatternSet& input, MinimizeApproach approach,
                             PatternIndexKind kind, ThreadPool* scan_pool,
                             const ExecContext& ctx,
                             MinimizeStats* stats = nullptr);
@@ -125,7 +125,7 @@ PatternSet ParallelMinimize(const PatternSet& input, MinimizeApproach approach,
 /// fallback and the sharded path return identical error codes for the
 /// same fault, and a pattern-budget trip anywhere surfaces as
 /// kResourceExhausted so callers can degrade to a summary.
-Result<PatternSet> ParallelMinimize(const PatternSet& input,
+[[nodiscard]] Result<PatternSet> ParallelMinimize(const PatternSet& input,
                                     MinimizeApproach approach,
                                     PatternIndexKind kind, ThreadPool* pool,
                                     const ExecContext& ctx,

@@ -37,7 +37,7 @@ class Pattern {
   /// Builds a pattern from display strings: "*" becomes the wildcard, any
   /// other field is parsed as a constant of the column's type. This is
   /// how metadata rows such as (Mon, 2, *, *) are written in tables.
-  static Result<Pattern> Parse(const std::vector<std::string>& fields,
+  [[nodiscard]] static Result<Pattern> Parse(const std::vector<std::string>& fields,
                                const Schema& schema);
 
   /// A pattern matching exactly one tuple (tuples are a special case of

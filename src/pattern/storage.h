@@ -30,15 +30,15 @@ namespace pcdb {
 std::string EscapeField(const std::string& raw);
 
 /// Inverse of EscapeField; fails on dangling escapes.
-Result<std::string> UnescapeField(const std::string& stored);
+[[nodiscard]] Result<std::string> UnescapeField(const std::string& stored);
 
 /// Writes the database, its metadata tables and registered domains under
 /// `dir` (created if missing; existing files are overwritten).
-Status SaveAnnotatedDatabase(const AnnotatedDatabase& adb,
+[[nodiscard]] Status SaveAnnotatedDatabase(const AnnotatedDatabase& adb,
                              const std::string& dir);
 
 /// Loads a database previously written by SaveAnnotatedDatabase.
-Result<AnnotatedDatabase> LoadAnnotatedDatabase(const std::string& dir);
+[[nodiscard]] Result<AnnotatedDatabase> LoadAnnotatedDatabase(const std::string& dir);
 
 }  // namespace pcdb
 

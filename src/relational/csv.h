@@ -17,29 +17,29 @@ namespace pcdb {
 /// of surrounding whitespace (quoted fields are verbatim); an optional
 /// header line is skipped when `has_header` is true. Fails with
 /// ParseError on malformed quoting and on arity or type mismatches.
-Result<Table> ReadCsvString(const std::string& text, const Schema& schema,
+[[nodiscard]] Result<Table> ReadCsvString(const std::string& text, const Schema& schema,
                             bool has_header = true);
 
 /// Governed load: polls `ctx` per record (kTimeout/kCancelled) and
 /// enforces its row budget (kResourceExhausted) so an adversarial or
 /// oversized file cannot run the loader unboundedly. Failpoints
 /// "csv.read" (per call) and "csv.record" (per record) are compiled in.
-Result<Table> ReadCsvString(const std::string& text, const Schema& schema,
+[[nodiscard]] Result<Table> ReadCsvString(const std::string& text, const Schema& schema,
                             bool has_header, const ExecContext& ctx);
 
 /// Reads a CSV file from disk; see ReadCsvString.
-Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+[[nodiscard]] Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
                           bool has_header = true);
 
 /// Governed file load; see the governed ReadCsvString.
-Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+[[nodiscard]] Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
                           bool has_header, const ExecContext& ctx);
 
 /// Serializes `table` as CSV with a header line.
 std::string WriteCsvString(const Table& table);
 
 /// Writes `table` to `path` as CSV with a header line.
-Status WriteCsvFile(const Table& table, const std::string& path);
+[[nodiscard]] Status WriteCsvFile(const Table& table, const std::string& path);
 
 }  // namespace pcdb
 

@@ -25,15 +25,15 @@ namespace pcdb {
 class Database {
  public:
   /// Registers a new empty table under `name`.
-  Status CreateTable(const std::string& name, Schema schema);
+  [[nodiscard]] Status CreateTable(const std::string& name, Schema schema);
 
   /// Registers (or replaces) a table with its content.
   void PutTable(const std::string& name, Table table);
 
   bool HasTable(const std::string& name) const;
 
-  Result<const Table*> GetTable(const std::string& name) const;
-  Result<Table*> GetMutableTable(const std::string& name);
+  [[nodiscard]] Result<const Table*> GetTable(const std::string& name) const;
+  [[nodiscard]] Result<Table*> GetMutableTable(const std::string& name);
 
   /// Table names in deterministic (sorted) order.
   std::vector<std::string> TableNames() const;

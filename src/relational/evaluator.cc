@@ -7,6 +7,7 @@
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/names.h"
 #include "obs/trace.h"
 
 namespace pcdb {
@@ -381,27 +382,27 @@ namespace {
 const char* EvalSpanName(ExprKind kind) {
   switch (kind) {
     case ExprKind::kScan:
-      return "eval.scan";
+      return kSpanEvalScan;
     case ExprKind::kSelectConst:
-      return "eval.select_const";
+      return kSpanEvalSelectConst;
     case ExprKind::kSelectAttrEq:
-      return "eval.select_attr_eq";
+      return kSpanEvalSelectAttrEq;
     case ExprKind::kProjectOut:
-      return "eval.project_out";
+      return kSpanEvalProjectOut;
     case ExprKind::kRearrange:
-      return "eval.rearrange";
+      return kSpanEvalRearrange;
     case ExprKind::kJoin:
-      return "eval.join";
+      return kSpanEvalJoin;
     case ExprKind::kAggregate:
-      return "eval.aggregate";
+      return kSpanEvalAggregate;
     case ExprKind::kSort:
-      return "eval.sort";
+      return kSpanEvalSort;
     case ExprKind::kLimit:
-      return "eval.limit";
+      return kSpanEvalLimit;
     case ExprKind::kUnion:
-      return "eval.union";
+      return kSpanEvalUnion;
   }
-  return "eval.operator";
+  return kSpanEvalOperator;
 }
 
 }  // namespace

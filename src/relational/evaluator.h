@@ -28,9 +28,9 @@ struct EvalOptions {
 /// Joins use hash joins on the equality attribute; aggregation uses hash
 /// grouping. Fails with a Status on unknown tables, unresolvable or
 /// ambiguous attributes, and type mismatches.
-Result<Table> Evaluate(const Expr& expr, const Database& db);
+[[nodiscard]] Result<Table> Evaluate(const Expr& expr, const Database& db);
 
-Result<Table> Evaluate(const Expr& expr, const Database& db,
+[[nodiscard]] Result<Table> Evaluate(const Expr& expr, const Database& db,
                        const EvalOptions& options);
 
 /// Governed evaluation: `ctx` is polled at every operator boundary and
@@ -39,19 +39,19 @@ Result<Table> Evaluate(const Expr& expr, const Database& db,
 /// kTimeout / kResourceExhausted) instead of running to completion.
 /// Injected faults (common/failpoint.h) and task exceptions surface as
 /// error Statuses — this entry point never terminates the process.
-Result<Table> Evaluate(const Expr& expr, const Database& db,
+[[nodiscard]] Result<Table> Evaluate(const Expr& expr, const Database& db,
                        const EvalOptions& options, const ExecContext& ctx);
 
-inline Result<Table> Evaluate(const ExprPtr& expr, const Database& db) {
+[[nodiscard]] inline Result<Table> Evaluate(const ExprPtr& expr, const Database& db) {
   return Evaluate(*expr, db);
 }
 
-inline Result<Table> Evaluate(const ExprPtr& expr, const Database& db,
+[[nodiscard]] inline Result<Table> Evaluate(const ExprPtr& expr, const Database& db,
                               const EvalOptions& options) {
   return Evaluate(*expr, db, options);
 }
 
-inline Result<Table> Evaluate(const ExprPtr& expr, const Database& db,
+[[nodiscard]] inline Result<Table> Evaluate(const ExprPtr& expr, const Database& db,
                               const EvalOptions& options,
                               const ExecContext& ctx) {
   return Evaluate(*expr, db, options, ctx);
@@ -63,14 +63,14 @@ inline Result<Table> Evaluate(const ExprPtr& expr, const Database& db,
 /// (pattern/annotated_eval.h) to run the data plan and the metadata plan
 /// in lockstep over shared intermediates. A non-null `pool` parallelizes
 /// the hash-join probe phase.
-Result<Table> ApplyRootOperator(const Expr& expr, const Database& db,
+[[nodiscard]] Result<Table> ApplyRootOperator(const Expr& expr, const Database& db,
                                 Table left, Table right,
                                 ThreadPool* pool = nullptr);
 
 /// Governed single-operator application: fires the "eval.operator"
 /// failpoint, polls `ctx` on entry, and checks the operator's output
 /// row count against the row budget.
-Result<Table> ApplyRootOperator(const Expr& expr, const Database& db,
+[[nodiscard]] Result<Table> ApplyRootOperator(const Expr& expr, const Database& db,
                                 Table left, Table right, ThreadPool* pool,
                                 const ExecContext& ctx);
 

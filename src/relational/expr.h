@@ -91,7 +91,7 @@ class Expr {
   /// Computes the output schema of this expression against `db`,
   /// resolving all attribute references; fails on unknown tables or
   /// unresolvable/ambiguous attributes.
-  Result<Schema> OutputSchema(const Database& db) const;
+  [[nodiscard]] Result<Schema> OutputSchema(const Database& db) const;
 
   /// Algebra notation, e.g. "σ[week=2](Scan(Warnings))".
   std::string ToString() const;

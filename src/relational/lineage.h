@@ -28,10 +28,10 @@ struct LineageTable {
 
 /// Evaluates `expr` while tracking why-provenance. The output bag equals
 /// Evaluate(expr, db)'s (possibly in a different row order).
-Result<LineageTable> EvaluateWithLineage(const Expr& expr,
+[[nodiscard]] Result<LineageTable> EvaluateWithLineage(const Expr& expr,
                                          const Database& db);
 
-inline Result<LineageTable> EvaluateWithLineage(const ExprPtr& expr,
+[[nodiscard]] inline Result<LineageTable> EvaluateWithLineage(const ExprPtr& expr,
                                                 const Database& db) {
   return EvaluateWithLineage(*expr, db);
 }

@@ -39,7 +39,7 @@ class Schema {
   /// column name ends in ".<reference>" (unqualified reference into a
   /// qualified schema). Fails if no column or more than one column
   /// matches.
-  Result<size_t> Resolve(const std::string& ref) const;
+  [[nodiscard]] Result<size_t> Resolve(const std::string& ref) const;
 
   /// True if `ref` resolves to exactly one column.
   bool CanResolve(const std::string& ref) const;

@@ -26,7 +26,7 @@ class Table {
   const std::vector<Tuple>& rows() const { return rows_; }
 
   /// Appends a row after verifying arity and column types.
-  Status Append(Tuple row);
+  [[nodiscard]] Status Append(Tuple row);
 
   /// Appends without checks; callers guarantee the row conforms.
   void AppendUnchecked(Tuple row) { rows_.push_back(std::move(row)); }

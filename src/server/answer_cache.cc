@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "obs/names.h"
 #include "obs/trace.h"
 #include "pattern/signature.h"
 
@@ -27,7 +28,7 @@ AnswerCache::Shard& AnswerCache::ShardFor(const std::string& key) {
 }
 
 std::shared_ptr<const EncodedAnswer> AnswerCache::Get(const std::string& key) {
-  PCDB_TRACE_SPAN(span, "cache.get");
+  PCDB_TRACE_SPAN(span, kSpanCacheGet);
   Shard& shard = ShardFor(key);
   MutexLock lock(&shard.mu);
   auto it = shard.index.find(key);
@@ -45,7 +46,7 @@ std::shared_ptr<const EncodedAnswer> AnswerCache::Get(const std::string& key) {
 void AnswerCache::Put(const std::string& key, std::vector<TableDep> deps,
                       std::shared_ptr<const EncodedAnswer> answer) {
   if (answer == nullptr) return;
-  PCDB_TRACE_SPAN(span, "cache.put");
+  PCDB_TRACE_SPAN(span, kSpanCachePut);
   const size_t bytes = key.size() + answer->TotalBytes();
   span.Arg("bytes", bytes);
   if (bytes > shard_max_bytes_) return;  // would evict a whole shard

@@ -71,7 +71,7 @@ class Client {
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
 
-  static Result<Client> Connect(const std::string& host, uint16_t port,
+  [[nodiscard]] static Result<Client> Connect(const std::string& host, uint16_t port,
                                 const ClientOptions& options = {});
 
   bool connected() const { return sock_.valid(); }
@@ -80,48 +80,48 @@ class Client {
   /// (kCancelled, kTimeout, kResourceExhausted, parse errors, ...)
   /// come back as this Result's Status, with the same code and message
   /// the in-process evaluation would produce.
-  Result<ClientAnswer> Query(const std::string& sql,
+  [[nodiscard]] Result<ClientAnswer> Query(const std::string& sql,
                              const ClientQueryOptions& options = {});
 
   /// Pipelined send; returns the request id to pass to ReadAnswer or
   /// Cancel.
-  Result<uint64_t> SendQuery(const std::string& sql,
+  [[nodiscard]] Result<uint64_t> SendQuery(const std::string& sql,
                              const ClientQueryOptions& options = {});
 
   /// Half-closes the connection (shutdown(SHUT_WR)): tells the server
   /// no more requests are coming. Answers to already-sent (pipelined)
   /// queries still arrive — the server drains what it owes, then
   /// closes. No further Send* calls are valid after this.
-  Status FinishSending();
+  [[nodiscard]] Status FinishSending();
 
   /// Requests cancellation of an in-flight query. No acknowledgement:
   /// the query itself answers (usually with a kCancelled error).
-  Status Cancel(uint64_t request_id);
+  [[nodiscard]] Status Cancel(uint64_t request_id);
 
   /// Blocks until the answer (or error) for `request_id` arrives.
   /// Frames for other pipelined requests arriving first are buffered.
-  Result<ClientAnswer> ReadAnswer(uint64_t request_id);
+  [[nodiscard]] Result<ClientAnswer> ReadAnswer(uint64_t request_id);
 
   /// Streams `rows` into `table`, waiting for the server's INGEST_RESULT
   /// ack. Shed writes (queue full / tenant quota) come back as
   /// kUnavailable; a violating row under kPolicyRejectRecord is counted
   /// in the ack (`rows_rejected`, `violations`), not an error.
-  Result<IngestResult> Ingest(const std::string& table,
+  [[nodiscard]] Result<IngestResult> Ingest(const std::string& table,
                               std::vector<Tuple> rows,
                               const ClientWriteOptions& options = {});
 
   /// Asserts completeness patterns over `table` (each pattern is one
   /// display field per column, "*" = wildcard) and waits for the ack.
-  Result<IngestResult> Punctuate(
+  [[nodiscard]] Result<IngestResult> Punctuate(
       const std::string& table,
       std::vector<std::vector<std::string>> patterns,
       const ClientWriteOptions& options = {});
 
   /// Liveness round trip.
-  Status Ping();
+  [[nodiscard]] Status Ping();
 
   /// Fetches the server's metrics/cache snapshot (JSON).
-  Result<std::string> Stats();
+  [[nodiscard]] Result<std::string> Stats();
 
   void Close() { sock_.Close(); }
 
@@ -138,17 +138,17 @@ class Client {
   };
 
   /// Reads frames until one with `request_id` completes (done or error).
-  Status PumpUntilComplete(uint64_t request_id);
+  [[nodiscard]] Status PumpUntilComplete(uint64_t request_id);
 
   /// Reads frames until the INGEST_RESULT (or ERROR) for `request_id`
   /// arrives; answer frames for pipelined queries are absorbed.
-  Result<IngestResult> AwaitIngestResult(uint64_t request_id);
+  [[nodiscard]] Result<IngestResult> AwaitIngestResult(uint64_t request_id);
 
   /// Reads one frame from the socket (blocking, honours recv timeout).
-  Result<Frame> ReadFrame();
+  [[nodiscard]] Result<Frame> ReadFrame();
 
   /// Folds one frame into partials_.
-  Status Absorb(Frame frame);
+  [[nodiscard]] Status Absorb(Frame frame);
 
   Socket sock_;
   FrameReader reader_;

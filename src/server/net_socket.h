@@ -50,34 +50,34 @@ class Socket {
   int fd() const { return fd_; }
 
   /// Toggles O_NONBLOCK.
-  Status SetNonBlocking(bool non_blocking);
+  [[nodiscard]] Status SetNonBlocking(bool non_blocking);
 
   /// SO_RCVTIMEO for blocking sockets (client side); 0 disables.
-  Status SetRecvTimeoutMillis(int millis);
+  [[nodiscard]] Status SetRecvTimeoutMillis(int millis);
 
   /// Disables Nagle (TCP_NODELAY) — the protocol writes whole frames.
-  Status SetNoDelay(bool no_delay);
+  [[nodiscard]] Status SetNoDelay(bool no_delay);
 
   /// Half-close: shutdown(SHUT_WR). The peer sees EOF but this end can
   /// still read — how a client signals "no more requests" while waiting
   /// for the answers it is owed.
-  Status ShutdownWrite();
+  [[nodiscard]] Status ShutdownWrite();
 
   /// Reads up to `len` bytes. EINTR is retried; EAGAIN/EWOULDBLOCK is
   /// reported as would_block, a peer close as eof. A timed-out blocking
   /// read surfaces as Status kTimeout.
-  Result<IoResult> Recv(void* buf, size_t len);
+  [[nodiscard]] Result<IoResult> Recv(void* buf, size_t len);
 
   /// Writes up to `len` bytes (MSG_NOSIGNAL; a closed peer is a Status,
   /// never a SIGPIPE).
-  Result<IoResult> Send(const void* buf, size_t len);
+  [[nodiscard]] Result<IoResult> Send(const void* buf, size_t len);
 
   /// Blocking helper: writes all of `data` or fails.
-  Status SendAll(const void* data, size_t len);
+  [[nodiscard]] Status SendAll(const void* data, size_t len);
 
   /// Blocking helper: reads exactly `len` bytes into `buf`; kTimeout on
   /// receive timeout, kUnavailable when the peer closes mid-read.
-  Status RecvExact(void* buf, size_t len);
+  [[nodiscard]] Status RecvExact(void* buf, size_t len);
 
   void Close();
 
@@ -95,7 +95,7 @@ class Listener {
   /// Binds and listens; port 0 picks an ephemeral port (read it back
   /// with port()). The listener is created non-blocking: Accept reports
   /// would_block instead of waiting.
-  static Result<Listener> BindAndListen(const std::string& host,
+  [[nodiscard]] static Result<Listener> BindAndListen(const std::string& host,
                                         uint16_t port, int backlog = 128);
 
   bool valid() const { return sock_.valid(); }
@@ -108,7 +108,7 @@ class Listener {
     Socket socket;
     bool would_block = false;
   };
-  Result<AcceptResult> Accept();
+  [[nodiscard]] Result<AcceptResult> Accept();
 
  private:
   Socket sock_;
@@ -117,7 +117,7 @@ class Listener {
 
 /// Connects to `host:port` (blocking). The socket is returned in
 /// blocking mode with TCP_NODELAY set.
-Result<Socket> TcpConnect(const std::string& host, uint16_t port);
+[[nodiscard]] Result<Socket> TcpConnect(const std::string& host, uint16_t port);
 
 /// \brief One fd's interest set and readiness for Poll().
 struct PollItem {
@@ -132,7 +132,7 @@ struct PollItem {
 
 /// poll(2) over `items`; blocks up to `timeout_millis` (-1 = forever).
 /// Returns the number of ready items; EINTR is retried.
-Result<int> Poll(std::vector<PollItem>* items, int timeout_millis);
+[[nodiscard]] Result<int> Poll(std::vector<PollItem>* items, int timeout_millis);
 
 /// \brief A self-pipe used to wake a Poll()ing thread from another
 /// thread (eval workers notify the event loop of finished queries).
@@ -142,7 +142,7 @@ class WakePipe {
   WakePipe(WakePipe&&) = default;
   WakePipe& operator=(WakePipe&&) = default;
 
-  static Result<WakePipe> Create();
+  [[nodiscard]] static Result<WakePipe> Create();
 
   int read_fd() const { return read_end_.fd(); }
 

@@ -107,7 +107,7 @@ class FrameReader {
   /// kInvalidArgument on malformed input (unknown frame type or an
   /// oversized length prefix) — the stream is unrecoverable after that.
   /// The "server.decode" failpoint fires once per decoded frame.
-  Result<bool> Next(Frame* out);
+  [[nodiscard]] Result<bool> Next(Frame* out);
 
   /// Bytes buffered but not yet consumed by Next().
   size_t buffered_bytes() const { return buf_.size() - pos_; }
@@ -142,7 +142,7 @@ enum class WireErrorCode : uint16_t {
 WireErrorCode WireErrorCodeFor(StatusCode code);
 
 /// Wire code -> StatusCode; kInvalidArgument Status for unknown codes.
-Result<StatusCode> StatusCodeFromWire(uint16_t wire_code);
+[[nodiscard]] Result<StatusCode> StatusCodeFromWire(uint16_t wire_code);
 
 /// ERROR frame payload: u16 wire code + u32 message length + message.
 std::string EncodeErrorPayload(const Status& status);
@@ -151,7 +151,7 @@ std::string EncodeErrorPayload(const Status& status);
 /// same code, same message text as the in-process Status it encodes.
 /// The return value reports payload decode failures (Result<Status>
 /// would collide with Result's own Status constructor).
-Status DecodeErrorPayload(std::string_view payload, Status* out);
+[[nodiscard]] Status DecodeErrorPayload(std::string_view payload, Status* out);
 
 /// \brief A QUERY frame's payload: execution limits + the SQL text.
 struct QueryRequest {
@@ -175,11 +175,11 @@ struct QueryRequest {
 };
 
 std::string EncodeQueryPayload(const QueryRequest& request);
-Result<QueryRequest> DecodeQueryPayload(std::string_view payload);
+[[nodiscard]] Result<QueryRequest> DecodeQueryPayload(std::string_view payload);
 
 /// CANCEL frame payload: the request id to cancel.
 std::string EncodeCancelPayload(uint64_t target_request_id);
-Result<uint64_t> DecodeCancelPayload(std::string_view payload);
+[[nodiscard]] Result<uint64_t> DecodeCancelPayload(std::string_view payload);
 
 /// \brief An INGEST frame's payload: a batch of rows for one table.
 ///
@@ -202,7 +202,7 @@ struct IngestRequest {
 };
 
 std::string EncodeIngestPayload(const IngestRequest& request);
-Result<IngestRequest> DecodeIngestPayload(std::string_view payload);
+[[nodiscard]] Result<IngestRequest> DecodeIngestPayload(std::string_view payload);
 
 /// \brief A PUNCTUATE frame's payload: completeness patterns asserted
 /// for one table, each as display fields ("*" = wildcard, constants in
@@ -215,7 +215,7 @@ struct PunctuateRequest {
 };
 
 std::string EncodePunctuatePayload(const PunctuateRequest& request);
-Result<PunctuateRequest> DecodePunctuatePayload(std::string_view payload);
+[[nodiscard]] Result<PunctuateRequest> DecodePunctuatePayload(std::string_view payload);
 
 /// \brief INGEST_RESULT payload: outcome counters for one INGEST or
 /// PUNCTUATE frame (the delta this request caused, not cumulative
@@ -229,7 +229,7 @@ struct IngestResult {
 };
 
 std::string EncodeIngestResultPayload(const IngestResult& result);
-Result<IngestResult> DecodeIngestResultPayload(std::string_view payload);
+[[nodiscard]] Result<IngestResult> DecodeIngestResultPayload(std::string_view payload);
 
 /// \brief Summary trailer carried by the ANSWER_DONE frame.
 struct AnswerDone {
@@ -240,7 +240,7 @@ struct AnswerDone {
 };
 
 std::string EncodeDonePayload(const AnswerDone& done);
-Result<AnswerDone> DecodeDonePayload(std::string_view payload);
+[[nodiscard]] Result<AnswerDone> DecodeDonePayload(std::string_view payload);
 
 /// \brief The serialized form of an annotated answer, split into the
 /// frame payloads the server streams back: one schema payload, zero or
@@ -279,21 +279,21 @@ EncodedAnswer EncodeAnswer(const AnnotatedTable& answer,
 /// runs this before framing an answer: a too-large schema, row batch
 /// (single enormous row), or pattern payload becomes an explicit wire
 /// error instead of a frame the peer rejects as stream corruption.
-Status CheckEncodedFrameSizes(const EncodedAnswer& encoded);
+[[nodiscard]] Status CheckEncodedFrameSizes(const EncodedAnswer& encoded);
 
 /// Exact inverse of EncodeAnswer.
-Result<AnnotatedTable> DecodeAnswer(const EncodedAnswer& encoded);
+[[nodiscard]] Result<AnnotatedTable> DecodeAnswer(const EncodedAnswer& encoded);
 
 /// Individual payload codecs (exposed for the client, which receives the
 /// payloads one frame at a time).
 std::string EncodeSchemaPayload(const Schema& schema);
-Result<Schema> DecodeSchemaPayload(std::string_view payload);
+[[nodiscard]] Result<Schema> DecodeSchemaPayload(std::string_view payload);
 std::string EncodeRowBatchPayload(const Table& table, size_t begin,
                                   size_t end);
 /// Appends the batch's rows to `*table` (which must carry the schema).
-Status DecodeRowBatchPayload(std::string_view payload, Table* table);
+[[nodiscard]] Status DecodeRowBatchPayload(std::string_view payload, Table* table);
 std::string EncodePatternsPayload(const PatternSet& patterns);
-Result<PatternSet> DecodePatternsPayload(std::string_view payload);
+[[nodiscard]] Result<PatternSet> DecodePatternsPayload(std::string_view payload);
 
 }  // namespace pcdb
 

@@ -11,6 +11,7 @@
 #include "common/failpoint.h"
 #include "common/log.h"
 #include "common/timer.h"
+#include "obs/names.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "pattern/annotated_eval.h"
@@ -88,29 +89,29 @@ Server::Server(AnnotatedDatabase db, ServerOptions options)
     : options_(options),
       cache_(options.cache),
       db_(std::make_shared<AnnotatedDatabase>(std::move(db))) {
-  c_requests_ = metrics_.GetCounter("requests_total");
-  c_shed_ = metrics_.GetCounter("shed_total");
-  c_cache_hits_ = metrics_.GetCounter("cache_hits");
-  c_cache_misses_ = metrics_.GetCounter("cache_misses");
-  c_errors_ = metrics_.GetCounter("errors_total");
-  c_cancelled_ = metrics_.GetCounter("cancelled_total");
-  c_timeouts_ = metrics_.GetCounter("timeouts_total");
-  c_connections_ = metrics_.GetCounter("connections_total");
-  c_conn_rejected_ = metrics_.GetCounter("connections_rejected");
-  c_conn_faults_ = metrics_.GetCounter("connection_faults");
-  c_protocol_errors_ = metrics_.GetCounter("protocol_errors");
-  c_eval_task_faults_ = metrics_.GetCounter("eval_task_faults");
-  c_poll_errors_ = metrics_.GetCounter("poll_errors");
-  c_ingest_rows_ = metrics_.GetCounter("ingest_rows_total");
-  c_ingest_rejected_ = metrics_.GetCounter("ingest_rejected_total");
-  c_punctuations_ = metrics_.GetCounter("punctuations_total");
-  c_patterns_retracted_ = metrics_.GetCounter("patterns_retracted_total");
-  c_writes_shed_ = metrics_.GetCounter("writes_shed_total");
-  c_write_batches_ = metrics_.GetCounter("write_batches");
-  g_connections_ = metrics_.GetGauge("connections_open");
-  g_inflight_ = metrics_.GetGauge("inflight");
-  g_pending_writes_ = metrics_.GetGauge("pending_writes");
-  h_latency_ = metrics_.GetHistogram("request_latency");
+  c_requests_ = metrics_.GetCounter(kMetricRequestsTotal);
+  c_shed_ = metrics_.GetCounter(kMetricShedTotal);
+  c_cache_hits_ = metrics_.GetCounter(kMetricCacheHits);
+  c_cache_misses_ = metrics_.GetCounter(kMetricCacheMisses);
+  c_errors_ = metrics_.GetCounter(kMetricErrorsTotal);
+  c_cancelled_ = metrics_.GetCounter(kMetricCancelledTotal);
+  c_timeouts_ = metrics_.GetCounter(kMetricTimeoutsTotal);
+  c_connections_ = metrics_.GetCounter(kMetricConnectionsTotal);
+  c_conn_rejected_ = metrics_.GetCounter(kMetricConnectionsRejected);
+  c_conn_faults_ = metrics_.GetCounter(kMetricConnectionFaults);
+  c_protocol_errors_ = metrics_.GetCounter(kMetricProtocolErrors);
+  c_eval_task_faults_ = metrics_.GetCounter(kMetricEvalTaskFaults);
+  c_poll_errors_ = metrics_.GetCounter(kMetricPollErrors);
+  c_ingest_rows_ = metrics_.GetCounter(kMetricIngestRowsTotal);
+  c_ingest_rejected_ = metrics_.GetCounter(kMetricIngestRejectedTotal);
+  c_punctuations_ = metrics_.GetCounter(kMetricPunctuationsTotal);
+  c_patterns_retracted_ = metrics_.GetCounter(kMetricPatternsRetractedTotal);
+  c_writes_shed_ = metrics_.GetCounter(kMetricWritesShedTotal);
+  c_write_batches_ = metrics_.GetCounter(kMetricWriteBatches);
+  g_connections_ = metrics_.GetGauge(kMetricConnectionsOpen);
+  g_inflight_ = metrics_.GetGauge(kMetricInflight);
+  g_pending_writes_ = metrics_.GetGauge(kMetricPendingWrites);
+  h_latency_ = metrics_.GetHistogram(kMetricRequestLatency);
   // Resolve the engine-level counters eagerly: the first EngineMetrics()
   // call also installs the failpoint trip observer, so trips are counted
   // from the very first request.
@@ -291,6 +292,7 @@ void Server::RunLoop() {
             .Unum("consecutive", consecutive_poll_errors);
         break;
       }
+      // pcdb-analyze: allow(blocking-in-loop): bounded poll-error backoff; the loop is already degraded and sleeping briefly beats spinning on a failing poll fd
       std::this_thread::sleep_for(
           std::chrono::milliseconds(poll_backoff_millis));
       poll_backoff_millis = std::min(poll_backoff_millis * 2, 100);
@@ -358,7 +360,7 @@ void Server::RunLoop() {
 }
 
 void Server::AcceptNewConnections(LoopState* state) {
-  PCDB_TRACE_SPAN(span, "server.accept");
+  PCDB_TRACE_SPAN(span, kSpanServerAccept);
   // The try/catch confines an injected accept fault (throw action on
   // server.accept) to this accept round: the listener stays up.
   try {
@@ -436,7 +438,7 @@ void Server::HandleReadable(LoopState* state, Conn* conn) {
 }
 
 void Server::HandleFrame(LoopState* state, Conn* conn, Frame frame) {
-  PCDB_TRACE_SPAN(span, "server.frame");
+  PCDB_TRACE_SPAN(span, kSpanServerFrame);
   switch (frame.type) {
     case FrameType::kPing:
       AppendFrame(&conn->outbuf, FrameType::kPong, frame.request_id, "");
@@ -624,7 +626,7 @@ void Server::RunWriterJob() {
                          return a.tier > b.tier;
                        });
       c_write_batches_->Increment();
-      PCDB_TRACE_SPAN(batch_span, "server.write_batch");
+      PCDB_TRACE_SPAN(batch_span, kSpanServerWriteBatch);
       batch_span.Arg("ops", batch.size());
 
       MutexLock write_lock(&write_mu_);
@@ -679,7 +681,7 @@ void Server::RunWriterJob() {
 
 Status Server::ApplyWriteOp(AnnotatedDatabase* next, WriteOp* op,
                             IngestResult* ack) {
-  PCDB_TRACE_SPAN(span, "server.ingest");
+  PCDB_TRACE_SPAN(span, kSpanServerIngest);
   span.Arg("punctuate", op->is_punctuate ? 1 : 0);
   PCDB_FAILPOINT("server.ingest");
   // A fresh FeedManager per op: its stats are exactly this op's delta,
@@ -753,11 +755,11 @@ void Server::RunQueryJob(uint64_t conn_id, uint64_t request_id,
     const uint64_t start_micros = Tracer::Global().NowMicros();
     const uint64_t queue_micros =
         start_micros > admit_micros ? start_micros - admit_micros : 0;
-    PCDB_TRACE_SPAN(query_span, "server.query");
+    PCDB_TRACE_SPAN(query_span, kSpanServerQuery);
     if (Tracer::enabled() && queue_micros > 0) {
       // The wait happened before this span existed; backfill it as a
       // child interval so the viewer shows admit -> eval contiguously.
-      Tracer::Global().RecordInterval("server.queue_wait", admit_micros,
+      Tracer::Global().RecordInterval(kSpanServerQueueWait, admit_micros,
                                       queue_micros);
     }
     const bool want_profile =
@@ -836,7 +838,7 @@ void Server::RunQueryJob(uint64_t conn_id, uint64_t request_id,
         if (!answer.ok()) {
           comp.status = answer.status();
         } else {
-          PCDB_TRACE_SPAN(encode_span, "server.encode");
+          PCDB_TRACE_SPAN(encode_span, kSpanServerEncode);
           auto encoded = std::make_shared<EncodedAnswer>(
               EncodeAnswer(*answer, options_.rows_per_batch));
           Status fits = CheckEncodedFrameSizes(*encoded);
@@ -970,7 +972,7 @@ void Server::ProcessCompletions(LoopState* state) {
 
 void Server::FlushWrites(Conn* conn) {
   if (!conn->HasPendingOutput()) return;
-  PCDB_TRACE_SPAN(span, "server.flush");
+  PCDB_TRACE_SPAN(span, kSpanServerFlush);
   // Self-guarding (like HandleReadable): an injected write fault kills
   // only this connection.
   try {

@@ -122,7 +122,7 @@ class Server {
   /// A stopped server may be started again (the listener is rebound,
   /// so with port 0 the new port may differ); metrics and cache
   /// contents carry over across restarts.
-  Status Start();
+  [[nodiscard]] Status Start();
 
   /// Requests shutdown, cancels in-flight queries cooperatively, and
   /// blocks until the event loop has exited. Idempotent.
@@ -144,7 +144,7 @@ class Server {
   /// (their cache entries carry the old epochs and simply become
   /// unreachable). Serialized with the INGEST/PUNCTUATE writer job on
   /// write_mu_.
-  Status UpdateDatabase(const std::function<Status(AnnotatedDatabase*)>& fn);
+  [[nodiscard]] Status UpdateDatabase(const std::function<Status(AnnotatedDatabase*)>& fn);
 
   /// Metrics + cache stats as one JSON object (the STATS payload).
   std::string StatsJson() const;
@@ -194,7 +194,7 @@ class Server {
   void RunWriterJob() PCDB_EXCLUDES(writes_mu_, write_mu_);
   /// Applies one op to the in-construction snapshot via FeedManager;
   /// fills `ack` with the op's outcome counters.
-  Status ApplyWriteOp(AnnotatedDatabase* next, WriteOp* op,
+  [[nodiscard]] Status ApplyWriteOp(AnnotatedDatabase* next, WriteOp* op,
                       IngestResult* ack);
   /// Invalidates exactly the cache entries the before->after epoch diff
   /// proves stale: whole tables whose table epoch moved (data changes,
@@ -239,8 +239,12 @@ class Server {
   /// Serializes snapshot *builders* (the writer job and UpdateDatabase).
   /// Held across copy + mutate; db_mu_ is taken only for the final
   /// pointer swap, so readers never wait on a writer's work.
-  /// Lock order: write_mu_ before db_mu_; never the reverse.
-  Mutex write_mu_;
+  /// Lock order: write_mu_ before db_mu_; never the reverse. The
+  /// PCDB_ACQUIRED_BEFORE annotation is the machine-checked form of
+  /// that sentence: pcdb-analyze (lock-hierarchy) requires every
+  /// observed nesting edge to be declared this way and keeps the
+  /// declared order acyclic.
+  Mutex write_mu_ PCDB_ACQUIRED_BEFORE(db_mu_);
 
   Mutex writes_mu_;
   std::deque<WriteOp> pending_writes_ PCDB_GUARDED_BY(writes_mu_);

@@ -35,7 +35,7 @@ struct Token {
 
 /// Tokenizes a SQL string; fails with ParseError on unterminated strings
 /// or unexpected characters.
-Result<std::vector<Token>> Tokenize(const std::string& sql);
+[[nodiscard]] Result<std::vector<Token>> Tokenize(const std::string& sql);
 
 }  // namespace pcdb
 

@@ -26,12 +26,12 @@ namespace pcdb {
 /// This captures the paper's query class — SPJ with equality (§3.1) —
 /// plus the Appendix B aggregates, including the comma-join style of the
 /// Wikipedia experiment queries (§4.2).
-Result<SelectStatement> ParseSelect(const std::string& sql);
+[[nodiscard]] Result<SelectStatement> ParseSelect(const std::string& sql);
 
 /// Parses a full query: one or more SELECT blocks combined with
 /// UNION ALL. (Deduplicating UNION is not supported — the paper's query
 /// class is bag-semantics SPJ.)
-Result<std::vector<SelectStatement>> ParseQuery(const std::string& sql);
+[[nodiscard]] Result<std::vector<SelectStatement>> ParseQuery(const std::string& sql);
 
 }  // namespace pcdb
 

@@ -48,12 +48,12 @@ struct OptimizedPlan {
 /// cheapest under `objective`. Data costs use leaf cardinalities after
 /// constant pushdown and a distinct-value join estimate; metadata costs
 /// run the pattern algebra per candidate.
-Result<OptimizedPlan> OptimizePlan(const SelectStatement& stmt,
+[[nodiscard]] Result<OptimizedPlan> OptimizePlan(const SelectStatement& stmt,
                                    const AnnotatedDatabase& adb,
                                    PlanObjective objective);
 
 /// Parses, then optimizes.
-Result<OptimizedPlan> OptimizeSql(const std::string& sql,
+[[nodiscard]] Result<OptimizedPlan> OptimizeSql(const std::string& sql,
                                   const AnnotatedDatabase& adb,
                                   PlanObjective objective);
 

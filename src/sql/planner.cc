@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/names.h"
 #include "obs/trace.h"
 #include "sql/parser.h"
 
@@ -281,7 +282,7 @@ Result<ExprPtr> PlanSelectWithOrder(const SelectStatement& stmt,
 }
 
 Result<ExprPtr> PlanSql(const std::string& sql, const Database& db) {
-  PCDB_TRACE_SPAN(span, "sql.plan");
+  PCDB_TRACE_SPAN(span, kSpanSqlPlan);
   PCDB_ASSIGN_OR_RETURN(std::vector<SelectStatement> blocks,
                         ParseQuery(sql));
   ExprPtr plan;

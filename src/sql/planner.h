@@ -20,19 +20,19 @@ namespace pcdb {
 /// kAggregate node; a non-star SELECT list becomes a final kRearrange.
 /// Every scan is aliased (by its FROM alias or table name), so columns
 /// are qualified and self-joins resolve unambiguously.
-Result<ExprPtr> PlanSelect(const SelectStatement& stmt, const Database& db);
+[[nodiscard]] Result<ExprPtr> PlanSelect(const SelectStatement& stmt, const Database& db);
 
 /// Like PlanSelect, but attaches the FROM tables in exactly the given
 /// order (a permutation of indices into stmt.from), building a left-deep
 /// join tree; tables not connected by a predicate at their turn are
 /// cross-joined. Used by the plan optimizer (plan_optimizer.h) to
 /// enumerate join orders.
-Result<ExprPtr> PlanSelectWithOrder(const SelectStatement& stmt,
+[[nodiscard]] Result<ExprPtr> PlanSelectWithOrder(const SelectStatement& stmt,
                                     const Database& db,
                                     const std::vector<size_t>& order);
 
 /// Parses and plans in one step.
-Result<ExprPtr> PlanSql(const std::string& sql, const Database& db);
+[[nodiscard]] Result<ExprPtr> PlanSql(const std::string& sql, const Database& db);
 
 }  // namespace pcdb
 

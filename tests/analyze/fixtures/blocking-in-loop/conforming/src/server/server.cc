@@ -1,0 +1,17 @@
+#include <chrono>
+#include <thread>
+namespace pcdb {
+void Server::RunLoop() {
+  while (true) {
+    Poll();
+    pool_->Submit([this] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      TcpConnect("upstream", 9000);
+    });
+  }
+}
+void Server::Poll() {}
+void Server::OffLoop() {
+  std::this_thread::sleep_for(std::chrono::seconds(1));
+}
+}  // namespace pcdb

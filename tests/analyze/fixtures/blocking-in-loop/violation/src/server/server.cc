@@ -1,0 +1,16 @@
+#include <chrono>
+#include <thread>
+namespace pcdb {
+void Server::RunLoop() {
+  while (true) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    Refresh();
+  }
+}
+void Server::Refresh() {
+  TcpConnect("upstream", 9000);
+}
+void Server::OffLoop() {
+  std::this_thread::sleep_for(std::chrono::seconds(1));
+}
+}  // namespace pcdb

@@ -1,0 +1,10 @@
+#include <string>
+#include <vector>
+namespace pcdb {
+const std::vector<std::string>& AllSites() {
+  static const std::vector<std::string>* sites = new std::vector<std::string>{
+      "a.site",
+  };
+  return *sites;
+}
+}  // namespace pcdb

@@ -1,0 +1,5 @@
+namespace pcdb {
+void Read() {
+  PCDB_FAILPOINT("a.site");
+}
+}  // namespace pcdb

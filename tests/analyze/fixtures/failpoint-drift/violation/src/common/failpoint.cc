@@ -1,0 +1,11 @@
+#include <string>
+#include <vector>
+namespace pcdb {
+const std::vector<std::string>& AllSites() {
+  static const std::vector<std::string>* sites = new std::vector<std::string>{
+      "a.site",
+      "stale.site",
+  };
+  return *sites;
+}
+}  // namespace pcdb

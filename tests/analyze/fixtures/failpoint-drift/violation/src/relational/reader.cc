@@ -1,0 +1,6 @@
+namespace pcdb {
+void Read() {
+  PCDB_FAILPOINT("a.site");
+  PCDB_FAILPOINT("undeclared.site");
+}
+}  // namespace pcdb

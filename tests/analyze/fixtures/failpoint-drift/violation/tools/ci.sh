@@ -1,0 +1,5 @@
+#!/usr/bin/env bash
+run_faults() {
+  local sites="a.site ghost.site"
+  echo "$sites"
+}

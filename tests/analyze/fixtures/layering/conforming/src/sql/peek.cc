@@ -1,0 +1,3 @@
+#include "common/status.h"
+#include "relational/table.h"
+namespace pcdb {}

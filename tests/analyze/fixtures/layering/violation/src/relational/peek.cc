@@ -1,0 +1,3 @@
+#include "sql/parser.h"
+#include "common/status.h"
+namespace pcdb {}

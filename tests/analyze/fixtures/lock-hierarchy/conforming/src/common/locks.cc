@@ -1,0 +1,11 @@
+#include "common/locks.h"
+namespace pcdb {
+void Store::Move() {
+  MutexLock outer(&a_mu_);
+  MutexLock inner(&b_mu_);
+}
+void Store::Separate() {
+  { MutexLock first(&b_mu_); }
+  { MutexLock second(&a_mu_); }
+}
+}  // namespace pcdb

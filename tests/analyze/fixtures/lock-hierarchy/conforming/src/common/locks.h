@@ -1,0 +1,7 @@
+#include "common/thread_annotations.h"
+namespace pcdb {
+class Store {
+  Mutex a_mu_ PCDB_ACQUIRED_BEFORE(b_mu_);
+  Mutex b_mu_;
+};
+}  // namespace pcdb

@@ -1,0 +1,7 @@
+#include "common/locks.h"
+namespace pcdb {
+void Store::Move() {
+  MutexLock outer(&a_mu_);
+  MutexLock inner(&b_mu_);
+}
+}  // namespace pcdb

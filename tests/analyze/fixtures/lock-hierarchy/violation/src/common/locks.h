@@ -1,0 +1,9 @@
+#include "common/thread_annotations.h"
+namespace pcdb {
+class Store {
+  Mutex a_mu_;
+  Mutex b_mu_;
+  Mutex x_mu_ PCDB_ACQUIRED_BEFORE(y_mu_);
+  Mutex y_mu_ PCDB_ACQUIRED_BEFORE(x_mu_);
+};
+}  // namespace pcdb

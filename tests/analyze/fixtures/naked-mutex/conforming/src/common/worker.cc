@@ -1,0 +1,5 @@
+#include "common/thread_annotations.h"
+namespace pcdb {
+Mutex gate;
+void Touch() { MutexLock hold(&gate); }
+}  // namespace pcdb

@@ -1,0 +1,5 @@
+#include <mutex>
+namespace pcdb {
+std::mutex gate;
+void Touch() { std::lock_guard<std::mutex> hold(gate); }
+}  // namespace pcdb

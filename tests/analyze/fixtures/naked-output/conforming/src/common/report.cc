@@ -1,0 +1,4 @@
+#include "common/log.h"
+namespace pcdb {
+void Report() { LogInfo("done"); }
+}  // namespace pcdb

@@ -1,0 +1,4 @@
+#include <iostream>
+namespace pcdb {
+void Report() { std::cout << "done\n"; }
+}  // namespace pcdb

@@ -1,0 +1,4 @@
+#include "common/thread_pool.h"
+namespace pcdb {
+void Spawn(ThreadPool* pool) { pool->Submit([] {}); }
+}  // namespace pcdb

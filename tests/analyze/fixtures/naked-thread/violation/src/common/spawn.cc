@@ -1,0 +1,4 @@
+#include <thread>
+namespace pcdb {
+void Spawn() { std::thread worker([] {}); worker.join(); }
+}  // namespace pcdb

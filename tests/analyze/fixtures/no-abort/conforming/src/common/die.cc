@@ -1,0 +1,4 @@
+#include "common/status.h"
+namespace pcdb {
+Status OnBadInput() { return Status::InvalidArgument("bad input"); }
+}  // namespace pcdb

@@ -1,0 +1,4 @@
+#include <cstdlib>
+namespace pcdb {
+void OnBadInput() { std::abort(); }
+}  // namespace pcdb

@@ -1,0 +1,10 @@
+namespace pcdb {
+inline constexpr char kSpanQuery[] = "server.query";
+inline constexpr char kMetricRequests[] = "requests_total";
+inline constexpr const char* kAllSpanNames[] = {
+    kSpanQuery,
+};
+inline constexpr const char* kAllMetricNames[] = {
+    kMetricRequests,
+};
+}  // namespace pcdb

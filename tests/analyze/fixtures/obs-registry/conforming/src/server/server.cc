@@ -1,0 +1,7 @@
+#include "obs/names.h"
+namespace pcdb {
+void Handle() {
+  GetCounter(kMetricRequests);
+  Trace(kSpanQuery);
+}
+}  // namespace pcdb

@@ -1,0 +1,14 @@
+namespace pcdb {
+inline constexpr char kSpanQuery[] = "server.query";
+inline constexpr char kSpanOrphan[] = "server.orphan";
+inline constexpr char kSpanDupe[] = "server.query";
+inline constexpr char kMetricRequests[] = "requests_total";
+inline constexpr const char* kAllSpanNames[] = {
+    kSpanQuery,
+    kSpanGhost,
+    kSpanQuery,
+};
+inline constexpr const char* kAllMetricNames[] = {
+    kMetricRequests,
+};
+}  // namespace pcdb

@@ -1,0 +1,9 @@
+#include "obs/names.h"
+namespace pcdb {
+void Handle() {
+  GetCounter("requests_total");
+  Trace(kSpanQuery);
+  Count(kMetricRequests);
+  Trace(kSpanDupe);
+}
+}  // namespace pcdb

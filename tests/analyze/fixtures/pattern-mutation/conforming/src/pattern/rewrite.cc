@@ -1,0 +1,4 @@
+#include "pattern/pattern.h"
+namespace pcdb {
+void Rewrite(Pattern* p) { p->SetCell(0, Value(1)); }
+}  // namespace pcdb

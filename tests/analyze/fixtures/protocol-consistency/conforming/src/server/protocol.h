@@ -1,0 +1,10 @@
+#include <cstdint>
+#include <string>
+namespace pcdb {
+enum class FrameType : uint8_t {
+  kPing = 0x01,
+  kPong = 0x80,
+};
+std::string EncodePingPayload();
+bool DecodePingPayload(const std::string& payload);
+}  // namespace pcdb

@@ -1,0 +1,4 @@
+#include "server/protocol.h"
+namespace pcdb {
+void RoundTrip() { DecodePingPayload(EncodePingPayload()); }
+}  // namespace pcdb

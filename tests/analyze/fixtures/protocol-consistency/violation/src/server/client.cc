@@ -1,0 +1,6 @@
+#include "server/protocol.h"
+namespace pcdb {
+bool Handle(FrameType t) {
+  return t == FrameType::kPing || t == FrameType::kPong;
+}
+}  // namespace pcdb

@@ -1,0 +1,4 @@
+#include "server/protocol.h"
+namespace pcdb {
+bool Known(FrameType t) { return t == FrameType::kPing; }
+}  // namespace pcdb

@@ -1,0 +1,9 @@
+#include <cstdint>
+namespace pcdb {
+enum class FrameType : uint8_t {
+  kPing = 0x01,
+  kPong = 0x80,
+  kData = 0x80,
+};
+std::string EncodePingPayload();
+}  // namespace pcdb

@@ -1,0 +1,4 @@
+#include <cstdint>
+namespace pcdb {
+bool IsError(uint8_t op) { return op == 0x84; }
+}  // namespace pcdb

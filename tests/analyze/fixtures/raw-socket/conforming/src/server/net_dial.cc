@@ -1,0 +1,4 @@
+#include <sys/socket.h>
+namespace pcdb {
+int Dial() { return socket(AF_INET, SOCK_STREAM, 0); }
+}  // namespace pcdb

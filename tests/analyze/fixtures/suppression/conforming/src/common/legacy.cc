@@ -1,0 +1,5 @@
+#include <mutex>
+namespace pcdb {
+// pcdb-analyze: allow(naked-mutex): bridging to a vendored API that hands us a std::mutex
+std::mutex gate;
+}  // namespace pcdb

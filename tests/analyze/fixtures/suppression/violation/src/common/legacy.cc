@@ -1,0 +1,7 @@
+#include <mutex>
+namespace pcdb {
+std::mutex gate;  // pcdb-analyze: allow(naked-mutex)
+// pcdb-analyze: allow(not-a-checker): checker name has a typo
+// pcdb-analyze: allow(naked-mutex): nothing on the next line violates it
+int idle = 0;
+}  // namespace pcdb

@@ -1,0 +1,4 @@
+#include "common/status.h"
+namespace pcdb {
+[[nodiscard]] Status DoThing();
+}  // namespace pcdb

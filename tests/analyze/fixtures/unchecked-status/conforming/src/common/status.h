@@ -1,0 +1,6 @@
+namespace pcdb {
+class [[nodiscard]] Status {
+ public:
+  bool ok() const { return true; }
+};
+}  // namespace pcdb

@@ -1,0 +1,8 @@
+#include "common/api.h"
+namespace pcdb {
+void Caller() {
+  Status st = DoThing();
+  if (!st.ok()) return;
+  static_cast<void>(DoThing());
+}
+}  // namespace pcdb

@@ -1,0 +1,4 @@
+#include "common/status.h"
+namespace pcdb {
+Status DoThing();
+}  // namespace pcdb

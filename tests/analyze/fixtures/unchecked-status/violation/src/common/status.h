@@ -1,0 +1,6 @@
+namespace pcdb {
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+}  // namespace pcdb

@@ -1,0 +1,6 @@
+#include "common/api.h"
+namespace pcdb {
+void Caller() {
+  DoThing();
+}
+}  // namespace pcdb

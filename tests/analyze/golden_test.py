@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Golden-fixture tests for pcdb-analyze.
+
+Each directory under fixtures/ is named after a checker and holds two
+miniature repo trees plus a golden findings file:
+
+    fixtures/<checker>/violation/    tree with deliberate violations
+    fixtures/<checker>/conforming/   tree exercising the same constructs
+                                     correctly
+    fixtures/<checker>/expected.txt  exact findings for the violation
+                                     tree (text format, summary line
+                                     stripped)
+
+For every checker the harness asserts: the violation tree reproduces
+expected.txt byte-for-byte and exits 1; the conforming tree reports
+nothing and exits 0. The "suppression" fixture runs under naked-mutex,
+since suppression auditing is framework behaviour layered on whichever
+checkers run. One fixture is additionally rendered as JSON and SARIF to
+pin the machine-readable output contracts.
+
+Exit status: 0 when all fixtures pass, 1 otherwise.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+ANALYZER = REPO / "tools" / "analyze" / "pcdb_analyze.py"
+FIXTURES = HERE / "fixtures"
+
+# Fixtures whose subject is framework behaviour run under a stand-in
+# checker.
+CHECKER_FOR = {"suppression": "naked-mutex"}
+
+
+def run_analyzer(root, checker, fmt="text"):
+    cmd = [sys.executable, str(ANALYZER), "--root", str(root),
+           "--checker", checker, "--format", fmt]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def findings_only(stdout):
+    return [line for line in stdout.splitlines()
+            if line and not line.startswith("pcdb-analyze:")]
+
+
+def check(name, ok, detail=""):
+    print(f"{'ok' if ok else 'FAIL':4} {name}" + (f": {detail}" if detail
+                                                  else ""))
+    return ok
+
+
+def main():
+    failures = 0
+    fixture_dirs = sorted(p for p in FIXTURES.iterdir() if p.is_dir())
+    if not fixture_dirs:
+        print("no fixtures found", file=sys.stderr)
+        return 1
+
+    for fixture in fixture_dirs:
+        name = fixture.name
+        checker = CHECKER_FOR.get(name, name)
+        expected = (fixture / "expected.txt").read_text().splitlines()
+
+        proc = run_analyzer(fixture / "violation", checker)
+        got = findings_only(proc.stdout)
+        if not check(f"{name}/violation findings", got == expected):
+            failures += 1
+            for line in got:
+                print(f"    got: {line}")
+            for line in expected:
+                print(f"    want: {line}")
+        if not check(f"{name}/violation exit", proc.returncode == 1,
+                     f"exit={proc.returncode}"):
+            failures += 1
+
+        proc = run_analyzer(fixture / "conforming", checker)
+        got = findings_only(proc.stdout)
+        if not check(f"{name}/conforming clean",
+                     proc.returncode == 0 and got == []):
+            failures += 1
+            for line in got:
+                print(f"    got: {line}")
+
+    # Machine-readable output contracts, pinned on one violation tree.
+    probe = FIXTURES / "unchecked-status" / "violation"
+    expected_count = len((FIXTURES / "unchecked-status" /
+                          "expected.txt").read_text().splitlines())
+
+    proc = run_analyzer(probe, "unchecked-status", fmt="json")
+    try:
+        doc = json.loads(proc.stdout)
+        ok = (len(doc["findings"]) == expected_count
+              and all({"checker", "path", "line", "message"}
+                      <= set(f) for f in doc["findings"]))
+    except (json.JSONDecodeError, KeyError):
+        ok = False
+    if not check("json output contract", ok):
+        failures += 1
+
+    proc = run_analyzer(probe, "unchecked-status", fmt="sarif")
+    try:
+        doc = json.loads(proc.stdout)
+        run = doc["runs"][0]
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        results = run["results"]
+        ok = (doc["version"] == "2.1.0"
+              and run["tool"]["driver"]["name"] == "pcdb-analyze"
+              and len(results) == expected_count
+              and all(r["ruleId"] in rule_ids for r in results)
+              and all(r["locations"][0]["physicalLocation"]["region"]
+                      ["startLine"] >= 1 for r in results))
+    except (json.JSONDecodeError, KeyError, IndexError):
+        ok = False
+    if not check("sarif output contract", ok):
+        failures += 1
+
+    if failures:
+        print(f"{failures} golden check(s) failed", file=sys.stderr)
+        return 1
+    print(f"all {len(fixture_dirs)} fixtures + 2 format contracts pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -487,5 +487,70 @@ TEST(AnswerCodecTest, CorruptRowBatchSurfacesAsStatus) {
   EXPECT_FALSE(DecodeAnswer(encoded).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Per-frame payload codecs. EncodeAnswer/DecodeAnswer compose these, but
+// each pair is also the wire contract of its own frame type, so each gets
+// its own round-trip and truncation coverage.
+
+TEST(SchemaPayloadTest, RoundTripsAndRejectsTruncation) {
+  Result<AnnotatedTable> answer = EvalHardwareWarnings();
+  ASSERT_TRUE(answer.ok());
+  const Schema& schema = answer->data.schema();
+  ASSERT_GT(schema.arity(), 0u);
+
+  std::string payload = EncodeSchemaPayload(schema);
+  Result<Schema> decoded = DecodeSchemaPayload(payload);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->arity(), schema.arity());
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    EXPECT_EQ(decoded->column(i).name, schema.column(i).name);
+    EXPECT_EQ(decoded->column(i).type, schema.column(i).type);
+  }
+
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeSchemaPayload(payload.substr(0, cut)).ok())
+        << "truncation at " << cut << " decoded";
+  }
+}
+
+TEST(RowBatchPayloadTest, RoundTripsAndRejectsTruncation) {
+  Result<AnnotatedTable> answer = EvalHardwareWarnings();
+  ASSERT_TRUE(answer.ok());
+  const Table& table = answer->data;
+  ASSERT_GT(table.num_rows(), 0u);
+
+  std::string payload =
+      EncodeRowBatchPayload(table, /*begin=*/0, /*end=*/table.num_rows());
+  Table decoded(table.schema());
+  ASSERT_TRUE(DecodeRowBatchPayload(payload, &decoded).ok());
+  EXPECT_EQ(decoded.ToString(), table.ToString());
+
+  // A second decode into the same table appends: batches accumulate.
+  ASSERT_TRUE(DecodeRowBatchPayload(payload, &decoded).ok());
+  EXPECT_EQ(decoded.num_rows(), 2 * table.num_rows());
+
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    Table scratch(table.schema());
+    EXPECT_FALSE(DecodeRowBatchPayload(payload.substr(0, cut), &scratch).ok())
+        << "truncation at " << cut << " decoded";
+  }
+}
+
+TEST(PatternsPayloadTest, RoundTripsAndRejectsTruncation) {
+  Result<AnnotatedTable> answer = EvalHardwareWarnings();
+  ASSERT_TRUE(answer.ok());
+  ASSERT_GT(answer->patterns.size(), 0u);
+
+  std::string payload = EncodePatternsPayload(answer->patterns);
+  Result<PatternSet> decoded = DecodePatternsPayload(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->SetEquals(answer->patterns));
+
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodePatternsPayload(payload.substr(0, cut)).ok())
+        << "truncation at " << cut << " decoded";
+  }
+}
+
 }  // namespace
 }  // namespace pcdb

@@ -467,7 +467,8 @@ TEST_F(ServerTest, MalformedFrameClosesOnlyThatConnection) {
   // The server answers with one ERROR frame, then closes.
   char header[13];
   ASSERT_TRUE(raw->RecvExact(header, sizeof(header)).ok());
-  EXPECT_EQ(static_cast<uint8_t>(header[4]), 0x84u);  // kError
+  EXPECT_EQ(static_cast<uint8_t>(header[4]),
+            static_cast<uint8_t>(FrameType::kError));
   uint32_t payload_len = 0;
   std::memcpy(&payload_len, header, 4);
   std::string payload(payload_len, '\0');

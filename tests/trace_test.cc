@@ -164,8 +164,8 @@ TEST_F(TraceTest, SpanBalanceSurvivesTheFaultMatrix) {
         options.num_threads = threads;
         // The status is the fault matrix's concern
         // (fault_injection_test); here only the balance matters.
-        EvaluateAnnotated(MakeHardwareWarningsQuery(), adb, options)
-            .status();
+        static_cast<void>(
+            EvaluateAnnotated(MakeHardwareWarningsQuery(), adb, options));
         Failpoints::Global().Clear();
         EXPECT_EQ(Tracer::Global().OpenSpanCount(), baseline_open_)
             << site << (action == 0 ? " error" : " throw") << " threads="

@@ -1,0 +1,10 @@
+"""pcdb-analyze: the project's checker-framework static analysis.
+
+A lightweight, stdlib-only analysis pass over the repository's C++ (and
+the shell/python/markdown files some invariants span). Checkers register
+with the framework (see framework.py) and walk a shared source model
+(model.py); the driver (pcdb_analyze.py) runs them and renders findings
+as text, JSON, or SARIF.
+
+Run:  python3 tools/analyze/pcdb_analyze.py [--root REPO] [--checker C]...
+"""

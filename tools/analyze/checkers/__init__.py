@@ -1,0 +1,9 @@
+"""Checker modules; importing this package populates the registry."""
+
+from . import legacy  # noqa: F401
+from . import status  # noqa: F401
+from . import locks  # noqa: F401
+from . import protocol  # noqa: F401
+from . import failpoints  # noqa: F401
+from . import obs  # noqa: F401
+from . import blocking  # noqa: F401

@@ -1,0 +1,169 @@
+"""The seven original pcdb_lint.py rules, migrated to the framework.
+
+Rule semantics are unchanged from the retired standalone linter; only
+the comment stripping improved (string-literal aware, so a pattern
+inside a log message can no longer fire), and violations can now be
+suppressed inline with a justification.
+"""
+
+import pathlib
+import re
+
+from ..framework import Finding, checker
+
+# Layer -> layers it may include (itself always allowed).
+LAYER_DEPS = {
+    "common": set(),
+    "obs": {"common"},
+    "relational": {"common", "obs"},
+    "pattern": {"common", "obs", "relational"},
+    "sql": {"common", "obs", "relational", "pattern"},
+    "workloads": {"common", "obs", "relational", "pattern"},
+    "server": {"common", "obs", "relational", "pattern", "sql"},
+}
+
+NAKED_MUTEX_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b")
+NAKED_THREAD_RE = re.compile(r"std::thread\b")
+SETCELL_CALL_RE = re.compile(r"[.>]\s*SetCell\s*\(")
+INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"')
+ABORT_RE = re.compile(r"\b(?:std::)?(?:abort|exit|_Exit|quick_exit)\s*\(")
+
+# Raw Berkeley socket / poll syscalls. The leading lookbehinds reject
+# member calls (.send(, ->recv(), identifiers (my_bind(), and std::bind,
+# while still matching globally-qualified ::socket( forms.
+RAW_SOCKET_RE = re.compile(
+    r"(?<![A-Za-z0-9_.>])(?<!std::)"
+    r"(?:socket|bind|listen|accept4?|connect|send|sendto|recv|recvfrom|"
+    r"setsockopt|getsockopt|getsockname|getpeername|"
+    r"poll|epoll_create1|epoll_ctl|epoll_wait|shutdown)\s*\(")
+
+# Naked diagnostic output in library code. The lookbehind rejects the
+# bounded-buffer formatters (snprintf, vsnprintf) and member calls.
+NAKED_OUTPUT_RE = re.compile(
+    r"std::(cerr|cout|clog)\b"
+    r"|(?<![A-Za-z0-9_.>:])(?:printf|fprintf|vprintf|vfprintf|puts|fputs)"
+    r"\s*\(")
+
+MUTEX_ALLOWED = {"src/common/thread_annotations.h"}
+THREAD_ALLOWED = {"src/common/thread_pool.h", "src/common/thread_pool.cc"}
+ABORT_ALLOWED = {"src/common/logging.h", "fuzz/fuzz_util.h"}
+OUTPUT_ALLOWED = {"src/common/log.h", "src/common/log.cc",
+                  "src/common/logging.h"}
+
+
+def _layer_of(rel):
+    parts = pathlib.PurePosixPath(rel).parts
+    if len(parts) >= 3 and parts[0] == "src" and parts[1] in LAYER_DEPS:
+        return parts[1]
+    return None
+
+
+@checker("naked-mutex",
+         "std::mutex and friends only in common/thread_annotations.h")
+def naked_mutex(repo):
+    for sf in repo.cpp_files():
+        if sf.rel in MUTEX_ALLOWED or sf.rel in THREAD_ALLOWED:
+            continue
+        for lineno, code in enumerate(sf.pure_lines, start=1):
+            m = NAKED_MUTEX_RE.search(code)
+            if m:
+                yield Finding(
+                    "naked-mutex", sf.rel, lineno,
+                    f"use pcdb::Mutex/MutexLock/CondVar from "
+                    f"common/thread_annotations.h instead of {m.group(0)} "
+                    f"so Thread Safety Analysis sees every lock")
+
+
+@checker("naked-thread", "std::thread only in the ThreadPool implementation")
+def naked_thread(repo):
+    for sf in repo.cpp_files():
+        if sf.rel in THREAD_ALLOWED:
+            continue
+        for lineno, code in enumerate(sf.pure_lines, start=1):
+            if NAKED_THREAD_RE.search(code):
+                yield Finding(
+                    "naked-thread", sf.rel, lineno,
+                    "spawn work through pcdb::ThreadPool, not std::thread")
+
+
+@checker("pattern-mutation",
+         "Pattern::SetCell is reserved for src/pattern/ internals")
+def pattern_mutation(repo):
+    for sf in repo.cpp_files():
+        if sf.rel.startswith("src/pattern/"):
+            continue
+        for lineno, code in enumerate(sf.pure_lines, start=1):
+            if SETCELL_CALL_RE.search(code):
+                yield Finding(
+                    "pattern-mutation", sf.rel, lineno,
+                    "Pattern::SetCell is reserved for src/pattern/ "
+                    "internals; build patterns via constructors or the "
+                    "algebra API")
+
+
+@checker("layering",
+         "includes follow the layer DAG common < obs < relational < "
+         "pattern < {sql, workloads} < server")
+def layering(repo):
+    for sf in repo.cpp_files():
+        layer = _layer_of(sf.rel)
+        if layer is None:
+            continue
+        for lineno, code in enumerate(sf.code_lines, start=1):
+            m = INCLUDE_RE.match(code)
+            if not m:
+                continue
+            inc = m.group(1)
+            inc_layer = inc.split("/", 1)[0]
+            if (inc_layer in LAYER_DEPS and inc_layer != layer
+                    and inc_layer not in LAYER_DEPS[layer]):
+                yield Finding(
+                    "layering", sf.rel, lineno,
+                    f'src/{layer}/ must not include "{inc}" '
+                    f"(allowed: {sorted(LAYER_DEPS[layer] | {layer})})")
+
+
+@checker("no-abort",
+         "library code reports failures as Status, never terminates")
+def no_abort(repo):
+    for sf in repo.cpp_files():
+        if sf.rel in ABORT_ALLOWED:
+            continue
+        for lineno, code in enumerate(sf.pure_lines, start=1):
+            if ABORT_RE.search(code):
+                yield Finding(
+                    "no-abort", sf.rel, lineno,
+                    "return a Status instead of terminating; only "
+                    "common/logging.h (PCDB_CHECK) and fuzz/fuzz_util.h "
+                    "may abort the process")
+
+
+@checker("raw-socket",
+         "Berkeley socket / poll syscalls confined to src/server/net_*")
+def raw_socket(repo):
+    for sf in repo.cpp_files():
+        if sf.rel.startswith("src/server/net_"):
+            continue
+        for lineno, code in enumerate(sf.pure_lines, start=1):
+            if RAW_SOCKET_RE.search(code):
+                yield Finding(
+                    "raw-socket", sf.rel, lineno,
+                    "raw socket/poll syscalls are confined to "
+                    "src/server/net_*; use the Socket/Listener wrappers")
+
+
+@checker("naked-output",
+         "src/ diagnostics go through common/log.h, not stdout/stderr")
+def naked_output(repo):
+    for sf in repo.cpp_files():
+        if not sf.rel.startswith("src/") or sf.rel in OUTPUT_ALLOWED:
+            continue
+        for lineno, code in enumerate(sf.pure_lines, start=1):
+            if NAKED_OUTPUT_RE.search(code):
+                yield Finding(
+                    "naked-output", sf.rel, lineno,
+                    "emit diagnostics through common/log.h (LogInfo/"
+                    "LogWarn/LogError), not std::cerr/std::cout/printf")

@@ -1,0 +1,153 @@
+"""lock-hierarchy: every observed lock nesting is declared and acyclic.
+
+The inputs are the Clang Thread Safety annotations the codebase already
+carries: `Mutex m PCDB_ACQUIRED_BEFORE(other);` (or _AFTER) member
+declarations define the directed acquisition-order graph. The checker:
+
+1. builds the declared graph from src/ headers and rejects cycles —
+   an acyclic declared order is what makes deadlock impossible;
+2. lexically scans every function body for nested MutexLock scopes
+   (a MutexLock constructed while another is live in an enclosing or
+   preceding scope of the same function) and requires the observed
+   (outer, inner) pair to be a declared edge.
+
+Mutexes are identified by member name (write_mu_, db_mu_); the scan is
+per-function, so cross-function nesting through calls is out of scope —
+that is what the runtime TSan job is for. The lexical pass catches the
+common case (two MutexLock locals in one body) at zero runtime cost and
+forces every such nesting to be annotated where readers look for it.
+"""
+
+import re
+
+from ..framework import Finding, checker
+
+MUTEX_DECL_RE = re.compile(
+    r"\bMutex\s+(\w+)\s*"
+    r"(?:PCDB_ACQUIRED_(BEFORE|AFTER)\s*\(([^)]*)\))?\s*;")
+
+LOCK_RE = re.compile(r"\bMutexLock\s+\w+\s*\(\s*&?([\w.\->]+)")
+
+
+def _normalize(expr):
+    """`&this->write_mu_` / `buffer->mu` -> last member component."""
+    expr = expr.strip().lstrip("&")
+    for sep in ("->", ".", "::"):
+        if sep in expr:
+            expr = expr.rsplit(sep, 1)[1]
+    return expr
+
+
+def _declared_edges(repo):
+    """(outer, inner) pairs from PCDB_ACQUIRED_BEFORE/AFTER, with the
+    file/line of the declaration for findings."""
+    edges = {}
+    for sf in repo.src_headers():
+        for m in MUTEX_DECL_RE.finditer(sf.pure):
+            name, kind, args = m.group(1), m.group(2), m.group(3)
+            if not kind:
+                continue
+            line = sf.pure.count("\n", 0, m.start()) + 1
+            for other in (a.strip() for a in args.split(",")):
+                other = _normalize(other)
+                if not other:
+                    continue
+                pair = ((name, other) if kind == "BEFORE"
+                        else (other, name))
+                edges.setdefault(pair, (sf.rel, line))
+    return edges
+
+
+def _find_cycle(edges):
+    graph = {}
+    for (a, b) in edges:
+        graph.setdefault(a, set()).add(b)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in graph}
+    stack = []
+
+    def dfs(n):
+        color[n] = GREY
+        stack.append(n)
+        for nxt in graph.get(n, ()):
+            if color.get(nxt, WHITE) == GREY:
+                return stack[stack.index(nxt):] + [nxt]
+            if color.get(nxt, WHITE) == WHITE:
+                cyc = dfs(nxt)
+                if cyc:
+                    return cyc
+        stack.pop()
+        color[n] = BLACK
+        return None
+
+    for n in list(graph):
+        if color[n] == WHITE:
+            cyc = dfs(n)
+            if cyc:
+                return cyc
+    return None
+
+
+def _observed_nestings(sf):
+    """Yields (outer, inner, lineno) for MutexLock scopes nested within
+    one function body, tracked by brace depth."""
+    depth = 0
+    active = []  # (decl_depth, mutex_name)
+    line = 1
+    pure = sf.pure
+    i, n = 0, len(pure)
+    while i < n:
+        c = pure[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c == "{":
+            depth += 1
+            i += 1
+            continue
+        if c == "}":
+            depth -= 1
+            active = [(d, m) for (d, m) in active if d <= depth]
+            if depth <= 0:
+                depth = 0
+                active = []
+            i += 1
+            continue
+        if c == "M":
+            m = LOCK_RE.match(pure, i)
+            if m:
+                inner = _normalize(m.group(1))
+                for _, outer in active:
+                    if outer != inner:
+                        yield outer, inner, line
+                active.append((depth, inner))
+                i = m.end()
+                continue
+        i += 1
+
+
+@checker("lock-hierarchy",
+         "nested MutexLock scopes follow the declared "
+         "PCDB_ACQUIRED_BEFORE/AFTER order, which must be acyclic")
+def lock_hierarchy(repo):
+    edges = _declared_edges(repo)
+
+    cycle = _find_cycle(edges)
+    if cycle:
+        first = edges[(cycle[0], cycle[1])]
+        yield Finding(
+            "lock-hierarchy", first[0], first[1],
+            "declared lock order is cyclic: " + " -> ".join(cycle)
+            + "; a cyclic acquisition order permits deadlock")
+
+    for sf in repo.src_cpp_files():
+        for outer, inner, line in _observed_nestings(sf):
+            if (outer, inner) in edges:
+                continue
+            yield Finding(
+                "lock-hierarchy", sf.rel, line,
+                f"'{inner}' acquired while '{outer}' is held, but no "
+                f"PCDB_ACQUIRED_BEFORE/AFTER declares the edge "
+                f"{outer} -> {inner}; annotate the Mutex member or "
+                f"restructure the scopes")

@@ -1,0 +1,132 @@
+"""obs-registry: metric and span names exist in exactly one place.
+
+src/obs/names.h declares every metric and trace-span name as a
+constant, plus the kAllSpanNames / kAllMetricNames completeness tables
+that tools/check_trace.py and the dashboards consume. The checker
+enforces the registry contract:
+
+  - every kSpan*/kMetric* constant appears in its kAll* table;
+  - every table entry is a declared constant, with no duplicates;
+  - name values are unique within their namespace;
+  - no constant is dead (each is referenced somewhere in src/ outside
+    names.h — a dead name is a dashboard entry that never reports);
+  - call sites in src/ pass constants, not string literals, to
+    GetCounter / GetGauge / GetHistogram / PCDB_TRACE_SPAN /
+    RecordInterval. Tests are exempt: asserting on the literal wire
+    value of a name is exactly what a test should do.
+
+Silent on trees without src/obs/names.h.
+"""
+
+import re
+
+from ..framework import Finding, checker
+
+NAMES_H = "src/obs/names.h"
+
+CONST_RE = re.compile(
+    r"inline\s+constexpr\s+char\s+(k\w+)\[\]\s*=\s*\n?\s*\"([^\"]*)\"")
+TABLE_RE = re.compile(
+    r"inline\s+constexpr\s+const\s+char\s*\*\s*(kAll\w+)\[\]\s*=\s*"
+    r"\{(.*?)\};", re.DOTALL)
+LITERAL_CALL_RE = re.compile(
+    r"\b(GetCounter|GetGauge|GetHistogram|PCDB_TRACE_SPAN|RecordInterval)"
+    r"\s*\(\s*\"")
+
+
+def _constants(sf):
+    """name -> (value, line), parsed from the raw text (CONST_RE spans
+    the line break of wrapped declarations, which pure-view blanking
+    preserves)."""
+    out = {}
+    for m in CONST_RE.finditer(sf.text):
+        line = sf.text.count("\n", 0, m.start()) + 1
+        out[m.group(1)] = (m.group(2), line)
+    return out
+
+
+def _tables(sf):
+    """table name -> (entries list, line)."""
+    out = {}
+    for m in TABLE_RE.finditer(sf.text):
+        line = sf.text.count("\n", 0, m.start()) + 1
+        entries = re.findall(r"\bk\w+\b", m.group(2))
+        out[m.group(1)] = (entries, line)
+    return out
+
+
+@checker("obs-registry",
+         "metric/span names live only in src/obs/names.h; call sites "
+         "reference the constants and the kAll* tables are complete")
+def obs_registry(repo):
+    names_h = repo.get(NAMES_H)
+    if names_h is None:
+        return
+
+    consts = _constants(names_h)
+    tables = _tables(names_h)
+
+    groups = (("kSpan", "kAllSpanNames"), ("kMetric", "kAllMetricNames"))
+    for prefix, table_name in groups:
+        members = {n: v for n, v in consts.items() if n.startswith(prefix)}
+        entries, table_line = tables.get(table_name, ([], None))
+        if table_line is None:
+            yield Finding("obs-registry", NAMES_H, 1,
+                          f"registry table {table_name} is missing")
+            continue
+        entry_set = set()
+        for e in entries:
+            if e in entry_set:
+                yield Finding(
+                    "obs-registry", NAMES_H, table_line,
+                    f"{table_name} lists {e} more than once")
+            entry_set.add(e)
+            if e not in members:
+                yield Finding(
+                    "obs-registry", NAMES_H, table_line,
+                    f"{table_name} entry {e} is not a declared "
+                    f"{prefix}* constant")
+        values = {}
+        for name, (value, line) in sorted(members.items()):
+            if name not in entry_set:
+                yield Finding(
+                    "obs-registry", NAMES_H, line,
+                    f"{name} is missing from {table_name}; the table "
+                    f"must list every {prefix}* constant")
+            if value in values:
+                yield Finding(
+                    "obs-registry", NAMES_H, line,
+                    f"{name} reuses the name \"{value}\" already "
+                    f"declared by {values[value]}")
+            else:
+                values[value] = name
+
+    # Dead constants: never referenced in src/ outside names.h. The
+    # kAll* tables themselves are consumed by tools, so they are
+    # exempt from the liveness requirement.
+    uses = set()
+    for sf in repo.src_cpp_files():
+        if sf.rel == NAMES_H:
+            continue
+        uses.update(re.findall(r"\bk(?:Span|Metric|All)\w+\b", sf.pure))
+    for name, (_, line) in sorted(consts.items()):
+        if name.startswith("kAll"):
+            continue
+        if name not in uses:
+            yield Finding(
+                "obs-registry", NAMES_H, line,
+                f"{name} is declared but never used in src/; a dead "
+                f"name is a dashboard entry that never reports")
+
+    # String-literal call sites in src/.
+    for sf in repo.src_cpp_files():
+        if sf.rel == NAMES_H:
+            continue
+        for lineno, code in enumerate(sf.code_lines, start=1):
+            m = LITERAL_CALL_RE.search(code)
+            if m:
+                yield Finding(
+                    "obs-registry", sf.rel, lineno,
+                    f"{m.group(1)} called with a string literal; pass a "
+                    f"constant from obs/names.h so the registry stays "
+                    f"the single source of truth")

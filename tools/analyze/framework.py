@@ -1,0 +1,189 @@
+"""Checker registry, runner, and output formats for pcdb-analyze.
+
+A checker is a function taking a model.Repo and yielding Findings. It
+registers itself with the @checker decorator; importing the checkers
+package populates the registry. The runner applies inline suppressions
+(model.Suppression) after all checkers have run, then audits the
+suppression inventory itself: an allow() that is unjustified, names an
+unknown checker, or matched nothing is reported under the reserved
+checker name "suppression".
+"""
+
+import json
+
+SUPPRESSION_CHECKER = "suppression"
+
+
+class Finding:
+    def __init__(self, checker, rel, line, message):
+        self.checker = checker
+        self.rel = rel
+        self.line = line
+        self.message = message
+
+    def sort_key(self):
+        return (self.rel, self.line, self.checker, self.message)
+
+    def render(self):
+        return f"{self.rel}:{self.line}: [{self.checker}] {self.message}"
+
+
+CHECKERS = {}  # name -> (function, one-line help)
+
+
+def checker(name, help_text):
+    if name == SUPPRESSION_CHECKER:
+        raise ValueError(f"'{SUPPRESSION_CHECKER}' is reserved")
+
+    def register(fn):
+        if name in CHECKERS:
+            raise ValueError(f"duplicate checker {name!r}")
+        CHECKERS[name] = (fn, help_text)
+        return fn
+    return register
+
+
+def run(repo, names=None):
+    """Runs checkers and returns (findings, stats).
+
+    `names=None` runs every registered checker and additionally reports
+    unused suppressions; with an explicit subset, unused-suppression
+    auditing is limited to the selected checkers (an allow() for a
+    checker that did not run cannot be judged unused).
+    """
+    all_selected = names is None
+    selected = sorted(CHECKERS) if all_selected else list(names)
+    for name in selected:
+        if name not in CHECKERS:
+            raise KeyError(f"unknown checker {name!r} "
+                           f"(known: {', '.join(sorted(CHECKERS))})")
+
+    raw = []
+    for name in selected:
+        fn, _ = CHECKERS[name]
+        for f in fn(repo):
+            raw.append(f)
+
+    findings = []
+    suppressed = 0
+    for f in sorted(raw, key=Finding.sort_key):
+        sf = repo.get(f.rel)
+        hit = None
+        if sf is not None:
+            for sup in sf.suppressions:
+                if (sup.checker == f.checker and sup.covers == f.line
+                        and sup.justification):
+                    hit = sup
+                    break
+        if hit is not None:
+            hit.used = True
+            suppressed += 1
+        else:
+            findings.append(f)
+
+    # Audit the suppression inventory across every scanned file.
+    for sf in repo.files():
+        for sup in sf.suppressions:
+            if not sup.justification:
+                findings.append(Finding(
+                    SUPPRESSION_CHECKER, sf.rel, sup.line,
+                    f"allow({sup.checker}) needs a justification: "
+                    f"write 'pcdb-analyze: allow({sup.checker}): <why>'"))
+                continue
+            if sup.checker not in CHECKERS:
+                findings.append(Finding(
+                    SUPPRESSION_CHECKER, sf.rel, sup.line,
+                    f"allow({sup.checker}) names an unknown checker "
+                    f"(known: {', '.join(sorted(CHECKERS))})"))
+                continue
+            if (not sup.used and (all_selected or sup.checker in selected)):
+                findings.append(Finding(
+                    SUPPRESSION_CHECKER, sf.rel, sup.line,
+                    f"allow({sup.checker}) matched no finding; delete "
+                    f"the stale suppression"))
+
+    findings.sort(key=Finding.sort_key)
+    stats = {
+        "files": len(repo.files()),
+        "checkers": selected,
+        "suppressed": suppressed,
+    }
+    return findings, stats
+
+
+# --- Output formats -------------------------------------------------------
+
+def render_text(findings, stats):
+    out = [f.render() for f in findings]
+    if findings:
+        out.append(f"pcdb-analyze: {len(findings)} finding(s) in "
+                   f"{stats['files']} files "
+                   f"({stats['suppressed']} suppressed)")
+    else:
+        out.append(f"pcdb-analyze: OK ({stats['files']} files, "
+                   f"{len(stats['checkers'])} checkers, "
+                   f"{stats['suppressed']} suppressed)")
+    return "\n".join(out) + "\n"
+
+
+def render_json(findings, stats):
+    return json.dumps({
+        "findings": [{"checker": f.checker, "path": f.rel, "line": f.line,
+                      "message": f.message} for f in findings],
+        "files_scanned": stats["files"],
+        "checkers": stats["checkers"],
+        "suppressed": stats["suppressed"],
+    }, indent=2) + "\n"
+
+
+def render_sarif(findings, stats):
+    """SARIF 2.1.0, the exchange format CI systems ingest natively."""
+    rule_ids = sorted({f.checker for f in findings}
+                      | set(stats["checkers"]) | {SUPPRESSION_CHECKER})
+    rules = []
+    for rid in rule_ids:
+        help_text = (CHECKERS[rid][1] if rid in CHECKERS
+                     else "suppression inventory audit")
+        rules.append({
+            "id": rid,
+            "shortDescription": {"text": help_text},
+            "defaultConfiguration": {"level": "error"},
+        })
+    results = []
+    for f in findings:
+        results.append({
+            "ruleId": f.checker,
+            "ruleIndex": rule_ids.index(f.checker),
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.rel,
+                                         "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": max(f.line, 1)},
+                },
+            }],
+        })
+    doc = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "pcdb-analyze",
+                "informationUri":
+                    "docs/STATIC_ANALYSIS.md",
+                "rules": rules,
+            }},
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2) + "\n"
+
+
+FORMATS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

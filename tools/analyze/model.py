@@ -1,0 +1,267 @@
+"""Source model shared by all pcdb-analyze checkers.
+
+The model is deliberately lexical, not syntactic: a real C++ frontend is
+out of scope for a stdlib-only tool, and every invariant the checkers
+enforce is visible at the token level once comments and string literals
+are classified correctly. Each file is loaded once into a SourceFile
+carrying three views of every line:
+
+  raw   the text exactly as on disk (suppression comments live here)
+  code  comment text blanked, string literals intact (checkers that
+        match site strings, e.g. PCDB_FAILPOINT("csv.read"), use this)
+  pure  comment text AND string/char literal contents blanked, quotes
+        kept (checkers that reason about code shape use this so a
+        pattern inside a log message can never fire)
+
+Blanking preserves length and line structure, so column and line
+numbers in findings always refer to the file on disk.
+
+Suppressions
+------------
+A finding is suppressed by an inline comment with a mandatory
+justification:
+
+    // pcdb-analyze: allow(<checker>): <why>
+    #  pcdb-analyze: allow(<checker>): <why>     (shell / python)
+
+A trailing comment covers its own line; a comment alone on a line
+covers the next line. An allow() without a justification, naming an
+unknown checker, or matching no finding is itself reported (checker
+name "suppression"), so the suppression inventory can never rot.
+"""
+
+import pathlib
+import re
+
+CXX_SUFFIXES = {".h", ".cc", ".cpp"}
+TEXT_SUFFIXES = CXX_SUFFIXES | {".py", ".sh", ".md"}
+
+# Directories scanned relative to the root. docs/ rides along because
+# failpoint-drift cross-checks docs/ROBUSTNESS.md against the code.
+SCAN_DIRS = ("src", "tools", "tests", "fuzz", "bench", "examples", "docs")
+
+# Subtrees never scanned: golden-fixture mini-repos contain deliberate
+# violations and are analyzed only via an explicit --root.
+EXCLUDED_PARTS = {"fixtures", "build", "__pycache__", "corpus"}
+
+SUPPRESS_RE = re.compile(
+    r"(?://|#)\s*pcdb-analyze:\s*allow\(([A-Za-z0-9_-]+)\)"
+    r"(?::\s*(\S.*))?\s*$")
+
+
+class Suppression:
+    """One allow() comment: which checker, where, and why."""
+
+    def __init__(self, checker, line, own_line, justification):
+        self.checker = checker
+        self.line = line            # 1-based line the comment sits on
+        self.own_line = own_line    # True -> covers line + 1, else line
+        self.justification = justification
+        self.used = False
+
+    @property
+    def covers(self):
+        return self.line + 1 if self.own_line else self.line
+
+
+def _strip_cpp(text):
+    """Returns (code, pure) for C++ text; both same length as text."""
+    code = []
+    pure = []
+    i, n = 0, len(text)
+    NORMAL, LINE, BLOCK, STR, CHAR, RAW = range(6)
+    state = NORMAL
+    raw_close = ""
+    while i < n:
+        c = text[i]
+        if state == NORMAL:
+            if text.startswith("//", i):
+                state = LINE
+                code.append("  ")
+                pure.append("  ")
+                i += 2
+            elif text.startswith("/*", i):
+                state = BLOCK
+                code.append("  ")
+                pure.append("  ")
+                i += 2
+            elif text.startswith('R"', i):
+                m = re.match(r'R"([^\s()\\]{0,16})\(', text[i:])
+                if m:
+                    state = RAW
+                    raw_close = ")" + m.group(1) + '"'
+                    skip = len(m.group(0))
+                    code.append(text[i:i + skip])
+                    pure.append('R"' + " " * (skip - 3) + "(")
+                    i += skip
+                else:
+                    code.append(c)
+                    pure.append(c)
+                    i += 1
+            elif c == '"':
+                state = STR
+                code.append(c)
+                pure.append(c)
+                i += 1
+            elif c == "'" and not (i > 0 and (text[i - 1].isalnum()
+                                              or text[i - 1] == "_")):
+                # Apostrophes as digit separators (1'000'000) are
+                # preceded by an alnum; real char literals are not.
+                state = CHAR
+                code.append(c)
+                pure.append(c)
+                i += 1
+            else:
+                code.append(c)
+                pure.append(c)
+                i += 1
+        elif state == LINE:
+            if c == "\n":
+                state = NORMAL
+                code.append(c)
+                pure.append(c)
+            else:
+                code.append(" ")
+                pure.append(" ")
+            i += 1
+        elif state == BLOCK:
+            if text.startswith("*/", i):
+                state = NORMAL
+                code.append("  ")
+                pure.append("  ")
+                i += 2
+            else:
+                code.append(c if c == "\n" else " ")
+                pure.append(c if c == "\n" else " ")
+                i += 1
+        elif state in (STR, CHAR):
+            quote = '"' if state == STR else "'"
+            if c == "\\" and i + 1 < n:
+                code.append(text[i:i + 2])
+                pure.append("  ")
+                i += 2
+            elif c == quote:
+                state = NORMAL
+                code.append(c)
+                pure.append(c)
+                i += 1
+            else:
+                code.append(c)
+                pure.append(c if c == "\n" else " ")
+                i += 1
+        else:  # RAW
+            if text.startswith(raw_close, i):
+                skip = len(raw_close)
+                code.append(text[i:i + skip])
+                pure.append(" " * (skip - 1) + '"')
+                state = NORMAL
+                i += skip
+            else:
+                code.append(c)
+                pure.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(code), "".join(pure)
+
+
+def _strip_hash(text):
+    """Comment-stripped view for '#'-comment languages (sh, py).
+
+    Good enough for the cross-file invariants that reach into ci.sh:
+    a '#' inside a quoted string is rare there and never load-bearing.
+    pcdb-analyze suppression comments are read from the raw view, so
+    stripping them here is harmless.
+    """
+    out = []
+    for line in text.split("\n"):
+        idx = line.find("#")
+        if idx >= 0 and not line.lstrip().startswith("#!"):
+            line = line[:idx] + " " * (len(line) - idx)
+        out.append(line)
+    return "\n".join(out)
+
+
+class SourceFile:
+    def __init__(self, rel, text):
+        self.rel = rel
+        self.text = text
+        self.lines = text.split("\n")
+        suffix = pathlib.PurePosixPath(rel).suffix
+        self.is_cpp = suffix in CXX_SUFFIXES
+        if self.is_cpp:
+            code, pure = _strip_cpp(text)
+        elif suffix in (".py", ".sh"):
+            code = _strip_hash(text)
+            pure = code
+        else:  # markdown and anything else: no comment syntax
+            code = text
+            pure = text
+        self.code = code
+        self.pure = pure
+        self.code_lines = code.split("\n")
+        self.pure_lines = pure.split("\n")
+        # Markdown has no comment syntax to carry a real suppression;
+        # allow() lines there are documentation examples, not inventory.
+        self.suppressions = ([] if suffix == ".md"
+                             else self._parse_suppressions())
+
+    def _parse_suppressions(self):
+        sups = []
+        for lineno, line in enumerate(self.lines, start=1):
+            m = SUPPRESS_RE.search(line)
+            if not m:
+                continue
+            before = line[:m.start()].strip()
+            own_line = before == "" or before in ("//", "#")
+            sups.append(Suppression(
+                checker=m.group(1), line=lineno, own_line=own_line,
+                justification=(m.group(2) or "").strip()))
+        return sups
+
+
+class Repo:
+    """All scanned files under a root, loaded lazily and cached."""
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+        self._files = None
+        self._by_rel = {}
+
+    def get(self, rel):
+        """The SourceFile at `rel`, loading on demand; None if absent."""
+        if rel in self._by_rel:
+            return self._by_rel[rel]
+        path = self.root / rel
+        sf = None
+        if path.is_file():
+            sf = SourceFile(rel, path.read_text(encoding="utf-8",
+                                                errors="replace"))
+        self._by_rel[rel] = sf
+        return sf
+
+    def files(self):
+        if self._files is None:
+            self._files = []
+            for subdir in SCAN_DIRS:
+                base = self.root / subdir
+                if not base.is_dir():
+                    continue
+                for path in sorted(base.rglob("*")):
+                    if not path.is_file():
+                        continue
+                    if path.suffix not in TEXT_SUFFIXES:
+                        continue
+                    rel_parts = path.relative_to(self.root).parts
+                    if EXCLUDED_PARTS.intersection(rel_parts):
+                        continue
+                    rel = path.relative_to(self.root).as_posix()
+                    self._files.append(self.get(rel))
+        return self._files
+
+    def cpp_files(self):
+        return [f for f in self.files() if f.is_cpp]
+
+    def src_cpp_files(self):
+        return [f for f in self.cpp_files() if f.rel.startswith("src/")]
+
+    def src_headers(self):
+        return [f for f in self.src_cpp_files() if f.rel.endswith(".h")]

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""pcdb-analyze: run the project's checker-framework static analysis.
+
+    python3 tools/analyze/pcdb_analyze.py [--root REPO]
+        [--checker NAME]... [--format text|json|sarif] [--output FILE]
+        [--list-checkers]
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+
+The analysis model, checker registry, and suppression syntax are
+documented in docs/STATIC_ANALYSIS.md and tools/analyze/model.py.
+"""
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from analyze import framework  # noqa: E402
+from analyze import checkers  # noqa: E402,F401  (populates the registry)
+from analyze import model  # noqa: E402
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="pcdb-analyze", description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=None,
+        help="repository root (default: two levels above this script)")
+    parser.add_argument(
+        "--checker", action="append", metavar="NAME",
+        help="run only this checker (repeatable; default: all)")
+    parser.add_argument(
+        "--format", choices=sorted(framework.FORMATS), default="text")
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the report here instead of stdout")
+    parser.add_argument(
+        "--list-checkers", action="store_true",
+        help="print registered checkers and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_checkers:
+        width = max(len(n) for n in framework.CHECKERS)
+        for name in sorted(framework.CHECKERS):
+            print(f"{name:<{width}}  {framework.CHECKERS[name][1]}")
+        return 0
+
+    root = (pathlib.Path(args.root) if args.root
+            else pathlib.Path(__file__).resolve().parent.parent.parent)
+    if not root.is_dir():
+        print(f"pcdb-analyze: no such root: {root}", file=sys.stderr)
+        return 2
+
+    repo = model.Repo(root)
+    try:
+        findings, stats = framework.run(repo, args.checker)
+    except KeyError as err:
+        print(f"pcdb-analyze: {err.args[0]}", file=sys.stderr)
+        return 2
+
+    report = framework.FORMATS[args.format](findings, stats)
+    if args.output:
+        pathlib.Path(args.output).write_text(report, encoding="utf-8")
+        # A one-line verdict still lands on stdout so CI logs are
+        # self-explanatory even when the report goes to a file.
+        print(f"pcdb-analyze: {len(findings)} finding(s), report "
+              f"written to {args.output}")
+    else:
+        sys.stdout.write(report)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

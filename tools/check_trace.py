@@ -11,6 +11,10 @@ A file passes when:
     displayTimeUnit == "ms";
   * every event is a complete ("ph": "X") event carrying name, cat, ph,
     ts, dur, pid, tid with non-negative timing;
+  * every span name resolves to a kSpan* constant in the observability
+    registry (src/obs/names.h) — an unknown name means someone bypassed
+    the registry with a string literal, which the obs-registry checker
+    in pcdb-analyze bans at the source level;
   * span args that carry ids (trace_id, span_id) are positive;
   * on each (pid, tid) the spans nest: sorted by start time, no span
     partially overlaps an enclosing one. RAII spans strictly nest per
@@ -29,9 +33,28 @@ import argparse
 import collections
 import json
 import pathlib
+import re
 import sys
 
 REQUIRED_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+
+NAMES_HEADER = (pathlib.Path(__file__).resolve().parent.parent
+                / "src" / "obs" / "names.h")
+
+# Matches the registry declarations in names.h, including ones whose
+# string value wraps to the next line.
+SPAN_CONST_RE = re.compile(
+    r"inline\s+constexpr\s+char\s+kSpan\w+\[\]\s*=\s*\n?\s*\"([^\"]*)\"")
+
+
+def load_span_registry(header=NAMES_HEADER):
+    """Span names declared in the observability registry, or None when
+    the header is unavailable (running against a bare trace dump)."""
+    try:
+        text = header.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    return frozenset(m.group(1) for m in SPAN_CONST_RE.finditer(text))
 
 # Non-RAII intervals recorded after the fact (Tracer::RecordInterval):
 # their [start, end) lies on the recording thread's track but measures
@@ -40,7 +63,7 @@ REQUIRED_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
 ASYNC_INTERVAL_NAMES = frozenset({"server.queue_wait"})
 
 
-def check_file(path):
+def check_file(path, registry=None):
     """Returns (errors, num_events) for one trace file."""
     errors = []
     try:
@@ -69,6 +92,11 @@ def check_file(path):
             continue
         if not ev["name"]:
             errors.append(f"event {i}: empty name")
+        elif registry is not None and ev["name"] not in registry:
+            errors.append(
+                f"event {i}: span name '{ev['name']}' is not declared "
+                f"in src/obs/names.h — add a kSpan* constant to the "
+                f"registry instead of tracing with a string literal")
         if ev["ts"] < 0 or ev["dur"] < 0:
             errors.append(f"event {i} ({ev['name']}): negative timing")
             continue
@@ -111,7 +139,17 @@ def main():
     parser.add_argument("--min-events", type=int, default=1,
                         help="fail unless at least N events total "
                              "(default 1)")
+    parser.add_argument("--names-header", type=pathlib.Path,
+                        default=NAMES_HEADER,
+                        help="observability registry header to validate "
+                             "span names against (default: "
+                             "src/obs/names.h next to this script)")
     args = parser.parse_args()
+
+    registry = load_span_registry(args.names_header)
+    if registry is None:
+        print(f"check_trace: note: {args.names_header} not found; "
+              f"span-name registry validation skipped", file=sys.stderr)
 
     files = []
     for raw in args.paths:
@@ -127,7 +165,7 @@ def main():
     failed = False
     total_events = 0
     for path in files:
-        errors, count = check_file(path)
+        errors, count = check_file(path, registry)
         total_events += count
         for err in errors:
             print(f"{path}: {err}")

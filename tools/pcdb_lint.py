@@ -1,230 +1,27 @@
 #!/usr/bin/env python3
-"""Project-specific lint rules that clang-tidy cannot express.
+"""Deprecated shim: pcdb_lint.py grew into pcdb-analyze.
 
-Run from anywhere:  python3 tools/pcdb_lint.py  [--root REPO]
+The seven original lint rules live on as checkers in the framework at
+tools/analyze/ (see docs/STATIC_ANALYSIS.md), alongside the deeper
+cross-cutting invariants (unchecked-status, lock-hierarchy,
+protocol-consistency, failpoint-drift, obs-registry, blocking-in-loop).
+This shim keeps old invocations and muscle memory working by exec'ing
+the analyzer with the same arguments; switch scripts to
 
-Rules
------
- 1. naked-mutex       std::mutex / std::condition_variable / lock_guard /
-                      unique_lock / scoped_lock / shared_mutex may appear
-                      only in src/common/thread_annotations.h.  Everything
-                      else must use the annotated Mutex / MutexLock /
-                      CondVar wrappers so Clang Thread Safety Analysis
-                      sees every lock in the program.
- 2. naked-thread      std::thread may appear only in the ThreadPool
-                      implementation (src/common/thread_pool.{h,cc}).
-                      Ad-hoc threads bypass the wait-group discipline and
-                      the deterministic chunk-merge idiom.
- 3. pattern-mutation  Pattern::SetCell (raw, index-trusting mutation) may
-                      be called only inside src/pattern/, where indexes
-                      are derived from the pattern's own arity.  All other
-                      code builds patterns through constructors and the
-                      arity-checked algebra operators.
- 4. layering          Project includes must follow the layer DAG
-                      common < relational < pattern < {sql, workloads}.
-                      tests/, bench/, examples/, fuzz/, tools/ may include
-                      any layer.
- 5. no-abort          std::abort / exit / _Exit / quick_exit may appear
-                      only in src/common/logging.h (PCDB_CHECK's last
-                      resort) and fuzz/fuzz_util.h (libFuzzer crash
-                      reporting).  Library code reports failures as
-                      Status so injected faults, deadlines, and budget
-                      trips can never terminate the process.
- 6. raw-socket        Berkeley socket / poll syscalls (socket, bind,
-                      listen, accept, connect, send, recv, setsockopt,
-                      poll, shutdown, ...) may appear only in
-                      src/server/net_*.  Everything else — including the
-                      server loop, clients, tools, and tests — goes
-                      through the Socket/Listener wrappers so EINTR
-                      handling, timeouts, and the server.* failpoints
-                      live in exactly one place.
- 7. naked-output      std::cerr / std::cout / std::clog and the printf
-                      family may appear in src/ only inside the
-                      structured logger (src/common/log.{h,cc}) and
-                      PCDB_CHECK's last-resort reporting
-                      (src/common/logging.h).  Library code emits
-                      diagnostics through common/log.h (LogInfo/LogWarn/
-                      LogError), which produces machine-parseable JSON
-                      lines and honours PCDB_LOG_LEVEL.  tools/, tests/,
-                      bench/, examples/ and fuzz/ are exempt: stdout is
-                      their user interface.
+    python3 tools/analyze/pcdb_analyze.py
 
-Exit status is 0 when clean, 1 when any rule fires.
+at your leisure.
 """
 
-import argparse
+import os
 import pathlib
-import re
 import sys
 
-SRC_SUBDIRS = ("src",)
-EXTRA_SUBDIRS = ("tests", "bench", "examples", "fuzz", "tools")
-CXX_SUFFIXES = {".h", ".cc", ".cpp"}
-
-# Layer -> layers it may include (itself always allowed).
-LAYER_DEPS = {
-    "common": set(),
-    "obs": {"common"},
-    "relational": {"common", "obs"},
-    "pattern": {"common", "obs", "relational"},
-    "sql": {"common", "obs", "relational", "pattern"},
-    "workloads": {"common", "obs", "relational", "pattern"},
-    "server": {"common", "obs", "relational", "pattern", "sql"},
-}
-
-NAKED_MUTEX_RE = re.compile(
-    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
-    r"condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|"
-    r"shared_lock)\b"
-)
-NAKED_THREAD_RE = re.compile(r"std::thread\b")
-SETCELL_CALL_RE = re.compile(r"[.>]\s*SetCell\s*\(")
-INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"')
-
-ABORT_RE = re.compile(r"\b(?:std::)?(?:abort|exit|_Exit|quick_exit)\s*\(")
-
-# Raw Berkeley socket / poll syscalls.  The leading lookbehinds reject
-# member calls (.send(, ->recv(), identifiers (my_bind(), and std::bind,
-# while still matching globally-qualified ::socket( forms.
-RAW_SOCKET_RE = re.compile(
-    r"(?<![A-Za-z0-9_.>])(?<!std::)"
-    r"(?:socket|bind|listen|accept4?|connect|send|sendto|recv|recvfrom|"
-    r"setsockopt|getsockopt|getsockname|getpeername|"
-    r"poll|epoll_create1|epoll_ctl|epoll_wait|shutdown)\s*\(")
-
-# Naked diagnostic output in library code.  The lookbehind rejects the
-# bounded-buffer formatters (snprintf, vsnprintf) and member calls; the
-# stream patterns catch cerr/cout/clog however qualified.
-NAKED_OUTPUT_RE = re.compile(
-    r"std::(cerr|cout|clog)\b"
-    r"|(?<![A-Za-z0-9_.>:])(?:printf|fprintf|vprintf|vfprintf|puts|fputs)"
-    r"\s*\(")
-
-MUTEX_ALLOWED = {"src/common/thread_annotations.h"}
-THREAD_ALLOWED = {"src/common/thread_pool.h", "src/common/thread_pool.cc"}
-ABORT_ALLOWED = {"src/common/logging.h", "fuzz/fuzz_util.h"}
-OUTPUT_ALLOWED = {"src/common/log.h", "src/common/log.cc",
-                  "src/common/logging.h"}
-
-
-def strip_comments(lines):
-    """Yields (lineno, code) with // and /* */ comment text blanked out.
-
-    String literals are not parsed; good enough for lint-grade matching
-    (none of the patterns plausibly appears inside a string here).
-    """
-    in_block = False
-    for lineno, line in enumerate(lines, start=1):
-        out = []
-        i = 0
-        while i < len(line):
-            if in_block:
-                end = line.find("*/", i)
-                if end < 0:
-                    i = len(line)
-                else:
-                    in_block = False
-                    i = end + 2
-            elif line.startswith("//", i):
-                break
-            elif line.startswith("/*", i):
-                in_block = True
-                i += 2
-            else:
-                out.append(line[i])
-                i += 1
-        yield lineno, "".join(out)
-
-
-def layer_of(rel):
-    """'src/pattern/minimize.cc' -> 'pattern', None outside src/."""
-    parts = pathlib.PurePosixPath(rel).parts
-    if len(parts) >= 3 and parts[0] == "src" and parts[1] in LAYER_DEPS:
-        return parts[1]
-    return None
-
-
-def lint_file(rel, text, problems):
-    layer = layer_of(rel)
-    in_pattern_layer = rel.startswith("src/pattern/")
-    for lineno, code in strip_comments(text.splitlines()):
-        if rel not in MUTEX_ALLOWED and rel not in THREAD_ALLOWED:
-            m = NAKED_MUTEX_RE.search(code)
-            if m:
-                problems.append(
-                    (rel, lineno, "naked-mutex",
-                     f"use pcdb::Mutex/MutexLock/CondVar from "
-                     f"common/thread_annotations.h instead of {m.group(0)}"))
-        if rel not in THREAD_ALLOWED and NAKED_THREAD_RE.search(code):
-            problems.append(
-                (rel, lineno, "naked-thread",
-                 "spawn work through pcdb::ThreadPool, not std::thread"))
-        if rel not in ABORT_ALLOWED and ABORT_RE.search(code):
-            problems.append(
-                (rel, lineno, "no-abort",
-                 "return a Status instead of terminating; only "
-                 "common/logging.h (PCDB_CHECK) and fuzz/fuzz_util.h may "
-                 "abort the process"))
-        if (not rel.startswith("src/server/net_")
-                and RAW_SOCKET_RE.search(code)):
-            problems.append(
-                (rel, lineno, "raw-socket",
-                 "raw socket/poll syscalls are confined to "
-                 "src/server/net_*; use the Socket/Listener wrappers"))
-        if (rel.startswith("src/") and rel not in OUTPUT_ALLOWED
-                and NAKED_OUTPUT_RE.search(code)):
-            problems.append(
-                (rel, lineno, "naked-output",
-                 "emit diagnostics through common/log.h (LogInfo/LogWarn/"
-                 "LogError), not std::cerr/std::cout/printf"))
-        if not in_pattern_layer and SETCELL_CALL_RE.search(code):
-            problems.append(
-                (rel, lineno, "pattern-mutation",
-                 "Pattern::SetCell is reserved for src/pattern/ internals; "
-                 "build patterns via constructors or the algebra API"))
-        if layer is not None:
-            m = INCLUDE_RE.match(code)
-            if m:
-                inc = m.group(1)
-                inc_layer = inc.split("/", 1)[0]
-                if (inc_layer in LAYER_DEPS and inc_layer != layer
-                        and inc_layer not in LAYER_DEPS[layer]):
-                    problems.append(
-                        (rel, lineno, "layering",
-                         f"src/{layer}/ must not include \"{inc}\" "
-                         f"(allowed: {sorted(LAYER_DEPS[layer] | {layer})})"))
-
-
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--root", default=None,
-        help="repository root (default: parent of this script's directory)")
-    args = parser.parse_args()
-    root = (pathlib.Path(args.root) if args.root
-            else pathlib.Path(__file__).resolve().parent.parent)
-
-    problems = []
-    checked = 0
-    for subdir in SRC_SUBDIRS + EXTRA_SUBDIRS:
-        base = root / subdir
-        if not base.is_dir():
-            continue
-        for path in sorted(base.rglob("*")):
-            if path.suffix not in CXX_SUFFIXES or not path.is_file():
-                continue
-            rel = path.relative_to(root).as_posix()
-            lint_file(rel, path.read_text(encoding="utf-8"), problems)
-            checked += 1
-
-    for rel, lineno, rule, msg in problems:
-        print(f"{rel}:{lineno}: [{rule}] {msg}")
-    if problems:
-        print(f"pcdb_lint: {len(problems)} problem(s) in {checked} files")
-        return 1
-    print(f"pcdb_lint: OK ({checked} files)")
-    return 0
-
+ANALYZER = pathlib.Path(__file__).resolve().parent / "analyze" / \
+    "pcdb_analyze.py"
 
 if __name__ == "__main__":
-    sys.exit(main())
+    print("pcdb_lint.py is now pcdb-analyze; running "
+          "tools/analyze/pcdb_analyze.py", file=sys.stderr)
+    os.execv(sys.executable,
+             [sys.executable, str(ANALYZER)] + sys.argv[1:])
