@@ -1,0 +1,123 @@
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "durability/wal.h"
+#include "fuzz_util.h"
+
+/// WAL record codec harness (docs/DURABILITY.md §2).
+///
+/// The first byte picks a mode:
+///  - mode 0 runs the recovery scan over the rest: decode records
+///    front-to-back exactly like ReplayWal until the bytes end or a
+///    torn/corrupt tail stops the scan. Arbitrary bytes must never
+///    crash the decoder (recovery reads whatever a crash left on disk),
+///    and every record it does accept must re-encode to the exact bytes
+///    it was decoded from — the encoding is canonical, which is what
+///    lets replay trust `consumed` as the next record boundary.
+///  - mode 1 builds a record from fuzz-chosen fields and checks the
+///    encode/decode round trip, then that any proper prefix reads as
+///    torn and any single-byte flip is never accepted as a record.
+namespace {
+
+uint64_t TakeU64(pcdb::fuzz::ByteReader* in) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | in->TakeByte();
+  return v;
+}
+
+void CheckRecoveryScan(const std::string& bytes) {
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    pcdb::WalDecodeResult decoded =
+        pcdb::DecodeWalRecord(data + offset, bytes.size() - offset);
+    if (decoded.outcome != pcdb::WalDecodeOutcome::kRecord) {
+      if (decoded.detail.empty()) {
+        pcdb::fuzz::Violation("torn/corrupt outcomes must carry a detail",
+                              std::to_string(offset));
+      }
+      return;  // replay stops here, by design
+    }
+    if (decoded.consumed == 0 ||
+        decoded.consumed > bytes.size() - offset) {
+      pcdb::fuzz::Violation("consumed must advance and stay in bounds",
+                            std::to_string(decoded.consumed));
+    }
+    std::string reencoded;
+    pcdb::AppendWalRecord(&reencoded, decoded.record);
+    if (reencoded != bytes.substr(offset, decoded.consumed)) {
+      pcdb::fuzz::Violation("accepted records must re-encode canonically",
+                            bytes.substr(offset, decoded.consumed));
+    }
+    offset += decoded.consumed;
+  }
+}
+
+void CheckStructuredRoundTrip(pcdb::fuzz::ByteReader* in) {
+  pcdb::WalRecord record;
+  record.lsn = TakeU64(in);
+  record.type = in->TakeBool() ? pcdb::WalRecordType::kPunctuate
+                               : pcdb::WalRecordType::kIngest;
+  record.writer_id = TakeU64(in);
+  record.seq = TakeU64(in);
+  const size_t tenant_len = in->TakeBelow(64);
+  for (size_t i = 0; i < tenant_len; ++i) {
+    record.tenant.push_back(static_cast<char>(in->TakeByte()));
+  }
+  const size_t flip_at_raw = in->TakeBelow(1 << 12);
+  const size_t cut_at_raw = in->TakeBelow(1 << 12);
+  record.payload = in->TakeRemainingString();
+
+  std::string bytes;
+  pcdb::AppendWalRecord(&bytes, record);
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
+
+  pcdb::WalDecodeResult decoded = pcdb::DecodeWalRecord(data, bytes.size());
+  if (decoded.outcome != pcdb::WalDecodeOutcome::kRecord ||
+      decoded.consumed != bytes.size()) {
+    pcdb::fuzz::Violation("every encoded record must decode", decoded.detail);
+  }
+  if (decoded.record.lsn != record.lsn ||
+      decoded.record.type != record.type ||
+      decoded.record.tenant != record.tenant ||
+      decoded.record.writer_id != record.writer_id ||
+      decoded.record.seq != record.seq ||
+      decoded.record.payload != record.payload) {
+    pcdb::fuzz::Violation("round trip changed a record field", "");
+  }
+
+  // Every proper prefix is a torn tail — never corrupt (recovery
+  // truncates torn tails silently but refuses corrupt ones).
+  const size_t cut_at = cut_at_raw % bytes.size();
+  pcdb::WalDecodeResult truncated = pcdb::DecodeWalRecord(data, cut_at);
+  if (truncated.outcome != pcdb::WalDecodeOutcome::kTorn) {
+    pcdb::fuzz::Violation("a proper prefix must read as torn",
+                          "cut=" + std::to_string(cut_at));
+  }
+
+  // A single flipped byte must never pass: either the length prefix now
+  // disagrees with the buffer (torn/corrupt) or the CRC catches it.
+  std::string bent = bytes;
+  const size_t flip_at = flip_at_raw % bent.size();
+  bent[flip_at] = static_cast<char>(bent[flip_at] ^ 0x5A);
+  pcdb::WalDecodeResult flipped = pcdb::DecodeWalRecord(
+      reinterpret_cast<const uint8_t*>(bent.data()), bent.size());
+  if (flipped.outcome == pcdb::WalDecodeOutcome::kRecord) {
+    pcdb::fuzz::Violation("a flipped byte must never decode as valid",
+                          "flip=" + std::to_string(flip_at));
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  pcdb::fuzz::ByteReader in(data, size);
+  const size_t mode = in.TakeByte() % 2;  // one byte: seeds stay readable
+  if (mode == 1) {
+    CheckStructuredRoundTrip(&in);
+    return 0;
+  }
+  CheckRecoveryScan(in.TakeRemainingString());
+  return 0;
+}

@@ -283,6 +283,14 @@ const std::vector<std::string>& Failpoints::AllSites() {
       "server.decode",     // server/protocol.cc: per decoded frame
       "server.write",      // server/net_socket.cc: Socket::Send
       "server.ingest",     // server/server.cc: per applied write op
+      "wal.open",          // durability/wal.cc: WalWriter::Open entry
+      "wal.append",        // durability/wal.cc: AppendBatch entry
+      "wal.append.short",  // durability/wal.cc: persists half the batch
+      "wal.corrupt",       // durability/wal.cc: flips a byte pre-write
+      "wal.fsync",         // durability/wal.cc: before fsync(2)
+      "checkpoint.write",  // durability/checkpoint.cc: before tmp write
+      "checkpoint.rename",  // durability/checkpoint.cc: before rename(2)
+      "recovery.record",   // durability/wal.cc: per replayed record
   };
   return *sites;
 }

@@ -1,0 +1,70 @@
+#ifndef PCDB_DURABILITY_CHECKPOINT_H_
+#define PCDB_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "pattern/annotated.h"
+
+/// \file
+/// Snapshot checkpointing (docs/DURABILITY.md §3): a checkpoint is one
+/// binary file holding a full serialized AnnotatedDatabase — tables,
+/// rows, patterns, attribute domains, table epochs and per-signature
+/// pattern epochs — plus the idempotence dedup state and the LSN of the
+/// last WAL record whose effects the snapshot includes. Recovery loads
+/// the newest valid checkpoint and replays only the WAL tail past its
+/// LSN; the WAL segments at or below it can then be truncated away.
+///
+/// The file is written atomically: serialize to `<path>.tmp`, fsync,
+/// rename(2) over `<path>`. A crash mid-save leaves either the old
+/// checkpoint or the new one, never a hybrid; a corrupt file (bad magic
+/// or CRC) is reported as an error, distinct from a merely absent one.
+
+namespace pcdb {
+
+/// \brief Per-writer idempotence state carried across restarts.
+struct CheckpointWriterState {
+  /// Highest sequence number applied for this writer.
+  uint64_t last_seq = 0;
+  /// The encoded INGEST_RESULT payload that acknowledged `last_seq`,
+  /// opaque to this layer; the server re-serves it (flagged duplicate)
+  /// when the same sequence number is retried after a reconnect.
+  std::string ack;
+};
+
+/// tenant -> writer_id -> state. writer_id 0 never appears (it opts out
+/// of dedup).
+using CheckpointWriters =
+    std::map<std::string, std::map<uint64_t, CheckpointWriterState>>;
+
+/// \brief Everything a checkpoint file holds.
+struct CheckpointState {
+  AnnotatedDatabase db;
+  /// LSN of the last WAL record reflected in `db`; replay resumes after
+  /// it.
+  uint64_t last_lsn = 0;
+  CheckpointWriters writers;
+};
+
+/// Serializes a snapshot to `path` atomically (tmp + fsync + rename).
+/// `metrics` (may be null) receives `checkpoints_total`.
+[[nodiscard]] Status SaveCheckpoint(const std::string& path,
+                                    const AnnotatedDatabase& db,
+                                    uint64_t last_lsn,
+                                    const CheckpointWriters& writers,
+                                    MetricsRegistry* metrics = nullptr);
+
+/// Loads the checkpoint at `path`. Returns std::nullopt when no file
+/// exists (fresh start) and an error when the file exists but fails
+/// validation — a corrupt checkpoint must not be silently mistaken for
+/// an empty database.
+[[nodiscard]] Result<std::optional<CheckpointState>> LoadCheckpoint(
+    const std::string& path);
+
+}  // namespace pcdb
+
+#endif  // PCDB_DURABILITY_CHECKPOINT_H_

@@ -1,0 +1,41 @@
+#include "durability/crc32c.h"
+
+#include <array>
+
+namespace pcdb {
+
+namespace {
+
+/// Table for the reflected Castagnoli polynomial, built once at first
+/// use (constant-initialised would also work, but a lambda-built static
+/// keeps the generator next to the math it implements).
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+  const auto& table = Crc32cTable();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  // Standard reflected CRC: invert in, invert out. Chaining works
+  // because the inversions cancel between calls.
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace pcdb

@@ -1,0 +1,23 @@
+#ifndef PCDB_DURABILITY_CRC32C_H_
+#define PCDB_DURABILITY_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected form
+/// 0x82F63B78) — the checksum guarding every WAL record and the
+/// checkpoint file. Software table-driven implementation: no intrinsics,
+/// no dependencies, byte-order independent, so a log written on one
+/// machine verifies on any other.
+
+namespace pcdb {
+
+/// CRC-32C of `len` bytes at `data`, chained through `seed` (pass the
+/// previous call's return value to checksum discontiguous buffers as
+/// one stream; 0 for a fresh checksum).
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace pcdb
+
+#endif  // PCDB_DURABILITY_CRC32C_H_

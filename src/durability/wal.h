@@ -1,0 +1,184 @@
+#ifndef PCDB_DURABILITY_WAL_H_
+#define PCDB_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+/// \file
+/// The write-ahead log that makes INGEST/PUNCTUATE acks durable
+/// (docs/DURABILITY.md). The log is a directory of append-only segment
+/// files; each record is length-prefixed and CRC-32C-checksummed:
+///
+///   uint32  body_len                      (bytes of `body`)
+///   byte[body_len] body:
+///     uint64  lsn                         (log sequence number)
+///     uint8   type                        (WalRecordType)
+///     u32+bytes tenant                    (length-prefixed)
+///     uint64  writer_id                   (client identity; 0 = none)
+///     uint64  seq                         (per-writer seq; 0 = none)
+///     u32+bytes payload                   (wire-codec request payload)
+///   uint32  crc32c(body)
+///
+/// All integers little-endian, matching the wire protocol. The payload
+/// is the INGEST/PUNCTUATE frame payload verbatim (server/protocol.cc
+/// codecs) — the durability layer treats it as opaque bytes, which is
+/// what keeps this layer below `server` in the dependency DAG.
+///
+/// Group commit: WalWriter::AppendBatch encodes a whole writer batch
+/// into one buffer, issues a single write(2) and a single fsync(2), so
+/// the per-op durability cost is amortised over the batch (the
+/// "batch ingest amortization" item from ROADMAP.md).
+///
+/// A torn or corrupt record (power loss mid-write, bit rot) terminates
+/// replay cleanly at the last valid prefix — recovery never guesses at
+/// record boundaries past a bad length/CRC.
+
+namespace pcdb {
+
+/// What a WAL record carries.
+enum class WalRecordType : uint8_t {
+  kIngest = 0,
+  kPunctuate = 1,
+};
+
+/// \brief One WAL record.
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kIngest;
+  std::string tenant;
+  /// Durable client identity for idempotent retry; 0 = none. Stable
+  /// across the client's reconnects, unique per producer.
+  uint64_t writer_id = 0;
+  /// Per-writer monotonic sequence number; 0 = none (no dedup).
+  uint64_t seq = 0;
+  /// The request's wire payload (EncodeIngestPayload /
+  /// EncodePunctuatePayload bytes), opaque to this layer.
+  std::string payload;
+};
+
+/// Appends the full encoding (length prefix + body + CRC) of `record`
+/// to `out`.
+void AppendWalRecord(std::string* out, const WalRecord& record);
+
+/// How DecodeWalRecord classified the bytes at the read position.
+enum class WalDecodeOutcome {
+  /// A complete, checksum-valid record was decoded.
+  kRecord,
+  /// The buffer ends mid-record (torn tail / truncated file).
+  kTorn,
+  /// The bytes are structurally complete but fail validation (bad CRC,
+  /// unknown type tag, implausible length). Replay must stop: record
+  /// boundaries past this point cannot be trusted.
+  kCorrupt,
+};
+
+/// \brief Result of decoding one record from a byte range.
+struct WalDecodeResult {
+  WalDecodeOutcome outcome = WalDecodeOutcome::kTorn;
+  WalRecord record;      ///< Valid when outcome == kRecord.
+  size_t consumed = 0;   ///< Bytes consumed when outcome == kRecord.
+  std::string detail;    ///< Human-readable reason for kTorn/kCorrupt.
+};
+
+/// Decodes the record starting at `data`. Never throws, never reads
+/// past `len` — arbitrary bytes are safe input (fuzz/fuzz_wal.cc).
+WalDecodeResult DecodeWalRecord(const uint8_t* data, size_t len);
+
+/// \brief Knobs for WalWriter.
+struct WalWriterOptions {
+  /// Destination for wal_records_total / wal_fsyncs_total; may be null.
+  MetricsRegistry* metrics = nullptr;
+  /// Floor for the first assigned LSN, typically `checkpoint LSN + 1`.
+  /// Guards against a log directory whose segments were all truncated
+  /// away while a checkpoint still references higher LSNs.
+  uint64_t min_next_lsn = 0;
+};
+
+/// \brief Appending half of the WAL: owns the current segment file.
+///
+/// Not thread-safe; the server serializes all calls under its writer
+/// mutex (one MVCC writer at a time is the design).
+class WalWriter {
+ public:
+  /// Opens (creating if needed) the log directory, scans existing
+  /// segments to find the next LSN, and truncates a torn tail left by
+  /// a crash so new records append after the last valid one.
+  [[nodiscard]] static Result<std::unique_ptr<WalWriter>> Open(
+      const std::string& dir, const WalWriterOptions& options = {});
+
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Group commit: assigns consecutive LSNs to `records`, encodes them
+  /// into one buffer, appends it with one write(2) and makes it
+  /// durable with one fsync(2). On error nothing is acked — the caller
+  /// must fail every op in the batch (acks imply durability).
+  [[nodiscard]] Status AppendBatch(std::vector<WalRecord>* records);
+
+  /// The LSN the next appended record will get (last assigned + 1).
+  uint64_t next_lsn() const { return next_lsn_; }
+
+  /// Checkpoint truncation: rotates to a fresh segment (first LSN =
+  /// next_lsn()) and deletes every older segment whose records are all
+  /// <= `durable_lsn` (their effects are in the checkpoint). Returns
+  /// the number of segments removed.
+  [[nodiscard]] Result<uint64_t> TruncateThrough(uint64_t durable_lsn);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  WalWriter() = default;
+
+  /// Opens (O_CREAT|O_APPEND) the segment whose first LSN is `first`.
+  [[nodiscard]] Status OpenSegment(uint64_t first_lsn);
+
+  std::string dir_;
+  int fd_ = -1;
+  /// First LSN of the currently open segment (part of its file name).
+  uint64_t segment_first_lsn_ = 1;
+  uint64_t next_lsn_ = 1;
+  Counter* c_records_ = nullptr;  ///< wal_records_total; may be null.
+  Counter* c_fsyncs_ = nullptr;   ///< wal_fsyncs_total; may be null.
+};
+
+/// \brief What replay found in the log.
+struct WalReplayStats {
+  /// Records delivered to the callback (LSN > `after_lsn`).
+  uint64_t records_replayed = 0;
+  /// Records skipped because the checkpoint already covers them.
+  uint64_t records_skipped = 0;
+  /// True when replay stopped at a torn/corrupt record instead of the
+  /// end of the log.
+  bool torn_tail = false;
+  /// Reason replay stopped early; empty for a clean end.
+  std::string tail_detail;
+};
+
+/// Replays every valid record with LSN > `after_lsn` from the segments
+/// in `dir` (oldest first), invoking `apply` for each. Stops cleanly at
+/// the first torn/truncated/corrupt record (counted in
+/// `wal_torn_tail_total`, detail in the stats) — everything before it
+/// is recovered, everything after is unrecoverable by design. A missing
+/// directory is an empty log. An error from `apply` aborts replay and
+/// is returned.
+[[nodiscard]] Result<WalReplayStats> ReplayWal(
+    const std::string& dir, uint64_t after_lsn,
+    const std::function<Status(const WalRecord&)>& apply,
+    MetricsRegistry* metrics = nullptr);
+
+/// The log's segment files (absolute paths), oldest first. A missing
+/// directory yields an empty list.
+[[nodiscard]] Result<std::vector<std::string>> ListWalSegments(
+    const std::string& dir);
+
+}  // namespace pcdb
+
+#endif  // PCDB_DURABILITY_WAL_H_

@@ -81,6 +81,13 @@ inline constexpr char kSpanPatternLimit[] = "pattern.limit";
 inline constexpr char kSpanPatternUnion[] = "pattern.union";
 inline constexpr char kSpanPatternOperator[] = "pattern.operator";
 
+// Durability (durability/wal.cc, durability/checkpoint.cc,
+// server/server.cc recovery path).
+inline constexpr char kSpanWalAppendBatch[] = "wal.append_batch";
+inline constexpr char kSpanCheckpointSave[] = "checkpoint.save";
+inline constexpr char kSpanRecoveryCheckpoint[] = "recovery.checkpoint";
+inline constexpr char kSpanRecoveryReplay[] = "recovery.replay";
+
 // Minimization (pattern/minimize.cc, one per MinimizeApproach).
 inline constexpr char kSpanMinimizeAllAtOnce[] = "minimize.all_at_once";
 inline constexpr char kSpanMinimizeIncremental[] = "minimize.incremental";
@@ -128,6 +135,10 @@ inline constexpr const char* kAllSpanNames[] = {
     kSpanPatternLimit,
     kSpanPatternUnion,
     kSpanPatternOperator,
+    kSpanWalAppendBatch,
+    kSpanCheckpointSave,
+    kSpanRecoveryCheckpoint,
+    kSpanRecoveryReplay,
     kSpanMinimizeAllAtOnce,
     kSpanMinimizeIncremental,
     kSpanMinimizeSortedIncremental,
@@ -159,6 +170,15 @@ inline constexpr char kMetricPatternsRetractedTotal[] =
 inline constexpr char kMetricWritesShedTotal[] = "writes_shed_total";
 inline constexpr char kMetricWriteBatches[] = "write_batches";
 
+// Per-Server registry: durability (WAL / checkpoint / recovery /
+// idempotent-retry dedup).
+inline constexpr char kMetricWalRecordsTotal[] = "wal_records_total";
+inline constexpr char kMetricWalFsyncsTotal[] = "wal_fsyncs_total";
+inline constexpr char kMetricWalRecoveredRecords[] = "wal_recovered_records";
+inline constexpr char kMetricWalTornTailTotal[] = "wal_torn_tail_total";
+inline constexpr char kMetricCheckpointsTotal[] = "checkpoints_total";
+inline constexpr char kMetricWritesDedupedTotal[] = "writes_deduped_total";
+
 // Per-Server registry: gauges and histograms.
 inline constexpr char kMetricConnectionsOpen[] = "connections_open";
 inline constexpr char kMetricInflight[] = "inflight";
@@ -174,6 +194,11 @@ inline constexpr char kMetricEngineDegradedToSummary[] =
     "engine_degraded_to_summary";
 inline constexpr char kMetricEngineFailpointTrips[] =
     "engine_failpoint_trips";
+/// Client-side (server/client.cc), hence no engine_ prefix: transparent
+/// reconnects performed by Client retry logic, process-wide because a
+/// Client has no per-Server registry to report into.
+inline constexpr char kMetricClientReconnectsTotal[] =
+    "client_reconnects_total";
 
 /// Every metric name the engine registers, for the same completeness
 /// checks as kAllSpanNames.
@@ -197,6 +222,12 @@ inline constexpr const char* kAllMetricNames[] = {
     kMetricPatternsRetractedTotal,
     kMetricWritesShedTotal,
     kMetricWriteBatches,
+    kMetricWalRecordsTotal,
+    kMetricWalFsyncsTotal,
+    kMetricWalRecoveredRecords,
+    kMetricWalTornTailTotal,
+    kMetricCheckpointsTotal,
+    kMetricWritesDedupedTotal,
     kMetricConnectionsOpen,
     kMetricInflight,
     kMetricPendingWrites,
@@ -205,6 +236,7 @@ inline constexpr const char* kAllMetricNames[] = {
     kMetricEngineSubsumptionProbes,
     kMetricEngineDegradedToSummary,
     kMetricEngineFailpointTrips,
+    kMetricClientReconnectsTotal,
 };
 
 }  // namespace pcdb

@@ -77,6 +77,14 @@ class AnnotatedDatabase {
   const std::map<uint64_t, uint64_t>& PatternSigEpochs(
       const std::string& name) const;
 
+  /// Restores `name`'s per-signature epochs verbatim — checkpoint
+  /// recovery only, paired with Database::SetTableEpoch. Normal pattern
+  /// additions must go through AddPattern so epochs advance.
+  void RestorePatternSigEpochs(const std::string& name,
+                               std::map<uint64_t, uint64_t> epochs) {
+    pattern_sig_epochs_[name] = std::move(epochs);
+  }
+
   /// The annotated view of a base table.
   [[nodiscard]] Result<AnnotatedTable> GetAnnotated(const std::string& name) const;
 

@@ -30,6 +30,12 @@ class DomainRegistry {
 
   bool empty() const { return domains_.empty(); }
 
+  /// Every registered domain, keyed by column name — checkpoint
+  /// serialization needs to enumerate what Lookup can only probe.
+  const std::map<std::string, std::vector<Value>>& all() const {
+    return domains_;
+  }
+
  private:
   std::map<std::string, std::vector<Value>> domains_;
 };

@@ -49,6 +49,14 @@ class Database {
   /// annotated answers see pattern changes too, not just data changes.
   void BumpTableEpoch(const std::string& name) { ++epochs_[name]; }
 
+  /// Restores `name`'s epoch verbatim — checkpoint recovery only. The
+  /// recovered instance must resume the pre-crash epoch sequence, not
+  /// restart at the bumps the rebuild itself performed, so that answer
+  /// signatures stay comparable across the restart.
+  void SetTableEpoch(const std::string& name, uint64_t epoch) {
+    epochs_[name] = epoch;
+  }
+
  private:
   std::map<std::string, Table> tables_;
   std::map<std::string, uint64_t> epochs_;

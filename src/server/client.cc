@@ -1,8 +1,50 @@
 #include "server/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <random>
+#include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+
 namespace pcdb {
+
+namespace {
+
+/// True when a Status describes the transport dying under us (peer
+/// reset/EPIPE on send, EOF or reset on recv) as opposed to a verdict
+/// the server delivered in an ERROR frame. The messages are the ones
+/// net_socket.cc and Client::ReadFrame attach to those failures; shed
+/// and drain rejections are also kUnavailable but carry the server's
+/// own text, so they never match.
+bool IsTransportStatus(const Status& status) {
+  if (status.code() == StatusCode::kUnavailable) {
+    const std::string& m = status.message();
+    return m == "peer closed the connection" ||
+           m == "peer closed the connection mid-message" ||
+           m == "server closed the connection";
+  }
+  if (status.code() == StatusCode::kInternal) {
+    // recv/send on a socket whose peer vanished (ECONNRESET surfacing
+    // as an errno failure rather than a clean EOF).
+    return status.message().rfind("recv failed:", 0) == 0 ||
+           status.message().rfind("send failed:", 0) == 0;
+  }
+  return false;
+}
+
+uint64_t PickWriterId() {
+  std::random_device rd;
+  uint64_t id = 0;
+  do {
+    id = (static_cast<uint64_t>(rd()) << 32) | rd();
+  } while (id == 0);  // 0 means "no idempotence tracking"
+  return id;
+}
+
+}  // namespace
 
 Result<Client> Client::Connect(const std::string& host, uint16_t port,
                                const ClientOptions& options) {
@@ -12,7 +54,27 @@ Result<Client> Client::Connect(const std::string& host, uint16_t port,
     PCDB_RETURN_NOT_OK(
         client.sock_.SetRecvTimeoutMillis(options.recv_timeout_millis));
   }
+  client.host_ = host;
+  client.port_ = port;
+  client.options_ = options;
+  client.writer_id_ =
+      options.writer_id != 0 ? options.writer_id : PickWriterId();
   return client;
+}
+
+Status Client::Reconnect() {
+  sock_.Close();
+  // The old stream's pipelined answers are unreachable; abandon them so
+  // stale assembly state can't corrupt answers on the new stream.
+  reader_ = FrameReader();
+  partials_.clear();
+  PCDB_ASSIGN_OR_RETURN(sock_, TcpConnect(host_, port_));
+  if (options_.recv_timeout_millis > 0) {
+    PCDB_RETURN_NOT_OK(
+        sock_.SetRecvTimeoutMillis(options_.recv_timeout_millis));
+  }
+  GlobalMetrics().GetCounter(kMetricClientReconnectsTotal)->Increment();
+  return Status::OK();
 }
 
 Result<uint64_t> Client::SendQuery(const std::string& sql,
@@ -47,8 +109,21 @@ Status Client::Cancel(uint64_t request_id) {
 
 Result<ClientAnswer> Client::Query(const std::string& sql,
                                    const ClientQueryOptions& options) {
-  PCDB_ASSIGN_OR_RETURN(uint64_t request_id, SendQuery(sql, options));
-  return ReadAnswer(request_id);
+  Result<uint64_t> request_id = SendQuery(sql, options);
+  if (request_id.ok()) {
+    Result<ClientAnswer> answer = ReadAnswer(*request_id);
+    if (answer.ok() || !IsTransportStatus(answer.status())) return answer;
+  } else if (!IsTransportStatus(request_id.status())) {
+    return request_id.status();
+  }
+  // The connection died under a read-only request — typically an idle
+  // pooled connection the server closed, surfacing as EPIPE/ECONNRESET
+  // on the first write. Queries are side-effect free, so one transparent
+  // reconnect-and-resend is always safe; a second failure is the
+  // caller's problem.
+  PCDB_RETURN_NOT_OK(Reconnect());
+  PCDB_ASSIGN_OR_RETURN(uint64_t retry_id, SendQuery(sql, options));
+  return ReadAnswer(retry_id);
 }
 
 Result<ClientAnswer> Client::ReadAnswer(uint64_t request_id) {
@@ -81,12 +156,9 @@ Result<IngestResult> Client::Ingest(const std::string& table,
   request.table = table;
   request.policy = options.policy;
   request.rows = std::move(rows);
-  const uint64_t request_id = next_request_id_++;
-  std::string wire;
-  AppendFrame(&wire, FrameType::kIngest, request_id,
-              EncodeIngestPayload(request));
-  PCDB_RETURN_NOT_OK(sock_.SendAll(wire.data(), wire.size()));
-  return AwaitIngestResult(request_id);
+  request.writer_id = writer_id_;
+  request.seq = ++write_seq_;
+  return WriteWithRetry(FrameType::kIngest, EncodeIngestPayload(request));
 }
 
 Result<IngestResult> Client::Punctuate(
@@ -97,20 +169,90 @@ Result<IngestResult> Client::Punctuate(
   request.tenant = options.tenant;
   request.table = table;
   request.patterns = std::move(patterns);
-  const uint64_t request_id = next_request_id_++;
-  std::string wire;
-  AppendFrame(&wire, FrameType::kPunctuate, request_id,
-              EncodePunctuatePayload(request));
-  PCDB_RETURN_NOT_OK(sock_.SendAll(wire.data(), wire.size()));
-  return AwaitIngestResult(request_id);
+  request.writer_id = writer_id_;
+  request.seq = ++write_seq_;
+  return WriteWithRetry(FrameType::kPunctuate,
+                        EncodePunctuatePayload(request));
 }
 
-Result<IngestResult> Client::AwaitIngestResult(uint64_t request_id) {
+Result<IngestResult> Client::WriteWithRetry(FrameType type,
+                                            const std::string& payload) {
+  const int attempts = std::max(1, options_.max_write_attempts);
+  int backoff_millis = std::max(1, options_.retry_backoff_initial_millis);
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Capped exponential backoff, then a fresh connection. The resend
+      // is byte-identical (same writer id and seq), so a server that
+      // already applied the lost attempt — ack dropped on the floor by
+      // the dying connection — answers duplicate=true rather than
+      // applying the write twice.
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_millis));
+      backoff_millis =
+          std::min(backoff_millis * 2, options_.retry_backoff_max_millis);
+      Status reconnected = Reconnect();
+      if (!reconnected.ok()) {
+        last = std::move(reconnected);
+        continue;
+      }
+    }
+    const uint64_t request_id = next_request_id_++;
+    std::string wire;
+    AppendFrame(&wire, type, request_id, payload);
+    Status sent = sock_.SendAll(wire.data(), wire.size());
+    if (!sent.ok()) {
+      // SendAll failures are transport-level by construction: the
+      // request never reached the server's frame decoder intact.
+      last = std::move(sent);
+      continue;
+    }
+    bool transport_error = false;
+    Result<IngestResult> result =
+        AwaitIngestResult(request_id, &transport_error);
+    // Server verdicts (shed, quota, policy errors in an ERROR frame)
+    // and payload decode failures are final; only a dead stream earns
+    // another attempt.
+    if (result.ok() || !transport_error) return result;
+    last = result.status();
+  }
+  return last;
+}
+
+Result<IngestResult> Client::AwaitIngestResult(uint64_t request_id,
+                                               bool* transport_error) {
   for (;;) {
-    PCDB_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    Result<Frame> read = ReadFrame();
+    if (!read.ok()) {
+      if (transport_error != nullptr) *transport_error = true;
+      return read.status();
+    }
+    Frame frame = std::move(*read);
     if (frame.request_id == request_id) {
       if (frame.type == FrameType::kIngestResult) {
         return DecodeIngestResultPayload(frame.payload);
+      }
+      if (frame.type == FrameType::kError) {
+        Status remote;
+        PCDB_RETURN_NOT_OK(DecodeErrorPayload(frame.payload, &remote));
+        return remote.ok()
+                   ? Status::Internal("server sent an OK error frame")
+                   : std::move(remote);
+      }
+    }
+    PCDB_RETURN_NOT_OK(Absorb(std::move(frame)));
+  }
+}
+
+Result<CheckpointResult> Client::Checkpoint() {
+  const uint64_t request_id = next_request_id_++;
+  std::string wire;
+  AppendFrame(&wire, FrameType::kCheckpoint, request_id, "");
+  PCDB_RETURN_NOT_OK(sock_.SendAll(wire.data(), wire.size()));
+  for (;;) {
+    PCDB_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    if (frame.request_id == request_id) {
+      if (frame.type == FrameType::kCheckpointResult) {
+        return DecodeCheckpointResultPayload(frame.payload);
       }
       if (frame.type == FrameType::kError) {
         Status remote;
@@ -194,8 +336,9 @@ Status Client::Absorb(Frame frame) {
     case FrameType::kPong:
     case FrameType::kStatsResult:
     case FrameType::kIngestResult:
-      // A stale Ping/Stats/Ingest response (e.g. after its caller timed
-      // out): nothing is waiting for it, drop.
+    case FrameType::kCheckpointResult:
+      // A stale Ping/Stats/Ingest/Checkpoint response (e.g. after its
+      // caller timed out): nothing is waiting for it, drop.
       return Status::OK();
     default:
       return Status::InvalidArgument("server sent a client-side frame type");

@@ -24,6 +24,19 @@ struct ClientOptions {
   /// SO_RCVTIMEO on the connection: a stuck server surfaces as kTimeout
   /// instead of hanging the caller (important under fault injection).
   int recv_timeout_millis = 30000;
+  /// Writer identity for idempotent retry. 0 (the default) picks a
+  /// random non-zero id at Connect; the id survives reconnects, so a
+  /// retried INGEST/PUNCTUATE carrying the same (writer_id, seq) pair
+  /// is recognized by the server and applied exactly once. Tests and
+  /// tools may pin an explicit id to simulate a returning writer.
+  uint64_t writer_id = 0;
+  /// Total send attempts for one Ingest/Punctuate (first try included);
+  /// 1 disables retry. Attempts after the first reconnect with capped
+  /// exponential backoff and resend the identical frame (same seq).
+  int max_write_attempts = 4;
+  /// First retry delay; doubles per attempt up to the cap below.
+  int retry_backoff_initial_millis = 50;
+  int retry_backoff_max_millis = 2000;
 };
 
 /// \brief Per-query execution limits, mirrored onto the QUERY header.
@@ -117,11 +130,20 @@ class Client {
       std::vector<std::vector<std::string>> patterns,
       const ClientWriteOptions& options = {});
 
+  /// Asks the server to checkpoint its durable state now (serialize the
+  /// current snapshot, truncate the WAL). Fails with kUnavailable when
+  /// the server runs without a WAL.
+  [[nodiscard]] Result<CheckpointResult> Checkpoint();
+
   /// Liveness round trip.
   [[nodiscard]] Status Ping();
 
   /// Fetches the server's metrics/cache snapshot (JSON).
   [[nodiscard]] Result<std::string> Stats();
+
+  /// The idempotence identity stamped onto INGEST/PUNCTUATE frames;
+  /// stable across reconnects for the life of this Client.
+  uint64_t writer_id() const { return writer_id_; }
 
   void Close() { sock_.Close(); }
 
@@ -141,8 +163,24 @@ class Client {
   [[nodiscard]] Status PumpUntilComplete(uint64_t request_id);
 
   /// Reads frames until the INGEST_RESULT (or ERROR) for `request_id`
-  /// arrives; answer frames for pipelined queries are absorbed.
-  [[nodiscard]] Result<IngestResult> AwaitIngestResult(uint64_t request_id);
+  /// arrives; answer frames for pipelined queries are absorbed. When
+  /// the failure is the stream dying (EOF, reset, recv timeout) rather
+  /// than a server verdict, `*transport_error` is set — the signal that
+  /// an idempotent resend over a fresh connection is worthwhile.
+  [[nodiscard]] Result<IngestResult> AwaitIngestResult(uint64_t request_id,
+                                                       bool* transport_error);
+
+  /// Sends one already-encoded write frame and awaits its ack, with up
+  /// to options_.max_write_attempts tries. The payload carries the
+  /// writer id and sequence number, so every resend is byte-identical
+  /// and the server dedups it.
+  [[nodiscard]] Result<IngestResult> WriteWithRetry(FrameType type,
+                                                    const std::string& payload);
+
+  /// Tears down the dead connection and dials a fresh one (same host,
+  /// port, options). Pipelined state is abandoned: the old stream's
+  /// answers can never arrive. Bumps client_reconnects_total.
+  [[nodiscard]] Status Reconnect();
 
   /// Reads one frame from the socket (blocking, honours recv timeout).
   [[nodiscard]] Result<Frame> ReadFrame();
@@ -154,6 +192,13 @@ class Client {
   FrameReader reader_;
   uint64_t next_request_id_ = 1;
   std::map<uint64_t, Partial> partials_;
+  /// Dial-back state for transparent reconnect.
+  std::string host_;
+  uint16_t port_ = 0;
+  ClientOptions options_;
+  /// Idempotence identity: stamped with write_seq_ onto every write.
+  uint64_t writer_id_ = 0;
+  uint64_t write_seq_ = 0;
 };
 
 }  // namespace pcdb

@@ -181,7 +181,9 @@ bool IsKnownFrameType(uint8_t tag) {
     case FrameType::kStats:
     case FrameType::kIngest:
     case FrameType::kPunctuate:
+    case FrameType::kCheckpoint:
     case FrameType::kIngestResult:
+    case FrameType::kCheckpointResult:
     case FrameType::kAnswerSchema:
     case FrameType::kAnswerRows:
     case FrameType::kAnswerPatterns:
@@ -378,6 +380,8 @@ std::string EncodeIngestPayload(const IngestRequest& request) {
     AppendU32(&out, static_cast<uint32_t>(row.size()));
     for (const Value& v : row) AppendValue(&out, v);
   }
+  AppendU64(&out, request.writer_id);
+  AppendU64(&out, request.seq);
   return out;
 }
 
@@ -412,6 +416,8 @@ Result<IngestRequest> DecodeIngestPayload(std::string_view payload) {
     }
     request.rows.push_back(std::move(row));
   }
+  PCDB_ASSIGN_OR_RETURN(request.writer_id, reader.ReadU64());
+  PCDB_ASSIGN_OR_RETURN(request.seq, reader.ReadU64());
   PCDB_RETURN_NOT_OK(ExpectExhausted(reader, "ingest"));
   return request;
 }
@@ -430,6 +436,8 @@ std::string EncodePunctuatePayload(const PunctuateRequest& request) {
       AppendLengthPrefixed(&out, field);
     }
   }
+  AppendU64(&out, request.writer_id);
+  AppendU64(&out, request.seq);
   return out;
 }
 
@@ -450,6 +458,8 @@ Result<PunctuateRequest> DecodePunctuatePayload(std::string_view payload) {
     }
     request.patterns.push_back(std::move(fields));
   }
+  PCDB_ASSIGN_OR_RETURN(request.writer_id, reader.ReadU64());
+  PCDB_ASSIGN_OR_RETURN(request.seq, reader.ReadU64());
   PCDB_RETURN_NOT_OK(ExpectExhausted(reader, "punctuate"));
   return request;
 }
@@ -461,6 +471,8 @@ std::string EncodeIngestResultPayload(const IngestResult& result) {
   AppendU64(&out, result.punctuations);
   AppendU64(&out, result.patterns_retracted);
   AppendU64(&out, result.violations);
+  AppendU64(&out, result.seq);
+  AppendU8(&out, result.duplicate ? 1 : 0);
   return out;
 }
 
@@ -472,7 +484,31 @@ Result<IngestResult> DecodeIngestResultPayload(std::string_view payload) {
   PCDB_ASSIGN_OR_RETURN(result.punctuations, reader.ReadU64());
   PCDB_ASSIGN_OR_RETURN(result.patterns_retracted, reader.ReadU64());
   PCDB_ASSIGN_OR_RETURN(result.violations, reader.ReadU64());
+  PCDB_ASSIGN_OR_RETURN(result.seq, reader.ReadU64());
+  PCDB_ASSIGN_OR_RETURN(uint8_t duplicate, reader.ReadU8());
+  if (duplicate > 1) {
+    return Status::ParseError("bad duplicate flag " +
+                              std::to_string(duplicate));
+  }
+  result.duplicate = duplicate == 1;
   PCDB_RETURN_NOT_OK(ExpectExhausted(reader, "ingest result"));
+  return result;
+}
+
+std::string EncodeCheckpointResultPayload(const CheckpointResult& result) {
+  std::string out;
+  AppendU64(&out, result.lsn);
+  AppendU64(&out, result.wal_segments_removed);
+  return out;
+}
+
+Result<CheckpointResult> DecodeCheckpointResultPayload(
+    std::string_view payload) {
+  PayloadReader reader(payload);
+  CheckpointResult result;
+  PCDB_ASSIGN_OR_RETURN(result.lsn, reader.ReadU64());
+  PCDB_ASSIGN_OR_RETURN(result.wal_segments_removed, reader.ReadU64());
+  PCDB_RETURN_NOT_OK(ExpectExhausted(reader, "checkpoint result"));
   return result;
 }
 

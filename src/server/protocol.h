@@ -50,6 +50,11 @@ enum class FrameType : uint8_t {
   kIngest = 0x05,
   /// A punctuation: completeness patterns asserted for one table.
   kPunctuate = 0x06,
+  /// Admin: force a snapshot checkpoint (docs/DURABILITY.md). Empty
+  /// payload, like PING. Runs through the write queue so it serializes
+  /// with in-flight writes; answered by CHECKPOINT_RESULT (or ERROR
+  /// when the server runs without a WAL).
+  kCheckpoint = 0x07,
   // Server -> client.
   kAnswerSchema = 0x80,
   kAnswerRows = 0x81,
@@ -68,6 +73,8 @@ enum class FrameType : uint8_t {
   /// Acknowledges an INGEST or PUNCTUATE frame with the write's outcome
   /// counters (IngestResult).
   kIngestResult = 0x88,
+  /// Acknowledges a CHECKPOINT frame (CheckpointResult).
+  kCheckpointResult = 0x89,
 };
 
 /// True if `tag` is one of the FrameType values.
@@ -196,6 +203,14 @@ struct IngestRequest {
   std::string table;
   uint8_t policy = 0;
   std::vector<Tuple> rows;
+  /// Durable client identity for idempotent retry (docs/DURABILITY.md
+  /// §5): random per Client instance, stable across its reconnects.
+  /// 0 opts out of dedup.
+  uint64_t writer_id = 0;
+  /// Per-writer monotonic sequence number; echoed in IngestResult::seq.
+  /// A retry resends the same seq, and the server applies it at most
+  /// once. 0 = unsequenced (no dedup).
+  uint64_t seq = 0;
 
   static constexpr uint8_t kPolicyRejectRecord = 0;
   static constexpr uint8_t kPolicyRetractPatterns = 1;
@@ -212,6 +227,8 @@ struct PunctuateRequest {
   std::string tenant;  ///< As in IngestRequest.
   std::string table;
   std::vector<std::vector<std::string>> patterns;
+  uint64_t writer_id = 0;  ///< As in IngestRequest.
+  uint64_t seq = 0;        ///< As in IngestRequest.
 };
 
 std::string EncodePunctuatePayload(const PunctuateRequest& request);
@@ -226,10 +243,27 @@ struct IngestResult {
   uint64_t punctuations = 0;
   uint64_t patterns_retracted = 0;
   uint64_t violations = 0;
+  /// Echo of the request's sequence number (0 for unsequenced writes).
+  uint64_t seq = 0;
+  /// True when the server recognized `seq` as already applied and
+  /// re-served the original ack instead of applying again.
+  bool duplicate = false;
 };
 
 std::string EncodeIngestResultPayload(const IngestResult& result);
 [[nodiscard]] Result<IngestResult> DecodeIngestResultPayload(std::string_view payload);
+
+/// \brief CHECKPOINT_RESULT payload.
+struct CheckpointResult {
+  /// LSN of the last WAL record covered by the snapshot just written.
+  uint64_t lsn = 0;
+  /// WAL segments deleted by the post-checkpoint truncation.
+  uint64_t wal_segments_removed = 0;
+};
+
+std::string EncodeCheckpointResultPayload(const CheckpointResult& result);
+[[nodiscard]] Result<CheckpointResult> DecodeCheckpointResultPayload(
+    std::string_view payload);
 
 /// \brief Summary trailer carried by the ANSWER_DONE frame.
 struct AnswerDone {

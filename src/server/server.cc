@@ -36,8 +36,11 @@ struct Server::Completion {
   /// (`write_ack`) instead of the answer sequence, and exempt from the
   /// query inflight accounting (writes never held an eval slot).
   bool is_write = false;
-  /// Encoded IngestResult payload; valid when is_write and status OK.
+  /// Encoded ack payload; valid when is_write and status OK.
   std::string write_ack;
+  /// Frame type `write_ack` is sent as: INGEST_RESULT for data writes,
+  /// CHECKPOINT_RESULT for checkpoint admin ops.
+  FrameType write_ack_type = FrameType::kIngestResult;
 };
 
 /// Per-connection state. Owned exclusively by the event loop.
@@ -108,6 +111,7 @@ Server::Server(AnnotatedDatabase db, ServerOptions options)
   c_patterns_retracted_ = metrics_.GetCounter(kMetricPatternsRetractedTotal);
   c_writes_shed_ = metrics_.GetCounter(kMetricWritesShedTotal);
   c_write_batches_ = metrics_.GetCounter(kMetricWriteBatches);
+  c_writes_deduped_ = metrics_.GetCounter(kMetricWritesDedupedTotal);
   g_connections_ = metrics_.GetGauge(kMetricConnectionsOpen);
   g_inflight_ = metrics_.GetGauge(kMetricInflight);
   g_pending_writes_ = metrics_.GetGauge(kMetricPendingWrites);
@@ -125,12 +129,20 @@ Status Server::Start() {
     MutexLock lock(&state_mu_);
     if (started_) return Status::InvalidArgument("server already started");
   }
+  if (!options_.wal_dir.empty() && !recovered_) {
+    // Before the listener exists: no client may observe pre-recovery
+    // state, and a recovery failure leaves nothing half-started.
+    PCDB_RETURN_NOT_OK(RecoverFromDurableState());
+    recovered_ = true;
+  }
   PCDB_ASSIGN_OR_RETURN(listener_,
                         Listener::BindAndListen(options_.host, options_.port));
   PCDB_ASSIGN_OR_RETURN(wake_, WakePipe::Create());
-  // Clear the previous Stop()'s request so a restarted loop runs; the
-  // old pools (if any) already drained in Stop() and are replaced below.
+  // Clear the previous Stop()/Drain()'s requests so a restarted loop
+  // runs; the old pools (if any) already drained in Stop() and are
+  // replaced below.
   stop_requested_.store(false, std::memory_order_release);
+  drain_requested_.store(false, std::memory_order_release);
   // Eval pool floor of 2: a 1-thread ThreadPool runs tasks inline in the
   // submitter — the event loop — which would block frame processing for
   // the duration of a query and make mid-query CANCEL impossible.
@@ -166,12 +178,55 @@ void Server::Stop() {
     Status pool_status = eval_pool_->ConsumeStatus();
     if (!pool_status.ok()) c_eval_task_faults_->Increment();
   }
+  // Release the port: a stopped server must not squat on its address —
+  // a successor process (or a fresh Server in the same test binary) may
+  // bind the same port immediately, e.g. to recover this server's WAL.
+  listener_ = Listener();
   {
     // Everything is quiescent; allow a fresh Start() (rebinds the
     // listener, possibly on a different ephemeral port).
     MutexLock lock(&state_mu_);
     started_ = false;
   }
+}
+
+void Server::RequestDrain() {
+  // Called from signal handlers: everything here must stay
+  // async-signal-safe — a relaxed/release atomic store and the wake
+  // pipe's single write(2). No locks, no allocation, no logging.
+  drain_requested_.store(true, std::memory_order_release);
+  wake_.Notify();
+}
+
+void Server::Drain() {
+  {
+    MutexLock lock(&state_mu_);
+    if (!started_) return;
+  }
+  RequestDrain();
+  {
+    // The loop exits on its own once admitted work is answered (or the
+    // drain deadline passes); Stop() below then only joins the pools.
+    MutexLock lock(&state_mu_);
+    while (!loop_done_) state_cv_.Wait(lock);
+  }
+  Stop();
+  {
+    // Final checkpoint: every accepted write is applied and the pools
+    // are quiet, so the snapshot is the complete pre-shutdown state and
+    // the next Start() recovers without any replay.
+    MutexLock write_lock(&write_mu_);
+    if (wal_ != nullptr) {
+      Result<CheckpointResult> ckpt = CheckpointLocked();
+      if (!ckpt.ok()) {
+        // The WAL still covers everything the checkpoint would have;
+        // recovery just replays more.
+        LogWarn("final drain checkpoint failed")
+            .Str("status", ckpt.status().ToString());
+      }
+    }
+  }
+  drain_requested_.store(false, std::memory_order_release);
 }
 
 std::shared_ptr<const AnnotatedDatabase> Server::Snapshot() const {
@@ -234,6 +289,161 @@ void Server::InvalidateDiff(const AnnotatedDatabase& before,
   }
 }
 
+Status Server::RecoverFromDurableState() {
+  // write_mu_ for writers_/wal_: the listener does not exist yet, so
+  // there is no contention — the lock is for the annotations' benefit
+  // and for safety if recovery ever moves later in the lifecycle.
+  MutexLock write_lock(&write_mu_);
+  PCDB_ASSIGN_OR_RETURN(std::optional<CheckpointState> ckpt,
+                        LoadCheckpoint(CheckpointPath()));
+  uint64_t after_lsn = 0;
+  std::shared_ptr<AnnotatedDatabase> next;
+  if (ckpt.has_value()) {
+    // The checkpoint is the full pre-crash state (it serialized the
+    // constructor-seeded tables along with everything else), so it
+    // replaces the seed snapshot outright.
+    after_lsn = ckpt->last_lsn;
+    writers_ = std::move(ckpt->writers);
+    next = std::make_shared<AnnotatedDatabase>(std::move(ckpt->db));
+  } else {
+    // No checkpoint yet: replay the whole log onto the seeded database
+    // (WAL records reference tables the seed created).
+    next = std::make_shared<AnnotatedDatabase>(*Snapshot());
+  }
+  PCDB_ASSIGN_OR_RETURN(
+      WalReplayStats stats,
+      ReplayWal(
+          options_.wal_dir, after_lsn,
+          [this, &next](const WalRecord& record)
+              PCDB_NO_THREAD_SAFETY_ANALYSIS {
+                // The analysis cannot see through std::function that
+                // write_mu_ is held for the whole replay.
+                return ApplyRecoveredRecord(next.get(), record);
+              },
+          &metrics_));
+  if (stats.torn_tail) {
+    LogWarn("wal replay stopped at a torn/corrupt tail")
+        .Str("detail", stats.tail_detail)
+        .Unum("replayed", stats.records_replayed);
+  }
+  LogInfo("durable state recovered")
+      .Str("wal_dir", options_.wal_dir)
+      .Unum("checkpoint_lsn", after_lsn)
+      .Unum("replayed", stats.records_replayed)
+      .Unum("skipped", stats.records_skipped);
+  {
+    MutexLock lock(&db_mu_);
+    db_ = next;
+  }
+  WalWriterOptions wal_options;
+  wal_options.metrics = &metrics_;
+  // Guards against a log whose tail segments were truncated away while
+  // the checkpoint references higher LSNs.
+  wal_options.min_next_lsn = after_lsn + 1;
+  PCDB_ASSIGN_OR_RETURN(wal_,
+                        WalWriter::Open(options_.wal_dir, wal_options));
+  return Status::OK();
+}
+
+Status Server::ApplyRecoveredRecord(AnnotatedDatabase* next,
+                                    const WalRecord& record) {
+  WriteOp op;
+  op.tenant = record.tenant;
+  if (record.type == WalRecordType::kPunctuate) {
+    op.is_punctuate = true;
+    PCDB_ASSIGN_OR_RETURN(op.punctuate,
+                          DecodePunctuatePayload(record.payload));
+  } else {
+    PCDB_ASSIGN_OR_RETURN(op.ingest, DecodeIngestPayload(record.payload));
+  }
+  // Replay dedups exactly like the live path: a duplicate that slipped
+  // into the log (retry landing in the same batch as the original) was
+  // never applied, so it must not apply now either.
+  std::string dup_ack;
+  if (IsDuplicateWrite(op, &dup_ack)) return Status::OK();
+  IngestResult ack;
+  Status applied;
+  try {
+    applied = ApplyWriteOp(next, &op, &ack);
+  } catch (const std::exception& e) {
+    applied = Status::Internal(std::string("recovery apply exception: ") +
+                               e.what());
+  } catch (...) {
+    applied = Status::Internal("recovery apply: unknown exception");
+  }
+  if (!applied.ok()) {
+    // The op was accepted (logged) before the crash and its outcome —
+    // including a partial apply + error — was already determined and
+    // reported then. Re-applying is deterministic, so this is the same
+    // outcome, not a recovery failure; stopping here would discard
+    // every acked write after it.
+    LogWarn("recovered write re-applied with an error")
+        .Unum("lsn", record.lsn)
+        .Str("status", applied.ToString());
+  }
+  RecordWriterAck(op, ack);
+  return Status::OK();
+}
+
+bool Server::IsDuplicateWrite(const WriteOp& op, std::string* ack_payload) {
+  const uint64_t writer_id = op.writer_id();
+  const uint64_t seq = op.wire_seq();
+  if (writer_id == 0 || seq == 0) return false;
+  auto tenant_it = writers_.find(op.tenant);
+  if (tenant_it == writers_.end()) return false;
+  auto writer_it = tenant_it->second.find(writer_id);
+  if (writer_it == tenant_it->second.end()) return false;
+  const CheckpointWriterState& state = writer_it->second;
+  if (seq > state.last_seq) return false;
+  IngestResult ack;
+  if (seq == state.last_seq && !state.ack.empty()) {
+    // Re-serve the original ack's counters so the retry learns what its
+    // write actually did.
+    Result<IngestResult> stored = DecodeIngestResultPayload(state.ack);
+    if (stored.ok()) ack = *stored;
+  }
+  // seq < last_seq: an older retry overtaken by newer writes — the
+  // original counters are gone, but "already applied" still holds.
+  ack.seq = seq;
+  ack.duplicate = true;
+  *ack_payload = EncodeIngestResultPayload(ack);
+  return true;
+}
+
+void Server::RecordWriterAck(const WriteOp& op, const IngestResult& ack) {
+  const uint64_t writer_id = op.writer_id();
+  const uint64_t seq = op.wire_seq();
+  if (writer_id == 0 || seq == 0) return;
+  IngestResult stored = ack;
+  stored.seq = seq;
+  stored.duplicate = false;
+  CheckpointWriterState state;
+  state.last_seq = seq;
+  state.ack = EncodeIngestResultPayload(stored);
+  writers_[op.tenant][writer_id] = std::move(state);
+}
+
+Result<CheckpointResult> Server::CheckpointLocked() {
+  if (wal_ == nullptr) {
+    return Status::Unavailable(
+        "server is running without a WAL (no wal_dir); nothing to "
+        "checkpoint");
+  }
+  std::shared_ptr<const AnnotatedDatabase> snapshot = Snapshot();
+  // Everything up to the last assigned LSN is applied in `snapshot`:
+  // checkpoints run on the writer path, serialized after the batch that
+  // carried them.
+  const uint64_t last_lsn = wal_->next_lsn() - 1;
+  PCDB_RETURN_NOT_OK(SaveCheckpoint(CheckpointPath(), *snapshot, last_lsn,
+                                    writers_, &metrics_));
+  CheckpointResult result;
+  result.lsn = last_lsn;
+  PCDB_ASSIGN_OR_RETURN(result.wal_segments_removed,
+                        wal_->TruncateThrough(last_lsn));
+  writes_since_checkpoint_ = 0;
+  return result;
+}
+
 std::string Server::StatsJson() const {
   const AnswerCache::Stats cs = cache_.GetStats();
   std::string json = metrics_.ToJson();
@@ -257,15 +467,30 @@ void Server::RunLoop() {
   LoopState state;
   size_t consecutive_poll_errors = 0;
   int poll_backoff_millis = 1;
+  bool draining = false;
+  std::chrono::steady_clock::time_point drain_start;
   while (!stop_requested_.load(std::memory_order_acquire)) {
+    if (!draining && drain_requested_.load(std::memory_order_acquire)) {
+      // Graceful drain: stop reading new requests (mark every conn
+      // closing — the reap logic already waits for queued/in-flight
+      // answers to flush), stop accepting, and exit once all owed work
+      // is answered or the deadline passes.
+      draining = true;
+      drain_start = std::chrono::steady_clock::now();
+      LogInfo("drain requested; refusing new work")
+          .Unum("open_connections", state.conns.size());
+      for (auto& [id, conn] : state.conns) conn->closing = true;
+    }
     std::vector<PollItem> items;
     std::vector<uint64_t> item_conn;  // parallel to items; 0 = not a conn
     items.push_back(PollItem{wake_.read_fd(), true, false});
     item_conn.push_back(0);
     // The listener is always polled — at the connection cap, surplus
     // accepts are rejected (closed) rather than left in the backlog.
+    // While draining it is parked (not polled readable), so pending
+    // connections stay in the backlog and are never read.
     const size_t listener_index = items.size();
-    items.push_back(PollItem{listener_.fd(), true, false});
+    items.push_back(PollItem{listener_.fd(), !draining, false});
     item_conn.push_back(0);
     for (const auto& [id, conn] : state.conns) {
       items.push_back(PollItem{conn->sock.fd(), !conn->closing,
@@ -343,6 +568,28 @@ void Server::RunLoop() {
         g_connections_->Add(-1);
       } else {
         ++it;
+      }
+    }
+
+    if (draining) {
+      bool writes_idle;
+      {
+        MutexLock lock(&writes_mu_);
+        writes_idle = pending_writes_.empty() && !writer_active_;
+      }
+      const bool all_answered =
+          state.conns.empty() && writes_idle && state.inflight == 0;
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - drain_start)
+              .count();
+      if (all_answered || elapsed >= options_.drain_timeout_millis) {
+        if (!all_answered) {
+          LogWarn("drain deadline reached with work outstanding")
+              .Unum("open_connections", state.conns.size())
+              .Unum("inflight", static_cast<uint64_t>(state.inflight));
+        }
+        break;
       }
     }
   }
@@ -518,6 +765,16 @@ void Server::HandleFrame(LoopState* state, Conn* conn, Frame frame) {
       EnqueueWrite(conn, std::move(op));
       return;
     }
+    case FrameType::kCheckpoint: {
+      // Admin frame: rides the write queue so it serializes after every
+      // previously accepted write, but is never WAL-logged itself.
+      WriteOp op;
+      op.conn_id = conn->id;
+      op.request_id = frame.request_id;
+      op.is_checkpoint = true;
+      EnqueueWrite(conn, std::move(op));
+      return;
+    }
     default:
       // A client sending server-side frame types is off-protocol.
       c_protocol_errors_->Increment();
@@ -630,42 +887,161 @@ void Server::RunWriterJob() {
       batch_span.Arg("ops", batch.size());
 
       MutexLock write_lock(&write_mu_);
-      std::shared_ptr<const AnnotatedDatabase> base = Snapshot();
-      // The copy-on-write copy happens here, outside db_mu_: readers
-      // keep taking `base` while we build its successor.
-      auto next = std::make_shared<AnnotatedDatabase>(*base);
       std::vector<Completion> comps;
       comps.reserve(batch.size());
+      // Classify: checkpoint admin ops (never WAL-logged), duplicates
+      // of already-applied writes (answered from the recorded ack
+      // without re-logging or re-applying), and pending data ops.
+      std::vector<WriteOp*> checkpoints;
+      std::vector<WriteOp*> pending;
       for (WriteOp& op : batch) {
-        Completion comp;
-        comp.conn_id = op.conn_id;
-        comp.request_id = op.request_id;
-        comp.is_write = true;
-        IngestResult ack;
-        try {
-          comp.status = ApplyWriteOp(next.get(), &op, &ack);
-        } catch (const std::exception& e) {
-          comp.status = Status::Internal(
-              std::string("write worker exception: ") + e.what());
-        } catch (...) {
-          comp.status = Status::Internal("write worker: unknown exception");
+        if (op.is_checkpoint) {
+          checkpoints.push_back(&op);
+          continue;
         }
-        if (comp.status.ok()) {
-          comp.write_ack = EncodeIngestResultPayload(ack);
-        } else {
-          c_errors_->Increment();
+        std::string dup_ack;
+        if (IsDuplicateWrite(op, &dup_ack)) {
+          c_writes_deduped_->Increment();
+          Completion comp;
+          comp.conn_id = op.conn_id;
+          comp.request_id = op.request_id;
+          comp.is_write = true;
+          comp.write_ack = std::move(dup_ack);
+          comps.push_back(std::move(comp));
+          continue;
         }
-        c_ingest_rows_->Increment(ack.rows_ingested);
-        c_ingest_rejected_->Increment(ack.rows_rejected);
-        c_punctuations_->Increment(ack.punctuations);
-        c_patterns_retracted_->Increment(ack.patterns_retracted);
-        comps.push_back(std::move(comp));
+        pending.push_back(&op);
       }
-      {
-        MutexLock lock(&db_mu_);
-        db_ = next;
+
+      // Group commit: the whole batch becomes one WAL segment write and
+      // one fsync, before anything applies — an OK ack implies the
+      // write survives a crash.
+      if (wal_ != nullptr && !pending.empty()) {
+        std::vector<WalRecord> records;
+        records.reserve(pending.size());
+        for (WriteOp* op : pending) {
+          WalRecord record;
+          record.type = op->is_punctuate ? WalRecordType::kPunctuate
+                                         : WalRecordType::kIngest;
+          record.tenant = op->tenant;
+          record.writer_id = op->writer_id();
+          record.seq = op->wire_seq();
+          record.payload = op->is_punctuate
+                               ? EncodePunctuatePayload(op->punctuate)
+                               : EncodeIngestPayload(op->ingest);
+          records.push_back(std::move(record));
+        }
+        Status logged = wal_->AppendBatch(&records);
+        if (!logged.ok()) {
+          // Nothing from this batch is durable: fail every pending op
+          // (acking would promise durability we don't have) and every
+          // checkpoint op (truncating a log we could not extend would
+          // be exactly backwards). Duplicates already classified keep
+          // their success ack — their writes were durable long ago.
+          for (const WriteOp* op : pending) {
+            Completion comp;
+            comp.conn_id = op->conn_id;
+            comp.request_id = op->request_id;
+            comp.is_write = true;
+            comp.status = logged;
+            c_errors_->Increment();
+            comps.push_back(std::move(comp));
+          }
+          for (const WriteOp* op : checkpoints) {
+            Completion comp;
+            comp.conn_id = op->conn_id;
+            comp.request_id = op->request_id;
+            comp.is_write = true;
+            comp.status = logged;
+            c_errors_->Increment();
+            comps.push_back(std::move(comp));
+          }
+          for (Completion& comp : comps) PostCompletion(std::move(comp));
+          continue;
+        }
       }
-      InvalidateDiff(*base, *next);
+
+      if (!pending.empty()) {
+        std::shared_ptr<const AnnotatedDatabase> base = Snapshot();
+        // The copy-on-write copy happens here, outside db_mu_: readers
+        // keep taking `base` while we build its successor.
+        auto next = std::make_shared<AnnotatedDatabase>(*base);
+        for (WriteOp* op_ptr : pending) {
+          WriteOp& op = *op_ptr;
+          Completion comp;
+          comp.conn_id = op.conn_id;
+          comp.request_id = op.request_id;
+          comp.is_write = true;
+          // Second dedup check: a retry batched together with its
+          // original slipped past the pre-filter (last_seq was stale at
+          // classification) and is now in the WAL — replay performs
+          // this same check, so it never double-applies either.
+          std::string dup_ack;
+          if (IsDuplicateWrite(op, &dup_ack)) {
+            c_writes_deduped_->Increment();
+            comp.write_ack = std::move(dup_ack);
+            comps.push_back(std::move(comp));
+            continue;
+          }
+          IngestResult ack;
+          try {
+            comp.status = ApplyWriteOp(next.get(), &op, &ack);
+          } catch (const std::exception& e) {
+            comp.status = Status::Internal(
+                std::string("write worker exception: ") + e.what());
+          } catch (...) {
+            comp.status = Status::Internal("write worker: unknown exception");
+          }
+          ack.seq = op.wire_seq();
+          if (comp.status.ok()) {
+            comp.write_ack = EncodeIngestResultPayload(ack);
+          } else {
+            c_errors_->Increment();
+          }
+          c_ingest_rows_->Increment(ack.rows_ingested);
+          c_ingest_rejected_->Increment(ack.rows_rejected);
+          c_punctuations_->Increment(ack.punctuations);
+          c_patterns_retracted_->Increment(ack.patterns_retracted);
+          // Recorded even when the apply errored: the op is durably
+          // logged and replay is deterministic, so a retry must be
+          // served "already applied" rather than re-applying a prefix.
+          RecordWriterAck(op, ack);
+          comps.push_back(std::move(comp));
+        }
+        {
+          MutexLock lock(&db_mu_);
+          db_ = next;
+        }
+        InvalidateDiff(*base, *next);
+        writes_since_checkpoint_ += pending.size();
+      }
+
+      // Checkpoints run after the batch's data ops applied and the
+      // snapshot swapped, so the checkpoint includes this batch.
+      const bool auto_checkpoint =
+          wal_ != nullptr && options_.checkpoint_interval > 0 &&
+          writes_since_checkpoint_ >= options_.checkpoint_interval;
+      if (!checkpoints.empty() || auto_checkpoint) {
+        Result<CheckpointResult> ckpt = CheckpointLocked();
+        if (!ckpt.ok() && checkpoints.empty()) {
+          LogWarn("automatic checkpoint failed")
+              .Str("status", ckpt.status().ToString());
+        }
+        for (const WriteOp* op : checkpoints) {
+          Completion comp;
+          comp.conn_id = op->conn_id;
+          comp.request_id = op->request_id;
+          comp.is_write = true;
+          if (ckpt.ok()) {
+            comp.write_ack = EncodeCheckpointResultPayload(*ckpt);
+            comp.write_ack_type = FrameType::kCheckpointResult;
+          } else {
+            comp.status = ckpt.status();
+            c_errors_->Increment();
+          }
+          comps.push_back(std::move(comp));
+        }
+      }
       for (Completion& comp : comps) PostCompletion(std::move(comp));
     }
   } catch (...) {
@@ -930,7 +1306,7 @@ void Server::ProcessCompletions(LoopState* state) {
       AppendFrame(&conn->outbuf, FrameType::kError, comp.request_id,
                   EncodeErrorPayload(comp.status));
     } else if (comp.is_write) {
-      AppendFrame(&conn->outbuf, FrameType::kIngestResult, comp.request_id,
+      AppendFrame(&conn->outbuf, comp.write_ack_type, comp.request_id,
                   comp.write_ack);
     } else {
       const EncodedAnswer& answer = *comp.answer;

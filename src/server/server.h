@@ -13,6 +13,8 @@
 #include "common/exec_context.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
+#include "durability/checkpoint.h"
+#include "durability/wal.h"
 #include "obs/metrics.h"
 #include "pattern/annotated.h"
 #include "server/answer_cache.h"
@@ -104,6 +106,17 @@ struct ServerOptions {
   /// (queue wait + evaluation + encode) reaches this many milliseconds
   /// is logged at warn level with its SQL and timings. 0 disables.
   double slow_query_millis = 0;
+  /// WAL + checkpoint directory (docs/DURABILITY.md). Empty = run
+  /// purely in memory (the pre-WAL behavior): no logging, no recovery,
+  /// CHECKPOINT frames answered with kUnavailable.
+  std::string wal_dir;
+  /// Automatic checkpoint cadence: a snapshot is written after this
+  /// many applied writes (and the covered WAL segments truncated).
+  /// 0 = only explicit CHECKPOINT frames and Drain() checkpoint.
+  uint64_t checkpoint_interval = 0;
+  /// Drain() deadline: how long the event loop keeps running to answer
+  /// admitted work before giving up and exiting anyway.
+  int drain_timeout_millis = 5000;
 };
 
 /// \brief The pcdbd serving core. Start() spins up the listener, event
@@ -125,8 +138,23 @@ class Server {
   [[nodiscard]] Status Start();
 
   /// Requests shutdown, cancels in-flight queries cooperatively, and
-  /// blocks until the event loop has exited. Idempotent.
+  /// blocks until the event loop has exited. Idempotent. Deliberately
+  /// does NOT checkpoint — the WAL alone must be able to reconstruct
+  /// the state (which is what the crash-recovery tests exercise);
+  /// graceful shutdown with a final checkpoint is Drain().
   void Stop();
+
+  /// Async-signal-safe drain request (an atomic store plus the wake
+  /// pipe's write(2)): the event loop stops accepting connections and
+  /// frames, answers everything already admitted, then exits. pcdbd's
+  /// SIGTERM/SIGINT handler calls exactly this.
+  void RequestDrain();
+
+  /// Blocking graceful shutdown: RequestDrain(), wait for the loop to
+  /// finish answering admitted work (bounded by
+  /// ServerOptions::drain_timeout_millis), stop the pools, and write a
+  /// final checkpoint so the next Start() recovers without replay.
+  void Drain();
 
   /// The bound port (valid after a successful Start).
   uint16_t port() const { return listener_.port(); }
@@ -164,8 +192,20 @@ class Server {
     /// Admission order, for FIFO within a tier.
     uint64_t seq = 0;
     bool is_punctuate = false;
+    /// A CHECKPOINT admin frame: rides the write queue (so it
+    /// serializes after every previously admitted write) but carries no
+    /// data; answered with CHECKPOINT_RESULT.
+    bool is_checkpoint = false;
     IngestRequest ingest;        ///< Valid when !is_punctuate.
     PunctuateRequest punctuate;  ///< Valid when is_punctuate.
+
+    /// The op's idempotence identity ((0,0) = unsequenced).
+    uint64_t writer_id() const {
+      return is_punctuate ? punctuate.writer_id : ingest.writer_id;
+    }
+    uint64_t wire_seq() const {
+      return is_punctuate ? punctuate.seq : ingest.seq;
+    }
   };
 
   void RunLoop();
@@ -203,6 +243,34 @@ class Server {
   void InvalidateDiff(const AnnotatedDatabase& before,
                       const AnnotatedDatabase& after);
 
+  /// Startup recovery (first Start() with a wal_dir): load the newest
+  /// checkpoint, replay the WAL tail past it, install the recovered
+  /// snapshot, and open the WAL for appending (truncating any torn
+  /// tail). See docs/DURABILITY.md §4.
+  [[nodiscard]] Status RecoverFromDurableState() PCDB_EXCLUDES(write_mu_);
+  /// Replay callback: decode one WAL record's payload and re-apply it
+  /// (with the same dedup the live path uses) to the in-construction
+  /// recovery snapshot.
+  [[nodiscard]] Status ApplyRecoveredRecord(AnnotatedDatabase* next,
+                                            const WalRecord& record)
+      PCDB_REQUIRES(write_mu_);
+  /// True when the op's (writer_id, seq) was already applied; loads the
+  /// stored ack (re-encoded with duplicate=true) into `*ack_payload`.
+  [[nodiscard]] bool IsDuplicateWrite(const WriteOp& op,
+                                      std::string* ack_payload)
+      PCDB_REQUIRES(write_mu_);
+  /// Records the ack for a just-applied sequenced op so a retry of the
+  /// same seq is served from it instead of re-applying.
+  void RecordWriterAck(const WriteOp& op, const IngestResult& ack)
+      PCDB_REQUIRES(write_mu_);
+  /// Writes a checkpoint of the current snapshot + dedup state, then
+  /// truncates the WAL segments it covers. kUnavailable without a WAL.
+  [[nodiscard]] Result<CheckpointResult> CheckpointLocked()
+      PCDB_REQUIRES(write_mu_) PCDB_EXCLUDES(db_mu_);
+  std::string CheckpointPath() const {
+    return options_.wal_dir + "/CHECKPOINT";
+  }
+
   ServerOptions options_;
   MetricsRegistry metrics_;
   AnswerCache cache_;
@@ -228,6 +296,7 @@ class Server {
   Counter* c_patterns_retracted_ = nullptr;
   Counter* c_writes_shed_ = nullptr;
   Counter* c_write_batches_ = nullptr;
+  Counter* c_writes_deduped_ = nullptr;
   Gauge* g_connections_ = nullptr;
   Gauge* g_inflight_ = nullptr;
   Gauge* g_pending_writes_ = nullptr;
@@ -246,6 +315,21 @@ class Server {
   /// declared order acyclic.
   Mutex write_mu_ PCDB_ACQUIRED_BEFORE(db_mu_);
 
+  /// Durability state, owned by whoever holds write_mu_ (the writer job
+  /// and recovery — the same serialization that orders the writes
+  /// themselves). Null when running without a wal_dir.
+  std::unique_ptr<WalWriter> wal_ PCDB_GUARDED_BY(write_mu_);
+  /// Idempotent-retry dedup state: tenant -> writer -> last applied seq
+  /// + stored ack. Persisted in every checkpoint; rebuilt from WAL
+  /// records on replay.
+  CheckpointWriters writers_ PCDB_GUARDED_BY(write_mu_);
+  /// Applied writes since the last checkpoint, for checkpoint_interval.
+  uint64_t writes_since_checkpoint_ PCDB_GUARDED_BY(write_mu_) = 0;
+  /// Recovery runs once, on the first Start(): after a Stop()/Start()
+  /// cycle the in-memory state is already authoritative and replaying
+  /// the log again would double-apply it.
+  bool recovered_ = false;
+
   Mutex writes_mu_;
   std::deque<WriteOp> pending_writes_ PCDB_GUARDED_BY(writes_mu_);
   /// Pending-op count per tenant, for quota shedding.
@@ -256,6 +340,7 @@ class Server {
   Listener listener_;
   WakePipe wake_;
   std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> drain_requested_{false};
 
   mutable Mutex state_mu_;
   CondVar state_cv_;

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -11,6 +15,8 @@
 #include "common/failpoint.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "durability/checkpoint.h"
+#include "durability/wal.h"
 #include "pattern/annotated_eval.h"
 #include "pattern/minimize.h"
 #include "relational/csv.h"
@@ -199,6 +205,63 @@ Status RunIngestRoundTrip(size_t) {
   }
 }
 
+/// Covering workload for the durability sites: one pass over the whole
+/// durable write path in a throwaway directory — open a WAL, group-
+/// commit one record, checkpoint, load the checkpoint back, replay the
+/// log. Hits wal.open, wal.append, wal.append.short, wal.corrupt,
+/// wal.fsync, checkpoint.write, checkpoint.rename, and recovery.record.
+/// The silent-corruption sites (wal.corrupt, wal.append.short) leave the
+/// workload OK under Sleep(0): replay stops cleanly at the mangled tail,
+/// exactly the contract recovery relies on.
+Status DurabilityRoundTripImpl() {
+  char tmpl[] = "/tmp/pcdb_faults_XXXXXX";
+  if (mkdtemp(tmpl) == nullptr) {
+    return Status::Internal("mkdtemp failed");
+  }
+  const std::string dir = tmpl;
+  auto cleanup = [&dir] {
+    Result<std::vector<std::string>> segments = ListWalSegments(dir);
+    if (segments.ok()) {
+      for (const std::string& path : *segments) unlink(path.c_str());
+    }
+    unlink((dir + "/CHECKPOINT").c_str());
+    unlink((dir + "/CHECKPOINT.tmp").c_str());
+    rmdir(dir.c_str());
+  };
+  Status status = [&dir]() -> Status {
+    PCDB_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> writer,
+                          WalWriter::Open(dir));
+    WalRecord record;
+    record.tenant = "t";
+    record.writer_id = 1;
+    record.seq = 1;
+    record.payload = "payload";
+    std::vector<WalRecord> batch = {record};
+    PCDB_RETURN_NOT_OK(writer->AppendBatch(&batch));
+    const AnnotatedDatabase adb = MakeMaintenanceDatabase();
+    PCDB_RETURN_NOT_OK(
+        SaveCheckpoint(dir + "/CHECKPOINT", adb, /*last_lsn=*/0, {}));
+    PCDB_RETURN_NOT_OK(LoadCheckpoint(dir + "/CHECKPOINT").status());
+    PCDB_RETURN_NOT_OK(
+        ReplayWal(dir, 0, [](const WalRecord&) { return Status::OK(); })
+            .status());
+    return Status::OK();
+  }();
+  cleanup();
+  return status;
+}
+
+Status RunDurabilityRoundTrip(size_t) {
+  try {
+    return DurabilityRoundTripImpl();
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("durability round trip threw: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("durability round trip threw");
+  }
+}
+
 Status RunNetRoundTrip(size_t) {
   try {
     return NetRoundTripImpl();
@@ -236,6 +299,14 @@ const std::vector<SiteWorkload>& CoveringWorkloads() {
           {"server.decode", RunNetRoundTrip, true},
           {"server.write", RunNetRoundTrip, true},
           {"server.ingest", RunIngestRoundTrip, true},
+          {"wal.open", RunDurabilityRoundTrip, true},
+          {"wal.append", RunDurabilityRoundTrip, true},
+          {"wal.append.short", RunDurabilityRoundTrip, true},
+          {"wal.corrupt", RunDurabilityRoundTrip, true},
+          {"wal.fsync", RunDurabilityRoundTrip, true},
+          {"checkpoint.write", RunDurabilityRoundTrip, true},
+          {"checkpoint.rename", RunDurabilityRoundTrip, true},
+          {"recovery.record", RunDurabilityRoundTrip, true},
       };
   return *workloads;
 }

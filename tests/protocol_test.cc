@@ -257,6 +257,8 @@ TEST(IngestPayloadTest, RoundTrips) {
                           Value("scheduled check")});
   request.rows.push_back({Value(2.5)});  // arity/type checks are the
                                          // server's job, not the codec's
+  request.writer_id = 0x1234567890ABCDEFull;
+  request.seq = 42;
   Result<IngestRequest> back =
       DecodeIngestPayload(EncodeIngestPayload(request));
   ASSERT_TRUE(back.ok()) << back.status().ToString();
@@ -266,6 +268,10 @@ TEST(IngestPayloadTest, RoundTrips) {
   ASSERT_EQ(back->rows.size(), 2u);
   EXPECT_EQ(back->rows[0], request.rows[0]);
   EXPECT_EQ(back->rows[1], request.rows[1]);
+  // The idempotence identity must survive byte-exactly: a retried frame
+  // re-encodes to the same (writer_id, seq) pair the server dedups on.
+  EXPECT_EQ(back->writer_id, 0x1234567890ABCDEFull);
+  EXPECT_EQ(back->seq, 42u);
 }
 
 TEST(IngestPayloadTest, EveryTruncationIsAParseError) {
@@ -304,12 +310,16 @@ TEST(PunctuatePayloadTest, RoundTrips) {
   request.table = "Warnings";
   request.patterns.push_back({"Mon", "2", "*", "*"});
   request.patterns.push_back({"*", "*", "*", "*"});
+  request.writer_id = 99;
+  request.seq = 7;
   Result<PunctuateRequest> back =
       DecodePunctuatePayload(EncodePunctuatePayload(request));
   ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_EQ(back->tenant, "acme");
   EXPECT_EQ(back->table, "Warnings");
   EXPECT_EQ(back->patterns, request.patterns);
+  EXPECT_EQ(back->writer_id, 99u);
+  EXPECT_EQ(back->seq, 7u);
 }
 
 TEST(PunctuatePayloadTest, EveryTruncationIsAParseError) {
@@ -332,6 +342,8 @@ TEST(IngestResultPayloadTest, RoundTripsAndRejectsTruncation) {
   result.punctuations = 2;
   result.patterns_retracted = 3;
   result.violations = 4;
+  result.seq = 6;
+  result.duplicate = true;
   const std::string payload = EncodeIngestResultPayload(result);
   Result<IngestResult> back = DecodeIngestResultPayload(payload);
   ASSERT_TRUE(back.ok());
@@ -340,6 +352,8 @@ TEST(IngestResultPayloadTest, RoundTripsAndRejectsTruncation) {
   EXPECT_EQ(back->punctuations, 2u);
   EXPECT_EQ(back->patterns_retracted, 3u);
   EXPECT_EQ(back->violations, 4u);
+  EXPECT_EQ(back->seq, 6u);
+  EXPECT_TRUE(back->duplicate);
   for (size_t cut = 0; cut < payload.size(); ++cut) {
     EXPECT_EQ(DecodeIngestResultPayload(
                   std::string_view(payload.data(), cut))
@@ -352,11 +366,43 @@ TEST(IngestResultPayloadTest, RoundTripsAndRejectsTruncation) {
             StatusCode::kParseError);
 }
 
+TEST(IngestResultPayloadTest, BadDuplicateFlagIsAParseError) {
+  std::string payload = EncodeIngestResultPayload(IngestResult{});
+  // The duplicate flag is the final byte; it must be exactly 0 or 1 —
+  // any other value is rejected, not truthy-coerced.
+  payload.back() = 2;
+  EXPECT_EQ(DecodeIngestResultPayload(payload).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(CheckpointResultPayloadTest, RoundTripsAndRejectsTruncation) {
+  CheckpointResult result;
+  result.lsn = 0xFEDCBA9876543210ull;
+  result.wal_segments_removed = 11;
+  const std::string payload = EncodeCheckpointResultPayload(result);
+  Result<CheckpointResult> back = DecodeCheckpointResultPayload(payload);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->lsn, 0xFEDCBA9876543210ull);
+  EXPECT_EQ(back->wal_segments_removed, 11u);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_EQ(DecodeCheckpointResultPayload(
+                  std::string_view(payload.data(), cut))
+                  .status()
+                  .code(),
+              StatusCode::kParseError)
+        << "cut=" << cut;
+  }
+  EXPECT_EQ(DecodeCheckpointResultPayload(payload + "x").status().code(),
+            StatusCode::kParseError);
+}
+
 TEST(FrameTest, WritePathFrameTypesAreKnownToTheReader) {
   std::string wire;
   AppendFrame(&wire, FrameType::kIngest, 1, "");
   AppendFrame(&wire, FrameType::kPunctuate, 2, "");
   AppendFrame(&wire, FrameType::kIngestResult, 3, "");
+  AppendFrame(&wire, FrameType::kCheckpoint, 4, "");
+  AppendFrame(&wire, FrameType::kCheckpointResult, 5, "");
   FrameReader reader;
   reader.Feed(wire.data(), wire.size());
   Frame frame;
@@ -366,6 +412,10 @@ TEST(FrameTest, WritePathFrameTypesAreKnownToTheReader) {
   EXPECT_EQ(frame.type, FrameType::kPunctuate);
   ASSERT_TRUE(NextFrame(&reader, &frame));
   EXPECT_EQ(frame.type, FrameType::kIngestResult);
+  ASSERT_TRUE(NextFrame(&reader, &frame));
+  EXPECT_EQ(frame.type, FrameType::kCheckpoint);
+  ASSERT_TRUE(NextFrame(&reader, &frame));
+  EXPECT_EQ(frame.type, FrameType::kCheckpointResult);
 }
 
 TEST(DonePayloadTest, RoundTrips) {

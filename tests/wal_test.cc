@@ -1,0 +1,704 @@
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "durability/checkpoint.h"
+#include "durability/wal.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "workloads/maintenance_example.h"
+
+namespace pcdb {
+namespace {
+
+/// A throwaway directory for WAL segments / checkpoints; removed (one
+/// level deep — the WAL never nests) on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/pcdb_wal_XXXXXX";
+    const char* made = mkdtemp(tmpl);
+    EXPECT_NE(made, nullptr);
+    path_ = made == nullptr ? "" : made;
+  }
+  ~TempDir() {
+    if (path_.empty()) return;
+    DIR* d = opendir(path_.c_str());
+    if (d != nullptr) {
+      while (dirent* entry = readdir(d)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        unlink((path_ + "/" + name).c_str());
+      }
+      closedir(d);
+    }
+    rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+WalRecord MakeRecord(WalRecordType type, const std::string& tenant,
+                     uint64_t writer_id, uint64_t seq,
+                     const std::string& payload) {
+  WalRecord record;
+  record.type = type;
+  record.tenant = tenant;
+  record.writer_id = writer_id;
+  record.seq = seq;
+  record.payload = payload;
+  return record;
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::string out;
+  if (f != nullptr) {
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+    std::fclose(f);
+  }
+  return out;
+}
+
+/// The name WalWriter gives the segment whose first record is `lsn`.
+std::string SegmentName(uint64_t lsn) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "wal-%020llu.log",
+                static_cast<unsigned long long>(lsn));
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Record codec
+
+TEST(WalCodecTest, RoundTripsEveryField) {
+  WalRecord record =
+      MakeRecord(WalRecordType::kPunctuate, "acme", 77, 12, "payload bytes");
+  record.lsn = 42;
+  std::string buf;
+  AppendWalRecord(&buf, record);
+
+  WalDecodeResult decoded = DecodeWalRecord(
+      reinterpret_cast<const uint8_t*>(buf.data()), buf.size());
+  ASSERT_EQ(decoded.outcome, WalDecodeOutcome::kRecord) << decoded.detail;
+  EXPECT_EQ(decoded.consumed, buf.size());
+  EXPECT_EQ(decoded.record.lsn, 42u);
+  EXPECT_EQ(decoded.record.type, WalRecordType::kPunctuate);
+  EXPECT_EQ(decoded.record.tenant, "acme");
+  EXPECT_EQ(decoded.record.writer_id, 77u);
+  EXPECT_EQ(decoded.record.seq, 12u);
+  EXPECT_EQ(decoded.record.payload, "payload bytes");
+}
+
+TEST(WalCodecTest, EveryTruncationPointIsTorn) {
+  WalRecord record =
+      MakeRecord(WalRecordType::kIngest, "tenant", 1, 2, "some payload");
+  record.lsn = 1;
+  std::string buf;
+  AppendWalRecord(&buf, record);
+
+  // Covers mid-length-prefix (len < 4), mid-body, and mid-CRC cuts.
+  for (size_t len = 0; len < buf.size(); ++len) {
+    WalDecodeResult decoded =
+        DecodeWalRecord(reinterpret_cast<const uint8_t*>(buf.data()), len);
+    EXPECT_EQ(decoded.outcome, WalDecodeOutcome::kTorn)
+        << "prefix of " << len << " bytes: " << decoded.detail;
+  }
+}
+
+TEST(WalCodecTest, AnySingleCorruptByteIsNeverAValidRecord) {
+  WalRecord record =
+      MakeRecord(WalRecordType::kIngest, "tenant", 3, 4, "some payload");
+  record.lsn = 9;
+  std::string buf;
+  AppendWalRecord(&buf, record);
+
+  for (size_t i = 0; i < buf.size(); ++i) {
+    std::string bent = buf;
+    bent[i] = static_cast<char>(bent[i] ^ 0x5A);
+    WalDecodeResult decoded = DecodeWalRecord(
+        reinterpret_cast<const uint8_t*>(bent.data()), bent.size());
+    // A bent length prefix may read as torn (body now "extends past"
+    // the buffer); anything structurally complete must fail the CRC.
+    EXPECT_NE(decoded.outcome, WalDecodeOutcome::kRecord)
+        << "flip at byte " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replay and torn-tail goldens
+
+std::string EncodeThreeRecords(std::vector<size_t>* boundaries) {
+  std::string bytes;
+  boundaries->push_back(0);
+  for (uint64_t lsn = 1; lsn <= 3; ++lsn) {
+    WalRecord record = MakeRecord(
+        lsn == 2 ? WalRecordType::kPunctuate : WalRecordType::kIngest,
+        "t" + std::to_string(lsn), lsn * 10, lsn,
+        "payload-" + std::to_string(lsn));
+    record.lsn = lsn;
+    AppendWalRecord(&bytes, record);
+    boundaries->push_back(bytes.size());
+  }
+  return bytes;
+}
+
+TEST(WalReplayTest, ReplaysExactlyThePrefixAtEveryTruncationPoint) {
+  std::vector<size_t> boundaries;
+  const std::string bytes = EncodeThreeRecords(&boundaries);
+  TempDir dir;
+  const std::string segment = dir.path() + "/" + SegmentName(1);
+
+  for (size_t len = 0; len <= bytes.size(); ++len) {
+    WriteFileOrDie(segment, bytes.substr(0, len));
+    size_t whole_records = 0;
+    while (whole_records + 1 < boundaries.size() &&
+           boundaries[whole_records + 1] <= len) {
+      ++whole_records;
+    }
+    const bool at_boundary = boundaries[whole_records] == len;
+
+    std::vector<uint64_t> lsns;
+    Result<WalReplayStats> stats =
+        ReplayWal(dir.path(), 0, [&lsns](const WalRecord& record) {
+          lsns.push_back(record.lsn);
+          return Status::OK();
+        });
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->records_replayed, whole_records) << "len=" << len;
+    EXPECT_EQ(stats->torn_tail, !at_boundary) << "len=" << len;
+    ASSERT_EQ(lsns.size(), whole_records);
+    for (size_t i = 0; i < lsns.size(); ++i) EXPECT_EQ(lsns[i], i + 1);
+  }
+}
+
+TEST(WalReplayTest, StopsAtACorruptMiddleRecord) {
+  std::vector<size_t> boundaries;
+  std::string bytes = EncodeThreeRecords(&boundaries);
+  // Flip a byte inside record 2's body: replay must keep record 1,
+  // refuse record 2, and never guess its way to record 3.
+  bytes[boundaries[1] + 10] = static_cast<char>(bytes[boundaries[1] + 10] ^ 1);
+  TempDir dir;
+  WriteFileOrDie(dir.path() + "/" + SegmentName(1), bytes);
+
+  std::vector<uint64_t> lsns;
+  Result<WalReplayStats> stats =
+      ReplayWal(dir.path(), 0, [&lsns](const WalRecord& record) {
+        lsns.push_back(record.lsn);
+        return Status::OK();
+      });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->records_replayed, 1u);
+  EXPECT_TRUE(stats->torn_tail);
+  EXPECT_FALSE(stats->tail_detail.empty());
+  ASSERT_EQ(lsns.size(), 1u);
+  EXPECT_EQ(lsns[0], 1u);
+}
+
+TEST(WalReplayTest, SkipsRecordsTheCheckpointAlreadyCovers) {
+  std::vector<size_t> boundaries;
+  const std::string bytes = EncodeThreeRecords(&boundaries);
+  TempDir dir;
+  WriteFileOrDie(dir.path() + "/" + SegmentName(1), bytes);
+
+  std::vector<uint64_t> lsns;
+  Result<WalReplayStats> stats =
+      ReplayWal(dir.path(), /*after_lsn=*/2, [&lsns](const WalRecord& record) {
+        lsns.push_back(record.lsn);
+        return Status::OK();
+      });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->records_replayed, 1u);
+  EXPECT_EQ(stats->records_skipped, 2u);
+  EXPECT_FALSE(stats->torn_tail);
+  ASSERT_EQ(lsns.size(), 1u);
+  EXPECT_EQ(lsns[0], 3u);
+}
+
+TEST(WalReplayTest, MissingDirectoryIsAnEmptyLog) {
+  Result<WalReplayStats> stats = ReplayWal(
+      "/tmp/pcdb_wal_never_created_by_anything", 0,
+      [](const WalRecord&) { return Status::OK(); });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->records_replayed, 0u);
+  EXPECT_FALSE(stats->torn_tail);
+}
+
+TEST(WalReplayTest, ApplyErrorAbortsReplay) {
+  std::vector<size_t> boundaries;
+  const std::string bytes = EncodeThreeRecords(&boundaries);
+  TempDir dir;
+  WriteFileOrDie(dir.path() + "/" + SegmentName(1), bytes);
+
+  Result<WalReplayStats> stats =
+      ReplayWal(dir.path(), 0, [](const WalRecord& record) {
+        return record.lsn == 2 ? Status::Internal("apply exploded")
+                               : Status::OK();
+      });
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// WalWriter: LSN assignment, torn-tail repair, truncation
+
+TEST(WalWriterTest, AssignsConsecutiveLsnsAndSurvivesReopen) {
+  TempDir dir;
+  {
+    Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir.path());
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    std::vector<WalRecord> batch = {
+        MakeRecord(WalRecordType::kIngest, "t", 1, 1, "a"),
+        MakeRecord(WalRecordType::kIngest, "t", 1, 2, "b")};
+    ASSERT_TRUE((*writer)->AppendBatch(&batch).ok());
+    EXPECT_EQ(batch[0].lsn, 1u);
+    EXPECT_EQ(batch[1].lsn, 2u);
+    EXPECT_EQ((*writer)->next_lsn(), 3u);
+  }
+
+  // Crash simulation: a partial record (a plausible length prefix and a
+  // few body bytes) lands after the durable tail.
+  const std::string segment = dir.path() + "/" + SegmentName(1);
+  const std::string before = ReadFileOrDie(segment);
+  {
+    std::string torn = before;
+    torn.append("\x40\x00\x00\x00junk", 8);
+    WriteFileOrDie(segment, torn);
+  }
+
+  {
+    Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir.path());
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    // The torn tail was truncated away and LSNs continue where they
+    // left off.
+    EXPECT_EQ((*writer)->next_lsn(), 3u);
+    EXPECT_EQ(ReadFileOrDie(segment).size(), before.size());
+    std::vector<WalRecord> batch = {
+        MakeRecord(WalRecordType::kIngest, "t", 1, 3, "c")};
+    ASSERT_TRUE((*writer)->AppendBatch(&batch).ok());
+    EXPECT_EQ(batch[0].lsn, 3u);
+  }
+
+  std::vector<uint64_t> lsns;
+  Result<WalReplayStats> stats =
+      ReplayWal(dir.path(), 0, [&lsns](const WalRecord& record) {
+        lsns.push_back(record.lsn);
+        return Status::OK();
+      });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->records_replayed, 3u);
+  EXPECT_FALSE(stats->torn_tail);
+}
+
+TEST(WalWriterTest, MinNextLsnFloorsAssignment) {
+  TempDir dir;
+  WalWriterOptions options;
+  options.min_next_lsn = 41;
+  Result<std::unique_ptr<WalWriter>> writer =
+      WalWriter::Open(dir.path(), options);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  EXPECT_EQ((*writer)->next_lsn(), 41u);
+  std::vector<WalRecord> batch = {
+      MakeRecord(WalRecordType::kIngest, "t", 1, 1, "x")};
+  ASSERT_TRUE((*writer)->AppendBatch(&batch).ok());
+  EXPECT_EQ(batch[0].lsn, 41u);
+}
+
+TEST(WalWriterTest, TruncateThroughRotatesAndRemovesCoveredSegments) {
+  TempDir dir;
+  Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir.path());
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  std::vector<WalRecord> batch = {
+      MakeRecord(WalRecordType::kIngest, "t", 1, 1, "a"),
+      MakeRecord(WalRecordType::kIngest, "t", 1, 2, "b")};
+  ASSERT_TRUE((*writer)->AppendBatch(&batch).ok());
+
+  Result<uint64_t> removed = (*writer)->TruncateThrough(2);
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_EQ(*removed, 1u);
+
+  Result<std::vector<std::string>> segments = ListWalSegments(dir.path());
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 1u);
+  EXPECT_NE(segments->front().find(SegmentName(3)), std::string::npos);
+
+  // LSNs keep counting across the rotation.
+  std::vector<WalRecord> more = {
+      MakeRecord(WalRecordType::kIngest, "t", 1, 3, "c")};
+  ASSERT_TRUE((*writer)->AppendBatch(&more).ok());
+  EXPECT_EQ(more[0].lsn, 3u);
+
+  std::vector<uint64_t> lsns;
+  Result<WalReplayStats> stats =
+      ReplayWal(dir.path(), 2, [&lsns](const WalRecord& record) {
+        lsns.push_back(record.lsn);
+        return Status::OK();
+      });
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(lsns.size(), 1u);
+  EXPECT_EQ(lsns[0], 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint round trip
+
+TEST(CheckpointTest, RoundTripsDatabasePatternsEpochsAndWriters) {
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  ASSERT_TRUE(
+      adb.AddRow("Warnings", Tuple{Value(std::string("Fri")),
+                                   Value(static_cast<int64_t>(3)),
+                                   Value(std::string("w77")),
+                                   Value(std::string("extra row"))})
+          .ok());
+  ASSERT_TRUE(adb.AddPattern("Warnings", {"*", "3", "*", "*"}).ok());
+
+  CheckpointWriters writers;
+  writers[""][7] = CheckpointWriterState{3, "opaque ack bytes"};
+  writers["acme"][9] = CheckpointWriterState{12, ""};
+
+  TempDir dir;
+  const std::string path = dir.path() + "/CHECKPOINT";
+  ASSERT_TRUE(SaveCheckpoint(path, adb, /*last_lsn=*/17, writers).ok());
+
+  Result<std::optional<CheckpointState>> loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->has_value());
+  const CheckpointState& state = **loaded;
+  EXPECT_EQ(state.last_lsn, 17u);
+
+  // Dedup state survives byte-for-byte.
+  ASSERT_EQ(state.writers.size(), 2u);
+  EXPECT_EQ(state.writers.at("").at(7).last_seq, 3u);
+  EXPECT_EQ(state.writers.at("").at(7).ack, "opaque ack bytes");
+  EXPECT_EQ(state.writers.at("acme").at(9).last_seq, 12u);
+
+  // Tables, rows, patterns, and both epoch families survive.
+  EXPECT_EQ(state.db.database().TableNames(), adb.database().TableNames());
+  for (const std::string& name : adb.database().TableNames()) {
+    Result<const Table*> original = adb.database().GetTable(name);
+    Result<const Table*> recovered = state.db.database().GetTable(name);
+    ASSERT_TRUE(original.ok() && recovered.ok());
+    EXPECT_TRUE((*recovered)->BagEquals(**original)) << name;
+    EXPECT_EQ(state.db.database().TableEpoch(name),
+              adb.database().TableEpoch(name))
+        << name;
+    EXPECT_EQ(state.db.PatternSigEpochs(name), adb.PatternSigEpochs(name))
+        << name;
+    EXPECT_EQ(state.db.patterns(name).size(), adb.patterns(name).size())
+        << name;
+  }
+}
+
+TEST(CheckpointTest, AbsentFileIsNullopt) {
+  TempDir dir;
+  Result<std::optional<CheckpointState>> loaded =
+      LoadCheckpoint(dir.path() + "/CHECKPOINT");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->has_value());
+}
+
+TEST(CheckpointTest, CorruptOrTruncatedFileFailsLoudly) {
+  AnnotatedDatabase adb = MakeMaintenanceDatabase();
+  TempDir dir;
+  const std::string path = dir.path() + "/CHECKPOINT";
+  ASSERT_TRUE(SaveCheckpoint(path, adb, 5, {}).ok());
+  const std::string good = ReadFileOrDie(path);
+
+  std::string bent = good;
+  bent[bent.size() / 2] = static_cast<char>(bent[bent.size() / 2] ^ 0x5A);
+  WriteFileOrDie(path, bent);
+  EXPECT_FALSE(LoadCheckpoint(path).ok());
+
+  WriteFileOrDie(path, good.substr(0, good.size() / 2));
+  EXPECT_FALSE(LoadCheckpoint(path).ok());
+
+  // The intact bytes still load — the failures above were the file, not
+  // the codec.
+  WriteFileOrDie(path, good);
+  Result<std::optional<CheckpointState>> loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->has_value());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: server recovery, drain, idempotence, differential replay
+
+class DurableServerTest : public ::testing::Test {
+ protected:
+  Client ConnectOrDie(const Server& server, ClientOptions options = {}) {
+    Result<Client> client =
+        Client::Connect("127.0.0.1", server.port(), options);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+  static Tuple WarningsRow(const std::string& day, int64_t week,
+                           const std::string& id, const std::string& msg) {
+    return Tuple{Value(day), Value(week), Value(id), Value(msg)};
+  }
+};
+
+TEST_F(DurableServerTest, ReplaysAckedWritesAfterUncleanStop) {
+  TempDir dir;
+  ServerOptions options;
+  options.wal_dir = dir.path();
+
+  const std::string sql = "SELECT * FROM Warnings WHERE week=9";
+  std::string pre_crash;
+  {
+    Server server(MakeMaintenanceDatabase(), options);
+    ASSERT_TRUE(server.Start().ok());
+    Client client = ConnectOrDie(server);
+    Result<IngestResult> ack = client.Ingest(
+        "Warnings", {WarningsRow("Fri", 9, "w9", "recover me")});
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    EXPECT_EQ(ack->rows_ingested, 1u);
+    EXPECT_FALSE(ack->duplicate);
+    Result<IngestResult> punct =
+        client.Punctuate("Warnings", {{"*", "9", "*", "*"}});
+    ASSERT_TRUE(punct.ok()) << punct.status().ToString();
+    Result<ClientAnswer> answer = client.Query(sql);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    pre_crash = answer->canonical_bytes;
+    // Stop() deliberately takes no checkpoint: recovery must come from
+    // the log alone, like a kill -9 would force.
+    server.Stop();
+  }
+
+  Server server(MakeMaintenanceDatabase(), options);
+  ASSERT_TRUE(server.Start().ok());
+  Client client = ConnectOrDie(server);
+  Result<std::string> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("wal_recovered_records"), std::string::npos);
+  Result<ClientAnswer> answer = client.Query(sql);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->canonical_bytes, pre_crash);
+  server.Stop();
+}
+
+TEST_F(DurableServerTest, DrainCheckpointsAndRecoveryPrefersIt) {
+  TempDir dir;
+  ServerOptions options;
+  options.wal_dir = dir.path();
+
+  {
+    Server server(MakeMaintenanceDatabase(), options);
+    ASSERT_TRUE(server.Start().ok());
+    Client client = ConnectOrDie(server);
+    Result<IngestResult> ack = client.Ingest(
+        "Warnings", {WarningsRow("Sat", 8, "w8", "drained row")});
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    server.Drain();
+  }
+
+  // Drain left a checkpoint covering everything and truncated the log
+  // down to one fresh, empty segment.
+  Result<std::optional<CheckpointState>> ckpt =
+      LoadCheckpoint(dir.path() + "/CHECKPOINT");
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+  ASSERT_TRUE(ckpt->has_value());
+  EXPECT_GE((*ckpt)->last_lsn, 1u);
+  Result<WalReplayStats> tail = ReplayWal(
+      dir.path(), (*ckpt)->last_lsn, [](const WalRecord&) {
+        return Status::Internal("nothing should remain to replay");
+      });
+  ASSERT_TRUE(tail.ok()) << tail.status().ToString();
+  EXPECT_EQ(tail->records_replayed, 0u);
+
+  Server server(MakeMaintenanceDatabase(), options);
+  ASSERT_TRUE(server.Start().ok());
+  Client client = ConnectOrDie(server);
+  Result<ClientAnswer> answer =
+      client.Query("SELECT * FROM Warnings WHERE week=8");
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->table.data.num_rows(), 1u);
+  server.Stop();
+}
+
+TEST_F(DurableServerTest, DuplicateSeqAppliesExactlyOnceAcrossRestart) {
+  TempDir dir;
+  ServerOptions options;
+  options.wal_dir = dir.path();
+  ClientOptions pinned;
+  pinned.writer_id = 424242;
+  const std::string sql = "SELECT * FROM Warnings WHERE week=7";
+
+  {
+    Server server(MakeMaintenanceDatabase(), options);
+    ASSERT_TRUE(server.Start().ok());
+    {
+      Client first = ConnectOrDie(server, pinned);
+      Result<IngestResult> ack = first.Ingest(
+          "Warnings", {WarningsRow("Mon", 7, "w7", "only once")});
+      ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+      EXPECT_EQ(ack->seq, 1u);
+      EXPECT_FALSE(ack->duplicate);
+      EXPECT_EQ(ack->rows_ingested, 1u);
+    }
+    {
+      // A "retry after reconnect": same writer id, same seq (a fresh
+      // Client restarts its sequence at 1). The server must re-serve
+      // the original ack without applying.
+      Client second = ConnectOrDie(server, pinned);
+      Result<IngestResult> ack = second.Ingest(
+          "Warnings", {WarningsRow("Mon", 7, "w7", "only once")});
+      ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+      EXPECT_EQ(ack->seq, 1u);
+      EXPECT_TRUE(ack->duplicate);
+      EXPECT_EQ(ack->rows_ingested, 1u);  // the original counters
+      Result<ClientAnswer> answer = second.Query(sql);
+      ASSERT_TRUE(answer.ok());
+      EXPECT_EQ(answer->table.data.num_rows(), 1u);
+    }
+    server.Stop();
+  }
+
+  // The dedup map rides the WAL: after an unclean restart the same
+  // (writer, seq) pair is still recognized.
+  Server server(MakeMaintenanceDatabase(), options);
+  ASSERT_TRUE(server.Start().ok());
+  Client third = ConnectOrDie(server, pinned);
+  Result<IngestResult> ack =
+      third.Ingest("Warnings", {WarningsRow("Mon", 7, "w7", "only once")});
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_TRUE(ack->duplicate);
+  Result<ClientAnswer> answer = third.Query(sql);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->table.data.num_rows(), 1u);
+  server.Stop();
+}
+
+TEST_F(DurableServerTest, RandomizedScriptRecoversToReferenceAnswers) {
+  TempDir dir;
+  ServerOptions durable_options;
+  durable_options.wal_dir = dir.path();
+
+  // The reference runs the same script without a WAL and never stops;
+  // the durable server is stopped uncleanly and must recover to
+  // byte-identical answers.
+  Server reference(MakeMaintenanceDatabase(), {});
+  ASSERT_TRUE(reference.Start().ok());
+  Client ref_client = ConnectOrDie(reference);
+
+  std::mt19937 rng(20260808);
+  static const char* kDays[] = {"Mon", "Tue", "Wed", "Thu", "Fri"};
+  {
+    Server durable(MakeMaintenanceDatabase(), durable_options);
+    ASSERT_TRUE(durable.Start().ok());
+    Client client = ConnectOrDie(durable);
+    for (int i = 0; i < 40; ++i) {
+      const int64_t week = static_cast<int64_t>(rng() % 5) + 1;
+      if (rng() % 4 == 0) {
+        std::vector<std::string> fields = {"*", std::to_string(week), "*",
+                                           "*"};
+        Result<IngestResult> a =
+            client.Punctuate("Warnings", {fields});
+        ASSERT_TRUE(a.ok()) << a.status().ToString();
+        Result<IngestResult> b = ref_client.Punctuate("Warnings", {fields});
+        ASSERT_TRUE(b.ok()) << b.status().ToString();
+      } else {
+        Tuple row = WarningsRow(kDays[rng() % 5], week,
+                                "r" + std::to_string(i),
+                                "msg " + std::to_string(rng() % 1000));
+        Result<IngestResult> a = client.Ingest("Warnings", {row});
+        ASSERT_TRUE(a.ok()) << a.status().ToString();
+        Result<IngestResult> b = ref_client.Ingest("Warnings", {row});
+        ASSERT_TRUE(b.ok()) << b.status().ToString();
+        EXPECT_EQ(a->rows_ingested, b->rows_ingested) << "op " << i;
+        EXPECT_EQ(a->violations, b->violations) << "op " << i;
+      }
+    }
+    durable.Stop();
+  }
+
+  Server recovered(MakeMaintenanceDatabase(), durable_options);
+  ASSERT_TRUE(recovered.Start().ok());
+  Client rec_client = ConnectOrDie(recovered);
+  const char* kProbes[] = {
+      "SELECT * FROM Warnings",
+      "SELECT * FROM Warnings WHERE week=3",
+      "SELECT day, message FROM Warnings WHERE week=1",
+  };
+  for (const char* sql : kProbes) {
+    Result<ClientAnswer> want = ref_client.Query(sql);
+    ASSERT_TRUE(want.ok()) << sql << ": " << want.status().ToString();
+    Result<ClientAnswer> got = rec_client.Query(sql);
+    ASSERT_TRUE(got.ok()) << sql << ": " << got.status().ToString();
+    EXPECT_EQ(got->canonical_bytes, want->canonical_bytes) << sql;
+  }
+  recovered.Stop();
+  reference.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Client resilience: transparent reconnect for queries and idempotent
+// resend for writes, across a server restart on the same port.
+
+TEST_F(DurableServerTest, ClientSurvivesServerRestartOnSamePort) {
+  TempDir dir;
+  ServerOptions options;
+  options.wal_dir = dir.path();
+
+  auto first = std::make_unique<Server>(MakeMaintenanceDatabase(), options);
+  ASSERT_TRUE(first->Start().ok());
+  const uint16_t port = first->port();
+  Client client = ConnectOrDie(*first);
+  Result<IngestResult> seeded =
+      client.Ingest("Warnings", {WarningsRow("Tue", 6, "w6", "before")});
+  ASSERT_TRUE(seeded.ok()) << seeded.status().ToString();
+  first->Stop();
+  first.reset();
+
+  ServerOptions same_port = options;
+  same_port.port = port;
+  Server second(MakeMaintenanceDatabase(), same_port);
+  ASSERT_TRUE(second.Start().ok());
+
+  // The client's connection is dead; Query must reconnect once and
+  // resend transparently, and the recovered row must be there.
+  Result<ClientAnswer> answer =
+      client.Query("SELECT * FROM Warnings WHERE week=6");
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->table.data.num_rows(), 1u);
+
+  // Make the connection stale again for the write path: restart once
+  // more and let Ingest retry through its backoff loop.
+  second.Stop();
+  Server third(MakeMaintenanceDatabase(), same_port);
+  Status third_started = third.Start();
+  ASSERT_TRUE(third_started.ok()) << third_started.ToString();
+  Result<IngestResult> ack =
+      client.Ingest("Warnings", {WarningsRow("Tue", 6, "w6b", "after")});
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->rows_ingested, 1u);
+  EXPECT_FALSE(ack->duplicate);
+  third.Stop();
+}
+
+}  // namespace
+}  // namespace pcdb

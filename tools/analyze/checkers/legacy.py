@@ -19,7 +19,8 @@ LAYER_DEPS = {
     "pattern": {"common", "obs", "relational"},
     "sql": {"common", "obs", "relational", "pattern"},
     "workloads": {"common", "obs", "relational", "pattern"},
-    "server": {"common", "obs", "relational", "pattern", "sql"},
+    "durability": {"common", "obs", "relational", "pattern"},
+    "server": {"common", "obs", "relational", "pattern", "sql", "durability"},
 }
 
 NAKED_MUTEX_RE = re.compile(

@@ -6,9 +6,18 @@
 //               [--max-rows N] [--max-patterns N] [--max-memory N]
 //               [--aware] [--zombies] [--profile] [--timeout-ms N]
 //   pcdb_client --port N --ingest TABLE --row "v1,v2,..." [--row ...]
-//               [--tenant NAME] [--policy reject|retract]
+//               [--tenant NAME] [--policy reject|retract] [--writer-id N]
 //   pcdb_client --port N --punctuate TABLE --fields "c1,*,..." [--fields ...]
-//               [--tenant NAME]
+//               [--tenant NAME] [--writer-id N]
+//   pcdb_client --port N --checkpoint
+//
+// --writer-id pins the client's idempotence identity (normally random
+// per connection): two invocations with the same --writer-id send the
+// same (writer_id, seq) pair, so the second is recognized as a
+// duplicate and answered duplicate=1 without applying — the knob the
+// crash-recovery CI stage uses to prove exactly-once apply.
+// --checkpoint asks a WAL-enabled server to serialize its snapshot and
+// truncate the log, printing the checkpoint LSN.
 //
 // --row cells are typed heuristically (integer, then float, then
 // string); the server rejects a row whose types don't match the table
@@ -104,6 +113,7 @@ int main(int argc, char** argv) {
   uint64_t port = 0;
   bool ping = false;
   bool stats = false;
+  bool checkpoint = false;
   std::string sql;
   std::string ingest_table;
   std::string punctuate_table;
@@ -149,6 +159,10 @@ int main(int argc, char** argv) {
       query_options.max_memory_bytes = n;
     } else if (ParseUint(argc, argv, &i, "--timeout-ms", &n)) {
       conn_options.recv_timeout_millis = static_cast<int>(n);
+    } else if (ParseUint(argc, argv, &i, "--writer-id", &n)) {
+      conn_options.writer_id = n;
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+      checkpoint = true;
     } else if (std::strcmp(argv[i], "--aware") == 0) {
       query_options.instance_aware = true;
     } else if (std::strcmp(argv[i], "--zombies") == 0) {
@@ -169,10 +183,11 @@ int main(int argc, char** argv) {
           "                   [--timeout-ms N]\n"
           "   or: pcdb_client --port N --ingest TABLE --row \"v1,v2,...\"\n"
           "                   [--row ...] [--tenant NAME]\n"
-          "                   [--policy reject|retract]\n"
+          "                   [--policy reject|retract] [--writer-id N]\n"
           "   or: pcdb_client --port N --punctuate TABLE\n"
           "                   --fields \"c1,*,...\" [--fields ...]\n"
-          "                   [--tenant NAME]\n");
+          "                   [--tenant NAME] [--writer-id N]\n"
+          "   or: pcdb_client --port N --checkpoint\n");
       return 0;
     } else {
       std::fprintf(stderr, "pcdb_client: unknown flag %s (see --help)\n",
@@ -180,11 +195,11 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (port == 0 || (!ping && !stats && sql.empty() && ingest_table.empty() &&
-                    punctuate_table.empty())) {
+  if (port == 0 || (!ping && !stats && !checkpoint && sql.empty() &&
+                    ingest_table.empty() && punctuate_table.empty())) {
     std::fprintf(stderr,
                  "pcdb_client: need --port and one of --ping, --stats, "
-                 "--sql, --ingest, --punctuate (see --help)\n");
+                 "--checkpoint, --sql, --ingest, --punctuate (see --help)\n");
     return 2;
   }
   if (!ingest_table.empty() && rows.empty()) {
@@ -227,6 +242,19 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (checkpoint) {
+    auto result = client->Checkpoint();
+    if (!result.ok()) {
+      std::fprintf(stderr, "pcdb_client: checkpoint: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpoint lsn=%llu wal_segments_removed=%llu\n",
+                static_cast<unsigned long long>(result->lsn),
+                static_cast<unsigned long long>(result->wal_segments_removed));
+    return 0;
+  }
+
   if (!ingest_table.empty() || !punctuate_table.empty()) {
     auto ack = ingest_table.empty()
                    ? client->Punctuate(punctuate_table, std::move(patterns),
@@ -241,12 +269,13 @@ int main(int argc, char** argv) {
     }
     std::printf(
         "ingested=%llu rejected=%llu violations=%llu punctuations=%llu "
-        "retracted=%llu\n",
+        "retracted=%llu seq=%llu duplicate=%d\n",
         static_cast<unsigned long long>(ack->rows_ingested),
         static_cast<unsigned long long>(ack->rows_rejected),
         static_cast<unsigned long long>(ack->violations),
         static_cast<unsigned long long>(ack->punctuations),
-        static_cast<unsigned long long>(ack->patterns_retracted));
+        static_cast<unsigned long long>(ack->patterns_retracted),
+        static_cast<unsigned long long>(ack->seq), ack->duplicate ? 1 : 0);
     return 0;
   }
 

@@ -1,0 +1,152 @@
+// pcdb_wal_dump — offline inspector for pcdbd's durable write path.
+//
+//   pcdb_wal_dump --dir WAL_DIR          # checkpoint summary + all segments
+//   pcdb_wal_dump SEGMENT_FILE...        # specific segment files
+//
+// Prints one line per WAL record (lsn, type, tenant, writer/seq, payload
+// size) and classifies the tail of each segment: "clean" when the last
+// record ends exactly at EOF, "torn" for a crash mid-append (expected,
+// recovery truncates it), "corrupt" for a CRC/structure failure (bit
+// rot or a short write that landed mid-stream). With --dir, the
+// CHECKPOINT file (if any) is summarized first — its LSN tells you
+// which records the server would actually replay.
+//
+// The tool never mutates anything; it is safe to point at a live
+// server's WAL directory.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "durability/checkpoint.h"
+#include "durability/wal.h"
+
+namespace {
+
+const char* TypeName(pcdb::WalRecordType type) {
+  switch (type) {
+    case pcdb::WalRecordType::kIngest:
+      return "INGEST";
+    case pcdb::WalRecordType::kPunctuate:
+      return "PUNCTUATE";
+  }
+  return "?";
+}
+
+// Reads the whole file; empty + false on failure.
+bool ReadAll(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+// Returns 0 on a clean segment, 1 on torn/corrupt/unreadable.
+int DumpSegment(const std::string& path) {
+  std::string bytes;
+  if (!ReadAll(path, &bytes)) {
+    std::fprintf(stderr, "pcdb_wal_dump: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("segment %s (%zu bytes)\n", path.c_str(), bytes.size());
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
+  size_t offset = 0;
+  uint64_t records = 0;
+  while (offset < bytes.size()) {
+    pcdb::WalDecodeResult decoded =
+        pcdb::DecodeWalRecord(data + offset, bytes.size() - offset);
+    if (decoded.outcome == pcdb::WalDecodeOutcome::kTorn) {
+      std::printf("  @%zu torn tail (%zu trailing bytes): %s\n", offset,
+                  bytes.size() - offset, decoded.detail.c_str());
+      return 1;
+    }
+    if (decoded.outcome == pcdb::WalDecodeOutcome::kCorrupt) {
+      std::printf("  @%zu CORRUPT: %s\n", offset, decoded.detail.c_str());
+      return 1;
+    }
+    const pcdb::WalRecord& r = decoded.record;
+    std::printf(
+        "  @%zu lsn=%llu %s tenant='%s' writer=%llu seq=%llu payload=%zu\n",
+        offset, static_cast<unsigned long long>(r.lsn), TypeName(r.type),
+        r.tenant.c_str(), static_cast<unsigned long long>(r.writer_id),
+        static_cast<unsigned long long>(r.seq), r.payload.size());
+    offset += decoded.consumed;
+    ++records;
+  }
+  std::printf("  clean: %llu records\n",
+              static_cast<unsigned long long>(records));
+  return 0;
+}
+
+void DumpCheckpoint(const std::string& dir) {
+  const std::string path = dir + "/CHECKPOINT";
+  auto loaded = pcdb::LoadCheckpoint(path);
+  if (!loaded.ok()) {
+    std::printf("checkpoint %s: UNREADABLE: %s\n", path.c_str(),
+                loaded.status().ToString().c_str());
+    return;
+  }
+  if (!loaded->has_value()) {
+    std::printf("checkpoint %s: absent (full-log replay)\n", path.c_str());
+    return;
+  }
+  const pcdb::CheckpointState& state = **loaded;
+  size_t tracked_writers = 0;
+  for (const auto& [tenant, writers] : state.writers) {
+    tracked_writers += writers.size();
+  }
+  std::printf(
+      "checkpoint %s: last_lsn=%llu tables=%zu tracked_writers=%zu\n",
+      path.c_str(), static_cast<unsigned long long>(state.last_lsn),
+      state.db.database().TableNames().size(), tracked_writers);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (std::strncmp(argv[i], "--dir=", 6) == 0) {
+      dir = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: pcdb_wal_dump --dir WAL_DIR\n"
+          "   or: pcdb_wal_dump SEGMENT_FILE...\n");
+      return 0;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (dir.empty() && files.empty()) {
+    std::fprintf(stderr,
+                 "pcdb_wal_dump: need --dir or segment files (see --help)\n");
+    return 2;
+  }
+  if (!dir.empty()) {
+    DumpCheckpoint(dir);
+    auto segments = pcdb::ListWalSegments(dir);
+    if (!segments.ok()) {
+      std::fprintf(stderr, "pcdb_wal_dump: %s\n",
+                   segments.status().ToString().c_str());
+      return 1;
+    }
+    // ListWalSegments returns full paths, sorted by first LSN.
+    files.insert(files.end(), segments->begin(), segments->end());
+    if (files.empty()) std::printf("no WAL segments in %s\n", dir.c_str());
+  }
+  int rc = 0;
+  for (const std::string& path : files) {
+    if (DumpSegment(path) != 0) rc = 1;
+  }
+  return rc;
+}

@@ -8,12 +8,28 @@
 //         [--max-queue N] [--max-connections N] [--cache-mb N]
 //         [--no-cache] [--rows-per-batch N] [--metrics-dump]
 //         [--slow-query-ms N] [--max-pending-writes N] [--tenant-quota N]
-//         [--tenant-tier NAME=N]...
+//         [--tenant-tier NAME=N]... [--wal-dir PATH] [--no-wal]
+//         [--checkpoint-interval N] [--drain-timeout-ms N]
 //
 // With --port 0 (the default) an ephemeral port is bound; the single
 // line "pcdbd listening on HOST:PORT" on stdout announces it (tools/
-// ci.sh parses that line). SIGINT/SIGTERM shut down gracefully:
-// in-flight queries are cancelled cooperatively and the process exits 0.
+// ci.sh parses that line).
+//
+// --wal-dir enables the durable write path (docs/DURABILITY.md): every
+// acked INGEST/PUNCTUATE is fsync'd to a write-ahead log before it
+// applies, and startup replays checkpoint + WAL tail, so a kill -9
+// loses nothing that was acknowledged. --checkpoint-interval N
+// checkpoints automatically every N applied writes (0 = only explicit
+// CHECKPOINT frames and the final drain checkpoint). --no-wal forces
+// the pre-durability in-memory behaviour even if a wrapper script
+// passed --wal-dir earlier on the command line.
+//
+// SIGINT/SIGTERM drain gracefully via the self-pipe pattern: the
+// handler only calls Server::RequestDrain() (async-signal-safe — an
+// atomic store plus one write(2) to the event loop's wake pipe), the
+// event loop stops accepting, answers everything in flight, the writer
+// finishes its batch, a final checkpoint is taken (when a WAL is
+// configured), and the process exits 0.
 // --metrics-dump prints the final metrics/cache JSON on shutdown.
 // --slow-query-ms logs any query at or over the threshold as a
 // structured warn line on stderr (common/log.h). Diagnostics go to
@@ -34,8 +50,16 @@
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+pcdb::Server* g_server = nullptr;
 
-void HandleSignal(int /*signum*/) { g_stop = 1; }
+// Installed for SIGINT/SIGTERM after g_server is set. RequestDrain is
+// async-signal-safe by contract (no locks, no allocation, no logging),
+// so the drain path starts inside the handler instead of racing a
+// process-teardown against the writer job.
+void HandleSignal(int /*signum*/) {
+  g_stop = 1;
+  if (g_server != nullptr) g_server->RequestDrain();
+}
 
 // --flag=V or --flag V; returns true and advances *i on a match.
 bool ParseUint(int argc, char** argv, int* i, const char* flag,
@@ -111,6 +135,14 @@ int main(int argc, char** argv) {
       }
       options.tenant_tiers[s.substr(0, eq)] = static_cast<uint32_t>(
           std::strtoul(s.c_str() + eq + 1, nullptr, 10));
+    } else if (ParseString(argc, argv, &i, "--wal-dir", &s)) {
+      options.wal_dir = s;
+    } else if (ParseUint(argc, argv, &i, "--checkpoint-interval", &n)) {
+      options.checkpoint_interval = n;
+    } else if (ParseUint(argc, argv, &i, "--drain-timeout-ms", &n)) {
+      options.drain_timeout_millis = static_cast<int>(n);
+    } else if (std::strcmp(argv[i], "--no-wal") == 0) {
+      options.wal_dir.clear();
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       options.enable_cache = false;
     } else if (std::strcmp(argv[i], "--metrics-dump") == 0) {
@@ -122,7 +154,9 @@ int main(int argc, char** argv) {
           "             [--max-connections N] [--cache-mb N] [--no-cache]\n"
           "             [--rows-per-batch N] [--metrics-dump]\n"
           "             [--slow-query-ms N] [--max-pending-writes N]\n"
-          "             [--tenant-quota N] [--tenant-tier NAME=N]...\n");
+          "             [--tenant-quota N] [--tenant-tier NAME=N]...\n"
+          "             [--wal-dir PATH] [--no-wal]\n"
+          "             [--checkpoint-interval N] [--drain-timeout-ms N]\n");
       return 0;
     } else {
       pcdb::LogError("unknown flag (see --help)").Str("flag", argv[i]);
@@ -137,6 +171,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  g_server = &server;
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
@@ -155,8 +190,11 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
-  pcdb::LogInfo("shutting down");
-  server.Stop();
+  // The handler already kicked RequestDrain(); Drain() waits for the
+  // event loop to answer everything it owes, stops the pools, and takes
+  // the final checkpoint when a WAL is configured.
+  pcdb::LogInfo("shutting down (drain)");
+  server.Drain();
   if (metrics_dump) {
     std::printf("%s\n", server.StatsJson().c_str());
   }
