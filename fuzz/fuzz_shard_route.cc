@@ -1,0 +1,98 @@
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dist/partition.h"
+#include "fuzz_util.h"
+#include "pattern/shard_route.h"
+#include "relational/tuple.h"
+
+/// Shard-routing harness: the partition-map codec and the row/pattern
+/// routing functions that decide data placement (docs/DISTRIBUTED.md).
+///
+/// Mode byte 0 — codec: DecodePartitionMap must never crash on
+/// arbitrary bytes, and every ACCEPTED payload must re-encode to the
+/// identical bytes (the encoding is canonical — sorted names, strictly
+/// increasing — so accept implies round-trip byte-identity).
+///
+/// Mode byte 1 — routing: for an arbitrary synthesized tuple and
+/// pattern, the router must place each on exactly one shard in
+/// [0, num_shards), deterministically: the same input routes to the
+/// same shard on a second call. A row routed to two shards would be
+/// double-counted by the merged union; a row routed nowhere would be
+/// lost — both break the distributed differential.
+namespace {
+
+pcdb::Value TakeValue(pcdb::fuzz::ByteReader* reader) {
+  switch (reader->TakeBelow(3)) {
+    case 0:
+      return pcdb::Value(static_cast<int64_t>(reader->TakeByte()) -
+                         (reader->TakeBool() ? 128 : 0));
+    case 1:
+      return pcdb::Value(static_cast<double>(reader->TakeByte()) / 3.0);
+    default: {
+      std::string s;
+      const size_t len = reader->TakeBelow(6);
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + reader->TakeBelow(26)));
+      }
+      return pcdb::Value(s);
+    }
+  }
+}
+
+void FuzzCodec(std::string_view payload) {
+  pcdb::Result<pcdb::PartitionMap> decoded =
+      pcdb::DecodePartitionMap(payload);
+  if (!decoded.ok()) return;
+  // Canonical: accepted bytes survive a decode/encode round trip
+  // byte-for-byte.
+  const std::string reencoded = pcdb::EncodePartitionMap(*decoded);
+  if (reencoded != payload) __builtin_trap();
+  pcdb::Result<pcdb::PartitionMap> again =
+      pcdb::DecodePartitionMap(reencoded);
+  if (!again.ok() || again->num_shards != decoded->num_shards ||
+      again->hashed != decoded->hashed) {
+    __builtin_trap();
+  }
+}
+
+void FuzzRouting(pcdb::fuzz::ByteReader* reader) {
+  const uint32_t num_shards =
+      static_cast<uint32_t>(reader->TakeInRange(1, 16));
+  pcdb::PartitionMap map;
+  map.num_shards = num_shards;
+  map.hashed = {"T"};
+
+  // An arbitrary row of arbitrary arity.
+  const size_t arity = reader->TakeInRange(1, 5);
+  pcdb::Tuple row;
+  for (size_t i = 0; i < arity; ++i) row.push_back(TakeValue(reader));
+  const uint32_t shard = pcdb::RouteRow(map, row);
+  if (shard >= num_shards) __builtin_trap();
+  if (pcdb::RouteRow(map, row) != shard) __builtin_trap();
+
+  // A pattern over the same arity: start from the row's tuple pattern
+  // and knock an arbitrary subset of positions out to the wildcard.
+  pcdb::Pattern pattern = pcdb::Pattern::FromTuple(row);
+  for (size_t i = 0; i < arity; ++i) {
+    if (reader->TakeBool()) pattern = pattern.WithWildcard(i);
+  }
+  const uint32_t pattern_shard = pcdb::RoutePattern(map, pattern);
+  if (pattern_shard >= num_shards) __builtin_trap();
+  if (pcdb::RoutePattern(map, pattern) != pattern_shard) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  pcdb::fuzz::ByteReader reader(data, size);
+  if (reader.TakeBool()) {
+    FuzzRouting(&reader);
+  } else {
+    const std::string payload = reader.TakeRemainingString();
+    FuzzCodec(payload);
+  }
+  return 0;
+}

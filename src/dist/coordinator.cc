@@ -1,0 +1,699 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.h"
+#include "common/timer.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+#include "pattern/minimize.h"
+
+namespace pcdb {
+
+namespace {
+
+/// Transport-class failures a retry against a healthy fleet could fix:
+/// the shard is down, unreachable, hung, or its connection died
+/// mid-request. Evaluation verdicts (parse errors, kCancelled, budget
+/// trips) are NOT transport failures and pass through untouched.
+bool IsShardTransportFailure(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kTimeout:
+      return true;
+    case StatusCode::kInternal:
+      return status.message().rfind("recv failed:", 0) == 0 ||
+             status.message().rfind("send failed:", 0) == 0 ||
+             status.message().rfind("connect", 0) == 0;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<ShardEndpoint>> ParseEndpoints(const std::string& spec) {
+  std::vector<ShardEndpoint> endpoints;
+  if (spec.empty()) {
+    return Status::InvalidArgument("empty shard endpoint list");
+  }
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t comma = spec.find(',', start);
+    const size_t end = comma == std::string::npos ? spec.size() : comma;
+    const std::string entry = spec.substr(start, end - start);
+    const size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == entry.size()) {
+      return Status::InvalidArgument("endpoint '" + entry +
+                                     "' is not host:port");
+    }
+    ShardEndpoint ep;
+    ep.host = entry.substr(0, colon);
+    uint64_t port = 0;
+    for (size_t i = colon + 1; i < entry.size(); ++i) {
+      const char c = entry[i];
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("endpoint '" + entry +
+                                       "' has a non-numeric port");
+      }
+      port = port * 10 + static_cast<uint64_t>(c - '0');
+      if (port > 65535) {
+        return Status::InvalidArgument("endpoint '" + entry +
+                                       "' port out of range");
+      }
+    }
+    if (port == 0) {
+      return Status::InvalidArgument("endpoint '" + entry + "' port is 0");
+    }
+    ep.port = static_cast<uint16_t>(port);
+    endpoints.push_back(std::move(ep));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return endpoints;
+}
+
+struct Coordinator::Handler {
+  Socket sock;
+  FrameReader reader;
+  /// One blocking Client per shard, dialled on first use (index ==
+  /// shard id). Client is not thread-safe, but during a broadcast each
+  /// scatter task touches only its own shard's entry.
+  std::vector<Client> clients;
+  /// Whether shard i's SHARD_INFO was verified against the partition
+  /// map (once per connection, on first dial). uint8_t, not bool:
+  /// concurrent scatter tasks write distinct indices, and vector<bool>
+  /// would pack them into one racy word.
+  std::vector<uint8_t> verified;
+  /// Runs the per-shard legs of one broadcast concurrently; created on
+  /// the first broadcast, reused for the connection's lifetime.
+  std::unique_ptr<ThreadPool> scatter;
+};
+
+Coordinator::Coordinator(CoordinatorOptions options)
+    : options_(std::move(options)) {
+  partition_.num_shards =
+      static_cast<uint32_t>(std::max<size_t>(1, options_.shards.size()));
+  partition_.hashed = options_.hashed_tables;
+  c_requests_ = metrics_.GetCounter(kMetricRequestsTotal);
+  c_errors_ = metrics_.GetCounter(kMetricErrorsTotal);
+  c_shard_errors_ = metrics_.GetCounter(kMetricShardErrorsTotal);
+  c_writes_deduped_ = metrics_.GetCounter(kMetricWritesDedupedTotal);
+  c_protocol_errors_ = metrics_.GetCounter(kMetricProtocolErrors);
+  c_connections_ = metrics_.GetCounter(kMetricConnectionsTotal);
+  h_latency_ = metrics_.GetHistogram(kMetricRequestLatency);
+  // Per-shard latency histograms, named from the registry prefix so
+  // dashboards can discover them without a schema change per fleet
+  // size.
+  for (size_t i = 0; i < options_.shards.size(); ++i) {
+    h_shard_latency_.push_back(metrics_.GetHistogram(
+        std::string(kMetricShardLatency) + "." + std::to_string(i)));
+  }
+}
+
+Coordinator::~Coordinator() { Stop(); }
+
+Status Coordinator::Start() {
+  {
+    MutexLock lock(&state_mu_);
+    if (started_) return Status::InvalidArgument("coordinator already started");
+  }
+  if (options_.shards.empty()) {
+    return Status::InvalidArgument("coordinator needs at least one shard");
+  }
+  PCDB_ASSIGN_OR_RETURN(listener_,
+                        Listener::BindAndListen(options_.host, options_.port));
+  stop_requested_.store(false, std::memory_order_release);
+  accept_pool_ = std::make_unique<ThreadPool>(2);
+  conn_pool_ = std::make_unique<ThreadPool>(
+      std::max<size_t>(2, options_.worker_threads));
+  {
+    MutexLock lock(&state_mu_);
+    started_ = true;
+  }
+  accept_pool_->Submit([this] { RunAcceptLoop(); });
+  return Status::OK();
+}
+
+void Coordinator::Stop() {
+  {
+    MutexLock lock(&state_mu_);
+    if (!started_) return;
+  }
+  stop_requested_.store(true, std::memory_order_release);
+  if (accept_pool_ != nullptr) {
+    accept_pool_->Wait();
+    Status accept_status = accept_pool_->ConsumeStatus();
+    if (!accept_status.ok()) c_errors_->Increment();
+  }
+  // Release the front-end port before draining the workers, so a
+  // successor can bind while slow connections finish.
+  listener_ = Listener();
+  if (conn_pool_ != nullptr) {
+    conn_pool_->Wait();
+    Status conn_status = conn_pool_->ConsumeStatus();
+    if (!conn_status.ok()) c_errors_->Increment();
+  }
+  MutexLock lock(&state_mu_);
+  started_ = false;
+}
+
+void Coordinator::RunAcceptLoop() {
+  size_t consecutive_poll_errors = 0;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    std::vector<PollItem> items;
+    items.push_back(PollItem{listener_.fd(), true, false});
+    Result<int> polled = Poll(&items, options_.poll_millis);
+    if (!polled.ok()) {
+      // Poll returns immediately on failure; without a cap a persistent
+      // EBADF would spin this worker. Give up loudly after a streak.
+      if (++consecutive_poll_errors >= 64) {
+        LogError("coordinator accept loop stopping: persistent poll failure")
+            .Str("status", polled.status().ToString());
+        return;
+      }
+      continue;
+    }
+    consecutive_poll_errors = 0;
+    if (!items[0].readable) continue;
+    for (;;) {
+      Result<Listener::AcceptResult> accepted = listener_.Accept();
+      if (!accepted.ok() || accepted->would_block) break;
+      // std::function needs copyable captures; Socket is move-only.
+      auto sock = std::make_shared<Socket>(std::move(accepted->socket));
+      conn_pool_->Submit([this, sock]() mutable {
+        // A connection fault must not trip the pool's first-error
+        // latch: that would stop serving every other connection.
+        try {
+          RunConnection(std::move(*sock));
+        } catch (...) {
+          c_errors_->Increment();
+        }
+      });
+    }
+  }
+}
+
+void Coordinator::RunConnection(Socket sock) {
+  c_connections_->Increment();
+  Handler handler;
+  handler.sock = std::move(sock);
+  // Bounded blocking reads, so the worker notices Stop() between
+  // frames.
+  (void)handler.sock.SetRecvTimeoutMillis(options_.client_recv_timeout_millis);
+  handler.clients.resize(options_.shards.size());
+  handler.verified.assign(options_.shards.size(), 0);
+  char buf[16384];
+  bool closing = false;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    Result<IoResult> received = handler.sock.Recv(buf, sizeof(buf));
+    if (!received.ok()) {
+      // A timed-out read is just the stop-flag heartbeat; anything else
+      // is a dead connection.
+      if (received.status().code() == StatusCode::kTimeout) continue;
+      return;
+    }
+    if (received->eof) {
+      closing = true;
+    } else {
+      handler.reader.Feed(buf, received->bytes);
+    }
+    for (;;) {
+      Frame frame;
+      Result<bool> decoded = handler.reader.Next(&frame);
+      if (!decoded.ok()) {
+        // Malformed framing: report once and close, like pcdbd.
+        c_protocol_errors_->Increment();
+        std::string out;
+        AppendFrame(&out, FrameType::kError, 0,
+                    EncodeErrorPayload(decoded.status()));
+        (void)handler.sock.SendAll(out.data(), out.size());
+        return;
+      }
+      if (!*decoded) break;
+      if (!HandleFrame(&handler, frame)) return;
+    }
+    if (closing) return;
+  }
+}
+
+bool Coordinator::HandleFrame(Handler* handler, const Frame& frame) {
+  c_requests_->Increment();
+  WallTimer timer;
+  switch (frame.type) {
+    case FrameType::kPing: {
+      std::string out;
+      AppendFrame(&out, FrameType::kPong, frame.request_id, "");
+      return handler->sock.SendAll(out.data(), out.size()).ok();
+    }
+    case FrameType::kStats: {
+      std::string out;
+      AppendFrame(&out, FrameType::kStatsResult, frame.request_id,
+                  metrics_.ToJson());
+      return handler->sock.SendAll(out.data(), out.size()).ok();
+    }
+    case FrameType::kCancel:
+      // The coordinator answers queries synchronously per connection,
+      // so by the time a CANCEL frame is read the target query has
+      // already been answered (or is on a shard, where the shard's own
+      // deadline governs it). Unknown ids are a silent no-op per
+      // protocol, so this is too.
+      return true;
+    case FrameType::kQuery: {
+      Result<QueryRequest> request = DecodeQueryPayload(frame.payload);
+      if (!request.ok()) {
+        c_protocol_errors_->Increment();
+        SendError(handler, frame.request_id, request.status());
+        return true;
+      }
+      HandleQuery(handler, frame.request_id, *request);
+      h_latency_->RecordMillis(timer.ElapsedMillis());
+      return true;
+    }
+    case FrameType::kIngest: {
+      Result<IngestRequest> request = DecodeIngestPayload(frame.payload);
+      if (!request.ok()) {
+        c_protocol_errors_->Increment();
+        SendError(handler, frame.request_id, request.status());
+        return true;
+      }
+      HandleWrite(handler, frame.request_id, /*is_punctuate=*/false,
+                  std::move(*request), PunctuateRequest{});
+      return true;
+    }
+    case FrameType::kPunctuate: {
+      Result<PunctuateRequest> request = DecodePunctuatePayload(frame.payload);
+      if (!request.ok()) {
+        c_protocol_errors_->Increment();
+        SendError(handler, frame.request_id, request.status());
+        return true;
+      }
+      HandleWrite(handler, frame.request_id, /*is_punctuate=*/true,
+                  IngestRequest{}, std::move(*request));
+      return true;
+    }
+    case FrameType::kCheckpoint:
+      HandleCheckpoint(handler, frame.request_id);
+      return true;
+    case FrameType::kShardInfo:
+      HandleShardInfo(handler, frame.request_id);
+      return true;
+    default:
+      c_protocol_errors_->Increment();
+      SendError(handler, frame.request_id,
+                Status::InvalidArgument("unexpected frame type from client"));
+      return false;
+  }
+}
+
+Result<Client*> Coordinator::ShardClient(Handler* handler, size_t i) {
+  Client& client = handler->clients[i];
+  if (!client.connected()) {
+    ClientOptions copts;
+    copts.recv_timeout_millis = options_.shard_recv_timeout_millis;
+    PCDB_ASSIGN_OR_RETURN(
+        client, Client::Connect(options_.shards[i].host,
+                                options_.shards[i].port, copts));
+    handler->verified[i] = 0;
+  }
+  if (!handler->verified[i]) {
+    // First contact on this connection: the shard must agree it is
+    // shard i of num_shards. A mis-wired fleet (wrong --shard-id, a
+    // pcdbd from another deployment) would otherwise produce answers
+    // that are silently missing or double-counting rows.
+    PCDB_ASSIGN_OR_RETURN(ShardInfo info, client.GetShardInfo());
+    if (info.shard_id != static_cast<uint32_t>(i) ||
+        info.num_shards != partition_.num_shards) {
+      return Status::Internal(
+          "shard endpoint " + std::to_string(i) + " reports shard " +
+          std::to_string(info.shard_id) + " of " +
+          std::to_string(info.num_shards) + "; expected shard " +
+          std::to_string(i) + " of " +
+          std::to_string(partition_.num_shards));
+    }
+    handler->verified[i] = 1;
+  }
+  return &client;
+}
+
+Status Coordinator::ShardStatus(size_t shard, const Status& status) {
+  if (IsShardTransportFailure(status)) {
+    return Status::Unavailable("shard " + std::to_string(shard) +
+                               " unavailable: " + status.message());
+  }
+  return status;
+}
+
+void Coordinator::SendError(Handler* handler, uint64_t request_id,
+                            const Status& status) {
+  c_errors_->Increment();
+  std::string out;
+  AppendFrame(&out, FrameType::kError, request_id,
+              EncodeErrorPayload(status));
+  (void)handler->sock.SendAll(out.data(), out.size());
+}
+
+void Coordinator::SendAnswer(Handler* handler, uint64_t request_id,
+                             const AnnotatedTable& answer,
+                             const AnswerDone& done,
+                             const std::string& profile_json) {
+  EncodedAnswer encoded = EncodeAnswer(answer, options_.rows_per_batch);
+  Status fits = CheckEncodedFrameSizes(encoded);
+  if (!fits.ok()) {
+    SendError(handler, request_id, fits);
+    return;
+  }
+  std::string out;
+  AppendFrame(&out, FrameType::kAnswerSchema, request_id, encoded.schema);
+  for (const std::string& rows : encoded.row_batches) {
+    AppendFrame(&out, FrameType::kAnswerRows, request_id, rows);
+  }
+  AppendFrame(&out, FrameType::kAnswerPatterns, request_id, encoded.patterns);
+  if (!profile_json.empty()) {
+    AppendFrame(&out, FrameType::kAnswerProfile, request_id, profile_json);
+  }
+  AppendFrame(&out, FrameType::kAnswerDone, request_id,
+              EncodeDonePayload(done));
+  (void)handler->sock.SendAll(out.data(), out.size());
+}
+
+void Coordinator::HandleQuery(Handler* handler, uint64_t request_id,
+                              const QueryRequest& request) {
+  PCDB_TRACE_SPAN(span, kSpanDistQuery);
+  const QueryRouting routing = AnalyzeQuery(
+      partition_, request.sql,
+      (request.flags & QueryRequest::kFlagInstanceAware) != 0,
+      (request.flags & QueryRequest::kFlagZombies) != 0);
+  if (routing.route == QueryRoute::kUnsupported) {
+    SendError(handler, request_id, Status::Unimplemented(routing.reason));
+    return;
+  }
+  ClientQueryOptions qopts;
+  qopts.deadline_millis = request.deadline_millis;
+  qopts.max_rows = request.max_rows;
+  qopts.max_patterns = request.max_patterns;
+  qopts.max_memory_bytes = request.max_memory_bytes;
+  qopts.instance_aware =
+      (request.flags & QueryRequest::kFlagInstanceAware) != 0;
+  qopts.zombies = (request.flags & QueryRequest::kFlagZombies) != 0;
+  qopts.profile = (request.flags & QueryRequest::kFlagProfile) != 0;
+  qopts.tenant = request.tenant;
+
+  if (routing.route == QueryRoute::kSingleShard) {
+    // Forward verbatim: one shard has everything the query touches, so
+    // its answer (and its errors, including parse errors) pass through
+    // exactly as a non-sharded pcdbd would produce them.
+    Result<Client*> client = ShardClient(handler, routing.shard);
+    if (!client.ok()) {
+      c_shard_errors_->Increment();
+      SendError(handler, request_id,
+                ShardStatus(routing.shard, client.status()));
+      return;
+    }
+    WallTimer shard_timer;
+    Result<ClientAnswer> answer = (*client)->Query(request.sql, qopts);
+    h_shard_latency_[routing.shard]->RecordMillis(shard_timer.ElapsedMillis());
+    if (!answer.ok()) {
+      c_shard_errors_->Increment();
+      SendError(handler, request_id,
+                ShardStatus(routing.shard, answer.status()));
+      return;
+    }
+    SendAnswer(handler, request_id, answer->table, answer->done,
+               answer->profile);
+    return;
+  }
+
+  // Broadcast: every shard evaluates (and minimizes) its slice; the
+  // merge below is exact because the pattern algebra is schema-level
+  // and every operator distributes over a union on the single
+  // partitioned side (docs/DISTRIBUTED.md §4).
+  const size_t n = options_.shards.size();
+  std::vector<Status> statuses(n, Status::OK());
+  std::vector<ClientAnswer> answers(n);
+  std::vector<double> shard_millis(n, 0.0);
+  {
+    PCDB_TRACE_SPAN(scatter_span, kSpanDistScatter);
+    if (handler->scatter == nullptr) {
+      handler->scatter = std::make_unique<ThreadPool>(n);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      handler->scatter->Submit([this, handler, i, &request, &qopts,
+                                &statuses, &answers, &shard_millis] {
+        WallTimer shard_timer;
+        Result<Client*> client = ShardClient(handler, i);
+        if (!client.ok()) {
+          statuses[i] = ShardStatus(i, client.status());
+          return;
+        }
+        Result<ClientAnswer> answer = (*client)->Query(request.sql, qopts);
+        shard_millis[i] = shard_timer.ElapsedMillis();
+        if (!answer.ok()) {
+          statuses[i] = ShardStatus(i, answer.status());
+        } else {
+          answers[i] = std::move(*answer);
+        }
+      });
+    }
+    handler->scatter->Wait();
+    Status pool_status = handler->scatter->ConsumeStatus();
+    if (!pool_status.ok()) {
+      SendError(handler, request_id,
+                Status::Internal("scatter worker fault: " +
+                                 pool_status.message()));
+      return;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (shard_millis[i] > 0) {
+      h_shard_latency_[i]->RecordMillis(shard_millis[i]);
+    }
+  }
+  // Any missing slice makes the union unsound to serve: a partial
+  // answer could claim completeness for data the down shard holds.
+  // Degrade loudly instead (docs/DISTRIBUTED.md §6).
+  for (size_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) {
+      c_shard_errors_->Increment();
+      SendError(handler, request_id, statuses[i]);
+      return;
+    }
+  }
+
+  PCDB_TRACE_SPAN(merge_span, kSpanDistMerge);
+  AnnotatedTable merged;
+  merged.data = Table(answers[0].table.data.schema());
+  size_t total_rows = 0;
+  for (const ClientAnswer& answer : answers) {
+    total_rows += answer.table.data.num_rows();
+  }
+  merged.data.Reserve(total_rows);
+  PatternSet unioned;
+  AnswerDone done;
+  done.cache_hit = true;
+  for (ClientAnswer& answer : answers) {
+    for (const Tuple& row : answer.table.data.rows()) {
+      merged.data.AppendUnchecked(row);
+    }
+    for (const Pattern& p : answer.table.patterns) {
+      unioned.Add(p);
+    }
+    merged.degraded = merged.degraded || answer.table.degraded;
+    done.cache_hit = done.cache_hit && answer.done.cache_hit;
+    done.data_millis += answer.done.data_millis;
+    done.pattern_millis += answer.done.pattern_millis;
+  }
+  // Canonical order: the merged answer must not depend on shard count
+  // or arrival order (the N-vs-1 differential contract).
+  merged.data.Sort();
+  // Per-shard sets are minimal within their slice but may subsume each
+  // other across slices; minimizing the union restores the global
+  // minimal set (subsumption removal is confluent, so minimizing
+  // already-minimized parts loses nothing).
+  merged.patterns = Minimize(unioned);
+  merged.patterns.Sort();
+  done.degraded = merged.degraded;
+
+  std::string profile_json;
+  if (qopts.profile) {
+    profile_json = "{\"distributed\":true,\"route\":\"broadcast\",\"shards\":" +
+                   std::to_string(n) + ",\"shard_millis\":[";
+    for (size_t i = 0; i < n; ++i) {
+      if (i > 0) profile_json += ",";
+      profile_json += std::to_string(shard_millis[i]);
+    }
+    profile_json += "]}";
+  }
+  SendAnswer(handler, request_id, merged, done, profile_json);
+}
+
+void Coordinator::HandleWrite(Handler* handler, uint64_t request_id,
+                              bool is_punctuate, IngestRequest ingest,
+                              PunctuateRequest punctuate) {
+  PCDB_TRACE_SPAN(span, kSpanDistWrite);
+  const std::string& tenant = is_punctuate ? punctuate.tenant : ingest.tenant;
+  const std::string& table = is_punctuate ? punctuate.table : ingest.table;
+  const uint64_t writer_id =
+      is_punctuate ? punctuate.writer_id : ingest.writer_id;
+  const uint64_t seq = is_punctuate ? punctuate.seq : ingest.seq;
+  const bool sequenced = writer_id != 0 && seq != 0;
+  if (sequenced) {
+    // Front-side dedup, mirroring Server::IsDuplicateWrite: a client
+    // retrying against the coordinator must not re-broadcast a write
+    // the fleet fully applied.
+    MutexLock lock(&writers_mu_);
+    auto tenant_it = writers_.find(tenant);
+    if (tenant_it != writers_.end()) {
+      auto writer_it = tenant_it->second.find(writer_id);
+      if (writer_it != tenant_it->second.end() &&
+          seq <= writer_it->second.last_seq) {
+        c_writes_deduped_->Increment();
+        IngestResult ack;
+        if (seq == writer_it->second.last_seq) {
+          ack = writer_it->second.ack;
+        }
+        ack.seq = seq;
+        ack.duplicate = true;
+        std::string out;
+        AppendFrame(&out, FrameType::kIngestResult, request_id,
+                    EncodeIngestResultPayload(ack));
+        (void)handler->sock.SendAll(out.data(), out.size());
+        return;
+      }
+    }
+  }
+
+  const bool hashed = partition_.IsHashed(table);
+  ClientWriteOptions wopts;
+  wopts.tenant = tenant;
+  if (!is_punctuate) wopts.policy = ingest.policy;
+  if (sequenced) {
+    // Pin the front identity onto every shard leg: a re-broadcast
+    // after a partial failure carries the same (writer_id, seq) and
+    // already-applied shards dedup instead of double-applying.
+    wopts.writer_id = writer_id;
+    wopts.seq = seq;
+  }
+
+  // Every write broadcasts. Replicated tables apply identically
+  // everywhere; hashed tables rely on shard-side filtering — the owner
+  // stores each row while the shards owning the violated statement
+  // signatures retract, which is what keeps cross-shard retraction
+  // exact (docs/DISTRIBUTED.md §5).
+  const size_t n = options_.shards.size();
+  IngestResult total;
+  for (size_t i = 0; i < n; ++i) {
+    Result<Client*> client = ShardClient(handler, i);
+    if (!client.ok()) {
+      c_shard_errors_->Increment();
+      SendError(handler, request_id, ShardStatus(i, client.status()));
+      return;
+    }
+    WallTimer shard_timer;
+    Result<IngestResult> ack =
+        is_punctuate
+            ? (*client)->Punctuate(table, punctuate.patterns, wopts)
+            : (*client)->Ingest(table, ingest.rows, wopts);
+    h_shard_latency_[i]->RecordMillis(shard_timer.ElapsedMillis());
+    if (!ack.ok()) {
+      // Partial fan-outs are reported, never hidden: the client sees an
+      // error and retries with the same sequence; shard-side dedup
+      // makes the re-broadcast converge.
+      c_shard_errors_->Increment();
+      SendError(handler, request_id, ShardStatus(i, ack.status()));
+      return;
+    }
+    if (hashed) {
+      // Each row is stored by one owner and each statement lives on one
+      // shard, so summing the per-shard deltas gives the fleet totals.
+      total.rows_ingested += ack->rows_ingested;
+      total.rows_rejected += ack->rows_rejected;
+      total.punctuations += ack->punctuations;
+      total.patterns_retracted += ack->patterns_retracted;
+      total.violations += ack->violations;
+    } else if (i == 0) {
+      // Replicated: every shard applied the identical op; shard 0's
+      // counters are the answer.
+      total = *ack;
+    }
+  }
+  total.seq = seq;
+  total.duplicate = false;
+  if (sequenced) {
+    MutexLock lock(&writers_mu_);
+    WriterState& state = writers_[tenant][writer_id];
+    if (seq > state.last_seq) {
+      state.last_seq = seq;
+      state.ack = total;
+    }
+  }
+  std::string out;
+  AppendFrame(&out, FrameType::kIngestResult, request_id,
+              EncodeIngestResultPayload(total));
+  (void)handler->sock.SendAll(out.data(), out.size());
+}
+
+void Coordinator::HandleShardInfo(Handler* handler, uint64_t request_id) {
+  ShardInfo merged;
+  merged.shard_id = ShardInfo::kCoordinatorShardId;
+  merged.num_shards = partition_.num_shards;
+  std::map<std::string, ShardTableInfo> tables;
+  for (size_t i = 0; i < options_.shards.size(); ++i) {
+    Result<Client*> client = ShardClient(handler, i);
+    if (!client.ok()) {
+      c_shard_errors_->Increment();
+      SendError(handler, request_id, ShardStatus(i, client.status()));
+      return;
+    }
+    Result<ShardInfo> info = (*client)->GetShardInfo();
+    if (!info.ok()) {
+      c_shard_errors_->Increment();
+      SendError(handler, request_id, ShardStatus(i, info.status()));
+      return;
+    }
+    for (ShardTableInfo& table_info : info->tables) {
+      ShardTableInfo& entry = tables[table_info.table];
+      entry.table = table_info.table;
+      entry.hashed = entry.hashed || table_info.hashed;
+      // Epoch *sums*: convergence of the fleet is visible as a stable
+      // sum (each shard's epoch only ever grows).
+      entry.epoch += table_info.epoch;
+    }
+  }
+  merged.tables.reserve(tables.size());
+  for (auto& [name, entry] : tables) merged.tables.push_back(entry);
+  std::string out;
+  AppendFrame(&out, FrameType::kShardInfoResult, request_id,
+              EncodeShardInfoPayload(merged));
+  (void)handler->sock.SendAll(out.data(), out.size());
+}
+
+void Coordinator::HandleCheckpoint(Handler* handler, uint64_t request_id) {
+  CheckpointResult merged;
+  for (size_t i = 0; i < options_.shards.size(); ++i) {
+    Result<Client*> client = ShardClient(handler, i);
+    if (!client.ok()) {
+      c_shard_errors_->Increment();
+      SendError(handler, request_id, ShardStatus(i, client.status()));
+      return;
+    }
+    Result<CheckpointResult> ckpt = (*client)->Checkpoint();
+    if (!ckpt.ok()) {
+      c_shard_errors_->Increment();
+      SendError(handler, request_id, ShardStatus(i, ckpt.status()));
+      return;
+    }
+    // Per-shard LSNs are independent sequences; the max is the most
+    // informative single number, the removal count is a true sum.
+    merged.lsn = std::max(merged.lsn, ckpt->lsn);
+    merged.wal_segments_removed += ckpt->wal_segments_removed;
+  }
+  std::string out;
+  AppendFrame(&out, FrameType::kCheckpointResult, request_id,
+              EncodeCheckpointResultPayload(merged));
+  (void)handler->sock.SendAll(out.data(), out.size());
+}
+
+}  // namespace pcdb

@@ -1,0 +1,175 @@
+#ifndef PCDB_DIST_COORDINATOR_H_
+#define PCDB_DIST_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "dist/partition.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/net_socket.h"
+#include "server/protocol.h"
+
+/// \file
+/// The distributed front end: a coordinator that speaks the unchanged
+/// pcdbd client protocol on one port and scatter-gathers against a
+/// fleet of shard servers behind it, reusing the same frame codec as
+/// the inter-node RPC. Clients cannot tell a coordinator from a single
+/// pcdbd — same frames, same answers (order-normalized), same error
+/// codes — except that a down shard surfaces as kUnavailable instead
+/// of an answer (docs/DISTRIBUTED.md §6: degrade loudly, never serve a
+/// silently wrong completeness verdict).
+///
+/// Threading model: one accept task plus a fixed pool of connection
+/// workers (thread-per-connection up to `worker_threads`; surplus
+/// accepted connections wait for a free worker). Each connection
+/// handler owns one blocking Client per shard — Client is not
+/// thread-safe, so nothing is shared — plus a scatter pool that runs
+/// per-shard sub-requests of one broadcast concurrently. The only
+/// cross-connection state is the metrics registry and the write-dedup
+/// table, both mutex-guarded.
+
+namespace pcdb {
+
+/// \brief One shard's address.
+struct ShardEndpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+/// Parses "host:port,host:port,..." into endpoints.
+[[nodiscard]] Result<std::vector<ShardEndpoint>> ParseEndpoints(
+    const std::string& spec);
+
+/// \brief Coordinator tunables.
+struct CoordinatorOptions {
+  std::string host = "127.0.0.1";
+  /// Front-end TCP port; 0 binds an ephemeral port (read back via
+  /// Coordinator::port()).
+  uint16_t port = 0;
+  /// The shard fleet, in shard-id order (index == shard id). Must match
+  /// every shard's --shard-id/--num-shards flags; the first use of a
+  /// shard verifies its SHARD_INFO against this list.
+  std::vector<ShardEndpoint> shards;
+  /// Hash-partitioned tables; num_shards is implied by `shards`.
+  std::set<std::string> hashed_tables;
+  /// Concurrent client connections actually served; surplus accepted
+  /// connections queue for a free worker.
+  size_t worker_threads = 8;
+  /// SO_RCVTIMEO on client connections: bounds how long a worker can
+  /// sit in Recv before noticing Stop().
+  int client_recv_timeout_millis = 250;
+  /// SO_RCVTIMEO on shard connections: a hung shard surfaces as a
+  /// kTimeout (reported kUnavailable) instead of wedging the worker.
+  int shard_recv_timeout_millis = 30000;
+  /// Rows per ANSWER_ROWS frame when re-framing merged answers.
+  size_t rows_per_batch = 256;
+  /// Accept-loop poll timeout; bounds Stop() latency when idle.
+  int poll_millis = 100;
+};
+
+/// \brief The scatter-gather coordinator. Start() binds the front-end
+/// listener; Stop() (or the destructor) drains the workers.
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions options);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  [[nodiscard]] Status Start();
+  void Stop();
+
+  /// The bound front-end port (valid after a successful Start).
+  uint16_t port() const { return listener_.port(); }
+
+  MetricsRegistry& metrics() { return metrics_; }
+
+  const PartitionMap& partition() const { return partition_; }
+
+ private:
+  /// Per-connection handler state: the client socket plus one lazily
+  /// dialled Client per shard and the scatter pool for broadcasts.
+  /// Owned by exactly one connection worker for the connection's life.
+  struct Handler;
+
+  /// Coordinator-side idempotent-retry state for one (tenant, writer):
+  /// mirrors the server's CheckpointWriterState semantics so a client
+  /// retrying a fanned-out write against the coordinator gets
+  /// exactly-once behavior end to end.
+  struct WriterState {
+    uint64_t last_seq = 0;
+    IngestResult ack;  ///< As first served (duplicate = false).
+  };
+
+  void RunAcceptLoop();
+  void RunConnection(Socket sock);
+  /// Dispatches one decoded frame; returns false when the connection
+  /// must close (off-protocol input).
+  [[nodiscard]] bool HandleFrame(Handler* handler, const Frame& frame);
+
+  void HandleQuery(Handler* handler, uint64_t request_id,
+                   const QueryRequest& request);
+  void HandleWrite(Handler* handler, uint64_t request_id, bool is_punctuate,
+                   IngestRequest ingest, PunctuateRequest punctuate);
+  void HandleShardInfo(Handler* handler, uint64_t request_id);
+  void HandleCheckpoint(Handler* handler, uint64_t request_id);
+
+  /// Connects (or reuses) the handler's Client for shard `i`.
+  [[nodiscard]] Result<Client*> ShardClient(Handler* handler, size_t i);
+
+  /// Sends one ERROR frame carrying `status`.
+  void SendError(Handler* handler, uint64_t request_id,
+                 const Status& status);
+  /// Frames `answer` as the standard answer sequence and sends it.
+  void SendAnswer(Handler* handler, uint64_t request_id,
+                  const AnnotatedTable& answer, const AnswerDone& done,
+                  const std::string& profile_json);
+
+  /// Wraps a shard-level failure for the client: transport-class
+  /// failures (dead connection, timeout, refused dial) become
+  /// kUnavailable naming the shard; evaluation verdicts pass through
+  /// with their original code and message.
+  static Status ShardStatus(size_t shard, const Status& status);
+
+  CoordinatorOptions options_;
+  PartitionMap partition_;
+  MetricsRegistry metrics_;
+
+  Counter* c_requests_ = nullptr;
+  Counter* c_errors_ = nullptr;
+  Counter* c_shard_errors_ = nullptr;
+  Counter* c_writes_deduped_ = nullptr;
+  Counter* c_protocol_errors_ = nullptr;
+  Counter* c_connections_ = nullptr;
+  Histogram* h_latency_ = nullptr;
+  /// Per-shard round-trip latency, index == shard id (dynamic names
+  /// composed from kMetricShardLatency).
+  std::vector<Histogram*> h_shard_latency_;
+
+  Mutex writers_mu_;
+  /// tenant -> writer_id -> dedup state.
+  std::map<std::string, std::map<uint64_t, WriterState>> writers_
+      PCDB_GUARDED_BY(writers_mu_);
+
+  Listener listener_;
+  std::atomic<bool> stop_requested_{false};
+
+  Mutex state_mu_;
+  bool started_ PCDB_GUARDED_BY(state_mu_) = false;
+
+  /// Declared last: destroyed (joined) before the members the tasks use.
+  std::unique_ptr<ThreadPool> accept_pool_;
+  std::unique_ptr<ThreadPool> conn_pool_;
+};
+
+}  // namespace pcdb
+
+#endif  // PCDB_DIST_COORDINATOR_H_

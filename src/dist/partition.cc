@@ -1,0 +1,215 @@
+#include "dist/partition.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "sql/parser.h"
+
+namespace pcdb {
+namespace {
+
+// Little-endian codec helpers, mirroring server/protocol.cc's (which
+// are deliberately file-local there).
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendLengthPrefixed(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+/// Bounds-checked reader over a partition-map payload.
+class MapReader {
+ public:
+  explicit MapReader(std::string_view data) : data_(data) {}
+
+  Result<uint32_t> ReadU32() {
+    if (data_.size() - pos_ < 4) {
+      return Status::ParseError("partition map payload truncated");
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<std::string> ReadLengthPrefixed() {
+    PCDB_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+    if (data_.size() - pos_ < len) {
+      return Status::ParseError("partition map payload truncated");
+    }
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Deterministic shard affinity for a SQL text: FNV-1a over the bytes,
+/// folded like ShardForSignature so the low bits spread.
+uint32_t ShardForSql(const std::string& sql, uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  uint64_t h = kFnvOffsetBasis;
+  for (char c : sql) h = FnvMix(h, static_cast<uint8_t>(c));
+  return static_cast<uint32_t>((h ^ (h >> 32)) % num_shards);
+}
+
+}  // namespace
+
+std::string EncodePartitionMap(const PartitionMap& map) {
+  std::string out;
+  AppendU32(&out, map.num_shards);
+  AppendU32(&out, static_cast<uint32_t>(map.hashed.size()));
+  // std::set iterates in sorted order, which is the canonical order the
+  // decoder enforces.
+  for (const std::string& table : map.hashed) {
+    AppendLengthPrefixed(&out, table);
+  }
+  return out;
+}
+
+Result<PartitionMap> DecodePartitionMap(std::string_view payload) {
+  MapReader reader(payload);
+  PartitionMap map;
+  PCDB_ASSIGN_OR_RETURN(map.num_shards, reader.ReadU32());
+  if (map.num_shards == 0) {
+    return Status::ParseError("partition map reports zero shards");
+  }
+  PCDB_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  std::string prev;
+  for (uint32_t i = 0; i < count; ++i) {
+    PCDB_ASSIGN_OR_RETURN(std::string table, reader.ReadLengthPrefixed());
+    if (table.empty()) {
+      return Status::ParseError("partition map holds an empty table name");
+    }
+    // Strictly increasing order makes the encoding canonical: every
+    // accepted payload re-encodes to the same bytes (a property
+    // fuzz_shard_route asserts), and duplicates cannot hide.
+    if (i > 0 && table <= prev) {
+      return Status::ParseError(
+          "partition map table names out of canonical order");
+    }
+    prev = table;
+    map.hashed.insert(std::move(table));
+  }
+  if (!reader.exhausted()) {
+    return Status::ParseError("partition map payload has trailing bytes");
+  }
+  return map;
+}
+
+Result<std::set<std::string>> ParseHashedSpec(const std::string& spec) {
+  std::set<std::string> tables;
+  if (spec.empty()) return tables;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t comma = spec.find(',', start);
+    const size_t end = comma == std::string::npos ? spec.size() : comma;
+    std::string name = spec.substr(start, end - start);
+    if (name.empty()) {
+      return Status::InvalidArgument("empty table name in hashed spec '" +
+                                     spec + "'");
+    }
+    if (!tables.insert(std::move(name)).second) {
+      return Status::InvalidArgument("duplicate table in hashed spec '" +
+                                     spec + "'");
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return tables;
+}
+
+Status PartitionDatabase(AnnotatedDatabase* adb, const PartitionMap& map,
+                         uint32_t shard_id) {
+  if (shard_id >= map.num_shards) {
+    return Status::InvalidArgument(
+        "shard id " + std::to_string(shard_id) + " out of range for " +
+        std::to_string(map.num_shards) + " shards");
+  }
+  for (const std::string& name : map.hashed) {
+    if (!adb->database().HasTable(name)) {
+      return Status::InvalidArgument("hashed table '" + name +
+                                     "' does not exist");
+    }
+    PCDB_ASSIGN_OR_RETURN(Table * table,
+                          adb->database().GetMutableTable(name));
+    Table owned(table->schema());
+    for (const Tuple& row : table->rows()) {
+      if (RouteRow(map, row) == shard_id) owned.AppendUnchecked(row);
+    }
+    *table = std::move(owned);
+    PatternSet kept;
+    for (const Pattern& p : adb->patterns(name)) {
+      if (RoutePattern(map, p) == shard_id) kept.Add(p);
+    }
+    adb->SetPatterns(name, std::move(kept));
+  }
+  return Status::OK();
+}
+
+QueryRouting AnalyzeQuery(const PartitionMap& map, const std::string& sql,
+                          bool instance_aware, bool zombies) {
+  QueryRouting routing;
+  routing.shard = ShardForSql(sql, map.num_shards);
+  if (map.num_shards <= 1 || map.hashed.empty()) {
+    // One shard, or everything replicated: any shard has the full
+    // database and answers exactly.
+    routing.route = QueryRoute::kSingleShard;
+    return routing;
+  }
+  Result<std::vector<SelectStatement>> parsed = ParseQuery(sql);
+  if (!parsed.ok()) {
+    // Unparseable SQL is still forwarded (to one shard): the client
+    // gets the identical parse error a non-sharded server would send.
+    routing.route = QueryRoute::kSingleShard;
+    return routing;
+  }
+  size_t hashed_occurrences = 0;
+  for (const SelectStatement& stmt : *parsed) {
+    for (const TableRef& ref : stmt.from) {
+      if (map.IsHashed(ref.table)) ++hashed_occurrences;
+    }
+  }
+  if (hashed_occurrences == 0) {
+    routing.route = QueryRoute::kSingleShard;
+    return routing;
+  }
+  if (instance_aware || zombies) {
+    // Pattern promotion and zombie generation consult data tuples, so
+    // per-shard results over a partitioned table are not exact slices
+    // of the single-process answer; refusing beats answering wrongly.
+    routing.route = QueryRoute::kUnsupported;
+    routing.reason =
+        "instance-aware/zombie evaluation over a hash-partitioned table "
+        "is not supported in distributed mode";
+    return routing;
+  }
+  if (hashed_occurrences > 1) {
+    // Joining two hashed occurrences (including self-joins) needs row
+    // co-location the hash placement does not provide: a result row may
+    // pair tuples living on different shards, so no shard computes it.
+    routing.route = QueryRoute::kUnsupported;
+    routing.reason =
+        "query joins " + std::to_string(hashed_occurrences) +
+        " occurrences of hash-partitioned tables; distributed evaluation "
+        "supports at most one";
+    return routing;
+  }
+  routing.route = QueryRoute::kBroadcast;
+  return routing;
+}
+
+}  // namespace pcdb

@@ -1,0 +1,119 @@
+#ifndef PCDB_DIST_PARTITION_H_
+#define PCDB_DIST_PARTITION_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "pattern/annotated.h"
+#include "pattern/shard_route.h"
+
+/// \file
+/// The coordinator's partition map: which tables are hash-partitioned
+/// across the shard fleet and how queries route against it. The actual
+/// hash functions live one layer down, in pattern/shard_route.h, so a
+/// shard-mode server can apply the identical placement without
+/// depending on src/dist (pcdb-analyze's dist-layering rule keeps that
+/// direction machine-checked).
+///
+/// Partitioning model (docs/DISTRIBUTED.md):
+///  - A table is either *replicated* (the default: every shard holds
+///    every row and every completeness statement, writes broadcast
+///    identically) or *hashed*: rows live on ShardForRow(row) % N and
+///    completeness statements on ShardForSignature of their constant
+///    signature — a partition of the statement set, not of the rows, so
+///    a late record's violated promises may live on a different shard
+///    than the record itself.
+///  - Queries touching no hashed table are answered by any single shard
+///    (all shards agree). Queries with exactly one hashed-table
+///    occurrence broadcast: the pattern algebra is schema-level and
+///    every operator distributes over a union on a single partitioned
+///    side, so union + merge-minimize of the per-shard answers is the
+///    exact single-process answer. Two or more hashed occurrences
+///    (self-joins, hashed-hashed joins) would need row co-location and
+///    are rejected as kUnimplemented rather than answered wrongly.
+
+namespace pcdb {
+
+/// \brief The fleet's data placement: shard count plus the set of
+/// hash-partitioned tables (everything else is replicated).
+struct PartitionMap {
+  uint32_t num_shards = 1;
+  std::set<std::string> hashed;
+
+  bool IsHashed(const std::string& table) const {
+    return hashed.count(table) > 0;
+  }
+};
+
+/// Owning shard of a row of a hashed table.
+inline uint32_t RouteRow(const PartitionMap& map, const Tuple& row) {
+  return ShardForRow(row, map.num_shards);
+}
+
+/// Owning shard of a completeness statement over a hashed table.
+inline uint32_t RoutePattern(const PartitionMap& map, const Pattern& p) {
+  return ShardForPattern(p, map.num_shards);
+}
+
+/// Canonical wire form of a PartitionMap (the coordinator's half of the
+/// shard handshake, and the corpus format of fuzz_shard_route):
+/// u32 num_shards, u32 table count, then each hashed table name
+/// length-prefixed in strictly increasing order. Decode rejects zero
+/// shards, out-of-order or duplicate names, and trailing bytes, so
+/// every accepted payload re-encodes byte-identically.
+std::string EncodePartitionMap(const PartitionMap& map);
+[[nodiscard]] Result<PartitionMap> DecodePartitionMap(
+    std::string_view payload);
+
+/// Parses a `--hashed T1,T2` style spec (comma-separated table names;
+/// empty string = no hashed tables). Rejects empty names and
+/// duplicates.
+[[nodiscard]] Result<std::set<std::string>> ParseHashedSpec(
+    const std::string& spec);
+
+/// Drops everything shard `shard_id` does not own from `adb`: rows of
+/// hashed tables whose RouteRow is another shard, and completeness
+/// statements whose RoutePattern is another shard. Replicated tables
+/// are untouched. This is how pcdbd seeds a shard-local slice of a
+/// workload database at startup.
+[[nodiscard]] Status PartitionDatabase(AnnotatedDatabase* adb,
+                                       const PartitionMap& map,
+                                       uint32_t shard_id);
+
+/// How a query executes against the partition map.
+enum class QueryRoute {
+  /// Forward to one shard (`shard`) verbatim: the query touches no
+  /// hashed table (all shards agree), or did not parse (any shard
+  /// reports the identical error).
+  kSingleShard,
+  /// Scatter to every shard, union the rows, merge-minimize the
+  /// patterns: exactly one hashed-table occurrence.
+  kBroadcast,
+  /// Not answerable soundly under this partition map (`reason` says
+  /// why); the coordinator reports kUnimplemented.
+  kUnsupported,
+};
+
+struct QueryRouting {
+  QueryRoute route = QueryRoute::kSingleShard;
+  /// Target shard for kSingleShard: a deterministic hash of the SQL
+  /// text, so repeated queries hit the same shard's answer cache.
+  uint32_t shard = 0;
+  /// For kUnsupported: what the coordinator tells the client.
+  std::string reason;
+};
+
+/// Classifies `sql` against the map. `instance_aware` / `zombies`
+/// mirror the QUERY flags: both consult data tuples (promotion and
+/// zombie generation), so they only route when no hashed table is
+/// involved.
+QueryRouting AnalyzeQuery(const PartitionMap& map, const std::string& sql,
+                          bool instance_aware, bool zombies);
+
+}  // namespace pcdb
+
+#endif  // PCDB_DIST_PARTITION_H_

@@ -88,6 +88,12 @@ inline constexpr char kSpanCheckpointSave[] = "checkpoint.save";
 inline constexpr char kSpanRecoveryCheckpoint[] = "recovery.checkpoint";
 inline constexpr char kSpanRecoveryReplay[] = "recovery.replay";
 
+// Distributed coordinator (dist/coordinator.cc).
+inline constexpr char kSpanDistQuery[] = "dist.query";
+inline constexpr char kSpanDistScatter[] = "dist.scatter";
+inline constexpr char kSpanDistMerge[] = "dist.merge";
+inline constexpr char kSpanDistWrite[] = "dist.write";
+
 // Minimization (pattern/minimize.cc, one per MinimizeApproach).
 inline constexpr char kSpanMinimizeAllAtOnce[] = "minimize.all_at_once";
 inline constexpr char kSpanMinimizeIncremental[] = "minimize.incremental";
@@ -139,6 +145,10 @@ inline constexpr const char* kAllSpanNames[] = {
     kSpanCheckpointSave,
     kSpanRecoveryCheckpoint,
     kSpanRecoveryReplay,
+    kSpanDistQuery,
+    kSpanDistScatter,
+    kSpanDistMerge,
+    kSpanDistWrite,
     kSpanMinimizeAllAtOnce,
     kSpanMinimizeIncremental,
     kSpanMinimizeSortedIncremental,
@@ -169,6 +179,10 @@ inline constexpr char kMetricPatternsRetractedTotal[] =
     "patterns_retracted_total";
 inline constexpr char kMetricWritesShedTotal[] = "writes_shed_total";
 inline constexpr char kMetricWriteBatches[] = "write_batches";
+/// Read-side admission: queries shed because the tenant exceeded
+/// ServerOptions::tenant_read_quota. Per-tenant breakdowns are dynamic
+/// names composed as `queries_shed_total.<tenant>` from this prefix.
+inline constexpr char kMetricQueriesShedTotal[] = "queries_shed_total";
 
 // Per-Server registry: durability (WAL / checkpoint / recovery /
 // idempotent-retry dedup).
@@ -184,6 +198,12 @@ inline constexpr char kMetricConnectionsOpen[] = "connections_open";
 inline constexpr char kMetricInflight[] = "inflight";
 inline constexpr char kMetricPendingWrites[] = "pending_writes";
 inline constexpr char kMetricRequestLatency[] = "request_latency";
+
+// Coordinator registry (dist/coordinator.cc). Per-shard latency
+// histograms are dynamic names composed as `shard_latency.<i>` from
+// this prefix.
+inline constexpr char kMetricShardLatency[] = "shard_latency";
+inline constexpr char kMetricShardErrorsTotal[] = "shard_errors_total";
 
 // Process-wide GlobalMetrics() registry (obs/metrics.cc).
 inline constexpr char kMetricEnginePatternsMinimized[] =
@@ -222,6 +242,7 @@ inline constexpr const char* kAllMetricNames[] = {
     kMetricPatternsRetractedTotal,
     kMetricWritesShedTotal,
     kMetricWriteBatches,
+    kMetricQueriesShedTotal,
     kMetricWalRecordsTotal,
     kMetricWalFsyncsTotal,
     kMetricWalRecoveredRecords,
@@ -232,6 +253,8 @@ inline constexpr const char* kAllMetricNames[] = {
     kMetricInflight,
     kMetricPendingWrites,
     kMetricRequestLatency,
+    kMetricShardLatency,
+    kMetricShardErrorsTotal,
     kMetricEnginePatternsMinimized,
     kMetricEngineSubsumptionProbes,
     kMetricEngineDegradedToSummary,

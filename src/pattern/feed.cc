@@ -40,6 +40,29 @@ Status FeedManager::Ingest(const std::string& table, Tuple row) {
   return Status::OK();
 }
 
+Status FeedManager::RetractViolated(const std::string& table,
+                                    const Tuple& row) {
+  MutexLock lock(&mu_);
+  PCDB_ASSIGN_OR_RETURN(const Table* stored, adb_->database().GetTable(table));
+  if (row.size() != stored->schema().arity()) {
+    return Status::InvalidArgument("row arity mismatch for table '" + table +
+                                   "'");
+  }
+  const PatternSet& patterns = adb_->patterns(table);
+  if (!patterns.AnySubsumesTuple(row)) return Status::OK();
+  ++stats_.violations;
+  PatternSet kept;
+  for (const Pattern& p : patterns) {
+    if (p.SubsumesTuple(row)) {
+      ++stats_.patterns_retracted;
+    } else {
+      kept.Add(p);
+    }
+  }
+  adb_->SetPatterns(table, std::move(kept));
+  return Status::OK();
+}
+
 Status FeedManager::Punctuate(const std::string& table, Pattern pattern) {
   MutexLock lock(&mu_);
   return PunctuateLocked(table, std::move(pattern));

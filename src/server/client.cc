@@ -89,6 +89,7 @@ Result<uint64_t> Client::SendQuery(const std::string& sql,
   request.max_patterns = options.max_patterns;
   request.max_memory_bytes = options.max_memory_bytes;
   request.sql = sql;
+  request.tenant = options.tenant;
   const uint64_t request_id = next_request_id_++;
   std::string wire;
   AppendFrame(&wire, FrameType::kQuery, request_id,
@@ -156,8 +157,9 @@ Result<IngestResult> Client::Ingest(const std::string& table,
   request.table = table;
   request.policy = options.policy;
   request.rows = std::move(rows);
-  request.writer_id = writer_id_;
-  request.seq = ++write_seq_;
+  const bool pinned = options.writer_id != 0 && options.seq != 0;
+  request.writer_id = pinned ? options.writer_id : writer_id_;
+  request.seq = pinned ? options.seq : ++write_seq_;
   return WriteWithRetry(FrameType::kIngest, EncodeIngestPayload(request));
 }
 
@@ -169,8 +171,9 @@ Result<IngestResult> Client::Punctuate(
   request.tenant = options.tenant;
   request.table = table;
   request.patterns = std::move(patterns);
-  request.writer_id = writer_id_;
-  request.seq = ++write_seq_;
+  const bool pinned = options.writer_id != 0 && options.seq != 0;
+  request.writer_id = pinned ? options.writer_id : writer_id_;
+  request.seq = pinned ? options.seq : ++write_seq_;
   return WriteWithRetry(FrameType::kPunctuate,
                         EncodePunctuatePayload(request));
 }
@@ -266,6 +269,29 @@ Result<CheckpointResult> Client::Checkpoint() {
   }
 }
 
+Result<ShardInfo> Client::GetShardInfo() {
+  const uint64_t request_id = next_request_id_++;
+  std::string wire;
+  AppendFrame(&wire, FrameType::kShardInfo, request_id, "");
+  PCDB_RETURN_NOT_OK(sock_.SendAll(wire.data(), wire.size()));
+  for (;;) {
+    PCDB_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    if (frame.request_id == request_id) {
+      if (frame.type == FrameType::kShardInfoResult) {
+        return DecodeShardInfoPayload(frame.payload);
+      }
+      if (frame.type == FrameType::kError) {
+        Status remote;
+        PCDB_RETURN_NOT_OK(DecodeErrorPayload(frame.payload, &remote));
+        return remote.ok()
+                   ? Status::Internal("server sent an OK error frame")
+                   : std::move(remote);
+      }
+    }
+    PCDB_RETURN_NOT_OK(Absorb(std::move(frame)));
+  }
+}
+
 Status Client::Ping() {
   const uint64_t request_id = next_request_id_++;
   std::string wire;
@@ -337,8 +363,9 @@ Status Client::Absorb(Frame frame) {
     case FrameType::kStatsResult:
     case FrameType::kIngestResult:
     case FrameType::kCheckpointResult:
-      // A stale Ping/Stats/Ingest/Checkpoint response (e.g. after its
-      // caller timed out): nothing is waiting for it, drop.
+    case FrameType::kShardInfoResult:
+      // A stale Ping/Stats/Ingest/Checkpoint/ShardInfo response (e.g.
+      // after its caller timed out): nothing is waiting for it, drop.
       return Status::OK();
     default:
       return Status::InvalidArgument("server sent a client-side frame type");

@@ -50,6 +50,10 @@ struct ClientQueryOptions {
   /// Request an ANSWER_PROFILE frame (per-operator EXPLAIN ANALYZE
   /// JSON); arrives in ClientAnswer::profile.
   bool profile = false;
+  /// Tenant name for the server's per-tenant *read* quota and priority
+  /// tier (the query-side mirror of ClientWriteOptions::tenant); "" is
+  /// a valid (tier-0) tenant.
+  std::string tenant;
 };
 
 /// \brief Per-write knobs, mirrored onto INGEST/PUNCTUATE headers.
@@ -61,6 +65,14 @@ struct ClientWriteOptions {
   /// an existing completeness promise (IngestRequest::kPolicyRejectRecord
   /// or kPolicyRetractPatterns).
   uint8_t policy = IngestRequest::kPolicyRejectRecord;
+  /// Explicit idempotence identity for this one write; (0, 0) — the
+  /// default — uses the Client's own writer_id and next sequence
+  /// number. The coordinator pins these to the *front* client's
+  /// (writer_id, seq), so re-broadcasting a partially failed fan-out
+  /// carries the same identity to every shard and the shards that
+  /// already applied it dedup instead of double-applying.
+  uint64_t writer_id = 0;
+  uint64_t seq = 0;
 };
 
 /// \brief A fully received annotated answer.
@@ -137,6 +149,10 @@ class Client {
 
   /// Liveness round trip.
   [[nodiscard]] Status Ping();
+
+  /// Fetches the server's shard placement + per-table epochs
+  /// (docs/DISTRIBUTED.md). A non-sharded server reports shard 0 of 1.
+  [[nodiscard]] Result<ShardInfo> GetShardInfo();
 
   /// Fetches the server's metrics/cache snapshot (JSON).
   [[nodiscard]] Result<std::string> Stats();

@@ -182,8 +182,10 @@ bool IsKnownFrameType(uint8_t tag) {
     case FrameType::kIngest:
     case FrameType::kPunctuate:
     case FrameType::kCheckpoint:
+    case FrameType::kShardInfo:
     case FrameType::kIngestResult:
     case FrameType::kCheckpointResult:
+    case FrameType::kShardInfoResult:
     case FrameType::kAnswerSchema:
     case FrameType::kAnswerRows:
     case FrameType::kAnswerPatterns:
@@ -341,6 +343,7 @@ std::string EncodeQueryPayload(const QueryRequest& request) {
   AppendU64(&out, request.max_patterns);
   AppendU64(&out, request.max_memory_bytes);
   AppendLengthPrefixed(&out, request.sql);
+  AppendLengthPrefixed(&out, request.tenant);
   return out;
 }
 
@@ -353,6 +356,7 @@ Result<QueryRequest> DecodeQueryPayload(std::string_view payload) {
   PCDB_ASSIGN_OR_RETURN(request.max_patterns, reader.ReadU64());
   PCDB_ASSIGN_OR_RETURN(request.max_memory_bytes, reader.ReadU64());
   PCDB_ASSIGN_OR_RETURN(request.sql, reader.ReadLengthPrefixed());
+  PCDB_ASSIGN_OR_RETURN(request.tenant, reader.ReadLengthPrefixed());
   PCDB_RETURN_NOT_OK(ExpectExhausted(reader, "query"));
   return request;
 }
@@ -510,6 +514,44 @@ Result<CheckpointResult> DecodeCheckpointResultPayload(
   PCDB_ASSIGN_OR_RETURN(result.wal_segments_removed, reader.ReadU64());
   PCDB_RETURN_NOT_OK(ExpectExhausted(reader, "checkpoint result"));
   return result;
+}
+
+std::string EncodeShardInfoPayload(const ShardInfo& info) {
+  std::string out;
+  AppendU32(&out, info.shard_id);
+  AppendU32(&out, info.num_shards);
+  AppendU32(&out, static_cast<uint32_t>(info.tables.size()));
+  for (const ShardTableInfo& t : info.tables) {
+    AppendLengthPrefixed(&out, t.table);
+    AppendU8(&out, t.hashed ? 1 : 0);
+    AppendU64(&out, t.epoch);
+  }
+  return out;
+}
+
+Result<ShardInfo> DecodeShardInfoPayload(std::string_view payload) {
+  PayloadReader reader(payload);
+  ShardInfo info;
+  PCDB_ASSIGN_OR_RETURN(info.shard_id, reader.ReadU32());
+  PCDB_ASSIGN_OR_RETURN(info.num_shards, reader.ReadU32());
+  if (info.num_shards == 0) {
+    return Status::ParseError("shard info reports zero shards");
+  }
+  PCDB_ASSIGN_OR_RETURN(uint32_t num_tables, reader.ReadU32());
+  info.tables.reserve(std::min<uint32_t>(num_tables, 4096));
+  for (uint32_t i = 0; i < num_tables; ++i) {
+    ShardTableInfo t;
+    PCDB_ASSIGN_OR_RETURN(t.table, reader.ReadLengthPrefixed());
+    PCDB_ASSIGN_OR_RETURN(uint8_t hashed, reader.ReadU8());
+    if (hashed > 1) {
+      return Status::ParseError("bad hashed flag " + std::to_string(hashed));
+    }
+    t.hashed = hashed == 1;
+    PCDB_ASSIGN_OR_RETURN(t.epoch, reader.ReadU64());
+    info.tables.push_back(std::move(t));
+  }
+  PCDB_RETURN_NOT_OK(ExpectExhausted(reader, "shard info"));
+  return info;
 }
 
 std::string EncodeDonePayload(const AnswerDone& done) {

@@ -21,12 +21,17 @@
 ///   uint64  request_id           (client-chosen; echoed by the server)
 ///   byte[payload_len] payload
 ///
-/// Client -> server: QUERY, CANCEL, PING, STATS, INGEST, PUNCTUATE.
-/// Server -> client: per QUERY either ANSWER_SCHEMA, ANSWER_ROWS*,
-/// ANSWER_PATTERNS, [ANSWER_PROFILE,] ANSWER_DONE — or a single ERROR;
-/// PONG answers PING; STATS_RESULT answers STATS; INGEST_RESULT (or
-/// ERROR) answers INGEST and PUNCTUATE. All responses echo the request
+/// Client -> server: QUERY, CANCEL, PING, STATS, INGEST, PUNCTUATE,
+/// SHARD_INFO. Server -> client: per QUERY either ANSWER_SCHEMA,
+/// ANSWER_ROWS*, ANSWER_PATTERNS, [ANSWER_PROFILE,] ANSWER_DONE — or a
+/// single ERROR; PONG answers PING; STATS_RESULT answers STATS;
+/// INGEST_RESULT (or ERROR) answers INGEST and PUNCTUATE;
+/// SHARD_INFO_RESULT answers SHARD_INFO. All responses echo the request
 /// id, so a client may pipeline requests over one connection.
+///
+/// The same framing doubles as the inter-node RPC of distributed pcdb
+/// (src/dist/, docs/DISTRIBUTED.md): a coordinator speaks this protocol
+/// unchanged on its front socket and as a client of each shard.
 ///
 /// This header is also the single place where StatusCode is mapped onto
 /// stable on-wire error codes (WireErrorCode): everything the server
@@ -55,6 +60,14 @@ enum class FrameType : uint8_t {
   /// with in-flight writes; answered by CHECKPOINT_RESULT (or ERROR
   /// when the server runs without a WAL).
   kCheckpoint = 0x07,
+  /// Shard handshake (docs/DISTRIBUTED.md): asks a server for its shard
+  /// placement (shard id / shard count / hashed tables) and its
+  /// per-table epochs. Empty payload, like PING; answered by
+  /// SHARD_INFO_RESULT. The coordinator uses it to verify each backend
+  /// agrees on the partition map before routing anything, and the dist
+  /// CI stage uses the epochs to assert convergence after a shard
+  /// recovers.
+  kShardInfo = 0x08,
   // Server -> client.
   kAnswerSchema = 0x80,
   kAnswerRows = 0x81,
@@ -75,6 +88,8 @@ enum class FrameType : uint8_t {
   kIngestResult = 0x88,
   /// Acknowledges a CHECKPOINT frame (CheckpointResult).
   kCheckpointResult = 0x89,
+  /// Acknowledges a SHARD_INFO frame (ShardInfo payload).
+  kShardInfoResult = 0x8A,
 };
 
 /// True if `tag` is one of the FrameType values.
@@ -172,6 +187,11 @@ struct QueryRequest {
   uint64_t max_patterns = 0;
   uint64_t max_memory_bytes = 0;
   std::string sql;
+  /// Tenant name for per-tenant read admission quotas and priority
+  /// tiers (the read-side mirror of IngestRequest::tenant); "" = the
+  /// default tenant. Never part of the answer, so the server masks it
+  /// out of the cache key.
+  std::string tenant;
 
   static constexpr uint32_t kFlagInstanceAware = 1u << 0;
   static constexpr uint32_t kFlagZombies = 1u << 1;
@@ -263,6 +283,37 @@ struct CheckpointResult {
 
 std::string EncodeCheckpointResultPayload(const CheckpointResult& result);
 [[nodiscard]] Result<CheckpointResult> DecodeCheckpointResultPayload(
+    std::string_view payload);
+
+/// \brief One table's placement + version as reported by SHARD_INFO.
+struct ShardTableInfo {
+  std::string table;
+  /// True when rows of this table are hash-partitioned across shards
+  /// (and its completeness statements signature-partitioned); false for
+  /// a fully replicated table.
+  bool hashed = false;
+  /// The table's data epoch on this server (bumped by every applied
+  /// data mutation) — the convergence signal the dist CI stage polls.
+  uint64_t epoch = 0;
+};
+
+/// \brief SHARD_INFO_RESULT payload: a server's shard-mode placement.
+///
+/// A server running without shard mode reports shard_id 0, num_shards 1
+/// and no hashed tables; a coordinator answering on behalf of a fleet
+/// reports shard_id kCoordinatorShardId and per-table epoch *sums*
+/// across its shards.
+struct ShardInfo {
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 1;
+  std::vector<ShardTableInfo> tables;
+
+  /// Sentinel shard_id a coordinator reports for itself.
+  static constexpr uint32_t kCoordinatorShardId = 0xFFFFFFFFu;
+};
+
+std::string EncodeShardInfoPayload(const ShardInfo& info);
+[[nodiscard]] Result<ShardInfo> DecodeShardInfoPayload(
     std::string_view payload);
 
 /// \brief Summary trailer carried by the ANSWER_DONE frame.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <deque>
 #include <iterator>
 #include <map>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -16,6 +18,7 @@
 #include "obs/trace.h"
 #include "pattern/annotated_eval.h"
 #include "pattern/feed.h"
+#include "pattern/shard_route.h"
 #include "sql/planner.h"
 
 namespace pcdb {
@@ -41,6 +44,9 @@ struct Server::Completion {
   /// Frame type `write_ack` is sent as: INGEST_RESULT for data writes,
   /// CHECKPOINT_RESULT for checkpoint admin ops.
   FrameType write_ack_type = FrameType::kIngestResult;
+  /// Query completions carry the request's tenant so the loop can
+  /// release its read-quota unit (LoopState::tenant_reads).
+  std::string tenant;
 };
 
 /// Per-connection state. Owned exclusively by the event loop.
@@ -85,6 +91,9 @@ struct Server::LoopState {
   std::deque<uint64_t> admit_fifo;
   /// Queries currently on the eval pool.
   size_t inflight = 0;
+  /// Admitted (in-flight + queued) queries per tenant, for
+  /// ServerOptions::tenant_read_quota shedding. Absent = 0.
+  std::map<std::string, size_t> tenant_reads;
   uint64_t next_conn_id = 1;
 };
 
@@ -110,6 +119,7 @@ Server::Server(AnnotatedDatabase db, ServerOptions options)
   c_punctuations_ = metrics_.GetCounter(kMetricPunctuationsTotal);
   c_patterns_retracted_ = metrics_.GetCounter(kMetricPatternsRetractedTotal);
   c_writes_shed_ = metrics_.GetCounter(kMetricWritesShedTotal);
+  c_queries_shed_ = metrics_.GetCounter(kMetricQueriesShedTotal);
   c_write_batches_ = metrics_.GetCounter(kMetricWriteBatches);
   c_writes_deduped_ = metrics_.GetCounter(kMetricWritesDedupedTotal);
   g_connections_ = metrics_.GetGauge(kMetricConnectionsOpen);
@@ -563,7 +573,13 @@ void Server::RunLoop() {
         // In-flight queries of a dead connection are orphaned: cancel
         // so the workers stop early; their completions are dropped when
         // the conn id no longer resolves. (Drained conns have none.)
+        // Queued queries die with the connection and never post a
+        // completion, so release their read-quota units here (in-flight
+        // ones release theirs when the completion arrives).
         for (auto& [rid, token] : conn->tokens) token->Cancel();
+        for (const Conn::QueuedQuery& q : conn->queued) {
+          DecTenantRead(&state, q.request.tenant);
+        }
         it = state.conns.erase(it);
         g_connections_->Add(-1);
       } else {
@@ -705,6 +721,7 @@ void Server::HandleFrame(LoopState* state, Conn* conn, Frame frame) {
       // Still waiting for an eval slot? Answer kCancelled right away.
       for (auto it = conn->queued.begin(); it != conn->queued.end(); ++it) {
         if (it->request_id == *target) {
+          DecTenantRead(state, it->request.tenant);
           conn->queued.erase(it);
           c_cancelled_->Increment();
           AppendFrame(&conn->outbuf, FrameType::kError, *target,
@@ -775,6 +792,26 @@ void Server::HandleFrame(LoopState* state, Conn* conn, Frame frame) {
       EnqueueWrite(conn, std::move(op));
       return;
     }
+    case FrameType::kShardInfo: {
+      // Shard handshake: this server's placement plus a per-table epoch
+      // snapshot. The coordinator uses it to verify its partition map
+      // against what each shard believes; the dist CI stage uses the
+      // epochs to assert post-recovery convergence.
+      ShardInfo info;
+      info.shard_id = options_.shard_id;
+      info.num_shards = std::max<uint32_t>(1, options_.num_shards);
+      std::shared_ptr<const AnnotatedDatabase> snapshot = Snapshot();
+      for (const std::string& t : snapshot->database().TableNames()) {
+        ShardTableInfo table_info;
+        table_info.table = t;
+        table_info.hashed = options_.hashed_tables.count(t) > 0;
+        table_info.epoch = snapshot->database().TableEpoch(t);
+        info.tables.push_back(std::move(table_info));
+      }
+      AppendFrame(&conn->outbuf, FrameType::kShardInfoResult,
+                  frame.request_id, EncodeShardInfoPayload(info));
+      return;
+    }
     default:
       // A client sending server-side frame types is off-protocol.
       c_protocol_errors_->Increment();
@@ -790,6 +827,26 @@ void Server::HandleFrame(LoopState* state, Conn* conn, Frame frame) {
 void Server::AdmitOrShed(LoopState* state, Conn* conn, uint64_t request_id,
                          QueryRequest request) {
   c_requests_->Increment();
+  if (options_.tenant_read_quota > 0) {
+    size_t& load = state->tenant_reads[request.tenant];
+    if (load >= options_.tenant_read_quota) {
+      // Read-side quota shed, the mirror of the write path: one tenant
+      // flooding queries is shed at its quota while other tenants'
+      // queries (and all writes) proceed.
+      c_shed_->Increment();
+      c_queries_shed_->Increment();
+      metrics_
+          .GetCounter(std::string(kMetricQueriesShedTotal) + "." +
+                      request.tenant)
+          ->Increment();
+      AppendFrame(&conn->outbuf, FrameType::kError, request_id,
+                  EncodeErrorPayload(Status::Unavailable(
+                      "read quota exhausted for tenant '" + request.tenant +
+                      "'")));
+      return;
+    }
+    ++load;
+  }
   const uint64_t admit_micros = Tracer::Global().NowMicros();
   if (state->inflight < options_.max_inflight) {
     DispatchQuery(state, conn, request_id, std::move(request), admit_micros);
@@ -801,12 +858,27 @@ void Server::AdmitOrShed(LoopState* state, Conn* conn, uint64_t request_id,
     state->admit_fifo.push_back(conn->id);
     return;
   }
-  // Load shed: an explicit retryable error, never a silent drop.
+  // Load shed: an explicit retryable error, never a silent drop. The
+  // query never became admitted load, so give its quota unit back.
+  DecTenantRead(state, request.tenant);
   c_shed_->Increment();
   AppendFrame(&conn->outbuf, FrameType::kError, request_id,
               EncodeErrorPayload(Status::Unavailable(
                   "server overloaded: in-flight and per-connection queue "
                   "budgets are exhausted")));
+}
+
+void Server::DecTenantRead(LoopState* state, const std::string& tenant) {
+  if (options_.tenant_read_quota == 0) return;
+  auto it = state->tenant_reads.find(tenant);
+  if (it != state->tenant_reads.end() && --(it->second) == 0) {
+    state->tenant_reads.erase(it);
+  }
+}
+
+uint32_t Server::TenantTier(const std::string& tenant) const {
+  auto it = options_.tenant_tiers.find(tenant);
+  return it != options_.tenant_tiers.end() ? it->second : 0;
 }
 
 void Server::EnqueueWrite(Conn* conn, WriteOp op) {
@@ -825,8 +897,7 @@ void Server::EnqueueWrite(Conn* conn, WriteOp op) {
                                  op.tenant + "'");
     } else {
       op.seq = ++write_seq_;
-      auto tier_it = options_.tenant_tiers.find(op.tenant);
-      op.tier = tier_it != options_.tenant_tiers.end() ? tier_it->second : 0;
+      op.tier = TenantTier(op.tenant);
       ++tenant_pending_[op.tenant];
       pending_writes_.push_back(std::move(op));
       g_pending_writes_->Set(static_cast<int64_t>(pending_writes_.size()));
@@ -1070,12 +1141,48 @@ Status Server::ApplyWriteOp(AnnotatedDatabase* next, WriteOp* op,
                        : FeedViolationPolicy::kRejectRecord);
   Status status;
   if (op->is_punctuate) {
+    const bool hashed = options_.num_shards > 1 &&
+                        options_.hashed_tables.count(op->punctuate.table) > 0;
     for (const std::vector<std::string>& fields : op->punctuate.patterns) {
+      if (hashed) {
+        // Statements over a hashed table are partitioned by constant
+        // signature: only the owning shard stores this pattern. Parse
+        // failures fall through to Punctuate so the error is the same
+        // one a non-sharded server would report.
+        Result<const Table*> stored =
+            next->database().GetTable(op->punctuate.table);
+        if (stored.ok()) {
+          Result<Pattern> p = Pattern::Parse(fields, (*stored)->schema());
+          if (p.ok() && ShardForPattern(*p, options_.num_shards) !=
+                            options_.shard_id) {
+            continue;
+          }
+        }
+      }
       status = feed.Punctuate(op->punctuate.table, fields);
       if (!status.ok()) break;
     }
   } else {
+    const bool hashed = options_.num_shards > 1 &&
+                        options_.hashed_tables.count(op->ingest.table) > 0;
     for (Tuple& row : op->ingest.rows) {
+      if (hashed &&
+          ShardForRow(row, options_.num_shards) != options_.shard_id) {
+        // Broadcast ingest into a hashed table, non-owner shard: the
+        // row is stored on its hash owner, but any completeness promise
+        // it violates lives wherever its *signature* hashes — possibly
+        // here. Under kPolicyRetractPatterns, retract locally without
+        // storing; under kPolicyRejectRecord the owner is the authority
+        // (docs/DISTRIBUTED.md §5 spells out why that stays sound).
+        if (op->ingest.policy == IngestRequest::kPolicyRetractPatterns) {
+          Status retract = feed.RetractViolated(op->ingest.table, row);
+          if (!retract.ok()) {
+            status = std::move(retract);
+            break;
+          }
+        }
+        continue;
+      }
       const size_t rejected_before = feed.stats().records_rejected;
       Status row_status = feed.Ingest(op->ingest.table, std::move(row));
       if (!row_status.ok() &&
@@ -1123,6 +1230,7 @@ void Server::RunQueryJob(uint64_t conn_id, uint64_t request_id,
   Completion comp;
   comp.conn_id = conn_id;
   comp.request_id = request_id;
+  comp.tenant = request.tenant;
   // The job must always post exactly one completion: an exception
   // escaping here would trip the pool's first-error latch and silently
   // skip sibling jobs.
@@ -1294,7 +1402,10 @@ void Server::ProcessCompletions(LoopState* state) {
   }
   for (Completion& comp : batch) {
     // Writes never held a query eval slot, so they don't release one.
+    // The slot and the tenant's read-quota unit are released even when
+    // the connection is gone: the job ran regardless.
     if (!comp.is_write && state->inflight > 0) --state->inflight;
+    if (!comp.is_write) DecTenantRead(state, comp.tenant);
     auto it = state->conns.find(comp.conn_id);
     if (it == state->conns.end()) continue;  // connection went away
     Conn* conn = it->second.get();
@@ -1328,17 +1439,50 @@ void Server::ProcessCompletions(LoopState* state) {
     FlushWrites(conn);
   }
   g_inflight_->Set(static_cast<int64_t>(state->inflight));
-  // Freed slots admit queued queries in arrival order.
+  // Freed slots admit queued queries highest tenant tier first, FIFO
+  // (admission order) within a tier — the read mirror of the writer's
+  // tier-ordered drain.
   while (state->inflight < options_.max_inflight &&
          !state->admit_fifo.empty()) {
-    const uint64_t conn_id = state->admit_fifo.front();
-    state->admit_fifo.pop_front();
-    auto it = state->conns.find(conn_id);
-    if (it == state->conns.end()) continue;
-    Conn* conn = it->second.get();
-    // `closing` conns keep their slot in line: their queued queries were
-    // admitted before the half-close and are still owed an answer.
-    if (conn->queued.empty() || conn->dead) continue;
+    // Compact first: drop ids whose connection closed or died, and
+    // entries beyond the connection's queued count (left behind by a
+    // queued-CANCEL, which erases the query but not its fifo entry).
+    {
+      std::map<uint64_t, size_t> entries;
+      std::deque<uint64_t> live;
+      for (const uint64_t conn_id : state->admit_fifo) {
+        auto it = state->conns.find(conn_id);
+        if (it == state->conns.end() || it->second->dead) continue;
+        size_t& n = entries[conn_id];
+        if (n >= it->second->queued.size()) continue;
+        ++n;
+        live.push_back(conn_id);
+      }
+      state->admit_fifo.swap(live);
+    }
+    if (state->admit_fifo.empty()) break;
+    // Pick the highest tier among each connection's *front* queued
+    // query (later entries of the same connection are considered once
+    // the earlier ones dispatched, preserving per-connection order).
+    // `closing` conns keep their slot in line: their queued queries
+    // were admitted before the half-close and are still owed an answer.
+    size_t best = state->admit_fifo.size();
+    uint32_t best_tier = 0;
+    std::set<uint64_t> considered;
+    for (size_t i = 0; i < state->admit_fifo.size(); ++i) {
+      const uint64_t conn_id = state->admit_fifo[i];
+      if (!considered.insert(conn_id).second) continue;
+      const Conn* conn = state->conns.find(conn_id)->second.get();
+      const uint32_t tier = TenantTier(conn->queued.front().request.tenant);
+      if (best == state->admit_fifo.size() || tier > best_tier) {
+        best = i;
+        best_tier = tier;
+      }
+    }
+    const uint64_t conn_id = state->admit_fifo[best];
+    state->admit_fifo.erase(state->admit_fifo.begin() +
+                            static_cast<std::ptrdiff_t>(best));
+    Conn* conn = state->conns.find(conn_id)->second.get();
     Conn::QueuedQuery next = std::move(conn->queued.front());
     conn->queued.pop_front();
     DispatchQuery(state, conn, next.request_id, std::move(next.request),

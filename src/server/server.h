@@ -7,6 +7,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -100,8 +101,30 @@ struct ServerOptions {
   size_t tenant_write_quota = 64;
   /// Priority tiers: tenant name -> tier. The writer drains pending
   /// writes highest tier first (FIFO within a tier); unlisted tenants
-  /// (including the default "" tenant) are tier 0.
+  /// (including the default "" tenant) are tier 0. The same tiers order
+  /// *read* admission: when eval slots free up, the highest-tier queued
+  /// query is dispatched first (FIFO within a tier).
   std::map<std::string, uint32_t> tenant_tiers;
+  /// Per-tenant cap on admitted queries (in flight + queued), the read
+  /// mirror of tenant_write_quota: a tenant at its quota is shed with
+  /// kUnavailable (counted in queries_shed_total and a per-tenant
+  /// `queries_shed_total.<tenant>` counter) while other tenants'
+  /// queries proceed. 0 = no per-tenant cap.
+  size_t tenant_read_quota = 0;
+  /// Shard-mode placement (docs/DISTRIBUTED.md): this server's shard id
+  /// and the total shard count. The default (shard 0 of 1) is a
+  /// non-sharded server; both are reported in SHARD_INFO_RESULT.
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 1;
+  /// Tables partitioned by row hash (everything else is replicated).
+  /// With num_shards > 1, an INGEST into a hashed table is broadcast by
+  /// the coordinator and filtered here: rows this shard owns
+  /// (ShardForRow == shard_id) are stored; rows it does not own only
+  /// retract the local completeness patterns they violate (patterns are
+  /// partitioned by constant signature, not by row hash). PUNCTUATE
+  /// patterns this shard does not own (ShardForPattern != shard_id) are
+  /// skipped.
+  std::set<std::string> hashed_tables;
   /// Slow-query log threshold: a query whose total server-side time
   /// (queue wait + evaluation + encode) reaches this many milliseconds
   /// is logged at warn level with its SQL and timings. 0 disables.
@@ -215,6 +238,11 @@ class Server {
   void HandleFrame(LoopState* state, Conn* conn, Frame frame);
   void AdmitOrShed(LoopState* state, Conn* conn, uint64_t request_id,
                    QueryRequest request);
+  /// Releases one unit of a tenant's read-quota load (admission counts
+  /// in-flight + queued queries). Loop thread only.
+  void DecTenantRead(LoopState* state, const std::string& tenant);
+  /// ServerOptions::tenant_tiers lookup; unlisted tenants are tier 0.
+  uint32_t TenantTier(const std::string& tenant) const;
   void DispatchQuery(LoopState* state, Conn* conn, uint64_t request_id,
                      QueryRequest request, uint64_t admit_micros);
   void FlushWrites(Conn* conn);
@@ -295,6 +323,7 @@ class Server {
   Counter* c_punctuations_ = nullptr;
   Counter* c_patterns_retracted_ = nullptr;
   Counter* c_writes_shed_ = nullptr;
+  Counter* c_queries_shed_ = nullptr;
   Counter* c_write_batches_ = nullptr;
   Counter* c_writes_deduped_ = nullptr;
   Gauge* g_connections_ = nullptr;

@@ -1,0 +1,3 @@
+#include "server/client.h"
+#include "common/status.h"
+namespace pcdb {}

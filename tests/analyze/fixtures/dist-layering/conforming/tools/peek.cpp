@@ -1,0 +1,2 @@
+#include "dist/partition.h"
+int main() { return 0; }

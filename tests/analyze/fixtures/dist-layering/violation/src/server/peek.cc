@@ -1,0 +1,3 @@
+#include "dist/coordinator.h"
+#include "common/status.h"
+namespace pcdb {}

@@ -225,6 +225,22 @@ TEST(QueryPayloadTest, RoundTrips) {
   EXPECT_EQ(back->sql, request.sql);
 }
 
+TEST(QueryPayloadTest, TenantRoundTrips) {
+  QueryRequest request;
+  request.sql = "SELECT * FROM Warnings";
+  request.tenant = "acme";
+  Result<QueryRequest> back = DecodeQueryPayload(EncodeQueryPayload(request));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->tenant, "acme");
+  EXPECT_EQ(back->sql, request.sql);
+  // The empty tenant (the default) round-trips too: it is a valid
+  // tier-0 tenant, not an absence marker.
+  request.tenant.clear();
+  back = DecodeQueryPayload(EncodeQueryPayload(request));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->tenant, "");
+}
+
 TEST(QueryPayloadTest, EveryTruncationIsAParseError) {
   QueryRequest request;
   request.sql = "SELECT * FROM t";
@@ -394,6 +410,88 @@ TEST(CheckpointResultPayloadTest, RoundTripsAndRejectsTruncation) {
   }
   EXPECT_EQ(DecodeCheckpointResultPayload(payload + "x").status().code(),
             StatusCode::kParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Shard placement (SHARD_INFO / SHARD_INFO_RESULT).
+
+TEST(ShardInfoPayloadTest, RoundTripsAndRejectsTruncation) {
+  ShardInfo info;
+  info.shard_id = 2;
+  info.num_shards = 3;
+  info.tables = {{"Maintenance", false, 7},
+                 {"Teams", false, 0},
+                 {"Warnings", true, 41}};
+  std::string payload = EncodeShardInfoPayload(info);
+  Result<ShardInfo> back = DecodeShardInfoPayload(payload);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->shard_id, 2u);
+  EXPECT_EQ(back->num_shards, 3u);
+  ASSERT_EQ(back->tables.size(), 3u);
+  EXPECT_EQ(back->tables[0].table, "Maintenance");
+  EXPECT_FALSE(back->tables[0].hashed);
+  EXPECT_EQ(back->tables[0].epoch, 7u);
+  EXPECT_EQ(back->tables[2].table, "Warnings");
+  EXPECT_TRUE(back->tables[2].hashed);
+  EXPECT_EQ(back->tables[2].epoch, 41u);
+
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    Result<ShardInfo> truncated =
+        DecodeShardInfoPayload(std::string_view(payload.data(), cut));
+    ASSERT_FALSE(truncated.ok()) << "cut=" << cut;
+    EXPECT_EQ(truncated.status().code(), StatusCode::kParseError)
+        << "cut=" << cut;
+  }
+  EXPECT_EQ(DecodeShardInfoPayload(payload + "x").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(ShardInfoPayloadTest, CoordinatorSentinelRoundTrips) {
+  ShardInfo info;
+  info.shard_id = ShardInfo::kCoordinatorShardId;
+  info.num_shards = 3;
+  Result<ShardInfo> back = DecodeShardInfoPayload(EncodeShardInfoPayload(info));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->shard_id, ShardInfo::kCoordinatorShardId);
+}
+
+TEST(ShardInfoPayloadTest, ZeroShardsAndBadHashedFlagAreParseErrors) {
+  ShardInfo info;
+  info.num_shards = 0;
+  EXPECT_EQ(DecodeShardInfoPayload(EncodeShardInfoPayload(info))
+                .status()
+                .code(),
+            StatusCode::kParseError);
+  // A hashed byte other than 0/1 is off-protocol, not a truthy bool.
+  info.num_shards = 1;
+  info.tables = {{"T", true, 1}};
+  std::string payload = EncodeShardInfoPayload(info);
+  payload[payload.size() - 9] = 2;  // the hashed byte precedes the epoch
+  EXPECT_EQ(DecodeShardInfoPayload(payload).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(FrameTest, ShardInfoFrameTypesAreKnownToTheReader) {
+  // kShardInfo has an empty payload; kShardInfoResult carries the
+  // encoded placement. Both must survive the reader unchanged.
+  ShardInfo info;
+  info.shard_id = 1;
+  info.num_shards = 2;
+  std::string wire;
+  AppendFrame(&wire, FrameType::kShardInfo, 21, "");
+  AppendFrame(&wire, FrameType::kShardInfoResult, 21,
+              EncodeShardInfoPayload(info));
+  FrameReader reader;
+  reader.Feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_TRUE(NextFrame(&reader, &frame));
+  EXPECT_EQ(frame.type, FrameType::kShardInfo);
+  EXPECT_TRUE(frame.payload.empty());
+  ASSERT_TRUE(NextFrame(&reader, &frame));
+  EXPECT_EQ(frame.type, FrameType::kShardInfoResult);
+  Result<ShardInfo> back = DecodeShardInfoPayload(frame.payload);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->shard_id, 1u);
 }
 
 TEST(FrameTest, WritePathFrameTypesAreKnownToTheReader) {

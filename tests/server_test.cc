@@ -14,6 +14,7 @@
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "pattern/annotated_eval.h"
+#include "pattern/shard_route.h"
 #include "server/client.h"
 #include "server/net_socket.h"
 #include "server/protocol.h"
@@ -730,6 +731,143 @@ TEST_F(ServerTest, TenantQuotaShedsAFloodWithoutStarvingOthers) {
   // Shedding never starved queries: the read path still serves.
   Failpoints::Global().Clear();
   EXPECT_TRUE(ConnectOrDie().Query(kQhwSql).ok());
+}
+
+TEST_F(ServerTest, ReadQuotaShedsAFloodTenantWithoutStarvingOthers) {
+  ServerOptions options;
+  options.eval_threads = 1;
+  options.tenant_read_quota = 2;
+  StartServer(options);
+
+  // Park the single eval thread so admitted reads pile up: the first
+  // flood query dwells in evaluation, the second sits queued, and
+  // everything past the quota of 2 must shed on arrival.
+  Failpoints::Global().Activate("annotated.operator",
+                                FailpointSpec::Sleep(300));
+
+  Client flood = ConnectOrDie();
+  ClientQueryOptions flood_options;
+  flood_options.tenant = "flood";
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 5; ++i) {
+    Result<uint64_t> id = flood.SendQuery(kQhwSql, flood_options);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  size_t ok = 0, shed = 0;
+  for (uint64_t id : ids) {
+    Result<ClientAnswer> answer = flood.ReadAnswer(id);
+    if (answer.ok()) {
+      ++ok;
+      continue;
+    }
+    EXPECT_EQ(answer.status().code(), StatusCode::kUnavailable)
+        << answer.status().ToString();
+    EXPECT_NE(answer.status().message().find("read quota"),
+              std::string::npos)
+        << answer.status().ToString();
+    ++shed;
+  }
+  EXPECT_EQ(ok, 2u);
+  EXPECT_EQ(shed, 3u);
+  EXPECT_EQ(server_->metrics().CounterValue("queries_shed_total"), 3u);
+  // The per-tenant breakdown names the offender.
+  EXPECT_EQ(server_->metrics().CounterValue("queries_shed_total.flood"), 3u);
+
+  // Quota units released on completion: the same tenant serves again,
+  // and an unrelated tenant was never affected.
+  Failpoints::Global().Clear();
+  Client calm = ConnectOrDie();
+  ClientQueryOptions calm_options;
+  calm_options.tenant = "calm";
+  EXPECT_TRUE(calm.Query(kQhwSql, calm_options).ok());
+  EXPECT_TRUE(flood.Query(kQhwSql, flood_options).ok());
+  EXPECT_EQ(server_->metrics().CounterValue("queries_shed_total"), 3u);
+}
+
+TEST_F(ServerTest, ShardInfoReportsPlacementAndEpochs) {
+  // A non-sharded server is shard 0 of 1 with no hashed tables; the
+  // epochs are live (a write bumps its table's).
+  StartServer();
+  Client client = ConnectOrDie();
+  Result<ShardInfo> info = client.GetShardInfo();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->shard_id, 0u);
+  EXPECT_EQ(info->num_shards, 1u);
+  uint64_t warnings_epoch = 0;
+  bool saw_warnings = false;
+  for (const ShardTableInfo& table : info->tables) {
+    EXPECT_FALSE(table.hashed) << table.table;
+    if (table.table == "Warnings") {
+      saw_warnings = true;
+      warnings_epoch = table.epoch;
+    }
+  }
+  EXPECT_TRUE(saw_warnings);
+  ASSERT_TRUE(client
+                  .Ingest("Warnings",
+                          {Tuple{Value("Fri"), Value(int64_t{30}),
+                                 Value("tw90"), Value("epoch bump")}})
+                  .ok());
+  info = client.GetShardInfo();
+  ASSERT_TRUE(info.ok());
+  for (const ShardTableInfo& table : info->tables) {
+    if (table.table == "Warnings") {
+      EXPECT_GT(table.epoch, warnings_epoch);
+    }
+  }
+}
+
+TEST_F(ServerTest, ShardModeAppliesOnlyOwnedRowsAndPatterns) {
+  // A shard receiving the coordinator's write broadcast applies only
+  // what it owns: rows by hash, statements by constant signature.
+  ServerOptions options;
+  options.shard_id = 0;
+  options.num_shards = 3;
+  options.hashed_tables = {"Warnings"};
+  StartServer(options);
+  Client client = ConnectOrDie();
+
+  std::vector<Tuple> rows;
+  size_t owned_rows = 0;
+  for (int i = 0; i < 12; ++i) {
+    Tuple row{Value("d" + std::to_string(i)), Value(int64_t{50 + i}),
+              Value("sid" + std::to_string(i)), Value("filter probe")};
+    if (ShardForRow(row, 3) == 0) ++owned_rows;
+    rows.push_back(std::move(row));
+  }
+  ASSERT_GT(owned_rows, 0u);
+  ASSERT_LT(owned_rows, 12u);
+  Result<IngestResult> ack = client.Ingest("Warnings", rows);
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->rows_ingested, owned_rows);
+
+  // Patterns: parse against the live schema to predict ownership.
+  AnnotatedDatabase reference = MakeMaintenanceDatabase();
+  Result<const Table*> warnings =
+      reference.database().GetTable("Warnings");
+  ASSERT_TRUE(warnings.ok());
+  // Statements partition by constant-POSITION signature, so spread the
+  // masks (which columns are constant), not just the constants.
+  const std::vector<std::vector<std::string>> masks = {
+      {"*", "50", "*", "*"},      {"d1", "*", "*", "*"},
+      {"d2", "51", "*", "*"},     {"*", "*", "sid3", "*"},
+      {"*", "*", "*", "m4"},      {"d5", "*", "sid5", "*"},
+      {"*", "52", "sid6", "*"},   {"d7", "53", "sid7", "m7"},
+  };
+  std::vector<std::vector<std::string>> statements;
+  size_t owned_patterns = 0;
+  for (std::vector<std::string> fields : masks) {
+    Result<Pattern> p = Pattern::Parse(fields, (*warnings)->schema());
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    if (ShardForPattern(*p, 3) == 0) ++owned_patterns;
+    statements.push_back(std::move(fields));
+  }
+  ASSERT_GT(owned_patterns, 0u);
+  ASSERT_LT(owned_patterns, masks.size());
+  Result<IngestResult> punct = client.Punctuate("Warnings", statements);
+  ASSERT_TRUE(punct.ok()) << punct.status().ToString();
+  EXPECT_EQ(punct->punctuations, owned_patterns);
 }
 
 TEST_F(ServerTest, StopCancelsInFlightQueries) {

@@ -7,3 +7,4 @@ from . import protocol  # noqa: F401
 from . import failpoints  # noqa: F401
 from . import obs  # noqa: F401
 from . import blocking  # noqa: F401
+from . import dist  # noqa: F401

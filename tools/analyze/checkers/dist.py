@@ -1,0 +1,36 @@
+"""dist-layering: the coordinator layers on the server, never the reverse.
+
+src/dist/ is the distributed front end (docs/DISTRIBUTED.md). It reuses
+the server's frame codec and client, so src/dist -> src/server is the
+intended dependency direction. The reverse — any src/ code outside
+src/dist/ including a "dist/..." header — would let single-process
+builds grow a hidden dependency on the fleet machinery and make the
+coordinator impossible to evolve independently; pcdbd must keep working
+with src/dist deleted.
+
+Tools, tests, and fuzz harnesses sit above every layer and may include
+dist/ freely.
+"""
+
+import re
+
+from ..framework import Finding, checker
+
+INCLUDE_DIST_RE = re.compile(r'^\s*#include\s+"(dist/[^"]+)"')
+
+
+@checker("dist-layering",
+         "src/dist depends on src/server, never the reverse: no "
+         '"dist/..." include outside src/dist/')
+def dist_layering(repo):
+    for sf in repo.cpp_files():
+        if not sf.rel.startswith("src/") or sf.rel.startswith("src/dist/"):
+            continue
+        for lineno, code in enumerate(sf.code_lines, start=1):
+            m = INCLUDE_DIST_RE.match(code)
+            if m:
+                yield Finding(
+                    "dist-layering", sf.rel, lineno,
+                    f'src/ outside src/dist/ must not include '
+                    f'"{m.group(1)}"; the coordinator layers on the '
+                    f"server (src/dist -> src/server), never the reverse")

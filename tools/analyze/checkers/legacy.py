@@ -21,6 +21,11 @@ LAYER_DEPS = {
     "workloads": {"common", "obs", "relational", "pattern"},
     "durability": {"common", "obs", "relational", "pattern"},
     "server": {"common", "obs", "relational", "pattern", "sql", "durability"},
+    # The distributed front end layers strictly on top of the server
+    # (reuses its protocol codec and client); the reverse direction is
+    # additionally policed by the dedicated dist-layering checker.
+    "dist": {"common", "obs", "relational", "pattern", "sql", "durability",
+             "server"},
 }
 
 NAKED_MUTEX_RE = re.compile(
@@ -107,7 +112,7 @@ def pattern_mutation(repo):
 
 @checker("layering",
          "includes follow the layer DAG common < obs < relational < "
-         "pattern < {sql, workloads} < server")
+         "pattern < {sql, workloads} < server < dist")
 def layering(repo):
     for sf in repo.cpp_files():
         layer = _layer_of(sf.rel)

@@ -8,6 +8,10 @@ enumerator the checker requires:
   - client handling in src/server/client.cc (a frame the server can
     send that the client would treat as stream corruption is a bug
     waiting for a version skew);
+  - coordinator handling in src/dist/coordinator.cc for every Shard*
+    enumerator (the SHARD_* opcodes exist for the distributed front
+    end; a coordinator that cannot speak one of them would strand the
+    fleet on version skew);
   - every EncodeXPayload in protocol.h has a matching DecodeXPayload
     (and vice versa), and both names appear in tests/protocol_test.cc —
     a codec without a round-trip test has no wire contract;
@@ -26,6 +30,7 @@ from ..framework import Finding, checker
 PROTO_H = "src/server/protocol.h"
 PROTO_CC = "src/server/protocol.cc"
 CLIENT_CC = "src/server/client.cc"
+COORD_CC = "src/dist/coordinator.cc"
 TEST_CC = "tests/protocol_test.cc"
 
 ENUM_RE = re.compile(
@@ -85,6 +90,25 @@ def protocol_consistency(repo):
                 yield Finding(
                     "protocol-consistency", PROTO_H, line,
                     f"FrameType::k{name} has no {role} in {rel}")
+
+    # Distributed opcodes: every Shard* enumerator must be handled by
+    # the coordinator, which is the component the SHARD_* frames exist
+    # for. Silent on trees that predate src/dist (fixtures).
+    shard_enums = [(n, line) for n, _, line in enumerators
+                   if n.startswith("Shard")]
+    coord = repo.get(COORD_CC)
+    if shard_enums and coord is None:
+        yield Finding("protocol-consistency", PROTO_H, shard_enums[0][1],
+                      f"FrameType declares Shard* opcodes but {COORD_CC} "
+                      f"is missing; the coordinator is their consumer")
+    elif coord is not None:
+        for name, line in shard_enums:
+            if not re.search(r"\bFrameType::k%s\b" % re.escape(name),
+                             coord.pure):
+                yield Finding(
+                    "protocol-consistency", PROTO_H, line,
+                    f"FrameType::k{name} has no coordinator handling in "
+                    f"{COORD_CC}")
 
     # Encode/Decode pairing and round-trip test coverage.
     codecs = {}

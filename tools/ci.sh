@@ -33,6 +33,14 @@
 #                          # exactly-once; SIGTERM drain checkpoint; group-
 #                          # commit throughput (wal off vs on) in
 #                          # BENCH_PR8.json
+#   tools/ci.sh dist       # distributed mode: dist suites, then a live
+#                          # 3-shard fleet behind pcdb_coord — serial vs
+#                          # distributed answer differential, write fan-out
+#                          # with WAL-backed shards, kill -9 of one shard
+#                          # mid-load (queries must degrade to Unavailable,
+#                          # never a silently wrong completeness verdict),
+#                          # restart + convergence; coordinator overhead and
+#                          # 3-shard scaling land in BENCH_PR9.json
 #   tools/ci.sh obs        # observability: full suite under PCDB_TRACE=1,
 #                          # validate the Chrome-trace dumps with
 #                          # tools/check_trace.py, then measure loadgen
@@ -119,7 +127,7 @@ run_fuzz() {
   cmake --preset fuzz
   cmake --build --preset fuzz -j "$JOBS" \
     --target fuzz_sql fuzz_csv fuzz_algebra_diff fuzz_frames fuzz_cache_key \
-             fuzz_wal
+             fuzz_wal fuzz_shard_route
 
   local have_libfuzzer=0
   if grep -q "PCDB_HAVE_LIBFUZZER:INTERNAL=1" build-fuzz/CMakeCache.txt \
@@ -128,7 +136,8 @@ run_fuzz() {
   fi
 
   for target in fuzz_sql:sql fuzz_csv:csv fuzz_algebra_diff:algebra \
-      fuzz_frames:frames fuzz_cache_key:cache_key fuzz_wal:wal; do
+      fuzz_frames:frames fuzz_cache_key:cache_key fuzz_wal:wal \
+      fuzz_shard_route:shard_route; do
     local bin="${target%%:*}" corpus="fuzz/corpus/${target##*:}"
     echo "=== fuzz: $bin (${FUZZ_SECONDS}s smoke) ==="
     if [[ "$have_libfuzzer" == 1 ]]; then
@@ -725,6 +734,277 @@ PY
   echo "crash OK"
 }
 
+# --- distributed-mode helpers -------------------------------------------
+
+# Starts ./build/tools/$1 (pcdbd or pcdb_coord) in the background with
+# the remaining args and waits for its "<name> listening on
+# 127.0.0.1:PORT" announcement. Sets DIST_PORT; the pid and log file are
+# pushed onto DIST_PIDS/DIST_LOGS so dist_cleanup can reap the whole
+# fleet at once.
+DIST_PIDS=()
+DIST_LOGS=()
+dist_start() {
+  local name="$1"
+  shift
+  local logfile port="" i
+  logfile="$(mktemp)"
+  "./build/tools/$name" "$@" >"$logfile" 2>&1 &
+  DIST_PIDS+=($!)
+  DIST_LOGS+=("$logfile")
+  for i in $(seq 1 200); do
+    port="$(sed -n "s/^$name listening on 127\.0\.0\.1:\([0-9]*\)\$/\1/p" \
+      "$logfile")"
+    [[ -n "$port" ]] && break
+    sleep 0.05
+  done
+  if [[ -z "$port" ]]; then
+    echo "ERROR: $name never announced its listening port" >&2
+    cat "$logfile" >&2
+    dist_cleanup
+    exit 1
+  fi
+  DIST_PORT="$port"
+}
+
+dist_cleanup() {
+  local pid logfile
+  for pid in "${DIST_PIDS[@]}"; do
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
+  for logfile in "${DIST_LOGS[@]}"; do rm -f "$logfile"; done
+  DIST_PIDS=()
+  DIST_LOGS=()
+}
+
+# Order-normalized answer text for one query: rows and completeness
+# patterns sorted as lines, the per-run timing footer dropped (cache
+# hits and latencies legitimately differ between deployments).
+dist_answer() {  # port sql
+  ./build/tools/pcdb_client --port "$1" --sql "$2" | grep -v '^-- ' | sort
+}
+
+# The distributed differential: the coordinator's answer to each query —
+# rows AND minimized completeness patterns — must be line-identical
+# (order-normalized) with the serial single-process server's.
+dist_differential() {  # coord_port direct_port
+  local q serial distributed
+  for q in \
+      "SELECT * FROM Warnings" \
+      "SELECT * FROM Warnings WHERE week=7" \
+      "SELECT * FROM Teams" \
+      "SELECT * FROM Maintenance M JOIN Teams T ON M.responsible=T.name"; do
+    serial="$(dist_answer "$2" "$q")"
+    distributed="$(dist_answer "$1" "$q")"
+    if [[ "$serial" != "$distributed" ]]; then
+      echo "ERROR: distributed answer differs from serial for: $q" >&2
+      diff <(echo "$serial") <(echo "$distributed") >&2 || true
+      exit 1
+    fi
+  done
+}
+
+run_dist() {
+  echo "=== dist: build + distributed suites ==="
+  cmake --preset release
+  cmake --build --preset release -j "$JOBS" \
+    --target dist_test protocol_test server_test \
+             pcdbd pcdb_coord pcdb_client pcdb_loadgen
+  ./build/tests/dist_test
+  ./build/tests/protocol_test --gtest_filter='*ShardInfo*:*Tenant*'
+  ./build/tests/server_test --gtest_filter='*Shard*:*ReadQuota*'
+
+  echo "=== dist: 3-shard WAL-backed fleet behind pcdb_coord ==="
+  local s shard_ports=() waldirs=() coord_port direct_port
+  for s in 0 1 2; do
+    waldirs[s]="$(mktemp -d)"
+    dist_start pcdbd --port 0 --shard-id "$s" --num-shards 3 \
+      --hashed Warnings --wal-dir "${waldirs[s]}"
+    shard_ports[s]="$DIST_PORT"
+  done
+  local shard1_pid="${DIST_PIDS[1]}"
+  dist_start pcdb_coord --shards \
+    "127.0.0.1:${shard_ports[0]},127.0.0.1:${shard_ports[1]},127.0.0.1:${shard_ports[2]}" \
+    --hashed Warnings
+  coord_port="$DIST_PORT"
+  # Serial reference: one plain pcdbd holding the whole database.
+  dist_start pcdbd --port 0
+  direct_port="$DIST_PORT"
+
+  echo "--- identical scripted writes against both deployments"
+  local i row
+  for i in $(seq 1 9); do
+    row="D$((i % 3)),7,dw$i,dist differential"
+    ./build/tools/pcdb_client --port "$coord_port" --ingest Warnings \
+      --row "$row" | grep -q 'ingested=1'
+    ./build/tools/pcdb_client --port "$direct_port" --ingest Warnings \
+      --row "$row" | grep -q 'ingested=1'
+  done
+  ./build/tools/pcdb_client --port "$coord_port" --punctuate Warnings \
+    --fields "*,47,*,*" | grep -q 'punctuations=1'
+  ./build/tools/pcdb_client --port "$direct_port" --punctuate Warnings \
+    --fields "*,47,*,*" | grep -q 'punctuations=1'
+
+  echo "--- serial vs distributed differential (order-normalized)"
+  dist_differential "$coord_port" "$direct_port"
+
+  echo "--- duplicate retry through the coordinator applies exactly once"
+  local n
+  ./build/tools/pcdb_client --port "$coord_port" --writer-id 777 \
+    --ingest Warnings --row "Mon,7,dupd,once" | grep -q 'duplicate=0'
+  ./build/tools/pcdb_client --port "$coord_port" --writer-id 777 \
+    --ingest Warnings --row "Mon,7,dupd,once" | grep -q 'duplicate=1'
+  n="$(dist_answer "$coord_port" "SELECT * FROM Warnings WHERE week=7" \
+    | grep -cw dupd)"
+  if [[ "$n" != 1 ]]; then
+    echo "ERROR: retried ingest applied $n times (want exactly 1)" >&2
+    exit 1
+  fi
+  # Mirror once on the serial side so the differential keeps holding.
+  ./build/tools/pcdb_client --port "$direct_port" \
+    --ingest Warnings --row "Mon,7,dupd,once" | grep -q 'ingested=1'
+
+  echo "=== dist: kill -9 one shard mid-load — degrade, never lie ==="
+  # Read-only burst (no --write-pct) so the fleet's contents stay equal
+  # to the serial reference for the convergence differential below.
+  ./build/tools/pcdb_loadgen --port "$coord_port" --connections 4 \
+    --requests 4000 --no-warmup >/dev/null 2>&1 &
+  local burst=$!
+  sleep 0.3
+  kill -9 "$shard1_pid" 2>/dev/null || true
+  wait "$shard1_pid" 2>/dev/null || true
+  wait "$burst" 2>/dev/null || true
+
+  # A query over the hashed table must now refuse with Unavailable — an
+  # answer computed from two of three shards would report completeness
+  # over rows it never saw (docs/DISTRIBUTED.md §6).
+  local out rc=0
+  out="$(./build/tools/pcdb_client --port "$coord_port" \
+    --sql "SELECT * FROM Warnings" 2>&1)" || rc=$?
+  if (( rc == 0 )) || ! grep -qi 'unavailable' <<<"$out"; then
+    echo "ERROR: hashed-table query with shard 1 dead must fail" >&2
+    echo "Unavailable; got rc=$rc: $out" >&2
+    exit 1
+  fi
+  # Writes broadcast to every shard, so they must refuse too. The pinned
+  # (writer_id, seq) makes the post-recovery retry below converge.
+  rc=0
+  out="$(./build/tools/pcdb_client --port "$coord_port" --writer-id 888 \
+    --ingest Warnings --row "Tue,7,lostw,retry" 2>&1)" || rc=$?
+  if (( rc == 0 )); then
+    echo "ERROR: ingest acked with shard 1 dead" >&2
+    exit 1
+  fi
+
+  echo "=== dist: restart the lost shard — convergence ==="
+  # Same port (the coordinator's endpoint list is fixed), same WAL dir
+  # (acked rows recover).
+  dist_start pcdbd --port "${shard_ports[1]}" --shard-id 1 --num-shards 3 \
+    --hashed Warnings --wal-dir "${waldirs[1]}"
+  local converged=0
+  for i in $(seq 1 100); do
+    # Each fresh client connection makes the coordinator redial the
+    # fleet, so recovery is visible as soon as the shard listens.
+    if ./build/tools/pcdb_client --port "$coord_port" \
+        --sql "SELECT * FROM Warnings" >/dev/null 2>&1; then
+      converged=1
+      break
+    fi
+    sleep 0.1
+  done
+  if (( converged == 0 )); then
+    echo "ERROR: fleet never converged after shard restart" >&2
+    exit 1
+  fi
+  # Retry the failed write with the same identity: already-applied
+  # shards dedup, the rest apply — exactly-once despite the crash.
+  ./build/tools/pcdb_client --port "$coord_port" --writer-id 888 \
+    --ingest Warnings --row "Tue,7,lostw,retry" >/dev/null
+  n="$(dist_answer "$coord_port" "SELECT * FROM Warnings WHERE week=7" \
+    | grep -cw lostw)"
+  if [[ "$n" != 1 ]]; then
+    echo "ERROR: crash-spanning retry applied $n times (want exactly 1)" >&2
+    exit 1
+  fi
+  ./build/tools/pcdb_client --port "$direct_port" \
+    --ingest Warnings --row "Tue,7,lostw,retry" | grep -q 'ingested=1'
+  dist_differential "$coord_port" "$direct_port"
+  echo "dist: fleet converged; differential holds after recovery"
+  dist_cleanup
+  for s in 0 1 2; do rm -rf "${waldirs[s]}"; done
+
+  echo "=== dist: coordinator overhead + 3-shard scaling (BENCH_PR9.json) ==="
+  rm -f BENCH_PR9.json
+  local direct_bench_port coord1_port coord3_port
+  # Leg 1: loadgen straight at one plain pcdbd.
+  dist_start pcdbd --port 0
+  direct_bench_port="$DIST_PORT"
+  tools/bench_record.sh --out BENCH_PR9.json ./build/tools/pcdb_loadgen \
+    --port "$direct_bench_port" --connections 8 \
+    --requests "${DIST_LOADGEN_REQUESTS:-2000}"
+  # Leg 2: the same pcdbd behind a 1-shard coordinator — the delta vs
+  # leg 1 is the pure front-end overhead (a plain pcdbd reports shard 0
+  # of 1, so the handshake accepts it).
+  dist_start pcdb_coord --shards "127.0.0.1:$direct_bench_port"
+  coord1_port="$DIST_PORT"
+  tools/bench_record.sh --out BENCH_PR9.json ./build/tools/pcdb_loadgen \
+    --endpoints "127.0.0.1:$coord1_port" --connections 8 \
+    --requests "${DIST_LOADGEN_REQUESTS:-2000}"
+  # Leg 3: a fresh 3-shard fleet (no WAL — the bench measures the read
+  # path) behind a coordinator, targeted via --endpoints.
+  local bench_shards=()
+  for s in 0 1 2; do
+    dist_start pcdbd --port 0 --shard-id "$s" --num-shards 3 \
+      --hashed Warnings
+    bench_shards[s]="$DIST_PORT"
+  done
+  dist_start pcdb_coord --shards \
+    "127.0.0.1:${bench_shards[0]},127.0.0.1:${bench_shards[1]},127.0.0.1:${bench_shards[2]}" \
+    --hashed Warnings
+  coord3_port="$DIST_PORT"
+  tools/bench_record.sh --out BENCH_PR9.json ./build/tools/pcdb_loadgen \
+    --endpoints "127.0.0.1:$coord3_port" --connections 8 \
+    --requests "${DIST_LOADGEN_REQUESTS:-2000}"
+  dist_cleanup
+
+  if ! python3 - <<'PY'
+import json
+legs = [json.loads(line) for line in open("BENCH_PR9.json")
+        if line.strip()]
+direct, coord1, coord3 = legs[:3]
+def pct(base, new):
+    return round((new - base) / base * 100.0, 2) if base > 0 else None
+summary = {
+    "bench": "pr9_dist_summary",
+    "commit": direct["commit"],
+    "date": direct["date"],
+    "workload": {"requests": direct["n"], "connections": direct["threads"],
+                 "legs": ["direct pcdbd", "pcdb_coord over 1 shard",
+                          "pcdb_coord over 3 shards"]},
+    "coordinator_overhead_p50_pct": pct(direct["median_ms"],
+                                        coord1["median_ms"]),
+    "coordinator_overhead_p95_pct": pct(direct["p95_ms"], coord1["p95_ms"]),
+    "three_shard_qps_ratio_vs_one": round(coord3["qps"] / coord1["qps"], 3)
+        if coord1["qps"] else None,
+}
+with open("BENCH_PR9.json", "a") as f:
+    json.dump(summary, f)
+    f.write("\n")
+print(json.dumps(summary, indent=2))
+# Gate: every leg completed without request or write errors; the
+# latency/throughput numbers themselves are recorded, not gated
+# (machine-dependent).
+bad = any(l.get("errors", 0) or l.get("write_errors", 0) for l in legs)
+raise SystemExit(1 if bad else 0)
+PY
+  then
+    cat BENCH_PR9.json >&2
+    echo "ERROR: a bench leg saw request errors" >&2
+    exit 1
+  fi
+  echo "dist OK"
+}
+
 MODE="tier1"
 RUN_ASAN=0
 for arg in "$@"; do
@@ -736,6 +1016,7 @@ for arg in "$@"; do
     faults) MODE="faults" ;;
     ingest) MODE="ingest" ;;
     crash) MODE="crash" ;;
+    dist) MODE="dist" ;;
     obs) MODE="obs" ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -752,6 +1033,7 @@ case "$MODE" in
   faults) run_faults ;;
   ingest) run_ingest ;;
   crash) run_crash ;;
+  dist) run_dist ;;
   obs) run_obs ;;
 esac
 

@@ -4,6 +4,12 @@
 //                [--sql "SELECT ..."] [--deadline-ms N] [--aware]
 //                [--zombies] [--no-warmup] [--write-pct P]
 //                [--punctuate-pct P] [--tenant NAME]
+//                [--endpoints HOST:PORT,HOST:PORT,...]
+//
+// --endpoints drives a multi-node target (several pcdb_coord front
+// ends, or a coordinator next to a plain pcdbd for overhead A/Bs):
+// worker w dials endpoint w mod E, so connections spread round-robin
+// across the fleet. It replaces --host/--port when present.
 //
 // Opens C concurrent connections, each issuing its share of R requests
 // back-to-back (closed loop: the next request is sent only after the
@@ -36,6 +42,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "dist/coordinator.h"
 #include "server/client.h"
 
 namespace {
@@ -111,10 +118,20 @@ int main(int argc, char** argv) {
   uint64_t punctuate_pct = 0;
   pcdb::ClientQueryOptions query_options;
   pcdb::ClientWriteOptions write_options;
+  std::vector<pcdb::ShardEndpoint> endpoints;
   for (int i = 1; i < argc; ++i) {
     uint64_t n = 0;
+    std::string s;
     if (ParseString(argc, argv, &i, "--host", &host)) {
     } else if (ParseUint(argc, argv, &i, "--port", &port)) {
+    } else if (ParseString(argc, argv, &i, "--endpoints", &s)) {
+      auto parsed = pcdb::ParseEndpoints(s);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "pcdb_loadgen: bad --endpoints: %s\n",
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      endpoints = *std::move(parsed);
     } else if (ParseUint(argc, argv, &i, "--connections", &connections)) {
     } else if (ParseUint(argc, argv, &i, "--requests", &requests)) {
     } else if (ParseString(argc, argv, &i, "--sql", &sql)) {
@@ -136,7 +153,8 @@ int main(int argc, char** argv) {
           "                    [--requests R] [--sql \"SELECT ...\"]\n"
           "                    [--deadline-ms N] [--aware] [--zombies]\n"
           "                    [--no-warmup] [--write-pct P]\n"
-          "                    [--punctuate-pct P] [--tenant NAME]\n");
+          "                    [--punctuate-pct P] [--tenant NAME]\n"
+          "                    [--endpoints HOST:PORT,HOST:PORT,...]\n");
       return 0;
     } else {
       std::fprintf(stderr, "pcdb_loadgen: unknown flag %s (see --help)\n",
@@ -144,9 +162,13 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (port == 0) {
-    std::fprintf(stderr, "pcdb_loadgen: need --port (see --help)\n");
-    return 2;
+  if (endpoints.empty()) {
+    if (port == 0) {
+      std::fprintf(stderr,
+                   "pcdb_loadgen: need --port or --endpoints (see --help)\n");
+      return 2;
+    }
+    endpoints.push_back({host, static_cast<uint16_t>(port)});
   }
   if (connections == 0) connections = 1;
   if (requests < connections) requests = connections;
@@ -156,17 +178,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("pcdb_loadgen: %llu requests over %llu connections to %s:%llu\n",
-              static_cast<unsigned long long>(requests),
-              static_cast<unsigned long long>(connections), host.c_str(),
-              static_cast<unsigned long long>(port));
+  std::printf(
+      "pcdb_loadgen: %llu requests over %llu connections to %s:%u%s\n",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(connections), endpoints[0].host.c_str(),
+      static_cast<unsigned>(endpoints[0].port),
+      endpoints.size() > 1
+          ? (" (+" + std::to_string(endpoints.size() - 1) + " more)").c_str()
+          : "");
   std::printf("pcdb_loadgen: sql: %s\n", sql.c_str());
 
   // One warmup query populates the answer cache so the measured run
   // reports steady-state serving latency (see EXPERIMENTS.md; disable
   // with --no-warmup to measure the cold path).
   if (warmup) {
-    auto probe = pcdb::Client::Connect(host, static_cast<uint16_t>(port));
+    auto probe = pcdb::Client::Connect(endpoints[0].host, endpoints[0].port);
     if (!probe.ok()) {
       std::fprintf(stderr, "pcdb_loadgen: connect: %s\n",
                    probe.status().ToString().c_str());
@@ -188,12 +214,14 @@ int main(int argc, char** argv) {
     for (size_t w = 0; w < num_workers; ++w) {
       // Worker w issues requests w, w+C, w+2C, ... so the total is
       // exactly `requests` even when C does not divide it.
-      pool.Submit([w, num_workers, requests, &host, port, &sql,
+      pool.Submit([w, num_workers, requests, &endpoints, &sql,
                    &query_options, &results, write_pct, punctuate_pct,
                    &write_options] {
         WorkerResult& result = results[w];
-        auto client =
-            pcdb::Client::Connect(host, static_cast<uint16_t>(port));
+        // Round-robin across the endpoint fleet: worker w dials
+        // endpoint w mod E.
+        const pcdb::ShardEndpoint& ep = endpoints[w % endpoints.size()];
+        auto client = pcdb::Client::Connect(ep.host, ep.port);
         if (!client.ok()) {
           for (uint64_t r = w; r < requests; r += num_workers) {
             ++result.errors;

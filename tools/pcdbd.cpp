@@ -10,6 +10,15 @@
 //         [--slow-query-ms N] [--max-pending-writes N] [--tenant-quota N]
 //         [--tenant-tier NAME=N]... [--wal-dir PATH] [--no-wal]
 //         [--checkpoint-interval N] [--drain-timeout-ms N]
+//         [--read-quota N] [--shard-id N] [--num-shards N]
+//         [--hashed T1,T2,...]
+//
+// --shard-id/--num-shards/--hashed run the daemon as one shard of a
+// distributed fleet behind pcdb_coord (docs/DISTRIBUTED.md): the seed
+// database's hashed tables are cut down to this shard's rows and
+// pattern statements before serving, writes to hashed tables are
+// filtered to owned rows/patterns, and SHARD_INFO reports the
+// placement so the coordinator can verify its wiring.
 //
 // With --port 0 (the default) an ephemeral port is bound; the single
 // line "pcdbd listening on HOST:PORT" on stdout announces it (tools/
@@ -44,6 +53,7 @@
 #include <thread>
 
 #include "common/log.h"
+#include "dist/partition.h"
 #include "server/server.h"
 #include "workloads/maintenance_example.h"
 
@@ -126,6 +136,20 @@ int main(int argc, char** argv) {
       options.max_pending_writes = n;
     } else if (ParseUint(argc, argv, &i, "--tenant-quota", &n)) {
       options.tenant_write_quota = n;
+    } else if (ParseUint(argc, argv, &i, "--read-quota", &n)) {
+      options.tenant_read_quota = n;
+    } else if (ParseUint(argc, argv, &i, "--shard-id", &n)) {
+      options.shard_id = static_cast<uint32_t>(n);
+    } else if (ParseUint(argc, argv, &i, "--num-shards", &n)) {
+      options.num_shards = static_cast<uint32_t>(n);
+    } else if (ParseString(argc, argv, &i, "--hashed", &s)) {
+      pcdb::Result<std::set<std::string>> hashed = pcdb::ParseHashedSpec(s);
+      if (!hashed.ok()) {
+        pcdb::LogError("bad --hashed spec")
+            .Str("error", hashed.status().ToString());
+        return 2;
+      }
+      options.hashed_tables = *std::move(hashed);
     } else if (ParseString(argc, argv, &i, "--tenant-tier", &s)) {
       // NAME=N; repeatable. Unlisted tenants are tier 0.
       const size_t eq = s.rfind('=');
@@ -156,7 +180,9 @@ int main(int argc, char** argv) {
           "             [--slow-query-ms N] [--max-pending-writes N]\n"
           "             [--tenant-quota N] [--tenant-tier NAME=N]...\n"
           "             [--wal-dir PATH] [--no-wal]\n"
-          "             [--checkpoint-interval N] [--drain-timeout-ms N]\n");
+          "             [--checkpoint-interval N] [--drain-timeout-ms N]\n"
+          "             [--read-quota N] [--shard-id N] [--num-shards N]\n"
+          "             [--hashed T1,T2,...]\n");
       return 0;
     } else {
       pcdb::LogError("unknown flag (see --help)").Str("flag", argv[i]);
@@ -164,7 +190,30 @@ int main(int argc, char** argv) {
     }
   }
 
-  pcdb::Server server(pcdb::MakeMaintenanceDatabase(), options);
+  if (options.shard_id >= options.num_shards) {
+    pcdb::LogError("--shard-id must be < --num-shards")
+        .Unum("shard_id", options.shard_id)
+        .Unum("num_shards", options.num_shards);
+    return 2;
+  }
+
+  pcdb::AnnotatedDatabase adb = pcdb::MakeMaintenanceDatabase();
+  if (options.num_shards > 1) {
+    // Cut the seed database down to this shard's slice before serving:
+    // hashed tables keep only owned rows and owned pattern statements
+    // (docs/DISTRIBUTED.md); replicated tables stay whole.
+    pcdb::PartitionMap map;
+    map.num_shards = options.num_shards;
+    map.hashed = options.hashed_tables;
+    pcdb::Status cut = pcdb::PartitionDatabase(&adb, map, options.shard_id);
+    if (!cut.ok()) {
+      pcdb::LogError("partitioning seed database failed")
+          .Str("error", cut.ToString());
+      return 2;
+    }
+  }
+
+  pcdb::Server server(std::move(adb), options);
   pcdb::Status started = server.Start();
   if (!started.ok()) {
     pcdb::LogError("startup failed").Str("error", started.ToString());
