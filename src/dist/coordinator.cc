@@ -1,6 +1,7 @@
 #include "dist/coordinator.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/log.h"
@@ -104,6 +105,7 @@ Coordinator::Coordinator(CoordinatorOptions options)
   c_protocol_errors_ = metrics_.GetCounter(kMetricProtocolErrors);
   c_connections_ = metrics_.GetCounter(kMetricConnectionsTotal);
   h_latency_ = metrics_.GetHistogram(kMetricRequestLatency);
+  g_writer_states_ = metrics_.GetGauge(kMetricWriterStates);
   // Per-shard latency histograms, named from the registry prefix so
   // dashboards can discover them without a schema change per fleet
   // size.
@@ -550,6 +552,7 @@ void Coordinator::HandleWrite(Handler* handler, uint64_t request_id,
       if (writer_it != tenant_it->second.end() &&
           seq <= writer_it->second.last_seq) {
         c_writes_deduped_->Increment();
+        writer_it->second.last_touch = ++writer_tick_;
         IngestResult ack;
         if (seq == writer_it->second.last_seq) {
           ack = writer_it->second.ack;
@@ -566,6 +569,24 @@ void Coordinator::HandleWrite(Handler* handler, uint64_t request_id,
   }
 
   const bool hashed = partition_.IsHashed(table);
+  if (hashed && !is_punctuate && partition_.num_shards > 1 &&
+      ingest.policy == IngestRequest::kPolicyRejectRecord) {
+    // Under reject policy the row's hash owner decides accept/reject
+    // from its local patterns only, while the promise the row violates
+    // may live on a different signature-owner shard — the fleet could
+    // store the row AND keep the promise it violates, a completeness
+    // verdict no single-process server would produce. Refuse loudly
+    // (docs/DISTRIBUTED.md §5); retract policy stays exact because
+    // every shard withdraws the promises it owns.
+    SendError(handler, request_id,
+              Status::Unimplemented(
+                  "ingest into hash-partitioned table '" + table +
+                  "' under the reject policy is not supported in "
+                  "distributed mode (the violated promise may live on a "
+                  "different shard than the row); use the retract "
+                  "policy"));
+    return;
+  }
   ClientWriteOptions wopts;
   wopts.tenant = tenant;
   if (!is_punctuate) wopts.policy = ingest.policy;
@@ -607,7 +628,10 @@ void Coordinator::HandleWrite(Handler* handler, uint64_t request_id,
     }
     if (hashed) {
       // Each row is stored by one owner and each statement lives on one
-      // shard, so summing the per-shard deltas gives the fleet totals.
+      // shard, so summing the per-shard deltas gives exact fleet totals
+      // — except `violations`, which counts per-shard events: one row
+      // violating promises on both its hash owner and a signature-owner
+      // shard counts once on each (docs/DISTRIBUTED.md §5).
       total.rows_ingested += ack->rows_ingested;
       total.rows_rejected += ack->rows_rejected;
       total.punctuations += ack->punctuations;
@@ -623,16 +647,45 @@ void Coordinator::HandleWrite(Handler* handler, uint64_t request_id,
   total.duplicate = false;
   if (sequenced) {
     MutexLock lock(&writers_mu_);
-    WriterState& state = writers_[tenant][writer_id];
+    auto [writer_it, inserted] = writers_[tenant].try_emplace(writer_id);
+    if (inserted) ++writer_count_;
+    WriterState& state = writer_it->second;
+    state.last_touch = ++writer_tick_;
     if (seq > state.last_seq) {
       state.last_seq = seq;
       state.ack = total;
     }
+    if (inserted) EvictStaleWritersLocked();
+    g_writer_states_->Set(static_cast<int64_t>(writer_count_));
   }
   std::string out;
   AppendFrame(&out, FrameType::kIngestResult, request_id,
               EncodeIngestResultPayload(total));
   (void)handler->sock.SendAll(out.data(), out.size());
+}
+
+void Coordinator::EvictStaleWritersLocked() {
+  // Linear scan per eviction. Evictions only happen when a NEW writer
+  // identity arrives with the map at capacity; a steady fleet of
+  // long-lived writers never pays this, and the cap bounds the scan.
+  while (writer_count_ > options_.max_writer_states && writer_count_ > 0) {
+    auto victim_tenant = writers_.end();
+    std::map<uint64_t, WriterState>::iterator victim;
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (auto t = writers_.begin(); t != writers_.end(); ++t) {
+      for (auto w = t->second.begin(); w != t->second.end(); ++w) {
+        if (w->second.last_touch < oldest) {
+          oldest = w->second.last_touch;
+          victim_tenant = t;
+          victim = w;
+        }
+      }
+    }
+    if (victim_tenant == writers_.end()) break;
+    victim_tenant->second.erase(victim);
+    if (victim_tenant->second.empty()) writers_.erase(victim_tenant);
+    --writer_count_;
+  }
 }
 
 void Coordinator::HandleShardInfo(Handler* handler, uint64_t request_id) {

@@ -70,6 +70,13 @@ struct CoordinatorOptions {
   int shard_recv_timeout_millis = 30000;
   /// Rows per ANSWER_ROWS frame when re-framing merged answers.
   size_t rows_per_batch = 256;
+  /// Cap on retained (tenant, writer_id) dedup entries across all
+  /// tenants; least-recently-touched entries are evicted beyond it, so
+  /// a long-lived coordinator serving many distinct writer ids stays
+  /// bounded. Eviction only weakens the *front-side* fast path: a
+  /// retried write whose entry was evicted re-broadcasts, and every
+  /// shard's own dedup state still makes it exactly-once.
+  size_t max_writer_states = 4096;
   /// Accept-loop poll timeout; bounds Stop() latency when idle.
   int poll_millis = 100;
 };
@@ -107,6 +114,9 @@ class Coordinator {
   struct WriterState {
     uint64_t last_seq = 0;
     IngestResult ack;  ///< As first served (duplicate = false).
+    /// LRU stamp (writer_tick_ at the last dedup hit or record), so
+    /// the map can evict the stalest entry at max_writer_states.
+    uint64_t last_touch = 0;
   };
 
   void RunAcceptLoop();
@@ -150,14 +160,26 @@ class Coordinator {
   Counter* c_protocol_errors_ = nullptr;
   Counter* c_connections_ = nullptr;
   Histogram* h_latency_ = nullptr;
+  /// Live (tenant, writer_id) dedup entries; capped at
+  /// CoordinatorOptions::max_writer_states.
+  Gauge* g_writer_states_ = nullptr;
   /// Per-shard round-trip latency, index == shard id (dynamic names
   /// composed from kMetricShardLatency).
   std::vector<Histogram*> h_shard_latency_;
 
+  /// Evicts least-recently-touched entries until the dedup map is back
+  /// under CoordinatorOptions::max_writer_states.
+  void EvictStaleWritersLocked() PCDB_REQUIRES(writers_mu_);
+
   Mutex writers_mu_;
-  /// tenant -> writer_id -> dedup state.
+  /// tenant -> writer_id -> dedup state, bounded by max_writer_states
+  /// (LRU on WriterState::last_touch).
   std::map<std::string, std::map<uint64_t, WriterState>> writers_
       PCDB_GUARDED_BY(writers_mu_);
+  /// Monotonic LRU clock for WriterState::last_touch.
+  uint64_t writer_tick_ PCDB_GUARDED_BY(writers_mu_) = 0;
+  /// Total entries across all tenants of writers_.
+  size_t writer_count_ PCDB_GUARDED_BY(writers_mu_) = 0;
 
   Listener listener_;
   std::atomic<bool> stop_requested_{false};

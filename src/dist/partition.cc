@@ -178,10 +178,23 @@ QueryRouting AnalyzeQuery(const PartitionMap& map, const std::string& sql,
     return routing;
   }
   size_t hashed_occurrences = 0;
+  size_t max_in_one_block = 0;
+  bool any_aggregate = false;
+  bool any_limit = false;
+  bool any_order_by = false;
   for (const SelectStatement& stmt : *parsed) {
+    size_t in_block = 0;
     for (const TableRef& ref : stmt.from) {
-      if (map.IsHashed(ref.table)) ++hashed_occurrences;
+      if (map.IsHashed(ref.table)) ++in_block;
     }
+    hashed_occurrences += in_block;
+    max_in_one_block = std::max(max_in_one_block, in_block);
+    for (const SelectItem& item : stmt.items) {
+      any_aggregate = any_aggregate || item.is_aggregate || item.count_star;
+    }
+    any_aggregate = any_aggregate || !stmt.group_by.empty();
+    any_limit = any_limit || stmt.has_limit;
+    any_order_by = any_order_by || !stmt.order_by.empty();
   }
   if (hashed_occurrences == 0) {
     routing.route = QueryRoute::kSingleShard;
@@ -197,15 +210,61 @@ QueryRouting AnalyzeQuery(const PartitionMap& map, const std::string& sql,
         "is not supported in distributed mode";
     return routing;
   }
-  if (hashed_occurrences > 1) {
+  if (max_in_one_block > 1) {
     // Joining two hashed occurrences (including self-joins) needs row
     // co-location the hash placement does not provide: a result row may
     // pair tuples living on different shards, so no shard computes it.
     routing.route = QueryRoute::kUnsupported;
     routing.reason =
-        "query joins " + std::to_string(hashed_occurrences) +
+        "query joins " + std::to_string(max_in_one_block) +
         " occurrences of hash-partitioned tables; distributed evaluation "
         "supports at most one";
+    return routing;
+  }
+  if (parsed->size() > 1) {
+    // UNION ALL over a hashed table does not broadcast, for two
+    // reasons. A replicated-only block would contribute its full answer
+    // once per shard to the merged bag union (duplicated rows). And
+    // even with every block hashed, the completeness annotation of a
+    // union is the pairwise meet (unifier) of the two blocks'
+    // statement sets (ũ, algebra.cc): with pattern statements
+    // partitioned by signature no shard holds both blocks' statements,
+    // so every per-shard meet is empty and the coordinator's
+    // union-of-statements merge cannot recover the lost annotations.
+    routing.route = QueryRoute::kUnsupported;
+    routing.reason =
+        "UNION over a hash-partitioned table is not supported in "
+        "distributed mode: the union's completeness annotation is a "
+        "cross-block meet that needs both blocks' pattern statements "
+        "on one shard";
+    return routing;
+  }
+  // The remaining shapes do not distribute over a union of row slices:
+  // merging per-shard results would serve partial aggregates as final
+  // (COUNT over 3 shards = 3 partial counts), up to N*k rows under
+  // LIMIT k, and the coordinator's canonical sort destroys ORDER BY.
+  // Refuse loudly instead of answering wrongly (docs/DISTRIBUTED.md §3).
+  if (any_aggregate) {
+    routing.route = QueryRoute::kUnsupported;
+    routing.reason =
+        "aggregates/GROUP BY over a hash-partitioned table do not "
+        "distribute over the shard union; distributed evaluation would "
+        "return per-shard partial results";
+    return routing;
+  }
+  if (any_limit) {
+    routing.route = QueryRoute::kUnsupported;
+    routing.reason =
+        "LIMIT over a hash-partitioned table does not distribute over "
+        "the shard union; distributed evaluation would return up to "
+        "one limit's worth of rows per shard";
+    return routing;
+  }
+  if (any_order_by) {
+    routing.route = QueryRoute::kUnsupported;
+    routing.reason =
+        "ORDER BY over a hash-partitioned table is not preserved by the "
+        "coordinator's canonical merge order";
     return routing;
   }
   routing.route = QueryRoute::kBroadcast;

@@ -28,13 +28,20 @@
 ///    a late record's violated promises may live on a different shard
 ///    than the record itself.
 ///  - Queries touching no hashed table are answered by any single shard
-///    (all shards agree). Queries with exactly one hashed-table
-///    occurrence broadcast: the pattern algebra is schema-level and
-///    every operator distributes over a union on a single partitioned
-///    side, so union + merge-minimize of the per-shard answers is the
-///    exact single-process answer. Two or more hashed occurrences
-///    (self-joins, hashed-hashed joins) would need row co-location and
-///    are rejected as kUnimplemented rather than answered wrongly.
+///    (all shards agree). Single-block SPJ queries with exactly one
+///    hashed-table occurrence broadcast: the pattern algebra is
+///    schema-level and every such operator distributes over a union on
+///    a single partitioned side, so union + merge-minimize of the
+///    per-shard answers is the exact single-process answer.
+///    Everything that does NOT distribute over the shard union is
+///    rejected as kUnimplemented rather than answered wrongly: two or
+///    more hashed occurrences in one block (row co-location),
+///    aggregates/GROUP BY (partial per-shard results), LIMIT (up to
+///    N*k rows), ORDER BY (destroyed by the canonical merge order),
+///    and any UNION over a hashed table (the union's completeness
+///    annotation is a cross-block meet needing both blocks' pattern
+///    statements on one shard; a replicated-only block would also be
+///    duplicated once per shard).
 
 namespace pcdb {
 
@@ -91,7 +98,9 @@ enum class QueryRoute {
   /// reports the identical error).
   kSingleShard,
   /// Scatter to every shard, union the rows, merge-minimize the
-  /// patterns: exactly one hashed-table occurrence.
+  /// patterns: the query is a single SPJ block with exactly one
+  /// hashed-table occurrence (no UNION, aggregates, GROUP BY, LIMIT or
+  /// ORDER BY — none of those distribute over the shard union).
   kBroadcast,
   /// Not answerable soundly under this partition map (`reason` says
   /// why); the coordinator reports kUnimplemented.

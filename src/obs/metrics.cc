@@ -111,6 +111,12 @@ uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second->Value();
 }
 
+int64_t MetricsRegistry::GaugeValue(const std::string& name) const {
+  MutexLock lock(&mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->Value();
+}
+
 std::string MetricsRegistry::ToJson() const {
   MutexLock lock(&mu_);
   std::string out = "{\"counters\":{";

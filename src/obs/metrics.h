@@ -100,6 +100,10 @@ class MetricsRegistry {
   /// counter was never created).
   uint64_t CounterValue(const std::string& name) const PCDB_EXCLUDES(mu_);
 
+  /// Convenience for tests/tools: current value of a gauge (0 when the
+  /// gauge was never created).
+  int64_t GaugeValue(const std::string& name) const PCDB_EXCLUDES(mu_);
+
   /// Snapshot as JSON:
   ///   {"counters":{...},"gauges":{...},
   ///    "histograms":{"name":{"count":..,"mean_ms":..,"p50_ms":..,

@@ -181,7 +181,9 @@ inline constexpr char kMetricWritesShedTotal[] = "writes_shed_total";
 inline constexpr char kMetricWriteBatches[] = "write_batches";
 /// Read-side admission: queries shed because the tenant exceeded
 /// ServerOptions::tenant_read_quota. Per-tenant breakdowns are dynamic
-/// names composed as `queries_shed_total.<tenant>` from this prefix.
+/// names composed as `queries_shed_total.<tenant>` from this prefix —
+/// only for tenants configured in ServerOptions::tenant_tiers; unknown
+/// (wire-supplied) tenants share `queries_shed_total.other`.
 inline constexpr char kMetricQueriesShedTotal[] = "queries_shed_total";
 
 // Per-Server registry: durability (WAL / checkpoint / recovery /
@@ -204,6 +206,9 @@ inline constexpr char kMetricRequestLatency[] = "request_latency";
 // this prefix.
 inline constexpr char kMetricShardLatency[] = "shard_latency";
 inline constexpr char kMetricShardErrorsTotal[] = "shard_errors_total";
+/// Gauge: live (tenant, writer_id) idempotent-retry dedup entries held
+/// by the coordinator, bounded by CoordinatorOptions::max_writer_states.
+inline constexpr char kMetricWriterStates[] = "writer_states";
 
 // Process-wide GlobalMetrics() registry (obs/metrics.cc).
 inline constexpr char kMetricEnginePatternsMinimized[] =
@@ -255,6 +260,7 @@ inline constexpr const char* kAllMetricNames[] = {
     kMetricRequestLatency,
     kMetricShardLatency,
     kMetricShardErrorsTotal,
+    kMetricWriterStates,
     kMetricEnginePatternsMinimized,
     kMetricEngineSubsumptionProbes,
     kMetricEngineDegradedToSummary,

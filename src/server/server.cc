@@ -835,9 +835,15 @@ void Server::AdmitOrShed(LoopState* state, Conn* conn, uint64_t request_id,
       // queries (and all writes) proceed.
       c_shed_->Increment();
       c_queries_shed_->Increment();
+      // Per-tenant breakdown only for configured tenants: the name
+      // comes off the wire, and a client cycling random tenant strings
+      // must not grow the registry (and the /stats payload) without
+      // bound. Unknown tenants aggregate under ".other".
+      const bool known_tenant =
+          options_.tenant_tiers.count(request.tenant) > 0;
       metrics_
           .GetCounter(std::string(kMetricQueriesShedTotal) + "." +
-                      request.tenant)
+                      (known_tenant ? request.tenant : "other"))
           ->Increment();
       AppendFrame(&conn->outbuf, FrameType::kError, request_id,
                   EncodeErrorPayload(Status::Unavailable(
@@ -1165,6 +1171,7 @@ Status Server::ApplyWriteOp(AnnotatedDatabase* next, WriteOp* op,
   } else {
     const bool hashed = options_.num_shards > 1 &&
                         options_.hashed_tables.count(op->ingest.table) > 0;
+    size_t reject_policy_skips = 0;
     for (Tuple& row : op->ingest.rows) {
       if (hashed &&
           ShardForRow(row, options_.num_shards) != options_.shard_id) {
@@ -1172,14 +1179,21 @@ Status Server::ApplyWriteOp(AnnotatedDatabase* next, WriteOp* op,
         // row is stored on its hash owner, but any completeness promise
         // it violates lives wherever its *signature* hashes — possibly
         // here. Under kPolicyRetractPatterns, retract locally without
-        // storing; under kPolicyRejectRecord the owner is the authority
-        // (docs/DISTRIBUTED.md §5 spells out why that stays sound).
+        // storing — that is what keeps cross-shard retraction exact.
+        // Under kPolicyRejectRecord this shard can do nothing sound:
+        // the owner decides accept/reject from its local patterns
+        // only, so a promise held here may survive a row that violates
+        // it. The coordinator refuses that combination outright
+        // (docs/DISTRIBUTED.md §5); a writer driving shards directly
+        // gets one loud warning per op instead.
         if (op->ingest.policy == IngestRequest::kPolicyRetractPatterns) {
           Status retract = feed.RetractViolated(op->ingest.table, row);
           if (!retract.ok()) {
             status = std::move(retract);
             break;
           }
+        } else {
+          ++reject_policy_skips;
         }
         continue;
       }
@@ -1195,6 +1209,16 @@ Status Server::ApplyWriteOp(AnnotatedDatabase* next, WriteOp* op,
       }
       // Policy rejections are part of the contract, reported through
       // the ack counters, and do not fail the op.
+    }
+    if (reject_policy_skips > 0) {
+      LogWarn(
+          "reject-policy ingest into a hashed table skipped non-owned "
+          "rows: promises this shard holds were not checked against "
+          "them; the fleet's completeness verdict is owner-local "
+          "(docs/DISTRIBUTED.md §5) — use the retract policy")
+          .Str("table", op->ingest.table)
+          .Unum("rows_skipped", reject_policy_skips)
+          .Unum("shard_id", options_.shard_id);
     }
   }
   const FeedStats totals = feed.stats();

@@ -107,9 +107,11 @@ struct ServerOptions {
   std::map<std::string, uint32_t> tenant_tiers;
   /// Per-tenant cap on admitted queries (in flight + queued), the read
   /// mirror of tenant_write_quota: a tenant at its quota is shed with
-  /// kUnavailable (counted in queries_shed_total and a per-tenant
-  /// `queries_shed_total.<tenant>` counter) while other tenants'
-  /// queries proceed. 0 = no per-tenant cap.
+  /// kUnavailable (counted in queries_shed_total, plus a per-tenant
+  /// `queries_shed_total.<tenant>` counter for tenants listed in
+  /// tenant_tiers — unlisted tenants aggregate under
+  /// `queries_shed_total.other`, so wire-supplied names cannot grow
+  /// the registry unboundedly). 0 = no per-tenant cap.
   size_t tenant_read_quota = 0;
   /// Shard-mode placement (docs/DISTRIBUTED.md): this server's shard id
   /// and the total shard count. The default (shard 0 of 1) is a

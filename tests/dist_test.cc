@@ -221,6 +221,61 @@ TEST(AnalyzeQueryTest, RoutesByHashedOccurrences) {
             AnalyzeQuery(map, "SELECT * FROM Teams", false, false).shard);
 }
 
+TEST(AnalyzeQueryTest, RefusesShapesThatDoNotDistributeOverTheUnion) {
+  PartitionMap map;
+  map.num_shards = 3;
+  map.hashed = {"Warnings"};
+
+  // Aggregates over a hashed table: the coordinator's merge would
+  // serve N partial results as final (COUNT(*) -> 3 partial counts).
+  QueryRouting r =
+      AnalyzeQuery(map, "SELECT COUNT(*) FROM Warnings", false, false);
+  EXPECT_EQ(r.route, QueryRoute::kUnsupported);
+  r = AnalyzeQuery(map,
+                   "SELECT day, COUNT(*) AS n FROM Warnings GROUP BY day",
+                   false, false);
+  EXPECT_EQ(r.route, QueryRoute::kUnsupported);
+
+  // LIMIT k would return up to N*k rows; ORDER BY is destroyed by the
+  // canonical merge sort.
+  r = AnalyzeQuery(map, "SELECT * FROM Warnings LIMIT 2", false, false);
+  EXPECT_EQ(r.route, QueryRoute::kUnsupported);
+  r = AnalyzeQuery(map, "SELECT * FROM Warnings ORDER BY week", false,
+                   false);
+  EXPECT_EQ(r.route, QueryRoute::kUnsupported);
+
+  // The same shapes over replicated tables stay single-shard: one shard
+  // holds those tables whole and answers exactly.
+  r = AnalyzeQuery(map, "SELECT COUNT(*) FROM Teams", false, false);
+  EXPECT_EQ(r.route, QueryRoute::kSingleShard);
+  r = AnalyzeQuery(map,
+                   "SELECT specialization, COUNT(*) AS n FROM Teams "
+                   "GROUP BY specialization",
+                   false, false);
+  EXPECT_EQ(r.route, QueryRoute::kSingleShard);
+  r = AnalyzeQuery(map, "SELECT * FROM Teams ORDER BY name LIMIT 2", false,
+                   false);
+  EXPECT_EQ(r.route, QueryRoute::kSingleShard);
+
+  // A UNION mixing a hashed block with a replicated-only block would
+  // duplicate the replicated block once per shard.
+  r = AnalyzeQuery(map,
+                   "SELECT day FROM Warnings UNION ALL SELECT name FROM Teams",
+                   false, false);
+  EXPECT_EQ(r.route, QueryRoute::kUnsupported);
+
+  // Even with every block hashed exactly once the row slices stay
+  // disjoint, but the union's completeness annotation is the pairwise
+  // meet of the two blocks' statement sets — and with statements
+  // partitioned by signature no shard holds both sides, so the merge
+  // would silently drop annotations the single process derives.
+  r = AnalyzeQuery(map,
+                   "SELECT day FROM Warnings WHERE week=1 UNION ALL "
+                   "SELECT day FROM Warnings WHERE week=2",
+                   false, false);
+  EXPECT_EQ(r.route, QueryRoute::kUnsupported);
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end: Coordinator over real shard Servers
 
@@ -237,6 +292,9 @@ class DistTest : public ::testing::Test {
                   std::set<std::string> hashed = {"Warnings"}) {
     CoordinatorOptions coptions;
     coptions.hashed_tables = hashed;
+    if (max_writer_states_ > 0) {
+      coptions.max_writer_states = max_writer_states_;
+    }
     for (uint32_t s = 0; s < num_shards; ++s) {
       AnnotatedDatabase adb = MakeMaintenanceDatabase();
       if (num_shards > 1) {
@@ -288,8 +346,18 @@ class DistTest : public ::testing::Test {
     return EncodeAnswer(answer.table, 256).CanonicalBytes();
   }
 
+  /// Hashed-table ingests must use the retract policy in distributed
+  /// mode (the coordinator refuses reject-policy ones, §5).
+  static ClientWriteOptions RetractPolicy() {
+    ClientWriteOptions wopts;
+    wopts.policy = IngestRequest::kPolicyRetractPatterns;
+    return wopts;
+  }
+
   std::vector<std::unique_ptr<Server>> shards_;
   std::unique_ptr<Coordinator> coordinator_;
+  /// When nonzero, StartFleet caps the coordinator's writer-dedup map.
+  size_t max_writer_states_ = 0;
 };
 
 /// The tentpole differential: distributed answers for N in {1, 2, 3}
@@ -302,6 +370,15 @@ TEST_F(DistTest, DifferentialAgainstSingleProcessForOneTwoThreeShards) {
       "SELECT * FROM Warnings WHERE week=2",
       "SELECT * FROM Teams",
       "SELECT * FROM Maintenance M JOIN Teams T ON M.responsible=T.name",
+      // UNION over replicated tables only: one shard holds both blocks
+      // whole (statements included), so the meet is computed locally.
+      "SELECT name FROM Teams UNION ALL "
+      "SELECT responsible FROM Maintenance",
+      // Aggregates/ORDER BY/LIMIT route single-shard when only
+      // replicated tables are touched — the shard answers exactly.
+      "SELECT specialization, COUNT(*) AS n FROM Teams "
+      "GROUP BY specialization",
+      "SELECT * FROM Teams ORDER BY name DESC LIMIT 3",
   };
   for (uint32_t n : {1u, 2u, 3u}) {
     shards_.clear();
@@ -355,6 +432,51 @@ TEST_F(DistTest, UnsupportedRoutesAreRefusedNotWrong) {
   EXPECT_TRUE(answer.ok()) << answer.status().ToString();
 }
 
+TEST_F(DistTest, NonDistributiveShapesOverHashedTablesAreRefused) {
+  StartFleet(3);
+  Client client = ConnectOrDie();
+  // Each of these, merged naively, would be silently wrong: partial
+  // per-shard counts, N*k rows under LIMIT, destroyed ORDER BY,
+  // duplicated or annotation-stripped UNION blocks. The coordinator
+  // must refuse
+  // with kUnimplemented, never answer.
+  for (const char* sql :
+       {"SELECT COUNT(*) FROM Warnings",
+        "SELECT day, COUNT(*) AS n FROM Warnings GROUP BY day",
+        "SELECT * FROM Warnings LIMIT 2",
+        "SELECT * FROM Warnings ORDER BY week",
+        "SELECT day FROM Warnings UNION ALL SELECT name FROM Teams",
+        "SELECT day FROM Warnings WHERE week=1 UNION ALL "
+        "SELECT day FROM Warnings WHERE week=2"}) {
+    Result<ClientAnswer> answer = client.Query(sql);
+    ASSERT_FALSE(answer.ok()) << sql;
+    EXPECT_EQ(answer.status().code(), StatusCode::kUnimplemented) << sql;
+  }
+}
+
+TEST_F(DistTest, RejectPolicyIngestIntoHashedTableIsRefused) {
+  StartFleet(2);
+  Client client = ConnectOrDie();
+  const std::vector<Tuple> row = {
+      Tuple{Value("Mon"), Value(static_cast<int64_t>(90)), Value("rp"),
+            Value("reject probe")}};
+  // Default (reject) policy into a hashed table: the row's owner would
+  // decide accept/reject from its local patterns while the violated
+  // promise may live on another shard — refused, not silently unsound.
+  Result<IngestResult> ack = client.Ingest("Warnings", row);
+  ASSERT_FALSE(ack.ok());
+  EXPECT_EQ(ack.status().code(), StatusCode::kUnimplemented);
+  EXPECT_NE(ack.status().message().find("retract"), std::string::npos)
+      << ack.status().ToString();
+  // Retract policy is exact (every shard withdraws what it owns) and
+  // reject policy against a replicated table applies identically on
+  // every shard — both still served.
+  EXPECT_TRUE(client.Ingest("Warnings", row, RetractPolicy()).ok());
+  EXPECT_TRUE(client
+                  .Ingest("Teams", {Tuple{Value("E"), Value("storage")}})
+                  .ok());
+}
+
 TEST_F(DistTest, WritesFanOutAndReadBackDistributed) {
   StartFleet(3);
   Client client = ConnectOrDie();
@@ -366,7 +488,7 @@ TEST_F(DistTest, WritesFanOutAndReadBackDistributed) {
                          Value(static_cast<int64_t>(40 + i)),
                          Value("id" + std::to_string(i)), Value("fanout")});
   }
-  Result<IngestResult> ack = client.Ingest("Warnings", rows);
+  Result<IngestResult> ack = client.Ingest("Warnings", rows, RetractPolicy());
   ASSERT_TRUE(ack.ok()) << ack.status().ToString();
   // Hashed-table acks sum the per-shard counters; every row was applied
   // on exactly its owner, so the totals match a single server's.
@@ -391,7 +513,7 @@ TEST_F(DistTest, WritesFanOutAndReadBackDistributed) {
 TEST_F(DistTest, CoordinatorDedupsRetriedWrites) {
   StartFleet(2);
   Client client = ConnectOrDie();
-  ClientWriteOptions pinned;
+  ClientWriteOptions pinned = RetractPolicy();
   pinned.writer_id = 1234;
   pinned.seq = 1;
   std::vector<Tuple> row = {
@@ -411,6 +533,45 @@ TEST_F(DistTest, CoordinatorDedupsRetriedWrites) {
       client.Query("SELECT * FROM Warnings WHERE week=60");
   ASSERT_TRUE(answer.ok());
   EXPECT_EQ(answer->table.data.num_rows(), 1u);
+}
+
+TEST_F(DistTest, WriterDedupStateIsBoundedAndEvictionKeepsExactlyOnce) {
+  // Cap the coordinator's dedup map at 2 writer identities, then write
+  // with 4 distinct writers: the oldest entries are evicted, and a
+  // retry of an evicted (writer_id, seq) re-broadcasts — where every
+  // shard's own dedup still applies it exactly once.
+  max_writer_states_ = 2;
+  StartFleet(2);
+  Client client = ConnectOrDie();
+  for (uint64_t w = 1; w <= 4; ++w) {
+    ClientWriteOptions pinned = RetractPolicy();
+    pinned.writer_id = w;
+    pinned.seq = 1;
+    Result<IngestResult> ack = client.Ingest(
+        "Warnings",
+        {Tuple{Value("Sat"), Value(static_cast<int64_t>(90 + w)),
+               Value("w" + std::to_string(w)), Value("evict probe")}},
+        pinned);
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    EXPECT_FALSE(ack->duplicate);
+  }
+  // Writer 1 was evicted from the coordinator's front-side map, so this
+  // retry is re-broadcast — but no row is applied twice.
+  ClientWriteOptions pinned = RetractPolicy();
+  pinned.writer_id = 1;
+  pinned.seq = 1;
+  Result<IngestResult> retry = client.Ingest(
+      "Warnings",
+      {Tuple{Value("Sat"), Value(static_cast<int64_t>(91)), Value("w1"),
+             Value("evict probe")}},
+      pinned);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  Result<ClientAnswer> answer =
+      client.Query("SELECT * FROM Warnings WHERE week=91");
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->table.data.num_rows(), 1u);
+  // The cap is observable: the writer_states gauge never exceeds it.
+  EXPECT_LE(coordinator_->metrics().GaugeValue("writer_states"), 2);
 }
 
 TEST_F(DistTest, LostShardDegradesToUnavailableNeverWrongCompleteness) {
@@ -434,8 +595,10 @@ TEST_F(DistTest, LostShardDegradesToUnavailableNeverWrongCompleteness) {
   // some of the rows).
   Result<IngestResult> ack = fresh.Ingest(
       "Warnings", {Tuple{Value("Mon"), Value(static_cast<int64_t>(70)),
-                         Value("x"), Value("y")}});
+                         Value("x"), Value("y")}},
+      RetractPolicy());
   EXPECT_FALSE(ack.ok());
+  EXPECT_EQ(ack.status().code(), StatusCode::kUnavailable);
 }
 
 TEST_F(DistTest, ShardInfoAggregatesTheFleet) {
@@ -466,7 +629,8 @@ TEST_F(DistTest, ShardInfoAggregatesTheFleet) {
   ASSERT_TRUE(client
                   .Ingest("Warnings",
                           {Tuple{Value("Tue"), Value(static_cast<int64_t>(80)),
-                                 Value("e"), Value("epoch probe")}})
+                                 Value("e"), Value("epoch probe")}},
+                          RetractPolicy())
                   .ok());
   info = client.GetShardInfo();
   ASSERT_TRUE(info.ok());

@@ -737,6 +737,9 @@ TEST_F(ServerTest, ReadQuotaShedsAFloodTenantWithoutStarvingOthers) {
   ServerOptions options;
   options.eval_threads = 1;
   options.tenant_read_quota = 2;
+  // Per-tenant shed counters exist only for configured tenants; the
+  // anonymous flood below lands in `queries_shed_total.other`.
+  options.tenant_tiers["flood"] = 1;
   StartServer(options);
 
   // Park the single eval thread so admitted reads pile up: the first
@@ -771,8 +774,37 @@ TEST_F(ServerTest, ReadQuotaShedsAFloodTenantWithoutStarvingOthers) {
   EXPECT_EQ(ok, 2u);
   EXPECT_EQ(shed, 3u);
   EXPECT_EQ(server_->metrics().CounterValue("queries_shed_total"), 3u);
-  // The per-tenant breakdown names the offender.
+  // The per-tenant breakdown names the offender (configured in
+  // tenant_tiers, so it gets its own counter).
   EXPECT_EQ(server_->metrics().CounterValue("queries_shed_total.flood"), 3u);
+
+  // A tenant the server was never configured with sheds into the shared
+  // ".other" counter: counter names come off the wire, and a client
+  // cycling random tenant strings must not grow the registry.
+  Client anon = ConnectOrDie();
+  ClientQueryOptions anon_options;
+  anon_options.tenant = "anon-e7c1";
+  ids.clear();
+  for (int i = 0; i < 5; ++i) {
+    Result<uint64_t> id = anon.SendQuery(kQhwSql, anon_options);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  size_t anon_shed = 0;
+  for (uint64_t id : ids) {
+    if (!anon.ReadAnswer(id).ok()) ++anon_shed;
+  }
+  // Exact shed counts are timing-sensitive (a slow send lets a quota
+  // unit free up); what matters here is the *naming*: every anonymous
+  // shed lands in ".other" and the wire-supplied tenant string never
+  // becomes a metric.
+  EXPECT_GE(anon_shed, 1u);
+  EXPECT_EQ(server_->metrics().CounterValue("queries_shed_total"),
+            3u + anon_shed);
+  EXPECT_EQ(server_->metrics().CounterValue("queries_shed_total.other"),
+            anon_shed);
+  EXPECT_EQ(server_->metrics().ToJson().find("anon-e7c1"),
+            std::string::npos);
 
   // Quota units released on completion: the same tenant serves again,
   // and an unrelated tenant was never affected.
@@ -782,7 +814,8 @@ TEST_F(ServerTest, ReadQuotaShedsAFloodTenantWithoutStarvingOthers) {
   calm_options.tenant = "calm";
   EXPECT_TRUE(calm.Query(kQhwSql, calm_options).ok());
   EXPECT_TRUE(flood.Query(kQhwSql, flood_options).ok());
-  EXPECT_EQ(server_->metrics().CounterValue("queries_shed_total"), 3u);
+  EXPECT_EQ(server_->metrics().CounterValue("queries_shed_total"),
+            3u + anon_shed);
 }
 
 TEST_F(ServerTest, ShardInfoReportsPlacementAndEpochs) {

@@ -793,7 +793,8 @@ dist_differential() {  # coord_port direct_port
       "SELECT * FROM Warnings" \
       "SELECT * FROM Warnings WHERE week=7" \
       "SELECT * FROM Teams" \
-      "SELECT * FROM Maintenance M JOIN Teams T ON M.responsible=T.name"; do
+      "SELECT * FROM Maintenance M JOIN Teams T ON M.responsible=T.name" \
+      "SELECT name FROM Teams UNION ALL SELECT responsible FROM Maintenance"; do
     serial="$(dist_answer "$2" "$q")"
     distributed="$(dist_answer "$1" "$q")"
     if [[ "$serial" != "$distributed" ]]; then
@@ -832,18 +833,53 @@ run_dist() {
   direct_port="$DIST_PORT"
 
   echo "--- identical scripted writes against both deployments"
+  # Hashed-table ingests must use the retract policy in distributed
+  # mode (the coordinator refuses reject-policy ones as kUnimplemented,
+  # docs/DISTRIBUTED.md §5); the serial leg mirrors it for parity.
   local i row
   for i in $(seq 1 9); do
     row="D$((i % 3)),7,dw$i,dist differential"
-    ./build/tools/pcdb_client --port "$coord_port" --ingest Warnings \
-      --row "$row" | grep -q 'ingested=1'
-    ./build/tools/pcdb_client --port "$direct_port" --ingest Warnings \
-      --row "$row" | grep -q 'ingested=1'
+    ./build/tools/pcdb_client --port "$coord_port" --policy retract \
+      --ingest Warnings --row "$row" | grep -q 'ingested=1'
+    ./build/tools/pcdb_client --port "$direct_port" --policy retract \
+      --ingest Warnings --row "$row" | grep -q 'ingested=1'
   done
   ./build/tools/pcdb_client --port "$coord_port" --punctuate Warnings \
     --fields "*,47,*,*" | grep -q 'punctuations=1'
   ./build/tools/pcdb_client --port "$direct_port" --punctuate Warnings \
     --fields "*,47,*,*" | grep -q 'punctuations=1'
+
+  echo "--- unsound distributed operations are refused, not wrong"
+  # Reject-policy (default) ingest into the hashed table: the violated
+  # promise may live on a different shard than the row, so the
+  # coordinator must refuse rather than let the fleet store a row and
+  # keep the promise it violates.
+  local rc0=0
+  ./build/tools/pcdb_client --port "$coord_port" --ingest Warnings \
+    --row "Mon,7,rejp,probe" >/dev/null 2>&1 || rc0=$?
+  if (( rc0 == 0 )); then
+    echo "ERROR: reject-policy ingest into a hashed table must be refused" >&2
+    exit 1
+  fi
+  # Aggregates over the hashed table would merge as partial per-shard
+  # results; the coordinator must refuse those too.
+  rc0=0
+  ./build/tools/pcdb_client --port "$coord_port" \
+    --sql "SELECT COUNT(*) FROM Warnings" >/dev/null 2>&1 || rc0=$?
+  if (( rc0 == 0 )); then
+    echo "ERROR: COUNT(*) over a hashed table must be refused" >&2
+    exit 1
+  fi
+  # A UNION over the hashed table loses its completeness annotation (the
+  # cross-block meet needs both blocks' statements on one shard).
+  rc0=0
+  ./build/tools/pcdb_client --port "$coord_port" \
+    --sql "SELECT day FROM Warnings WHERE week=1 UNION ALL SELECT day FROM Warnings WHERE week=2" \
+    >/dev/null 2>&1 || rc0=$?
+  if (( rc0 == 0 )); then
+    echo "ERROR: UNION over a hashed table must be refused" >&2
+    exit 1
+  fi
 
   echo "--- serial vs distributed differential (order-normalized)"
   dist_differential "$coord_port" "$direct_port"
@@ -851,9 +887,11 @@ run_dist() {
   echo "--- duplicate retry through the coordinator applies exactly once"
   local n
   ./build/tools/pcdb_client --port "$coord_port" --writer-id 777 \
-    --ingest Warnings --row "Mon,7,dupd,once" | grep -q 'duplicate=0'
+    --policy retract --ingest Warnings --row "Mon,7,dupd,once" \
+    | grep -q 'duplicate=0'
   ./build/tools/pcdb_client --port "$coord_port" --writer-id 777 \
-    --ingest Warnings --row "Mon,7,dupd,once" | grep -q 'duplicate=1'
+    --policy retract --ingest Warnings --row "Mon,7,dupd,once" \
+    | grep -q 'duplicate=1'
   n="$(dist_answer "$coord_port" "SELECT * FROM Warnings WHERE week=7" \
     | grep -cw dupd)"
   if [[ "$n" != 1 ]]; then
@@ -861,7 +899,7 @@ run_dist() {
     exit 1
   fi
   # Mirror once on the serial side so the differential keeps holding.
-  ./build/tools/pcdb_client --port "$direct_port" \
+  ./build/tools/pcdb_client --port "$direct_port" --policy retract \
     --ingest Warnings --row "Mon,7,dupd,once" | grep -q 'ingested=1'
 
   echo "=== dist: kill -9 one shard mid-load — degrade, never lie ==="
@@ -890,7 +928,8 @@ run_dist() {
   # (writer_id, seq) makes the post-recovery retry below converge.
   rc=0
   out="$(./build/tools/pcdb_client --port "$coord_port" --writer-id 888 \
-    --ingest Warnings --row "Tue,7,lostw,retry" 2>&1)" || rc=$?
+    --policy retract --ingest Warnings --row "Tue,7,lostw,retry" 2>&1)" \
+    || rc=$?
   if (( rc == 0 )); then
     echo "ERROR: ingest acked with shard 1 dead" >&2
     exit 1
@@ -919,14 +958,14 @@ run_dist() {
   # Retry the failed write with the same identity: already-applied
   # shards dedup, the rest apply — exactly-once despite the crash.
   ./build/tools/pcdb_client --port "$coord_port" --writer-id 888 \
-    --ingest Warnings --row "Tue,7,lostw,retry" >/dev/null
+    --policy retract --ingest Warnings --row "Tue,7,lostw,retry" >/dev/null
   n="$(dist_answer "$coord_port" "SELECT * FROM Warnings WHERE week=7" \
     | grep -cw lostw)"
   if [[ "$n" != 1 ]]; then
     echo "ERROR: crash-spanning retry applied $n times (want exactly 1)" >&2
     exit 1
   fi
-  ./build/tools/pcdb_client --port "$direct_port" \
+  ./build/tools/pcdb_client --port "$direct_port" --policy retract \
     --ingest Warnings --row "Tue,7,lostw,retry" | grep -q 'ingested=1'
   dist_differential "$coord_port" "$direct_port"
   echo "dist: fleet converged; differential holds after recovery"

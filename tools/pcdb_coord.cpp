@@ -8,7 +8,8 @@
 //
 //   pcdb_coord --shards HOST:PORT,HOST:PORT,... [--port N] [--host H]
 //              [--hashed T1,T2,...] [--worker-threads N]
-//              [--shard-timeout-ms N] [--metrics-dump]
+//              [--shard-timeout-ms N] [--max-writer-states N]
+//              [--metrics-dump]
 //
 // --shards lists the fleet in shard-id order; each shard must have been
 // started with matching --shard-id I --num-shards N --hashed ... flags
@@ -103,6 +104,8 @@ int main(int argc, char** argv) {
       options.worker_threads = n;
     } else if (ParseUint(argc, argv, &i, "--shard-timeout-ms", &n)) {
       options.shard_recv_timeout_millis = static_cast<int>(n);
+    } else if (ParseUint(argc, argv, &i, "--max-writer-states", &n)) {
+      options.max_writer_states = n;
     } else if (std::strcmp(argv[i], "--metrics-dump") == 0) {
       metrics_dump = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -110,7 +113,7 @@ int main(int argc, char** argv) {
           "usage: pcdb_coord --shards HOST:PORT,HOST:PORT,...\n"
           "                  [--port N] [--host H] [--hashed T1,T2,...]\n"
           "                  [--worker-threads N] [--shard-timeout-ms N]\n"
-          "                  [--metrics-dump]\n");
+          "                  [--max-writer-states N] [--metrics-dump]\n");
       return 0;
     } else {
       pcdb::LogError("unknown flag (see --help)").Str("flag", argv[i]);
