@@ -1,0 +1,301 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace pcdb {
+
+Result<uint64_t> JsonValue::AsUint64() const {
+  if (kind_ != Kind::kNumber) {
+    return Status::TypeError("not a JSON number");
+  }
+  if (scalar_.find_first_of(".eE-") != std::string::npos) {
+    return Status::TypeError("not an unsigned integer: " + scalar_);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(scalar_.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer overflows u64: " + scalar_);
+  }
+  if (end == scalar_.c_str() || *end != '\0') {
+    return Status::TypeError("not an unsigned integer: " + scalar_);
+  }
+  return static_cast<uint64_t>(v);
+}
+
+Result<int64_t> JsonValue::AsInt64() const {
+  if (kind_ != Kind::kNumber) {
+    return Status::TypeError("not a JSON number");
+  }
+  if (scalar_.find_first_of(".eE") != std::string::npos) {
+    return Status::TypeError("not an integer: " + scalar_);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(scalar_.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer overflows i64: " + scalar_);
+  }
+  if (end == scalar_.c_str() || *end != '\0') {
+    return Status::TypeError("not an integer: " + scalar_);
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> JsonValue::AsDouble() const {
+  if (kind_ != Kind::kNumber) {
+    return Status::TypeError("not a JSON number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(scalar_.c_str(), &end);
+  if (end == scalar_.c_str() || *end != '\0') {
+    return Status::TypeError("bad number lexeme: " + scalar_);
+  }
+  return v;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+/// Recursive-descent parser over a string_view; position-based error
+/// messages. Depth-limited so hostile nesting can't blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    PCDB_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing garbage after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 100;
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kString;
+        PCDB_ASSIGN_OR_RETURN(v.scalar_, ParseString());
+        return v;
+      }
+      case 't':
+      case 'f':
+        return ParseKeyword(c == 't' ? "true" : "false",
+                            JsonValue::Kind::kBool, c == 't');
+      case 'n':
+        return ParseKeyword("null", JsonValue::Kind::kNull, false);
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Result<JsonValue> ParseKeyword(std::string_view word, JsonValue::Kind kind,
+                                 bool value) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Error("bad keyword");
+    }
+    pos_ += word.size();
+    JsonValue v;
+    v.kind_ = kind;
+    v.bool_ = value;
+    return v;
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    Consume('-');
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(
+                                      text_[pos_])) != 0) {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(
+                                        text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(
+                                        text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.scalar_ = std::string(text_.substr(start, pos_ - start));
+    // Reject lexemes strtod would also reject ("-", "1.", "1e") so the
+    // deferred conversions in AsUint64/AsDouble can't fail on input
+    // this parser accepted.
+    errno = 0;
+    char* end = nullptr;
+    std::strtod(v.scalar_.c_str(), &end);
+    if (end != v.scalar_.c_str() + v.scalar_.size()) {
+      return Error("bad number lexeme '" + v.scalar_ + "'");
+    }
+    return v;
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            out.push_back(esc);
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+            uint32_t cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') {
+                cp |= static_cast<uint32_t>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                cp |= static_cast<uint32_t>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                cp |= static_cast<uint32_t>(h - 'A' + 10);
+              } else {
+                return Error("bad \\u escape digit");
+              }
+            }
+            // UTF-8 encode the BMP codepoint (surrogate pairs are not
+            // something our own emitters produce; a lone surrogate
+            // still round-trips as its 3-byte encoding).
+            // pcdb-analyze: allow(protocol-consistency): 0x80 is the UTF-8 continuation-byte marker, not a frame opcode
+            constexpr uint32_t kCont = 0x80;
+            if (cp < kCont) {
+              out.push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+              out.push_back(static_cast<char>(kCont | (cp & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+              out.push_back(static_cast<char>(kCont | ((cp >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(kCont | (cp & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Error("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    Consume('[');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return v;
+    for (;;) {
+      PCDB_ASSIGN_OR_RETURN(JsonValue item, ParseValue(depth + 1));
+      v.items_.push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) return v;
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    Consume('{');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return v;
+    for (;;) {
+      SkipWhitespace();
+      PCDB_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      PCDB_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      v.members_.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return v;
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace pcdb

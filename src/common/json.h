@@ -1,0 +1,90 @@
+#ifndef PCDB_COMMON_JSON_H_
+#define PCDB_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file
+/// A minimal JSON reader, grown for the coordinator's fleet STATS and
+/// EXPLAIN ANALYZE aggregation (docs/DISTRIBUTED.md): it parses what
+/// MetricsRegistry::ToJson and QueryProfileToJson emit — objects,
+/// arrays, strings, numbers, booleans, null — nothing more exotic.
+///
+/// Numbers keep their source lexeme instead of being eagerly converted
+/// to double: counter values are u64 and may exceed 2^53, where a
+/// double round trip would silently lose precision. AsUint64/AsDouble
+/// convert on demand.
+
+namespace pcdb {
+
+/// \brief One parsed JSON value (an owning tree).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// The boolean (valid only for kBool).
+  bool bool_value() const { return bool_; }
+
+  /// The decoded string (valid only for kString).
+  const std::string& string_value() const { return scalar_; }
+
+  /// The number's source lexeme, e.g. "1.25" or "18446744073709551615"
+  /// (valid only for kNumber).
+  const std::string& number_lexeme() const { return scalar_; }
+
+  /// The number as u64; kTypeError for non-numbers, negatives, or
+  /// fractional lexemes, kOutOfRange past 2^64-1.
+  [[nodiscard]] Result<uint64_t> AsUint64() const;
+
+  /// The number as i64 (gauges are signed); kTypeError for non-numbers
+  /// or fractional lexemes, kOutOfRange outside i64.
+  [[nodiscard]] Result<int64_t> AsInt64() const;
+
+  /// The number as double; kTypeError for non-numbers.
+  [[nodiscard]] Result<double> AsDouble() const;
+
+  /// Array elements (valid only for kArray).
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  /// Object members in source order (valid only for kObject).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// First member with `key`, nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  /// String value or number lexeme, depending on kind_.
+  std::string scalar_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document (trailing garbage is an error). kParseError
+/// on malformed input; nesting deeper than ~100 levels is rejected
+/// rather than risking the stack.
+[[nodiscard]] Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace pcdb
+
+#endif  // PCDB_COMMON_JSON_H_

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/trace_context.h"
+
 namespace pcdb {
 
 namespace {
@@ -120,6 +122,16 @@ LogEvent::LogEvent(LogLevel level, std::string_view msg)
   line_ += "\",\"msg\":\"";
   line_ += JsonEscape(msg);
   line_ += '"';
+  // Log <-> trace correlation: any line emitted under an open span
+  // carries the span's ids, so one grep for a trace_id collects the
+  // slow-query warnings of a fleet query across all N+1 processes.
+  const TraceContext trace = CurrentTraceContext();
+  if (trace.trace_id != 0) {
+    line_ += ",\"trace_id\":";
+    line_ += std::to_string(trace.trace_id);
+    line_ += ",\"span_id\":";
+    line_ += std::to_string(trace.span_id);
+  }
 }
 
 LogEvent::~LogEvent() {

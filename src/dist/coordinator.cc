@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "common/json.h"
 #include "common/log.h"
 #include "common/timer.h"
 #include "obs/names.h"
@@ -104,6 +105,8 @@ Coordinator::Coordinator(CoordinatorOptions options)
   c_writes_deduped_ = metrics_.GetCounter(kMetricWritesDedupedTotal);
   c_protocol_errors_ = metrics_.GetCounter(kMetricProtocolErrors);
   c_connections_ = metrics_.GetCounter(kMetricConnectionsTotal);
+  c_fleet_stats_ = metrics_.GetCounter(kMetricFleetStatsTotal);
+  c_profile_merges_ = metrics_.GetCounter(kMetricProfileMergesTotal);
   h_latency_ = metrics_.GetHistogram(kMetricRequestLatency);
   g_writer_states_ = metrics_.GetGauge(kMetricWriterStates);
   // Per-shard latency histograms, named from the registry prefix so
@@ -250,12 +253,9 @@ bool Coordinator::HandleFrame(Handler* handler, const Frame& frame) {
       AppendFrame(&out, FrameType::kPong, frame.request_id, "");
       return handler->sock.SendAll(out.data(), out.size()).ok();
     }
-    case FrameType::kStats: {
-      std::string out;
-      AppendFrame(&out, FrameType::kStatsResult, frame.request_id,
-                  metrics_.ToJson());
-      return handler->sock.SendAll(out.data(), out.size()).ok();
-    }
+    case FrameType::kStats:
+      HandleStats(handler, frame.request_id);
+      return true;
     case FrameType::kCancel:
       // The coordinator answers queries synchronously per connection,
       // so by the time a CANCEL frame is read the target query has
@@ -324,8 +324,15 @@ Result<Client*> Coordinator::ShardClient(Handler* handler, size_t i) {
     // First contact on this connection: the shard must agree it is
     // shard i of num_shards. A mis-wired fleet (wrong --shard-id, a
     // pcdbd from another deployment) would otherwise produce answers
-    // that are silently missing or double-counting rows.
+    // that are silently missing or double-counting rows. The span's
+    // rtt_micros arg doubles as trace_merge.py's clock-skew bound for
+    // this shard's dump.
+    PCDB_TRACE_SPAN(handshake_span, kSpanDistHandshake);
+    handshake_span.Arg("shard", static_cast<uint64_t>(i));
+    WallTimer rtt;
     PCDB_ASSIGN_OR_RETURN(ShardInfo info, client.GetShardInfo());
+    handshake_span.Arg("rtt_micros",
+                       static_cast<uint64_t>(rtt.ElapsedMicros()));
     if (info.shard_id != static_cast<uint32_t>(i) ||
         info.num_shards != partition_.num_shards) {
       return Status::Internal(
@@ -485,6 +492,7 @@ void Coordinator::HandleQuery(Handler* handler, uint64_t request_id,
   }
 
   PCDB_TRACE_SPAN(merge_span, kSpanDistMerge);
+  WallTimer merge_timer;
   AnnotatedTable merged;
   merged.data = Table(answers[0].table.data.schema());
   size_t total_rows = 0;
@@ -520,13 +528,33 @@ void Coordinator::HandleQuery(Handler* handler, uint64_t request_id,
 
   std::string profile_json;
   if (qopts.profile) {
-    profile_json = "{\"distributed\":true,\"route\":\"broadcast\",\"shards\":" +
-                   std::to_string(n) + ",\"shard_millis\":[";
+    // Fleet profile: the per-shard EXPLAIN ANALYZE payloads verbatim
+    // (null for a shard that sent none) under "per_shard", plus the
+    // coordinator's own merge cost. fleet_micros_total bounds the whole
+    // fan-out: every shard's wall time plus the merge, so the sum of
+    // any per-shard operator_micros can never exceed it.
+    const double merge_millis = merge_timer.ElapsedMillis();
+    double fleet_micros = merge_millis * 1000.0;
+    std::string shard_list;
+    std::string per_shard;
     for (size_t i = 0; i < n; ++i) {
-      if (i > 0) profile_json += ",";
-      profile_json += std::to_string(shard_millis[i]);
+      if (i > 0) {
+        shard_list += ",";
+        per_shard += ",";
+      }
+      shard_list += std::to_string(shard_millis[i]);
+      per_shard +=
+          answers[i].profile.empty() ? "null" : answers[i].profile;
+      fleet_micros += shard_millis[i] * 1000.0;
     }
-    profile_json += "]}";
+    profile_json = "{\"distributed\":true,\"route\":\"broadcast\",\"shards\":" +
+                   std::to_string(n) +
+                   ",\"merge_millis\":" + std::to_string(merge_millis) +
+                   ",\"shard_millis\":[" + shard_list +
+                   "],\"fleet_micros_total\":" +
+                   std::to_string(static_cast<uint64_t>(fleet_micros)) +
+                   ",\"per_shard\":[" + per_shard + "]}";
+    c_profile_merges_->Increment();
   }
   SendAnswer(handler, request_id, merged, done, profile_json);
 }
@@ -686,6 +714,101 @@ void Coordinator::EvictStaleWritersLocked() {
     if (victim_tenant->second.empty()) writers_.erase(victim_tenant);
     --writer_count_;
   }
+}
+
+namespace {
+
+/// Folds one shard's MetricsRegistry::ToJson snapshot into `fleet`:
+/// counters and gauges sum by name; histograms merge their raw
+/// power-of-two buckets plus sample sums (Histogram::MergeFrom), so
+/// the fleet registry re-derives exact merged percentiles instead of
+/// averaging per-shard quantiles. Unknown keys and missing sections
+/// are tolerated (older shards); malformed values are an error.
+Status MergeShardStats(const JsonValue& snapshot, MetricsRegistry* fleet) {
+  const JsonValue* counters = snapshot.Find("counters");
+  if (counters != nullptr && counters->is_object()) {
+    for (const auto& [name, value] : counters->members()) {
+      PCDB_ASSIGN_OR_RETURN(uint64_t v, value.AsUint64());
+      fleet->GetCounter(name)->Increment(v);
+    }
+  }
+  const JsonValue* gauges = snapshot.Find("gauges");
+  if (gauges != nullptr && gauges->is_object()) {
+    for (const auto& [name, value] : gauges->members()) {
+      PCDB_ASSIGN_OR_RETURN(int64_t v, value.AsInt64());
+      fleet->GetGauge(name)->Add(v);
+    }
+  }
+  const JsonValue* histograms = snapshot.Find("histograms");
+  if (histograms != nullptr && histograms->is_object()) {
+    for (const auto& [name, value] : histograms->members()) {
+      const JsonValue* bucket_list = value.Find("buckets");
+      if (bucket_list == nullptr || !bucket_list->is_array()) {
+        return Status::ParseError("histogram '" + name +
+                                  "' snapshot has no buckets array");
+      }
+      uint64_t buckets[Histogram::kNumBuckets] = {};
+      const size_t n =
+          std::min<size_t>(bucket_list->items().size(), Histogram::kNumBuckets);
+      for (size_t i = 0; i < n; ++i) {
+        PCDB_ASSIGN_OR_RETURN(buckets[i], bucket_list->items()[i].AsUint64());
+      }
+      uint64_t sum_micros = 0;
+      if (const JsonValue* sum = value.Find("sum_micros"); sum != nullptr) {
+        PCDB_ASSIGN_OR_RETURN(sum_micros, sum->AsUint64());
+      }
+      fleet->GetHistogram(name)->MergeFrom(buckets, sum_micros);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void Coordinator::HandleStats(Handler* handler, uint64_t request_id) {
+  MetricsRegistry fleet;
+  std::vector<std::string> shard_jsons(options_.shards.size());
+  for (size_t i = 0; i < options_.shards.size(); ++i) {
+    Result<Client*> client = ShardClient(handler, i);
+    if (!client.ok()) {
+      c_shard_errors_->Increment();
+      SendError(handler, request_id, ShardStatus(i, client.status()));
+      return;
+    }
+    Result<std::string> stats = (*client)->Stats();
+    if (!stats.ok()) {
+      c_shard_errors_->Increment();
+      SendError(handler, request_id, ShardStatus(i, stats.status()));
+      return;
+    }
+    Result<JsonValue> parsed = ParseJson(*stats);
+    if (!parsed.ok()) {
+      c_shard_errors_->Increment();
+      SendError(handler, request_id, ShardStatus(i, parsed.status()));
+      return;
+    }
+    Status merged = MergeShardStats(*parsed, &fleet);
+    if (!merged.ok()) {
+      c_shard_errors_->Increment();
+      SendError(handler, request_id, ShardStatus(i, merged));
+      return;
+    }
+    shard_jsons[i] = *std::move(stats);
+  }
+  c_fleet_stats_->Increment();
+  // "fleet" leads so a client that only reads the first requests_total
+  // sees the fleet-wide number; per-shard snapshots ride along verbatim
+  // for drill-down, and the coordinator's own registry (front-end
+  // latency, dedup state, this very counter) keeps its own key.
+  std::string payload = "{\"fleet\":" + fleet.ToJson() + ",\"shards\":[";
+  for (size_t i = 0; i < shard_jsons.size(); ++i) {
+    if (i > 0) payload += ",";
+    payload += shard_jsons[i];
+  }
+  payload += "],\"coordinator\":" + metrics_.ToJson() + "}";
+  std::string out;
+  AppendFrame(&out, FrameType::kStatsResult, request_id, payload);
+  (void)handler->sock.SendAll(out.data(), out.size());
 }
 
 void Coordinator::HandleShardInfo(Handler* handler, uint64_t request_id) {

@@ -131,6 +131,11 @@ class Coordinator {
                    IngestRequest ingest, PunctuateRequest punctuate);
   void HandleShardInfo(Handler* handler, uint64_t request_id);
   void HandleCheckpoint(Handler* handler, uint64_t request_id);
+  /// Answers STATS with fleet-aggregated metrics: counter/gauge sums
+  /// and histogram bucket merges across every shard's snapshot, with
+  /// the per-shard snapshots verbatim under "shards" and the
+  /// coordinator's own registry under "coordinator".
+  void HandleStats(Handler* handler, uint64_t request_id);
 
   /// Connects (or reuses) the handler's Client for shard `i`.
   [[nodiscard]] Result<Client*> ShardClient(Handler* handler, size_t i);
@@ -159,6 +164,8 @@ class Coordinator {
   Counter* c_writes_deduped_ = nullptr;
   Counter* c_protocol_errors_ = nullptr;
   Counter* c_connections_ = nullptr;
+  Counter* c_fleet_stats_ = nullptr;
+  Counter* c_profile_merges_ = nullptr;
   Histogram* h_latency_ = nullptr;
   /// Live (tenant, writer_id) dedup entries; capped at
   /// CoordinatorOptions::max_writer_states.

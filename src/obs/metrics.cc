@@ -54,6 +54,24 @@ void Histogram::SnapshotBuckets(uint64_t out[kNumBuckets]) const {
   }
 }
 
+void Histogram::MergeFrom(const uint64_t buckets[kNumBuckets],
+                          uint64_t sum_micros) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+    total += buckets[i];
+  }
+  count_.fetch_add(total, std::memory_order_relaxed);
+  sum_micros_.fetch_add(sum_micros, std::memory_order_relaxed);
+}
+
+void MergeHistogram(const Histogram& src, Histogram* dst) {
+  uint64_t buckets[Histogram::kNumBuckets];
+  src.SnapshotBuckets(buckets);
+  dst->MergeFrom(buckets, src.SumMicros());
+}
+
 double Histogram::QuantileMillis(double q) const {
   q = std::clamp(q, 0.0, 1.0);
   // Snapshot the buckets; concurrent Record calls skew the estimate by
@@ -143,6 +161,10 @@ std::string MetricsRegistry::ToJson() const {
            ",\"p50_ms\":" + JsonDouble(hist->QuantileMillis(0.50)) +
            ",\"p95_ms\":" + JsonDouble(hist->QuantileMillis(0.95)) +
            ",\"p99_ms\":" + JsonDouble(hist->QuantileMillis(0.99)) +
+           // Raw sample sum alongside the raw buckets: together they
+           // are the histogram's full mergeable state, which is what
+           // the coordinator's fleet STATS aggregation consumes.
+           ",\"sum_micros\":" + std::to_string(hist->SumMicros()) +
            ",\"buckets\":[";
     uint64_t buckets[Histogram::kNumBuckets];
     hist->SnapshotBuckets(buckets);

@@ -82,6 +82,19 @@ class Histogram {
   /// percentiles.
   void SnapshotBuckets(uint64_t out[kNumBuckets]) const;
 
+  /// Sum of all recorded samples in microseconds (relaxed snapshot).
+  uint64_t SumMicros() const {
+    return sum_micros_.load(std::memory_order_relaxed);
+  }
+
+  /// Adds another histogram's raw state — `buckets` counts (the shape
+  /// SnapshotBuckets and the JSON "buckets" array export) plus its
+  /// sample sum — into this one. Count is derived from the buckets, so
+  /// a merged histogram's count always equals its bucket sum. The fleet
+  /// STATS path uses this to merge per-shard latency histograms and
+  /// re-derive percentiles coordinator-side.
+  void MergeFrom(const uint64_t buckets[kNumBuckets], uint64_t sum_micros);
+
  private:
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<uint64_t> count_{0};
@@ -120,6 +133,11 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_
       PCDB_GUARDED_BY(mu_);
 };
+
+/// Merges `src` into `dst` (snapshot of src's buckets + sample sum).
+/// Merge is associative and commutative over histogram state, so any
+/// fold order over N shards yields the same fleet histogram.
+void MergeHistogram(const Histogram& src, Histogram* dst);
 
 /// The process-wide registry for engine-level metrics (never reset;
 /// shared by every Server instance in the process).

@@ -93,6 +93,10 @@ inline constexpr char kSpanDistQuery[] = "dist.query";
 inline constexpr char kSpanDistScatter[] = "dist.scatter";
 inline constexpr char kSpanDistMerge[] = "dist.merge";
 inline constexpr char kSpanDistWrite[] = "dist.write";
+/// First-contact SHARD_INFO verification of one shard connection; its
+/// rtt_micros arg is the clock-skew bound tools/trace_merge.py uses
+/// when stitching that shard's dump into the fleet timeline.
+inline constexpr char kSpanDistHandshake[] = "dist.handshake";
 
 // Minimization (pattern/minimize.cc, one per MinimizeApproach).
 inline constexpr char kSpanMinimizeAllAtOnce[] = "minimize.all_at_once";
@@ -149,6 +153,7 @@ inline constexpr const char* kAllSpanNames[] = {
     kSpanDistScatter,
     kSpanDistMerge,
     kSpanDistWrite,
+    kSpanDistHandshake,
     kSpanMinimizeAllAtOnce,
     kSpanMinimizeIncremental,
     kSpanMinimizeSortedIncremental,
@@ -209,6 +214,12 @@ inline constexpr char kMetricShardErrorsTotal[] = "shard_errors_total";
 /// Gauge: live (tenant, writer_id) idempotent-retry dedup entries held
 /// by the coordinator, bounded by CoordinatorOptions::max_writer_states.
 inline constexpr char kMetricWriterStates[] = "writer_states";
+/// STATS requests the coordinator answered with fleet-aggregated
+/// metrics (counter sums + histogram bucket merges across shards).
+inline constexpr char kMetricFleetStatsTotal[] = "fleet_stats_total";
+/// Broadcast queries whose per-shard EXPLAIN ANALYZE profiles were
+/// merged into a fleet profile.
+inline constexpr char kMetricProfileMergesTotal[] = "profile_merges_total";
 
 // Process-wide GlobalMetrics() registry (obs/metrics.cc).
 inline constexpr char kMetricEnginePatternsMinimized[] =
@@ -261,6 +272,8 @@ inline constexpr const char* kAllMetricNames[] = {
     kMetricShardLatency,
     kMetricShardErrorsTotal,
     kMetricWriterStates,
+    kMetricFleetStatsTotal,
+    kMetricProfileMergesTotal,
     kMetricEnginePatternsMinimized,
     kMetricEngineSubsumptionProbes,
     kMetricEngineDegradedToSummary,

@@ -30,6 +30,27 @@ thread_local Tracer::ThreadBuffer* Tracer::tls_buffer_ = nullptr;
 
 namespace {
 
+/// Steady and wall clocks read back to back, once per process: steady
+/// micros since `steady` are what every event carries, and `wall_us` is
+/// the wall-clock time of that same instant, so trace_merge.py can
+/// re-base dumps from different processes onto one timeline.
+struct TraceEpoch {
+  std::chrono::steady_clock::time_point steady;
+  int64_t wall_us;
+};
+
+const TraceEpoch& Epoch() {
+  static const TraceEpoch epoch = [] {
+    TraceEpoch e;
+    e.steady = std::chrono::steady_clock::now();
+    e.wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::system_clock::now().time_since_epoch())
+                    .count();
+    return e;
+  }();
+  return epoch;
+}
+
 void DumpAtExit() {
   if (!Tracer::enabled()) return;
   const char* dir = std::getenv("PCDB_TRACE_DIR");
@@ -66,7 +87,22 @@ TraceEnvInit g_trace_env_init;
 
 }  // namespace
 
-Tracer::Tracer() = default;
+Tracer::Tracer() {
+  // Salt the id counters per process: the low 40 bits stay a plain
+  // counter, bits 40+ carry a hash of pid and startup time, and the
+  // forced low bit keeps the first id nonzero. pcdb_coord and its N
+  // shard pcdbd processes all mint ids, and a merged fleet trace
+  // (tools/trace_merge.py) must never see two processes reuse one.
+  uint64_t seed =
+      static_cast<uint64_t>(getpid()) ^
+      static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count());
+  seed *= 0x9E3779B97F4A7C15ull;  // Fibonacci hashing to spread the bits.
+  seed ^= seed >> 32;
+  const uint64_t salt = ((seed & 0xFFFFFFu) << 40) | 1;
+  next_trace_id_.store(salt, std::memory_order_relaxed);
+  next_span_id_.store(salt, std::memory_order_relaxed);
+}
 
 Tracer& Tracer::Global() {
   static Tracer* tracer = new Tracer();
@@ -88,12 +124,20 @@ uint64_t Tracer::NextSpanId() {
 uint64_t Tracer::NowMicros() const {
   // The epoch is the first call (any thread); magic-static init is
   // thread-safe. All timestamps in one process share it.
-  static const std::chrono::steady_clock::time_point epoch =
-      std::chrono::steady_clock::now();
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - epoch)
+          std::chrono::steady_clock::now() - Epoch().steady)
           .count());
+}
+
+void Tracer::SetProcessLabel(std::string label) {
+  MutexLock lock(&registry_mu_);
+  process_label_ = std::move(label);
+}
+
+std::string Tracer::ProcessLabel() const {
+  MutexLock lock(&registry_mu_);
+  return process_label_;
 }
 
 Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
@@ -177,6 +221,7 @@ void Tracer::Reset() {
 std::string Tracer::ToChromeTraceJson() const {
   const std::vector<TraceEvent> events = SnapshotEvents();
   const uint64_t dropped = DroppedEvents();
+  const std::string pid = std::to_string(getpid());
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   for (const TraceEvent& event : events) {
@@ -188,7 +233,7 @@ std::string Tracer::ToChromeTraceJson() const {
     out += std::to_string(event.start_micros);
     out += ",\"dur\":";
     out += std::to_string(event.duration_micros);
-    out += ",\"pid\":1,\"tid\":";
+    out += ",\"pid\":" + pid + ",\"tid\":";
     out += std::to_string(event.thread_index);
     out += ",\"args\":{\"trace_id\":";
     out += std::to_string(event.trace_id);
@@ -206,7 +251,12 @@ std::string Tracer::ToChromeTraceJson() const {
   }
   out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":";
   out += std::to_string(dropped);
-  out += "}}";
+  // Everything trace_merge.py needs to stitch this dump into a fleet
+  // timeline: the real pid (event "pid" fields match it), the wall
+  // clock at tracer-epoch ts=0, and the process label.
+  out += ",\"pid\":" + pid;
+  out += ",\"epoch_wall_us\":" + std::to_string(Epoch().wall_us);
+  out += ",\"process_label\":\"" + JsonEscape(ProcessLabel()) + "\"}}";
   return out;
 }
 

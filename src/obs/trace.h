@@ -83,12 +83,20 @@ class Tracer {
   /// Flips recording on/off (tests; PCDB_TRACE=1 sets it at startup).
   void SetEnabled(bool on);
 
-  /// Fresh ids. Never returns 0 (0 means "none").
+  /// Fresh ids. Never returns 0 (0 means "none"). Counters start from a
+  /// per-process salt (bits 40+), so ids minted by pcdb_coord and N
+  /// shard pcdbd processes never collide in a merged fleet trace.
   uint64_t NextTraceId();
   uint64_t NextSpanId();
 
   /// Steady-clock microseconds since the tracer epoch (first use).
   uint64_t NowMicros() const;
+
+  /// Label for this process in merged multi-process traces (e.g.
+  /// "pcdb_coord", "pcdbd.shard0"). Emitted in the dump's otherData;
+  /// tools/trace_merge.py turns it into a process_name metadata row.
+  void SetProcessLabel(std::string label);
+  std::string ProcessLabel() const;
 
   /// Appends a completed event to the calling thread's buffer. The
   /// thread_index field is filled in here.
@@ -155,6 +163,7 @@ class Tracer {
   /// Buffers are created once per thread and never destroyed (threads
   /// hold raw pointers in TLS), so the vector only grows.
   std::vector<ThreadBuffer*> buffers_ PCDB_GUARDED_BY(registry_mu_);
+  std::string process_label_ PCDB_GUARDED_BY(registry_mu_);
 };
 
 /// \brief RAII span: opens on construction (when tracing is enabled),

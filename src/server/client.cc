@@ -6,12 +6,28 @@
 #include <thread>
 #include <utility>
 
+#include "common/trace_context.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/trace.h"
 
 namespace pcdb {
 
 namespace {
+
+/// Stamps the calling thread's ambient trace context onto an outgoing
+/// request (Query/Ingest/Punctuate all carry the same three fields), so
+/// server-side spans parent under the caller's span across the process
+/// boundary. No ambient span — e.g. a plain pcdb_client run without
+/// tracing — leaves the fields 0 and the wire bytes unchanged.
+template <typename Request>
+void InjectTraceContext(Request* request) {
+  const TraceContext current = CurrentTraceContext();
+  if (current.trace_id == 0) return;
+  request->trace_id = current.trace_id;
+  request->parent_span_id = current.span_id;
+  request->trace_sampled = Tracer::enabled();
+}
 
 /// True when a Status describes the transport dying under us (peer
 /// reset/EPIPE on send, EOF or reset on recv) as opposed to a verdict
@@ -90,6 +106,7 @@ Result<uint64_t> Client::SendQuery(const std::string& sql,
   request.max_memory_bytes = options.max_memory_bytes;
   request.sql = sql;
   request.tenant = options.tenant;
+  InjectTraceContext(&request);
   const uint64_t request_id = next_request_id_++;
   std::string wire;
   AppendFrame(&wire, FrameType::kQuery, request_id,
@@ -160,6 +177,7 @@ Result<IngestResult> Client::Ingest(const std::string& table,
   const bool pinned = options.writer_id != 0 && options.seq != 0;
   request.writer_id = pinned ? options.writer_id : writer_id_;
   request.seq = pinned ? options.seq : ++write_seq_;
+  InjectTraceContext(&request);
   return WriteWithRetry(FrameType::kIngest, EncodeIngestPayload(request));
 }
 
@@ -174,6 +192,7 @@ Result<IngestResult> Client::Punctuate(
   const bool pinned = options.writer_id != 0 && options.seq != 0;
   request.writer_id = pinned ? options.writer_id : writer_id_;
   request.seq = pinned ? options.seq : ++write_seq_;
+  InjectTraceContext(&request);
   return WriteWithRetry(FrameType::kPunctuate,
                         EncodePunctuatePayload(request));
 }

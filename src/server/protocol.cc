@@ -128,6 +128,42 @@ Status ExpectExhausted(const PayloadReader& reader, const char* what) {
   return Status::OK();
 }
 
+// ---- Optional trailing trace-context block. ----------------------------
+//
+// QUERY/INGEST/PUNCTUATE payloads may end with 17 extra bytes carrying
+// the sender's trace context: u64 trace_id, u64 parent_span_id, u8
+// flags (bit 0 = sampled). The block is written only when trace_id is
+// nonzero, so an untraced request encodes to the exact pre-trace byte
+// layout and old/new peers interoperate. A payload that ends at the
+// base boundary decodes as "no trace context"; a cut inside the block
+// is a parse error like any other truncation, and a block announcing
+// trace_id 0 or unknown flag bits is rejected outright.
+
+void AppendTraceBlock(std::string* out, uint64_t trace_id,
+                      uint64_t parent_span_id, bool sampled) {
+  if (trace_id == 0) return;
+  AppendU64(out, trace_id);
+  AppendU64(out, parent_span_id);
+  AppendU8(out, sampled ? 1 : 0);
+}
+
+Status ReadTraceBlock(PayloadReader* reader, uint64_t* trace_id,
+                      uint64_t* parent_span_id, bool* sampled) {
+  if (reader->exhausted()) return Status::OK();
+  PCDB_ASSIGN_OR_RETURN(*trace_id, reader->ReadU64());
+  PCDB_ASSIGN_OR_RETURN(*parent_span_id, reader->ReadU64());
+  PCDB_ASSIGN_OR_RETURN(uint8_t flags, reader->ReadU8());
+  if (*trace_id == 0) {
+    return Status::ParseError("trace block carries trace_id 0");
+  }
+  if (flags > 1) {
+    return Status::ParseError("unknown trace flag bits " +
+                              std::to_string(flags));
+  }
+  *sampled = flags == 1;
+  return Status::OK();
+}
+
 // ---- Value / pattern-cell codecs. --------------------------------------
 
 void AppendValue(std::string* out, const Value& v) {
@@ -344,6 +380,8 @@ std::string EncodeQueryPayload(const QueryRequest& request) {
   AppendU64(&out, request.max_memory_bytes);
   AppendLengthPrefixed(&out, request.sql);
   AppendLengthPrefixed(&out, request.tenant);
+  AppendTraceBlock(&out, request.trace_id, request.parent_span_id,
+                   request.trace_sampled);
   return out;
 }
 
@@ -357,6 +395,9 @@ Result<QueryRequest> DecodeQueryPayload(std::string_view payload) {
   PCDB_ASSIGN_OR_RETURN(request.max_memory_bytes, reader.ReadU64());
   PCDB_ASSIGN_OR_RETURN(request.sql, reader.ReadLengthPrefixed());
   PCDB_ASSIGN_OR_RETURN(request.tenant, reader.ReadLengthPrefixed());
+  PCDB_RETURN_NOT_OK(ReadTraceBlock(&reader, &request.trace_id,
+                                    &request.parent_span_id,
+                                    &request.trace_sampled));
   PCDB_RETURN_NOT_OK(ExpectExhausted(reader, "query"));
   return request;
 }
@@ -386,6 +427,8 @@ std::string EncodeIngestPayload(const IngestRequest& request) {
   }
   AppendU64(&out, request.writer_id);
   AppendU64(&out, request.seq);
+  AppendTraceBlock(&out, request.trace_id, request.parent_span_id,
+                   request.trace_sampled);
   return out;
 }
 
@@ -422,6 +465,9 @@ Result<IngestRequest> DecodeIngestPayload(std::string_view payload) {
   }
   PCDB_ASSIGN_OR_RETURN(request.writer_id, reader.ReadU64());
   PCDB_ASSIGN_OR_RETURN(request.seq, reader.ReadU64());
+  PCDB_RETURN_NOT_OK(ReadTraceBlock(&reader, &request.trace_id,
+                                    &request.parent_span_id,
+                                    &request.trace_sampled));
   PCDB_RETURN_NOT_OK(ExpectExhausted(reader, "ingest"));
   return request;
 }
@@ -442,6 +488,8 @@ std::string EncodePunctuatePayload(const PunctuateRequest& request) {
   }
   AppendU64(&out, request.writer_id);
   AppendU64(&out, request.seq);
+  AppendTraceBlock(&out, request.trace_id, request.parent_span_id,
+                   request.trace_sampled);
   return out;
 }
 
@@ -464,6 +512,9 @@ Result<PunctuateRequest> DecodePunctuatePayload(std::string_view payload) {
   }
   PCDB_ASSIGN_OR_RETURN(request.writer_id, reader.ReadU64());
   PCDB_ASSIGN_OR_RETURN(request.seq, reader.ReadU64());
+  PCDB_RETURN_NOT_OK(ReadTraceBlock(&reader, &request.trace_id,
+                                    &request.parent_span_id,
+                                    &request.trace_sampled));
   PCDB_RETURN_NOT_OK(ExpectExhausted(reader, "punctuate"));
   return request;
 }

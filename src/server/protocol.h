@@ -193,6 +193,19 @@ struct QueryRequest {
   /// out of the cache key.
   std::string tenant;
 
+  /// Distributed trace context (docs/OBSERVABILITY.md "Tracing a fleet
+  /// query"): carried as an optional trailing block so shard-side spans
+  /// parent under the caller's span across process boundaries. 0 means
+  /// "no trace context" and encodes to the pre-PR10 byte layout, so old
+  /// and new peers interoperate. Never part of the answer, so the server
+  /// keeps it out of the cache key (it lives outside `flags`).
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  /// True when the sender's tracer was recording (Dapper-style sampled
+  /// bit): the receiver records spans for this request iff its own
+  /// tracer is enabled too, but forwards the flag downstream verbatim.
+  bool trace_sampled = false;
+
   static constexpr uint32_t kFlagInstanceAware = 1u << 0;
   static constexpr uint32_t kFlagZombies = 1u << 1;
   /// Request a per-query profile: the server answers with an extra
@@ -231,6 +244,11 @@ struct IngestRequest {
   /// A retry resends the same seq, and the server applies it at most
   /// once. 0 = unsequenced (no dedup).
   uint64_t seq = 0;
+  /// Optional trace context, as in QueryRequest (trace_id 0 = absent,
+  /// encodes to the pre-PR10 byte layout).
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  bool trace_sampled = false;
 
   static constexpr uint8_t kPolicyRejectRecord = 0;
   static constexpr uint8_t kPolicyRetractPatterns = 1;
@@ -249,6 +267,9 @@ struct PunctuateRequest {
   std::vector<std::vector<std::string>> patterns;
   uint64_t writer_id = 0;  ///< As in IngestRequest.
   uint64_t seq = 0;        ///< As in IngestRequest.
+  uint64_t trace_id = 0;   ///< As in QueryRequest (0 = no trace context).
+  uint64_t parent_span_id = 0;
+  bool trace_sampled = false;
 };
 
 std::string EncodePunctuatePayload(const PunctuateRequest& request);

@@ -1134,6 +1134,15 @@ void Server::RunWriterJob() {
 
 Status Server::ApplyWriteOp(AnnotatedDatabase* next, WriteOp* op,
                             IngestResult* ack) {
+  // Adopt the writer's trace context (if the frame carried one) so this
+  // shard's ingest span parents under the coordinator's dist.write span
+  // in a merged fleet trace.
+  const uint64_t op_trace_id =
+      op->is_punctuate ? op->punctuate.trace_id : op->ingest.trace_id;
+  const uint64_t op_parent_span_id = op->is_punctuate
+                                         ? op->punctuate.parent_span_id
+                                         : op->ingest.parent_span_id;
+  TraceContextScope trace_scope(TraceContext{op_trace_id, op_parent_span_id});
   PCDB_TRACE_SPAN(span, kSpanServerIngest);
   span.Arg("punctuate", op->is_punctuate ? 1 : 0);
   PCDB_FAILPOINT("server.ingest");
@@ -1263,6 +1272,12 @@ void Server::RunQueryJob(uint64_t conn_id, uint64_t request_id,
     const uint64_t start_micros = Tracer::Global().NowMicros();
     const uint64_t queue_micros =
         start_micros > admit_micros ? start_micros - admit_micros : 0;
+    // Adopt the caller's trace context (if the QUERY frame carried one)
+    // so server.query and everything under it parent under the remote
+    // caller's span — e.g. the coordinator's dist.scatter — in a merged
+    // fleet trace.
+    TraceContextScope remote_trace_scope(
+        TraceContext{request.trace_id, request.parent_span_id});
     PCDB_TRACE_SPAN(query_span, kSpanServerQuery);
     if (Tracer::enabled() && queue_micros > 0) {
       // The wait happened before this span existed; backfill it as a

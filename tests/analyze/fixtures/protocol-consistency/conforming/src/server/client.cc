@@ -3,4 +3,11 @@ namespace pcdb {
 bool Handle(FrameType t) {
   return t == FrameType::kPing || t == FrameType::kPong;
 }
+PingRequest Inject(uint64_t trace_id, uint64_t parent_span_id) {
+  PingRequest req;
+  req.trace_id = trace_id;
+  req.parent_span_id = parent_span_id;
+  req.trace_sampled = trace_id != 0;
+  return req;
+}
 }  // namespace pcdb

@@ -1,4 +1,10 @@
 #include "server/protocol.h"
 namespace pcdb {
 void RoundTrip() { DecodePingPayload(EncodePingPayload()); }
+void TraceBlockRoundTrip() {
+  PingRequest req;
+  req.trace_id = 7;
+  req.parent_span_id = 9;
+  req.trace_sampled = true;
+}
 }  // namespace pcdb

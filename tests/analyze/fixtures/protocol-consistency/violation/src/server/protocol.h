@@ -5,5 +5,10 @@ enum class FrameType : uint8_t {
   kPong = 0x80,
   kData = 0x80,
 };
+struct PingRequest {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  bool trace_sampled = false;
+};
 std::string EncodePingPayload();
 }  // namespace pcdb

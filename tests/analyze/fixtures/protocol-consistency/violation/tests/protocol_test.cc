@@ -1,1 +1,4 @@
-namespace pcdb {}
+namespace pcdb {
+void TraceBlockRoundTrip(uint64_t trace_id, uint64_t parent_span_id,
+                         bool trace_sampled) {}
+}  // namespace pcdb

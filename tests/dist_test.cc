@@ -1,13 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/exec_context.h"
+#include "common/failpoint.h"
+#include "common/json.h"
 #include "dist/coordinator.h"
 #include "dist/partition.h"
+#include "obs/trace.h"
 #include "pattern/annotated_eval.h"
 #include "pattern/shard_route.h"
 #include "server/client.h"
@@ -284,6 +290,9 @@ TEST(AnalyzeQueryTest, RefusesShapesThatDoNotDistributeOverTheUnion) {
 class DistTest : public ::testing::Test {
  protected:
   void TearDown() override {
+    // Belt and braces: a test that throws mid-iteration (the fault
+    // matrix) must not leak an armed failpoint into the next test.
+    Failpoints::Global().Clear();
     if (coordinator_ != nullptr) coordinator_->Stop();
     for (auto& shard : shards_) shard->Stop();
   }
@@ -292,6 +301,10 @@ class DistTest : public ::testing::Test {
                   std::set<std::string> hashed = {"Warnings"}) {
     CoordinatorOptions coptions;
     coptions.hashed_tables = hashed;
+    // Loopback shards answer in milliseconds; a short RPC timeout keeps
+    // the fault-matrix iterations (where an armed failpoint can wedge a
+    // shard connection) from serializing 30-second hangs.
+    coptions.shard_recv_timeout_millis = 2000;
     if (max_writer_states_ > 0) {
       coptions.max_writer_states = max_writer_states_;
     }
@@ -684,6 +697,283 @@ TEST_F(DistTest, PingStatsAndCheckpointWork) {
   Result<CheckpointResult> ckpt = client.Checkpoint();
   EXPECT_FALSE(ckpt.ok());
   EXPECT_EQ(ckpt.status().code(), StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet observability: STATS aggregation, profile merge, tracing
+
+TEST_F(DistTest, FleetStatsAreTheSumOfTheShards) {
+  StartFleet(3);
+  Client client = ConnectOrDie();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.Query(kQhwSql).ok());
+  }
+  Result<std::string> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  Result<JsonValue> doc = ParseJson(*stats);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString() << "\n" << *stats;
+  const JsonValue* fleet = doc->Find("fleet");
+  const JsonValue* shards = doc->Find("shards");
+  const JsonValue* coordinator = doc->Find("coordinator");
+  ASSERT_NE(fleet, nullptr) << *stats;
+  ASSERT_NE(shards, nullptr) << *stats;
+  ASSERT_NE(coordinator, nullptr) << *stats;
+  ASSERT_TRUE(shards->is_array());
+  ASSERT_EQ(shards->items().size(), 3u);
+
+  // Every fleet counter is exactly the sum of the per-shard values of
+  // the same name. The "shards" array is the verbatim input the merge
+  // consumed, so the payload is self-checking end to end.
+  const JsonValue* fleet_counters = fleet->Find("counters");
+  ASSERT_NE(fleet_counters, nullptr);
+  ASSERT_FALSE(fleet_counters->members().empty());
+  for (const auto& [name, value] : fleet_counters->members()) {
+    uint64_t sum = 0;
+    for (const JsonValue& shard : shards->items()) {
+      const JsonValue* counters = shard.Find("counters");
+      ASSERT_NE(counters, nullptr);
+      const JsonValue* entry = counters->Find(name);
+      if (entry == nullptr) continue;
+      Result<uint64_t> v = entry->AsUint64();
+      ASSERT_TRUE(v.ok()) << name;
+      sum += *v;
+    }
+    Result<uint64_t> merged = value.AsUint64();
+    ASSERT_TRUE(merged.ok()) << name;
+    EXPECT_EQ(*merged, sum) << name;
+  }
+  const JsonValue* requests = fleet_counters->Find("requests_total");
+  ASSERT_NE(requests, nullptr);
+  Result<uint64_t> requests_total = requests->AsUint64();
+  ASSERT_TRUE(requests_total.ok());
+  // Each of the 3 broadcast queries fanned out to all 3 shards.
+  EXPECT_GE(*requests_total, 9u);
+
+  // Histograms merge bucket-by-bucket: each fleet bucket is the sum of
+  // the shards' corresponding buckets, and sum_micros adds exactly.
+  const JsonValue* fleet_hists = fleet->Find("histograms");
+  ASSERT_NE(fleet_hists, nullptr);
+  ASSERT_FALSE(fleet_hists->members().empty());
+  for (const auto& [name, hist] : fleet_hists->members()) {
+    const JsonValue* fleet_buckets = hist.Find("buckets");
+    ASSERT_NE(fleet_buckets, nullptr) << name;
+    const size_t num_buckets = fleet_buckets->items().size();
+    std::vector<uint64_t> sums(num_buckets, 0);
+    uint64_t micros_sum = 0;
+    for (const JsonValue& shard : shards->items()) {
+      const JsonValue* hists = shard.Find("histograms");
+      ASSERT_NE(hists, nullptr);
+      const JsonValue* shard_hist = hists->Find(name);
+      if (shard_hist == nullptr) continue;
+      const JsonValue* buckets = shard_hist->Find("buckets");
+      ASSERT_NE(buckets, nullptr) << name;
+      ASSERT_EQ(buckets->items().size(), num_buckets) << name;
+      for (size_t b = 0; b < num_buckets; ++b) {
+        Result<uint64_t> v = buckets->items()[b].AsUint64();
+        ASSERT_TRUE(v.ok()) << name;
+        sums[b] += *v;
+      }
+      const JsonValue* micros = shard_hist->Find("sum_micros");
+      ASSERT_NE(micros, nullptr) << name;
+      Result<uint64_t> m = micros->AsUint64();
+      ASSERT_TRUE(m.ok()) << name;
+      micros_sum += *m;
+    }
+    for (size_t b = 0; b < num_buckets; ++b) {
+      Result<uint64_t> v = fleet_buckets->items()[b].AsUint64();
+      ASSERT_TRUE(v.ok()) << name;
+      EXPECT_EQ(*v, sums[b]) << name << " bucket " << b;
+    }
+    const JsonValue* fleet_micros = hist.Find("sum_micros");
+    ASSERT_NE(fleet_micros, nullptr) << name;
+    Result<uint64_t> fm = fleet_micros->AsUint64();
+    ASSERT_TRUE(fm.ok()) << name;
+    EXPECT_EQ(*fm, micros_sum) << name;
+  }
+
+  // Coordinator-local metrics stay under their own key, not mixed into
+  // the fleet sums.
+  const JsonValue* coord_counters = coordinator->Find("counters");
+  ASSERT_NE(coord_counters, nullptr);
+  const JsonValue* fleet_stats = coord_counters->Find("fleet_stats_total");
+  ASSERT_NE(fleet_stats, nullptr) << *stats;
+  Result<uint64_t> fleet_stats_total = fleet_stats->AsUint64();
+  ASSERT_TRUE(fleet_stats_total.ok());
+  EXPECT_GE(*fleet_stats_total, 1u);
+  EXPECT_EQ(fleet_counters->Find("fleet_stats_total"), nullptr)
+      << "coordinator-local counter leaked into the fleet aggregate";
+}
+
+TEST_F(DistTest, FleetProfileMergesEveryShardsProfile) {
+  StartFleet(3);
+  Client client = ConnectOrDie();
+  ClientQueryOptions options;
+  options.profile = true;
+  Result<ClientAnswer> answer = client.Query(kQhwSql, options);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  ASSERT_FALSE(answer->profile.empty());
+  Result<JsonValue> doc = ParseJson(answer->profile);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString() << "\n"
+                        << answer->profile;
+  const JsonValue* distributed = doc->Find("distributed");
+  ASSERT_NE(distributed, nullptr) << answer->profile;
+  EXPECT_TRUE(distributed->is_bool() && distributed->bool_value());
+  const JsonValue* route = doc->Find("route");
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->string_value(), "broadcast");
+  const JsonValue* shards = doc->Find("shards");
+  ASSERT_NE(shards, nullptr);
+  Result<uint64_t> num_shards = shards->AsUint64();
+  ASSERT_TRUE(num_shards.ok());
+  EXPECT_EQ(*num_shards, 3u);
+  const JsonValue* shard_millis = doc->Find("shard_millis");
+  ASSERT_NE(shard_millis, nullptr);
+  ASSERT_TRUE(shard_millis->is_array());
+  EXPECT_EQ(shard_millis->items().size(), 3u);
+
+  // Every shard contributed its full EXPLAIN ANALYZE tree, and the
+  // operator work done across the fleet is bounded by the end-to-end
+  // fleet time (scatter round trips + coordinator merge).
+  const JsonValue* per_shard = doc->Find("per_shard");
+  ASSERT_NE(per_shard, nullptr) << answer->profile;
+  ASSERT_TRUE(per_shard->is_array());
+  ASSERT_EQ(per_shard->items().size(), 3u);
+  const JsonValue* fleet_total = doc->Find("fleet_micros_total");
+  ASSERT_NE(fleet_total, nullptr);
+  Result<double> total_micros = fleet_total->AsDouble();
+  ASSERT_TRUE(total_micros.ok());
+  double operator_sum = 0;
+  for (const JsonValue& shard : per_shard->items()) {
+    ASSERT_TRUE(shard.is_object())
+        << "a shard profile is missing from the fleet merge: "
+        << answer->profile;
+    EXPECT_NE(shard.Find("operators"), nullptr);
+    const JsonValue* op_micros = shard.Find("operator_micros");
+    ASSERT_NE(op_micros, nullptr);
+    Result<double> micros = op_micros->AsDouble();
+    ASSERT_TRUE(micros.ok());
+    operator_sum += *micros;
+  }
+  EXPECT_LE(operator_sum, *total_micros) << answer->profile;
+
+  // The same query without the flag stays profile-free (the fleet
+  // merge must not force profiling onto the shards).
+  Result<ClientAnswer> plain = client.Query(kQhwSql);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->profile.empty());
+}
+
+/// Distributed counterpart of trace_test's SpanBalanceSurvivesTheFaultMatrix:
+/// the coordinator's dist.* spans (and the shard servers' spans — the whole
+/// fleet shares this process's tracer) must close exactly once no matter
+/// where a failpoint errors or throws mid-scatter.
+TEST_F(DistTest, DistributedSpanBalanceSurvivesTheFaultMatrix) {
+  const bool was_enabled = Tracer::enabled();
+  Failpoints::Global().Clear();
+  Tracer::Global().SetEnabled(true);
+  Tracer::Global().Reset();
+  StartFleet(3);
+
+  // Server-side spans can outlive the client's reply by a moment (the
+  // flush span closes after the bytes are out), so balance is
+  // "eventually zero": poll briefly before asserting.
+  const auto settles_to_zero = [] {
+    for (int i = 0; i < 400; ++i) {
+      if (Tracer::Global().OpenSpanCount() == 0) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return Tracer::Global().OpenSpanCount() == 0;
+  };
+  {
+    Client warm = ConnectOrDie();
+    ASSERT_TRUE(warm.Query(kQhwSql).ok());
+  }
+  ASSERT_TRUE(settles_to_zero());
+
+  for (const std::string& site : Failpoints::AllSites()) {
+    for (int action = 0; action < 2; ++action) {
+      Failpoints::Global().Activate(
+          site, action == 0 ? FailpointSpec::Error(StatusCode::kUnavailable)
+                            : FailpointSpec::Throw());
+      try {
+        // Reconnect per iteration: an armed server.accept/read/write
+        // site may kill the previous connection. The failpoints are
+        // process-global, so client-side socket sites fire on this
+        // thread and throw out of Query — swallow them; the status is
+        // the fault matrix's concern, only the span balance matters.
+        // The recv timeout outlives the coordinator's 2s shard RPC
+        // timeout, so a wedged fan-out resolves before the client does.
+        ClientOptions copts;
+        copts.recv_timeout_millis = 4000;
+        Result<Client> client =
+            Client::Connect("127.0.0.1", coordinator_->port(), copts);
+        if (client.ok()) static_cast<void>(client->Query(kQhwSql));
+      } catch (const FailpointError&) {
+      }
+      Failpoints::Global().Clear();
+      EXPECT_TRUE(settles_to_zero())
+          << site << (action == 0 ? " error" : " throw") << ": "
+          << Tracer::Global().OpenSpanCount() << " span(s) still open";
+    }
+  }
+
+  Tracer::Global().Reset();
+  Tracer::Global().SetEnabled(was_enabled);
+}
+
+/// The distributed evaluation is the serial evaluation plus a dist.*
+/// coordination layer — the shard-side work emits the same span
+/// vocabulary the single process does, nothing renamed, nothing lost.
+TEST_F(DistTest, DistributedSpanNamesMatchSerialModuloDistSpans) {
+  const bool was_enabled = Tracer::enabled();
+  Tracer::Global().SetEnabled(true);
+
+  // Minimization picks its strategy (all_at_once / incremental / ...)
+  // from local input size, which legitimately differs between a full
+  // table and a shard slice — fold the variants into one name.
+  const auto normalized = [](const TraceEvent& event) {
+    std::string name = event.name;
+    if (name.rfind("minimize", 0) == 0) return std::string("minimize");
+    return name;
+  };
+
+  // Distributed: 3 shards + coordinator, one broadcast query, then a
+  // full stop so every server thread has flushed its spans.
+  Tracer::Global().Reset();
+  StartFleet(3);
+  {
+    Client client = ConnectOrDie();
+    ASSERT_TRUE(client.Query(kQhwSql).ok());
+  }
+  coordinator_->Stop();
+  for (auto& shard : shards_) shard->Stop();
+  std::set<std::string> dist_names;
+  bool saw_scatter = false;
+  for (const TraceEvent& event : Tracer::Global().SnapshotEvents()) {
+    const std::string name = normalized(event);
+    if (name == "dist.scatter") saw_scatter = true;
+    if (name.rfind("dist.", 0) != 0) dist_names.insert(name);
+  }
+  EXPECT_TRUE(saw_scatter);
+
+  // Serial: one plain Server, the same query, the same window.
+  Tracer::Global().Reset();
+  Server server(MakeMaintenanceDatabase(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  {
+    Result<Client> client = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    ASSERT_TRUE(client->Query(kQhwSql).ok());
+  }
+  server.Stop();
+  std::set<std::string> serial_names;
+  for (const TraceEvent& event : Tracer::Global().SnapshotEvents()) {
+    serial_names.insert(normalized(event));
+  }
+
+  Tracer::Global().Reset();
+  Tracer::Global().SetEnabled(was_enabled);
+  EXPECT_EQ(dist_names, serial_names);
 }
 
 }  // namespace

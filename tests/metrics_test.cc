@@ -98,6 +98,67 @@ TEST(HistogramTest, SnapshotBucketsExposesRawCounts) {
   EXPECT_EQ(total, h.Count());
 }
 
+TEST(HistogramTest, MergePreservesBucketSumsAndCount) {
+  Histogram a, b, merged;
+  for (int i = 0; i < 100; ++i) a.RecordMillis(1.0);
+  for (int i = 0; i < 10; ++i) a.RecordMillis(100.0);
+  for (int i = 0; i < 50; ++i) b.RecordMillis(4.0);
+  MergeHistogram(a, &merged);
+  MergeHistogram(b, &merged);
+  EXPECT_EQ(merged.Count(), a.Count() + b.Count());
+  EXPECT_EQ(merged.SumMicros(), a.SumMicros() + b.SumMicros());
+  // Bucket-by-bucket the merge is an exact sum — the fleet aggregation
+  // in the coordinator depends on this, not on re-recorded samples.
+  uint64_t ba[Histogram::kNumBuckets], bb[Histogram::kNumBuckets],
+      bm[Histogram::kNumBuckets];
+  a.SnapshotBuckets(ba);
+  b.SnapshotBuckets(bb);
+  merged.SnapshotBuckets(bm);
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(bm[i], ba[i] + bb[i]) << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, MergedQuantilesAreMonotoneInTheSlowerSource) {
+  // Folding a strictly slower histogram into a fast one can only move
+  // p95 up: the merged distribution stochastically dominates the fast
+  // source. (p95 monotonicity under merge — the property that makes a
+  // fleet p95 trustworthy.)
+  Histogram fast, slow, merged;
+  for (int i = 0; i < 1000; ++i) fast.RecordMillis(1.0);
+  for (int i = 0; i < 500; ++i) slow.RecordMillis(64.0);
+  MergeHistogram(fast, &merged);
+  const double p95_before = merged.QuantileMillis(0.95);
+  MergeHistogram(slow, &merged);
+  const double p95_after = merged.QuantileMillis(0.95);
+  EXPECT_GE(p95_after, p95_before);
+  // And the merged p95 lands between the two sources' p95s.
+  EXPECT_GE(p95_after, fast.QuantileMillis(0.95));
+  EXPECT_LE(p95_after, slow.QuantileMillis(0.95));
+}
+
+TEST(HistogramTest, MergeFromRawBucketsDerivesCountFromTheBuckets) {
+  // The wire form (STATS JSON) carries buckets + sum_micros but no
+  // separate count; MergeFrom must reconstruct it exactly.
+  Histogram src, dst;
+  src.RecordMicros(3);
+  src.RecordMicros(700);
+  src.RecordMicros(700);
+  uint64_t buckets[Histogram::kNumBuckets];
+  src.SnapshotBuckets(buckets);
+  dst.MergeFrom(buckets, src.SumMicros());
+  EXPECT_EQ(dst.Count(), 3u);
+  EXPECT_EQ(dst.SumMicros(), src.SumMicros());
+  EXPECT_EQ(dst.MeanMillis(), src.MeanMillis());
+}
+
+TEST(MetricsRegistryTest, JsonIncludesHistogramSumMicros) {
+  MetricsRegistry registry;
+  registry.GetHistogram("latency")->RecordMicros(250);
+  EXPECT_NE(registry.ToJson().find("\"sum_micros\":250"), std::string::npos)
+      << registry.ToJson();
+}
+
 TEST(MetricsRegistryTest, JsonIncludesRawHistogramBuckets) {
   MetricsRegistry registry;
   registry.GetHistogram("latency")->RecordMicros(3);

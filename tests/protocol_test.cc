@@ -262,6 +262,126 @@ TEST(QueryPayloadTest, TrailingGarbageIsAParseError) {
 }
 
 // ---------------------------------------------------------------------------
+// Trace-context block: the optional trailing (trace_id, parent_span_id,
+// flags) triplet every request payload may carry.
+
+namespace {
+
+// Little-endian u64, matching the codec's AppendU64.
+void AppendLeU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::string TraceBlock(uint64_t trace_id, uint64_t parent_span_id,
+                       uint8_t flags) {
+  std::string block;
+  AppendLeU64(&block, trace_id);
+  AppendLeU64(&block, parent_span_id);
+  block.push_back(static_cast<char>(flags));
+  return block;
+}
+
+}  // namespace
+
+TEST(TraceBlockTest, RidesAlongOnAllThreeRequestPayloads) {
+  QueryRequest query;
+  query.sql = "SELECT * FROM Warnings";
+  query.trace_id = 0xAABB01;
+  query.parent_span_id = 0xAABB02;
+  query.trace_sampled = true;
+  Result<QueryRequest> q = DecodeQueryPayload(EncodeQueryPayload(query));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->trace_id, query.trace_id);
+  EXPECT_EQ(q->parent_span_id, query.parent_span_id);
+  EXPECT_TRUE(q->trace_sampled);
+
+  IngestRequest ingest;
+  ingest.table = "Warnings";
+  ingest.rows.push_back({Value("Mon")});
+  ingest.trace_id = 0xCCDD01;
+  ingest.parent_span_id = 0xCCDD02;
+  Result<IngestRequest> in = DecodeIngestPayload(EncodeIngestPayload(ingest));
+  ASSERT_TRUE(in.ok()) << in.status().ToString();
+  EXPECT_EQ(in->trace_id, ingest.trace_id);
+  EXPECT_EQ(in->parent_span_id, ingest.parent_span_id);
+  EXPECT_FALSE(in->trace_sampled);
+
+  PunctuateRequest punct;
+  punct.table = "Warnings";
+  punct.patterns.push_back({"*", "*"});
+  punct.trace_id = 0xEEFF01;
+  punct.parent_span_id = 0xEEFF02;
+  punct.trace_sampled = true;
+  Result<PunctuateRequest> pu =
+      DecodePunctuatePayload(EncodePunctuatePayload(punct));
+  ASSERT_TRUE(pu.ok()) << pu.status().ToString();
+  EXPECT_EQ(pu->trace_id, punct.trace_id);
+  EXPECT_EQ(pu->parent_span_id, punct.parent_span_id);
+  EXPECT_TRUE(pu->trace_sampled);
+}
+
+TEST(TraceBlockTest, UntracedPayloadsAreByteIdenticalToPreTraceWire) {
+  // trace_id == 0 must encode to exactly the pre-trace bytes — old
+  // servers keep decoding new untraced clients, and WriteWithRetry's
+  // resend stays byte-identical.
+  QueryRequest untraced;
+  untraced.sql = "SELECT * FROM Warnings";
+  QueryRequest traced = untraced;
+  traced.trace_id = 7;
+  traced.parent_span_id = 9;
+  const std::string base = EncodeQueryPayload(untraced);
+  const std::string with = EncodeQueryPayload(traced);
+  ASSERT_EQ(with.size(), base.size() + 17u);
+  EXPECT_EQ(with.compare(0, base.size(), base), 0);
+  EXPECT_EQ(with.substr(base.size()), TraceBlock(7, 9, 0));
+}
+
+TEST(TraceBlockTest, TruncationSemantics) {
+  // Cutting a traced payload exactly at the base-payload boundary is a
+  // VALID untraced request (that is what an old client sends); cutting
+  // anywhere inside the block is a parse error like any short read.
+  QueryRequest traced;
+  traced.sql = "SELECT * FROM t";
+  traced.trace_id = 11;
+  traced.parent_span_id = 22;
+  traced.trace_sampled = true;
+  const std::string payload = EncodeQueryPayload(traced);
+  const size_t base = payload.size() - 17;
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    Result<QueryRequest> back =
+        DecodeQueryPayload(std::string_view(payload.data(), cut));
+    if (cut == base) {
+      ASSERT_TRUE(back.ok()) << back.status().ToString();
+      EXPECT_EQ(back->trace_id, 0u);
+      EXPECT_FALSE(back->trace_sampled);
+    } else {
+      ASSERT_FALSE(back.ok()) << "cut=" << cut;
+      EXPECT_EQ(back.status().code(), StatusCode::kParseError)
+          << "cut=" << cut;
+    }
+  }
+  EXPECT_EQ(DecodeQueryPayload(payload + "x").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(TraceBlockTest, ZeroIdAndUnknownFlagBitsAreParseErrors) {
+  QueryRequest request;
+  request.sql = "SELECT * FROM t";
+  const std::string base = EncodeQueryPayload(request);
+  // A present block must carry a real trace id: 0 would decode
+  // indistinguishably from "no context" downstream.
+  EXPECT_EQ(DecodeQueryPayload(base + TraceBlock(0, 5, 1)).status().code(),
+            StatusCode::kParseError);
+  // Flag bits beyond "sampled" are reserved; rejecting them now keeps
+  // them assignable later.
+  EXPECT_EQ(DecodeQueryPayload(base + TraceBlock(3, 5, 2)).status().code(),
+            StatusCode::kParseError);
+  EXPECT_TRUE(DecodeQueryPayload(base + TraceBlock(3, 5, 1)).ok());
+}
+
+// ---------------------------------------------------------------------------
 // Write-path payloads (INGEST / PUNCTUATE / INGEST_RESULT).
 
 TEST(IngestPayloadTest, RoundTrips) {

@@ -13,6 +13,7 @@
 #include "common/log.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
+#include "common/trace_context.h"
 #include "pattern/annotated_eval.h"
 #include "pattern/shard_route.h"
 #include "server/client.h"
@@ -334,6 +335,40 @@ TEST_F(ServerTest, SlowQueryThresholdEmitsAStructuredWarning) {
       << captured;
   EXPECT_NE(captured.find("\"sql\":"), std::string::npos) << captured;
   EXPECT_NE(captured.find("\"millis\":"), std::string::npos) << captured;
+}
+
+TEST_F(ServerTest, SlowQueryWarningCarriesTheCallersTraceContext) {
+  ServerOptions options;
+  options.slow_query_millis = 0.000001;  // everything is "slow"
+  StartServer(options);
+  {
+    MutexLock lock(&g_server_log_mu);
+    g_server_log_capture.clear();
+  }
+  SetLogSink(&CaptureServerLogLine);
+  Client client = ConnectOrDie();
+  // An ambient trace context on the calling thread rides the QUERY
+  // frame (client injection), is adopted server-side, and must land in
+  // the slow-query warning — that is how a fleet operator gets from a
+  // slow-query log line to the matching trace.
+  Result<ClientAnswer> answer = Status::Internal("not queried");
+  {
+    TraceContextScope scope(TraceContext{424242, 99});
+    answer = client.Query(kQhwSql);
+  }
+  SetLogSink(nullptr);
+  ASSERT_TRUE(answer.ok());
+  std::string captured;
+  {
+    MutexLock lock(&g_server_log_mu);
+    captured = g_server_log_capture;
+  }
+  const size_t warn = captured.find("\"msg\":\"slow query\"");
+  ASSERT_NE(warn, std::string::npos) << captured;
+  const std::string line =
+      captured.substr(warn, captured.find('\n', warn) - warn);
+  EXPECT_NE(line.find("\"trace_id\":424242"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"span_id\":"), std::string::npos) << line;
 }
 
 TEST_F(ServerTest, OverloadShedsWithUnavailable) {

@@ -33,6 +33,18 @@ LITERAL_CALL_RE = re.compile(
     r"\b(GetCounter|GetGauge|GetHistogram|PCDB_TRACE_SPAN|RecordInterval)"
     r"\s*\(\s*\"")
 
+# Names the cross-process tooling addresses by value: check_trace.py
+# --stitched walks dist.scatter ancestry, trace_merge.py reads
+# dist.handshake RTTs, and the fleet STATS payload is keyed on the
+# coordinator counters. A rename must be caught here, not when a merged
+# trace stops stitching. Enforced only on trees with the distributed
+# front end.
+DIST_VOCABULARY = (
+    "dist.query", "dist.scatter", "dist.merge", "dist.write",
+    "dist.handshake", "fleet_stats_total", "profile_merges_total",
+    "shard_latency", "shard_errors_total",
+)
+
 
 def _constants(sf):
     """name -> (value, line), parsed from the raw text (CONST_RE spans
@@ -117,6 +129,18 @@ def obs_registry(repo):
                 "obs-registry", NAMES_H, line,
                 f"{name} is declared but never used in src/; a dead "
                 f"name is a dashboard entry that never reports")
+
+    # Distributed observability vocabulary (see DIST_VOCABULARY).
+    if repo.get("src/dist/coordinator.cc") is not None:
+        declared = {value for value, _ in consts.values()}
+        for required in DIST_VOCABULARY:
+            if required not in declared:
+                yield Finding(
+                    "obs-registry", NAMES_H, 1,
+                    f"distributed vocabulary name \"{required}\" is not "
+                    f"declared in the registry; trace_merge.py, "
+                    f"check_trace.py --stitched, and the fleet STATS "
+                    f"merge address it by value")
 
     # String-literal call sites in src/.
     for sf in repo.src_cpp_files():

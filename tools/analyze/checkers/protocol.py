@@ -39,6 +39,13 @@ ENUMERATOR_RE = re.compile(r"\bk(\w+)\s*=\s*(0x[0-9A-Fa-f]+|\d+)")
 CODEC_RE = re.compile(r"\b(Encode|Decode)(\w+)Payload\b")
 OPCODE_LITERAL_RE = re.compile(r"\b0x8[0-9A-Fa-f]\b")
 
+# The optional trace-context block on QUERY/INGEST/PUNCTUATE payloads.
+# Only useful end to end: declared on the request structs (protocol.h),
+# encoded and decoded by the codec (protocol.cc), injected from the
+# ambient context by the client (client.cc), and pinned by round-trip
+# tests (protocol_test.cc).
+TRACE_TOKENS = ("trace_id", "parent_span_id", "trace_sampled")
+
 
 def _enumerators(sf):
     body = ENUM_RE.search(sf.pure)
@@ -138,6 +145,28 @@ def protocol_consistency(repo):
                     "protocol-consistency", PROTO_H, line,
                     f"{fn} is never exercised in {TEST_CC}; every codec "
                     f"arm needs round-trip coverage")
+
+    # Trace-context block: all-or-nothing across the four sites, so the
+    # context cannot silently stop riding the wire (a codec that still
+    # decodes the block while the client stopped injecting it would
+    # strand every shard span parentless). Silent on trees that predate
+    # the trace block (fixtures for other aspects of this checker).
+    trace_sites = ((PROTO_H, proto_h, "request structs"),
+                   (PROTO_CC, repo.get(PROTO_CC), "codec"),
+                   (CLIENT_CC, repo.get(CLIENT_CC), "client injection"),
+                   (TEST_CC, tests, "round-trip tests"))
+    if any(sf is not None and re.search(r"\b%s\b" % token, sf.pure)
+           for _, sf, _ in trace_sites for token in TRACE_TOKENS):
+        for rel, sf, role in trace_sites:
+            if sf is None:
+                continue  # absence of the file is reported above
+            for token in TRACE_TOKENS:
+                if not re.search(r"\b%s\b" % token, sf.pure):
+                    yield Finding(
+                        "protocol-consistency", rel, 1,
+                        f"trace-context token '{token}' is missing from "
+                        f"{rel} ({role}); the trace block is wired end "
+                        f"to end or not at all")
 
     # Opcode byte literals outside the protocol implementation.
     for sf in repo.cpp_files():

@@ -2,7 +2,7 @@
 """Validates pcdb Chrome trace-event JSON dumps (obs/trace.h).
 
 Usage:  python3 tools/check_trace.py FILE_OR_DIR [FILE_OR_DIR ...]
-                [--min-events N]
+                [--min-events N] [--stitched]
 
 For a directory, every pcdb_trace*.json inside (recursively) is checked.
 A file passes when:
@@ -24,6 +24,17 @@ A file passes when:
     whatever its eval thread was running meanwhile — so they are
     exempt from the nesting check (their timing fields are still
     validated).
+
+Chrome metadata events ("ph": "M", e.g. the process_name rows
+tools/trace_merge.py adds) are tolerated and skipped.
+
+--stitched additionally validates a merged multi-process dump
+(tools/trace_merge.py output): the events must span more than one pid,
+at least one parent edge must cross a process boundary (proof that the
+trace context actually rode the wire), and every shard-side eval.*
+span must reach the coordinator's dist.scatter span by walking
+parent_span_id links — the distributed-tracing contract from
+docs/OBSERVABILITY.md.
 
 Exit status is 0 when every file passes and at least one file (and
 --min-events events in total) was seen, 1 otherwise.
@@ -63,8 +74,9 @@ def load_span_registry(header=NAMES_HEADER):
 ASYNC_INTERVAL_NAMES = frozenset({"server.queue_wait"})
 
 
-def check_file(path, registry=None):
-    """Returns (errors, num_events) for one trace file."""
+def check_file(path, registry=None, collect=None):
+    """Returns (errors, num_events) for one trace file. Valid complete
+    events are appended to `collect` (for cross-file stitched checks)."""
     errors = []
     try:
         with open(path, encoding="utf-8") as f:
@@ -82,6 +94,13 @@ def check_file(path, registry=None):
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             errors.append(f"event {i}: not an object")
+            continue
+        if ev.get("ph") == "M":
+            # Viewer metadata (process_name rows from trace_merge.py):
+            # no timing to validate, just sane addressing.
+            if "pid" not in ev or not ev.get("name"):
+                errors.append(f"event {i}: metadata event without "
+                              f"pid/name")
             continue
         missing = [k for k in REQUIRED_KEYS if k not in ev]
         if missing:
@@ -104,6 +123,8 @@ def check_file(path, registry=None):
         for key in ("trace_id", "span_id"):
             if key in args and args[key] <= 0:
                 errors.append(f"event {i} ({ev['name']}): {key} <= 0")
+        if collect is not None:
+            collect.append(ev)
         if ev["name"] not in ASYNC_INTERVAL_NAMES:
             per_thread[(ev["pid"], ev["tid"])].append(ev)
 
@@ -131,6 +152,62 @@ def check_file(path, registry=None):
     return errors, len(events)
 
 
+def check_stitched(events):
+    """Validates the cross-process shape of a merged dump: multiple
+    pids, at least one wire-crossing parent edge, and every shard-side
+    eval.* span a descendant of the coordinator's dist.scatter."""
+    errors = []
+    pids = {ev["pid"] for ev in events}
+    if len(pids) < 2:
+        errors.append(f"stitched: events span only {len(pids)} pid(s); "
+                      f"a merged fleet dump needs coordinator + shards")
+        return errors
+
+    by_span = {}
+    for ev in events:
+        span_id = ev.get("args", {}).get("span_id")
+        if span_id:
+            by_span[span_id] = ev
+
+    cross_edges = 0
+    for ev in events:
+        parent = ev.get("args", {}).get("parent_span_id", 0)
+        parent_ev = by_span.get(parent)
+        if parent_ev is not None and parent_ev["pid"] != ev["pid"]:
+            cross_edges += 1
+    if cross_edges == 0:
+        errors.append(
+            "stitched: no parent edge crosses a process boundary — the "
+            "trace context did not ride the wire (protocol trace block)")
+
+    coordinator_pids = {ev["pid"] for ev in events
+                        if ev["name"] == "dist.scatter"}
+    if not coordinator_pids:
+        errors.append("stitched: no dist.scatter span; was the query "
+                      "actually a broadcast through the coordinator?")
+        return errors
+
+    for ev in events:
+        if not ev["name"].startswith("eval.") or \
+                ev["pid"] in coordinator_pids:
+            continue
+        node, seen = ev, set()
+        while node is not None and node["name"] != "dist.scatter":
+            parent = node.get("args", {}).get("parent_span_id", 0)
+            if parent in seen:
+                node = None
+                break
+            seen.add(parent)
+            node = by_span.get(parent)
+        if node is None:
+            errors.append(
+                f"stitched: shard span '{ev['name']}' (pid {ev['pid']}, "
+                f"span {ev.get('args', {}).get('span_id')}) has no "
+                f"dist.scatter ancestor — shard work is not parented "
+                f"under the coordinator's fan-out")
+    return errors
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__.splitlines()[0])
@@ -139,6 +216,11 @@ def main():
     parser.add_argument("--min-events", type=int, default=1,
                         help="fail unless at least N events total "
                              "(default 1)")
+    parser.add_argument("--stitched", action="store_true",
+                        help="also validate merged multi-process "
+                             "structure (trace_merge.py output): "
+                             "cross-pid parent edges, shard eval.* "
+                             "under dist.scatter")
     parser.add_argument("--names-header", type=pathlib.Path,
                         default=NAMES_HEADER,
                         help="observability registry header to validate "
@@ -164,12 +246,17 @@ def main():
 
     failed = False
     total_events = 0
+    stitched_events = [] if args.stitched else None
     for path in files:
-        errors, count = check_file(path, registry)
+        errors, count = check_file(path, registry, stitched_events)
         total_events += count
         for err in errors:
             print(f"{path}: {err}")
         if errors:
+            failed = True
+    if args.stitched:
+        for err in check_stitched(stitched_events):
+            print(err)
             failed = True
     if total_events < args.min_events:
         print(f"check_trace: only {total_events} events across "

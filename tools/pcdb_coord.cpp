@@ -31,6 +31,7 @@
 
 #include "common/log.h"
 #include "dist/coordinator.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -127,6 +128,8 @@ int main(int argc, char** argv) {
   }
 
   const std::string host = options.host;
+  // Label the coordinator's trace dump for tools/trace_merge.py.
+  pcdb::Tracer::Global().SetProcessLabel("pcdb_coord");
   pcdb::Coordinator coord(std::move(options));
   pcdb::Status started = coord.Start();
   if (!started.ok()) {

@@ -54,6 +54,7 @@
 
 #include "common/log.h"
 #include "dist/partition.h"
+#include "obs/trace.h"
 #include "server/server.h"
 #include "workloads/maintenance_example.h"
 
@@ -212,6 +213,13 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // Label this process's trace dump so tools/trace_merge.py can name
+  // the row in a stitched multi-process timeline.
+  pcdb::Tracer::Global().SetProcessLabel(
+      options.num_shards > 1
+          ? "pcdbd.shard" + std::to_string(options.shard_id)
+          : "pcdbd");
 
   pcdb::Server server(std::move(adb), options);
   pcdb::Status started = server.Start();

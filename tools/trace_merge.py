@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Stitches per-process pcdb trace dumps into one Chrome trace.
+
+Usage:  python3 tools/trace_merge.py FILE_OR_DIR [FILE_OR_DIR ...]
+                --out merged.json [--trace-id N]
+
+Each pcdb process (pcdb_coord, every pcdbd shard) dumps its own
+pcdb_trace.<pid>.json at exit with timestamps measured on its private
+steady clock. A dump's otherData records the wall-clock instant
+(epoch_wall_us) at which that steady clock's zero was anchored, plus
+the process's pid and label. Merging therefore:
+
+  * re-bases every event onto one timeline: the earliest process's
+    anchor becomes t=0 and every other dump shifts by its anchor delta;
+  * corrects residual clock skew using the coordinator's dist.handshake
+    spans: a shard span caused by a coordinator request cannot start
+    before the request was sent, so when a cross-process child starts
+    before its parent the child's whole process is shifted forward —
+    but never by more than the largest handshake round trip, which
+    bounds how wrong the two clocks can mutually appear;
+  * tags every process with a Chrome metadata event (ph "M",
+    process_name) carrying its label, so the viewer names the rows;
+  * sums dropped_events across dumps.
+
+Cross-process span parentage itself needs no fixup: trace_id /
+span_id / parent_span_id ride the wire (protocol trace block), and id
+generation is salted per process, so the ids are already globally
+unique and consistent. --trace-id keeps only one trace's events.
+
+Exit status 0 on success, 1 when no dumps were found or any dump was
+unreadable.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_dump(path):
+    """Returns (events, other_data) or raises ValueError."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents missing or not a list")
+    other = doc.get("otherData", {})
+    if not isinstance(other, dict):
+        raise ValueError("otherData is not an object")
+    return events, other
+
+
+def collect_files(paths):
+    files = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("pcdb_trace*.json")))
+        else:
+            files.append(path)
+    return files
+
+
+def handshake_rtt_bound_us(events):
+    """The largest dist.handshake round trip, our bound on how far two
+    processes' re-based clocks may legitimately disagree."""
+    bound = 0
+    for ev in events:
+        if ev.get("name") == "dist.handshake":
+            rtt = ev.get("args", {}).get("rtt_micros", 0)
+            bound = max(bound, int(rtt))
+    return bound
+
+
+def skew_corrections(events, rtt_bound_us):
+    """Per-pid forward shifts (us) that restore parent-before-child on
+    cross-process edges, each clamped to the handshake RTT bound."""
+    span_owner = {}  # span_id -> (pid, start_ts)
+    for ev in events:
+        args = ev.get("args", {})
+        if "span_id" in args:
+            span_owner[args["span_id"]] = (ev["pid"], ev["ts"])
+    shifts = {}
+    for ev in events:
+        args = ev.get("args", {})
+        parent = args.get("parent_span_id", 0)
+        if parent == 0 or parent not in span_owner:
+            continue
+        parent_pid, parent_ts = span_owner[parent]
+        if parent_pid == ev["pid"]:
+            continue
+        deficit = parent_ts - ev["ts"]
+        if deficit > 0:
+            shifts[ev["pid"]] = min(max(shifts.get(ev["pid"], 0), deficit),
+                                    rtt_bound_us)
+    return shifts
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+",
+                        help="per-process trace dumps or directories")
+    parser.add_argument("--out", required=True, type=pathlib.Path,
+                        help="merged Chrome trace to write")
+    parser.add_argument("--trace-id", type=int, default=0,
+                        help="keep only events of this trace id "
+                             "(default: keep all)")
+    args = parser.parse_args()
+
+    files = collect_files(args.paths)
+    if not files:
+        print("trace_merge: no trace files found", file=sys.stderr)
+        return 1
+
+    merged = []
+    metadata = []
+    anchors = {}  # pid -> epoch_wall_us
+    dropped = 0
+    failed = False
+    for path in files:
+        try:
+            events, other = load_dump(path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"trace_merge: {path}: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        pid = other.get("pid")
+        epoch = other.get("epoch_wall_us")
+        if pid is None or epoch is None:
+            print(f"trace_merge: {path}: otherData lacks pid/epoch_wall_us "
+                  f"(pre-merge dump format?)", file=sys.stderr)
+            failed = True
+            continue
+        anchors[pid] = epoch
+        dropped += other.get("dropped_events", 0)
+        label = other.get("process_label") or f"pid {pid}"
+        metadata.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "tid": 0, "args": {"name": label}})
+        for ev in events:
+            if args.trace_id and \
+                    ev.get("args", {}).get("trace_id") != args.trace_id:
+                continue
+            ev = dict(ev)
+            ev["pid"] = pid
+            merged.append(ev)
+    if failed:
+        return 1
+
+    # Re-base every process onto the earliest anchor's timeline.
+    base = min(anchors.values())
+    for ev in merged:
+        ev["ts"] += anchors[ev["pid"]] - base
+
+    # Clamp residual skew so no shard span starts before the
+    # coordinator request that caused it.
+    rtt_bound = handshake_rtt_bound_us(merged)
+    shifts = skew_corrections(merged, rtt_bound)
+    for ev in merged:
+        ev["ts"] += shifts.get(ev["pid"], 0)
+    for pid, shift in sorted(shifts.items()):
+        print(f"trace_merge: note: shifted pid {pid} by {shift}us "
+              f"(skew clamp, handshake bound {rtt_bound}us)",
+              file=sys.stderr)
+
+    merged.sort(key=lambda e: (e["ts"], -e.get("dur", 0)))
+    doc = {
+        "traceEvents": metadata + merged,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "dropped_events": dropped,
+            "merged_from": len(anchors),
+        },
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+    print(f"trace_merge: OK ({len(anchors)} process(es), "
+          f"{len(merged)} events -> {args.out})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
